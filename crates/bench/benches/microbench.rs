@@ -1,0 +1,326 @@
+//! Criterion microbenchmarks for the hot paths: the shared NN substrate,
+//! the per-tick cost of each continuous algorithm (the quantity behind
+//! Figures 7a/8a/9a/10a), and grid maintenance (behind Figure 6a).
+//!
+//! Run with `cargo bench -p igern-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use igern_core::baselines::{tpl_snapshot, voronoi_snapshot, Crnn};
+use igern_core::processor::{Algorithm, Processor};
+use igern_core::types::ObjectKind;
+use igern_core::{BiIgern, KnnMonitor, MonoIgern, MonoIgernK, RangeMonitor, SpatialStore};
+use igern_grid::{exists_closer_than, k_nearest, nearest, ObjectId, OpCounters};
+use igern_mobgen::{ObjKind, Workload, WorkloadConfig};
+use igern_rtree::{tpl_snapshot_rtree, RTree};
+
+const N_OBJECTS: usize = 50_000;
+const GRID: usize = 64;
+const SEED: u64 = 7;
+
+/// One loaded store + a mover positioned a few ticks in, shared by all
+/// benchmarks.
+struct Fixture {
+    store: SpatialStore,
+    world: Workload,
+    query: ObjectId,
+}
+
+fn fixture(bichromatic: bool) -> Fixture {
+    let cfg = if bichromatic {
+        WorkloadConfig::network_bi(N_OBJECTS, SEED)
+    } else {
+        WorkloadConfig::network_mono(N_OBJECTS, SEED)
+    };
+    let mut world = Workload::from_config(&cfg);
+    let kinds: Vec<ObjectKind> = world
+        .kinds()
+        .iter()
+        .map(|k| match k {
+            ObjKind::A => ObjectKind::A,
+            ObjKind::B => ObjectKind::B,
+        })
+        .collect();
+    let mut store = SpatialStore::new(world.mover().space(), GRID, kinds);
+    let init: Vec<_> = (0..world.len() as u32)
+        .map(|i| world.mover().position(i))
+        .collect();
+    store.load(&init);
+    // Warm a few ticks so objects are in steady-state motion.
+    for _ in 0..3 {
+        for u in world.advance().to_vec() {
+            store.apply(ObjectId(u.id), u.pos);
+        }
+    }
+    Fixture {
+        store,
+        world,
+        query: ObjectId(0),
+    }
+}
+
+fn bench_nn_substrate(c: &mut Criterion) {
+    let f = fixture(false);
+    let q = f.store.position(f.query).unwrap();
+    let mut group = c.benchmark_group("nn_substrate");
+    group.bench_function("nearest", |b| {
+        b.iter(|| {
+            let mut ops = OpCounters::new();
+            nearest(f.store.all(), q, Some(f.query), &mut ops)
+        })
+    });
+    group.bench_function("k_nearest_16", |b| {
+        b.iter(|| {
+            let mut ops = OpCounters::new();
+            k_nearest(f.store.all(), q, 16, Some(f.query), &mut ops)
+        })
+    });
+    group.bench_function("exists_closer_than", |b| {
+        let radius_sq = 100.0;
+        b.iter(|| {
+            let mut ops = OpCounters::new();
+            exists_closer_than(f.store.all(), q, radius_sq, &[f.query], &mut ops)
+        })
+    });
+    group.finish();
+}
+
+fn bench_mono_per_tick(c: &mut Criterion) {
+    let mut f = fixture(false);
+    let q = f.store.position(f.query).unwrap();
+    let mut ops = OpCounters::new();
+    let igern0 = MonoIgern::initial(f.store.all(), q, Some(f.query), &mut ops);
+    let crnn0 = Crnn::initial(f.store.all(), q, Some(f.query), &mut ops);
+    // Advance one more tick so the monitors see movement.
+    for u in f.world.advance().to_vec() {
+        f.store.apply(ObjectId(u.id), u.pos);
+    }
+    let q1 = f.store.position(f.query).unwrap();
+
+    let mut group = c.benchmark_group("mono_per_tick");
+    group.bench_function("igern_incremental", |b| {
+        b.iter_batched(
+            || igern0.clone(),
+            |mut m| {
+                let mut ops = OpCounters::new();
+                m.incremental(f.store.all(), q1, &mut ops);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("crnn_incremental", |b| {
+        b.iter_batched(
+            || crnn0.clone(),
+            |mut m| {
+                let mut ops = OpCounters::new();
+                m.incremental(f.store.all(), q1, &mut ops);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("tpl_snapshot", |b| {
+        b.iter(|| {
+            let mut ops = OpCounters::new();
+            tpl_snapshot(f.store.all(), q1, Some(f.query), &mut ops)
+        })
+    });
+    group.bench_function("igern_initial", |b| {
+        b.iter(|| {
+            let mut ops = OpCounters::new();
+            MonoIgern::initial(f.store.all(), q1, Some(f.query), &mut ops)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bi_per_tick(c: &mut Criterion) {
+    let mut f = fixture(true);
+    let q = f.store.position(f.query).unwrap();
+    let mut ops = OpCounters::new();
+    let igern0 = BiIgern::initial(
+        f.store.grid_a(),
+        f.store.grid_b(),
+        q,
+        Some(f.query),
+        &mut ops,
+    );
+    for u in f.world.advance().to_vec() {
+        f.store.apply(ObjectId(u.id), u.pos);
+    }
+    let q1 = f.store.position(f.query).unwrap();
+
+    let mut group = c.benchmark_group("bi_per_tick");
+    group.bench_function("igern_bi_incremental", |b| {
+        b.iter_batched(
+            || igern0.clone(),
+            |mut m| {
+                let mut ops = OpCounters::new();
+                m.incremental(f.store.grid_a(), f.store.grid_b(), q1, &mut ops);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("voronoi_snapshot", |b| {
+        b.iter(|| {
+            let mut ops = OpCounters::new();
+            voronoi_snapshot(
+                f.store.grid_a(),
+                f.store.grid_b(),
+                q1,
+                Some(f.query),
+                &mut ops,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut f = fixture(false);
+    let q = f.store.position(f.query).unwrap();
+    let mut ops = OpCounters::new();
+    let krnn0 = MonoIgernK::initial(f.store.all(), q, Some(f.query), 4, &mut ops);
+    let knn0 = KnnMonitor::initial(f.store.all(), q, Some(f.query), 8, &mut ops);
+    let range0 = RangeMonitor::initial(f.store.all(), q, 25.0, Some(f.query), &mut ops);
+    for u in f.world.advance().to_vec() {
+        f.store.apply(ObjectId(u.id), u.pos);
+    }
+    let q1 = f.store.position(f.query).unwrap();
+    let mut group = c.benchmark_group("monitors_per_tick");
+    group.bench_function("krnn_k4_incremental", |b| {
+        b.iter_batched(
+            || krnn0.clone(),
+            |mut m| {
+                let mut ops = OpCounters::new();
+                m.incremental(f.store.all(), q1, &mut ops);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("knn_k8_incremental", |b| {
+        b.iter_batched(
+            || knn0.clone(),
+            |mut m| {
+                let mut ops = OpCounters::new();
+                m.incremental(f.store.all(), q1, &mut ops);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("range_r25_incremental", |b| {
+        b.iter_batched(
+            || range0.clone(),
+            |mut m| {
+                let mut ops = OpCounters::new();
+                m.incremental(f.store.all(), q1, &mut ops);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_processor_parallel(c: &mut Criterion) {
+    // 64 standing IGERN queries over one tick of updates: sequential vs
+    // 4-way parallel evaluation.
+    let build = || {
+        let mut f = fixture(false);
+        let kinds = vec![ObjectKind::A; f.store.len()];
+        let mut store = SpatialStore::new(*f.store.space(), GRID, kinds);
+        let init: Vec<_> = f.store.all().iter().collect();
+        for (id, p) in init {
+            store.insert(id, ObjectKind::A, p);
+        }
+        let mut proc = Processor::new(store);
+        for i in 0..64u32 {
+            proc.add_query(ObjectId(i * 500), Algorithm::IgernMono);
+        }
+        proc.evaluate_all();
+        let ups: Vec<(ObjectId, igern_geom::Point)> = f
+            .world
+            .advance()
+            .iter()
+            .map(|u| (ObjectId(u.id), u.pos))
+            .collect();
+        (proc, ups)
+    };
+    let mut group = c.benchmark_group("processor_64_queries");
+    group.sample_size(10);
+    group.bench_function("step_sequential", |b| {
+        b.iter_batched(
+            build,
+            |(mut proc, ups)| {
+                proc.step(&ups);
+                proc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("step_parallel_4", |b| {
+        b.iter_batched(
+            build,
+            |(mut proc, ups)| {
+                proc.step_parallel(&ups, 4);
+                proc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let f = fixture(false);
+    let mut tree = RTree::new();
+    for (id, p) in f.store.all().iter() {
+        tree.insert(id, p);
+    }
+    let q = f.store.position(f.query).unwrap();
+    let mut group = c.benchmark_group("rtree");
+    group.bench_function("nearest", |b| {
+        b.iter(|| {
+            let mut ops = OpCounters::new();
+            igern_rtree::nearest(&tree, q, Some(f.query), &mut ops)
+        })
+    });
+    group.bench_function("tpl_snapshot_native", |b| {
+        b.iter(|| {
+            let mut ops = OpCounters::new();
+            tpl_snapshot_rtree(&tree, q, Some(f.query), &mut ops)
+        })
+    });
+    group.finish();
+}
+
+fn bench_grid_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_maintenance");
+    group.bench_function("apply_one_tick_50k", |b| {
+        b.iter_batched(
+            || {
+                let mut f = fixture(false);
+                let ups = f.world.advance().to_vec();
+                (f.store, ups)
+            },
+            |(mut store, ups)| {
+                for u in &ups {
+                    store.apply(ObjectId(u.id), u.pos);
+                }
+                store.cell_changes()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_nn_substrate, bench_mono_per_tick, bench_bi_per_tick, bench_extensions, bench_processor_parallel, bench_rtree, bench_grid_maintenance
+}
+criterion_main!(benches);

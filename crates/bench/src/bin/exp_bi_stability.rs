@@ -1,0 +1,76 @@
+//! Experiment E5 — Figure 10: bichromatic stability over time.
+//!
+//! * Figure 10a: per-tick CPU time of the first ticks — at tick 0 plain
+//!   Voronoi construction may win (IGERN's initial step does extra work to
+//!   set up monitoring), but from tick 1 on IGERN is consistently cheaper.
+//! * Figure 10b: accumulated CPU over up to 100 ticks — the gap widens.
+
+use igern_bench::report::{ms, print_table, write_csv};
+use igern_bench::{harness, ExpArgs, RunConfig};
+use igern_core::processor::Algorithm;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "E5 (Figure 10): bichromatic stability — {} objects, grid {}, seed {}",
+        args.objects, args.grid, args.seed
+    );
+    let cfg = RunConfig {
+        num_queries: args.queries,
+        ..RunConfig::bi(args.objects, args.grid, args.ticks, args.seed)
+    };
+    let igern = harness::run_one(&cfg, Algorithm::IgernBi);
+    let voronoi = harness::run_one(&cfg, Algorithm::VoronoiRepeat);
+
+    let first = 10.min(cfg.ticks);
+    let rows_a: Vec<Vec<String>> = (0..first)
+        .map(|t| {
+            vec![
+                t.to_string(),
+                ms(igern.tick_times[t]),
+                ms(voronoi.tick_times[t]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 10a: CPU time per tick (ms), first ticks",
+        &["tick", "igern_ms", "voronoi_ms"],
+        &rows_a,
+    );
+    write_csv(
+        &args.out_dir,
+        "fig10a_bi_time_intervals",
+        &["tick", "igern_ms", "voronoi_ms"],
+        &rows_a,
+    );
+
+    let marks: Vec<usize> = [10, 20, 40, 60, 80, 100]
+        .into_iter()
+        .filter(|&m| m <= cfg.ticks)
+        .collect();
+    let rows_b: Vec<Vec<String>> = marks
+        .iter()
+        .map(|&m| {
+            vec![
+                m.to_string(),
+                ms(igern.accumulated[m - 1]),
+                ms(voronoi.accumulated[m - 1]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 10b: accumulated CPU time (ms) by number of time slots",
+        &["slots", "igern_ms", "voronoi_ms"],
+        &rows_b,
+    );
+    write_csv(
+        &args.out_dir,
+        "fig10b_bi_accumulated",
+        &["slots", "igern_ms", "voronoi_ms"],
+        &rows_b,
+    );
+    println!(
+        "\nExpected shape: Voronoi may win only at tick 0; for every tick\n\
+         after, IGERN is cheaper and the accumulated gap keeps growing."
+    );
+}

@@ -1,0 +1,43 @@
+//! Run every experiment binary in sequence with shared flags.
+//!
+//! `cargo run --release -p igern-bench --bin run_all -- --quick` gives a
+//! fast smoke pass over all figures; without `--quick` the paper-scale
+//! parameters are used.
+
+use std::process::Command;
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let experiments = [
+        "exp_grid_size",
+        "exp_mono_scalability",
+        "exp_mono_stability",
+        "exp_bi_scalability",
+        "exp_bi_stability",
+        "exp_cost_model",
+        "exp_ablation",
+        "exp_krnn",
+        "exp_substrate",
+        "exp_query_count",
+    ];
+    let mut failures = Vec::new();
+    for name in experiments {
+        println!("\n########## {name} ##########");
+        let status = Command::new(dir.join(name))
+            .args(&passthrough)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        if !status.success() {
+            eprintln!("{name} exited with {status}");
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

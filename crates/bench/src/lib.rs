@@ -1,0 +1,24 @@
+//! Experiment harness for the Section-7 reproduction.
+//!
+//! One binary per paper figure (see DESIGN.md §5 and EXPERIMENTS.md):
+//!
+//! | binary                 | figures  |
+//! |------------------------|----------|
+//! | `exp_grid_size`        | 6a, 6b   |
+//! | `exp_mono_scalability` | 7a, 7b   |
+//! | `exp_mono_stability`   | 8a, 8b   |
+//! | `exp_bi_scalability`   | 9a, 9b   |
+//! | `exp_bi_stability`     | 10a, 10b |
+//! | `exp_cost_model`       | §6       |
+//! | `exp_ablation`         | A1/A2/A4 |
+//! | `run_all`              | all      |
+//!
+//! Every binary prints the same series the paper plots (plus
+//! machine-independent operation counts) and writes CSV into `results/`.
+
+pub mod args;
+pub mod harness;
+pub mod report;
+
+pub use args::ExpArgs;
+pub use harness::{run_one, AlgoRun, RunConfig};

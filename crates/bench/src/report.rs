@@ -1,0 +1,93 @@
+//! Table printing and CSV output for the experiment binaries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// Render a duration in milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Print an aligned table: a title line, a header row, and data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<&str>| {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>w$}", w = w));
+        }
+        line
+    };
+    println!("{}", fmt_row(headers.to_vec()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row.iter().map(|s| s.as_str()).collect()));
+    }
+}
+
+/// Write the same table as CSV under `dir/name.csv` (directory created on
+/// demand). Errors are reported but not fatal — the console table is the
+/// primary output.
+pub fn write_csv(dir: &str, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = Path::new(dir).join(format!("{name}.csv"));
+    let run = || -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", headers.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => println!("[csv] wrote {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_formats_millis() {
+        assert_eq!(ms(Duration::from_micros(1500)), "1.500");
+        assert_eq!(ms(Duration::ZERO), "0.000");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("igern_report_test");
+        let dir = dir.to_str().unwrap();
+        write_csv(
+            dir,
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let content = fs::read_to_string(Path::new(dir).join("t.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_checks_arity() {
+        print_table("x", &["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,468 @@
+//! Command implementations for the `igern` CLI.
+//!
+//! The binary is a thin wrapper: each subcommand is a function from
+//! parsed arguments to a `Write` sink, so everything here is unit-tested
+//! without process spawning.
+//!
+//! ```text
+//! igern gen-network --seed 7 --k 24 --out net.txt
+//! igern gen-trace   --objects 1000 --ticks 50 --seed 7 --out trace.txt
+//! igern run         --trace trace.txt --algo igern --queries 4 --ticks 10
+//! igern render      --trace trace.txt --query 0 --ticks 3
+//! ```
+
+use std::io::Write;
+
+use igern_core::processor::{Algorithm, Processor};
+use igern_core::types::ObjectKind;
+use igern_core::{render, SpatialStore};
+use igern_geom::Point;
+use igern_grid::{Grid, ObjectId, OpCounters};
+use igern_mobgen::{
+    build_synthetic_network, Mover, RecordedTrace, SyntheticNetworkConfig, Workload, WorkloadConfig,
+};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// A parsed `--flag value` argument list.
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse `--flag value` pairs; rejects dangling flags and stray
+    /// positional arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --flag, got {flag:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("missing value for --{name}")))?;
+            pairs.push((name.to_string(), value));
+        }
+        Ok(Args { pairs })
+    }
+
+    /// Fetch a string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Fetch a required flag.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError(format!("missing required --{name}")))
+    }
+
+    /// Fetch a numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("bad value for --{name}: {v:?}"))),
+        }
+    }
+}
+
+/// `gen-network`: build and save a synthetic road network.
+pub fn gen_network<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let cfg = SyntheticNetworkConfig {
+        seed: args.num("seed", 7u64)?,
+        k: args.num("k", 24usize)?,
+        ..Default::default()
+    };
+    let net = build_synthetic_network(&cfg);
+    match args.get("out") {
+        Some(path) => {
+            let mut f = std::fs::File::create(path)?;
+            net.save(&mut f)?;
+            writeln!(
+                out,
+                "wrote network: {} nodes, {} edges -> {path}",
+                net.num_nodes(),
+                net.num_edges()
+            )?;
+        }
+        None => net.save(out)?,
+    }
+    Ok(())
+}
+
+/// `gen-trace`: simulate a workload and save the update stream.
+pub fn gen_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let objects = args.num("objects", 1000usize)?;
+    let ticks = args.num("ticks", 50usize)?;
+    let seed = args.num("seed", 7u64)?;
+    let bi = args.get("bi").map(|v| v == "true").unwrap_or(false);
+    let wcfg = if bi {
+        WorkloadConfig::network_bi(objects, seed)
+    } else {
+        WorkloadConfig::network_mono(objects, seed)
+    };
+    let mut workload = Workload::from_config(&wcfg);
+    let trace = {
+        // Record through the Workload's mover.
+        struct W2<'a>(&'a mut Workload);
+        impl Mover for W2<'_> {
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn space(&self) -> igern_geom::Aabb {
+                self.0.mover().space()
+            }
+            fn position(&self, id: u32) -> Point {
+                self.0.mover().position(id)
+            }
+            fn advance(&mut self) -> &[igern_mobgen::Update] {
+                self.0.advance()
+            }
+        }
+        RecordedTrace::record(&mut W2(&mut workload), ticks)
+    };
+    match args.get("out") {
+        Some(path) => {
+            let mut f = std::fs::File::create(path)?;
+            trace.save(&mut f)?;
+            writeln!(
+                out,
+                "wrote trace: {} objects x {} ticks -> {path}",
+                trace.num_objects(),
+                trace.num_ticks()
+            )?;
+        }
+        None => trace.save(out)?,
+    }
+    Ok(())
+}
+
+fn algorithm_by_name(name: &str, k: usize) -> Result<Algorithm, CliError> {
+    Ok(match name {
+        "igern" => Algorithm::IgernMono,
+        "crnn" => Algorithm::Crnn,
+        "tpl" => Algorithm::TplRepeat,
+        "igern-bi" => Algorithm::IgernBi,
+        "voronoi" => Algorithm::VoronoiRepeat,
+        "igern-k" => Algorithm::IgernMonoK(k),
+        "igern-bi-k" => Algorithm::IgernBiK(k),
+        "knn" => Algorithm::Knn(k),
+        other => {
+            return Err(CliError(format!(
+                "unknown --algo {other:?} (igern|crnn|tpl|igern-bi|voronoi|igern-k|igern-bi-k|knn)"
+            )))
+        }
+    })
+}
+
+fn load_trace(args: &Args) -> Result<RecordedTrace, CliError> {
+    let path = args.require("trace")?;
+    let f = std::fs::File::open(path)?;
+    Ok(RecordedTrace::load(std::io::BufReader::new(f))?)
+}
+
+/// Build a loaded processor over a trace's initial state.
+fn processor_for(trace: &RecordedTrace, bi: bool, grid: usize) -> Processor {
+    let n = trace.num_objects();
+    let kinds: Vec<ObjectKind> = (0..n)
+        .map(|i| {
+            if bi && i >= n / 2 {
+                ObjectKind::B
+            } else {
+                ObjectKind::A
+            }
+        })
+        .collect();
+    let mut store = SpatialStore::new(trace.space(), grid, kinds);
+    store.load(trace.initial());
+    Processor::new(store)
+}
+
+/// `run`: evaluate continuous queries over a saved trace and print
+/// per-tick answers and summary metrics.
+pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let trace = load_trace(args)?;
+    let algo = algorithm_by_name(args.get("algo").unwrap_or("igern"), args.num("k", 2usize)?)?;
+    let nq: usize = args.num("queries", 1usize)?;
+    let ticks: usize = args.num("ticks", trace.num_ticks())?;
+    let ticks = ticks.min(trace.num_ticks());
+    let grid = args.num("grid", Grid::suggest_size(trace.num_objects()))?;
+    let mut proc = processor_for(&trace, algo.is_bichromatic(), grid);
+    let n = trace.num_objects();
+    let candidates = if algo.is_bichromatic() { n / 2 } else { n };
+    let handles: Vec<usize> = (0..nq.min(candidates))
+        .map(|i| proc.add_query(ObjectId((i * candidates / nq.max(1)) as u32), algo))
+        .collect();
+    proc.evaluate_all();
+    let mut player = trace.player();
+    for t in 0..=ticks {
+        if t > 0 {
+            let ups: Vec<(ObjectId, Point)> = player
+                .advance()
+                .iter()
+                .map(|u| (ObjectId(u.id), u.pos))
+                .collect();
+            proc.step(&ups);
+        }
+        write!(out, "tick {t}:")?;
+        for &h in &handles {
+            let ans: Vec<u32> = proc.answer(h).iter().map(|o| o.0).collect();
+            write!(out, "  q{}={ans:?}", proc.query_object(h).0)?;
+        }
+        writeln!(out)?;
+    }
+    // Summary.
+    for &h in &handles {
+        let mut stats = igern_core::metrics::SeriesStats::new();
+        for s in proc.history(h) {
+            stats.push(s);
+        }
+        writeln!(
+            out,
+            "query {}: mean {:.3} ms/tick, mean answer {:.2}, mean monitored {:.2}",
+            proc.query_object(h),
+            stats.mean_time().as_secs_f64() * 1e3,
+            stats.mean_answer(),
+            stats.mean_monitored(),
+        )?;
+    }
+    Ok(())
+}
+
+/// `render`: replay a trace and draw the IGERN alive region per tick.
+pub fn render_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let trace = load_trace(args)?;
+    let qi: usize = args.num("query", 0usize)?;
+    if qi >= trace.num_objects() {
+        return Err(CliError(format!("--query {qi} out of range")));
+    }
+    let ticks: usize = args.num("ticks", 3usize)?;
+    let ticks = ticks.min(trace.num_ticks());
+    let grid_n = args.num("grid", 16usize)?;
+    let mut g = Grid::new(trace.space(), grid_n);
+    for (i, &p) in trace.initial().iter().enumerate() {
+        g.insert(ObjectId(i as u32), p);
+    }
+    let q_id = ObjectId(qi as u32);
+    let mut ops = OpCounters::new();
+    let mut m = igern_core::MonoIgern::initial(&g, g.position(q_id).unwrap(), Some(q_id), &mut ops);
+    let mut player = trace.player();
+    for t in 0..=ticks {
+        if t > 0 {
+            for u in player.advance().to_vec() {
+                g.update(ObjectId(u.id), u.pos);
+            }
+            m.incremental(&g, g.position(q_id).unwrap(), &mut ops);
+        }
+        writeln!(out, "tick {t}: rnn = {:?}", m.rnn())?;
+        write!(
+            out,
+            "{}",
+            render::render_region(
+                &g,
+                m.alive_cells(),
+                g.position(q_id).unwrap(),
+                &m.candidates()
+            )
+        )?;
+    }
+    Ok(())
+}
+
+/// Dispatch a subcommand.
+pub fn dispatch<W: Write>(cmd: &str, args: &Args, out: &mut W) -> Result<(), CliError> {
+    match cmd {
+        "gen-network" => gen_network(args, out),
+        "gen-trace" => gen_trace(args, out),
+        "run" => run(args, out),
+        "render" => render_cmd(args, out),
+        other => Err(CliError(format!(
+            "unknown command {other:?} (gen-network|gen-trace|run|render)"
+        ))),
+    }
+}
+
+/// Usage text for the binary.
+pub const USAGE: &str = "\
+igern — continuous reverse-nearest-neighbor monitoring (ICDE'07 reproduction)
+
+USAGE: igern <command> [--flag value]...
+
+COMMANDS:
+  gen-network  --seed N --k N [--out FILE]
+  gen-trace    --objects N --ticks N --seed N [--bi true] [--out FILE]
+  run          --trace FILE [--algo igern|crnn|tpl|igern-bi|voronoi|igern-k|igern-bi-k|knn]
+               [--queries N] [--ticks N] [--grid N] [--k N]
+  render       --trace FILE [--query N] [--ticks N] [--grid N]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let a = args(&["--objects", "100", "--out", "x.txt"]);
+        assert_eq!(a.get("objects"), Some("100"));
+        assert_eq!(a.num("objects", 0usize).unwrap(), 100);
+        assert_eq!(a.num("ticks", 7usize).unwrap(), 7);
+        assert!(a.require("missing").is_err());
+        assert!(Args::parse(["--dangling".to_string()]).is_err());
+        assert!(Args::parse(["positional".to_string()]).is_err());
+        assert!(a.num::<usize>("out", 0).is_err());
+    }
+
+    #[test]
+    fn gen_network_to_writer() {
+        let a = args(&["--seed", "3", "--k", "4"]);
+        let mut buf = Vec::new();
+        gen_network(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("space "));
+        assert!(text.contains("nodes 16"));
+    }
+
+    #[test]
+    fn gen_trace_and_run_roundtrip() {
+        let dir = std::env::temp_dir().join("igern_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        let a = args(&[
+            "--objects",
+            "60",
+            "--ticks",
+            "8",
+            "--seed",
+            "5",
+            "--out",
+            trace_path,
+        ]);
+        let mut buf = Vec::new();
+        gen_trace(&a, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("wrote trace"));
+
+        for algo in ["igern", "crnn", "tpl", "igern-k", "knn"] {
+            let a = args(&[
+                "--trace",
+                trace_path,
+                "--algo",
+                algo,
+                "--queries",
+                "2",
+                "--ticks",
+                "4",
+            ]);
+            let mut buf = Vec::new();
+            run(&a, &mut buf).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.contains("tick 4:"), "{algo}: {text}");
+            assert!(text.contains("ms/tick"), "{algo}");
+        }
+        // Bichromatic run.
+        let a = args(&[
+            "--trace",
+            trace_path,
+            "--algo",
+            "igern-bi",
+            "--queries",
+            "1",
+        ]);
+        let mut buf = Vec::new();
+        run(&a, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn igern_and_crnn_agree_via_cli() {
+        let dir = std::env::temp_dir().join("igern_cli_agree");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        let a = args(&[
+            "--objects",
+            "80",
+            "--ticks",
+            "6",
+            "--seed",
+            "9",
+            "--out",
+            trace_path,
+        ]);
+        gen_trace(&a, &mut Vec::new()).unwrap();
+        let mut outs = Vec::new();
+        for algo in ["igern", "crnn"] {
+            let a = args(&["--trace", trace_path, "--algo", algo, "--queries", "3"]);
+            let mut buf = Vec::new();
+            run(&a, &mut buf).unwrap();
+            // Keep only the per-tick answer lines (timings differ).
+            let answers: String = String::from_utf8(buf)
+                .unwrap()
+                .lines()
+                .filter(|l| l.starts_with("tick"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            outs.push(answers);
+        }
+        assert_eq!(outs[0], outs[1], "CLI answers must agree across algorithms");
+    }
+
+    #[test]
+    fn render_draws_regions() {
+        let dir = std::env::temp_dir().join("igern_cli_render");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        let a = args(&[
+            "--objects",
+            "40",
+            "--ticks",
+            "4",
+            "--seed",
+            "2",
+            "--out",
+            trace_path,
+        ]);
+        gen_trace(&a, &mut Vec::new()).unwrap();
+        let a = args(&[
+            "--trace", trace_path, "--query", "0", "--ticks", "2", "--grid", "8",
+        ]);
+        let mut buf = Vec::new();
+        render_cmd(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("tick 0"));
+        assert_eq!(text.matches('Q').count(), 3, "one query marker per frame");
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown() {
+        let a = Args::default();
+        assert!(dispatch("nope", &a, &mut Vec::new()).is_err());
+    }
+}

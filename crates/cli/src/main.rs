@@ -1,0 +1,28 @@
+//! The `igern` binary — see [`igern_cli::USAGE`].
+
+use igern_cli::{dispatch, Args, USAGE};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = dispatch(&cmd, &args, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

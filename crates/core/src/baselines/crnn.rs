@@ -1,0 +1,312 @@
+//! The CRNN baseline — Xia & Zhang, *Continuous Reverse Nearest Neighbor
+//! Monitoring*, ICDE 2006 — reconstructed from its published description
+//! and this paper's characterization (§2, §6).
+//!
+//! CRNN divides the space around the query into **six 60° pie regions**.
+//! By the classic six-region theorem, the nearest neighbor of `q` inside
+//! each pie is the only object of that pie that can be an RNN, so CRNN
+//! continuously maintains six candidates (one per pie) and six monitored
+//! regions. Per tick it performs six bounded NN searches (one per pie,
+//! bounded by the pie candidate's distance — open-ended when the pie is
+//! empty) followed by six verification NN tests — exactly the
+//! `6·NN_b + 6·NN` of the paper's cost model, and the source of its two
+//! drawbacks: it always assumes the six-answer worst case, and pie
+//! regions can be open-ended where IGERN's single region is always
+//! bounded.
+
+use igern_geom::{sector_of, Point, Sector, SECTOR_COUNT};
+use igern_grid::{exists_closer_than, nearest_where, Grid, ObjectId, OpCounters};
+
+/// Continuous monochromatic RNN state for the six-pie method.
+#[derive(Debug, Clone)]
+pub struct Crnn {
+    q_id: Option<ObjectId>,
+    q: Point,
+    /// Per-pie candidate: the pie's current NN with the position it was
+    /// last seen at.
+    cands: [Option<(ObjectId, Point)>; SECTOR_COUNT],
+    /// Current verified answer, sorted by id.
+    rnn: Vec<ObjectId>,
+}
+
+impl Crnn {
+    /// Initial evaluation: an unbounded constrained NN search per pie,
+    /// then verification (the `6·(NN_c + NN)` term of §6).
+    pub fn initial(grid: &Grid, q: Point, q_id: Option<ObjectId>, ops: &mut OpCounters) -> Self {
+        let mut state = Crnn {
+            q_id,
+            q,
+            cands: [None; SECTOR_COUNT],
+            rnn: Vec::new(),
+        };
+        for (i, slot) in state.cands.iter_mut().enumerate() {
+            ops.nn_c += 1;
+            *slot = pie_nn(grid, q, q_id, i, f64::INFINITY, ops);
+        }
+        state.rnn = state.verify(grid, ops);
+        state
+    }
+
+    /// Per-tick maintenance: re-establish each pie's NN with a search
+    /// bounded by the (possibly moved) candidate's current distance, then
+    /// verify all six candidates (the `6·(NN_b + NN)` term of §6).
+    pub fn incremental(&mut self, grid: &Grid, q: Point, ops: &mut OpCounters) {
+        self.q = q;
+        for i in 0..SECTOR_COUNT {
+            // If the pie still has its candidate inside it, nothing beyond
+            // the candidate's current distance can be the pie NN — bound
+            // the search there. Otherwise the region is open-ended and the
+            // whole pie must be searched.
+            let bound = match self.cands[i] {
+                Some((id, _)) => match grid.position(id) {
+                    Some(p) if sector_of(q, p) == i && Some(id) != self.q_id => q.dist(p),
+                    _ => f64::INFINITY,
+                },
+                None => f64::INFINITY,
+            };
+            ops.nn_b += 1;
+            let found = pie_nn(grid, q, self.q_id, i, bound, ops);
+            self.cands[i] = match (found, self.cands[i]) {
+                (Some(n), _) => Some(n),
+                // Bounded search found nothing but the old candidate is
+                // still valid in the pie: it remains the pie NN.
+                (None, Some((id, _))) => grid
+                    .position(id)
+                    .filter(|&p| sector_of(q, p) == i && Some(id) != self.q_id)
+                    .map(|p| (id, p)),
+                (None, None) => None,
+            };
+        }
+        self.rnn = self.verify(grid, ops);
+    }
+
+    /// Verification: each pie candidate is an RNN iff no other object lies
+    /// strictly closer to it than the query does.
+    fn verify(&self, grid: &Grid, ops: &mut OpCounters) -> Vec<ObjectId> {
+        let mut rnn: Vec<ObjectId> = self
+            .cands
+            .iter()
+            .flatten()
+            .filter(|&&(id, pos)| {
+                ops.verifications += 1;
+                let exclude = match self.q_id {
+                    Some(qid) => vec![id, qid],
+                    None => vec![id],
+                };
+                !exists_closer_than(grid, pos, pos.dist_sq(self.q), &exclude, ops)
+            })
+            .map(|&(id, _)| id)
+            .collect();
+        rnn.sort_unstable();
+        rnn.dedup();
+        rnn
+    }
+
+    /// The current verified answer, sorted by id.
+    #[inline]
+    pub fn rnn(&self) -> &[ObjectId] {
+        &self.rnn
+    }
+
+    /// Total area of the six monitored pie regions: each pie is watched
+    /// out to its candidate's distance (a 60° disk sector, `π·d²/6`);
+    /// a pie without a candidate is open-ended and counts as one sixth
+    /// of the data space. Areas are capped at one sixth of the space so
+    /// boundary effects cannot exceed it.
+    pub fn monitored_area(&self, grid: &Grid) -> f64 {
+        let sixth = grid.space().area() / 6.0;
+        self.cands
+            .iter()
+            .map(|c| match c {
+                Some((_, pos)) => {
+                    let d = self.q.dist(*pos);
+                    (std::f64::consts::PI * d * d / 6.0).min(sixth)
+                }
+                None => sixth,
+            })
+            .sum()
+    }
+
+    /// Number of monitored objects — always the number of non-empty pies;
+    /// on the dense workloads of the paper this is the constant 6 that
+    /// Figure 7b contrasts with IGERN's ≈3.
+    pub fn num_monitored(&self) -> usize {
+        self.cands.iter().flatten().count()
+    }
+}
+
+/// Nearest object to `q` within pie `i`, up to `max_dist`.
+fn pie_nn(
+    grid: &Grid,
+    q: Point,
+    q_id: Option<ObjectId>,
+    i: usize,
+    max_dist: f64,
+    ops: &mut OpCounters,
+) -> Option<(ObjectId, Point)> {
+    let sector = Sector::new(q, i);
+    nearest_where(
+        grid,
+        q,
+        |_, bounds| sector.intersects_aabb(bounds),
+        |id, pos| Some(id) != q_id && sector.contains(pos),
+        max_dist,
+        ops,
+    )
+    .map(|n| (n.id, n.pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use igern_geom::Aabb;
+
+    fn grid_with(points: &[(f64, f64)]) -> Grid {
+        let mut g = Grid::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 8);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            g.insert(ObjectId(i as u32), Point::new(x, y));
+        }
+        g
+    }
+
+    fn oracle(g: &Grid, q: Point, q_id: Option<ObjectId>) -> Vec<ObjectId> {
+        let objs: Vec<(ObjectId, Point)> = g.iter().collect();
+        naive::mono_rnn(&objs, q, q_id)
+    }
+
+    #[test]
+    fn initial_matches_oracle() {
+        let mut state = 41u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        for round in 0..30 {
+            let pts: Vec<(f64, f64)> = (0..70).map(|_| (rnd(), rnd())).collect();
+            let g = grid_with(&pts);
+            let q = Point::new(rnd(), rnd());
+            let mut ops = OpCounters::new();
+            let c = Crnn::initial(&g, q, None, &mut ops);
+            assert_eq!(c.rnn(), oracle(&g, q, None).as_slice(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn monitors_up_to_six_objects() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let a = i as f64 * 0.37;
+                (5.0 + 3.0 * a.cos(), 5.0 + 3.0 * a.sin())
+            })
+            .collect();
+        let g = grid_with(&pts);
+        let mut ops = OpCounters::new();
+        let c = Crnn::initial(&g, Point::new(5.0, 5.0), None, &mut ops);
+        assert_eq!(c.num_monitored(), 6, "dense ring fills every pie");
+    }
+
+    #[test]
+    fn empty_pies_monitor_nothing() {
+        let g = grid_with(&[(6.0, 5.0)]); // one object, one pie occupied
+        let mut ops = OpCounters::new();
+        let c = Crnn::initial(&g, Point::new(5.0, 5.0), None, &mut ops);
+        assert_eq!(c.num_monitored(), 1);
+        assert_eq!(c.rnn(), &[ObjectId(0)]);
+    }
+
+    #[test]
+    fn incremental_tracks_movement() {
+        let mut g = grid_with(&[(6.0, 5.0), (3.0, 5.0), (5.0, 8.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut c = Crnn::initial(&g, q, None, &mut ops);
+        assert_eq!(c.rnn(), oracle(&g, q, None).as_slice());
+        // Object 0 cuts between q and object 1's pie? Move things around
+        // and re-check every tick.
+        for &(id, x, y) in &[
+            (0u32, 3.4, 5.0), // object 0 jumps next to object 1
+            (1u32, 9.0, 9.0),
+            (2u32, 5.0, 4.0), // crosses into a different pie
+        ] {
+            g.update(ObjectId(id), Point::new(x, y));
+            c.incremental(&g, q, &mut ops);
+            assert_eq!(c.rnn(), oracle(&g, q, None).as_slice());
+        }
+    }
+
+    #[test]
+    fn incremental_tracks_query_movement() {
+        let g = grid_with(&[(2.0, 2.0), (8.0, 8.0), (2.0, 8.0), (8.0, 2.0)]);
+        let mut ops = OpCounters::new();
+        let mut c = Crnn::initial(&g, Point::new(5.0, 5.0), None, &mut ops);
+        for &(x, y) in &[(1.0, 1.0), (9.0, 1.0), (5.0, 9.5), (0.1, 9.9)] {
+            let q = Point::new(x, y);
+            c.incremental(&g, q, &mut ops);
+            assert_eq!(c.rnn(), oracle(&g, q, None).as_slice(), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn long_random_run_matches_oracle() {
+        let mut state = 4242u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pts: Vec<(f64, f64)> = (0..50).map(|_| (rnd() * 10.0, rnd() * 10.0)).collect();
+        let mut g = grid_with(&pts);
+        let mut q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut c = Crnn::initial(&g, q, None, &mut ops);
+        for tick in 0..40 {
+            for i in 0..50u32 {
+                if rnd() < 0.3 {
+                    let p = g.position(ObjectId(i)).unwrap();
+                    g.update(
+                        ObjectId(i),
+                        Point::new(
+                            (p.x + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                            (p.y + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                        ),
+                    );
+                }
+            }
+            q = Point::new(
+                (q.x + (rnd() - 0.5)).clamp(0.0, 10.0),
+                (q.y + (rnd() - 0.5)).clamp(0.0, 10.0),
+            );
+            c.incremental(&g, q, &mut ops);
+            assert_eq!(c.rnn(), oracle(&g, q, None).as_slice(), "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn monitored_area_shrinks_with_density() {
+        // Dense ring close to q → small pies; sparse data → large/open pies.
+        let dense: Vec<(f64, f64)> = (0..60)
+            .map(|i| {
+                let a = i as f64 * 0.4;
+                (5.0 + 0.8 * a.cos(), 5.0 + 0.8 * a.sin())
+            })
+            .collect();
+        let gd = grid_with(&dense);
+        let gs = grid_with(&[(9.5, 9.5)]);
+        let mut ops = OpCounters::new();
+        let cd = Crnn::initial(&gd, Point::new(5.0, 5.0), None, &mut ops);
+        let cs = Crnn::initial(&gs, Point::new(5.0, 5.0), None, &mut ops);
+        assert!(cd.monitored_area(&gd) < cs.monitored_area(&gs));
+        // Five empty pies in the sparse case ⇒ at least 5/6 of the space.
+        assert!(cs.monitored_area(&gs) >= gs.space().area() * 5.0 / 6.0 - 1e-6);
+    }
+
+    #[test]
+    fn query_object_excluded() {
+        let mut g = grid_with(&[(6.0, 5.0)]);
+        g.insert(ObjectId(9), Point::new(5.0, 5.0));
+        let mut ops = OpCounters::new();
+        let c = Crnn::initial(&g, Point::new(5.0, 5.0), Some(ObjectId(9)), &mut ops);
+        assert_eq!(c.rnn(), &[ObjectId(0)]);
+        assert_eq!(c.num_monitored(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Baseline algorithms reconstructed from their published descriptions:
+//! CRNN (continuous, monochromatic), TPL (snapshot, monochromatic), and
+//! repetitive Voronoi-cell construction (snapshot, bichromatic).
+
+mod crnn;
+mod tpl;
+mod voronoi;
+
+pub use crnn::Crnn;
+pub use tpl::{tpl_snapshot, TplAnswer};
+pub use voronoi::{voronoi_snapshot, voronoi_snapshot_with, SiteAcquisition, VoronoiAnswer};

@@ -1,0 +1,160 @@
+//! The TPL baseline — Tao, Papadias, Lian, *Reverse kNN Search in
+//! Arbitrary Dimensionality*, VLDB 2004 — as a snapshot algorithm
+//! re-evaluated from scratch at every timestamp (the paper's §6 "TPL
+//! cost": `Σ_t r_t (NN_c + NN)`).
+//!
+//! TPL's filter step "relies mainly on recursively filtering the data by
+//! finding perpendicular bisectors between the query point and its
+//! nearest object" (§2) — structurally the same pruning loop as IGERN's
+//! initial step, which is exactly the point of the comparison: IGERN ≈
+//! TPL's filter once, then incremental maintenance instead of repeated
+//! reconstruction.
+
+use igern_geom::Point;
+use igern_grid::{
+    exists_closer_than, nearest, nearest_in_cells, CellSet, Grid, ObjectId, OpCounters,
+};
+
+use crate::prune::recompute_alive;
+
+/// Result of one snapshot evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TplAnswer {
+    /// The verified reverse nearest neighbors, sorted by id.
+    pub rnn: Vec<ObjectId>,
+    /// The filter-step candidates (the `r_t` of the cost model).
+    pub candidates: Vec<ObjectId>,
+}
+
+/// One snapshot TPL evaluation.
+pub fn tpl_snapshot(
+    grid: &Grid,
+    q: Point,
+    q_id: Option<ObjectId>,
+    ops: &mut OpCounters,
+) -> TplAnswer {
+    // Filter step: iterative constrained NN + bisector pruning. The first
+    // probe (all cells alive) runs as a plain ring search; after that the
+    // alive set is rebuilt from the bisector polygon, the same machinery
+    // the IGERN steps use — the baselines share every optimization.
+    let mut alive = CellSet::full(grid.num_cells());
+    let mut cand: Vec<(ObjectId, Point)> = Vec::new();
+    loop {
+        ops.nn_c += 1;
+        let next = if cand.is_empty() {
+            nearest(grid, q, q_id, ops)
+        } else {
+            nearest_in_cells(
+                grid,
+                q,
+                &alive,
+                // TPL prunes at object granularity: an object beyond the
+                // bisector of any existing candidate (closer to it than to
+                // q) is filtered, exactly as in the original algorithm.
+                |id, pos| {
+                    if Some(id) == q_id || cand.iter().any(|&(c, _)| c == id) {
+                        return false;
+                    }
+                    let d_q = pos.dist_sq(q);
+                    !cand.iter().any(|&(_, cp)| pos.dist_sq(cp) < d_q)
+                },
+                ops,
+            )
+        };
+        let Some(n) = next else { break };
+        cand.push((n.id, n.pos));
+        let sites: Vec<Point> = cand.iter().map(|&(_, p)| p).collect();
+        alive = recompute_alive(grid, q, &sites);
+    }
+    // Refinement step: verify every candidate with an unconstrained test.
+    let mut rnn: Vec<ObjectId> = cand
+        .iter()
+        .filter(|&&(id, pos)| {
+            ops.verifications += 1;
+            let exclude = match q_id {
+                Some(qid) => vec![id, qid],
+                None => vec![id],
+            };
+            !exists_closer_than(grid, pos, pos.dist_sq(q), &exclude, ops)
+        })
+        .map(|&(id, _)| id)
+        .collect();
+    rnn.sort_unstable();
+    TplAnswer {
+        rnn,
+        candidates: cand.into_iter().map(|(id, _)| id).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use igern_geom::Aabb;
+
+    fn grid_with(points: &[(f64, f64)]) -> Grid {
+        let mut g = Grid::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 8);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            g.insert(ObjectId(i as u32), Point::new(x, y));
+        }
+        g
+    }
+
+    #[test]
+    fn snapshot_matches_oracle() {
+        let mut state = 61u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        for round in 0..30 {
+            let pts: Vec<(f64, f64)> = (0..60).map(|_| (rnd(), rnd())).collect();
+            let g = grid_with(&pts);
+            let q = Point::new(rnd(), rnd());
+            let mut ops = OpCounters::new();
+            let got = tpl_snapshot(&g, q, None, &mut ops);
+            let objs: Vec<(ObjectId, Point)> = g.iter().collect();
+            assert_eq!(got.rnn, naive::mono_rnn(&objs, q, None), "round {round}");
+        }
+    }
+
+    #[test]
+    fn candidates_contain_answers() {
+        let g = grid_with(&[(4.0, 5.0), (6.0, 5.0), (5.0, 7.0), (9.0, 9.0)]);
+        let mut ops = OpCounters::new();
+        let got = tpl_snapshot(&g, Point::new(5.0, 5.0), None, &mut ops);
+        for r in &got.rnn {
+            assert!(got.candidates.contains(r));
+        }
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = grid_with(&[]);
+        let mut ops = OpCounters::new();
+        let got = tpl_snapshot(&g, Point::new(5.0, 5.0), None, &mut ops);
+        assert!(got.rnn.is_empty());
+        assert!(got.candidates.is_empty());
+    }
+
+    #[test]
+    fn query_object_excluded() {
+        let mut g = grid_with(&[(4.0, 5.0)]);
+        g.insert(ObjectId(9), Point::new(5.0, 5.0));
+        let mut ops = OpCounters::new();
+        let got = tpl_snapshot(&g, Point::new(5.0, 5.0), Some(ObjectId(9)), &mut ops);
+        assert_eq!(got.rnn, vec![ObjectId(0)]);
+        assert!(!got.candidates.contains(&ObjectId(9)));
+    }
+
+    #[test]
+    fn counts_constrained_searches_per_candidate() {
+        let g = grid_with(&[(4.0, 5.0), (6.0, 5.0)]);
+        let mut ops = OpCounters::new();
+        let got = tpl_snapshot(&g, Point::new(5.0, 5.0), None, &mut ops);
+        // r_t candidates require r_t + 1 constrained searches (the last
+        // returns nothing) — the cost model's r_t·NN_c up to the +1.
+        assert_eq!(ops.nn_c as usize, got.candidates.len() + 1);
+        assert_eq!(ops.verifications as usize, got.candidates.len());
+    }
+}

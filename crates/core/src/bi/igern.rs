@@ -1,0 +1,443 @@
+//! The bichromatic IGERN monitor.
+//!
+//! For a query `q_A` of type A, the answer is the set of B-objects whose
+//! nearest A-object is `q_A`. Unlike the monochromatic case the answer
+//! size is unbounded, so no pie-based method applies; IGERN instead
+//! monitors:
+//!
+//! * the **alive region** — cells not yet dominated by the bisector of
+//!   some monitored A-object (this region contains the query's Voronoi
+//!   cell w.r.t. the A-objects, at cell granularity), and
+//! * **`NN_A`** — the A-objects whose bisectors bound that region.
+//!
+//! A B-object can only be (or become) an answer inside the alive region;
+//! the region can only change shape when `q_A` or a monitored A-object
+//! moves, or when a new A-object enters it.
+
+use igern_geom::Point;
+use igern_grid::{nearest, nearest_in_cells, CellSet, Grid, ObjectId, OpCounters};
+
+use crate::prune::{
+    clean_dominated, kill_cells_beyond_bisector, recompute_alive, PruneGranularity,
+};
+use igern_geom::Point as GeomPoint;
+
+/// Continuous bichromatic RNN query state.
+#[derive(Debug, Clone)]
+pub struct BiIgern {
+    /// The query's own record id inside the A-grid (excluded from
+    /// blocking tests); `None` for a pure query point.
+    q_id: Option<ObjectId>,
+    /// Query position as of the last evaluation.
+    q: Point,
+    /// The alive cells (shared cell geometry of the A- and B-grids).
+    alive: CellSet,
+    /// `NN_A`: monitored A-objects with the positions their bisectors were
+    /// drawn at.
+    nn_a: Vec<(Point, ObjectId)>,
+    /// Current verified answer (B-object ids), sorted.
+    rnn_b: Vec<ObjectId>,
+    /// Set when the alive region may encode bisectors of A-objects that
+    /// were cleaned out of `NN_A`; forces a redraw next tick (see the
+    /// matching note on the monochromatic monitor).
+    stale: bool,
+    /// Object-level filtering mode (ablation A2).
+    granularity: PruneGranularity,
+}
+
+impl BiIgern {
+    /// Algorithm 3 — the initial step.
+    ///
+    /// # Panics
+    /// Panics when the two grids do not share cell geometry.
+    pub fn initial(
+        grid_a: &Grid,
+        grid_b: &Grid,
+        q: Point,
+        q_id: Option<ObjectId>,
+        ops: &mut OpCounters,
+    ) -> Self {
+        Self::initial_with(grid_a, grid_b, q, q_id, PruneGranularity::default(), ops)
+    }
+
+    /// [`BiIgern::initial`] with an explicit pruning granularity
+    /// (ablation A2; see [`PruneGranularity`]).
+    pub fn initial_with(
+        grid_a: &Grid,
+        grid_b: &Grid,
+        q: Point,
+        q_id: Option<ObjectId>,
+        granularity: PruneGranularity,
+        ops: &mut OpCounters,
+    ) -> Self {
+        assert_eq!(
+            grid_a.num_cells(),
+            grid_b.num_cells(),
+            "A- and B-grids must share cell geometry"
+        );
+        let mut state = BiIgern {
+            q_id,
+            q,
+            alive: CellSet::full(grid_b.num_cells()),
+            nn_a: Vec::new(),
+            rnn_b: Vec::new(),
+            stale: false,
+            granularity,
+        };
+        // Phase I: bounded region from A-object bisectors.
+        state.tighten(grid_a, grid_b, ops, SearchClass::Constrained);
+        // Phase II: verification (also refines the region and NN_A).
+        state.verify(grid_a, grid_b, ops);
+        state
+    }
+
+    /// Algorithm 4 — the incremental step, run every Δt with the query's
+    /// current position.
+    pub fn incremental(&mut self, grid_a: &Grid, grid_b: &Grid, q: Point, ops: &mut OpCounters) {
+        // Lines 2–5: redraw when the query or a monitored A-object moved.
+        let q_moved = q != self.q;
+        let mut a_moved = false;
+        self.nn_a
+            .retain_mut(|(pos, id)| match grid_a.position(*id) {
+                Some(p) => {
+                    if p != *pos {
+                        a_moved = true;
+                        *pos = p;
+                    }
+                    true
+                }
+                None => {
+                    a_moved = true;
+                    false
+                }
+            });
+        self.q = q;
+        if q_moved || a_moved || self.stale {
+            let sites: Vec<Point> = self.nn_a.iter().map(|&(p, _)| p).collect();
+            self.alive = recompute_alive(grid_b, q, &sites);
+            self.stale = false;
+        }
+        // Lines 6–9: tighten on new A-objects in the alive cells, then
+        // clean the monitored set.
+        self.tighten(grid_a, grid_b, ops, SearchClass::Bounded);
+        // Cleaning runs unconditionally: movement alone can make one
+        // monitored A-object dominate another (see the monochromatic
+        // monitor for the pie-lemma bound this restores).
+        let grown = self.nn_a.len();
+        clean_dominated(&mut self.nn_a, q);
+        if self.nn_a.len() < grown {
+            self.stale = true;
+        }
+        // Line 10: verify as in Phase II of Algorithm 3.
+        self.verify(grid_a, grid_b, ops);
+    }
+
+    /// Phase-I loop (Algorithm 3 lines 3–6): pull A-objects out of the
+    /// alive cells in distance order, monitoring each and killing the
+    /// cells its bisector dominates, until no unmonitored A-object remains
+    /// alive.
+    fn tighten(&mut self, grid_a: &Grid, grid_b: &Grid, ops: &mut OpCounters, class: SearchClass) {
+        loop {
+            match class {
+                SearchClass::Constrained => ops.nn_c += 1,
+                SearchClass::Bounded => ops.nn_b += 1,
+            }
+            let q_id = self.q_id;
+            let q = self.q;
+            let nn_a = &self.nn_a;
+            let granularity = self.granularity;
+            let next = if nn_a.is_empty() {
+                // All cells alive: run the degenerate constrained search
+                // as a plain ring search over the A-grid.
+                nearest(grid_a, self.q, q_id, ops)
+            } else {
+                nearest_in_cells(
+                    grid_a,
+                    self.q,
+                    &self.alive,
+                    |id, pos| {
+                        if Some(id) == q_id || nn_a.iter().any(|&(_, c)| c == id) {
+                            return false;
+                        }
+                        match granularity {
+                            PruneGranularity::Cell => true,
+                            // A-objects dominated by a monitored A-object
+                            // cannot block any point of the exact region; a
+                            // B-object they do block is caught (and the
+                            // blocker monitored) during Phase-II verification.
+                            PruneGranularity::Exact => {
+                                let d_q = pos.dist_sq(q);
+                                !nn_a.iter().any(|&(cp, _)| pos.dist_sq(cp) < d_q)
+                            }
+                        }
+                    },
+                    ops,
+                )
+            };
+            let Some(n) = next else { break };
+            self.nn_a.push((n.pos, n.id));
+            let sites: Vec<GeomPoint> = self.nn_a.iter().map(|&(p, _)| p).collect();
+            self.alive = recompute_alive(grid_b, self.q, &sites);
+        }
+    }
+
+    /// Phase-II verification (Algorithm 3 lines 7–17): for every B-object
+    /// in the alive cells, test whether `q_A` is its nearest A-object. A
+    /// failing B-object's blocker joins `NN_A` and its bisector further
+    /// shrinks the region.
+    fn verify(&mut self, grid_a: &Grid, grid_b: &Grid, ops: &mut OpCounters) {
+        // Materialize the B-objects currently alive; membership is
+        // re-checked per object because the region shrinks as blockers are
+        // discovered.
+        let bs: Vec<(ObjectId, Point)> = self
+            .alive
+            .iter()
+            .flat_map(|c| grid_b.objects_in(c).iter().copied())
+            .map(|id| (id, grid_b.position(id).expect("cell desync")))
+            .collect();
+        let mut rnn_b = Vec::new();
+        for (ob, pos) in bs {
+            if !self.alive.contains(grid_b.cell_of_point(pos)) {
+                // Killed by a blocker found earlier in this pass: some
+                // monitored A-object is provably closer to it than q.
+                continue;
+            }
+            if self.granularity == PruneGranularity::Exact {
+                // Object-level prefilter: a B-object strictly closer to a
+                // monitored A-object than to q is provably blocked, and
+                // its blocker is already monitored — no NN search needed.
+                // (Cell-granular alive regions keep whole straddling
+                // cells; without this, every B-object in them pays a full
+                // NN search per tick.)
+                let d_q = pos.dist_sq(self.q);
+                if self.nn_a.iter().any(|&(ap, _)| pos.dist_sq(ap) < d_q) {
+                    continue;
+                }
+            }
+            ops.verifications += 1;
+            let nearest_a = nearest(grid_a, pos, self.q_id, ops);
+            let d_q = pos.dist_sq(self.q);
+            match nearest_a {
+                // No other A-object at all: q is trivially nearest.
+                None => rnn_b.push(ob),
+                // Ties favor the query (the blocking condition is strict).
+                Some(na) if d_q <= na.dist_sq => rnn_b.push(ob),
+                Some(na) => {
+                    // Blocked: monitor the blocker and shrink the region
+                    // (Algorithm 3 lines 13–15).
+                    if !self.nn_a.iter().any(|&(_, c)| c == na.id) {
+                        self.nn_a.push((na.pos, na.id));
+                        kill_cells_beyond_bisector(grid_b, &mut self.alive, self.q, na.pos);
+                        let grown = self.nn_a.len();
+                        clean_dominated(&mut self.nn_a, self.q);
+                        if self.nn_a.len() < grown {
+                            self.stale = true;
+                        }
+                    }
+                }
+            }
+        }
+        rnn_b.sort_unstable();
+        self.rnn_b = rnn_b;
+    }
+
+    /// The current verified answer (B-object ids), sorted.
+    #[inline]
+    pub fn rnn(&self) -> &[ObjectId] {
+        &self.rnn_b
+    }
+
+    /// The monitored A-objects.
+    pub fn monitored(&self) -> Vec<ObjectId> {
+        self.nn_a.iter().map(|&(_, id)| id).collect()
+    }
+
+    /// Number of monitored A-objects (the Figure 9b metric).
+    #[inline]
+    pub fn num_monitored(&self) -> usize {
+        self.nn_a.len()
+    }
+
+    /// The alive region.
+    #[inline]
+    pub fn alive_cells(&self) -> &CellSet {
+        &self.alive
+    }
+}
+
+/// Cost class a tighten search is charged to (see §6).
+#[derive(Clone, Copy)]
+enum SearchClass {
+    Constrained,
+    Bounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use igern_geom::Aabb;
+
+    fn grids(a: &[(f64, f64)], b: &[(f64, f64)]) -> (Grid, Grid) {
+        let space = Aabb::from_coords(0.0, 0.0, 10.0, 10.0);
+        let mut ga = Grid::new(space, 8);
+        let mut gb = Grid::new(space, 8);
+        for (i, &(x, y)) in a.iter().enumerate() {
+            ga.insert(ObjectId(i as u32), Point::new(x, y));
+        }
+        for (i, &(x, y)) in b.iter().enumerate() {
+            gb.insert(ObjectId(1000 + i as u32), Point::new(x, y));
+        }
+        (ga, gb)
+    }
+
+    fn oracle(ga: &Grid, gb: &Grid, q: Point, q_id: Option<ObjectId>) -> Vec<ObjectId> {
+        let a: Vec<(ObjectId, Point)> = ga.iter().collect();
+        let b: Vec<(ObjectId, Point)> = gb.iter().collect();
+        naive::bi_rnn(&a, &b, q, q_id)
+    }
+
+    #[test]
+    fn basic_split() {
+        // One competing A at (8,5); B objects on either side of the
+        // bisector x = 6.5 (for q at (5,5)).
+        let (ga, gb) = grids(&[(8.0, 5.0)], &[(5.5, 5.0), (7.5, 5.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let m = BiIgern::initial(&ga, &gb, q, None, &mut ops);
+        assert_eq!(m.rnn(), oracle(&ga, &gb, q, None).as_slice());
+        assert_eq!(m.rnn(), &[ObjectId(1000)]);
+    }
+
+    #[test]
+    fn no_a_objects_means_every_b_is_an_answer() {
+        let (ga, gb) = grids(&[], &[(1.0, 1.0), (9.0, 9.0), (5.0, 2.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let m = BiIgern::initial(&ga, &gb, q, None, &mut ops);
+        assert_eq!(m.rnn().len(), 3);
+        assert_eq!(m.num_monitored(), 0);
+    }
+
+    #[test]
+    fn answer_can_exceed_six() {
+        // A single far-away competitor; a dense cluster of B around q.
+        let bs: Vec<(f64, f64)> = (0..10)
+            .map(|i| (4.0 + 0.2 * i as f64, 5.0 + 0.1 * i as f64))
+            .collect();
+        let (ga, gb) = grids(&[(9.9, 9.9)], &bs);
+        let q = Point::new(4.8, 5.3);
+        let mut ops = OpCounters::new();
+        let m = BiIgern::initial(&ga, &gb, q, None, &mut ops);
+        assert_eq!(m.rnn(), oracle(&ga, &gb, q, None).as_slice());
+        assert!(m.rnn().len() > 6, "got only {} answers", m.rnn().len());
+    }
+
+    #[test]
+    fn no_b_objects_means_empty_answer() {
+        let (ga, gb) = grids(&[(2.0, 2.0), (8.0, 8.0)], &[]);
+        let mut ops = OpCounters::new();
+        let m = BiIgern::initial(&ga, &gb, Point::new(5.0, 5.0), None, &mut ops);
+        assert!(m.rnn().is_empty());
+    }
+
+    #[test]
+    fn initial_matches_oracle_on_pseudorandom_data() {
+        let mut state = 31u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        for round in 0..25 {
+            let a: Vec<(f64, f64)> = (0..30).map(|_| (rnd(), rnd())).collect();
+            let b: Vec<(f64, f64)> = (0..50).map(|_| (rnd(), rnd())).collect();
+            let (ga, gb) = grids(&a, &b);
+            let q = Point::new(rnd(), rnd());
+            let mut ops = OpCounters::new();
+            let m = BiIgern::initial(&ga, &gb, q, None, &mut ops);
+            assert_eq!(
+                m.rnn(),
+                oracle(&ga, &gb, q, None).as_slice(),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_record_in_a_grid_is_excluded() {
+        let (mut ga, gb) = grids(&[(8.0, 5.0)], &[(5.5, 5.0)]);
+        ga.insert(ObjectId(99), Point::new(5.0, 5.0)); // the query itself
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let m = BiIgern::initial(&ga, &gb, q, Some(ObjectId(99)), &mut ops);
+        assert_eq!(m.rnn(), oracle(&ga, &gb, q, Some(ObjectId(99))).as_slice());
+        assert_eq!(m.rnn(), &[ObjectId(1000)]);
+    }
+
+    #[test]
+    fn incremental_follows_paper_figure_3c() {
+        // Monitored A-objects move; a previously answering B-object gets a
+        // new nearest A and drops out.
+        let (mut ga, gb) = grids(&[(8.0, 5.0)], &[(5.5, 5.0), (7.0, 5.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = BiIgern::initial(&ga, &gb, q, None, &mut ops);
+        // Initially both B at 5.5 and 7.0 vs A at 8.0: bisector x=6.5 →
+        // only the first is an RNN? 7.0 is closer to 8.0 (1.0) than to q
+        // (2.0) → blocked.
+        assert_eq!(m.rnn(), &[ObjectId(1000)]);
+        // The A-object swings between the query and the answering B.
+        ga.update(ObjectId(0), Point::new(5.4, 5.0));
+        m.incremental(&ga, &gb, q, &mut ops);
+        assert_eq!(m.rnn(), oracle(&ga, &gb, q, None).as_slice());
+        assert!(m.rnn().is_empty(), "B at 5.5 is now blocked by A at 5.4");
+    }
+
+    #[test]
+    fn long_random_run_matches_oracle_every_tick() {
+        let mut state = 777u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let a: Vec<(f64, f64)> = (0..25).map(|_| (rnd() * 10.0, rnd() * 10.0)).collect();
+        let b: Vec<(f64, f64)> = (0..40).map(|_| (rnd() * 10.0, rnd() * 10.0)).collect();
+        let (mut ga, mut gb) = grids(&a, &b);
+        let mut q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = BiIgern::initial(&ga, &gb, q, None, &mut ops);
+        for tick in 0..40 {
+            for i in 0..25u32 {
+                if rnd() < 0.3 {
+                    let p = ga.position(ObjectId(i)).unwrap();
+                    ga.update(
+                        ObjectId(i),
+                        Point::new(
+                            (p.x + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                            (p.y + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                        ),
+                    );
+                }
+            }
+            for i in 0..40u32 {
+                if rnd() < 0.3 {
+                    let id = ObjectId(1000 + i);
+                    let p = gb.position(id).unwrap();
+                    gb.update(
+                        id,
+                        Point::new(
+                            (p.x + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                            (p.y + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                        ),
+                    );
+                }
+            }
+            q = Point::new(
+                (q.x + (rnd() - 0.5)).clamp(0.0, 10.0),
+                (q.y + (rnd() - 0.5)).clamp(0.0, 10.0),
+            );
+            m.incremental(&ga, &gb, q, &mut ops);
+            assert_eq!(m.rnn(), oracle(&ga, &gb, q, None).as_slice(), "tick {tick}");
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Continuous bichromatic **reverse k-nearest neighbors**: a B-object is
+//! an answer iff the query is among its `k` nearest A-objects (fewer than
+//! `k` A-objects strictly closer).
+//!
+//! Same structure as the order-1 monitor, with order-`k` dominance, the
+//! order-`k` alive region (a cell dies only when ≥ `k` A-bisectors fully
+//! exclude it), and a capped blocker count for verification. Unlike the
+//! order-1 monitor, Phase II does not grow the monitored set from
+//! blockers: a blocked B-object stays inside the alive region and is
+//! simply re-verified each tick, which keeps the monitored set at the
+//! Phase-I `≤ 6k` bound.
+
+use igern_geom::Point;
+use igern_grid::{
+    count_closer_than, nearest, nearest_in_cells, CellSet, Grid, ObjectId, OpCounters,
+};
+
+use crate::prune::{clean_dominated_k, recompute_alive_k};
+
+/// Continuous bichromatic RkNN query state.
+#[derive(Debug, Clone)]
+pub struct BiIgernK {
+    k: usize,
+    q_id: Option<ObjectId>,
+    q: Point,
+    alive: CellSet,
+    nn_a: Vec<(Point, ObjectId)>,
+    rnn_b: Vec<ObjectId>,
+    stale: bool,
+}
+
+impl BiIgernK {
+    /// Initial step.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or the grids disagree on cell geometry.
+    pub fn initial(
+        grid_a: &Grid,
+        grid_b: &Grid,
+        q: Point,
+        q_id: Option<ObjectId>,
+        k: usize,
+        ops: &mut OpCounters,
+    ) -> Self {
+        assert!(k >= 1, "k must be positive");
+        assert_eq!(
+            grid_a.num_cells(),
+            grid_b.num_cells(),
+            "A- and B-grids must share cell geometry"
+        );
+        let mut state = BiIgernK {
+            k,
+            q_id,
+            q,
+            alive: CellSet::full(grid_b.num_cells()),
+            nn_a: Vec::new(),
+            rnn_b: Vec::new(),
+            stale: false,
+        };
+        state.tighten(grid_a, grid_b, ops, true);
+        state.verify(grid_a, grid_b, ops);
+        state
+    }
+
+    /// Incremental step, run every Δt.
+    pub fn incremental(&mut self, grid_a: &Grid, grid_b: &Grid, q: Point, ops: &mut OpCounters) {
+        let q_moved = q != self.q;
+        let mut a_moved = false;
+        self.nn_a
+            .retain_mut(|(pos, id)| match grid_a.position(*id) {
+                Some(p) => {
+                    if p != *pos {
+                        a_moved = true;
+                        *pos = p;
+                    }
+                    true
+                }
+                None => {
+                    a_moved = true;
+                    false
+                }
+            });
+        self.q = q;
+        if q_moved || a_moved || self.stale {
+            let sites: Vec<Point> = self.nn_a.iter().map(|&(p, _)| p).collect();
+            self.alive = recompute_alive_k(grid_b, q, &sites, self.k);
+            self.stale = false;
+        }
+        self.tighten(grid_a, grid_b, ops, false);
+        let grown = self.nn_a.len();
+        clean_dominated_k(&mut self.nn_a, q, self.k);
+        if self.nn_a.len() < grown {
+            self.stale = true;
+        }
+        self.verify(grid_a, grid_b, ops);
+    }
+
+    /// Phase-I loop at order `k` over the A-grid.
+    fn tighten(&mut self, grid_a: &Grid, grid_b: &Grid, ops: &mut OpCounters, initial: bool) {
+        loop {
+            if initial {
+                ops.nn_c += 1;
+            } else {
+                ops.nn_b += 1;
+            }
+            let q_id = self.q_id;
+            let q = self.q;
+            let k = self.k;
+            let nn_a = &self.nn_a;
+            let next = if nn_a.is_empty() {
+                nearest(grid_a, self.q, q_id, ops)
+            } else {
+                nearest_in_cells(
+                    grid_a,
+                    self.q,
+                    &self.alive,
+                    |id, pos| {
+                        if Some(id) == q_id || nn_a.iter().any(|&(_, c)| c == id) {
+                            return false;
+                        }
+                        let d_q = pos.dist_sq(q);
+                        let dominators = nn_a
+                            .iter()
+                            .filter(|&&(cp, _)| pos.dist_sq(cp) < d_q)
+                            .count();
+                        dominators < k
+                    },
+                    ops,
+                )
+            };
+            let Some(n) = next else { break };
+            self.nn_a.push((n.pos, n.id));
+            let sites: Vec<Point> = self.nn_a.iter().map(|&(p, _)| p).collect();
+            self.alive = recompute_alive_k(grid_b, self.q, &sites, self.k);
+        }
+    }
+
+    /// Phase-II verification at order `k`: for every B-object in the
+    /// alive cells, count A-objects strictly closer than the query (cap
+    /// `k`); fewer than `k` means it is an answer.
+    fn verify(&mut self, grid_a: &Grid, grid_b: &Grid, ops: &mut OpCounters) {
+        let mut rnn_b = Vec::new();
+        for c in self.alive.iter() {
+            for &ob in grid_b.objects_in(c) {
+                let pos = grid_b.position(ob).expect("cell desync");
+                let d_q = pos.dist_sq(self.q);
+                // Object-level prefilter mirroring the order-1 monitor:
+                // ≥ k monitored A-objects strictly closer settles it.
+                let monitored_blockers = self
+                    .nn_a
+                    .iter()
+                    .filter(|&&(ap, _)| pos.dist_sq(ap) < d_q)
+                    .count();
+                if monitored_blockers >= self.k {
+                    continue;
+                }
+                ops.verifications += 1;
+                let exclude = match self.q_id {
+                    Some(qid) => vec![qid],
+                    None => Vec::new(),
+                };
+                if count_closer_than(grid_a, pos, d_q, self.k, &exclude, ops) < self.k {
+                    rnn_b.push(ob);
+                }
+            }
+        }
+        rnn_b.sort_unstable();
+        self.rnn_b = rnn_b;
+    }
+
+    /// The current verified answer (B-object ids), sorted.
+    #[inline]
+    pub fn rnn(&self) -> &[ObjectId] {
+        &self.rnn_b
+    }
+
+    /// The query order `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of monitored A-objects.
+    #[inline]
+    pub fn num_monitored(&self) -> usize {
+        self.nn_a.len()
+    }
+
+    /// The alive region.
+    #[inline]
+    pub fn alive_cells(&self) -> &CellSet {
+        &self.alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use igern_geom::Aabb;
+
+    fn grids(a: &[(f64, f64)], b: &[(f64, f64)]) -> (Grid, Grid) {
+        let space = Aabb::from_coords(0.0, 0.0, 10.0, 10.0);
+        let mut ga = Grid::new(space, 8);
+        let mut gb = Grid::new(space, 8);
+        for (i, &(x, y)) in a.iter().enumerate() {
+            ga.insert(ObjectId(i as u32), Point::new(x, y));
+        }
+        for (i, &(x, y)) in b.iter().enumerate() {
+            gb.insert(ObjectId(1000 + i as u32), Point::new(x, y));
+        }
+        (ga, gb)
+    }
+
+    fn oracle(ga: &Grid, gb: &Grid, q: Point, k: usize) -> Vec<ObjectId> {
+        let a: Vec<(ObjectId, Point)> = ga.iter().collect();
+        let b: Vec<(ObjectId, Point)> = gb.iter().collect();
+        naive::bi_rknn(&a, &b, q, None, k)
+    }
+
+    #[test]
+    fn k1_matches_the_plain_monitor() {
+        let (ga, gb) = grids(
+            &[(8.0, 5.0), (2.0, 2.0), (5.0, 9.0)],
+            &[(5.5, 5.0), (7.5, 5.0), (1.0, 1.0), (5.0, 8.0)],
+        );
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mk = BiIgernK::initial(&ga, &gb, q, None, 1, &mut ops);
+        let m1 = crate::BiIgern::initial(&ga, &gb, q, None, &mut ops);
+        assert_eq!(mk.rnn(), m1.rnn());
+    }
+
+    #[test]
+    fn higher_k_admits_blocked_objects() {
+        // One competing A at (8,5); B at (7.5,5) is blocked for k=1 but
+        // admitted for k=2 (only one closer A).
+        let (ga, gb) = grids(&[(8.0, 5.0)], &[(5.5, 5.0), (7.5, 5.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let m1 = BiIgernK::initial(&ga, &gb, q, None, 1, &mut ops);
+        assert_eq!(m1.rnn().len(), 1);
+        let m2 = BiIgernK::initial(&ga, &gb, q, None, 2, &mut ops);
+        assert_eq!(m2.rnn().len(), 2);
+    }
+
+    #[test]
+    fn initial_matches_oracle_for_various_k() {
+        let mut state = 83u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        for round in 0..12 {
+            let a: Vec<(f64, f64)> = (0..20).map(|_| (rnd(), rnd())).collect();
+            let b: Vec<(f64, f64)> = (0..35).map(|_| (rnd(), rnd())).collect();
+            let (ga, gb) = grids(&a, &b);
+            let q = Point::new(rnd(), rnd());
+            let mut ops = OpCounters::new();
+            for k in [1usize, 2, 4] {
+                let m = BiIgernK::initial(&ga, &gb, q, None, k, &mut ops);
+                assert_eq!(
+                    m.rnn(),
+                    oracle(&ga, &gb, q, k).as_slice(),
+                    "round {round} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oracle_under_movement() {
+        let mut state = 97u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let a: Vec<(f64, f64)> = (0..15).map(|_| (rnd() * 10.0, rnd() * 10.0)).collect();
+        let b: Vec<(f64, f64)> = (0..25).map(|_| (rnd() * 10.0, rnd() * 10.0)).collect();
+        let (mut ga, mut gb) = grids(&a, &b);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = BiIgernK::initial(&ga, &gb, q, None, 2, &mut ops);
+        for tick in 0..25 {
+            for i in 0..15u32 {
+                if rnd() < 0.3 {
+                    let p = ga.position(ObjectId(i)).unwrap();
+                    ga.update(
+                        ObjectId(i),
+                        Point::new(
+                            (p.x + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                            (p.y + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                        ),
+                    );
+                }
+            }
+            for i in 0..25u32 {
+                if rnd() < 0.3 {
+                    let id = ObjectId(1000 + i);
+                    let p = gb.position(id).unwrap();
+                    gb.update(
+                        id,
+                        Point::new(
+                            (p.x + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                            (p.y + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                        ),
+                    );
+                }
+            }
+            m.incremental(&ga, &gb, q, &mut ops);
+            assert_eq!(m.rnn(), oracle(&ga, &gb, q, 2).as_slice(), "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn no_a_objects_admits_every_b() {
+        let (ga, gb) = grids(&[], &[(1.0, 1.0), (9.0, 9.0)]);
+        let mut ops = OpCounters::new();
+        let m = BiIgernK::initial(&ga, &gb, Point::new(5.0, 5.0), None, 3, &mut ops);
+        assert_eq!(m.rnn().len(), 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! Continuous bichromatic reverse-nearest-neighbor evaluation
+//! (paper §4: Algorithms 3 and 4) — the first continuous algorithm for
+//! the bichromatic case.
+
+mod igern;
+mod krnn;
+
+pub use igern::BiIgern;
+pub use krnn::BiIgernK;

@@ -1,0 +1,184 @@
+//! The analytical cost model of Section 6, verbatim.
+//!
+//! All five cost functions are expressed over the same primitives: the
+//! unit costs of an unconstrained (`NN`), constrained (`NN_c`), and
+//! bounded (`NN_b`) nearest-neighbor search, plus the per-tick series
+//! `r_t` (monochromatic candidates), `a_t` (monitored A-objects), and
+//! `b_t` (B-objects in the monitored region). Feeding measured unit costs
+//! and measured series into these formulas reproduces the paper's
+//! analytical comparison (experiment E6); the inequalities the paper
+//! argues (`IGERN ≤ CRNN` for `r_t ≤ 6`, etc.) are asserted in the tests.
+
+/// Unit costs of the three search classes (arbitrary but consistent
+/// units — e.g. visited objects, or microseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct UnitCosts {
+    /// Unconstrained NN (`NN`).
+    pub nn: f64,
+    /// Constrained NN (`NN_c`).
+    pub nn_c: f64,
+    /// Bounded NN (`NN_b`).
+    pub nn_b: f64,
+}
+
+impl UnitCosts {
+    /// A typical relation: bounded search is cheapest, constrained next,
+    /// unconstrained most expensive over dense data.
+    pub fn typical() -> Self {
+        UnitCosts {
+            nn: 1.0,
+            nn_c: 0.8,
+            nn_b: 0.3,
+        }
+    }
+}
+
+/// Monochromatic IGERN:
+/// `mi(q) = r₀·(NN_c + NN) + Σ_{t=1..T} (NN_b + r_t·NN)`.
+///
+/// `r[t]` is the candidate count at tick `t` (`r[0]` at the initial step);
+/// the query runs for `r.len() - 1` incremental ticks.
+pub fn igern_mono_cost(u: &UnitCosts, r: &[f64]) -> f64 {
+    assert!(!r.is_empty(), "need at least the initial tick");
+    let init = r[0] * (u.nn_c + u.nn);
+    let incr: f64 = r[1..].iter().map(|&rt| u.nn_b + rt * u.nn).sum();
+    init + incr
+}
+
+/// CRNN: `C(q) = 6·(NN_c + NN) + Σ_{t=1..T} 6·(NN_b + NN)`.
+pub fn crnn_cost(u: &UnitCosts, ticks: usize) -> f64 {
+    assert!(ticks >= 1, "need at least the initial tick");
+    6.0 * (u.nn_c + u.nn) + (ticks as f64 - 1.0) * 6.0 * (u.nn_b + u.nn)
+}
+
+/// Repetitive TPL: `L(q) = Σ_{t=0..T} r_t·(NN_c + NN)`.
+pub fn tpl_cost(u: &UnitCosts, r: &[f64]) -> f64 {
+    r.iter().map(|&rt| rt * (u.nn_c + u.nn)).sum()
+}
+
+/// Bichromatic IGERN:
+/// `bi(q) = a₀·NN_c + b₀·NN + Σ_{t=1..T} (NN_b + b_t·NN)`.
+///
+/// `a[t]` / `b[t]` are the monitored-A and in-region-B counts per tick.
+pub fn igern_bi_cost(u: &UnitCosts, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must align");
+    assert!(!a.is_empty(), "need at least the initial tick");
+    let init = a[0] * u.nn_c + b[0] * u.nn;
+    let incr: f64 = b[1..].iter().map(|&bt| u.nn_b + bt * u.nn).sum();
+    init + incr
+}
+
+/// Repetitive Voronoi: `V(q) = Σ_{t=0..T} (a_t·NN_c + b_t·NN)`.
+pub fn voronoi_cost(u: &UnitCosts, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must align");
+    a.iter()
+        .zip(b)
+        .map(|(&at, &bt)| at * u.nn_c + bt * u.nn)
+        .sum()
+}
+
+/// The paper's headline ratio `mi(q)/C(q)` (IGERN over CRNN).
+pub fn mono_ratio_vs_crnn(u: &UnitCosts, r: &[f64]) -> f64 {
+    igern_mono_cost(u, r) / crnn_cost(u, r.len())
+}
+
+/// The ratio `mi(q)/L(q)` (IGERN over repetitive TPL).
+pub fn mono_ratio_vs_tpl(u: &UnitCosts, r: &[f64]) -> f64 {
+    igern_mono_cost(u, r) / tpl_cost(u, r)
+}
+
+/// The ratio `bi(q)/V(q)` (bichromatic IGERN over repetitive Voronoi).
+pub fn bi_ratio_vs_voronoi(u: &UnitCosts, a: &[f64], b: &[f64]) -> f64 {
+    igern_bi_cost(u, a, b) / voronoi_cost(u, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tick_ratio_is_r_over_six() {
+        // "for any single time instance T, the ratio is r/6 if T = 0".
+        let u = UnitCosts::typical();
+        let r = vec![3.0];
+        let ratio = mono_ratio_vs_crnn(&u, &r);
+        assert!((ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igern_beats_crnn_when_r_below_six() {
+        // "Since r_t ≤ 6, IGERN always achieves better performance than
+        // CRNN" — for every tick count and any unit costs with the usual
+        // ordering.
+        let u = UnitCosts::typical();
+        for ticks in 1..50 {
+            let r = vec![3.5; ticks];
+            assert!(
+                igern_mono_cost(&u, &r) <= crnn_cost(&u, ticks) + 1e-9,
+                "ticks = {ticks}"
+            );
+        }
+    }
+
+    #[test]
+    fn igern_equals_tpl_at_first_tick() {
+        // "the ratio is one if T = 0": both do r₀ constrained + r₀... the
+        // paper's initial IGERN cost is r₀(NN_c + NN), same as TPL's t=0
+        // term.
+        let u = UnitCosts::typical();
+        let r = vec![4.0];
+        assert!((mono_ratio_vs_tpl(&u, &r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igern_beats_tpl_over_time() {
+        // The bounded incremental search replaces r_t constrained searches.
+        let u = UnitCosts::typical();
+        let r = vec![4.0; 20];
+        assert!(igern_mono_cost(&u, &r) < tpl_cost(&u, &r));
+        // And the gap grows with the horizon.
+        let r_long = vec![4.0; 100];
+        let gap_short = tpl_cost(&u, &r) - igern_mono_cost(&u, &r);
+        let gap_long = tpl_cost(&u, &r_long) - igern_mono_cost(&u, &r_long);
+        assert!(gap_long > gap_short);
+    }
+
+    #[test]
+    fn bi_ratio_is_one_at_first_tick() {
+        let u = UnitCosts::typical();
+        let a = vec![5.0];
+        let b = vec![7.0];
+        assert!((bi_ratio_vs_voronoi(&u, &a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bi_igern_beats_voronoi_over_time() {
+        // Incremental: one bounded search replaces a_t constrained ones.
+        let u = UnitCosts::typical();
+        let a = vec![5.0; 30];
+        let b = vec![7.0; 30];
+        assert!(igern_bi_cost(&u, &a, &b) < voronoi_cost(&u, &a, &b));
+        assert!(bi_ratio_vs_voronoi(&u, &a, &b) < 1.0);
+    }
+
+    #[test]
+    fn accumulated_savings_grow_linearly() {
+        // Figures 8b / 10b: the accumulated-time gap widens with the
+        // number of time slots.
+        let u = UnitCosts::typical();
+        let mut prev_gap = 0.0;
+        for ticks in [10usize, 20, 40, 80] {
+            let r = vec![3.0; ticks];
+            let gap = crnn_cost(&u, ticks) - igern_mono_cost(&u, &r);
+            assert!(gap > prev_gap, "gap must grow with horizon");
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "series must align")]
+    fn misaligned_series_rejected() {
+        let u = UnitCosts::typical();
+        voronoi_cost(&u, &[1.0], &[1.0, 2.0]);
+    }
+}

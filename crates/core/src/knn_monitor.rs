@@ -1,0 +1,221 @@
+//! Continuous k-nearest-neighbor monitoring.
+//!
+//! The paper's shared NN substrate is the conceptual-partitioning monitor
+//! of Mouratidis et al. (SIGMOD'05, its reference \[17\]); this module
+//! provides the continuous form of that facility so the processor can
+//! host plain k-NN subscriptions next to the RNN monitors (the paper
+//! positions IGERN among exactly such continuous query processors —
+//! SINA, SEA-CNN, CPM).
+//!
+//! The monitor keeps the answer plus a **guard circle** of radius equal
+//! to the k-th neighbor distance. Per tick it re-evaluates only when the
+//! answer can actually have changed: the query moved, a current neighbor
+//! moved, or some object now lies inside the guard circle that is not in
+//! the answer. Otherwise the tick costs one bounded emptiness probe.
+
+use igern_geom::Point;
+use igern_grid::{exists_closer_than, k_nearest, Grid, Neighbor, ObjectId, OpCounters};
+
+/// Continuous k-NN query state.
+#[derive(Debug, Clone)]
+pub struct KnnMonitor {
+    k: usize,
+    q_id: Option<ObjectId>,
+    q: Point,
+    /// Current answer, ascending by distance.
+    answer: Vec<Neighbor>,
+}
+
+impl KnnMonitor {
+    /// Initial evaluation.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn initial(
+        grid: &Grid,
+        q: Point,
+        q_id: Option<ObjectId>,
+        k: usize,
+        ops: &mut OpCounters,
+    ) -> Self {
+        assert!(k >= 1, "k must be positive");
+        ops.nn += 1;
+        let answer = k_nearest(grid, q, k, q_id, ops);
+        KnnMonitor { k, q_id, q, answer }
+    }
+
+    /// Per-tick maintenance with the query's current position.
+    pub fn incremental(&mut self, grid: &Grid, q: Point, ops: &mut OpCounters) {
+        let q_moved = q != self.q;
+        // Did a current neighbor move (or vanish)?
+        let mut neighbor_moved = false;
+        for n in &self.answer {
+            match grid.position(n.id) {
+                Some(p) if p == n.pos => {}
+                _ => {
+                    neighbor_moved = true;
+                    break;
+                }
+            }
+        }
+        // Underfull answers (population < k) must watch for new arrivals.
+        let underfull = self.answer.len() < self.k && grid.len() > self.answer.len();
+        let mut dirty = q_moved || neighbor_moved || underfull;
+        if !dirty {
+            // Guard-circle probe: anything new strictly inside the k-th
+            // distance invalidates the answer (the bounded check of
+            // SEA-CNN). Exclude the current answer and the query itself.
+            let radius_sq = self.answer.last().map(|n| n.dist_sq).unwrap_or(0.0);
+            if radius_sq > 0.0 {
+                let mut exclude: Vec<ObjectId> = self.answer.iter().map(|n| n.id).collect();
+                if let Some(qid) = self.q_id {
+                    exclude.push(qid);
+                }
+                ops.nn_b += 1;
+                dirty = exists_closer_than(grid, q, radius_sq, &exclude, ops);
+            }
+        }
+        self.q = q;
+        if dirty {
+            ops.nn += 1;
+            self.answer = k_nearest(grid, q, self.k, self.q_id, ops);
+        }
+    }
+
+    /// The current answer, ascending by distance.
+    pub fn answer(&self) -> &[Neighbor] {
+        &self.answer
+    }
+
+    /// Answer object ids, ascending by distance.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.answer.iter().map(|n| n.id).collect()
+    }
+
+    /// The query order `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igern_geom::Aabb;
+
+    fn grid_with(points: &[(f64, f64)]) -> Grid {
+        let mut g = Grid::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 8);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            g.insert(ObjectId(i as u32), Point::new(x, y));
+        }
+        g
+    }
+
+    fn oracle(g: &Grid, q: Point, q_id: Option<ObjectId>, k: usize) -> Vec<f64> {
+        let mut d: Vec<f64> = g
+            .iter()
+            .filter(|&(id, _)| Some(id) != q_id)
+            .map(|(_, p)| q.dist_sq(p))
+            .collect();
+        d.sort_by(f64::total_cmp);
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn initial_is_exact() {
+        let g = grid_with(&[(1.0, 1.0), (2.0, 2.0), (9.0, 9.0), (5.0, 4.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let m = KnnMonitor::initial(&g, q, None, 2, &mut ops);
+        let got: Vec<f64> = m.answer().iter().map(|n| n.dist_sq).collect();
+        assert_eq!(got, oracle(&g, q, None, 2));
+    }
+
+    #[test]
+    fn long_random_run_matches_oracle() {
+        let mut state = 71u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pts: Vec<(f64, f64)> = (0..50).map(|_| (rnd() * 10.0, rnd() * 10.0)).collect();
+        let mut g = grid_with(&pts);
+        let mut q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = KnnMonitor::initial(&g, q, None, 5, &mut ops);
+        for tick in 0..40 {
+            for i in 0..50u32 {
+                if rnd() < 0.25 {
+                    let p = g.position(ObjectId(i)).unwrap();
+                    g.update(
+                        ObjectId(i),
+                        Point::new(
+                            (p.x + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                            (p.y + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                        ),
+                    );
+                }
+            }
+            q = Point::new(
+                (q.x + (rnd() - 0.5)).clamp(0.0, 10.0),
+                (q.y + (rnd() - 0.5)).clamp(0.0, 10.0),
+            );
+            m.incremental(&g, q, &mut ops);
+            let got: Vec<f64> = m.answer().iter().map(|n| n.dist_sq).collect();
+            assert_eq!(got, oracle(&g, q, None, 5), "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn quiescent_ticks_are_single_probes() {
+        let g = grid_with(&[(4.0, 5.0), (6.0, 5.0), (5.0, 7.0), (1.0, 1.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = KnnMonitor::initial(&g, q, None, 2, &mut ops);
+        let before = m.ids();
+        ops.reset();
+        for _ in 0..5 {
+            m.incremental(&g, q, &mut ops);
+        }
+        assert_eq!(m.ids(), before);
+        assert_eq!(ops.nn, 0, "quiescent ticks must not re-evaluate");
+        assert_eq!(ops.nn_b, 5, "one guard probe per tick");
+    }
+
+    #[test]
+    fn intruder_inside_guard_circle_is_caught() {
+        let mut g = grid_with(&[(4.0, 5.0), (7.0, 5.0), (1.0, 1.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = KnnMonitor::initial(&g, q, None, 2, &mut ops);
+        assert_eq!(m.ids(), vec![ObjectId(0), ObjectId(1)]);
+        // A far object dives inside the k-th distance; it is now the
+        // closest, so it leads the distance-ordered answer.
+        g.update(ObjectId(2), Point::new(5.5, 5.0));
+        m.incremental(&g, q, &mut ops);
+        assert_eq!(m.ids(), vec![ObjectId(2), ObjectId(0)]);
+    }
+
+    #[test]
+    fn underfull_population_grows_with_insertions() {
+        let mut g = grid_with(&[(4.0, 5.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = KnnMonitor::initial(&g, q, None, 3, &mut ops);
+        assert_eq!(m.answer().len(), 1);
+        g.insert(ObjectId(10), Point::new(6.0, 5.0));
+        g.insert(ObjectId(11), Point::new(9.0, 9.0));
+        m.incremental(&g, q, &mut ops);
+        assert_eq!(m.answer().len(), 3);
+    }
+
+    #[test]
+    fn query_object_excluded() {
+        let mut g = grid_with(&[(4.0, 5.0)]);
+        g.insert(ObjectId(9), Point::new(5.0, 5.0));
+        let mut ops = OpCounters::new();
+        let m = KnnMonitor::initial(&g, Point::new(5.0, 5.0), Some(ObjectId(9)), 1, &mut ops);
+        assert_eq!(m.ids(), vec![ObjectId(0)]);
+    }
+}

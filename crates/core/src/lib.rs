@@ -1,0 +1,82 @@
+//! IGERN — *Incremental and General Evaluation of continuous Reverse
+//! Nearest neighbor queries* (Kang, Mokbel, Shekhar, Xia, Zhang;
+//! ICDE 2007) — and the baselines it is evaluated against.
+//!
+//! # The algorithms
+//!
+//! * [`mono::MonoIgern`] — continuous monochromatic RNN (Algorithms 1–2):
+//!   one bounded *alive region* plus a small candidate set `RNNcand` is
+//!   monitored instead of the whole space.
+//! * [`bi::BiIgern`] — continuous bichromatic RNN (Algorithms 3–4), the
+//!   first continuous algorithm for that case: the monitored set `NN_A`
+//!   bounds a region outside which no B-object can be an answer.
+//! * [`baselines::Crnn`] — the six-pie continuous monochromatic monitor of
+//!   Xia & Zhang (ICDE'06), the state of the art the paper compares to.
+//! * [`baselines::tpl_snapshot`] — the snapshot TPL algorithm of Tao et
+//!   al. (VLDB'04), re-evaluated from scratch every timestamp.
+//! * [`baselines::voronoi_snapshot`] — repetitive construction of the
+//!   query's Voronoi cell, the bichromatic comparison point.
+//! * [`naive`] — O(n·m) brute-force oracles used to verify all of the
+//!   above in tests.
+//!
+//! # Infrastructure
+//!
+//! * [`store::SpatialStore`] — the shared grid index over the update
+//!   stream (one grid for monochromatic data, twin grids for the two
+//!   bichromatic types).
+//! * [`processor`] — a continuous query processor running many queries of
+//!   mixed algorithms over one stream, collecting per-tick metrics.
+//! * [`costmodel`] — the analytical cost model of Section 6.
+//! * [`metrics`] — per-tick samples and experiment aggregation.
+//! * [`knn_monitor`] / [`range_monitor`] — companion continuous k-NN and
+//!   range facilities (the other standing-query types of the processors
+//!   the paper situates itself among).
+//! * [`mono::MonoIgernK`] / [`bi::BiIgernK`] — the reverse k-NN
+//!   generalization (journal-version extension).
+//! * [`render`] — ASCII visualization of regions and occupancy.
+//!
+//! # Example
+//!
+//! ```
+//! use igern_core::MonoIgern;
+//! use igern_geom::{Aabb, Point};
+//! use igern_grid::{Grid, ObjectId, OpCounters};
+//!
+//! // Three objects on a 16×16 grid; monitor the RNNs of a query point.
+//! let mut grid = Grid::new(Aabb::from_coords(0.0, 0.0, 100.0, 100.0), 16);
+//! grid.insert(ObjectId(0), Point::new(40.0, 50.0));
+//! grid.insert(ObjectId(1), Point::new(65.0, 50.0));
+//! grid.insert(ObjectId(2), Point::new(10.0, 10.0));
+//!
+//! let mut ops = OpCounters::new();
+//! let q = Point::new(50.0, 50.0);
+//! let mut monitor = MonoIgern::initial(&grid, q, None, &mut ops);
+//! assert_eq!(monitor.rnn(), &[ObjectId(0), ObjectId(1)]);
+//!
+//! // Object 1 steps between the query and object 0: object 0 is now
+//! // closer to object 1 than to the query and drops out of the answer.
+//! grid.update(ObjectId(1), Point::new(45.0, 50.0));
+//! monitor.incremental(&grid, q, &mut ops);
+//! assert_eq!(monitor.rnn(), &[ObjectId(1)]);
+//! ```
+
+pub mod baselines;
+pub mod bi;
+pub mod costmodel;
+pub mod knn_monitor;
+pub mod metrics;
+pub mod mono;
+pub mod naive;
+pub mod processor;
+pub mod prune;
+pub mod range_monitor;
+pub mod render;
+pub mod store;
+pub mod types;
+
+pub use bi::{BiIgern, BiIgernK};
+pub use knn_monitor::KnnMonitor;
+pub use mono::{MonoIgern, MonoIgernK};
+pub use range_monitor::RangeMonitor;
+pub use store::SpatialStore;
+pub use types::ObjectKind;

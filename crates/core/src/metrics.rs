@@ -1,0 +1,153 @@
+//! Per-tick measurement samples and experiment aggregation.
+//!
+//! Every experiment of Section 7 reports one of: CPU time per tick,
+//! accumulated CPU time, average number of monitored objects, or grid
+//! cell changes. [`TickSample`] carries all of them for one query-tick;
+//! [`SeriesStats`] folds samples into the numbers the figures plot.
+
+use std::time::Duration;
+
+use igern_grid::OpCounters;
+
+/// Measurements for one execution (initial or incremental) of one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickSample {
+    /// Tick index (0 = the initial step).
+    pub tick: u64,
+    /// Wall-clock time spent in the algorithm.
+    pub elapsed: Duration,
+    /// Operation counts (machine-independent cost).
+    pub ops: OpCounters,
+    /// Objects monitored after this tick (|RNNcand| / |NN_A| / pie count).
+    pub monitored: usize,
+    /// Answer size after this tick.
+    pub answer_size: usize,
+    /// Area of the monitored region after this tick (0 for algorithms
+    /// without a persistent region).
+    pub region_area: f64,
+}
+
+/// Aggregate over many samples.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesStats {
+    samples: usize,
+    total_time: Duration,
+    total_ops: OpCounters,
+    total_monitored: u64,
+    total_answer: u64,
+    total_area: f64,
+}
+
+impl SeriesStats {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one sample in.
+    pub fn push(&mut self, s: &TickSample) {
+        self.samples += 1;
+        self.total_time += s.elapsed;
+        self.total_ops.merge(&s.ops);
+        self.total_monitored += s.monitored as u64;
+        self.total_answer += s.answer_size as u64;
+        self.total_area += s.region_area;
+    }
+
+    /// Number of samples folded.
+    pub fn len(&self) -> usize {
+        self.samples
+    }
+
+    /// Whether no samples were folded.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Total wall-clock time.
+    pub fn total_time(&self) -> Duration {
+        self.total_time
+    }
+
+    /// Mean wall-clock time per sample.
+    pub fn mean_time(&self) -> Duration {
+        if self.samples == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.samples as u32
+        }
+    }
+
+    /// Mean number of monitored objects.
+    pub fn mean_monitored(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_monitored as f64 / self.samples as f64
+        }
+    }
+
+    /// Mean answer size.
+    pub fn mean_answer(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_answer as f64 / self.samples as f64
+        }
+    }
+
+    /// Mean monitored-region area.
+    pub fn mean_area(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_area / self.samples as f64
+        }
+    }
+
+    /// Accumulated operation counts.
+    pub fn ops(&self) -> &OpCounters {
+        &self.total_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ms: u64, monitored: usize, answer: usize) -> TickSample {
+        TickSample {
+            tick: 0,
+            elapsed: Duration::from_millis(ms),
+            ops: OpCounters {
+                nn: 1,
+                ..Default::default()
+            },
+            monitored,
+            answer_size: answer,
+            region_area: 1.5,
+        }
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = SeriesStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_time(), Duration::ZERO);
+        assert_eq!(s.mean_monitored(), 0.0);
+    }
+
+    #[test]
+    fn aggregation() {
+        let mut s = SeriesStats::new();
+        s.push(&sample(10, 3, 2));
+        s.push(&sample(30, 5, 0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_time(), Duration::from_millis(40));
+        assert_eq!(s.mean_time(), Duration::from_millis(20));
+        assert_eq!(s.mean_monitored(), 4.0);
+        assert_eq!(s.mean_answer(), 1.0);
+        assert_eq!(s.mean_area(), 1.5);
+        assert_eq!(s.ops().nn, 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! Continuous monochromatic **reverse k-nearest neighbors** — the
+//! generalization the paper's journal version develops (an object `o` is
+//! an RkNN of `q` iff `q` is among `o`'s `k` nearest objects, i.e. fewer
+//! than `k` objects lie strictly closer to `o` than `q`).
+//!
+//! The framework generalizes component-wise:
+//!
+//! * **dominance** becomes order-`k`: an object is out of the running
+//!   only when ≥ `k` monitored candidates are strictly closer to it than
+//!   the query;
+//! * the **alive region** becomes the order-`k` region: a cell dies only
+//!   when ≥ `k` bisectors fully exclude it (a union of half-plane
+//!   intersections — no longer convex, so the redraw scans the grid
+//!   densely, see [`recompute_alive_k`]);
+//! * **verification** counts blockers with a capped range count instead
+//!   of an emptiness test;
+//! * the candidate bound becomes `6k` (at most `k` greedily-inserted
+//!   candidates survive per 60° pie, by the same lemma as `k = 1`).
+
+use igern_geom::Point;
+use igern_grid::{
+    count_closer_than, nearest, nearest_in_cells, CellSet, Grid, ObjectId, OpCounters,
+};
+
+use crate::prune::{clean_dominated_k, recompute_alive_k};
+
+/// Continuous monochromatic RkNN query state.
+#[derive(Debug, Clone)]
+pub struct MonoIgernK {
+    k: usize,
+    q_id: Option<ObjectId>,
+    q: Point,
+    alive: CellSet,
+    cand: Vec<(Point, ObjectId)>,
+    rnn: Vec<ObjectId>,
+    stale: bool,
+}
+
+impl MonoIgernK {
+    /// Initial step for a reverse k-NN query.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn initial(
+        grid: &Grid,
+        q: Point,
+        q_id: Option<ObjectId>,
+        k: usize,
+        ops: &mut OpCounters,
+    ) -> Self {
+        assert!(k >= 1, "k must be positive");
+        let mut state = MonoIgernK {
+            k,
+            q_id,
+            q,
+            alive: CellSet::full(grid.num_cells()),
+            cand: Vec::new(),
+            rnn: Vec::new(),
+            stale: false,
+        };
+        state.tighten(grid, ops, true);
+        state.rnn = state.verify(grid, ops);
+        state
+    }
+
+    /// Incremental step, run every Δt with the query's current position.
+    pub fn incremental(&mut self, grid: &Grid, q: Point, ops: &mut OpCounters) {
+        let q_moved = q != self.q;
+        let mut cand_moved = false;
+        self.cand.retain_mut(|(pos, id)| match grid.position(*id) {
+            Some(p) => {
+                if p != *pos {
+                    cand_moved = true;
+                    *pos = p;
+                }
+                true
+            }
+            None => {
+                cand_moved = true;
+                false
+            }
+        });
+        self.q = q;
+        if q_moved || cand_moved || self.stale {
+            let sites: Vec<Point> = self.cand.iter().map(|&(p, _)| p).collect();
+            self.alive = recompute_alive_k(grid, q, &sites, self.k);
+            self.stale = false;
+        }
+        self.tighten(grid, ops, false);
+        let grown = self.cand.len();
+        clean_dominated_k(&mut self.cand, q, self.k);
+        if self.cand.len() < grown {
+            self.stale = true;
+        }
+        self.rnn = self.verify(grid, ops);
+    }
+
+    /// Phase-I loop at order `k`: pull the nearest object of the alive
+    /// cells that has fewer than `k` candidate dominators, monitor it,
+    /// and re-kill cells excluded by ≥ `k` bisectors.
+    fn tighten(&mut self, grid: &Grid, ops: &mut OpCounters, initial: bool) {
+        loop {
+            if initial {
+                ops.nn_c += 1;
+            } else {
+                ops.nn_b += 1;
+            }
+            let q_id = self.q_id;
+            let q = self.q;
+            let k = self.k;
+            let cand = &self.cand;
+            let next = if cand.is_empty() {
+                nearest(grid, self.q, q_id, ops)
+            } else {
+                nearest_in_cells(
+                    grid,
+                    self.q,
+                    &self.alive,
+                    |id, pos| {
+                        if Some(id) == q_id || cand.iter().any(|&(_, c)| c == id) {
+                            return false;
+                        }
+                        let d_q = pos.dist_sq(q);
+                        let dominators = cand
+                            .iter()
+                            .filter(|&&(cp, _)| pos.dist_sq(cp) < d_q)
+                            .count();
+                        dominators < k
+                    },
+                    ops,
+                )
+            };
+            let Some(n) = next else { break };
+            self.cand.push((n.pos, n.id));
+            let sites: Vec<Point> = self.cand.iter().map(|&(p, _)| p).collect();
+            self.alive = recompute_alive_k(grid, self.q, &sites, self.k);
+        }
+    }
+
+    /// Verification at order `k`: a candidate is an answer iff fewer than
+    /// `k` other objects lie strictly closer to it than the query.
+    fn verify(&self, grid: &Grid, ops: &mut OpCounters) -> Vec<ObjectId> {
+        let mut rnn: Vec<ObjectId> = self
+            .cand
+            .iter()
+            .filter(|&&(pos, id)| {
+                ops.verifications += 1;
+                let exclude = match self.q_id {
+                    Some(qid) => vec![id, qid],
+                    None => vec![id],
+                };
+                count_closer_than(grid, pos, pos.dist_sq(self.q), self.k, &exclude, ops) < self.k
+            })
+            .map(|&(_, id)| id)
+            .collect();
+        rnn.sort_unstable();
+        rnn
+    }
+
+    /// The current verified answer, sorted by id.
+    #[inline]
+    pub fn rnn(&self) -> &[ObjectId] {
+        &self.rnn
+    }
+
+    /// The query order `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of monitored objects (≤ 6k under exact greedy insertion).
+    #[inline]
+    pub fn num_monitored(&self) -> usize {
+        self.cand.len()
+    }
+
+    /// The alive region.
+    #[inline]
+    pub fn alive_cells(&self) -> &CellSet {
+        &self.alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use igern_geom::Aabb;
+
+    fn grid_with(points: &[(f64, f64)]) -> Grid {
+        let mut g = Grid::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 8);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            g.insert(ObjectId(i as u32), Point::new(x, y));
+        }
+        g
+    }
+
+    fn oracle(g: &Grid, q: Point, q_id: Option<ObjectId>, k: usize) -> Vec<ObjectId> {
+        let objs: Vec<(ObjectId, Point)> = g.iter().collect();
+        naive::mono_rknn(&objs, q, q_id, k)
+    }
+
+    #[test]
+    fn k1_matches_the_plain_monitor() {
+        let mut state = 19u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        for _ in 0..10 {
+            let pts: Vec<(f64, f64)> = (0..50).map(|_| (rnd(), rnd())).collect();
+            let g = grid_with(&pts);
+            let q = Point::new(rnd(), rnd());
+            let mut ops = OpCounters::new();
+            let mk = MonoIgernK::initial(&g, q, None, 1, &mut ops);
+            let m1 = crate::MonoIgern::initial(&g, q, None, &mut ops);
+            assert_eq!(mk.rnn(), m1.rnn());
+        }
+    }
+
+    #[test]
+    fn initial_matches_oracle_for_various_k() {
+        let mut state = 29u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        for round in 0..12 {
+            let pts: Vec<(f64, f64)> = (0..60).map(|_| (rnd(), rnd())).collect();
+            let g = grid_with(&pts);
+            let q = Point::new(rnd(), rnd());
+            let mut ops = OpCounters::new();
+            for k in [1usize, 2, 3, 5] {
+                let m = MonoIgernK::initial(&g, q, None, k, &mut ops);
+                assert_eq!(
+                    m.rnn(),
+                    oracle(&g, q, None, k).as_slice(),
+                    "round {round} k {k}"
+                );
+                assert!(m.num_monitored() <= 6 * k, "6k candidate bound violated");
+            }
+        }
+    }
+
+    #[test]
+    fn answers_are_monotone_in_k() {
+        let g = grid_with(&[
+            (4.0, 5.0),
+            (4.5, 5.0),
+            (6.0, 5.0),
+            (5.0, 7.0),
+            (9.0, 9.0),
+            (1.0, 2.0),
+        ]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut prev: Vec<ObjectId> = Vec::new();
+        for k in 1..=4 {
+            let m = MonoIgernK::initial(&g, q, None, k, &mut ops);
+            for id in &prev {
+                assert!(m.rnn().contains(id), "k={k} lost an answer from k-1");
+            }
+            prev = m.rnn().to_vec();
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oracle_under_movement() {
+        let mut state = 59u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pts: Vec<(f64, f64)> = (0..40).map(|_| (rnd() * 10.0, rnd() * 10.0)).collect();
+        for k in [2usize, 3] {
+            let mut g = grid_with(&pts);
+            let mut q = Point::new(5.0, 5.0);
+            let mut ops = OpCounters::new();
+            let mut m = MonoIgernK::initial(&g, q, None, k, &mut ops);
+            for tick in 0..25 {
+                for i in 0..40u32 {
+                    if rnd() < 0.3 {
+                        let p = g.position(ObjectId(i)).unwrap();
+                        g.update(
+                            ObjectId(i),
+                            Point::new(
+                                (p.x + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                                (p.y + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                            ),
+                        );
+                    }
+                }
+                q = Point::new(
+                    (q.x + (rnd() - 0.5)).clamp(0.0, 10.0),
+                    (q.y + (rnd() - 0.5)).clamp(0.0, 10.0),
+                );
+                m.incremental(&g, q, &mut ops);
+                assert_eq!(
+                    m.rnn(),
+                    oracle(&g, q, None, k).as_slice(),
+                    "k {k} tick {tick}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_small_populations() {
+        let g = grid_with(&[]);
+        let mut ops = OpCounters::new();
+        let m = MonoIgernK::initial(&g, Point::new(5.0, 5.0), None, 3, &mut ops);
+        assert!(m.rnn().is_empty());
+        // With n ≤ k, every object is an answer.
+        let g2 = grid_with(&[(1.0, 1.0), (9.0, 9.0)]);
+        let m2 = MonoIgernK::initial(&g2, Point::new(5.0, 5.0), None, 5, &mut ops);
+        assert_eq!(m2.rnn().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let g = grid_with(&[]);
+        let mut ops = OpCounters::new();
+        MonoIgernK::initial(&g, Point::ORIGIN, None, 0, &mut ops);
+    }
+}

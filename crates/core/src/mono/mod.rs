@@ -1,0 +1,8 @@
+//! Continuous monochromatic reverse-nearest-neighbor evaluation
+//! (paper §3: Algorithms 1 and 2).
+
+mod igern;
+mod krnn;
+
+pub use igern::MonoIgern;
+pub use krnn::MonoIgernK;

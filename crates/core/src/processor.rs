@@ -1,0 +1,655 @@
+//! The continuous query processor: many standing RNN queries of mixed
+//! algorithms evaluated over one update stream, tick by tick, with
+//! per-tick metrics.
+//!
+//! This is the engine the experiment harness drives. At each tick the
+//! caller feeds the position updates (from any `igern_mobgen` mover), the
+//! processor applies them to the [`SpatialStore`], then re-evaluates every
+//! registered query with its algorithm, recording a [`TickSample`].
+
+use std::time::Instant;
+
+use igern_geom::Point;
+use igern_grid::{ObjectId, OpCounters};
+
+use crate::baselines::{tpl_snapshot, voronoi_snapshot, Crnn};
+use crate::bi::{BiIgern, BiIgernK};
+use crate::knn_monitor::KnnMonitor;
+use crate::metrics::TickSample;
+use crate::mono::{MonoIgern, MonoIgernK};
+use crate::store::SpatialStore;
+
+/// Which algorithm evaluates a continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// IGERN, monochromatic (Algorithms 1–2).
+    IgernMono,
+    /// CRNN six-pie monitoring (monochromatic).
+    Crnn,
+    /// Snapshot TPL re-run every tick (monochromatic).
+    TplRepeat,
+    /// IGERN, bichromatic (Algorithms 3–4). The query object must be of
+    /// kind A.
+    IgernBi,
+    /// Voronoi-cell reconstruction every tick (bichromatic).
+    VoronoiRepeat,
+    /// IGERN generalized to reverse k-nearest neighbors, monochromatic
+    /// (the journal-version extension).
+    IgernMonoK(usize),
+    /// IGERN generalized to reverse k-nearest neighbors, bichromatic.
+    IgernBiK(usize),
+    /// Plain continuous k-nearest neighbors (guard-circle monitoring) —
+    /// the substrate facility of the paper's reference \[17\], offered as a
+    /// processor algorithm for completeness.
+    Knn(usize),
+}
+
+impl Algorithm {
+    /// Whether the algorithm answers bichromatic queries.
+    pub fn is_bichromatic(self) -> bool {
+        matches!(
+            self,
+            Algorithm::IgernBi | Algorithm::VoronoiRepeat | Algorithm::IgernBiK(_)
+        )
+    }
+}
+
+/// Per-query evaluator state.
+enum State {
+    IgernMono(Option<MonoIgern>),
+    Crnn(Option<Crnn>),
+    TplRepeat,
+    IgernBi(Option<BiIgern>),
+    VoronoiRepeat,
+    IgernMonoK(usize, Option<MonoIgernK>),
+    IgernBiK(usize, Option<BiIgernK>),
+    Knn(usize, Option<KnnMonitor>),
+}
+
+/// One registered continuous query.
+struct Query {
+    /// The moving object acting as the query.
+    obj: ObjectId,
+    state: State,
+    answer: Vec<ObjectId>,
+    monitored: usize,
+    region_area: f64,
+    history: Vec<TickSample>,
+    /// Tombstone: the query was removed and is skipped by evaluation.
+    removed: bool,
+}
+
+/// The processor.
+pub struct Processor {
+    store: SpatialStore,
+    queries: Vec<Query>,
+    tick: u64,
+}
+
+impl Processor {
+    /// Wrap a loaded store.
+    pub fn new(store: SpatialStore) -> Self {
+        Processor {
+            store,
+            queries: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &SpatialStore {
+        &self.store
+    }
+
+    /// Register a continuous query anchored at moving object `obj`;
+    /// returns its index.
+    ///
+    /// # Panics
+    /// Panics when `obj` is not in the store, or when a bichromatic
+    /// algorithm is requested for a non-A object.
+    pub fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> usize {
+        assert!(
+            self.store.position(obj).is_some(),
+            "query object {obj} not in store"
+        );
+        if algo.is_bichromatic() {
+            assert_eq!(
+                self.store.kind(obj),
+                crate::types::ObjectKind::A,
+                "bichromatic query object must be of kind A"
+            );
+        }
+        if let Algorithm::IgernMonoK(k) | Algorithm::IgernBiK(k) | Algorithm::Knn(k) = algo {
+            assert!(k >= 1, "k must be positive");
+        }
+        let state = match algo {
+            Algorithm::IgernMono => State::IgernMono(None),
+            Algorithm::Crnn => State::Crnn(None),
+            Algorithm::TplRepeat => State::TplRepeat,
+            Algorithm::IgernBi => State::IgernBi(None),
+            Algorithm::VoronoiRepeat => State::VoronoiRepeat,
+            Algorithm::IgernMonoK(k) => State::IgernMonoK(k, None),
+            Algorithm::IgernBiK(k) => State::IgernBiK(k, None),
+            Algorithm::Knn(k) => State::Knn(k, None),
+        };
+        self.queries.push(Query {
+            obj,
+            state,
+            answer: Vec::new(),
+            monitored: 0,
+            region_area: 0.0,
+            history: Vec::new(),
+            removed: false,
+        });
+        self.queries.len() - 1
+    }
+
+    /// Drop a registered query. Indices of other queries are stable
+    /// (internally the slot is tombstoned); accessing a removed query
+    /// panics.
+    pub fn remove_query(&mut self, i: usize) {
+        assert!(!self.queries[i].removed, "query {i} already removed");
+        self.queries[i].removed = true;
+        self.queries[i].state = State::TplRepeat; // drop monitor state
+        self.queries[i].answer.clear();
+        self.queries[i].history.clear();
+    }
+
+    /// Insert a new moving object into the store at runtime.
+    pub fn insert_object(&mut self, id: ObjectId, kind: crate::types::ObjectKind, pos: Point) {
+        self.store.insert(id, kind, pos);
+    }
+
+    /// Remove a moving object from the store at runtime.
+    ///
+    /// # Panics
+    /// Panics if a live query is anchored at the object.
+    pub fn remove_object(&mut self, id: ObjectId) -> Option<Point> {
+        assert!(
+            !self.queries.iter().any(|q| !q.removed && q.obj == id),
+            "cannot remove the anchor of a live query"
+        );
+        self.store.remove(id)
+    }
+
+    /// Apply one tick of updates and re-evaluate every query.
+    pub fn step(&mut self, updates: &[(ObjectId, Point)]) {
+        for &(id, pos) in updates {
+            self.store.apply(id, pos);
+        }
+        self.tick += 1;
+        self.evaluate_all();
+    }
+
+    /// Evaluate all queries against the current store state without
+    /// applying updates (used for the initial evaluation at T₀).
+    pub fn evaluate_all(&mut self) {
+        // Queries borrow the store immutably; detach the vector to satisfy
+        // the borrow checker without cloning the store.
+        let mut queries = std::mem::take(&mut self.queries);
+        for q in &mut queries {
+            if !q.removed {
+                self.evaluate_one(q);
+            }
+        }
+        self.queries = queries;
+    }
+
+    /// Apply one tick of updates and re-evaluate every query on
+    /// `threads` worker threads. Queries are independent (each owns its
+    /// monitor state and only reads the store), so answers are identical
+    /// to [`Processor::step`]. Worthwhile when per-query evaluation is
+    /// expensive (CRNN, TPL-repeat, large-k RkNN); for IGERN's ~2 µs
+    /// incremental ticks the thread hand-off overhead exceeds the win —
+    /// measure with the `processor_64_queries` criterion group.
+    pub fn step_parallel(&mut self, updates: &[(ObjectId, Point)], threads: usize) {
+        for &(id, pos) in updates {
+            self.store.apply(id, pos);
+        }
+        self.tick += 1;
+        self.evaluate_all_parallel(threads);
+    }
+
+    /// Parallel form of [`Processor::evaluate_all`].
+    ///
+    /// # Panics
+    /// Panics when `threads == 0`.
+    pub fn evaluate_all_parallel(&mut self, threads: usize) {
+        assert!(threads >= 1, "need at least one worker");
+        let mut queries = std::mem::take(&mut self.queries);
+        let chunk = queries.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for batch in queries.chunks_mut(chunk) {
+                let this = &*self;
+                scope.spawn(move || {
+                    for q in batch {
+                        if !q.removed {
+                            this.evaluate_one(q);
+                        }
+                    }
+                });
+            }
+        });
+        self.queries = queries;
+    }
+
+    fn evaluate_one(&self, q: &mut Query) {
+        let pos = self
+            .store
+            .position(q.obj)
+            .expect("query object vanished from store");
+        let mut ops = OpCounters::new();
+        let start = Instant::now();
+        match &mut q.state {
+            State::IgernMono(slot) => {
+                match slot {
+                    Some(m) => m.incremental(self.store.all(), pos, &mut ops),
+                    None => {
+                        *slot = Some(MonoIgern::initial(
+                            self.store.all(),
+                            pos,
+                            Some(q.obj),
+                            &mut ops,
+                        ))
+                    }
+                }
+                let m = slot.as_ref().unwrap();
+                q.answer = m.rnn().to_vec();
+                q.monitored = m.num_monitored();
+                q.region_area = m.monitored_area(self.store.all());
+            }
+            State::Crnn(slot) => {
+                match slot {
+                    Some(c) => c.incremental(self.store.all(), pos, &mut ops),
+                    None => {
+                        *slot = Some(Crnn::initial(self.store.all(), pos, Some(q.obj), &mut ops))
+                    }
+                }
+                let c = slot.as_ref().unwrap();
+                q.answer = c.rnn().to_vec();
+                q.monitored = c.num_monitored();
+                q.region_area = c.monitored_area(self.store.all());
+            }
+            State::TplRepeat => {
+                let ans = tpl_snapshot(self.store.all(), pos, Some(q.obj), &mut ops);
+                q.monitored = ans.candidates.len();
+                q.answer = ans.rnn;
+            }
+            State::IgernBi(slot) => {
+                match slot {
+                    Some(m) => {
+                        m.incremental(self.store.grid_a(), self.store.grid_b(), pos, &mut ops)
+                    }
+                    None => {
+                        *slot = Some(BiIgern::initial(
+                            self.store.grid_a(),
+                            self.store.grid_b(),
+                            pos,
+                            Some(q.obj),
+                            &mut ops,
+                        ))
+                    }
+                }
+                let m = slot.as_ref().unwrap();
+                q.answer = m.rnn().to_vec();
+                q.monitored = m.num_monitored();
+            }
+            State::VoronoiRepeat => {
+                let ans = voronoi_snapshot(
+                    self.store.grid_a(),
+                    self.store.grid_b(),
+                    pos,
+                    Some(q.obj),
+                    &mut ops,
+                );
+                q.monitored = ans.sites_used;
+                q.answer = ans.rnn;
+            }
+            State::IgernMonoK(k, slot) => {
+                match slot {
+                    Some(m) => m.incremental(self.store.all(), pos, &mut ops),
+                    None => {
+                        *slot = Some(MonoIgernK::initial(
+                            self.store.all(),
+                            pos,
+                            Some(q.obj),
+                            *k,
+                            &mut ops,
+                        ))
+                    }
+                }
+                let m = slot.as_ref().unwrap();
+                q.answer = m.rnn().to_vec();
+                q.monitored = m.num_monitored();
+            }
+            State::Knn(k, slot) => {
+                match slot {
+                    Some(m) => m.incremental(self.store.all(), pos, &mut ops),
+                    None => {
+                        *slot = Some(KnnMonitor::initial(
+                            self.store.all(),
+                            pos,
+                            Some(q.obj),
+                            *k,
+                            &mut ops,
+                        ))
+                    }
+                }
+                let m = slot.as_ref().unwrap();
+                let mut ids = m.ids();
+                ids.sort_unstable();
+                q.monitored = m.answer().len();
+                q.answer = ids;
+            }
+            State::IgernBiK(k, slot) => {
+                match slot {
+                    Some(m) => {
+                        m.incremental(self.store.grid_a(), self.store.grid_b(), pos, &mut ops)
+                    }
+                    None => {
+                        *slot = Some(BiIgernK::initial(
+                            self.store.grid_a(),
+                            self.store.grid_b(),
+                            pos,
+                            Some(q.obj),
+                            *k,
+                            &mut ops,
+                        ))
+                    }
+                }
+                let m = slot.as_ref().unwrap();
+                q.answer = m.rnn().to_vec();
+                q.monitored = m.num_monitored();
+            }
+        }
+        q.history.push(TickSample {
+            tick: self.tick,
+            elapsed: start.elapsed(),
+            ops,
+            monitored: q.monitored,
+            answer_size: q.answer.len(),
+            region_area: q.region_area,
+        });
+    }
+
+    /// Current tick count (number of `step`/`evaluate_all` rounds).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Latest answer of query `i`, sorted by object id.
+    ///
+    /// # Panics
+    /// Panics when the query was removed.
+    pub fn answer(&self, i: usize) -> &[ObjectId] {
+        assert!(!self.queries[i].removed, "query {i} was removed");
+        &self.queries[i].answer
+    }
+
+    /// Number of objects query `i` currently monitors.
+    pub fn monitored(&self, i: usize) -> usize {
+        self.queries[i].monitored
+    }
+
+    /// Full per-tick history of query `i`.
+    pub fn history(&self, i: usize) -> &[TickSample] {
+        &self.queries[i].history
+    }
+
+    /// The query object of query `i`.
+    pub fn query_object(&self, i: usize) -> ObjectId {
+        self.queries[i].obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use crate::types::ObjectKind;
+    use igern_geom::Aabb;
+
+    /// Build a loaded store with the first `n_a` objects of kind A.
+    fn store(points: &[(f64, f64)], n_a: usize) -> SpatialStore {
+        let kinds = (0..points.len())
+            .map(|i| {
+                if i < n_a {
+                    ObjectKind::A
+                } else {
+                    ObjectKind::B
+                }
+            })
+            .collect();
+        let mut s = SpatialStore::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 8, kinds);
+        let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        s.load(&pts);
+        s
+    }
+
+    #[test]
+    fn mono_algorithms_agree_with_each_other_and_the_oracle() {
+        let pts = [
+            (5.0, 5.0),
+            (4.0, 5.0),
+            (6.5, 5.0),
+            (5.0, 8.0),
+            (1.0, 1.0),
+            (9.0, 2.0),
+        ];
+        let mut p = Processor::new(store(&pts, pts.len()));
+        let qi = p.add_query(ObjectId(0), Algorithm::IgernMono);
+        let qc = p.add_query(ObjectId(0), Algorithm::Crnn);
+        let qt = p.add_query(ObjectId(0), Algorithm::TplRepeat);
+        p.evaluate_all();
+        let objs: Vec<(ObjectId, Point)> = p.store().all().iter().collect();
+        let want = naive::mono_rnn(&objs, Point::new(5.0, 5.0), Some(ObjectId(0)));
+        assert_eq!(p.answer(qi), want.as_slice());
+        assert_eq!(p.answer(qc), want.as_slice());
+        assert_eq!(p.answer(qt), want.as_slice());
+    }
+
+    #[test]
+    fn bi_algorithms_agree_over_a_moving_stream() {
+        // 3 A objects (ids 0..3), 5 B objects (ids 3..8); query at object 0.
+        let pts = [
+            (5.0, 5.0),
+            (2.0, 2.0),
+            (8.0, 8.0),
+            (4.0, 5.0),
+            (6.0, 6.0),
+            (1.0, 9.0),
+            (9.0, 1.0),
+            (5.0, 3.0),
+        ];
+        let mut p = Processor::new(store(&pts, 3));
+        let qi = p.add_query(ObjectId(0), Algorithm::IgernBi);
+        let qv = p.add_query(ObjectId(0), Algorithm::VoronoiRepeat);
+        p.evaluate_all();
+        assert_eq!(p.answer(qi), p.answer(qv));
+        // Drift every object a little for a few ticks.
+        let mut state = 9u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        for _ in 0..10 {
+            let ups: Vec<(ObjectId, Point)> = (0..8u32)
+                .map(|i| {
+                    let cur = p.store().position(ObjectId(i)).unwrap();
+                    (
+                        ObjectId(i),
+                        Point::new(
+                            (cur.x + rnd()).clamp(0.0, 10.0),
+                            (cur.y + rnd()).clamp(0.0, 10.0),
+                        ),
+                    )
+                })
+                .collect();
+            p.step(&ups);
+            assert_eq!(p.answer(qi), p.answer(qv));
+            let a: Vec<(ObjectId, Point)> = p.store().grid_a().iter().collect();
+            let b: Vec<(ObjectId, Point)> = p.store().grid_b().iter().collect();
+            let qpos = p.store().position(ObjectId(0)).unwrap();
+            assert_eq!(
+                p.answer(qi),
+                naive::bi_rnn(&a, &b, qpos, Some(ObjectId(0))).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn history_accumulates_one_sample_per_tick() {
+        let pts = [(5.0, 5.0), (4.0, 4.0), (6.0, 6.0)];
+        let mut p = Processor::new(store(&pts, 3));
+        let q = p.add_query(ObjectId(0), Algorithm::IgernMono);
+        p.evaluate_all();
+        p.step(&[(ObjectId(1), Point::new(4.5, 4.5))]);
+        p.step(&[]);
+        assert_eq!(p.history(q).len(), 3);
+        assert_eq!(p.history(q)[0].tick, 0);
+        assert_eq!(p.history(q)[2].tick, 2);
+        assert_eq!(p.tick(), 2);
+        assert_eq!(p.query_object(q), ObjectId(0));
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let pts: Vec<(f64, f64)> = (0..40)
+            .map(|i| ((i * 7 % 40) as f64 / 4.0, (i * 13 % 40) as f64 / 4.0))
+            .collect();
+        let mk = || {
+            let mut p = Processor::new(store(&pts, pts.len()));
+            for i in 0..8u32 {
+                p.add_query(ObjectId(i * 5), Algorithm::IgernMono);
+            }
+            p
+        };
+        let mut seq = mk();
+        let mut par = mk();
+        seq.evaluate_all();
+        par.evaluate_all_parallel(4);
+        let ups: Vec<(ObjectId, Point)> = (0..40u32)
+            .map(|i| (ObjectId(i), Point::new((i % 10) as f64, (i / 4) as f64)))
+            .collect();
+        seq.step(&ups);
+        par.step_parallel(&ups, 4);
+        for qi in 0..8 {
+            assert_eq!(seq.answer(qi), par.answer(qi), "query {qi}");
+        }
+        assert_eq!(seq.tick(), par.tick());
+    }
+
+    #[test]
+    fn k_rnn_queries_match_the_k_oracles() {
+        let pts = [
+            (5.0, 5.0),
+            (4.0, 5.0),
+            (4.5, 5.0),
+            (6.5, 5.0),
+            (5.0, 8.0),
+            (1.0, 1.0),
+            (9.0, 2.0),
+            (2.0, 8.0),
+        ];
+        let mut p = Processor::new(store(&pts, 4));
+        let q2 = p.add_query(ObjectId(0), Algorithm::IgernMonoK(2));
+        let qb2 = p.add_query(ObjectId(0), Algorithm::IgernBiK(2));
+        p.evaluate_all();
+        p.step(&[(ObjectId(3), Point::new(5.5, 5.2))]);
+        let objs: Vec<(ObjectId, Point)> = p.store().all().iter().collect();
+        let a: Vec<(ObjectId, Point)> = p.store().grid_a().iter().collect();
+        let b: Vec<(ObjectId, Point)> = p.store().grid_b().iter().collect();
+        let qpos = p.store().position(ObjectId(0)).unwrap();
+        assert_eq!(
+            p.answer(q2),
+            naive::mono_rknn(&objs, qpos, Some(ObjectId(0)), 2).as_slice()
+        );
+        assert_eq!(
+            p.answer(qb2),
+            naive::bi_rknn(&a, &b, qpos, Some(ObjectId(0)), 2).as_slice()
+        );
+    }
+
+    #[test]
+    fn knn_queries_run_through_the_processor() {
+        let pts = [(5.0, 5.0), (4.0, 5.0), (6.5, 5.0), (5.0, 8.0), (1.0, 1.0)];
+        let mut p = Processor::new(store(&pts, pts.len()));
+        let h = p.add_query(ObjectId(0), Algorithm::Knn(2));
+        p.evaluate_all();
+        // The two nearest to (5,5) are objects 1 (d=1) and 2 (d=1.5),
+        // reported sorted by id.
+        assert_eq!(p.answer(h), &[ObjectId(1), ObjectId(2)]);
+        p.step(&[(ObjectId(4), Point::new(5.2, 5.0))]);
+        assert_eq!(p.answer(h), &[ObjectId(1), ObjectId(4)]);
+        assert_eq!(p.monitored(h), 2);
+    }
+
+    #[test]
+    fn removed_queries_are_skipped() {
+        let pts = [(5.0, 5.0), (4.0, 4.0), (6.0, 6.0)];
+        let mut p = Processor::new(store(&pts, 3));
+        let a = p.add_query(ObjectId(0), Algorithm::IgernMono);
+        let b = p.add_query(ObjectId(1), Algorithm::IgernMono);
+        p.evaluate_all();
+        p.remove_query(a);
+        p.step(&[]);
+        // The surviving query keeps accumulating history.
+        assert_eq!(p.history(b).len(), 2);
+        assert_eq!(p.query_object(b), ObjectId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "was removed")]
+    fn removed_query_answer_panics() {
+        let pts = [(5.0, 5.0), (4.0, 4.0)];
+        let mut p = Processor::new(store(&pts, 2));
+        let a = p.add_query(ObjectId(0), Algorithm::IgernMono);
+        p.evaluate_all();
+        p.remove_query(a);
+        let _ = p.answer(a);
+    }
+
+    #[test]
+    fn dynamic_population_is_tracked_exactly() {
+        let pts = [(5.0, 5.0), (4.0, 5.0), (8.0, 8.0)];
+        let mut p = Processor::new(store(&pts, 3));
+        let h = p.add_query(ObjectId(0), Algorithm::IgernMono);
+        p.evaluate_all();
+        // A brand-new object appears right next to the query.
+        p.insert_object(ObjectId(50), ObjectKind::A, Point::new(5.4, 5.0));
+        p.step(&[]);
+        let objs: Vec<(ObjectId, Point)> = p.store().all().iter().collect();
+        let want = naive::mono_rnn(&objs, Point::new(5.0, 5.0), Some(ObjectId(0)));
+        assert_eq!(p.answer(h), want.as_slice());
+        assert!(p.answer(h).contains(&ObjectId(50)));
+        // And disappears again (e.g. logs out).
+        p.remove_object(ObjectId(50));
+        p.step(&[]);
+        let objs: Vec<(ObjectId, Point)> = p.store().all().iter().collect();
+        let want = naive::mono_rnn(&objs, Point::new(5.0, 5.0), Some(ObjectId(0)));
+        assert_eq!(p.answer(h), want.as_slice());
+        assert!(!p.answer(h).contains(&ObjectId(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor of a live query")]
+    fn cannot_remove_query_anchor() {
+        let pts = [(5.0, 5.0), (4.0, 4.0)];
+        let mut p = Processor::new(store(&pts, 2));
+        p.add_query(ObjectId(0), Algorithm::IgernMono);
+        p.remove_object(ObjectId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be of kind A")]
+    fn bichromatic_query_must_be_kind_a() {
+        let pts = [(5.0, 5.0), (4.0, 4.0)];
+        let mut p = Processor::new(store(&pts, 1));
+        p.add_query(ObjectId(1), Algorithm::IgernBi);
+    }
+}

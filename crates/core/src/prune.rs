@@ -1,0 +1,493 @@
+//! Bisector pruning of grid cells — the *alive / dead* machinery shared by
+//! the IGERN initial and incremental steps (and by the TPL baseline, which
+//! the paper notes IGERN's initial step resembles).
+//!
+//! "A bisector b_j between o_j and q indicates that all objects between
+//! b_j and the furthest space boundaries from q would be closer to o_j
+//! than q. Thus, all the grid cells between b_j and these boundaries are
+//! marked as dead" (§3.1).
+
+use igern_geom::{ConvexPolygon, HalfPlane, Point, RegionSide};
+use igern_grid::{CellSet, Grid};
+
+/// How aggressively objects inside *alive* cells are filtered during the
+/// tighten loop (ablation A2 in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneGranularity {
+    /// Cell granularity only, as literally written in Algorithms 1–4: any
+    /// non-candidate object in an alive cell becomes a candidate. With
+    /// multiple objects per cell the candidate set scales with cell
+    /// occupancy.
+    Cell,
+    /// Exact: an object already dominated by a current candidate
+    /// (`dist(o, c) < dist(o, q)`) is skipped at discovery — the cleaning
+    /// rule of Algorithm 2 line 8 applied eagerly. This is what makes the
+    /// monitored set independent of grid granularity (the paper's ≈3.3
+    /// average) and is the default.
+    #[default]
+    Exact,
+}
+
+/// Mark dead every alive cell lying entirely on the pruned side of the
+/// bisector between `q` (kept) and `site` (pruned). Returns the number of
+/// cells killed. Cells straddling the bisector stay alive — pruning is at
+/// cell granularity, exactly as in the paper.
+pub fn kill_cells_beyond_bisector(
+    grid: &Grid,
+    alive: &mut CellSet,
+    q: Point,
+    site: Point,
+) -> usize {
+    let Some(h) = HalfPlane::bisector(q, site) else {
+        // Coincident points: no bisector, nothing to prune.
+        return 0;
+    };
+    kill_cells(grid, alive, &h)
+}
+
+/// Mark dead every alive cell entirely outside `h`'s kept side.
+pub fn kill_cells(grid: &Grid, alive: &mut CellSet, h: &HalfPlane) -> usize {
+    let dead: Vec<usize> = alive
+        .iter()
+        .filter(|&c| h.classify(&grid.cell_bounds(c)) == RegionSide::Outside)
+        .collect();
+    for c in &dead {
+        alive.remove(*c);
+    }
+    dead.len()
+}
+
+/// Recompute the alive region from scratch. This is the redraw of the
+/// incremental steps ("Redraw the bisectors between q and all objects in
+/// RNNcand; only the cells between q and the bisectors are marked as
+/// alive", Algorithm 2 lines 3–4).
+///
+/// Implementation note: the naive redraw classifies **every** grid cell
+/// against every bisector — `O(n²·k)` per tick, which at paper scale
+/// (64×64 grid, per-tick redraw) costs more than all the searches
+/// combined. Instead the exact kept region (the intersection of the
+/// bisector half-planes, clipped to the data space — a convex polygon
+/// around `q`) is materialized first and rasterized onto the grid by
+/// scanline. The result can be a strict subset of
+/// the per-bisector redraw (a cell can avoid being fully beyond any
+/// single bisector yet still miss the intersection), but it always covers
+/// every cell that intersects the exact kept region — which is where all
+/// potential answers live — so completeness is unaffected.
+pub fn recompute_alive(grid: &Grid, q: Point, sites: &[Point]) -> CellSet {
+    let mut alive = CellSet::new(grid.num_cells());
+    let mut region = ConvexPolygon::from_aabb(grid.space());
+    for &s in sites {
+        if let Some(h) = HalfPlane::bisector(q, s) {
+            region.clip(&h);
+        }
+    }
+    let bbox = match region.bounding_box() {
+        Some(b) => b,
+        // The region always contains q, so an empty polygon can only be
+        // numerical degeneracy; fall back to q's own cell.
+        None => {
+            alive.insert(grid.cell_of_point(q));
+            return alive;
+        }
+    };
+    // Scanline rasterization: for each grid row under the region's bbox,
+    // clip the polygon to the row's y-band and mark the cells under the
+    // clipped part's x-extent. For a convex region this marks exactly the
+    // cells the polygon intersects, in O(rows · vertices + |alive|) —
+    // crucially independent of the bbox area, which spans half the grid
+    // whenever the region is open toward a space boundary.
+    let lo = grid.space().clamp(bbox.min);
+    let hi = grid.space().clamp(bbox.max);
+    let (ix_lo, iy0) = grid.cell_coords(grid.cell_of_point(lo));
+    let (ix_hi, iy1) = grid.cell_coords(grid.cell_of_point(hi));
+    for iy in iy0..=iy1 {
+        let band = grid.cell_bounds(grid.cell_at(0, iy));
+        let above = HalfPlane::from_coeffs(0.0, -1.0, -band.min.y).expect("unit normal");
+        let below = HalfPlane::from_coeffs(0.0, 1.0, band.max.y).expect("unit normal");
+        let mut strip = region.clipped(&above);
+        strip.clip(&below);
+        let (ix0, ix1) = match strip.bounding_box() {
+            Some(b) => {
+                let l = grid.space().clamp(b.min);
+                let r = grid.space().clamp(b.max);
+                (
+                    grid.cell_coords(grid.cell_of_point(l)).0,
+                    grid.cell_coords(grid.cell_of_point(r)).0,
+                )
+            }
+            // The strip degenerated to (near) nothing — possibly a sliver
+            // thinner than the clipper's vertex tolerance. Fall back to
+            // the full bbox x-range for this row: conservative (a few
+            // extra alive cells), never incomplete.
+            None => (ix_lo, ix_hi),
+        };
+        for ix in ix0..=ix1 {
+            alive.insert(grid.cell_at(ix, iy));
+        }
+    }
+    // Guard against pathological clipping: the query's own cell is always
+    // part of the region.
+    alive.insert(grid.cell_of_point(q));
+    alive
+}
+
+/// The candidate-cleaning rule shared by both incremental steps
+/// (Algorithm 2 line 8, Algorithm 4 line 8): drop a monitored object
+/// `o_i` when some other monitored object `o_j` is closer to it than the
+/// query is — `o_i` can then be neither an answer nor a bisector that
+/// bounds one.
+///
+/// Removal is sequential in increasing distance from the query: a
+/// candidate is dropped only when dominated by a candidate that is
+/// *kept*. (Applying the paper's rule simultaneously would delete both
+/// members of a mutually-dominating pair, throwing away the bisector that
+/// bounds the region and re-discovering both next tick — sequential
+/// application keeps the nearer one and is what the rule needs to mean
+/// for the region to stay bounded.)
+///
+/// `items` are `(position, payload)` pairs; the function retains the
+/// non-dominated ones in place, preserving their relative order.
+pub fn clean_dominated<T>(items: &mut Vec<(Point, T)>, q: Point) {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&i, &j| items[i].0.dist_sq(q).total_cmp(&items[j].0.dist_sq(q)));
+    let mut keep = vec![false; items.len()];
+    let mut kept_positions: Vec<Point> = Vec::with_capacity(items.len());
+    for i in order {
+        let p = items[i].0;
+        let d_q = p.dist_sq(q);
+        if kept_positions.iter().all(|k| p.dist_sq(*k) >= d_q) {
+            keep[i] = true;
+            kept_positions.push(p);
+        }
+    }
+    let mut it = keep.iter();
+    items.retain(|_| *it.next().unwrap());
+}
+
+/// Order-`k` alive-region recomputation for the RkNN extension: a cell is
+/// dead iff it lies fully beyond the bisectors of **at least `k`**
+/// monitored sites (every point of it then has ≥ k objects closer than
+/// the query, so nothing in it can be a reverse k-nearest neighbor).
+///
+/// The order-k region is a union of half-plane intersections and is not
+/// convex, so the scanline trick of [`recompute_alive`] does not apply;
+/// the grid is scanned densely. `k = 1` falls back to the fast convex
+/// path.
+pub fn recompute_alive_k(grid: &Grid, q: Point, sites: &[Point], k: usize) -> CellSet {
+    assert!(k >= 1, "order must be positive");
+    if k == 1 {
+        return recompute_alive(grid, q, sites);
+    }
+    let planes: Vec<HalfPlane> = sites
+        .iter()
+        .filter_map(|&s| HalfPlane::bisector(q, s))
+        .collect();
+    let mut alive = CellSet::new(grid.num_cells());
+    if planes.len() < k {
+        // Fewer than k bisectors can never exclude a cell.
+        alive.fill();
+        return alive;
+    }
+    for c in 0..grid.num_cells() {
+        let bounds = grid.cell_bounds(c);
+        let mut violated = 0;
+        for h in &planes {
+            if h.classify(&bounds) == RegionSide::Outside {
+                violated += 1;
+                if violated >= k {
+                    break;
+                }
+            }
+        }
+        if violated < k {
+            alive.insert(c);
+        }
+    }
+    alive.insert(grid.cell_of_point(q));
+    alive
+}
+
+/// Order-`k` cleaning: drop a monitored object when **at least `k`** kept
+/// monitored objects are strictly closer to it than the query — it can
+/// then neither be an answer nor contribute a needed bisector. Sequential
+/// in distance order, like [`clean_dominated`]. `k = 1` coincides with
+/// it.
+pub fn clean_dominated_k<T>(items: &mut Vec<(Point, T)>, q: Point, k: usize) {
+    assert!(k >= 1, "order must be positive");
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&i, &j| items[i].0.dist_sq(q).total_cmp(&items[j].0.dist_sq(q)));
+    let mut keep = vec![false; items.len()];
+    let mut kept_positions: Vec<Point> = Vec::with_capacity(items.len());
+    for i in order {
+        let p = items[i].0;
+        let d_q = p.dist_sq(q);
+        let dominators = kept_positions
+            .iter()
+            .filter(|kp| p.dist_sq(**kp) < d_q)
+            .count();
+        if dominators < k {
+            keep[i] = true;
+            kept_positions.push(p);
+        }
+    }
+    let mut it = keep.iter();
+    items.retain(|_| *it.next().unwrap());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igern_geom::Aabb;
+
+    fn grid(n: usize) -> Grid {
+        Grid::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), n)
+    }
+
+    #[test]
+    fn bisector_kills_far_half() {
+        let g = grid(10);
+        let mut alive = CellSet::full(g.num_cells());
+        let q = Point::new(2.0, 5.0);
+        let o = Point::new(8.0, 5.0);
+        // Bisector at x = 5: the 5 right-most columns die.
+        // Column 5 spans x ∈ [5, 6]: its left corners sit ON the bisector,
+        // so it straddles and survives; columns 6..10 (40 cells) die.
+        let killed = kill_cells_beyond_bisector(&g, &mut alive, q, o);
+        assert_eq!(killed, 40);
+        assert_eq!(alive.count(), 60);
+        // q's own cell stays alive; o's cell is dead.
+        assert!(alive.contains(g.cell_of_point(q)));
+        assert!(!alive.contains(g.cell_of_point(o)));
+    }
+
+    #[test]
+    fn straddling_cells_survive() {
+        let g = grid(4); // cell width 2.5; bisector at x = 5 is a cell edge
+        let mut alive = CellSet::full(g.num_cells());
+        kill_cells_beyond_bisector(&g, &mut alive, Point::new(2.0, 5.0), Point::new(8.0, 5.0));
+        // Columns 0..2 (x < 5) survive; columns 2.. die only if fully
+        // beyond. With the boundary exactly on the cell edge, the closed
+        // kept side keeps the edge cells' left borders — they die because
+        // all four corners are not strictly outside? The corners on x=5
+        // are ON the line, i.e. inside the closed half-plane.
+        let on_boundary_cell = g.cell_at(2, 0); // spans x in [5, 7.5]
+        assert!(
+            alive.contains(on_boundary_cell),
+            "cell touching the bisector must stay alive"
+        );
+        let far_cell = g.cell_at(3, 0); // spans x in [7.5, 10]
+        assert!(!alive.contains(far_cell));
+    }
+
+    #[test]
+    fn coincident_site_is_a_noop() {
+        let g = grid(5);
+        let mut alive = CellSet::full(g.num_cells());
+        let q = Point::new(5.0, 5.0);
+        assert_eq!(kill_cells_beyond_bisector(&g, &mut alive, q, q), 0);
+        assert_eq!(alive.count(), g.num_cells());
+    }
+
+    #[test]
+    fn recompute_is_a_subset_of_sequential_killing() {
+        // The polygon-bbox redraw may legitimately kill more cells than
+        // per-bisector killing (a cell can be outside the intersection
+        // without being fully beyond any single bisector), but never
+        // fewer, and always keeps the query's cell.
+        let g = grid(8);
+        let q = Point::new(3.0, 3.0);
+        let sites = [
+            Point::new(7.0, 3.0),
+            Point::new(3.0, 9.0),
+            Point::new(1.0, 1.0),
+        ];
+        let redraw = recompute_alive(&g, q, &sites);
+        let mut seq = CellSet::full(g.num_cells());
+        for &s in &sites {
+            kill_cells_beyond_bisector(&g, &mut seq, q, s);
+        }
+        for c in redraw.iter() {
+            assert!(
+                seq.contains(c),
+                "redraw kept a cell sequential killing removed"
+            );
+        }
+        assert!(redraw.contains(g.cell_of_point(q)));
+    }
+
+    #[test]
+    fn recompute_covers_every_non_dominated_point() {
+        // Completeness: any probe point at least as close to q as to every
+        // site must land in an alive cell.
+        let g = grid(16);
+        let q = Point::new(4.2, 5.9);
+        let sites = [
+            Point::new(8.0, 6.0),
+            Point::new(4.0, 1.5),
+            Point::new(0.5, 8.0),
+            Point::new(5.0, 9.0),
+        ];
+        let alive = recompute_alive(&g, q, &sites);
+        for i in 0..64 {
+            for j in 0..64 {
+                let p = Point::new(i as f64 * 10.0 / 63.0, j as f64 * 10.0 / 63.0);
+                let d_q = p.dist_sq(q);
+                if sites.iter().all(|s| d_q <= p.dist_sq(*s)) {
+                    assert!(
+                        alive.contains(g.cell_of_point(p)),
+                        "non-dominated point {p} in a dead cell"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_with_no_sites_is_everything() {
+        let g = grid(8);
+        let alive = recompute_alive(&g, Point::new(5.0, 5.0), &[]);
+        assert_eq!(alive.count(), g.num_cells());
+    }
+
+    #[test]
+    fn alive_region_is_sound() {
+        // Any point in a dead cell must be closer to some site than to q.
+        let g = grid(16);
+        let q = Point::new(4.0, 6.0);
+        let sites = [Point::new(8.0, 6.0), Point::new(4.0, 1.0)];
+        let alive = recompute_alive(&g, q, &sites);
+        for c in 0..g.num_cells() {
+            if alive.contains(c) {
+                continue;
+            }
+            let center = g.cell_bounds(c).center();
+            let dominated = sites.iter().any(|s| center.dist_sq(*s) < center.dist_sq(q));
+            assert!(dominated, "dead cell {c} center not dominated");
+        }
+    }
+
+    #[test]
+    fn clean_dominated_removes_shadowed_candidates() {
+        let q = Point::new(0.0, 0.0);
+        // c0 is close to q; c1 sits right behind c0 (closer to c0 than to q).
+        let mut items = vec![
+            (Point::new(1.0, 0.0), "c0"),
+            (Point::new(1.5, 0.0), "c1"),
+            (Point::new(0.0, 2.0), "c2"),
+        ];
+        clean_dominated(&mut items, q);
+        let names: Vec<&str> = items.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["c0", "c2"]);
+    }
+
+    #[test]
+    fn clean_dominated_keeps_mutually_far_candidates() {
+        let q = Point::new(5.0, 5.0);
+        let mut items = vec![
+            (Point::new(6.0, 5.0), 0),
+            (Point::new(4.0, 5.0), 1),
+            (Point::new(5.0, 6.5), 2),
+        ];
+        clean_dominated(&mut items, q);
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn clean_dominated_keeps_one_of_a_mutual_pair() {
+        // Two candidates dominate each other; the nearer to q survives so
+        // its bisector keeps bounding the region.
+        let q = Point::ORIGIN;
+        let mut items = vec![
+            (Point::new(2.1, 0.0), "far"),
+            (Point::new(2.0, 0.0), "near"),
+        ];
+        clean_dominated(&mut items, q);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].1, "near");
+    }
+
+    #[test]
+    fn recompute_alive_k_covers_order_k_region() {
+        // Any probe with fewer than k sites strictly closer than q must
+        // land in an alive cell.
+        let g = grid(16);
+        let q = Point::new(5.0, 5.0);
+        let sites = [
+            Point::new(7.0, 5.0),
+            Point::new(3.0, 5.0),
+            Point::new(5.0, 8.0),
+            Point::new(5.0, 2.0),
+        ];
+        for k in 1..=3usize {
+            let alive = recompute_alive_k(&g, q, &sites, k);
+            for i in 0..40 {
+                for j in 0..40 {
+                    let p = Point::new(i as f64 * 0.25, j as f64 * 0.25);
+                    let d_q = p.dist_sq(q);
+                    let closer = sites.iter().filter(|s| p.dist_sq(**s) < d_q).count();
+                    if closer < k {
+                        assert!(
+                            alive.contains(g.cell_of_point(p)),
+                            "k={k}: probe {p} (closer={closer}) in dead cell"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_alive_k_grows_with_k() {
+        let g = grid(12);
+        let q = Point::new(5.0, 5.0);
+        let sites = [
+            Point::new(7.0, 5.0),
+            Point::new(3.0, 5.0),
+            Point::new(5.0, 7.5),
+        ];
+        let a1 = recompute_alive_k(&g, q, &sites, 1);
+        let a2 = recompute_alive_k(&g, q, &sites, 2);
+        for c in a1.iter() {
+            assert!(a2.contains(c), "order-2 region must contain order-1");
+        }
+        assert!(a2.count() > a1.count());
+        // With fewer than k sites everything is alive.
+        let a_all = recompute_alive_k(&g, q, &sites, 4);
+        assert_eq!(a_all.count(), g.num_cells());
+    }
+
+    #[test]
+    fn clean_dominated_k_requires_k_dominators() {
+        let q = Point::ORIGIN;
+        // c2 has exactly one kept dominator (c0); with k=2 it survives.
+        let items = vec![
+            (Point::new(1.0, 0.0), "c0"),
+            (Point::new(1.4, 0.0), "c1"),
+            (Point::new(1.8, 0.0), "c2"),
+        ];
+        let mut k1 = items.clone();
+        clean_dominated_k(&mut k1, q, 1);
+        assert_eq!(k1.iter().map(|&(_, n)| n).collect::<Vec<_>>(), vec!["c0"]);
+        let mut k2 = items.clone();
+        clean_dominated_k(&mut k2, q, 2);
+        assert_eq!(
+            k2.iter().map(|&(_, n)| n).collect::<Vec<_>>(),
+            vec!["c0", "c1"],
+            "c2 is dominated by both kept candidates under k=2"
+        );
+        let mut k3 = items;
+        clean_dominated_k(&mut k3, q, 3);
+        assert_eq!(k3.len(), 3);
+    }
+
+    #[test]
+    fn clean_dominated_on_empty_and_singleton() {
+        let q = Point::ORIGIN;
+        let mut empty: Vec<(Point, ())> = Vec::new();
+        clean_dominated(&mut empty, q);
+        assert!(empty.is_empty());
+        let mut one = vec![(Point::new(1.0, 1.0), ())];
+        clean_dominated(&mut one, q);
+        assert_eq!(one.len(), 1);
+    }
+}

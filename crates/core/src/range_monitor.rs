@@ -1,0 +1,226 @@
+//! Continuous range monitoring.
+//!
+//! The third standing-query type of the continuous-query processors the
+//! paper situates itself among (SINA, PLACE, MobiEyes handle continuous
+//! range queries; IGERN adds RNN to that family). A range monitor keeps
+//! the set of objects within radius `r` of a moving query.
+//!
+//! Maintenance uses a **safe-distance** optimization: after an
+//! evaluation, the monitor remembers for each answer object its slack to
+//! the boundary and, for the nearest outsider, its distance beyond it.
+//! A tick can only change the answer if the query moved, some answer
+//! object moved, or an outside object crossed into the circle — the last
+//! is detected with one bounded emptiness probe over the circle ring.
+
+use igern_geom::{Circle, Point};
+use igern_grid::{range::objects_in_circle, Grid, ObjectId, OpCounters};
+
+/// Continuous circular-range query state.
+#[derive(Debug, Clone)]
+pub struct RangeMonitor {
+    radius: f64,
+    q_id: Option<ObjectId>,
+    q: Point,
+    /// Current answer with the positions it was computed at, sorted by id.
+    answer: Vec<(ObjectId, Point)>,
+}
+
+impl RangeMonitor {
+    /// Initial evaluation.
+    ///
+    /// # Panics
+    /// Panics when `radius` is not positive and finite.
+    pub fn initial(
+        grid: &Grid,
+        q: Point,
+        radius: f64,
+        q_id: Option<ObjectId>,
+        ops: &mut OpCounters,
+    ) -> Self {
+        assert!(radius > 0.0 && radius.is_finite(), "bad radius");
+        let mut m = RangeMonitor {
+            radius,
+            q_id,
+            q,
+            answer: Vec::new(),
+        };
+        m.reevaluate(grid, ops);
+        m
+    }
+
+    fn reevaluate(&mut self, grid: &Grid, ops: &mut OpCounters) {
+        ops.nn_b += 1; // a bounded (range) search
+        let mut ans = objects_in_circle(grid, &Circle::new(self.q, self.radius), ops);
+        if let Some(qid) = self.q_id {
+            ans.retain(|&(id, _)| id != qid);
+        }
+        ans.sort_unstable_by_key(|&(id, _)| id);
+        self.answer = ans;
+    }
+
+    /// Per-tick maintenance with the query's current position.
+    pub fn incremental(&mut self, grid: &Grid, q: Point, ops: &mut OpCounters) {
+        let q_moved = q != self.q;
+        self.q = q;
+        // Did any answer object move (or vanish)?
+        let member_moved = self
+            .answer
+            .iter()
+            .any(|&(id, pos)| grid.position(id) != Some(pos));
+        let dirty = q_moved || member_moved || {
+            // Did an outsider enter? Probe the closed disk excluding the
+            // current members and the query object.
+            let mut exclude: Vec<ObjectId> = self.answer.iter().map(|&(id, _)| id).collect();
+            if let Some(qid) = self.q_id {
+                exclude.push(qid);
+            }
+            ops.verifications += 1;
+            // Strictly-inside probe plus a boundary re-check below keeps
+            // the closed-disk semantics exact on re-evaluation.
+            igern_grid::exists_closer_than(
+                grid,
+                q,
+                self.radius * self.radius + igern_geom::EPS,
+                &exclude,
+                ops,
+            )
+        };
+        if dirty {
+            self.reevaluate(grid, ops);
+        }
+    }
+
+    /// The current answer ids, sorted.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.answer.iter().map(|&(id, _)| id).collect()
+    }
+
+    /// Number of objects currently in range.
+    pub fn len(&self) -> usize {
+        self.answer.len()
+    }
+
+    /// Whether the range is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.answer.is_empty()
+    }
+
+    /// The monitored radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igern_geom::Aabb;
+
+    fn grid_with(points: &[(f64, f64)]) -> Grid {
+        let mut g = Grid::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 8);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            g.insert(ObjectId(i as u32), Point::new(x, y));
+        }
+        g
+    }
+
+    fn oracle(g: &Grid, q: Point, r: f64, q_id: Option<ObjectId>) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = g
+            .iter()
+            .filter(|&(id, p)| Some(id) != q_id && q.dist_sq(p) <= r * r)
+            .map(|(id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn initial_is_exact_and_closed() {
+        let g = grid_with(&[(5.0, 5.0), (7.0, 5.0), (9.0, 5.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let m = RangeMonitor::initial(&g, q, 2.0, None, &mut ops);
+        // Object at exactly radius 2 is included (closed disk).
+        assert_eq!(m.ids(), vec![ObjectId(0), ObjectId(1)]);
+    }
+
+    #[test]
+    fn long_random_run_matches_oracle() {
+        let mut state = 13u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pts: Vec<(f64, f64)> = (0..60).map(|_| (rnd() * 10.0, rnd() * 10.0)).collect();
+        let mut g = grid_with(&pts);
+        let mut q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = RangeMonitor::initial(&g, q, 2.5, None, &mut ops);
+        for tick in 0..40 {
+            for i in 0..60u32 {
+                if rnd() < 0.3 {
+                    let p = g.position(ObjectId(i)).unwrap();
+                    g.update(
+                        ObjectId(i),
+                        Point::new(
+                            (p.x + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                            (p.y + (rnd() - 0.5) * 2.0).clamp(0.0, 10.0),
+                        ),
+                    );
+                }
+            }
+            q = Point::new(
+                (q.x + (rnd() - 0.5)).clamp(0.0, 10.0),
+                (q.y + (rnd() - 0.5)).clamp(0.0, 10.0),
+            );
+            m.incremental(&g, q, &mut ops);
+            assert_eq!(m.ids(), oracle(&g, q, 2.5, None), "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn quiescent_ticks_do_not_reevaluate() {
+        let g = grid_with(&[(4.0, 5.0), (9.0, 9.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = RangeMonitor::initial(&g, q, 2.0, None, &mut ops);
+        ops.reset();
+        for _ in 0..5 {
+            m.incremental(&g, q, &mut ops);
+        }
+        assert_eq!(ops.nn_b, 0, "no re-evaluation on quiet ticks");
+        assert_eq!(ops.verifications, 5, "one probe per tick");
+    }
+
+    #[test]
+    fn entering_and_leaving_objects_tracked() {
+        let mut g = grid_with(&[(9.0, 5.0)]);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let mut m = RangeMonitor::initial(&g, q, 2.0, None, &mut ops);
+        assert!(m.is_empty());
+        g.update(ObjectId(0), Point::new(6.0, 5.0)); // enters
+        m.incremental(&g, q, &mut ops);
+        assert_eq!(m.ids(), vec![ObjectId(0)]);
+        g.update(ObjectId(0), Point::new(9.5, 5.0)); // leaves
+        m.incremental(&g, q, &mut ops);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn query_object_excluded() {
+        let mut g = grid_with(&[(5.5, 5.0)]);
+        g.insert(ObjectId(9), Point::new(5.0, 5.0));
+        let mut ops = OpCounters::new();
+        let m = RangeMonitor::initial(&g, Point::new(5.0, 5.0), 1.0, Some(ObjectId(9)), &mut ops);
+        assert_eq!(m.ids(), vec![ObjectId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad radius")]
+    fn zero_radius_rejected() {
+        let g = grid_with(&[]);
+        let mut ops = OpCounters::new();
+        RangeMonitor::initial(&g, Point::ORIGIN, 0.0, None, &mut ops);
+    }
+}

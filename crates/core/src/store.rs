@@ -1,0 +1,219 @@
+//! The shared spatial store: grid indexes fed by the update stream.
+//!
+//! Monochromatic queries run on one grid holding every object. Bichromatic
+//! queries need the two types separately ("a grid data structure G is
+//! maintained where each cell keeps track of the moving objects within its
+//! boundaries", §4 — we keep twin grids with identical cell geometry so a
+//! cell id means the same region in both).
+
+use igern_geom::{Aabb, Point};
+use igern_grid::{Grid, ObjectId};
+
+use crate::types::ObjectKind;
+
+/// Grid indexes over the moving-object population.
+#[derive(Debug, Clone)]
+pub struct SpatialStore {
+    /// All objects, regardless of kind (monochromatic queries).
+    all: Grid,
+    /// Kind-A objects only.
+    a: Grid,
+    /// Kind-B objects only.
+    b: Grid,
+    kinds: Vec<ObjectKind>,
+}
+
+impl SpatialStore {
+    /// Create a store with `n × n` cells over `space`; `kinds[i]` is the
+    /// kind of object `i` (pass all-`A` for monochromatic workloads).
+    pub fn new(space: Aabb, n: usize, kinds: Vec<ObjectKind>) -> Self {
+        SpatialStore {
+            all: Grid::new(space, n),
+            a: Grid::new(space, n),
+            b: Grid::new(space, n),
+            kinds,
+        }
+    }
+
+    /// Bulk-load initial positions; `positions[i]` is object `i`.
+    ///
+    /// # Panics
+    /// Panics when `positions.len() != kinds.len()`.
+    pub fn load(&mut self, positions: &[Point]) {
+        assert_eq!(
+            positions.len(),
+            self.kinds.len(),
+            "kinds/positions mismatch"
+        );
+        for (i, &p) in positions.iter().enumerate() {
+            let id = ObjectId(i as u32);
+            self.all.insert(id, p);
+            match self.kinds[i] {
+                ObjectKind::A => self.a.insert(id, p),
+                ObjectKind::B => self.b.insert(id, p),
+            }
+        }
+    }
+
+    /// Insert a new object at runtime (dynamic population). The id must
+    /// be fresh; ids beyond the initial population extend the kind table.
+    pub fn insert(&mut self, id: ObjectId, kind: ObjectKind, pos: Point) {
+        if self.kinds.len() <= id.index() {
+            // Extend with placeholder kinds; only `id`'s slot is meaningful
+            // and it is set below. Placeholder slots are never read because
+            // lookups go through the grids, which only know live ids.
+            self.kinds.resize(id.index() + 1, ObjectKind::A);
+        }
+        self.kinds[id.index()] = kind;
+        self.all.insert(id, pos);
+        match kind {
+            ObjectKind::A => self.a.insert(id, pos),
+            ObjectKind::B => self.b.insert(id, pos),
+        }
+    }
+
+    /// Remove an object at runtime, returning its last position.
+    pub fn remove(&mut self, id: ObjectId) -> Option<Point> {
+        let pos = self.all.remove(id)?;
+        match self.kinds[id.index()] {
+            ObjectKind::A => self.a.remove(id),
+            ObjectKind::B => self.b.remove(id),
+        };
+        Some(pos)
+    }
+
+    /// Apply one position update.
+    pub fn apply(&mut self, id: ObjectId, pos: Point) {
+        self.all.update(id, pos);
+        match self.kinds[id.index()] {
+            ObjectKind::A => self.a.update(id, pos),
+            ObjectKind::B => self.b.update(id, pos),
+        };
+    }
+
+    /// The all-objects grid.
+    #[inline]
+    pub fn all(&self) -> &Grid {
+        &self.all
+    }
+
+    /// The kind-A grid.
+    #[inline]
+    pub fn grid_a(&self) -> &Grid {
+        &self.a
+    }
+
+    /// The kind-B grid.
+    #[inline]
+    pub fn grid_b(&self) -> &Grid {
+        &self.b
+    }
+
+    /// Kind of an object.
+    #[inline]
+    pub fn kind(&self, id: ObjectId) -> ObjectKind {
+        self.kinds[id.index()]
+    }
+
+    /// Current position of an object (from the all-objects grid).
+    #[inline]
+    pub fn position(&self, id: ObjectId) -> Option<Point> {
+        self.all.position(id)
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Cell changes recorded on the all-objects grid (Figure 6a metric).
+    #[inline]
+    pub fn cell_changes(&self) -> u64 {
+        self.all.cell_changes()
+    }
+
+    /// The data space.
+    #[inline]
+    pub fn space(&self) -> &Aabb {
+        self.all.space()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SpatialStore {
+        let kinds = vec![ObjectKind::A, ObjectKind::A, ObjectKind::B];
+        let mut s = SpatialStore::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 4, kinds);
+        s.load(&[
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 9.0),
+            Point::new(5.0, 5.0),
+        ]);
+        s
+    }
+
+    #[test]
+    fn load_routes_by_kind() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.grid_a().len(), 2);
+        assert_eq!(s.grid_b().len(), 1);
+        assert_eq!(s.kind(ObjectId(2)), ObjectKind::B);
+        assert_eq!(s.position(ObjectId(2)), Some(Point::new(5.0, 5.0)));
+        assert_eq!(s.grid_b().position(ObjectId(2)), Some(Point::new(5.0, 5.0)));
+        assert_eq!(s.grid_a().position(ObjectId(2)), None);
+    }
+
+    #[test]
+    fn apply_updates_both_grids() {
+        let mut s = store();
+        s.apply(ObjectId(0), Point::new(8.0, 1.0));
+        assert_eq!(s.position(ObjectId(0)), Some(Point::new(8.0, 1.0)));
+        assert_eq!(s.grid_a().position(ObjectId(0)), Some(Point::new(8.0, 1.0)));
+        assert!(s.cell_changes() >= 1);
+    }
+
+    #[test]
+    fn grids_share_cell_geometry() {
+        let s = store();
+        let p = Point::new(3.3, 7.7);
+        assert_eq!(s.all().cell_of_point(p), s.grid_a().cell_of_point(p));
+        assert_eq!(s.all().cell_of_point(p), s.grid_b().cell_of_point(p));
+        assert_eq!(s.all().num_cells(), s.grid_b().num_cells());
+    }
+
+    #[test]
+    fn dynamic_insert_and_remove() {
+        let mut s = store();
+        s.insert(ObjectId(10), ObjectKind::B, Point::new(2.0, 2.0));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.kind(ObjectId(10)), ObjectKind::B);
+        assert_eq!(
+            s.grid_b().position(ObjectId(10)),
+            Some(Point::new(2.0, 2.0))
+        );
+        assert_eq!(s.remove(ObjectId(10)), Some(Point::new(2.0, 2.0)));
+        assert_eq!(s.remove(ObjectId(10)), None);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.grid_b().position(ObjectId(10)), None);
+        // Removing an A object clears both grids too.
+        assert_eq!(s.remove(ObjectId(0)), Some(Point::new(1.0, 1.0)));
+        assert_eq!(s.grid_a().position(ObjectId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "kinds/positions mismatch")]
+    fn load_length_checked() {
+        let mut s = SpatialStore::new(Aabb::unit(), 2, vec![ObjectKind::A]);
+        s.load(&[Point::new(0.1, 0.1), Point::new(0.2, 0.2)]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared vocabulary types.
+
+/// Object type for bichromatic queries (paper §4): queries are of type A,
+/// answers are of type B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// The query-side type.
+    A,
+    /// The data-side type.
+    B,
+}
+
+impl ObjectKind {
+    /// The opposite kind.
+    #[inline]
+    pub fn other(self) -> ObjectKind {
+        match self {
+            ObjectKind::A => ObjectKind::B,
+            ObjectKind::B => ObjectKind::A,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_an_involution() {
+        assert_eq!(ObjectKind::A.other(), ObjectKind::B);
+        assert_eq!(ObjectKind::B.other(), ObjectKind::A);
+        assert_eq!(ObjectKind::A.other().other(), ObjectKind::A);
+    }
+}

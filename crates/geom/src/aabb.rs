@@ -1,0 +1,219 @@
+//! Axis-aligned bounding boxes (grid cells, the data space).
+
+use crate::point::Point;
+
+/// A closed axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Build from min/max corners. Panics in debug builds if inverted.
+    #[inline]
+    pub fn new(min: Point, max: Point) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "inverted AABB");
+        Aabb { min, max }
+    }
+
+    /// Build from raw coordinates.
+    #[inline]
+    pub fn from_coords(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Aabb::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// The unit square `[0,1]²`.
+    pub fn unit() -> Self {
+        Aabb::from_coords(0.0, 0.0, 1.0, 1.0)
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the box.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the closed box.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether the two closed boxes overlap.
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The four corners, counter-clockwise from `min`.
+    #[inline]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Minimum squared distance from `p` to any point of the box
+    /// (zero when `p` is inside). This is the `mindist` lower bound used
+    /// to order grid cells during best-first NN search.
+    #[inline]
+    pub fn mindist_sq(&self, p: Point) -> f64 {
+        let dx = if p.x < self.min.x {
+            self.min.x - p.x
+        } else if p.x > self.max.x {
+            p.x - self.max.x
+        } else {
+            0.0
+        };
+        let dy = if p.y < self.min.y {
+            self.min.y - p.y
+        } else if p.y > self.max.y {
+            p.y - self.max.y
+        } else {
+            0.0
+        };
+        dx * dx + dy * dy
+    }
+
+    /// Minimum distance from `p` to the box.
+    #[inline]
+    pub fn mindist(&self, p: Point) -> f64 {
+        self.mindist_sq(p).sqrt()
+    }
+
+    /// Maximum squared distance from `p` to any point of the box (always a
+    /// corner).
+    #[inline]
+    pub fn maxdist_sq(&self, p: Point) -> f64 {
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        dx * dx + dy * dy
+    }
+
+    /// Maximum distance from `p` to the box.
+    #[inline]
+    pub fn maxdist(&self, p: Point) -> f64 {
+        self.maxdist_sq(p).sqrt()
+    }
+
+    /// Clamp a point into the box.
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bx() -> Aabb {
+        Aabb::from_coords(1.0, 2.0, 3.0, 6.0)
+    }
+
+    #[test]
+    fn dimensions() {
+        let b = bx();
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 4.0);
+        assert_eq!(b.area(), 8.0);
+        assert_eq!(b.center(), Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let b = bx();
+        assert!(b.contains(Point::new(1.0, 2.0))); // corner
+        assert!(b.contains(Point::new(3.0, 6.0))); // corner
+        assert!(b.contains(Point::new(2.0, 4.0))); // interior
+        assert!(!b.contains(Point::new(0.999, 4.0)));
+        assert!(!b.contains(Point::new(2.0, 6.001)));
+    }
+
+    #[test]
+    fn mindist_zero_inside() {
+        let b = bx();
+        assert_eq!(b.mindist_sq(Point::new(2.0, 3.0)), 0.0);
+    }
+
+    #[test]
+    fn mindist_to_edge_and_corner() {
+        let b = bx();
+        // Left of the box: distance along x only.
+        assert_eq!(b.mindist(Point::new(0.0, 4.0)), 1.0);
+        // Below-left: diagonal to corner (1,2).
+        let d = b.mindist(Point::new(0.0, 0.0));
+        assert!((d - (1.0f64 + 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxdist_is_farthest_corner() {
+        let b = bx();
+        // From (1,2), the farthest corner is (3,6).
+        let d = b.maxdist(Point::new(1.0, 2.0));
+        assert!((d - (4.0f64 + 16.0).sqrt()).abs() < 1e-12);
+        // maxdist >= mindist always.
+        let p = Point::new(-5.0, 9.0);
+        assert!(b.maxdist_sq(p) >= b.mindist_sq(p));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let b = bx();
+        assert!(b.intersects(&Aabb::from_coords(2.0, 3.0, 4.0, 7.0))); // overlap
+        assert!(b.intersects(&Aabb::from_coords(3.0, 6.0, 9.0, 9.0))); // corner touch
+        assert!(!b.intersects(&Aabb::from_coords(3.1, 2.0, 4.0, 6.0))); // disjoint x
+        assert!(!b.intersects(&Aabb::from_coords(1.0, 6.1, 3.0, 7.0))); // disjoint y
+    }
+
+    #[test]
+    fn clamp_projects_onto_box() {
+        let b = bx();
+        assert_eq!(b.clamp(Point::new(0.0, 0.0)), Point::new(1.0, 2.0));
+        assert_eq!(b.clamp(Point::new(2.0, 4.0)), Point::new(2.0, 4.0));
+        assert_eq!(b.clamp(Point::new(10.0, 4.0)), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let c = bx().corners();
+        assert_eq!(c[0], Point::new(1.0, 2.0));
+        assert_eq!(c[2], Point::new(3.0, 6.0));
+        // Shoelace area of the corner loop equals the box area.
+        let mut area2 = 0.0;
+        for i in 0..4 {
+            let a = c[i];
+            let b = c[(i + 1) % 4];
+            area2 += a.cross(b);
+        }
+        assert!((area2 * 0.5 - bx().area()).abs() < 1e-12);
+    }
+}

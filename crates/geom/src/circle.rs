@@ -1,0 +1,90 @@
+//! Circles — the "dotted circles" of the paper's verification phase
+//! (the NN test around each candidate) and range-query predicates.
+
+use crate::aabb::Aabb;
+use crate::point::Point;
+
+/// A circle given by center and radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    pub center: Point,
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Create a circle; the radius must be non-negative.
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "negative radius");
+        Circle { center, radius }
+    }
+
+    /// Whether `p` lies in the closed disk.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// Whether the closed disk intersects the closed box.
+    #[inline]
+    pub fn intersects_aabb(&self, b: &Aabb) -> bool {
+        b.mindist_sq(self.center) <= self.radius * self.radius
+    }
+
+    /// Whether the closed box lies entirely inside the disk.
+    #[inline]
+    pub fn contains_aabb(&self, b: &Aabb) -> bool {
+        b.maxdist_sq(self.center) <= self.radius * self.radius
+    }
+
+    /// The bounding box of the circle.
+    #[inline]
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::from_coords(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_closed() {
+        let c = Circle::new(Point::new(1.0, 1.0), 2.0);
+        assert!(c.contains(Point::new(1.0, 3.0))); // on boundary
+        assert!(c.contains(Point::new(2.0, 2.0)));
+        assert!(!c.contains(Point::new(3.5, 1.0)));
+    }
+
+    #[test]
+    fn aabb_relations() {
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        let inside = Aabb::from_coords(-0.5, -0.5, 0.5, 0.5);
+        let crossing = Aabb::from_coords(0.5, 0.5, 2.0, 2.0);
+        let outside = Aabb::from_coords(2.0, 2.0, 3.0, 3.0);
+        assert!(c.contains_aabb(&inside));
+        assert!(c.intersects_aabb(&inside));
+        assert!(c.intersects_aabb(&crossing));
+        assert!(!c.contains_aabb(&crossing));
+        assert!(!c.intersects_aabb(&outside));
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let c = Circle::new(Point::new(2.0, -1.0), 3.0);
+        let b = c.bounding_box();
+        assert_eq!(b, Aabb::from_coords(-1.0, -4.0, 5.0, 2.0));
+    }
+
+    #[test]
+    fn zero_radius_circle() {
+        let c = Circle::new(Point::new(1.0, 1.0), 0.0);
+        assert!(c.contains(Point::new(1.0, 1.0)));
+        assert!(!c.contains(Point::new(1.0, 1.0001)));
+    }
+}

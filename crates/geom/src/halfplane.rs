@@ -1,0 +1,212 @@
+//! Perpendicular-bisector half-planes.
+//!
+//! The central pruning device of the paper: the bisector `b_j` between the
+//! query `q` and a candidate `o_j` splits the plane into the side closer to
+//! `q` (cells there stay *alive*) and the side closer to `o_j` (cells fully
+//! inside it are *dead* — no object there can have `q` as its nearest
+//! neighbor, Theorem 2, Case 2).
+
+use crate::aabb::Aabb;
+use crate::point::Point;
+use crate::EPS;
+
+/// Classification of a region against a half-plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionSide {
+    /// Entirely inside the kept side.
+    Inside,
+    /// Entirely on the pruned side.
+    Outside,
+    /// Crosses the boundary line.
+    Straddles,
+}
+
+/// The closed half-plane `{ p : a·p.x + b·p.y ≤ c }`.
+///
+/// Invariant: `(a, b)` is normalized to unit length so that
+/// [`HalfPlane::signed_dist`] is a true Euclidean distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl HalfPlane {
+    /// Half-plane from raw coefficients `a·x + b·y ≤ c`.
+    ///
+    /// Returns `None` when `(a, b)` is (numerically) the zero vector.
+    pub fn from_coeffs(a: f64, b: f64, c: f64) -> Option<Self> {
+        let n = (a * a + b * b).sqrt();
+        if n < EPS {
+            return None;
+        }
+        Some(HalfPlane {
+            a: a / n,
+            b: b / n,
+            c: c / n,
+        })
+    }
+
+    /// The perpendicular bisector of the segment `keep`–`prune`, keeping the
+    /// side of `keep`: the resulting half-plane contains exactly the points
+    /// at least as close to `keep` as to `prune`.
+    ///
+    /// Returns `None` when the two points coincide (no bisector exists).
+    pub fn bisector(keep: Point, prune: Point) -> Option<Self> {
+        // Points p with |p-keep|² ≤ |p-prune|² satisfy
+        //   2(prune-keep)·p ≤ |prune|² - |keep|².
+        let d = prune - keep;
+        HalfPlane::from_coeffs(2.0 * d.x, 2.0 * d.y, prune.norm_sq() - keep.norm_sq())
+    }
+
+    /// Signed Euclidean distance of `p` to the boundary line; negative
+    /// inside the kept side, positive on the pruned side.
+    #[inline]
+    pub fn signed_dist(&self, p: Point) -> f64 {
+        self.a * p.x + self.b * p.y - self.c
+    }
+
+    /// Whether `p` lies in the (closed) kept side.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.signed_dist(p) <= EPS
+    }
+
+    /// Classify an AABB against this half-plane.
+    ///
+    /// A box is [`RegionSide::Outside`] only when *all four corners* lie
+    /// strictly on the pruned side — this is the test that marks a grid
+    /// cell dead.
+    pub fn classify(&self, b: &Aabb) -> RegionSide {
+        let mut inside = 0u8;
+        let mut outside = 0u8;
+        for corner in b.corners() {
+            if self.signed_dist(corner) <= EPS {
+                inside += 1;
+            } else {
+                outside += 1;
+            }
+        }
+        if outside == 0 {
+            RegionSide::Inside
+        } else if inside == 0 {
+            RegionSide::Outside
+        } else {
+            RegionSide::Straddles
+        }
+    }
+
+    /// Outward unit normal of the boundary (points toward the pruned side).
+    #[inline]
+    pub fn normal(&self) -> Point {
+        Point::new(self.a, self.b)
+    }
+
+    /// Offset term of the boundary line `a·x + b·y = c`.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.c
+    }
+
+    /// Intersection point of the boundary lines of `self` and `other`, if
+    /// they are not (numerically) parallel.
+    pub fn line_intersection(&self, other: &HalfPlane) -> Option<Point> {
+        let det = self.a * other.b - other.a * self.b;
+        if det.abs() < EPS {
+            return None;
+        }
+        Some(Point::new(
+            (self.c * other.b - other.c * self.b) / det,
+            (self.a * other.c - other.a * self.c) / det,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisector_keeps_near_side() {
+        let q = Point::new(0.0, 0.0);
+        let o = Point::new(4.0, 0.0);
+        let h = HalfPlane::bisector(q, o).unwrap();
+        assert!(h.contains(q));
+        assert!(!h.contains(o));
+        // Boundary is x = 2.
+        assert!(h.signed_dist(Point::new(2.0, 123.0)).abs() < 1e-9);
+        assert!(h.contains(Point::new(1.99, -5.0)));
+        assert!(!h.contains(Point::new(2.01, 7.0)));
+    }
+
+    #[test]
+    fn bisector_membership_matches_distance_predicate() {
+        let q = Point::new(1.0, 3.0);
+        let o = Point::new(-2.0, 5.5);
+        let h = HalfPlane::bisector(q, o).unwrap();
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (-3.0, 6.0),
+            (2.0, 2.0),
+            (-0.5, 4.25),
+            (10.0, -10.0),
+        ] {
+            let p = Point::new(x, y);
+            let closer_to_q = p.dist_sq(q) <= p.dist_sq(o) + 1e-9;
+            assert_eq!(h.contains(p), closer_to_q, "at {p}");
+        }
+    }
+
+    #[test]
+    fn coincident_points_have_no_bisector() {
+        let p = Point::new(1.0, 1.0);
+        assert!(HalfPlane::bisector(p, p).is_none());
+    }
+
+    #[test]
+    fn signed_dist_is_euclidean() {
+        // x <= 0 half-plane.
+        let h = HalfPlane::from_coeffs(2.0, 0.0, 0.0).unwrap();
+        assert!((h.signed_dist(Point::new(3.0, 9.0)) - 3.0).abs() < 1e-12);
+        assert!((h.signed_dist(Point::new(-1.5, -2.0)) + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_boxes() {
+        // Keep the left of x = 2 (bisector of (0,0) and (4,0)).
+        let h = HalfPlane::bisector(Point::ORIGIN, Point::new(4.0, 0.0)).unwrap();
+        let inside = Aabb::from_coords(0.0, 0.0, 1.0, 1.0);
+        let outside = Aabb::from_coords(3.0, 0.0, 4.0, 1.0);
+        let straddle = Aabb::from_coords(1.0, 0.0, 3.0, 1.0);
+        assert_eq!(h.classify(&inside), RegionSide::Inside);
+        assert_eq!(h.classify(&outside), RegionSide::Outside);
+        assert_eq!(h.classify(&straddle), RegionSide::Straddles);
+    }
+
+    #[test]
+    fn box_touching_boundary_is_not_outside() {
+        let h = HalfPlane::bisector(Point::ORIGIN, Point::new(4.0, 0.0)).unwrap();
+        // Box whose left edge sits exactly on x = 2: closed side counts in.
+        let touching = Aabb::from_coords(2.0, 0.0, 3.0, 1.0);
+        assert_ne!(h.classify(&touching), RegionSide::Inside);
+        assert_ne!(h.classify(&touching), RegionSide::Outside);
+    }
+
+    #[test]
+    fn line_intersection() {
+        let hx = HalfPlane::from_coeffs(1.0, 0.0, 2.0).unwrap(); // x <= 2
+        let hy = HalfPlane::from_coeffs(0.0, 1.0, 5.0).unwrap(); // y <= 5
+        let p = hx.line_intersection(&hy).unwrap();
+        assert!((p.x - 2.0).abs() < 1e-12 && (p.y - 5.0).abs() < 1e-12);
+        // Parallel lines have no intersection.
+        let hx2 = HalfPlane::from_coeffs(2.0, 0.0, 8.0).unwrap();
+        assert!(hx.line_intersection(&hx2).is_none());
+    }
+
+    #[test]
+    fn degenerate_coeffs_rejected() {
+        assert!(HalfPlane::from_coeffs(0.0, 0.0, 1.0).is_none());
+    }
+}

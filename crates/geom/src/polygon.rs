@@ -1,0 +1,241 @@
+//! Convex polygons with half-plane clipping.
+//!
+//! Used to materialize bounded regions: the Voronoi cell of a bichromatic
+//! query (paper §4.3 relates IGERN's initial step to Voronoi-cell
+//! construction) and, in ablations, an exact (non-grid) alive region.
+
+use crate::aabb::Aabb;
+use crate::halfplane::HalfPlane;
+use crate::point::Point;
+use crate::EPS;
+
+/// A convex polygon stored as counter-clockwise vertices.
+///
+/// The empty polygon (no vertices) represents an empty region; clipping can
+/// produce it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Build from counter-clockwise vertices. No convexity check is done in
+    /// release builds; callers own that invariant.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        ConvexPolygon { vertices }
+    }
+
+    /// The polygon covering an AABB.
+    pub fn from_aabb(b: &Aabb) -> Self {
+        ConvexPolygon {
+            vertices: b.corners().to_vec(),
+        }
+    }
+
+    /// The vertices, counter-clockwise.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Whether the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Clip by a half-plane (Sutherland–Hodgman on a convex subject), in
+    /// place. After the call the polygon is the intersection with `h`'s
+    /// kept side.
+    pub fn clip(&mut self, h: &HalfPlane) {
+        if self.vertices.is_empty() {
+            return;
+        }
+        let n = self.vertices.len();
+        let mut out = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let nxt = self.vertices[(i + 1) % n];
+            let dc = h.signed_dist(cur);
+            let dn = h.signed_dist(nxt);
+            let cur_in = dc <= EPS;
+            let nxt_in = dn <= EPS;
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != nxt_in {
+                // Edge crosses the boundary; emit the crossing point.
+                let t = dc / (dc - dn);
+                out.push(cur.lerp(nxt, t));
+            }
+        }
+        // Drop (near-)duplicate consecutive vertices produced by clipping
+        // exactly through a vertex.
+        out.dedup_by(|a, b| a.dist_sq(*b) < EPS * EPS);
+        if out.len() >= 2 && out[0].dist_sq(*out.last().unwrap()) < EPS * EPS {
+            out.pop();
+        }
+        if out.len() < 3 {
+            out.clear();
+        }
+        self.vertices = out;
+    }
+
+    /// A clipped copy.
+    pub fn clipped(&self, h: &HalfPlane) -> Self {
+        let mut p = self.clone();
+        p.clip(h);
+        p
+    }
+
+    /// Whether `p` is inside (or on the boundary of) the polygon.
+    pub fn contains(&self, p: Point) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if (b - a).cross(p - a) < -EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Polygon area (shoelace formula).
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += self.vertices[i].cross(self.vertices[(i + 1) % n]);
+        }
+        acc * 0.5
+    }
+
+    /// Maximum distance from `p` to any vertex (i.e. to any point of the
+    /// polygon, by convexity). Zero for the empty polygon.
+    pub fn max_vertex_dist(&self, p: Point) -> f64 {
+        self.vertices.iter().map(|v| v.dist(p)).fold(0.0, f64::max)
+    }
+
+    /// Axis-aligned bounding box of the polygon, if non-empty.
+    pub fn bounding_box(&self) -> Option<Aabb> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut min = self.vertices[0];
+        let mut max = self.vertices[0];
+        for v in &self.vertices[1..] {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        Some(Aabb::new(min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> ConvexPolygon {
+        ConvexPolygon::from_aabb(&Aabb::unit())
+    }
+
+    #[test]
+    fn square_area_and_containment() {
+        let p = unit_square();
+        assert!((p.area() - 1.0).abs() < 1e-12);
+        assert!(p.contains(Point::new(0.5, 0.5)));
+        assert!(p.contains(Point::new(0.0, 0.0))); // boundary
+        assert!(!p.contains(Point::new(1.1, 0.5)));
+    }
+
+    #[test]
+    fn clip_halves_square() {
+        let mut p = unit_square();
+        // Keep x <= 0.5.
+        p.clip(&HalfPlane::from_coeffs(1.0, 0.0, 0.5).unwrap());
+        assert!((p.area() - 0.5).abs() < 1e-9);
+        assert!(p.contains(Point::new(0.25, 0.5)));
+        assert!(!p.contains(Point::new(0.75, 0.5)));
+    }
+
+    #[test]
+    fn clip_to_empty() {
+        let mut p = unit_square();
+        p.clip(&HalfPlane::from_coeffs(1.0, 0.0, -1.0).unwrap()); // x <= -1
+        assert!(p.is_empty());
+        assert_eq!(p.area(), 0.0);
+        assert!(!p.contains(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn clip_is_idempotent() {
+        let h = HalfPlane::from_coeffs(1.0, 1.0, 1.0).unwrap();
+        let once = unit_square().clipped(&h);
+        let twice = once.clipped(&h);
+        assert!((once.area() - twice.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_clip_makes_triangle() {
+        let mut p = unit_square();
+        // Keep x + y <= 1: lower-left triangle, area 1/2.
+        p.clip(&HalfPlane::from_coeffs(1.0, 1.0, 1.0).unwrap());
+        assert_eq!(p.vertices().len(), 3);
+        assert!((p.area() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn successive_clips_build_voronoi_like_cell() {
+        let mut p = ConvexPolygon::from_aabb(&Aabb::from_coords(0.0, 0.0, 10.0, 10.0));
+        let q = Point::new(5.0, 5.0);
+        let sites = [
+            Point::new(9.0, 5.0),
+            Point::new(1.0, 5.0),
+            Point::new(5.0, 9.0),
+            Point::new(5.0, 1.0),
+        ];
+        for s in sites {
+            p.clip(&HalfPlane::bisector(q, s).unwrap());
+        }
+        // Cell should be the square [3,7]², area 16.
+        assert!((p.area() - 16.0).abs() < 1e-9);
+        assert!(p.contains(q));
+        for s in sites {
+            assert!(!p.contains(s));
+        }
+    }
+
+    #[test]
+    fn max_vertex_dist_over_square() {
+        let p = unit_square();
+        let d = p.max_vertex_dist(Point::new(0.0, 0.0));
+        assert!((d - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_roundtrip() {
+        let b = Aabb::from_coords(-1.0, 2.0, 4.0, 5.0);
+        let p = ConvexPolygon::from_aabb(&b);
+        assert_eq!(p.bounding_box().unwrap(), b);
+        assert!(ConvexPolygon::default().bounding_box().is_none());
+    }
+
+    #[test]
+    fn clip_through_vertex_no_duplicates() {
+        let mut p = unit_square();
+        // Boundary passes exactly through (0,0) and (1,1).
+        p.clip(&HalfPlane::from_coeffs(1.0, -1.0, 0.0).unwrap());
+        // Triangle (0,0),(1,1),(0,1): area 1/2, three vertices.
+        assert!((p.area() - 0.5).abs() < 1e-9);
+        assert!(p.vertices().len() == 3, "got {:?}", p.vertices());
+    }
+}

@@ -1,0 +1,208 @@
+//! 60° pie sectors around a query point.
+//!
+//! The CRNN baseline (Xia & Zhang, ICDE'06) divides the space around `q`
+//! into six pie regions; by the classic result of Stanoi et al., the
+//! nearest neighbor of `q` inside each pie is the only possible RNN from
+//! that pie, so six candidates suffice in the monochromatic case.
+
+use crate::aabb::Aabb;
+use crate::point::Point;
+use crate::EPS;
+use std::f64::consts::TAU;
+
+/// Number of pies (fixed at six by the underlying geometric theorem).
+pub const SECTOR_COUNT: usize = 6;
+
+/// Width of each pie in radians (60°).
+pub const SECTOR_ANGLE: f64 = TAU / SECTOR_COUNT as f64;
+
+/// Index (0..6) of the pie around `center` that contains `p`.
+///
+/// Pie `i` spans angles `[i·60°, (i+1)·60°)` measured counter-clockwise
+/// from the positive x-axis. `p == center` is assigned to pie 0.
+#[inline]
+pub fn sector_of(center: Point, p: Point) -> usize {
+    if center.dist_sq(p) == 0.0 {
+        return 0;
+    }
+    let a = center.angle_to(p);
+    let idx = (a / SECTOR_ANGLE) as usize;
+    idx.min(SECTOR_COUNT - 1)
+}
+
+/// One unbounded 60° cone with apex at `center`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sector {
+    pub center: Point,
+    pub index: usize,
+}
+
+impl Sector {
+    /// The `index`-th pie around `center`. Panics if `index >= 6`.
+    pub fn new(center: Point, index: usize) -> Self {
+        assert!(index < SECTOR_COUNT, "sector index out of range");
+        Sector { center, index }
+    }
+
+    /// All six pies around `center`.
+    pub fn all(center: Point) -> [Sector; SECTOR_COUNT] {
+        std::array::from_fn(|i| Sector::new(center, i))
+    }
+
+    /// Start angle of the pie (radians, CCW from +x).
+    #[inline]
+    pub fn start_angle(&self) -> f64 {
+        self.index as f64 * SECTOR_ANGLE
+    }
+
+    /// End angle of the pie.
+    #[inline]
+    pub fn end_angle(&self) -> f64 {
+        (self.index + 1) as f64 * SECTOR_ANGLE
+    }
+
+    /// Whether `p` lies in this pie (apex belongs to pie 0).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        sector_of(self.center, p) == self.index
+    }
+
+    /// Unit direction of the boundary ray at angle `a`.
+    fn ray_dir(a: f64) -> Point {
+        Point::new(a.cos(), a.sin())
+    }
+
+    /// Whether the unbounded cone intersects the closed box.
+    ///
+    /// Exact for convex cone vs. box: they intersect iff the box contains
+    /// the apex, or a box corner lies in the cone, or one of the two
+    /// boundary rays passes through the box.
+    pub fn intersects_aabb(&self, b: &Aabb) -> bool {
+        if b.contains(self.center) {
+            return true;
+        }
+        if b.corners().iter().any(|&c| self.contains(c)) {
+            return true;
+        }
+        ray_hits_aabb(self.center, Self::ray_dir(self.start_angle()), b)
+            || ray_hits_aabb(self.center, Self::ray_dir(self.end_angle()), b)
+    }
+}
+
+/// Whether the ray `origin + t·dir (t ≥ 0)` intersects the closed box
+/// (slab method).
+fn ray_hits_aabb(origin: Point, dir: Point, b: &Aabb) -> bool {
+    let mut tmin: f64 = 0.0;
+    let mut tmax = f64::INFINITY;
+    for (o, d, lo, hi) in [
+        (origin.x, dir.x, b.min.x, b.max.x),
+        (origin.y, dir.y, b.min.y, b.max.y),
+    ] {
+        if d.abs() < EPS {
+            if o < lo - EPS || o > hi + EPS {
+                return false;
+            }
+        } else {
+            let t1 = (lo - o) / d;
+            let t2 = (hi - o) / d;
+            let (t1, t2) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            tmin = tmin.max(t1);
+            tmax = tmax.min(t2);
+            if tmin > tmax + EPS {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_sectors_partition_the_plane() {
+        let c = Point::new(3.0, 3.0);
+        // Walk a circle of directions; each must land in exactly one pie.
+        let mut seen = [0usize; SECTOR_COUNT];
+        for k in 0..360 {
+            // Offset by half a degree so no probe sits on a pie boundary,
+            // where the floor computation is legitimately tie-broken by
+            // floating-point rounding.
+            let a = (k as f64 + 0.5) * TAU / 360.0;
+            let p = c + Point::new(a.cos(), a.sin()) * 5.0;
+            seen[sector_of(c, p)] += 1;
+        }
+        for (i, &n) in seen.iter().enumerate() {
+            assert_eq!(n, 60, "pie {i} should cover exactly 60 of 360 degrees");
+        }
+    }
+
+    #[test]
+    fn sector_of_axis_directions() {
+        let c = Point::ORIGIN;
+        assert_eq!(sector_of(c, Point::new(1.0, 0.1)), 0);
+        assert_eq!(sector_of(c, Point::new(0.0, 1.0)), 1);
+        assert_eq!(sector_of(c, Point::new(-1.0, 0.1)), 2);
+        assert_eq!(sector_of(c, Point::new(-1.0, -0.1)), 3);
+        assert_eq!(sector_of(c, Point::new(0.0, -1.0)), 4);
+        assert_eq!(sector_of(c, Point::new(1.0, -0.1)), 5);
+    }
+
+    #[test]
+    fn apex_belongs_to_sector_zero() {
+        let c = Point::new(1.0, 2.0);
+        assert_eq!(sector_of(c, c), 0);
+        assert!(Sector::new(c, 0).contains(c));
+        assert!(!Sector::new(c, 3).contains(c));
+    }
+
+    #[test]
+    fn containment_matches_sector_of() {
+        let c = Point::new(-2.0, 5.0);
+        for i in 0..SECTOR_COUNT {
+            let s = Sector::new(c, i);
+            let mid = (s.start_angle() + s.end_angle()) * 0.5;
+            let p = c + Point::new(mid.cos(), mid.sin()) * 3.0;
+            assert!(s.contains(p));
+            assert_eq!(sector_of(c, p), i);
+        }
+    }
+
+    #[test]
+    fn cone_box_intersection() {
+        let c = Point::ORIGIN;
+        let s0 = Sector::new(c, 0); // 0°..60°
+                                    // Box straight to the right, around the 30° midline.
+        assert!(s0.intersects_aabb(&Aabb::from_coords(2.0, 1.0, 3.0, 2.0)));
+        // Box containing the apex intersects all pies.
+        let around = Aabb::from_coords(-1.0, -1.0, 1.0, 1.0);
+        for i in 0..SECTOR_COUNT {
+            assert!(Sector::new(c, i).intersects_aabb(&around));
+        }
+        // Box straight up-left is out of pie 0.
+        assert!(!s0.intersects_aabb(&Aabb::from_coords(-5.0, 2.0, -4.0, 3.0)));
+        // Thin box crossed only by the boundary ray at 0°.
+        assert!(s0.intersects_aabb(&Aabb::from_coords(5.0, -0.5, 6.0, 0.0)));
+    }
+
+    #[test]
+    fn ray_aabb_slab() {
+        let b = Aabb::from_coords(1.0, 1.0, 2.0, 2.0);
+        assert!(ray_hits_aabb(Point::ORIGIN, Point::new(1.0, 1.0), &b));
+        assert!(!ray_hits_aabb(Point::ORIGIN, Point::new(-1.0, -1.0), &b));
+        assert!(!ray_hits_aabb(Point::ORIGIN, Point::new(1.0, 0.0), &b));
+        // Ray starting inside the box.
+        assert!(ray_hits_aabb(
+            Point::new(1.5, 1.5),
+            Point::new(0.0, 1.0),
+            &b
+        ));
+        // Axis-parallel ray on the box edge.
+        assert!(ray_hits_aabb(
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 0.0),
+            &b
+        ));
+    }
+}

@@ -1,0 +1,159 @@
+//! Line segments: projection, distance, intersection.
+//!
+//! Road-network edges are segments; the movers and several tests need
+//! point-to-segment distances (is an object on the network?), and the
+//! synthetic network builder can use intersection tests to keep its
+//! output planar.
+
+use crate::point::Point;
+use crate::EPS;
+
+/// A closed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    /// Create a segment.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Whether the segment is degenerate (a single point).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.a.dist_sq(self.b) < EPS * EPS
+    }
+
+    /// Parameter `t ∈ [0, 1]` of the point on the segment closest to `p`.
+    pub fn project(&self, p: Point) -> f64 {
+        let ab = self.b - self.a;
+        let denom = ab.norm_sq();
+        if denom < EPS * EPS {
+            return 0.0;
+        }
+        ((p - self.a).dot(ab) / denom).clamp(0.0, 1.0)
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        self.a.lerp(self.b, self.project(p))
+    }
+
+    /// Squared distance from `p` to the segment.
+    #[inline]
+    pub fn dist_sq(&self, p: Point) -> f64 {
+        self.closest_point(p).dist_sq(p)
+    }
+
+    /// Distance from `p` to the segment.
+    #[inline]
+    pub fn dist(&self, p: Point) -> f64 {
+        self.dist_sq(p).sqrt()
+    }
+
+    /// Point at arc-length parameter `t ∈ [0, 1]`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Whether two closed segments intersect (including touching
+    /// endpoints and collinear overlap).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        fn orient(a: Point, b: Point, c: Point) -> f64 {
+            (b - a).cross(c - a)
+        }
+        fn on_segment(a: Point, b: Point, c: Point) -> bool {
+            // c collinear with ab assumed; is it within the box?
+            c.x >= a.x.min(b.x) - EPS
+                && c.x <= a.x.max(b.x) + EPS
+                && c.y >= a.y.min(b.y) - EPS
+                && c.y <= a.y.max(b.y) + EPS
+        }
+        let (p1, p2, p3, p4) = (self.a, self.b, other.a, other.b);
+        let d1 = orient(p3, p4, p1);
+        let d2 = orient(p3, p4, p2);
+        let d3 = orient(p1, p2, p3);
+        let d4 = orient(p1, p2, p4);
+        if ((d1 > EPS && d2 < -EPS) || (d1 < -EPS && d2 > EPS))
+            && ((d3 > EPS && d4 < -EPS) || (d3 < -EPS && d4 > EPS))
+        {
+            return true;
+        }
+        (d1.abs() <= EPS && on_segment(p3, p4, p1))
+            || (d2.abs() <= EPS && on_segment(p3, p4, p2))
+            || (d3.abs() <= EPS && on_segment(p1, p2, p3))
+            || (d4.abs() <= EPS && on_segment(p1, p2, p4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.project(Point::new(-5.0, 3.0)), 0.0);
+        assert_eq!(s.project(Point::new(15.0, 3.0)), 1.0);
+        assert!((s.project(Point::new(4.0, 7.0)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_cases() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.dist(Point::new(5.0, 3.0)), 3.0); // perpendicular
+        assert_eq!(s.dist(Point::new(13.0, 4.0)), 5.0); // past endpoint
+        assert_eq!(s.dist(Point::new(7.0, 0.0)), 0.0); // on segment
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = seg(2.0, 2.0, 2.0, 2.0);
+        assert!(s.is_empty());
+        assert_eq!(s.dist(Point::new(5.0, 6.0)), 5.0);
+        assert_eq!(s.closest_point(Point::new(9.0, 9.0)), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        assert!(seg(0.0, 0.0, 4.0, 4.0).intersects(&seg(0.0, 4.0, 4.0, 0.0)));
+        assert!(!seg(0.0, 0.0, 1.0, 1.0).intersects(&seg(2.0, 2.0, 3.0, 1.0)));
+    }
+
+    #[test]
+    fn touching_endpoints_intersect() {
+        assert!(seg(0.0, 0.0, 2.0, 0.0).intersects(&seg(2.0, 0.0, 4.0, 2.0)));
+        // T-junction.
+        assert!(seg(0.0, 0.0, 4.0, 0.0).intersects(&seg(2.0, -1.0, 2.0, 0.0)));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        assert!(seg(0.0, 0.0, 4.0, 0.0).intersects(&seg(2.0, 0.0, 6.0, 0.0)));
+        assert!(!seg(0.0, 0.0, 1.0, 0.0).intersects(&seg(2.0, 0.0, 3.0, 0.0)));
+    }
+
+    #[test]
+    fn at_walks_the_segment() {
+        let s = seg(0.0, 0.0, 10.0, 20.0);
+        assert_eq!(s.at(0.0), s.a);
+        assert_eq!(s.at(1.0), s.b);
+        assert_eq!(s.at(0.5), Point::new(5.0, 10.0));
+        assert!((s.len() - (100.0f64 + 400.0).sqrt()).abs() < 1e-12);
+    }
+}

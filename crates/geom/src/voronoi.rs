@@ -1,0 +1,174 @@
+//! Incremental Voronoi-cell construction by half-plane clipping.
+//!
+//! The repetitive-Voronoi baseline for bichromatic RNN (paper §6, "Voronoi
+//! cost") rebuilds, at every timestamp, the Voronoi cell of the query
+//! `q_A` with respect to the A-objects: B-objects inside that cell have
+//! `q_A` as their nearest A-object and are exactly the bichromatic RNNs.
+//!
+//! The cell is built by clipping the data-space box with the bisector of
+//! each A-site, with sites supplied in increasing distance from `q_A`.
+//! [`VoronoiCell::is_complete_up_to`] gives the standard sufficient
+//! stopping rule: once the next unseen site is farther than twice the
+//! distance from `q_A` to the farthest cell vertex, no further site can
+//! clip the cell.
+
+use crate::aabb::Aabb;
+use crate::halfplane::HalfPlane;
+use crate::point::Point;
+use crate::polygon::ConvexPolygon;
+
+/// The (partial) Voronoi cell of a center point, under incremental
+/// clipping.
+#[derive(Debug, Clone)]
+pub struct VoronoiCell {
+    center: Point,
+    cell: ConvexPolygon,
+    sites_applied: usize,
+}
+
+impl VoronoiCell {
+    /// Start with the whole data space as the cell of `center`.
+    pub fn new(center: Point, space: &Aabb) -> Self {
+        debug_assert!(space.contains(center), "center outside data space");
+        VoronoiCell {
+            center,
+            cell: ConvexPolygon::from_aabb(space),
+            sites_applied: 0,
+        }
+    }
+
+    /// The cell center (the query object).
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// The current clipped polygon.
+    #[inline]
+    pub fn polygon(&self) -> &ConvexPolygon {
+        &self.cell
+    }
+
+    /// Number of sites whose bisectors have been applied.
+    #[inline]
+    pub fn sites_applied(&self) -> usize {
+        self.sites_applied
+    }
+
+    /// Clip the cell by the bisector with `site`. Sites coincident with the
+    /// center are ignored (they cannot define a bisector; ties keep the
+    /// center's side closed).
+    pub fn add_site(&mut self, site: Point) {
+        if let Some(h) = HalfPlane::bisector(self.center, site) {
+            self.cell.clip(&h);
+            self.sites_applied += 1;
+        }
+    }
+
+    /// Distance from the center to the farthest vertex of the current cell.
+    pub fn max_vertex_dist(&self) -> f64 {
+        self.cell.max_vertex_dist(self.center)
+    }
+
+    /// Sufficient stopping rule: if every not-yet-applied site is at
+    /// distance `> 2 · max_vertex_dist()` from the center, the cell is
+    /// final. (Such a site's bisector lies at distance greater than the
+    /// farthest vertex and cannot intersect the cell.)
+    pub fn is_complete_up_to(&self, next_site_dist: f64) -> bool {
+        next_site_dist > 2.0 * self.max_vertex_dist()
+    }
+
+    /// Whether `p` lies in the current cell.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.cell.contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Aabb {
+        Aabb::from_coords(0.0, 0.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn cell_of_isolated_center_is_whole_space() {
+        let v = VoronoiCell::new(Point::new(5.0, 5.0), &space());
+        assert!((v.polygon().area() - 100.0).abs() < 1e-9);
+        assert!(v.contains(Point::new(0.1, 9.9)));
+    }
+
+    #[test]
+    fn two_site_cell_is_half_space() {
+        let mut v = VoronoiCell::new(Point::new(2.0, 5.0), &space());
+        v.add_site(Point::new(8.0, 5.0));
+        // Bisector x = 5; cell is [0,5]×[0,10].
+        assert!((v.polygon().area() - 50.0).abs() < 1e-9);
+        assert!(v.contains(Point::new(4.9, 1.0)));
+        assert!(!v.contains(Point::new(5.1, 1.0)));
+    }
+
+    #[test]
+    fn membership_equals_nearest_site_predicate() {
+        // Deterministic pseudo-random sites via an LCG; no external deps.
+        let mut state = 42u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        let center = Point::new(5.0, 5.0);
+        let sites: Vec<Point> = (0..24).map(|_| Point::new(rnd(), rnd())).collect();
+        let mut v = VoronoiCell::new(center, &space());
+        for &s in &sites {
+            v.add_site(s);
+        }
+        // Probe a grid of points: inside-cell ⇔ center is the nearest site.
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = Point::new(0.25 + i as f64 * 0.5, 0.25 + j as f64 * 0.5);
+                let d_center = p.dist_sq(center);
+                let d_best = sites
+                    .iter()
+                    .map(|s| p.dist_sq(*s))
+                    .fold(f64::INFINITY, f64::min);
+                let in_cell = v.contains(p);
+                // Skip near-ties where float noise decides either way.
+                if (d_center - d_best).abs() > 1e-6 {
+                    assert_eq!(in_cell, d_center < d_best, "probe {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stopping_rule_is_sound() {
+        let center = Point::new(5.0, 5.0);
+        let mut v = VoronoiCell::new(center, &space());
+        v.add_site(Point::new(6.0, 5.0));
+        v.add_site(Point::new(4.0, 5.0));
+        v.add_site(Point::new(5.0, 6.0));
+        v.add_site(Point::new(5.0, 4.0));
+        let r = v.max_vertex_dist();
+        // A site farther than 2r cannot change the cell.
+        let area_before = v.polygon().area();
+        let far = center + Point::new(2.0 * r + 0.5, 0.0);
+        assert!(v.is_complete_up_to(center.dist(far)));
+        if space().contains(far) {
+            v.add_site(far);
+            assert!((v.polygon().area() - area_before).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coincident_site_ignored() {
+        let center = Point::new(5.0, 5.0);
+        let mut v = VoronoiCell::new(center, &space());
+        v.add_site(center);
+        assert_eq!(v.sites_applied(), 0);
+        assert!((v.polygon().area() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Bitsets over grid cells: the *alive / dead* bookkeeping of IGERN.
+//!
+//! "Initially ... all grid cells in the grid data structure G are set as
+//! alive, i.e., every cell has the potential of containing reverse nearest
+//! neighbors of q" (paper, §3.1). Bisector pruning then marks cells dead.
+
+/// A fixed-capacity bitset addressing the `n·n` cells of a grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSet {
+    words: Vec<u64>,
+    len: usize,
+    count: usize,
+}
+
+impl CellSet {
+    /// An all-clear set over `len` cells.
+    pub fn new(len: usize) -> Self {
+        CellSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            count: 0,
+        }
+    }
+
+    /// An all-set ("all cells alive") set over `len` cells.
+    pub fn full(len: usize) -> Self {
+        let mut s = CellSet::new(len);
+        s.fill();
+        s
+    }
+
+    /// Capacity in cells.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Number of set cells.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no cell is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether cell `i` is set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Set cell `i`. Returns whether the set changed.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1 << (i % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clear cell `i`. Returns whether the set changed.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1 << (i % 64);
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clear everything.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.count = 0;
+    }
+
+    /// Set everything.
+    pub fn fill(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        self.words.iter_mut().for_each(|w| *w = !0);
+        // Mask the tail word so iteration never yields out-of-range cells.
+        let tail = self.len % 64;
+        if tail != 0 {
+            *self.words.last_mut().unwrap() = (1u64 << tail) - 1;
+        }
+        self.count = self.len;
+    }
+
+    /// Iterate over the indices of set cells, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// In-place intersection with `other`. Both sets must have the same
+    /// capacity.
+    pub fn intersect_with(&mut self, other: &CellSet) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        let mut count = 0;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+            count += a.count_ones() as usize;
+        }
+        self.count = count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = CellSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129)); // already set
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = CellSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert_eq!(s.iter().count(), 70);
+        assert_eq!(s.iter().max(), Some(69));
+    }
+
+    #[test]
+    fn full_with_word_aligned_capacity() {
+        let s = CellSet::full(128);
+        assert_eq!(s.count(), 128);
+        assert_eq!(s.iter().max(), Some(127));
+    }
+
+    #[test]
+    fn iter_is_ascending_and_exact() {
+        let mut s = CellSet::new(200);
+        for &i in &[3usize, 64, 65, 128, 199] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![3, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = CellSet::full(100);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn intersection() {
+        let mut a = CellSet::new(100);
+        let mut b = CellSet::new(100);
+        for i in 0..50 {
+            a.insert(i);
+        }
+        for i in 25..75 {
+            b.insert(i);
+        }
+        a.intersect_with(&b);
+        assert_eq!(a.count(), 25);
+        assert!(a.contains(25) && a.contains(49));
+        assert!(!a.contains(24) && !a.contains(50));
+    }
+
+    #[test]
+    fn empty_capacity_set() {
+        let mut s = CellSet::new(0);
+        s.fill();
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+    }
+}

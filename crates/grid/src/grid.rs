@@ -1,0 +1,352 @@
+//! The N×N uniform grid over the data space.
+
+use igern_geom::{Aabb, Point};
+
+use crate::object::ObjectId;
+
+/// Index of a grid cell, in row-major order (`iy * n + ix`).
+pub type CellId = usize;
+
+/// A uniform grid of `n × n` equal-size cells over a rectangular data
+/// space. Each cell keeps the ids of the objects currently inside it; a
+/// flat per-object table stores the exact position and current cell.
+///
+/// The grid also counts *cell changes* — the number of object updates that
+/// moved an object across a cell boundary — which is the maintenance-cost
+/// metric of the paper's Figure 6a.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    space: Aabb,
+    n: usize,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<Vec<ObjectId>>,
+    /// Indexed by `ObjectId::index()`: position and current cell.
+    objects: Vec<Option<(Point, CellId)>>,
+    len: usize,
+    cell_changes: u64,
+}
+
+impl Grid {
+    /// Suggest a cells-per-side value for a population size, from the
+    /// Figure-6 trade-off (coarse grids make searches scan too many
+    /// objects; fine grids pay in update overhead). Calibrated on the E1
+    /// sweep of this reproduction: the CPU minimum sits where cells hold
+    /// roughly two dozen objects, i.e. `n ≈ sqrt(objects / 24)`, clamped
+    /// to `[4, 256]`.
+    pub fn suggest_size(num_objects: usize) -> usize {
+        ((num_objects as f64 / 24.0).sqrt().round() as usize).clamp(4, 256)
+    }
+
+    /// Create an empty grid of `n × n` cells over `space`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or the space is degenerate.
+    pub fn new(space: Aabb, n: usize) -> Self {
+        assert!(n > 0, "grid must have at least one cell per side");
+        assert!(
+            space.width() > 0.0 && space.height() > 0.0,
+            "degenerate data space"
+        );
+        Grid {
+            space,
+            n,
+            cell_w: space.width() / n as f64,
+            cell_h: space.height() / n as f64,
+            cells: vec![Vec::new(); n * n],
+            objects: Vec::new(),
+            len: 0,
+            cell_changes: 0,
+        }
+    }
+
+    /// The data space.
+    #[inline]
+    pub fn space(&self) -> &Aabb {
+        &self.space
+    }
+
+    /// Cells per side (the paper's grid-size parameter).
+    #[inline]
+    pub fn cells_per_side(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of cells (`n²`).
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// The smaller of the two cell extents — the unit of the ring-search
+    /// lower bound.
+    #[inline]
+    pub fn min_cell_extent(&self) -> f64 {
+        self.cell_w.min(self.cell_h)
+    }
+
+    /// Number of objects currently indexed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid holds no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Column of the cell containing x-coordinate `x` (clamped to range).
+    #[inline]
+    fn col_of(&self, x: f64) -> usize {
+        let c = ((x - self.space.min.x) / self.cell_w) as isize;
+        c.clamp(0, self.n as isize - 1) as usize
+    }
+
+    /// Row of the cell containing y-coordinate `y` (clamped to range).
+    #[inline]
+    fn row_of(&self, y: f64) -> usize {
+        let r = ((y - self.space.min.y) / self.cell_h) as isize;
+        r.clamp(0, self.n as isize - 1) as usize
+    }
+
+    /// Cell containing `p` (points outside the space are clamped onto the
+    /// boundary cells).
+    #[inline]
+    pub fn cell_of_point(&self, p: Point) -> CellId {
+        self.cell_at(self.col_of(p.x), self.row_of(p.y))
+    }
+
+    /// Cell id from `(column, row)` coordinates.
+    #[inline]
+    pub fn cell_at(&self, ix: usize, iy: usize) -> CellId {
+        debug_assert!(ix < self.n && iy < self.n);
+        iy * self.n + ix
+    }
+
+    /// `(column, row)` coordinates of a cell id.
+    #[inline]
+    pub fn cell_coords(&self, c: CellId) -> (usize, usize) {
+        (c % self.n, c / self.n)
+    }
+
+    /// Geometric bounds of a cell.
+    pub fn cell_bounds(&self, c: CellId) -> Aabb {
+        let (ix, iy) = self.cell_coords(c);
+        let x0 = self.space.min.x + ix as f64 * self.cell_w;
+        let y0 = self.space.min.y + iy as f64 * self.cell_h;
+        Aabb::from_coords(x0, y0, x0 + self.cell_w, y0 + self.cell_h)
+    }
+
+    /// Objects currently inside cell `c`.
+    #[inline]
+    pub fn objects_in(&self, c: CellId) -> &[ObjectId] {
+        &self.cells[c]
+    }
+
+    /// Current position of object `id`, if indexed.
+    #[inline]
+    pub fn position(&self, id: ObjectId) -> Option<Point> {
+        self.objects
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .map(|&(p, _)| p)
+    }
+
+    /// Insert a new object.
+    ///
+    /// # Panics
+    /// Panics if `id` is already indexed.
+    pub fn insert(&mut self, id: ObjectId, p: Point) {
+        if self.objects.len() <= id.index() {
+            self.objects.resize(id.index() + 1, None);
+        }
+        assert!(
+            self.objects[id.index()].is_none(),
+            "object {id} already in grid"
+        );
+        let c = self.cell_of_point(p);
+        self.cells[c].push(id);
+        self.objects[id.index()] = Some((p, c));
+        self.len += 1;
+    }
+
+    /// Remove an object, returning its last position.
+    pub fn remove(&mut self, id: ObjectId) -> Option<Point> {
+        let (p, c) = self.objects.get_mut(id.index())?.take()?;
+        let cell = &mut self.cells[c];
+        let at = cell.iter().position(|&o| o == id).expect("cell desync");
+        cell.swap_remove(at);
+        self.len -= 1;
+        Some(p)
+    }
+
+    /// Move an object to a new position. Returns `true` when the update
+    /// crossed a cell boundary (and was therefore charged as a *cell
+    /// change*).
+    ///
+    /// # Panics
+    /// Panics if `id` is not indexed.
+    pub fn update(&mut self, id: ObjectId, p: Point) -> bool {
+        let slot = self.objects[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("object {id} not in grid"));
+        let old_cell = slot.1;
+        let new_cell = {
+            // Inline cell_of_point to sidestep the borrow of `slot`.
+            let ix = (((p.x - self.space.min.x) / self.cell_w) as isize)
+                .clamp(0, self.n as isize - 1) as usize;
+            let iy = (((p.y - self.space.min.y) / self.cell_h) as isize)
+                .clamp(0, self.n as isize - 1) as usize;
+            iy * self.n + ix
+        };
+        slot.0 = p;
+        if new_cell == old_cell {
+            return false;
+        }
+        slot.1 = new_cell;
+        let cell = &mut self.cells[old_cell];
+        let at = cell.iter().position(|&o| o == id).expect("cell desync");
+        cell.swap_remove(at);
+        self.cells[new_cell].push(id);
+        self.cell_changes += 1;
+        true
+    }
+
+    /// Number of cell-boundary crossings recorded so far (Figure 6a's
+    /// metric).
+    #[inline]
+    pub fn cell_changes(&self) -> u64 {
+        self.cell_changes
+    }
+
+    /// Reset the cell-change counter.
+    pub fn reset_cell_changes(&mut self) {
+        self.cell_changes = 0;
+    }
+
+    /// Iterate over all `(id, position)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|(p, _)| (ObjectId(i as u32), p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid4() -> Grid {
+        Grid::new(Aabb::from_coords(0.0, 0.0, 4.0, 4.0), 4)
+    }
+
+    #[test]
+    fn cell_addressing_roundtrip() {
+        let g = grid4();
+        for iy in 0..4 {
+            for ix in 0..4 {
+                let c = g.cell_at(ix, iy);
+                assert_eq!(g.cell_coords(c), (ix, iy));
+                let b = g.cell_bounds(c);
+                assert_eq!(g.cell_of_point(b.center()), c);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_space_points_clamp_to_border_cells() {
+        let g = grid4();
+        assert_eq!(g.cell_of_point(Point::new(-5.0, -5.0)), g.cell_at(0, 0));
+        assert_eq!(g.cell_of_point(Point::new(99.0, 99.0)), g.cell_at(3, 3));
+        assert_eq!(g.cell_of_point(Point::new(4.0, 0.0)), g.cell_at(3, 0));
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut g = grid4();
+        g.insert(ObjectId(0), Point::new(0.5, 0.5));
+        g.insert(ObjectId(5), Point::new(3.5, 3.5));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.position(ObjectId(0)), Some(Point::new(0.5, 0.5)));
+        assert_eq!(g.position(ObjectId(1)), None);
+        assert_eq!(g.objects_in(g.cell_at(0, 0)), &[ObjectId(0)]);
+        assert_eq!(g.remove(ObjectId(0)), Some(Point::new(0.5, 0.5)));
+        assert_eq!(g.remove(ObjectId(0)), None);
+        assert_eq!(g.len(), 1);
+        assert!(g.objects_in(g.cell_at(0, 0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in grid")]
+    fn double_insert_panics() {
+        let mut g = grid4();
+        g.insert(ObjectId(0), Point::new(0.5, 0.5));
+        g.insert(ObjectId(0), Point::new(1.5, 0.5));
+    }
+
+    #[test]
+    fn update_within_cell_is_free() {
+        let mut g = grid4();
+        g.insert(ObjectId(0), Point::new(0.2, 0.2));
+        assert!(!g.update(ObjectId(0), Point::new(0.8, 0.9)));
+        assert_eq!(g.cell_changes(), 0);
+        assert_eq!(g.position(ObjectId(0)), Some(Point::new(0.8, 0.9)));
+    }
+
+    #[test]
+    fn update_across_cells_is_charged() {
+        let mut g = grid4();
+        g.insert(ObjectId(0), Point::new(0.5, 0.5));
+        assert!(g.update(ObjectId(0), Point::new(2.5, 3.5)));
+        assert_eq!(g.cell_changes(), 1);
+        assert!(g.objects_in(g.cell_at(0, 0)).is_empty());
+        assert_eq!(g.objects_in(g.cell_at(2, 3)), &[ObjectId(0)]);
+        g.reset_cell_changes();
+        assert_eq!(g.cell_changes(), 0);
+    }
+
+    #[test]
+    fn iteration_covers_all_objects() {
+        let mut g = grid4();
+        for i in 0..10u32 {
+            g.insert(ObjectId(i), Point::new(0.1 + 0.35 * i as f64, 2.0));
+        }
+        let mut ids: Vec<u32> = g.iter().map(|(id, _)| id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_ids_are_supported() {
+        let mut g = grid4();
+        g.insert(ObjectId(1000), Point::new(1.0, 1.0));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.position(ObjectId(1000)), Some(Point::new(1.0, 1.0)));
+        assert_eq!(g.position(ObjectId(999)), None);
+    }
+
+    #[test]
+    fn suggested_sizes_follow_the_sweep() {
+        assert_eq!(Grid::suggest_size(0), 4);
+        assert_eq!(Grid::suggest_size(100), 4);
+        assert_eq!(Grid::suggest_size(100_000), 65);
+        assert_eq!(Grid::suggest_size(10_000_000), 256); // clamped
+                                                         // Monotone non-decreasing.
+        let mut prev = 0;
+        for n in [10, 1_000, 50_000, 200_000, 5_000_000] {
+            let s = Grid::suggest_size(n);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn cell_bounds_tile_the_space() {
+        let g = Grid::new(Aabb::from_coords(-2.0, 1.0, 6.0, 9.0), 8);
+        let total: f64 = (0..g.num_cells()).map(|c| g.cell_bounds(c).area()).sum();
+        assert!((total - g.space().area()).abs() < 1e-9);
+    }
+}

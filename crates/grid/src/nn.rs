@@ -1,0 +1,696 @@
+//! Nearest-neighbor search over the grid: the unconstrained (`NN`),
+//! constrained (`NN_c`), and bounded (`NN_b`) variants of the paper's
+//! Section-6 cost model, plus a k-NN and a range-emptiness test used by
+//! the verification phases.
+//!
+//! All searches use ring expansion ([`crate::visit`]) with the monotone
+//! lower bound *"every cell in ring `r` is at least `(r−1)` cell extents
+//! away"*, so they terminate as soon as no farther ring can improve the
+//! current best.
+
+use igern_geom::{Aabb, Point};
+
+use crate::cellset::CellSet;
+use crate::grid::{CellId, Grid};
+use crate::object::ObjectId;
+use crate::stats::OpCounters;
+use crate::visit::{max_ring_radius, ring_cells};
+
+/// A search result: object id, its position, and the squared distance to
+/// the query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub id: ObjectId,
+    pub pos: Point,
+    pub dist_sq: f64,
+}
+
+impl Neighbor {
+    /// Euclidean distance to the query.
+    #[inline]
+    pub fn dist(&self) -> f64 {
+        self.dist_sq.sqrt()
+    }
+}
+
+/// Scan one cell, updating `best` with any closer object that passes
+/// `accept`.
+#[inline]
+fn scan_cell<F: FnMut(ObjectId, Point) -> bool>(
+    grid: &Grid,
+    cell: CellId,
+    q: Point,
+    accept: &mut F,
+    best: &mut Option<Neighbor>,
+    ops: &mut OpCounters,
+) {
+    ops.cells_visited += 1;
+    for &id in grid.objects_in(cell) {
+        ops.objects_visited += 1;
+        let pos = grid.position(id).expect("cell desync");
+        let d = q.dist_sq(pos);
+        if best.is_none_or(|b| d < b.dist_sq) && accept(id, pos) {
+            *best = Some(Neighbor {
+                id,
+                pos,
+                dist_sq: d,
+            });
+        }
+    }
+}
+
+/// Unconstrained nearest neighbor of `q` (the `NN` of §6), optionally
+/// excluding one object (e.g. the query object itself, or the candidate
+/// being verified).
+pub fn nearest(
+    grid: &Grid,
+    q: Point,
+    exclude: Option<ObjectId>,
+    ops: &mut OpCounters,
+) -> Option<Neighbor> {
+    nearest_where(
+        grid,
+        q,
+        |_, _| true,
+        |id, _| Some(id) != exclude,
+        f64::INFINITY,
+        ops,
+    )
+}
+
+/// Generalized ring-expansion NN search.
+///
+/// * `cell_pred` — prunes whole cells (constrained search, e.g. CRNN's pie
+///   regions or a bounded alive region);
+/// * `obj_pred`  — accepts/rejects individual objects (exact region tests,
+///   exclusions);
+/// * `max_dist`  — bounded search (`NN_b`): objects farther than this are
+///   never reported and rings beyond it are never expanded. Pass
+///   `f64::INFINITY` for an unbounded search.
+pub fn nearest_where<C, O>(
+    grid: &Grid,
+    q: Point,
+    mut cell_pred: C,
+    mut obj_pred: O,
+    max_dist: f64,
+    ops: &mut OpCounters,
+) -> Option<Neighbor>
+where
+    C: FnMut(CellId, &Aabb) -> bool,
+    O: FnMut(ObjectId, Point) -> bool,
+{
+    let (cx, cy) = grid.cell_coords(grid.cell_of_point(q));
+    let max_r = max_ring_radius(grid, cx, cy);
+    let ext = grid.min_cell_extent();
+    let max_dist_sq = if max_dist.is_finite() {
+        max_dist * max_dist
+    } else {
+        f64::INFINITY
+    };
+    let mut best: Option<Neighbor> = None;
+    for r in 0..=max_r {
+        // Everything in ring r (and beyond) is at least (r-1)·ext away.
+        if r >= 1 {
+            let lb = (r as f64 - 1.0) * ext;
+            let lb_sq = lb * lb;
+            if lb_sq > max_dist_sq {
+                break;
+            }
+            if let Some(b) = best {
+                if b.dist_sq <= lb_sq {
+                    break;
+                }
+            }
+        }
+        for cell in ring_cells(grid, cx, cy, r) {
+            let bounds = grid.cell_bounds(cell);
+            let md = bounds.mindist_sq(q);
+            if md > max_dist_sq {
+                continue;
+            }
+            if let Some(b) = best {
+                if md >= b.dist_sq {
+                    continue;
+                }
+            }
+            if !cell_pred(cell, &bounds) {
+                continue;
+            }
+            scan_cell(grid, cell, q, &mut obj_pred, &mut best, ops);
+        }
+    }
+    best.filter(|b| b.dist_sq <= max_dist_sq)
+}
+
+/// Nearest neighbor of `q` among the objects lying in the given cell set
+/// (IGERN's constrained search over the *alive cells*).
+///
+/// Iterates the set directly in mindist order — the alive region is
+/// typically a small neighborhood of `q`, so this beats ring expansion
+/// over the whole grid.
+pub fn nearest_in_cells<O>(
+    grid: &Grid,
+    q: Point,
+    cells: &CellSet,
+    mut obj_pred: O,
+    ops: &mut OpCounters,
+) -> Option<Neighbor>
+where
+    O: FnMut(ObjectId, Point) -> bool,
+{
+    let mut order: Vec<(f64, CellId)> = cells
+        .iter()
+        .map(|c| (grid.cell_bounds(c).mindist_sq(q), c))
+        .collect();
+    order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    let mut best: Option<Neighbor> = None;
+    for (md, cell) in order {
+        if let Some(b) = best {
+            if md >= b.dist_sq {
+                break;
+            }
+        }
+        scan_cell(grid, cell, q, &mut obj_pred, &mut best, ops);
+    }
+    best
+}
+
+/// The `k` nearest neighbors of `q`, ascending by distance, optionally
+/// excluding one object.
+pub fn k_nearest(
+    grid: &Grid,
+    q: Point,
+    k: usize,
+    exclude: Option<ObjectId>,
+    ops: &mut OpCounters,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let (cx, cy) = grid.cell_coords(grid.cell_of_point(q));
+    let max_r = max_ring_radius(grid, cx, cy);
+    let ext = grid.min_cell_extent();
+    // Small k: a sorted vector beats a heap.
+    let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    for r in 0..=max_r {
+        if r >= 1 && best.len() == k {
+            let lb = (r as f64 - 1.0) * ext;
+            if best[best.len() - 1].dist_sq <= lb * lb {
+                break;
+            }
+        }
+        for cell in ring_cells(grid, cx, cy, r) {
+            let md = grid.cell_bounds(cell).mindist_sq(q);
+            if best.len() == k && md >= best[best.len() - 1].dist_sq {
+                continue;
+            }
+            ops.cells_visited += 1;
+            for &id in grid.objects_in(cell) {
+                if Some(id) == exclude {
+                    continue;
+                }
+                ops.objects_visited += 1;
+                let pos = grid.position(id).expect("cell desync");
+                let d = q.dist_sq(pos);
+                if best.len() < k || d < best[best.len() - 1].dist_sq {
+                    let at = best.partition_point(|n| n.dist_sq <= d);
+                    best.insert(
+                        at,
+                        Neighbor {
+                            id,
+                            pos,
+                            dist_sq: d,
+                        },
+                    );
+                    best.truncate(k);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Whether any object other than those in `exclude` lies strictly closer
+/// than `sqrt(dist_sq)` to `center`.
+///
+/// This is the verification primitive ("the dotted circles indicate the
+/// nearest neighbor test for each object in RNNcand", §3.1 Phase II): a
+/// candidate `o` is an RNN of `q` iff no other object beats
+/// `dist(o, q)`, i.e. iff this returns `false` with
+/// `dist_sq = dist²(o, q)` and `exclude = [o]`.
+pub fn exists_closer_than(
+    grid: &Grid,
+    center: Point,
+    dist_sq: f64,
+    exclude: &[ObjectId],
+    ops: &mut OpCounters,
+) -> bool {
+    let (cx, cy) = grid.cell_coords(grid.cell_of_point(center));
+    let max_r = max_ring_radius(grid, cx, cy);
+    let ext = grid.min_cell_extent();
+    for r in 0..=max_r {
+        if r >= 1 {
+            let lb = (r as f64 - 1.0) * ext;
+            if lb * lb >= dist_sq {
+                break;
+            }
+        }
+        for cell in ring_cells(grid, cx, cy, r) {
+            if grid.cell_bounds(cell).mindist_sq(center) >= dist_sq {
+                continue;
+            }
+            ops.cells_visited += 1;
+            for &id in grid.objects_in(cell) {
+                if exclude.contains(&id) {
+                    continue;
+                }
+                ops.objects_visited += 1;
+                let pos = grid.position(id).expect("cell desync");
+                if center.dist_sq(pos) < dist_sq {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Count objects (excluding `exclude`) strictly closer than
+/// `sqrt(dist_sq)` to `center`, stopping early once the count reaches
+/// `cap`.
+///
+/// This is the k-RNN verification primitive: a candidate `o` is a reverse
+/// k-nearest neighbor of `q` iff fewer than `k` other objects lie
+/// strictly closer to `o` than `q` does — i.e. iff this returns `< k`
+/// with `cap = k`.
+pub fn count_closer_than(
+    grid: &Grid,
+    center: Point,
+    dist_sq: f64,
+    cap: usize,
+    exclude: &[ObjectId],
+    ops: &mut OpCounters,
+) -> usize {
+    if cap == 0 {
+        return 0;
+    }
+    let (cx, cy) = grid.cell_coords(grid.cell_of_point(center));
+    let max_r = max_ring_radius(grid, cx, cy);
+    let ext = grid.min_cell_extent();
+    let mut count = 0;
+    for r in 0..=max_r {
+        if r >= 1 {
+            let lb = (r as f64 - 1.0) * ext;
+            if lb * lb >= dist_sq {
+                break;
+            }
+        }
+        for cell in ring_cells(grid, cx, cy, r) {
+            if grid.cell_bounds(cell).mindist_sq(center) >= dist_sq {
+                continue;
+            }
+            ops.cells_visited += 1;
+            for &id in grid.objects_in(cell) {
+                if exclude.contains(&id) {
+                    continue;
+                }
+                ops.objects_visited += 1;
+                let pos = grid.position(id).expect("cell desync");
+                if center.dist_sq(pos) < dist_sq {
+                    count += 1;
+                    if count >= cap {
+                        return count;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Streams the objects of a grid in increasing distance from a query
+/// point (incremental NN, after Hjaltason & Samet).
+///
+/// Used by the repetitive-Voronoi baseline, which consumes sites in
+/// distance order until the cell stops changing. Rings are expanded
+/// lazily: an object is only yielded once no unexpanded ring could
+/// contain anything closer.
+pub struct NearestIter<'g> {
+    grid: &'g Grid,
+    q: Point,
+    exclude: Option<ObjectId>,
+    cx: usize,
+    cy: usize,
+    next_ring: usize,
+    max_ring: usize,
+    ext: f64,
+    /// Discovered-but-unyielded objects, sorted descending by distance so
+    /// `pop` yields the nearest.
+    pending: Vec<Neighbor>,
+}
+
+impl<'g> NearestIter<'g> {
+    /// Start streaming neighbors of `q`.
+    pub fn new(grid: &'g Grid, q: Point, exclude: Option<ObjectId>) -> Self {
+        let (cx, cy) = grid.cell_coords(grid.cell_of_point(q));
+        NearestIter {
+            grid,
+            q,
+            exclude,
+            cx,
+            cy,
+            next_ring: 0,
+            max_ring: max_ring_radius(grid, cx, cy),
+            ext: grid.min_cell_extent(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Lower bound on the distance of anything in ring `r` or beyond.
+    fn ring_lower_bound(&self, r: usize) -> f64 {
+        if r == 0 {
+            0.0
+        } else {
+            (r as f64 - 1.0) * self.ext
+        }
+    }
+
+    /// Pull the next neighbor, charging visits to `ops`.
+    pub fn next(&mut self, ops: &mut OpCounters) -> Option<Neighbor> {
+        loop {
+            let frontier_sq = if self.next_ring <= self.max_ring {
+                let lb = self.ring_lower_bound(self.next_ring);
+                lb * lb
+            } else {
+                f64::INFINITY
+            };
+            if let Some(best) = self.pending.last() {
+                if best.dist_sq <= frontier_sq {
+                    return self.pending.pop();
+                }
+            }
+            if self.next_ring > self.max_ring {
+                return self.pending.pop();
+            }
+            // Expand one more ring into the pending pool.
+            for cell in ring_cells(self.grid, self.cx, self.cy, self.next_ring) {
+                ops.cells_visited += 1;
+                for &id in self.grid.objects_in(cell) {
+                    if Some(id) == self.exclude {
+                        continue;
+                    }
+                    ops.objects_visited += 1;
+                    let pos = self.grid.position(id).expect("cell desync");
+                    self.pending.push(Neighbor {
+                        id,
+                        pos,
+                        dist_sq: self.q.dist_sq(pos),
+                    });
+                }
+            }
+            self.pending
+                .sort_unstable_by(|a, b| b.dist_sq.total_cmp(&a.dist_sq));
+            self.next_ring += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igern_geom::Aabb;
+
+    fn grid_with(points: &[(f64, f64)]) -> Grid {
+        let mut g = Grid::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 8);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            g.insert(ObjectId(i as u32), Point::new(x, y));
+        }
+        g
+    }
+
+    fn brute_nearest(g: &Grid, q: Point, exclude: Option<ObjectId>) -> Option<(ObjectId, f64)> {
+        g.iter()
+            .filter(|&(id, _)| Some(id) != exclude)
+            .map(|(id, p)| (id, q.dist_sq(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    #[test]
+    fn nearest_on_empty_grid_is_none() {
+        let g = grid_with(&[]);
+        let mut ops = OpCounters::new();
+        assert!(nearest(&g, Point::new(5.0, 5.0), None, &mut ops).is_none());
+    }
+
+    #[test]
+    fn nearest_simple() {
+        let g = grid_with(&[(1.0, 1.0), (9.0, 9.0), (4.0, 5.0)]);
+        let mut ops = OpCounters::new();
+        let n = nearest(&g, Point::new(4.5, 5.0), None, &mut ops).unwrap();
+        assert_eq!(n.id, ObjectId(2));
+        assert!(ops.cells_visited > 0 && ops.objects_visited > 0);
+    }
+
+    #[test]
+    fn nearest_respects_exclusion() {
+        let g = grid_with(&[(5.0, 5.0), (6.0, 5.0)]);
+        let mut ops = OpCounters::new();
+        let n = nearest(&g, Point::new(5.0, 5.0), Some(ObjectId(0)), &mut ops).unwrap();
+        assert_eq!(n.id, ObjectId(1));
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_on_pseudorandom_data() {
+        // Seedless LCG data; cross-checked against a linear scan.
+        let mut state = 7u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        let pts: Vec<(f64, f64)> = (0..300).map(|_| (rnd(), rnd())).collect();
+        let g = grid_with(&pts);
+        let mut ops = OpCounters::new();
+        for i in 0..40 {
+            let q = Point::new((i as f64 * 0.37) % 10.0, (i as f64 * 0.73) % 10.0);
+            let got = nearest(&g, q, None, &mut ops).unwrap();
+            let want = brute_nearest(&g, q, None).unwrap();
+            assert_eq!(got.dist_sq, want.1, "query {q}");
+        }
+    }
+
+    #[test]
+    fn bounded_search_cuts_off() {
+        let g = grid_with(&[(9.0, 9.0)]);
+        let mut ops = OpCounters::new();
+        let q = Point::new(1.0, 1.0);
+        assert!(
+            nearest_where(&g, q, |_, _| true, |_, _| true, 2.0, &mut ops).is_none(),
+            "object at distance ~11 must not be reported under max_dist 2"
+        );
+        let hit = nearest_where(&g, q, |_, _| true, |_, _| true, 20.0, &mut ops);
+        assert_eq!(hit.unwrap().id, ObjectId(0));
+    }
+
+    #[test]
+    fn constrained_search_respects_cell_predicate() {
+        // Two objects; forbid the cell of the closer one.
+        let g = grid_with(&[(4.9, 5.0), (8.0, 5.0)]);
+        let q = Point::new(5.1, 5.0);
+        let banned = g.cell_of_point(Point::new(4.9, 5.0));
+        let mut ops = OpCounters::new();
+        let n = nearest_where(
+            &g,
+            q,
+            |c, _| c != banned,
+            |_, _| true,
+            f64::INFINITY,
+            &mut ops,
+        )
+        .unwrap();
+        assert_eq!(n.id, ObjectId(1));
+    }
+
+    #[test]
+    fn nearest_in_cells_only_sees_the_set() {
+        let g = grid_with(&[(1.0, 1.0), (5.0, 5.0), (9.0, 9.0)]);
+        let mut alive = CellSet::new(g.num_cells());
+        alive.insert(g.cell_of_point(Point::new(9.0, 9.0)));
+        let mut ops = OpCounters::new();
+        let n = nearest_in_cells(&g, Point::new(0.0, 0.0), &alive, |_, _| true, &mut ops).unwrap();
+        assert_eq!(n.id, ObjectId(2));
+        // Empty set yields nothing.
+        let empty = CellSet::new(g.num_cells());
+        assert!(
+            nearest_in_cells(&g, Point::new(0.0, 0.0), &empty, |_, _| true, &mut ops).is_none()
+        );
+    }
+
+    #[test]
+    fn nearest_in_cells_matches_filtered_brute_force() {
+        let mut state = 99u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        let pts: Vec<(f64, f64)> = (0..200).map(|_| (rnd(), rnd())).collect();
+        let g = grid_with(&pts);
+        // Alive set: left half of the grid.
+        let mut alive = CellSet::new(g.num_cells());
+        for c in 0..g.num_cells() {
+            if g.cell_bounds(c).center().x < 5.0 {
+                alive.insert(c);
+            }
+        }
+        let q = Point::new(7.0, 3.0);
+        let mut ops = OpCounters::new();
+        let got = nearest_in_cells(&g, q, &alive, |_, _| true, &mut ops);
+        let want = g
+            .iter()
+            .filter(|&(_, p)| alive.contains(g.cell_of_point(p)))
+            .map(|(id, p)| (id, q.dist_sq(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        assert_eq!(got.map(|n| n.dist_sq), want.map(|w| w.1));
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_and_matches_brute_force() {
+        let mut state = 123u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        let pts: Vec<(f64, f64)> = (0..150).map(|_| (rnd(), rnd())).collect();
+        let g = grid_with(&pts);
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        for k in [1usize, 3, 10, 200] {
+            let got = k_nearest(&g, q, k, None, &mut ops);
+            assert_eq!(got.len(), k.min(150));
+            assert!(got.windows(2).all(|w| w[0].dist_sq <= w[1].dist_sq));
+            let mut all: Vec<f64> = g.iter().map(|(_, p)| q.dist_sq(p)).collect();
+            all.sort_by(f64::total_cmp);
+            for (i, n) in got.iter().enumerate() {
+                assert_eq!(n.dist_sq, all[i], "k={k} rank {i}");
+            }
+        }
+        assert!(k_nearest(&g, q, 0, None, &mut ops).is_empty());
+    }
+
+    #[test]
+    fn exists_closer_than_is_a_strict_test() {
+        let g = grid_with(&[(5.0, 5.0), (7.0, 5.0)]);
+        let mut ops = OpCounters::new();
+        let c = Point::new(6.0, 5.0);
+        // Distance to both objects is exactly 1; strict test at 1² fails...
+        assert!(!exists_closer_than(&g, c, 1.0, &[], &mut ops));
+        // ...and succeeds just above.
+        assert!(exists_closer_than(&g, c, 1.0 + 1e-9, &[], &mut ops));
+        // Excluding both leaves nothing.
+        assert!(!exists_closer_than(
+            &g,
+            c,
+            100.0,
+            &[ObjectId(0), ObjectId(1)],
+            &mut ops
+        ));
+    }
+
+    #[test]
+    fn nearest_iter_yields_ascending_and_complete() {
+        let mut state = 55u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        let pts: Vec<(f64, f64)> = (0..120).map(|_| (rnd(), rnd())).collect();
+        let g = grid_with(&pts);
+        let q = Point::new(2.5, 7.5);
+        let mut ops = OpCounters::new();
+        let mut it = NearestIter::new(&g, q, None);
+        let mut got = Vec::new();
+        while let Some(n) = it.next(&mut ops) {
+            got.push(n.dist_sq);
+        }
+        assert_eq!(got.len(), 120, "iterator must visit every object");
+        assert!(got.windows(2).all(|w| w[0] <= w[1]), "must be ascending");
+        let mut all: Vec<f64> = g.iter().map(|(_, p)| q.dist_sq(p)).collect();
+        all.sort_by(f64::total_cmp);
+        assert_eq!(got, all);
+    }
+
+    #[test]
+    fn nearest_iter_respects_exclusion_and_empty_grid() {
+        let g = grid_with(&[(5.0, 5.0)]);
+        let mut ops = OpCounters::new();
+        let mut it = NearestIter::new(&g, Point::new(5.0, 5.0), Some(ObjectId(0)));
+        assert!(it.next(&mut ops).is_none());
+        let empty = grid_with(&[]);
+        let mut it2 = NearestIter::new(&empty, Point::new(1.0, 1.0), None);
+        assert!(it2.next(&mut ops).is_none());
+    }
+
+    #[test]
+    fn nearest_iter_prefix_matches_k_nearest() {
+        let g = grid_with(&[(1.0, 1.0), (2.0, 2.0), (9.0, 1.0), (5.0, 5.0), (3.0, 8.0)]);
+        let q = Point::new(4.0, 4.0);
+        let mut ops = OpCounters::new();
+        let want = k_nearest(&g, q, 3, None, &mut ops);
+        let mut it = NearestIter::new(&g, q, None);
+        for w in want {
+            let n = it.next(&mut ops).unwrap();
+            assert_eq!(n.dist_sq, w.dist_sq);
+        }
+    }
+
+    #[test]
+    fn count_closer_than_is_exact_and_capped() {
+        let g = grid_with(&[(5.0, 5.0), (5.5, 5.0), (6.0, 5.0), (9.0, 9.0)]);
+        let mut ops = OpCounters::new();
+        let c = Point::new(5.0, 5.0);
+        // Objects strictly within distance 1.2 of c (excluding object 0
+        // itself): objects 1 (0.5) and 2 (1.0).
+        assert_eq!(
+            count_closer_than(&g, c, 1.2 * 1.2, 10, &[ObjectId(0)], &mut ops),
+            2
+        );
+        // The cap stops the scan early.
+        assert_eq!(
+            count_closer_than(&g, c, 100.0, 1, &[ObjectId(0)], &mut ops),
+            1
+        );
+        // cap = 0 short-circuits.
+        assert_eq!(count_closer_than(&g, c, 100.0, 0, &[], &mut ops), 0);
+        // Strictness: exactly-at-distance objects are not counted.
+        assert_eq!(
+            count_closer_than(&g, c, 0.5 * 0.5, 10, &[ObjectId(0)], &mut ops),
+            0
+        );
+    }
+
+    #[test]
+    fn verification_semantics() {
+        // q at origin-ish; o has q as NN iff nothing else is closer to o.
+        let g = grid_with(&[(2.0, 2.0), (2.6, 2.0)]);
+        let q = Point::new(1.0, 2.0);
+        let mut ops = OpCounters::new();
+        // Object 0 at distance 1 from q; object 1 is 0.6 from object 0 —
+        // o0 is NOT an RNN of q.
+        let o0 = Point::new(2.0, 2.0);
+        assert!(exists_closer_than(
+            &g,
+            o0,
+            q.dist_sq(o0),
+            &[ObjectId(0)],
+            &mut ops
+        ));
+        // Object 1: dist to q is 1.6, dist to o0 is 0.6 — also not an RNN.
+        let o1 = Point::new(2.6, 2.0);
+        assert!(exists_closer_than(
+            &g,
+            o1,
+            q.dist_sq(o1),
+            &[ObjectId(1)],
+            &mut ops
+        ));
+    }
+}

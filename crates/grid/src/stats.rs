@@ -1,0 +1,75 @@
+//! Machine-independent operation counters.
+//!
+//! The paper reports CPU seconds on 2007 hardware; to make the reproduced
+//! experiments portable, every search routine also counts the cells and
+//! objects it touches, and the algorithms count how many searches of each
+//! Section-6 cost class (`NN`, `NN_c`, `NN_b`) they issue.
+
+/// Counters accumulated across search calls.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Unconstrained nearest-neighbor searches (`NN` in §6).
+    pub nn: u64,
+    /// Constrained NN searches — restricted to alive cells / pie regions
+    /// (`NN_c` in §6).
+    pub nn_c: u64,
+    /// Bounded NN searches — restricted to a bounded region (`NN_b` in §6).
+    pub nn_b: u64,
+    /// Verification tests (the "dotted circle" NN test per candidate).
+    pub verifications: u64,
+    /// Grid cells examined by all searches.
+    pub cells_visited: u64,
+    /// Objects examined (distance computations) by all searches.
+    pub objects_visited: u64,
+}
+
+impl OpCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add another counter set into this one.
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.nn += other.nn;
+        self.nn_c += other.nn_c;
+        self.nn_b += other.nn_b;
+        self.verifications += other.verifications;
+        self.cells_visited += other.cells_visited;
+        self.objects_visited += other.objects_visited;
+    }
+
+    /// Reset everything to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Total number of NN searches of any class.
+    pub fn total_searches(&self) -> u64 {
+        self.nn + self.nn_c + self.nn_b + self.verifications
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = OpCounters {
+            nn: 1,
+            nn_c: 2,
+            nn_b: 3,
+            verifications: 4,
+            cells_visited: 10,
+            objects_visited: 20,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.nn, 2);
+        assert_eq!(a.objects_visited, 40);
+        assert_eq!(a.total_searches(), 20);
+        a.reset();
+        assert_eq!(a, OpCounters::default());
+    }
+}

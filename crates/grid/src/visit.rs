@@ -1,0 +1,114 @@
+//! Ring-expansion cell visitation.
+//!
+//! The NN searches visit grid cells in square "rings" of increasing
+//! Chebyshev radius around the query's cell — the grid analogue of the
+//! conceptual-partitioning search of Mouratidis et al. (the paper's shared
+//! NN substrate). Cells in ring `r` are all at least `(r-1)·cell_extent`
+//! away from the query point, which gives the search a monotone lower
+//! bound for early termination.
+
+use crate::grid::{CellId, Grid};
+
+/// Yields the cell ids at Chebyshev distance exactly `r` from
+/// `(cx, cy)`, clipped to the grid. Ring 0 is the center cell itself.
+pub fn ring_cells(grid: &Grid, cx: usize, cy: usize, r: usize) -> Vec<CellId> {
+    let n = grid.cells_per_side();
+    debug_assert!(cx < n && cy < n);
+    let mut out = Vec::new();
+    if r == 0 {
+        out.push(grid.cell_at(cx, cy));
+        return out;
+    }
+    let (cx, cy, r, n) = (cx as isize, cy as isize, r as isize, n as isize);
+    let push = |x: isize, y: isize, out: &mut Vec<CellId>| {
+        if x >= 0 && x < n && y >= 0 && y < n {
+            out.push((y * n + x) as CellId);
+        }
+    };
+    // Top and bottom rows of the ring.
+    for x in (cx - r)..=(cx + r) {
+        push(x, cy - r, &mut out);
+        push(x, cy + r, &mut out);
+    }
+    // Left and right columns, excluding the corners already emitted.
+    for y in (cy - r + 1)..(cy + r) {
+        push(cx - r, y, &mut out);
+        push(cx + r, y, &mut out);
+    }
+    out
+}
+
+/// The largest ring radius that can still contain cells of the grid when
+/// centered at `(cx, cy)`.
+pub fn max_ring_radius(grid: &Grid, cx: usize, cy: usize) -> usize {
+    let n = grid.cells_per_side();
+    [cx, cy, n - 1 - cx, n - 1 - cy].into_iter().max().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igern_geom::Aabb;
+
+    fn grid(n: usize) -> Grid {
+        Grid::new(Aabb::from_coords(0.0, 0.0, n as f64, n as f64), n)
+    }
+
+    #[test]
+    fn ring_zero_is_center() {
+        let g = grid(5);
+        assert_eq!(ring_cells(&g, 2, 2, 0), vec![g.cell_at(2, 2)]);
+    }
+
+    #[test]
+    fn interior_ring_sizes() {
+        let g = grid(9);
+        // Full ring r has 8r cells when not clipped.
+        for r in 1..=3 {
+            assert_eq!(ring_cells(&g, 4, 4, r).len(), 8 * r);
+        }
+    }
+
+    #[test]
+    fn rings_partition_the_grid() {
+        let g = grid(6);
+        let (cx, cy) = (1, 4);
+        let mut seen = vec![false; g.num_cells()];
+        for r in 0..=max_ring_radius(&g, cx, cy) {
+            for c in ring_cells(&g, cx, cy, r) {
+                assert!(!seen[c], "cell {c} visited twice");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v), "some cells never visited");
+    }
+
+    #[test]
+    fn corner_rings_are_clipped() {
+        let g = grid(4);
+        let ring1 = ring_cells(&g, 0, 0, 1);
+        assert_eq!(ring1.len(), 3); // (1,0), (0,1), (1,1)
+        let ring3 = ring_cells(&g, 0, 0, 3);
+        assert_eq!(ring3.len(), 7); // last row + last column
+    }
+
+    #[test]
+    fn ring_cells_are_at_exact_chebyshev_distance() {
+        let g = grid(8);
+        for r in 0..5 {
+            for c in ring_cells(&g, 3, 2, r) {
+                let (ix, iy) = g.cell_coords(c);
+                let d = (ix as isize - 3).abs().max((iy as isize - 2).abs());
+                assert_eq!(d as usize, r);
+            }
+        }
+    }
+
+    #[test]
+    fn max_radius_reaches_far_corner() {
+        let g = grid(10);
+        assert_eq!(max_ring_radius(&g, 0, 0), 9);
+        assert_eq!(max_ring_radius(&g, 5, 5), 5);
+        assert_eq!(max_ring_radius(&g, 9, 2), 9);
+    }
+}

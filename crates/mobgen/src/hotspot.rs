@@ -1,0 +1,258 @@
+//! Gaussian-hotspot movement: heavily skewed spatial distributions.
+//!
+//! Spatio-temporal workloads are rarely uniform — population concentrates
+//! around a few centers (downtowns, events). This mover keeps objects
+//! orbiting a set of Gaussian hotspots: each object belongs to a hotspot,
+//! performs random-waypoint trips whose targets are normal deviates
+//! around the center, and occasionally migrates to a different hotspot.
+//! Used by the skew ablation to stress the algorithms' density
+//! adaptivity (CRNN's pies and IGERN's region react very differently to
+//! skew).
+
+use igern_geom::{Aabb, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{Mover, Update};
+
+/// Parameters of the hotspot world.
+#[derive(Debug, Clone)]
+pub struct HotspotConfig {
+    pub space: Aabb,
+    /// Number of Gaussian centers.
+    pub num_hotspots: usize,
+    /// Standard deviation of positions around a center (space units).
+    pub sigma: f64,
+    /// Per-tick probability that an object migrates to another hotspot.
+    pub migration_prob: f64,
+    pub min_speed: f64,
+    pub max_speed: f64,
+}
+
+impl Default for HotspotConfig {
+    fn default() -> Self {
+        HotspotConfig {
+            space: Aabb::from_coords(0.0, 0.0, 1000.0, 1000.0),
+            num_hotspots: 5,
+            sigma: 60.0,
+            migration_prob: 0.002,
+            min_speed: 2.0,
+            max_speed: 8.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Orbiter {
+    pos: Point,
+    waypoint: Point,
+    speed: f64,
+    hotspot: usize,
+}
+
+/// Objects orbiting Gaussian hotspots.
+pub struct HotspotMover {
+    cfg: HotspotConfig,
+    centers: Vec<Point>,
+    objs: Vec<Orbiter>,
+    rng: StdRng,
+    buf: Vec<Update>,
+}
+
+impl HotspotMover {
+    /// Spawn `n` objects distributed over the hotspots.
+    ///
+    /// # Panics
+    /// Panics when the config has no hotspots or a bad speed range.
+    pub fn new(cfg: HotspotConfig, n: usize, seed: u64) -> Self {
+        assert!(cfg.num_hotspots >= 1, "need at least one hotspot");
+        assert!(
+            cfg.min_speed > 0.0 && cfg.max_speed >= cfg.min_speed,
+            "bad speed range"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0b4d_5eed_cafe_f00d);
+        let centers: Vec<Point> = (0..cfg.num_hotspots)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(cfg.space.min.x..=cfg.space.max.x),
+                    rng.gen_range(cfg.space.min.y..=cfg.space.max.y),
+                )
+            })
+            .collect();
+        let mut objs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let hotspot = rng.gen_range(0..centers.len());
+            let pos = gaussian_around(&mut rng, centers[hotspot], cfg.sigma, &cfg.space);
+            let waypoint = gaussian_around(&mut rng, centers[hotspot], cfg.sigma, &cfg.space);
+            objs.push(Orbiter {
+                pos,
+                waypoint,
+                speed: rng.gen_range(cfg.min_speed..=cfg.max_speed),
+                hotspot,
+            });
+        }
+        HotspotMover {
+            cfg,
+            centers,
+            objs,
+            rng,
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// The hotspot centers.
+    pub fn centers(&self) -> &[Point] {
+        &self.centers
+    }
+
+    /// The hotspot an object currently belongs to.
+    pub fn hotspot_of(&self, id: u32) -> usize {
+        self.objs[id as usize].hotspot
+    }
+}
+
+/// Clamped Box–Muller normal deviate around `center`.
+fn gaussian_around(rng: &mut StdRng, center: Point, sigma: f64, space: &Aabb) -> Point {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mag = sigma * (-2.0 * u1.ln()).sqrt();
+    let p = Point::new(center.x + mag * u2.cos(), center.y + mag * u2.sin());
+    space.clamp(p)
+}
+
+impl Mover for HotspotMover {
+    fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    fn space(&self) -> Aabb {
+        self.cfg.space
+    }
+
+    fn position(&self, id: u32) -> Point {
+        self.objs[id as usize].pos
+    }
+
+    fn advance(&mut self) -> &[Update] {
+        self.buf.clear();
+        for (i, o) in self.objs.iter_mut().enumerate() {
+            // Occasional migration to a new hotspot.
+            if self.rng.gen_bool(self.cfg.migration_prob) {
+                o.hotspot = self.rng.gen_range(0..self.centers.len());
+                o.waypoint = gaussian_around(
+                    &mut self.rng,
+                    self.centers[o.hotspot],
+                    self.cfg.sigma,
+                    &self.cfg.space,
+                );
+            }
+            let mut budget = o.speed;
+            for _ in 0..4 {
+                let d = o.pos.dist(o.waypoint);
+                if d > budget {
+                    o.pos = o.pos.lerp(o.waypoint, budget / d);
+                    break;
+                }
+                budget -= d;
+                o.pos = o.waypoint;
+                o.waypoint = gaussian_around(
+                    &mut self.rng,
+                    self.centers[o.hotspot],
+                    self.cfg.sigma,
+                    &self.cfg.space,
+                );
+            }
+            self.buf.push(Update {
+                id: i as u32,
+                pos: o.pos,
+            });
+        }
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mover(n: usize) -> HotspotMover {
+        HotspotMover::new(HotspotConfig::default(), n, 5)
+    }
+
+    #[test]
+    fn spawns_near_centers() {
+        let m = mover(200);
+        let mut near = 0;
+        for i in 0..200u32 {
+            let p = m.position(i);
+            let d = m
+                .centers()
+                .iter()
+                .map(|c| c.dist(p))
+                .fold(f64::INFINITY, f64::min);
+            if d < 3.0 * 60.0 {
+                near += 1;
+            }
+        }
+        // ~99% of Gaussian mass is within 3σ (modulo boundary clamping).
+        assert!(near >= 190, "only {near}/200 objects near a hotspot");
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        // Compare occupancy of the densest decile of a coarse grid to the
+        // uniform expectation.
+        let m = mover(1000);
+        let mut counts = [0usize; 25];
+        for i in 0..1000u32 {
+            let p = m.position(i);
+            let cx = ((p.x / 200.0) as usize).min(4);
+            let cy = ((p.y / 200.0) as usize).min(4);
+            counts[cy * 5 + cx] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max > 2 * (1000 / 25),
+            "hotspots should concentrate mass (max bucket {max})"
+        );
+    }
+
+    #[test]
+    fn stays_in_space_and_respects_speed() {
+        let mut m = mover(100);
+        let space = m.space();
+        for _ in 0..30 {
+            let before: Vec<Point> = (0..100).map(|i| m.position(i)).collect();
+            m.advance();
+            for i in 0..100u32 {
+                let p = m.position(i);
+                assert!(space.contains(p));
+                assert!(before[i as usize].dist(p) <= 8.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = mover(20);
+        let mut b = mover(20);
+        for _ in 0..10 {
+            assert_eq!(a.advance().to_vec(), b.advance().to_vec());
+        }
+    }
+
+    #[test]
+    fn migration_changes_hotspots_eventually() {
+        let cfg = HotspotConfig {
+            migration_prob: 0.5,
+            ..Default::default()
+        };
+        let mut m = HotspotMover::new(cfg, 50, 3);
+        let before: Vec<usize> = (0..50).map(|i| m.hotspot_of(i)).collect();
+        for _ in 0..5 {
+            m.advance();
+        }
+        let after: Vec<usize> = (0..50).map(|i| m.hotspot_of(i)).collect();
+        assert_ne!(before, after, "aggressive migration must move someone");
+    }
+}

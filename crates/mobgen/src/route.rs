@@ -1,0 +1,255 @@
+//! Shortest-path routing on the road network.
+//!
+//! Objects in the Brinkhoff model travel along time-shortest paths.
+//! Because tens of thousands of objects re-route continuously, routing is
+//! served from an all-pairs next-hop table ([`RoutingTable`]) built with
+//! one Dijkstra run per source node; a single-pair Dijkstra is also
+//! provided for callers that only route occasionally.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::network::{NodeId, RoadNetwork};
+
+/// Min-heap entry for Dijkstra.
+#[derive(PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Travel-time Dijkstra from `src`; returns per-node cost and predecessor.
+fn dijkstra(net: &RoadNetwork, src: NodeId) -> (Vec<f64>, Vec<Option<NodeId>>) {
+    let n = net.num_nodes();
+    let mut cost = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    cost[src] = 0.0;
+    heap.push(HeapItem {
+        cost: 0.0,
+        node: src,
+    });
+    while let Some(HeapItem { cost: c, node }) = heap.pop() {
+        if c > cost[node] {
+            continue; // stale entry
+        }
+        for &e in net.incident(node) {
+            let edge = net.edge(e);
+            let next = edge.other(node);
+            let nc = c + edge.travel_time();
+            if nc < cost[next] {
+                cost[next] = nc;
+                pred[next] = Some(node);
+                heap.push(HeapItem {
+                    cost: nc,
+                    node: next,
+                });
+            }
+        }
+    }
+    (cost, pred)
+}
+
+/// Time-shortest path from `src` to `dst` as a node sequence (inclusive of
+/// both endpoints), or `None` when unreachable.
+pub fn shortest_path(net: &RoadNetwork, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let (cost, pred) = dijkstra(net, src);
+    if cost[dst].is_infinite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = pred[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], src);
+    Some(path)
+}
+
+/// All-pairs next-hop table: `next_hop(src, dst)` is the neighbor of `src`
+/// on a time-shortest path toward `dst`.
+///
+/// Storage is `V²` u32 entries — a few megabytes for the synthetic
+/// networks used here — built with `V` Dijkstra runs.
+pub struct RoutingTable {
+    n: usize,
+    /// Row-major `[src][dst]`; `u32::MAX` marks unreachable.
+    next: Vec<u32>,
+}
+
+impl RoutingTable {
+    /// Build the table for a network.
+    pub fn build(net: &RoadNetwork) -> Self {
+        let n = net.num_nodes();
+        let mut next = vec![u32::MAX; n * n];
+        for src in 0..n {
+            let (cost, pred) = dijkstra(net, src);
+            // For each destination, walk predecessors back to find the
+            // first hop out of src.
+            for dst in 0..n {
+                if dst == src || cost[dst].is_infinite() {
+                    continue;
+                }
+                let mut cur = dst;
+                while let Some(p) = pred[cur] {
+                    if p == src {
+                        break;
+                    }
+                    cur = p;
+                }
+                next[src * n + dst] = cur as u32;
+            }
+        }
+        RoutingTable { n, next }
+    }
+
+    /// The next node after `src` on the shortest path to `dst`; `None`
+    /// when `src == dst` or `dst` is unreachable.
+    #[inline]
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        if src == dst {
+            return None;
+        }
+        let v = self.next[src * self.n + dst];
+        (v != u32::MAX).then_some(v as usize)
+    }
+
+    /// Materialize the full path from `src` to `dst` (inclusive).
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst)?;
+            path.push(cur);
+            if path.len() > self.n {
+                // Defensive: a cycle here would indicate table corruption.
+                return None;
+            }
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RoadClass;
+    use igern_geom::{Aabb, Point};
+
+    /// Line graph 0-1-2-3 plus a slow long shortcut 0-3.
+    fn line_with_shortcut() -> RoadNetwork {
+        let nodes = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+        ];
+        let segs = [
+            (0, 1, RoadClass::Highway),
+            (1, 2, RoadClass::Highway),
+            (2, 3, RoadClass::Highway),
+            // Direct but slow: same 3-unit distance at 1/4 the speed.
+            (0, 3, RoadClass::Side),
+        ];
+        RoadNetwork::new(nodes, &segs, Aabb::from_coords(0.0, 0.0, 4.0, 1.0))
+    }
+
+    #[test]
+    fn shortest_path_prefers_fast_roads() {
+        let net = line_with_shortcut();
+        let p = shortest_path(&net, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3], "highway chain beats slow shortcut");
+    }
+
+    #[test]
+    fn trivial_and_unreachable_paths() {
+        let net = line_with_shortcut();
+        assert_eq!(shortest_path(&net, 2, 2), Some(vec![2]));
+        let disconnected = RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(9.0, 9.0),
+            ],
+            &[(0, 1, RoadClass::Main)],
+            Aabb::from_coords(0.0, 0.0, 10.0, 10.0),
+        );
+        assert!(shortest_path(&disconnected, 0, 2).is_none());
+    }
+
+    #[test]
+    fn routing_table_matches_dijkstra() {
+        let net = line_with_shortcut();
+        let table = RoutingTable::build(&net);
+        for src in 0..net.num_nodes() {
+            for dst in 0..net.num_nodes() {
+                assert_eq!(
+                    table.path(src, dst),
+                    shortest_path(&net, src, dst),
+                    "{src} -> {dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_edges_exist() {
+        let net = line_with_shortcut();
+        let table = RoutingTable::build(&net);
+        for src in 0..net.num_nodes() {
+            for dst in 0..net.num_nodes() {
+                if let Some(h) = table.next_hop(src, dst) {
+                    assert!(
+                        net.incident(src)
+                            .iter()
+                            .any(|&e| net.edge(e).other(src) == h),
+                        "next hop {h} is not adjacent to {src}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_marked_in_table() {
+        let disconnected = RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(9.0, 9.0),
+            ],
+            &[(0, 1, RoadClass::Main)],
+            Aabb::from_coords(0.0, 0.0, 10.0, 10.0),
+        );
+        let table = RoutingTable::build(&disconnected);
+        assert!(table.next_hop(0, 2).is_none());
+        assert!(table.path(0, 2).is_none());
+        assert_eq!(table.path(0, 1), Some(vec![0, 1]));
+    }
+}

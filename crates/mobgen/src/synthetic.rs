@@ -1,0 +1,232 @@
+//! Seeded synthetic road-network builder.
+//!
+//! Stand-in for the Hennepin County road map (DESIGN.md §3): a `k × k`
+//! street grid with jittered intersections, every `highway_stride`-th
+//! row/column upgraded to highways, and a fraction of side streets pruned
+//! (only where pruning provably keeps the network connected). The result
+//! is a connected planar graph with the mixed road classes and irregular
+//! block structure that network-based movement statistics depend on.
+
+use igern_geom::{Aabb, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::{NodeId, RoadClass, RoadNetwork};
+
+/// Parameters of the synthetic network.
+#[derive(Debug, Clone)]
+pub struct SyntheticNetworkConfig {
+    /// Intersections per side (the network has `k²` nodes).
+    pub k: usize,
+    /// Data space to embed into.
+    pub space: Aabb,
+    /// Relative jitter of intersection positions (0 = perfect grid,
+    /// 0.5 = up to half a block).
+    pub jitter: f64,
+    /// Every `highway_stride`-th row and column becomes a highway.
+    pub highway_stride: usize,
+    /// Fraction of non-highway edges to try to prune.
+    pub prune_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticNetworkConfig {
+    fn default() -> Self {
+        SyntheticNetworkConfig {
+            k: 24,
+            space: Aabb::from_coords(0.0, 0.0, 1000.0, 1000.0),
+            jitter: 0.3,
+            highway_stride: 6,
+            prune_fraction: 0.15,
+            seed: 0,
+        }
+    }
+}
+
+/// Build a synthetic road network from a config.
+pub fn build_synthetic_network(cfg: &SyntheticNetworkConfig) -> RoadNetwork {
+    assert!(cfg.k >= 2, "need at least a 2x2 grid of intersections");
+    assert!(
+        cfg.jitter >= 0.0 && cfg.jitter < 0.5,
+        "jitter must be in [0, 0.5)"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let k = cfg.k;
+    let space = cfg.space;
+    let bw = space.width() / (k - 1) as f64; // block width
+    let bh = space.height() / (k - 1) as f64;
+
+    // Jittered intersection positions (border nodes pulled inward so the
+    // whole network stays inside the space).
+    let mut nodes = Vec::with_capacity(k * k);
+    for iy in 0..k {
+        for ix in 0..k {
+            let jx = rng.gen_range(-cfg.jitter..=cfg.jitter) * bw;
+            let jy = rng.gen_range(-cfg.jitter..=cfg.jitter) * bh;
+            let p = Point::new(
+                space.min.x + ix as f64 * bw + jx,
+                space.min.y + iy as f64 * bh + jy,
+            );
+            nodes.push(space.clamp(p));
+        }
+    }
+    let at = |ix: usize, iy: usize| -> NodeId { iy * k + ix };
+
+    // Grid edges with road classes.
+    let classify = |line: usize| -> RoadClass {
+        if cfg.highway_stride > 0 && line.is_multiple_of(cfg.highway_stride) {
+            RoadClass::Highway
+        } else if line.is_multiple_of(2) {
+            RoadClass::Main
+        } else {
+            RoadClass::Side
+        }
+    };
+    let mut segments: Vec<(NodeId, NodeId, RoadClass)> = Vec::new();
+    for iy in 0..k {
+        for ix in 0..k {
+            if ix + 1 < k {
+                segments.push((at(ix, iy), at(ix + 1, iy), classify(iy)));
+            }
+            if iy + 1 < k {
+                segments.push((at(ix, iy), at(ix, iy + 1), classify(ix)));
+            }
+        }
+    }
+
+    // Prune a fraction of non-highway edges, but only when the network
+    // stays connected without the edge.
+    let target = (segments.len() as f64 * cfg.prune_fraction) as usize;
+    let mut pruned = 0;
+    let mut attempts = 0;
+    while pruned < target && attempts < 4 * target {
+        attempts += 1;
+        let i = rng.gen_range(0..segments.len());
+        if segments[i].2 == RoadClass::Highway {
+            continue;
+        }
+        let removed = segments.swap_remove(i);
+        if connected(nodes.len(), &segments) {
+            pruned += 1;
+        } else {
+            segments.push(removed);
+        }
+    }
+
+    RoadNetwork::new(nodes, &segments, space)
+}
+
+/// Connectivity check on a raw segment list (union-find).
+fn connected(n: usize, segments: &[(NodeId, NodeId, RoadClass)]) -> bool {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    let mut components = n;
+    for &(a, b, _) in segments {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+            components -= 1;
+        }
+    }
+    components == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_network_is_connected_and_in_space() {
+        let cfg = SyntheticNetworkConfig::default();
+        let net = build_synthetic_network(&cfg);
+        assert_eq!(net.num_nodes(), 24 * 24);
+        assert!(net.is_connected());
+        for i in 0..net.num_nodes() {
+            assert!(cfg.space.contains(net.node(i)));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = SyntheticNetworkConfig {
+            k: 8,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = build_synthetic_network(&cfg);
+        let b = build_synthetic_network(&cfg);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for i in 0..a.num_nodes() {
+            assert_eq!(a.node(i), b.node(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = SyntheticNetworkConfig {
+            k: 8,
+            ..Default::default()
+        };
+        let a = build_synthetic_network(&SyntheticNetworkConfig {
+            seed: 1,
+            ..base.clone()
+        });
+        let b = build_synthetic_network(&SyntheticNetworkConfig { seed: 2, ..base });
+        let moved = (0..a.num_nodes()).any(|i| a.node(i) != b.node(i));
+        assert!(moved, "jitter should depend on the seed");
+    }
+
+    #[test]
+    fn contains_all_three_road_classes() {
+        let net = build_synthetic_network(&SyntheticNetworkConfig::default());
+        let mut highway = false;
+        let mut main = false;
+        let mut side = false;
+        for e in 0..net.num_edges() {
+            match net.edge(e).class {
+                RoadClass::Highway => highway = true,
+                RoadClass::Main => main = true,
+                RoadClass::Side => side = true,
+            }
+        }
+        assert!(highway && main && side);
+    }
+
+    #[test]
+    fn pruning_removes_edges_but_keeps_connectivity() {
+        let dense = build_synthetic_network(&SyntheticNetworkConfig {
+            k: 10,
+            prune_fraction: 0.0,
+            seed: 7,
+            ..Default::default()
+        });
+        let pruned = build_synthetic_network(&SyntheticNetworkConfig {
+            k: 10,
+            prune_fraction: 0.2,
+            seed: 7,
+            ..Default::default()
+        });
+        assert!(pruned.num_edges() < dense.num_edges());
+        assert!(pruned.is_connected());
+    }
+
+    #[test]
+    fn tiny_grid_works() {
+        let net = build_synthetic_network(&SyntheticNetworkConfig {
+            k: 2,
+            prune_fraction: 0.0,
+            ..Default::default()
+        });
+        assert_eq!(net.num_nodes(), 4);
+        assert_eq!(net.num_edges(), 4);
+        assert!(net.is_connected());
+    }
+}

@@ -1,0 +1,325 @@
+//! Record/replay of update streams.
+//!
+//! Tests compare competing algorithms tick-by-tick; recording a mover's
+//! output once and replaying it to each algorithm guarantees they see
+//! byte-identical inputs (and makes failures reproducible from the trace
+//! alone).
+
+use igern_geom::{Aabb, Point};
+
+use crate::workload::{Mover, Update};
+
+/// A fully materialized update stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    space: Aabb,
+    initial: Vec<Point>,
+    ticks: Vec<Vec<Update>>,
+}
+
+impl RecordedTrace {
+    /// Drain `num_ticks` ticks from a mover into a trace.
+    pub fn record<M: Mover>(mover: &mut M, num_ticks: usize) -> Self {
+        let initial = (0..mover.len() as u32).map(|i| mover.position(i)).collect();
+        let space = mover.space();
+        let ticks = (0..num_ticks).map(|_| mover.advance().to_vec()).collect();
+        RecordedTrace {
+            space,
+            initial,
+            ticks,
+        }
+    }
+
+    /// Build a trace directly from parts (tests, hand-crafted scenarios).
+    pub fn from_parts(space: Aabb, initial: Vec<Point>, ticks: Vec<Vec<Update>>) -> Self {
+        RecordedTrace {
+            space,
+            initial,
+            ticks,
+        }
+    }
+
+    /// Number of objects.
+    pub fn num_objects(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// Number of recorded ticks.
+    pub fn num_ticks(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Initial positions, indexed by object id.
+    pub fn initial(&self) -> &[Point] {
+        &self.initial
+    }
+
+    /// The data space.
+    pub fn space(&self) -> Aabb {
+        self.space
+    }
+
+    /// The updates of tick `t`.
+    pub fn tick(&self, t: usize) -> &[Update] {
+        &self.ticks[t]
+    }
+
+    /// A replaying cursor positioned before the first tick.
+    pub fn player(&self) -> TracePlayer<'_> {
+        TracePlayer {
+            trace: self,
+            positions: self.initial.clone(),
+            t: 0,
+        }
+    }
+}
+
+/// A [`Mover`] that replays a [`RecordedTrace`].
+pub struct TracePlayer<'a> {
+    trace: &'a RecordedTrace,
+    positions: Vec<Point>,
+    t: usize,
+}
+
+impl Mover for TracePlayer<'_> {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn space(&self) -> Aabb {
+        self.trace.space
+    }
+
+    fn position(&self, id: u32) -> Point {
+        self.positions[id as usize]
+    }
+
+    fn advance(&mut self) -> &[Update] {
+        assert!(self.t < self.trace.num_ticks(), "trace exhausted");
+        let ups = &self.trace.ticks[self.t];
+        self.t += 1;
+        for u in ups {
+            self.positions[u.id as usize] = u.pos;
+        }
+        ups
+    }
+}
+
+impl RecordedTrace {
+    /// Serialize to a simple line-oriented text format:
+    ///
+    /// ```text
+    /// space <min_x> <min_y> <max_x> <max_y>
+    /// objects <n>
+    /// <x> <y>            # n initial positions, one per line
+    /// tick <m>           # m updates follow
+    /// <id> <x> <y>
+    /// ...
+    /// ```
+    ///
+    /// Coordinates are written with full round-trip precision so a
+    /// saved+loaded trace replays bit-identically.
+    pub fn save<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "space {:?} {:?} {:?} {:?}",
+            self.space.min.x, self.space.min.y, self.space.max.x, self.space.max.y
+        )?;
+        writeln!(w, "objects {}", self.initial.len())?;
+        for p in &self.initial {
+            writeln!(w, "{:?} {:?}", p.x, p.y)?;
+        }
+        for tick in &self.ticks {
+            writeln!(w, "tick {}", tick.len())?;
+            for u in tick {
+                writeln!(w, "{} {:?} {:?}", u.id, u.pos.x, u.pos.y)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a trace written by [`RecordedTrace::save`].
+    pub fn load<R: std::io::BufRead>(r: R) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+        let mut lines = r.lines();
+        let mut next_line = || -> std::io::Result<String> {
+            lines.next().ok_or_else(|| bad("unexpected end of trace"))?
+        };
+        // Header: space.
+        let header = next_line()?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 5 || parts[0] != "space" {
+            return Err(bad("missing space header"));
+        }
+        let coord = |s: &str| s.parse::<f64>().map_err(|_| bad("bad coordinate"));
+        let space = Aabb::from_coords(
+            coord(parts[1])?,
+            coord(parts[2])?,
+            coord(parts[3])?,
+            coord(parts[4])?,
+        );
+        // Initial positions.
+        let header = next_line()?;
+        let n: usize = header
+            .strip_prefix("objects ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing objects header"))?;
+        let mut initial = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = next_line()?;
+            let mut it = line.split_whitespace();
+            let x = coord(it.next().ok_or_else(|| bad("short position line"))?)?;
+            let y = coord(it.next().ok_or_else(|| bad("short position line"))?)?;
+            initial.push(Point::new(x, y));
+        }
+        // Ticks until EOF.
+        let mut ticks = Vec::new();
+        loop {
+            let header = match lines.next() {
+                None => break,
+                Some(l) => l?,
+            };
+            let m: usize = header
+                .strip_prefix("tick ")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad("missing tick header"))?;
+            let mut tick = Vec::with_capacity(m);
+            for _ in 0..m {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| bad("unexpected end of tick"))??;
+                let mut it = line.split_whitespace();
+                let id: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("bad update id"))?;
+                let x = coord(it.next().ok_or_else(|| bad("short update line"))?)?;
+                let y = coord(it.next().ok_or_else(|| bad("short update line"))?)?;
+                if id as usize >= initial.len() {
+                    return Err(bad("update id out of range"));
+                }
+                tick.push(Update {
+                    id,
+                    pos: Point::new(x, y),
+                });
+            }
+            ticks.push(tick);
+        }
+        Ok(RecordedTrace {
+            space,
+            initial,
+            ticks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::RandomWaypointMover;
+
+    #[test]
+    fn record_and_replay_agree_with_source() {
+        let space = Aabb::from_coords(0.0, 0.0, 100.0, 100.0);
+        let mut src = RandomWaypointMover::new(space, 12, 1.0, 3.0, 5);
+        let mut twin = RandomWaypointMover::new(space, 12, 1.0, 3.0, 5);
+        let trace = RecordedTrace::record(&mut src, 15);
+        assert_eq!(trace.num_objects(), 12);
+        assert_eq!(trace.num_ticks(), 15);
+        let mut player = trace.player();
+        for _ in 0..15 {
+            let from_trace = player.advance().to_vec();
+            let from_twin = twin.advance().to_vec();
+            assert_eq!(from_trace, from_twin);
+        }
+        for i in 0..12u32 {
+            assert_eq!(player.position(i), twin.position(i));
+        }
+    }
+
+    #[test]
+    fn player_tracks_positions() {
+        let space = Aabb::from_coords(0.0, 0.0, 10.0, 10.0);
+        let trace = RecordedTrace::from_parts(
+            space,
+            vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+            vec![
+                vec![Update {
+                    id: 0,
+                    pos: Point::new(3.0, 3.0),
+                }],
+                vec![Update {
+                    id: 1,
+                    pos: Point::new(4.0, 4.0),
+                }],
+            ],
+        );
+        let mut p = trace.player();
+        assert_eq!(p.position(0), Point::new(1.0, 1.0));
+        p.advance();
+        assert_eq!(p.position(0), Point::new(3.0, 3.0));
+        assert_eq!(p.position(1), Point::new(2.0, 2.0));
+        p.advance();
+        assert_eq!(p.position(1), Point::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bit_identical() {
+        let space = Aabb::from_coords(0.0, 0.0, 100.0, 100.0);
+        let mut src = RandomWaypointMover::new(space, 9, 1.0, 4.0, 42);
+        let trace = RecordedTrace::record(&mut src, 12);
+        let mut buf = Vec::new();
+        trace.save(&mut buf).unwrap();
+        let loaded = RecordedTrace::load(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let cases: &[&str] = &[
+            "",
+            "space 0 0 1",
+            "space 0 0 1 1
+objects 2
+0.5 0.5",
+            "space 0 0 1 1
+objects 1
+0.5 0.5
+tick 1
+7 0.1 0.1",
+            "space 0 0 1 1
+objects 1
+0.5 0.5
+tick what",
+        ];
+        for c in cases {
+            assert!(
+                RecordedTrace::load(std::io::BufReader::new(c.as_bytes())).is_err(),
+                "should reject: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn loaded_trace_replays_identically() {
+        let space = Aabb::from_coords(0.0, 0.0, 50.0, 50.0);
+        let mut src = RandomWaypointMover::new(space, 5, 1.0, 2.0, 8);
+        let trace = RecordedTrace::record(&mut src, 6);
+        let mut buf = Vec::new();
+        trace.save(&mut buf).unwrap();
+        let loaded = RecordedTrace::load(std::io::BufReader::new(buf.as_slice())).unwrap();
+        let mut a = trace.player();
+        let mut b = loaded.player();
+        for _ in 0..6 {
+            assert_eq!(a.advance().to_vec(), b.advance().to_vec());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trace exhausted")]
+    fn over_advancing_panics() {
+        let trace = RecordedTrace::from_parts(Aabb::unit(), vec![Point::ORIGIN], vec![]);
+        trace.player().advance();
+    }
+}

@@ -1,0 +1,148 @@
+//! Open-space movers (no road network) for the movement-model ablation.
+
+use igern_geom::{Aabb, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{Mover, Update};
+
+#[derive(Debug, Clone, Copy)]
+struct Walker {
+    pos: Point,
+    waypoint: Point,
+    speed: f64,
+}
+
+/// Random-waypoint movement: each object heads in a straight line toward
+/// a waypoint drawn uniformly from the space, then draws a new one.
+pub struct RandomWaypointMover {
+    space: Aabb,
+    objs: Vec<Walker>,
+    rng: StdRng,
+    buf: Vec<Update>,
+}
+
+impl RandomWaypointMover {
+    /// Spawn `n` walkers uniformly in `space` with per-object speeds drawn
+    /// from `[min_speed, max_speed]`.
+    pub fn new(space: Aabb, n: usize, min_speed: f64, max_speed: f64, seed: u64) -> Self {
+        assert!(min_speed > 0.0 && max_speed >= min_speed, "bad speed range");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+        let rand_point = |rng: &mut StdRng| {
+            Point::new(
+                rng.gen_range(space.min.x..=space.max.x),
+                rng.gen_range(space.min.y..=space.max.y),
+            )
+        };
+        let objs = (0..n)
+            .map(|_| Walker {
+                pos: rand_point(&mut rng),
+                waypoint: rand_point(&mut rng),
+                speed: rng.gen_range(min_speed..=max_speed),
+            })
+            .collect();
+        RandomWaypointMover {
+            space,
+            objs,
+            rng,
+            buf: Vec::with_capacity(n),
+        }
+    }
+}
+
+impl Mover for RandomWaypointMover {
+    fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    fn space(&self) -> Aabb {
+        self.space
+    }
+
+    fn position(&self, id: u32) -> Point {
+        self.objs[id as usize].pos
+    }
+
+    fn advance(&mut self) -> &[Update] {
+        self.buf.clear();
+        let space = self.space;
+        for (i, w) in self.objs.iter_mut().enumerate() {
+            let mut budget = w.speed;
+            // Possibly reach (several) waypoints within one tick.
+            for _ in 0..8 {
+                let d = w.pos.dist(w.waypoint);
+                if d > budget {
+                    let t = budget / d;
+                    w.pos = w.pos.lerp(w.waypoint, t);
+                    break;
+                }
+                budget -= d;
+                w.pos = w.waypoint;
+                w.waypoint = Point::new(
+                    self.rng.gen_range(space.min.x..=space.max.x),
+                    self.rng.gen_range(space.min.y..=space.max.y),
+                );
+            }
+            self.buf.push(Update {
+                id: i as u32,
+                pos: w.pos,
+            });
+        }
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Aabb {
+        Aabb::from_coords(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn spawns_inside_space() {
+        let m = RandomWaypointMover::new(space(), 50, 1.0, 2.0, 3);
+        for i in 0..50 {
+            assert!(space().contains(m.position(i)));
+        }
+    }
+
+    #[test]
+    fn stays_inside_space() {
+        let mut m = RandomWaypointMover::new(space(), 30, 1.0, 5.0, 4);
+        for _ in 0..50 {
+            for u in m.advance().to_vec() {
+                assert!(space().contains(u.pos));
+            }
+        }
+    }
+
+    #[test]
+    fn per_tick_displacement_bounded_by_speed() {
+        let mut m = RandomWaypointMover::new(space(), 30, 1.0, 5.0, 4);
+        for _ in 0..10 {
+            let before: Vec<Point> = (0..30).map(|i| m.position(i)).collect();
+            m.advance();
+            for i in 0..30u32 {
+                let d = before[i as usize].dist(m.position(i));
+                assert!(d <= 5.0 + 1e-9, "object {i} moved {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = RandomWaypointMover::new(space(), 10, 1.0, 2.0, 7);
+        let mut b = RandomWaypointMover::new(space(), 10, 1.0, 2.0, 7);
+        for _ in 0..20 {
+            assert_eq!(a.advance().to_vec(), b.advance().to_vec());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad speed range")]
+    fn rejects_bad_speeds() {
+        RandomWaypointMover::new(space(), 1, 2.0, 1.0, 0);
+    }
+}

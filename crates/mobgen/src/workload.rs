@@ -1,0 +1,276 @@
+//! Workload assembly: movers, object kinds, and query selection.
+
+use igern_geom::{Aabb, Point};
+
+use crate::brinkhoff::NetworkMover;
+use crate::hotspot::{HotspotConfig, HotspotMover};
+use crate::synthetic::{build_synthetic_network, SyntheticNetworkConfig};
+use crate::uniform::RandomWaypointMover;
+
+/// One position report: object `id` is now at `pos`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Update {
+    pub id: u32,
+    pub pos: Point,
+}
+
+/// A source of per-tick position updates.
+///
+/// Determinism contract: for a fixed construction seed, the stream of
+/// updates is identical across runs — competing algorithms are compared on
+/// byte-identical inputs by constructing two movers from the same seed.
+pub trait Mover {
+    /// Number of objects (ids are `0..len`).
+    fn len(&self) -> usize;
+    /// Whether the mover has no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The data space all positions stay within.
+    fn space(&self) -> Aabb;
+    /// Current position of an object.
+    fn position(&self, id: u32) -> Point;
+    /// Advance one tick; returns the updates of every object that moved.
+    fn advance(&mut self) -> &[Update];
+}
+
+/// Object type for bichromatic queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// The query-side type (e.g. medical units).
+    A,
+    /// The data-side type (e.g. wounded soldiers).
+    B,
+}
+
+/// Movement model selection.
+#[derive(Debug, Clone)]
+pub enum Movement {
+    /// Brinkhoff-style network-based movement (the paper's workload).
+    Network(SyntheticNetworkConfig),
+    /// Random-waypoint movement in open space (ablation A4).
+    RandomWaypoint {
+        space: Aabb,
+        min_speed: f64,
+        max_speed: f64,
+    },
+    /// Gaussian-hotspot movement (skewed densities; ablation A6).
+    Hotspot(HotspotConfig),
+}
+
+/// Everything needed to instantiate a workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    pub num_objects: usize,
+    pub seed: u64,
+    pub movement: Movement,
+    /// Fraction of objects of kind A (bichromatic); `None` means
+    /// monochromatic (every object reported as kind A).
+    pub kind_a_fraction: Option<f64>,
+}
+
+impl WorkloadConfig {
+    /// The paper's default setup: network movement, monochromatic.
+    pub fn network_mono(num_objects: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            num_objects,
+            seed,
+            movement: Movement::Network(SyntheticNetworkConfig {
+                seed,
+                ..Default::default()
+            }),
+            kind_a_fraction: None,
+        }
+    }
+
+    /// The paper's bichromatic setup: network movement, half the objects
+    /// of each type.
+    pub fn network_bi(num_objects: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            kind_a_fraction: Some(0.5),
+            ..Self::network_mono(num_objects, seed)
+        }
+    }
+}
+
+/// A mover plus the object-kind assignment and query selection.
+pub struct Workload {
+    mover: Box<dyn Mover>,
+    kinds: Vec<ObjKind>,
+}
+
+impl Workload {
+    /// Instantiate a workload from its config.
+    pub fn from_config(cfg: &WorkloadConfig) -> Self {
+        let mover: Box<dyn Mover> = match &cfg.movement {
+            Movement::Network(net_cfg) => {
+                let net = build_synthetic_network(net_cfg);
+                Box::new(NetworkMover::new(net, cfg.num_objects, cfg.seed))
+            }
+            Movement::RandomWaypoint {
+                space,
+                min_speed,
+                max_speed,
+            } => Box::new(RandomWaypointMover::new(
+                *space,
+                cfg.num_objects,
+                *min_speed,
+                *max_speed,
+                cfg.seed,
+            )),
+            Movement::Hotspot(hcfg) => {
+                Box::new(HotspotMover::new(hcfg.clone(), cfg.num_objects, cfg.seed))
+            }
+        };
+        // Deterministic kind assignment: object i is kind A when
+        // i < ceil(fraction * n); mono means "all A".
+        let kinds = match cfg.kind_a_fraction {
+            None => vec![ObjKind::A; cfg.num_objects],
+            Some(f) => {
+                let n_a = ((cfg.num_objects as f64) * f).ceil() as usize;
+                (0..cfg.num_objects)
+                    .map(|i| if i < n_a { ObjKind::A } else { ObjKind::B })
+                    .collect()
+            }
+        };
+        Workload { mover, kinds }
+    }
+
+    /// The underlying mover.
+    #[inline]
+    pub fn mover(&self) -> &dyn Mover {
+        self.mover.as_ref()
+    }
+
+    /// Advance one tick and return the updates.
+    pub fn advance(&mut self) -> &[Update] {
+        self.mover.advance()
+    }
+
+    /// Kind of an object.
+    #[inline]
+    pub fn kind(&self, id: u32) -> ObjKind {
+        self.kinds[id as usize]
+    }
+
+    /// All kinds, indexed by object id.
+    #[inline]
+    pub fn kinds(&self) -> &[ObjKind] {
+        &self.kinds
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mover.len()
+    }
+
+    /// Whether the workload has no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pick `count` query object ids of the given kind, spread evenly over
+    /// the id range (deterministic).
+    pub fn pick_queries(&self, kind: ObjKind, count: usize) -> Vec<u32> {
+        let candidates: Vec<u32> = (0..self.len() as u32)
+            .filter(|&id| self.kind(id) == kind)
+            .collect();
+        if candidates.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let count = count.min(candidates.len());
+        (0..count)
+            .map(|i| candidates[i * candidates.len() / count])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mono_workload_is_all_kind_a() {
+        let w = Workload::from_config(&WorkloadConfig::network_mono(50, 1));
+        assert_eq!(w.len(), 50);
+        assert!(w.kinds().iter().all(|&k| k == ObjKind::A));
+    }
+
+    #[test]
+    fn bi_workload_splits_kinds() {
+        let w = Workload::from_config(&WorkloadConfig::network_bi(100, 1));
+        let n_a = w.kinds().iter().filter(|&&k| k == ObjKind::A).count();
+        assert_eq!(n_a, 50);
+        assert_eq!(w.kind(0), ObjKind::A);
+        assert_eq!(w.kind(99), ObjKind::B);
+    }
+
+    #[test]
+    fn queries_have_requested_kind() {
+        let w = Workload::from_config(&WorkloadConfig::network_bi(100, 1));
+        let qs = w.pick_queries(ObjKind::A, 5);
+        assert_eq!(qs.len(), 5);
+        assert!(qs.iter().all(|&q| w.kind(q) == ObjKind::A));
+        let qs_b = w.pick_queries(ObjKind::B, 5);
+        assert!(qs_b.iter().all(|&q| w.kind(q) == ObjKind::B));
+    }
+
+    #[test]
+    fn query_count_is_clamped() {
+        let w = Workload::from_config(&WorkloadConfig::network_bi(10, 1));
+        assert_eq!(w.pick_queries(ObjKind::A, 100).len(), 5);
+        assert!(w.pick_queries(ObjKind::A, 0).is_empty());
+    }
+
+    #[test]
+    fn advance_keeps_objects_in_space() {
+        let mut w = Workload::from_config(&WorkloadConfig::network_mono(20, 3));
+        let space = w.mover().space();
+        for _ in 0..10 {
+            for u in w.advance().to_vec() {
+                assert!(
+                    space.contains(u.pos),
+                    "object {} escaped to {}",
+                    u.id,
+                    u.pos
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_workload_constructs() {
+        let cfg = WorkloadConfig {
+            num_objects: 30,
+            seed: 4,
+            movement: Movement::Hotspot(HotspotConfig::default()),
+            kind_a_fraction: None,
+        };
+        let mut w = Workload::from_config(&cfg);
+        assert_eq!(w.len(), 30);
+        let space = w.mover().space();
+        for u in w.advance().to_vec() {
+            assert!(space.contains(u.pos));
+        }
+    }
+
+    #[test]
+    fn random_waypoint_workload_constructs() {
+        let cfg = WorkloadConfig {
+            num_objects: 10,
+            seed: 9,
+            movement: Movement::RandomWaypoint {
+                space: Aabb::from_coords(0.0, 0.0, 100.0, 100.0),
+                min_speed: 1.0,
+                max_speed: 3.0,
+            },
+            kind_a_fraction: Some(0.3),
+        };
+        let mut w = Workload::from_config(&cfg);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.kinds().iter().filter(|&&k| k == ObjKind::A).count(), 3);
+        w.advance();
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the auxiliary continuous monitors (k-NN, range)
+//! and the duality invariants connecting them to the RNN monitors.
+
+use igern::core::{KnnMonitor, MonoIgernK, RangeMonitor};
+
+use igern::grid::{k_nearest, Grid, ObjectId, OpCounters};
+use igern::mobgen::{Workload, WorkloadConfig};
+
+/// Build a grid mirroring a workload's initial state.
+fn grid_of(world: &Workload, n: usize) -> Grid {
+    let mut g = Grid::new(world.mover().space(), n);
+    for i in 0..world.len() as u32 {
+        g.insert(ObjectId(i), world.mover().position(i));
+    }
+    g
+}
+
+#[test]
+fn rknn_knn_duality_holds_every_tick() {
+    // o ∈ RkNN(q)  ⟺  q is among o's k nearest (counting q as an object).
+    let mut world = Workload::from_config(&WorkloadConfig::network_mono(250, 13));
+    let mut g = grid_of(&world, 16);
+    let q_id = ObjectId(0);
+    let k = 3;
+    let mut ops = OpCounters::new();
+    let mut monitor = MonoIgernK::initial(&g, g.position(q_id).unwrap(), Some(q_id), k, &mut ops);
+    for tick in 0..10 {
+        if tick > 0 {
+            for u in world.advance().to_vec() {
+                g.update(ObjectId(u.id), u.pos);
+            }
+            monitor.incremental(&g, g.position(q_id).unwrap(), &mut ops);
+        }
+        let q_pos = g.position(q_id).unwrap();
+        let answer = monitor.rnn();
+        for i in 0..250u32 {
+            let o = ObjectId(i);
+            if o == q_id {
+                continue;
+            }
+            let o_pos = g.position(o).unwrap();
+            // q is among o's k nearest iff fewer than k other objects are
+            // strictly closer to o than q is.
+            let knn_of_o = k_nearest(&g, o_pos, k, Some(o), &mut ops);
+            let q_in_knn = knn_of_o
+                .iter()
+                .any(|n| n.id == q_id)
+                // Ties at the k-th distance also qualify under the strict
+                // "fewer than k closer" definition.
+                || knn_of_o
+                    .last()
+                    .is_some_and(|kth| o_pos.dist_sq(q_pos) <= kth.dist_sq)
+                || knn_of_o.len() < k;
+            assert_eq!(
+                answer.contains(&o),
+                q_in_knn,
+                "duality violated for {o} at tick {tick}"
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_and_range_monitors_agree_with_each_other() {
+    // Consistency: every k-NN answer member within distance r must be in
+    // the range answer, and the range answer restricted to the k nearest
+    // is a prefix of the k-NN answer.
+    let mut world = Workload::from_config(&WorkloadConfig::network_mono(300, 29));
+    let mut g = grid_of(&world, 16);
+    let q_id = ObjectId(5);
+    let r = 60.0;
+    let mut ops = OpCounters::new();
+    let q0 = g.position(q_id).unwrap();
+    let mut knn = KnnMonitor::initial(&g, q0, Some(q_id), 10, &mut ops);
+    let mut range = RangeMonitor::initial(&g, q0, r, Some(q_id), &mut ops);
+    for _ in 0..12 {
+        for u in world.advance().to_vec() {
+            g.update(ObjectId(u.id), u.pos);
+        }
+        let q = g.position(q_id).unwrap();
+        knn.incremental(&g, q, &mut ops);
+        range.incremental(&g, q, &mut ops);
+        let in_range = range.ids();
+        for n in knn.answer() {
+            if n.dist() <= r {
+                assert!(
+                    in_range.contains(&n.id),
+                    "kNN member {} at dist {} missing from range",
+                    n.id,
+                    n.dist()
+                );
+            }
+        }
+        // And every range member closer than the k-th neighbor must be in
+        // the k-NN answer.
+        if let Some(kth) = knn.answer().last() {
+            for &id in &in_range {
+                let d = g.position(id).unwrap().dist_sq(q);
+                if d < kth.dist_sq {
+                    assert!(
+                        knn.answer().iter().any(|n| n.id == id),
+                        "range member {id} closer than the k-th neighbor missing from kNN"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn monitors_survive_population_collapse() {
+    // Remove objects until only the query remains; all monitors must
+    // degrade to empty answers without panicking.
+    let world = Workload::from_config(&WorkloadConfig::network_mono(50, 31));
+    let mut g = grid_of(&world, 8);
+    let q_id = ObjectId(0);
+    let q = g.position(q_id).unwrap();
+    let mut ops = OpCounters::new();
+    let mut knn = KnnMonitor::initial(&g, q, Some(q_id), 5, &mut ops);
+    let mut range = RangeMonitor::initial(&g, q, 100.0, Some(q_id), &mut ops);
+    let mut rknn = MonoIgernK::initial(&g, q, Some(q_id), 2, &mut ops);
+    for i in 1..50u32 {
+        g.remove(ObjectId(i));
+        knn.incremental(&g, q, &mut ops);
+        range.incremental(&g, q, &mut ops);
+        rknn.incremental(&g, q, &mut ops);
+    }
+    assert!(knn.answer().is_empty());
+    assert!(range.is_empty());
+    assert!(rknn.rnn().is_empty());
+}

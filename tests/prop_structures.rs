@@ -1,0 +1,214 @@
+//! Property-based tests over the supporting data structures: the R-tree
+//! under churn, the cell bitset, order-k cleaning, and trace round-trips.
+
+use igern::core::prune::{clean_dominated_k, recompute_alive_k};
+use igern::geom::{Aabb, Point};
+use igern::grid::{CellSet, Grid, ObjectId, OpCounters};
+use igern::mobgen::RecordedTrace;
+use igern_rtree::RTree;
+use proptest::prelude::*;
+
+const SPACE: f64 = 100.0;
+
+fn point() -> impl Strategy<Value = Point> {
+    (0.0..SPACE, 0.0..SPACE).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// A churn script: insert / remove / move operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Point),
+    Remove(usize),
+    Move(usize, Point),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            point().prop_map(Op::Insert),
+            (any::<usize>()).prop_map(Op::Remove),
+            (any::<usize>(), point()).prop_map(|(i, p)| Op::Move(i, p)),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The R-tree stays structurally valid and query-equivalent to a
+    /// mirror map under arbitrary churn.
+    #[test]
+    fn rtree_churn_preserves_invariants(script in ops(), probe in point()) {
+        let mut tree = RTree::new();
+        let mut mirror: Vec<Option<Point>> = Vec::new();
+        for op in script {
+            match op {
+                Op::Insert(p) => {
+                    mirror.push(Some(p));
+                    tree.insert(ObjectId(mirror.len() as u32 - 1), p);
+                }
+                Op::Remove(i) => {
+                    let live: Vec<usize> = mirror
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_some())
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !live.is_empty() {
+                        let victim = live[i % live.len()];
+                        mirror[victim] = None;
+                        prop_assert!(tree.remove(ObjectId(victim as u32)).is_some());
+                    }
+                }
+                Op::Move(i, p) => {
+                    let live: Vec<usize> = mirror
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_some())
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !live.is_empty() {
+                        let target = live[i % live.len()];
+                        mirror[target] = Some(p);
+                        tree.update(ObjectId(target as u32), p);
+                    }
+                }
+            }
+        }
+        tree.check_invariants();
+        let live_count = mirror.iter().flatten().count();
+        prop_assert_eq!(tree.len(), live_count);
+        // NN equivalence with the mirror.
+        let mut ops_ctr = OpCounters::new();
+        let got = igern_rtree::nearest(&tree, probe, None, &mut ops_ctr).map(|n| n.dist_sq);
+        let want = mirror
+            .iter()
+            .flatten()
+            .map(|p| probe.dist_sq(*p))
+            .fold(f64::INFINITY, f64::min);
+        if live_count == 0 {
+            prop_assert!(got.is_none());
+        } else {
+            prop_assert_eq!(got, Some(want));
+        }
+    }
+
+    /// CellSet behaves like a reference HashSet under arbitrary flips.
+    #[test]
+    fn cellset_matches_reference(
+        cap in 1usize..300,
+        flips in prop::collection::vec((any::<usize>(), any::<bool>()), 0..200),
+    ) {
+        let mut set = CellSet::new(cap);
+        let mut reference = std::collections::BTreeSet::new();
+        for (raw, insert) in flips {
+            let i = raw % cap;
+            if insert {
+                prop_assert_eq!(set.insert(i), reference.insert(i));
+            } else {
+                prop_assert_eq!(set.remove(i), reference.remove(&i));
+            }
+        }
+        prop_assert_eq!(set.count(), reference.len());
+        let got: Vec<usize> = set.iter().collect();
+        let want: Vec<usize> = reference.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Order-k cleaning: every kept item has fewer than k kept dominators;
+    /// every dropped item had at least k kept dominators; k ≥ len keeps
+    /// everything.
+    #[test]
+    fn clean_dominated_k_postconditions(
+        items in prop::collection::vec(point(), 0..25),
+        q in point(),
+        k in 1usize..5,
+    ) {
+        let mut tagged: Vec<(Point, usize)> = items.iter().copied().zip(0..).collect();
+        clean_dominated_k(&mut tagged, q, k);
+        let kept: Vec<Point> = tagged.iter().map(|&(p, _)| p).collect();
+        // Post-condition on the kept set: fewer than k *nearer* kept
+        // dominators (the sequential rule's guarantee — farther kept items
+        // may still dominate a kept one when k ≥ 2, and that is fine: the
+        // nearer item's bisector is the one bounding the region).
+        for &p in &kept {
+            let d_q = p.dist_sq(q);
+            let nearer_dominators = kept
+                .iter()
+                .filter(|&&other| {
+                    other != p && other.dist_sq(q) <= d_q && p.dist_sq(other) < d_q
+                })
+                .count();
+            prop_assert!(
+                nearer_dominators < k,
+                "kept item with {nearer_dominators} nearer kept dominators"
+            );
+        }
+        // Dropped items must be k-dominated by the kept set.
+        let kept_tags: Vec<usize> = tagged.iter().map(|&(_, t)| t).collect();
+        for (i, &p) in items.iter().enumerate() {
+            if kept_tags.contains(&i) {
+                continue;
+            }
+            let dominators = kept
+                .iter()
+                .filter(|&&other| p.dist_sq(other) < p.dist_sq(q))
+                .count();
+            prop_assert!(dominators >= k, "dropped item with only {dominators} dominators");
+        }
+        // Large k keeps everything.
+        let mut all: Vec<(Point, usize)> = items.iter().copied().zip(0..).collect();
+        clean_dominated_k(&mut all, q, items.len() + 1);
+        prop_assert_eq!(all.len(), items.len());
+    }
+
+    /// The order-k alive region covers every point with fewer than k
+    /// closer sites.
+    #[test]
+    fn order_k_region_is_complete(
+        sites in prop::collection::vec(point(), 0..10),
+        q in point(),
+        k in 1usize..4,
+        probes in prop::collection::vec(point(), 20),
+    ) {
+        let grid = Grid::new(Aabb::from_coords(0.0, 0.0, SPACE, SPACE), 12);
+        let alive = recompute_alive_k(&grid, q, &sites, k);
+        for p in probes {
+            let d_q = p.dist_sq(q);
+            let closer = sites.iter().filter(|s| p.dist_sq(**s) < d_q).count();
+            if closer < k {
+                prop_assert!(
+                    alive.contains(grid.cell_of_point(p)),
+                    "under-k probe {p} landed in a dead cell"
+                );
+            }
+        }
+    }
+
+    /// Trace save/load round-trips arbitrary update streams exactly.
+    #[test]
+    fn trace_roundtrip(
+        initial in prop::collection::vec(point(), 1..20),
+        tick_shape in prop::collection::vec(prop::collection::vec((any::<u32>(), point()), 0..10), 0..6),
+    ) {
+        let n = initial.len() as u32;
+        let ticks: Vec<Vec<igern::mobgen::Update>> = tick_shape
+            .into_iter()
+            .map(|t| {
+                t.into_iter()
+                    .map(|(id, pos)| igern::mobgen::Update { id: id % n, pos })
+                    .collect()
+            })
+            .collect();
+        let trace = RecordedTrace::from_parts(
+            Aabb::from_coords(0.0, 0.0, SPACE, SPACE),
+            initial,
+            ticks,
+        );
+        let mut buf = Vec::new();
+        trace.save(&mut buf).unwrap();
+        let loaded = RecordedTrace::load(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(loaded, trace);
+    }
+}
