@@ -18,6 +18,7 @@
 
 pub mod args;
 pub mod harness;
+pub mod microtime;
 pub mod report;
 
 pub use args::ExpArgs;

@@ -1,0 +1,77 @@
+//! A dependency-free micro-timing harness.
+//!
+//! Replaces the former criterion dev-dependency so the workspace builds
+//! and benches fully offline. The statistics are deliberately simple —
+//! mean / min / max over a fixed-budget batch of iterations after a
+//! warm-up — which is enough to compare the relative cost of the hot
+//! paths this crate measures.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-case time budget after warm-up.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up iterations before measuring.
+const WARMUP: usize = 3;
+/// Hard cap on measured iterations per case.
+const MAX_ITERS: usize = 10_000;
+
+/// Timing summary of one benchmark case.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    pub iters: usize,
+    pub mean: Duration,
+    pub min: Duration,
+    pub max: Duration,
+}
+
+impl std::fmt::Display for Timing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:>12?}  min {:>12?}  max {:>12?}  ({} iters)",
+            self.mean, self.min, self.max, self.iters
+        )
+    }
+}
+
+/// Time a closure that needs no per-iteration setup.
+pub fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) -> Timing {
+    bench_batched(group, name, || (), move |()| f())
+}
+
+/// Time a closure with per-iteration setup excluded from the measurement
+/// (the `iter_batched` shape: clone-heavy monitors are rebuilt outside
+/// the timed region).
+pub fn bench_batched<S, R>(
+    group: &str,
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> R,
+) -> Timing {
+    for _ in 0..WARMUP {
+        black_box(f(setup()));
+    }
+    let mut iters = 0usize;
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    while total < BUDGET && iters < MAX_ITERS {
+        let input = setup();
+        let start = Instant::now();
+        black_box(f(input));
+        let dt = start.elapsed();
+        total += dt;
+        min = min.min(dt);
+        max = max.max(dt);
+        iters += 1;
+    }
+    let t = Timing {
+        iters,
+        mean: total / iters.max(1) as u32,
+        min,
+        max,
+    };
+    println!("{group}/{name:<28} {t}");
+    t
+}

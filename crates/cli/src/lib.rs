@@ -211,6 +211,11 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let ticks = ticks.min(trace.num_ticks());
     let grid = args.num("grid", Grid::suggest_size(trace.num_objects()))?;
     let mut proc = processor_for(&trace, algo.is_bichromatic(), grid);
+    match args.get("routing").unwrap_or("on") {
+        "on" => proc.set_skip_routing(true),
+        "off" => proc.set_skip_routing(false),
+        other => return Err(CliError(format!("bad value for --routing: {other:?}"))),
+    }
     let n = trace.num_objects();
     let candidates = if algo.is_bichromatic() { n / 2 } else { n };
     let handles: Vec<usize> = (0..nq.min(candidates))
@@ -242,11 +247,14 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         }
         writeln!(
             out,
-            "query {}: mean {:.3} ms/tick, mean answer {:.2}, mean monitored {:.2}",
+            "query {}: mean {:.3} ms/tick, mean answer {:.2}, mean monitored {:.2}, \
+             skipped {}/{} ticks",
             proc.query_object(h),
             stats.mean_time().as_secs_f64() * 1e3,
             stats.mean_answer(),
             stats.mean_monitored(),
+            stats.skipped(),
+            stats.len(),
         )?;
     }
     Ok(())
@@ -315,7 +323,7 @@ COMMANDS:
   gen-network  --seed N --k N [--out FILE]
   gen-trace    --objects N --ticks N --seed N [--bi true] [--out FILE]
   run          --trace FILE [--algo igern|crnn|tpl|igern-bi|voronoi|igern-k|igern-bi-k|knn]
-               [--queries N] [--ticks N] [--grid N] [--k N]
+               [--queries N] [--ticks N] [--grid N] [--k N] [--routing on|off]
   render       --trace FILE [--query N] [--ticks N] [--grid N]
 ";
 
@@ -431,6 +439,54 @@ mod tests {
             outs.push(answers);
         }
         assert_eq!(outs[0], outs[1], "CLI answers must agree across algorithms");
+    }
+
+    #[test]
+    fn routing_flag_changes_cost_not_answers() {
+        let dir = std::env::temp_dir().join("igern_cli_routing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        let a = args(&[
+            "--objects",
+            "60",
+            "--ticks",
+            "6",
+            "--seed",
+            "11",
+            "--out",
+            trace_path,
+        ]);
+        gen_trace(&a, &mut Vec::new()).unwrap();
+        let mut outs = Vec::new();
+        for routing in ["on", "off"] {
+            let a = args(&[
+                "--trace",
+                trace_path,
+                "--algo",
+                "igern",
+                "--queries",
+                "2",
+                "--routing",
+                routing,
+            ]);
+            let mut buf = Vec::new();
+            run(&a, &mut buf).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.contains("skipped"), "summary reports skip counts");
+            if routing == "off" {
+                assert!(text.contains("skipped 0/"), "forced run never skips");
+            }
+            let answers: String = text
+                .lines()
+                .filter(|l| l.starts_with("tick"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            outs.push(answers);
+        }
+        assert_eq!(outs[0], outs[1], "routing must not change answers");
+        let a = args(&["--trace", trace_path, "--routing", "sideways"]);
+        assert!(run(&a, &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -133,6 +133,11 @@ impl Crnn {
     pub fn num_monitored(&self) -> usize {
         self.cands.iter().flatten().count()
     }
+
+    /// Ids of the current pie candidates.
+    pub fn candidates(&self) -> Vec<ObjectId> {
+        self.cands.iter().flatten().map(|&(id, _)| id).collect()
+    }
 }
 
 /// Nearest object to `q` within pie `i`, up to `max_dist`.

@@ -180,6 +180,11 @@ impl BiIgernK {
         self.k
     }
 
+    /// The monitored A-objects.
+    pub fn monitored(&self) -> Vec<ObjectId> {
+        self.nn_a.iter().map(|&(_, id)| id).collect()
+    }
+
     /// Number of monitored A-objects.
     #[inline]
     pub fn num_monitored(&self) -> usize {

@@ -24,8 +24,12 @@
 //! * [`store::SpatialStore`] — the shared grid index over the update
 //!   stream (one grid for monochromatic data, twin grids for the two
 //!   bichromatic types).
+//! * [`monitor`] — the [`ContinuousMonitor`] trait: one interface over
+//!   every evaluation strategy, each publishing the *watch set* of grid
+//!   cells used for dirty-region update routing.
 //! * [`processor`] — a continuous query processor running many queries of
-//!   mixed algorithms over one stream, collecting per-tick metrics.
+//!   mixed algorithms over one stream, skipping queries whose watched
+//!   cells saw no updates and collecting per-tick metrics.
 //! * [`costmodel`] — the analytical cost model of Section 6.
 //! * [`metrics`] — per-tick samples and experiment aggregation.
 //! * [`knn_monitor`] / [`range_monitor`] — companion continuous k-NN and
@@ -65,6 +69,7 @@ pub mod bi;
 pub mod costmodel;
 pub mod knn_monitor;
 pub mod metrics;
+pub mod monitor;
 pub mod mono;
 pub mod naive;
 pub mod processor;
@@ -76,6 +81,7 @@ pub mod types;
 
 pub use bi::{BiIgern, BiIgernK};
 pub use knn_monitor::KnnMonitor;
+pub use monitor::ContinuousMonitor;
 pub use mono::{MonoIgern, MonoIgernK};
 pub use range_monitor::RangeMonitor;
 pub use store::SpatialStore;

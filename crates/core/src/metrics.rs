@@ -25,6 +25,11 @@ pub struct TickSample {
     /// Area of the monitored region after this tick (0 for algorithms
     /// without a persistent region).
     pub region_area: f64,
+    /// The processor skipped evaluation this tick: no dirty cell
+    /// intersected the query's watched cells, so the previous answer was
+    /// reused at zero cost (`elapsed` and `ops` are zero; `monitored`,
+    /// `answer_size`, and `region_area` carry over).
+    pub skipped: bool,
 }
 
 /// Aggregate over many samples.
@@ -36,6 +41,7 @@ pub struct SeriesStats {
     total_monitored: u64,
     total_answer: u64,
     total_area: f64,
+    skipped: usize,
 }
 
 impl SeriesStats {
@@ -52,6 +58,9 @@ impl SeriesStats {
         self.total_monitored += s.monitored as u64;
         self.total_answer += s.answer_size as u64;
         self.total_area += s.region_area;
+        if s.skipped {
+            self.skipped += 1;
+        }
     }
 
     /// Number of samples folded.
@@ -105,6 +114,25 @@ impl SeriesStats {
         }
     }
 
+    /// Samples the processor skipped via dirty-region routing.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Samples that ran an actual evaluation.
+    pub fn evaluated(&self) -> usize {
+        self.samples - self.skipped
+    }
+
+    /// Fraction of samples skipped (0 when empty).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.samples as f64
+        }
+    }
+
     /// Accumulated operation counts.
     pub fn ops(&self) -> &OpCounters {
         &self.total_ops
@@ -126,6 +154,7 @@ mod tests {
             monitored,
             answer_size: answer,
             region_area: 1.5,
+            skipped: false,
         }
     }
 
@@ -149,5 +178,20 @@ mod tests {
         assert_eq!(s.mean_answer(), 1.0);
         assert_eq!(s.mean_area(), 1.5);
         assert_eq!(s.ops().nn, 2);
+    }
+
+    #[test]
+    fn skip_accounting() {
+        let mut s = SeriesStats::new();
+        s.push(&sample(10, 3, 2));
+        s.push(&TickSample {
+            skipped: true,
+            ..Default::default()
+        });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.skipped(), 1);
+        assert_eq!(s.evaluated(), 1);
+        assert_eq!(s.skip_ratio(), 0.5);
+        assert_eq!(SeriesStats::new().skip_ratio(), 0.0);
     }
 }

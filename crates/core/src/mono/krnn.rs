@@ -169,6 +169,11 @@ impl MonoIgernK {
         self.k
     }
 
+    /// The monitored candidate set.
+    pub fn candidates(&self) -> Vec<ObjectId> {
+        self.cand.iter().map(|&(_, id)| id).collect()
+    }
+
     /// Number of monitored objects (≤ 6k under exact greedy insertion).
     #[inline]
     pub fn num_monitored(&self) -> usize {

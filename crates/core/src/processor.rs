@@ -5,18 +5,28 @@
 //! This is the engine the experiment harness drives. At each tick the
 //! caller feeds the position updates (from any `igern_mobgen` mover), the
 //! processor applies them to the [`SpatialStore`], then re-evaluates every
-//! registered query with its algorithm, recording a [`TickSample`].
+//! registered query with its [`ContinuousMonitor`], recording a
+//! [`TickSample`].
+//!
+//! # Dirty-region update routing
+//!
+//! The store journals which grid cells were touched since the last tick.
+//! Before re-evaluating a query, the processor intersects the tick's
+//! dirty set with the query's watched cells
+//! ([`ContinuousMonitor::monitored_cells`]) plus its anchor cell; when
+//! they are disjoint, the previous answer is provably still valid and the
+//! query is skipped, recording a zero-cost sample marked
+//! [`TickSample::skipped`]. Routing is on by default and can be turned
+//! off with [`Processor::set_skip_routing`] (every query then re-runs
+//! every tick, the pre-routing behavior).
 
 use std::time::Instant;
 
 use igern_geom::Point;
 use igern_grid::{ObjectId, OpCounters};
 
-use crate::baselines::{tpl_snapshot, voronoi_snapshot, Crnn};
-use crate::bi::{BiIgern, BiIgernK};
-use crate::knn_monitor::KnnMonitor;
 use crate::metrics::TickSample;
-use crate::mono::{MonoIgern, MonoIgernK};
+use crate::monitor::{ContinuousMonitor, NullMonitor};
 use crate::store::SpatialStore;
 
 /// Which algorithm evaluates a continuous query.
@@ -54,23 +64,13 @@ impl Algorithm {
     }
 }
 
-/// Per-query evaluator state.
-enum State {
-    IgernMono(Option<MonoIgern>),
-    Crnn(Option<Crnn>),
-    TplRepeat,
-    IgernBi(Option<BiIgern>),
-    VoronoiRepeat,
-    IgernMonoK(usize, Option<MonoIgernK>),
-    IgernBiK(usize, Option<BiIgernK>),
-    Knn(usize, Option<KnnMonitor>),
-}
-
 /// One registered continuous query.
 struct Query {
     /// The moving object acting as the query.
     obj: ObjectId,
-    state: State,
+    monitor: Box<dyn ContinuousMonitor>,
+    /// The monitor has had its initial evaluation.
+    initialized: bool,
     answer: Vec<ObjectId>,
     monitored: usize,
     region_area: f64,
@@ -84,21 +84,35 @@ pub struct Processor {
     store: SpatialStore,
     queries: Vec<Query>,
     tick: u64,
+    skip_routing: bool,
 }
 
 impl Processor {
-    /// Wrap a loaded store.
+    /// Wrap a loaded store. Dirty-region skip routing starts enabled.
     pub fn new(store: SpatialStore) -> Self {
         Processor {
             store,
             queries: Vec::new(),
             tick: 0,
+            skip_routing: true,
         }
     }
 
     /// The underlying store.
     pub fn store(&self) -> &SpatialStore {
         &self.store
+    }
+
+    /// Enable or disable dirty-region skip routing in [`Processor::step`]
+    /// / [`Processor::step_parallel`]. Disabled, every query re-evaluates
+    /// every tick (the force-evaluate oracle).
+    pub fn set_skip_routing(&mut self, on: bool) {
+        self.skip_routing = on;
+    }
+
+    /// Whether dirty-region skip routing is enabled.
+    pub fn skip_routing(&self) -> bool {
+        self.skip_routing
     }
 
     /// Register a continuous query anchored at moving object `obj`;
@@ -108,10 +122,6 @@ impl Processor {
     /// Panics when `obj` is not in the store, or when a bichromatic
     /// algorithm is requested for a non-A object.
     pub fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> usize {
-        assert!(
-            self.store.position(obj).is_some(),
-            "query object {obj} not in store"
-        );
         if algo.is_bichromatic() {
             assert_eq!(
                 self.store.kind(obj),
@@ -122,37 +132,55 @@ impl Processor {
         if let Algorithm::IgernMonoK(k) | Algorithm::IgernBiK(k) | Algorithm::Knn(k) = algo {
             assert!(k >= 1, "k must be positive");
         }
-        let state = match algo {
-            Algorithm::IgernMono => State::IgernMono(None),
-            Algorithm::Crnn => State::Crnn(None),
-            Algorithm::TplRepeat => State::TplRepeat,
-            Algorithm::IgernBi => State::IgernBi(None),
-            Algorithm::VoronoiRepeat => State::VoronoiRepeat,
-            Algorithm::IgernMonoK(k) => State::IgernMonoK(k, None),
-            Algorithm::IgernBiK(k) => State::IgernBiK(k, None),
-            Algorithm::Knn(k) => State::Knn(k, None),
-        };
-        self.queries.push(Query {
+        self.add_query_with(obj, algo.make_monitor(Some(obj)))
+    }
+
+    /// Register a continuous query evaluated by a caller-supplied
+    /// monitor (e.g. a custom [`ContinuousMonitor`] implementation);
+    /// returns its index. Tombstoned slots are reused, so the index of a
+    /// previously removed query may be handed out again.
+    ///
+    /// # Panics
+    /// Panics when `obj` is not in the store.
+    pub fn add_query_with(&mut self, obj: ObjectId, monitor: Box<dyn ContinuousMonitor>) -> usize {
+        assert!(
+            self.store.position(obj).is_some(),
+            "query object {obj} not in store"
+        );
+        let q = Query {
             obj,
-            state,
+            monitor,
+            initialized: false,
             answer: Vec::new(),
             monitored: 0,
             region_area: 0.0,
             history: Vec::new(),
             removed: false,
-        });
-        self.queries.len() - 1
+        };
+        match self.queries.iter().position(|slot| slot.removed) {
+            Some(i) => {
+                self.queries[i] = q;
+                i
+            }
+            None => {
+                self.queries.push(q);
+                self.queries.len() - 1
+            }
+        }
     }
 
-    /// Drop a registered query. Indices of other queries are stable
-    /// (internally the slot is tombstoned); accessing a removed query
-    /// panics.
+    /// Drop a registered query, freeing its monitor state, answer, and
+    /// history allocations. Indices of other queries are stable (the
+    /// slot is tombstoned until [`Processor::add_query`] reuses it);
+    /// accessing a removed query panics.
     pub fn remove_query(&mut self, i: usize) {
         assert!(!self.queries[i].removed, "query {i} already removed");
-        self.queries[i].removed = true;
-        self.queries[i].state = State::TplRepeat; // drop monitor state
-        self.queries[i].answer.clear();
-        self.queries[i].history.clear();
+        let q = &mut self.queries[i];
+        q.removed = true;
+        q.initialized = false;
+        q.monitor = Box::new(NullMonitor);
+        q.answer = Vec::new();
+        q.history = Vec::new();
     }
 
     /// Insert a new moving object into the store at runtime.
@@ -172,27 +200,35 @@ impl Processor {
         self.store.remove(id)
     }
 
-    /// Apply one tick of updates and re-evaluate every query.
+    /// Apply one tick of updates and re-evaluate every query, skipping
+    /// those whose watched cells saw no update (when routing is on).
     pub fn step(&mut self, updates: &[(ObjectId, Point)]) {
         for &(id, pos) in updates {
             self.store.apply(id, pos);
         }
         self.tick += 1;
-        self.evaluate_all();
+        self.evaluate_round(self.skip_routing);
     }
 
     /// Evaluate all queries against the current store state without
-    /// applying updates (used for the initial evaluation at T₀).
+    /// applying updates, ignoring skip routing (used for the initial
+    /// evaluation at T₀ and as the force-evaluate oracle).
     pub fn evaluate_all(&mut self) {
+        self.evaluate_round(false);
+    }
+
+    fn evaluate_round(&mut self, route: bool) {
         // Queries borrow the store immutably; detach the vector to satisfy
         // the borrow checker without cloning the store.
         let mut queries = std::mem::take(&mut self.queries);
         for q in &mut queries {
             if !q.removed {
-                self.evaluate_one(q);
+                self.evaluate_one(q, route);
             }
         }
         self.queries = queries;
+        // Close out the journal: the next tick's dirt starts from here.
+        self.store.drain_dirty();
     }
 
     /// Apply one tick of updates and re-evaluate every query on
@@ -207,14 +243,18 @@ impl Processor {
             self.store.apply(id, pos);
         }
         self.tick += 1;
-        self.evaluate_all_parallel(threads);
+        self.evaluate_round_parallel(self.skip_routing, threads);
     }
 
-    /// Parallel form of [`Processor::evaluate_all`].
+    /// Parallel form of [`Processor::evaluate_all`] (force-evaluates).
     ///
     /// # Panics
     /// Panics when `threads == 0`.
     pub fn evaluate_all_parallel(&mut self, threads: usize) {
+        self.evaluate_round_parallel(false, threads);
+    }
+
+    fn evaluate_round_parallel(&mut self, route: bool, threads: usize) {
         assert!(threads >= 1, "need at least one worker");
         let mut queries = std::mem::take(&mut self.queries);
         let chunk = queries.len().div_ceil(threads).max(1);
@@ -224,151 +264,75 @@ impl Processor {
                 scope.spawn(move || {
                     for q in batch {
                         if !q.removed {
-                            this.evaluate_one(q);
+                            this.evaluate_one(q, route);
                         }
                     }
                 });
             }
         });
         self.queries = queries;
+        self.store.drain_dirty();
     }
 
-    fn evaluate_one(&self, q: &mut Query) {
+    /// The skip decision: may `q` keep its previous answer this tick?
+    ///
+    /// Sound only because every store mutation dirties the touched cells
+    /// of the all-objects grid (a superset of the A/B dirt) and each
+    /// monitor's watch set is a conservative closure of the cells its
+    /// next incremental step reads (see `crate::monitor`). The anchor
+    /// cell is always checked so a move of the query object itself — or
+    /// of a neighbor sharing its cell — forces re-evaluation.
+    fn can_skip(&self, q: &Query, anchor: Point) -> bool {
+        if !q.initialized {
+            return false;
+        }
+        let dirty = self.store.dirty_all();
+        if dirty.contains(self.store.all().cell_of_point(anchor)) {
+            return false;
+        }
+        match q.monitor.monitored_cells() {
+            None => dirty.is_empty(),
+            Some(watch) => !dirty.intersects(watch),
+        }
+    }
+
+    fn evaluate_one(&self, q: &mut Query, route: bool) {
         let pos = self
             .store
             .position(q.obj)
             .expect("query object vanished from store");
+        if route && self.can_skip(q, pos) {
+            // Zero-cost sample: the previous answer is reused verbatim.
+            q.history.push(TickSample {
+                tick: self.tick,
+                monitored: q.monitored,
+                answer_size: q.answer.len(),
+                region_area: q.region_area,
+                skipped: true,
+                ..TickSample::default()
+            });
+            return;
+        }
         let mut ops = OpCounters::new();
         let start = Instant::now();
-        match &mut q.state {
-            State::IgernMono(slot) => {
-                match slot {
-                    Some(m) => m.incremental(self.store.all(), pos, &mut ops),
-                    None => {
-                        *slot = Some(MonoIgern::initial(
-                            self.store.all(),
-                            pos,
-                            Some(q.obj),
-                            &mut ops,
-                        ))
-                    }
-                }
-                let m = slot.as_ref().unwrap();
-                q.answer = m.rnn().to_vec();
-                q.monitored = m.num_monitored();
-                q.region_area = m.monitored_area(self.store.all());
-            }
-            State::Crnn(slot) => {
-                match slot {
-                    Some(c) => c.incremental(self.store.all(), pos, &mut ops),
-                    None => {
-                        *slot = Some(Crnn::initial(self.store.all(), pos, Some(q.obj), &mut ops))
-                    }
-                }
-                let c = slot.as_ref().unwrap();
-                q.answer = c.rnn().to_vec();
-                q.monitored = c.num_monitored();
-                q.region_area = c.monitored_area(self.store.all());
-            }
-            State::TplRepeat => {
-                let ans = tpl_snapshot(self.store.all(), pos, Some(q.obj), &mut ops);
-                q.monitored = ans.candidates.len();
-                q.answer = ans.rnn;
-            }
-            State::IgernBi(slot) => {
-                match slot {
-                    Some(m) => {
-                        m.incremental(self.store.grid_a(), self.store.grid_b(), pos, &mut ops)
-                    }
-                    None => {
-                        *slot = Some(BiIgern::initial(
-                            self.store.grid_a(),
-                            self.store.grid_b(),
-                            pos,
-                            Some(q.obj),
-                            &mut ops,
-                        ))
-                    }
-                }
-                let m = slot.as_ref().unwrap();
-                q.answer = m.rnn().to_vec();
-                q.monitored = m.num_monitored();
-            }
-            State::VoronoiRepeat => {
-                let ans = voronoi_snapshot(
-                    self.store.grid_a(),
-                    self.store.grid_b(),
-                    pos,
-                    Some(q.obj),
-                    &mut ops,
-                );
-                q.monitored = ans.sites_used;
-                q.answer = ans.rnn;
-            }
-            State::IgernMonoK(k, slot) => {
-                match slot {
-                    Some(m) => m.incremental(self.store.all(), pos, &mut ops),
-                    None => {
-                        *slot = Some(MonoIgernK::initial(
-                            self.store.all(),
-                            pos,
-                            Some(q.obj),
-                            *k,
-                            &mut ops,
-                        ))
-                    }
-                }
-                let m = slot.as_ref().unwrap();
-                q.answer = m.rnn().to_vec();
-                q.monitored = m.num_monitored();
-            }
-            State::Knn(k, slot) => {
-                match slot {
-                    Some(m) => m.incremental(self.store.all(), pos, &mut ops),
-                    None => {
-                        *slot = Some(KnnMonitor::initial(
-                            self.store.all(),
-                            pos,
-                            Some(q.obj),
-                            *k,
-                            &mut ops,
-                        ))
-                    }
-                }
-                let m = slot.as_ref().unwrap();
-                let mut ids = m.ids();
-                ids.sort_unstable();
-                q.monitored = m.answer().len();
-                q.answer = ids;
-            }
-            State::IgernBiK(k, slot) => {
-                match slot {
-                    Some(m) => {
-                        m.incremental(self.store.grid_a(), self.store.grid_b(), pos, &mut ops)
-                    }
-                    None => {
-                        *slot = Some(BiIgernK::initial(
-                            self.store.grid_a(),
-                            self.store.grid_b(),
-                            pos,
-                            Some(q.obj),
-                            *k,
-                            &mut ops,
-                        ))
-                    }
-                }
-                let m = slot.as_ref().unwrap();
-                q.answer = m.rnn().to_vec();
-                q.monitored = m.num_monitored();
-            }
+        if q.initialized {
+            q.monitor.incremental(&self.store, pos, &mut ops);
+        } else {
+            q.monitor.initial(&self.store, pos, &mut ops);
+            q.initialized = true;
         }
+        let elapsed = start.elapsed();
+        q.monitor.answer_into(&mut q.answer);
+        q.monitored = q.monitor.num_monitored();
+        q.region_area = q.monitor.region_area(&self.store);
         q.history.push(TickSample {
             tick: self.tick,
-            elapsed: start.elapsed(),
+            elapsed,
             ops,
             monitored: q.monitored,
             answer_size: q.answer.len(),
             region_area: q.region_area,
+            skipped: false,
         });
     }
 
@@ -634,6 +598,118 @@ mod tests {
         let want = naive::mono_rnn(&objs, Point::new(5.0, 5.0), Some(ObjectId(0)));
         assert_eq!(p.answer(h), want.as_slice());
         assert!(!p.answer(h).contains(&ObjectId(50)));
+    }
+
+    #[test]
+    fn tombstoned_slots_are_reused() {
+        let pts = [(5.0, 5.0), (4.0, 4.0), (6.0, 6.0)];
+        let mut p = Processor::new(store(&pts, 3));
+        let a = p.add_query(ObjectId(0), Algorithm::IgernMono);
+        let b = p.add_query(ObjectId(1), Algorithm::IgernMono);
+        p.evaluate_all();
+        p.remove_query(a);
+        let c = p.add_query(ObjectId(2), Algorithm::Knn(1));
+        assert_eq!(c, a, "removed slot must be handed out again");
+        assert_ne!(c, b);
+        assert_eq!(p.num_queries(), 2);
+        p.step(&[]);
+        assert_eq!(p.query_object(c), ObjectId(2));
+        assert_eq!(p.history(c).len(), 1, "fresh query, fresh history");
+    }
+
+    #[test]
+    fn localized_updates_skip_untouched_queries() {
+        // Query cluster near the center; spectators in the far corner.
+        let pts = [(5.0, 5.0), (4.5, 5.0), (5.5, 5.0), (9.5, 9.5), (9.0, 9.5)];
+        let mut p = Processor::new(store(&pts, pts.len()));
+        let h = p.add_query(ObjectId(0), Algorithm::IgernMono);
+        p.evaluate_all();
+        assert!(!p.history(h)[0].skipped, "initial step always evaluates");
+        // A far-corner move touches no watched cell: skipped, zero cost.
+        p.step(&[(ObjectId(3), Point::new(9.4, 9.4))]);
+        let s = p.history(h)[1];
+        assert!(s.skipped);
+        assert_eq!(s.elapsed, std::time::Duration::ZERO);
+        assert_eq!(s.ops.nn + s.ops.nn_b + s.ops.verifications, 0);
+        let objs: Vec<(ObjectId, Point)> = p.store().all().iter().collect();
+        let want = naive::mono_rnn(&objs, Point::new(5.0, 5.0), Some(ObjectId(0)));
+        assert_eq!(p.answer(h), want.as_slice(), "reused answer still right");
+        // A candidate move lands in the watch: evaluated.
+        p.step(&[(ObjectId(1), Point::new(4.4, 5.1))]);
+        assert!(!p.history(h)[2].skipped);
+        // Quiet tick: everything (even snapshots) skips.
+        let t = p.add_query(ObjectId(0), Algorithm::TplRepeat);
+        p.step(&[]);
+        p.step(&[]);
+        let th = p.history(t);
+        assert!(th[th.len() - 1].skipped);
+        assert!(p.history(h)[4].skipped);
+    }
+
+    #[test]
+    fn disabling_skip_routing_forces_every_tick() {
+        let pts = [(5.0, 5.0), (4.5, 5.0), (9.5, 9.5)];
+        let mut p = Processor::new(store(&pts, 3));
+        assert!(p.skip_routing());
+        p.set_skip_routing(false);
+        assert!(!p.skip_routing());
+        let h = p.add_query(ObjectId(0), Algorithm::IgernMono);
+        p.evaluate_all();
+        p.step(&[]);
+        p.step(&[(ObjectId(2), Point::new(9.4, 9.4))]);
+        assert!(p.history(h).iter().all(|s| !s.skipped));
+    }
+
+    #[test]
+    fn routed_and_forced_processors_agree_over_a_stream() {
+        let pts: Vec<(f64, f64)> = (0..30)
+            .map(|i| ((i * 7 % 30) as f64 / 3.0, (i * 11 % 30) as f64 / 3.0))
+            .collect();
+        let mk = |routing| {
+            let mut p = Processor::new(store(&pts, 20));
+            p.set_skip_routing(routing);
+            p.add_query(ObjectId(0), Algorithm::IgernMono);
+            p.add_query(ObjectId(0), Algorithm::Crnn);
+            p.add_query(ObjectId(0), Algorithm::IgernBi);
+            p.add_query(ObjectId(0), Algorithm::IgernMonoK(2));
+            p.add_query(ObjectId(0), Algorithm::Knn(3));
+            p.evaluate_all();
+            p
+        };
+        let mut routed = mk(true);
+        let mut forced = mk(false);
+        let mut state = 77u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for tick in 0..30 {
+            // Localized updates: only objects 20..30 (far half) move on
+            // most ticks, so center queries get skippable ticks.
+            let lo = if tick % 4 == 0 { 0 } else { 20 };
+            let mut ups: Vec<(ObjectId, Point)> = Vec::new();
+            for i in lo..30u32 {
+                if rnd() < 0.5 {
+                    let cur = routed.store().position(ObjectId(i)).unwrap();
+                    ups.push((
+                        ObjectId(i),
+                        Point::new(
+                            (cur.x + rnd() - 0.5).clamp(0.0, 10.0),
+                            (cur.y + rnd() - 0.5).clamp(0.0, 10.0),
+                        ),
+                    ));
+                }
+            }
+            routed.step(&ups);
+            forced.step(&ups);
+            for qi in 0..5 {
+                assert_eq!(
+                    routed.answer(qi),
+                    forced.answer(qi),
+                    "query {qi} tick {tick}"
+                );
+            }
+        }
     }
 
     #[test]

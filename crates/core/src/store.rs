@@ -7,11 +7,17 @@
 //! cell id means the same region in both).
 
 use igern_geom::{Aabb, Point};
-use igern_grid::{Grid, ObjectId};
+use igern_grid::{CellSet, Grid, ObjectId};
 
 use crate::types::ObjectKind;
 
 /// Grid indexes over the moving-object population.
+///
+/// The store keeps a per-tick *update journal* on top of the grids'
+/// dirty-cell tracking: which objects were touched (inserted, removed, or
+/// moved) since the last [`SpatialStore::drain_dirty`], and — via the
+/// grids — which cells of each index went dirty. The processor routes
+/// query re-evaluation off this journal.
 #[derive(Debug, Clone)]
 pub struct SpatialStore {
     /// All objects, regardless of kind (monochromatic queries).
@@ -21,6 +27,9 @@ pub struct SpatialStore {
     /// Kind-B objects only.
     b: Grid,
     kinds: Vec<ObjectKind>,
+    /// Objects touched since the last drain (may repeat an id that was
+    /// updated twice in a tick).
+    moved: Vec<ObjectId>,
 }
 
 impl SpatialStore {
@@ -32,6 +41,7 @@ impl SpatialStore {
             a: Grid::new(space, n),
             b: Grid::new(space, n),
             kinds,
+            moved: Vec::new(),
         }
     }
 
@@ -70,6 +80,7 @@ impl SpatialStore {
             ObjectKind::A => self.a.insert(id, pos),
             ObjectKind::B => self.b.insert(id, pos),
         }
+        self.moved.push(id);
     }
 
     /// Remove an object at runtime, returning its last position.
@@ -79,6 +90,7 @@ impl SpatialStore {
             ObjectKind::A => self.a.remove(id),
             ObjectKind::B => self.b.remove(id),
         };
+        self.moved.push(id);
         Some(pos)
     }
 
@@ -89,6 +101,7 @@ impl SpatialStore {
             ObjectKind::A => self.a.update(id, pos),
             ObjectKind::B => self.b.update(id, pos),
         };
+        self.moved.push(id);
     }
 
     /// The all-objects grid.
@@ -137,6 +150,49 @@ impl SpatialStore {
     #[inline]
     pub fn cell_changes(&self) -> u64 {
         self.all.cell_changes()
+    }
+
+    /// Objects touched (inserted, removed, or moved) since the last
+    /// [`SpatialStore::drain_dirty`]. May contain duplicates when an
+    /// object was updated more than once.
+    #[inline]
+    pub fn moved(&self) -> &[ObjectId] {
+        &self.moved
+    }
+
+    /// Dirty cells of the all-objects grid since the last drain. Every
+    /// mutation touches the all grid, so this is a superset of the A and
+    /// B dirty sets (the grids share cell geometry).
+    #[inline]
+    pub fn dirty_all(&self) -> &CellSet {
+        self.all.dirty()
+    }
+
+    /// Dirty cells of the kind-A grid since the last drain.
+    #[inline]
+    pub fn dirty_a(&self) -> &CellSet {
+        self.a.dirty()
+    }
+
+    /// Dirty cells of the kind-B grid since the last drain.
+    #[inline]
+    pub fn dirty_b(&self) -> &CellSet {
+        self.b.dirty()
+    }
+
+    /// Epoch of the current journal: the number of drains so far.
+    #[inline]
+    pub fn dirty_epoch(&self) -> u64 {
+        self.all.dirty_epoch()
+    }
+
+    /// Close out the current tick: clear the moved list and every grid's
+    /// dirty set, and advance the epoch.
+    pub fn drain_dirty(&mut self) {
+        self.moved.clear();
+        self.all.drain_dirty();
+        self.a.drain_dirty();
+        self.b.drain_dirty();
     }
 
     /// The data space.
@@ -208,6 +264,44 @@ mod tests {
         // Removing an A object clears both grids too.
         assert_eq!(s.remove(ObjectId(0)), Some(Point::new(1.0, 1.0)));
         assert_eq!(s.grid_a().position(ObjectId(0)), None);
+    }
+
+    #[test]
+    fn journal_tracks_one_tick_of_updates() {
+        let mut s = store();
+        s.drain_dirty(); // discard the load's journal
+        assert!(s.moved().is_empty());
+        assert!(s.dirty_all().is_empty() && s.dirty_a().is_empty() && s.dirty_b().is_empty());
+        let epoch = s.dirty_epoch();
+
+        // An A move dirties the all and A grids but not B.
+        s.apply(ObjectId(0), Point::new(8.0, 1.0));
+        assert_eq!(s.moved(), &[ObjectId(0)]);
+        assert!(!s.dirty_all().is_empty());
+        assert!(!s.dirty_a().is_empty());
+        assert!(s.dirty_b().is_empty());
+
+        // A B move dirties B; the all-grid dirty set covers both.
+        s.apply(ObjectId(2), Point::new(5.2, 5.2));
+        assert!(!s.dirty_b().is_empty());
+        let mut a_union_b = s.dirty_a().clone();
+        a_union_b.union_with(s.dirty_b());
+        let mut meet = a_union_b.clone();
+        meet.intersect_with(s.dirty_all());
+        assert_eq!(meet, a_union_b, "all-grid dirt must cover A ∪ B dirt");
+
+        s.drain_dirty();
+        assert_eq!(s.dirty_epoch(), epoch + 1);
+        assert!(s.moved().is_empty());
+        assert!(s.dirty_all().is_empty());
+
+        // Insert and remove are journaled too.
+        s.insert(ObjectId(10), ObjectKind::B, Point::new(2.0, 2.0));
+        s.remove(ObjectId(10));
+        assert_eq!(s.moved(), &[ObjectId(10), ObjectId(10)]);
+        assert!(s
+            .dirty_b()
+            .contains(s.all().cell_of_point(Point::new(2.0, 2.0))));
     }
 
     #[test]

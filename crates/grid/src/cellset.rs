@@ -130,6 +130,25 @@ impl CellSet {
         }
         self.count = count;
     }
+
+    /// In-place union with `other`. Both sets must have the same capacity.
+    pub fn union_with(&mut self, other: &CellSet) {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        let mut count = 0;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+            count += a.count_ones() as usize;
+        }
+        self.count = count;
+    }
+
+    /// Whether the two sets share at least one cell, without allocating.
+    /// Both sets must have the same capacity.
+    #[inline]
+    pub fn intersects(&self, other: &CellSet) -> bool {
+        assert_eq!(self.len, other.len, "capacity mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +215,21 @@ mod tests {
         assert_eq!(a.count(), 25);
         assert!(a.contains(25) && a.contains(49));
         assert!(!a.contains(24) && !a.contains(50));
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = CellSet::new(100);
+        let mut b = CellSet::new(100);
+        a.insert(3);
+        b.insert(97);
+        assert!(!a.intersects(&b));
+        assert!(a.intersects(&a));
+        a.union_with(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.contains(3) && a.contains(97));
+        assert!(a.intersects(&b));
+        assert!(!CellSet::new(100).intersects(&CellSet::full(100)));
     }
 
     #[test]

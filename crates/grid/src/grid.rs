@@ -2,6 +2,7 @@
 
 use igern_geom::{Aabb, Point};
 
+use crate::cellset::CellSet;
 use crate::object::ObjectId;
 
 /// Index of a grid cell, in row-major order (`iy * n + ix`).
@@ -14,6 +15,12 @@ pub type CellId = usize;
 /// The grid also counts *cell changes* — the number of object updates that
 /// moved an object across a cell boundary — which is the maintenance-cost
 /// metric of the paper's Figure 6a.
+///
+/// For dirty-region update routing the grid additionally tracks which
+/// cells were *touched* since the last [`Grid::drain_dirty`]: every
+/// insert, remove, and update marks the affected cell(s) dirty. A
+/// within-cell move still dirties its cell — positions inside changed, so
+/// any distance-based answer involving that cell may change too.
 #[derive(Debug, Clone)]
 pub struct Grid {
     space: Aabb,
@@ -25,6 +32,11 @@ pub struct Grid {
     objects: Vec<Option<(Point, CellId)>>,
     len: usize,
     cell_changes: u64,
+    /// Cells touched since the last drain.
+    dirty: CellSet,
+    /// Monotone counter, bumped on every drain: "which tick is this
+    /// dirty set for".
+    dirty_epoch: u64,
 }
 
 impl Grid {
@@ -57,6 +69,8 @@ impl Grid {
             objects: Vec::new(),
             len: 0,
             cell_changes: 0,
+            dirty: CellSet::new(n * n),
+            dirty_epoch: 0,
         }
     }
 
@@ -170,6 +184,7 @@ impl Grid {
         self.cells[c].push(id);
         self.objects[id.index()] = Some((p, c));
         self.len += 1;
+        self.dirty.insert(c);
     }
 
     /// Remove an object, returning its last position.
@@ -179,6 +194,7 @@ impl Grid {
         let at = cell.iter().position(|&o| o == id).expect("cell desync");
         cell.swap_remove(at);
         self.len -= 1;
+        self.dirty.insert(c);
         Some(p)
     }
 
@@ -203,6 +219,9 @@ impl Grid {
         };
         slot.0 = p;
         if new_cell == old_cell {
+            // The cell population is unchanged but a position inside it
+            // moved, so the cell is still dirty for routing purposes.
+            self.dirty.insert(old_cell);
             return false;
         }
         slot.1 = new_cell;
@@ -211,6 +230,8 @@ impl Grid {
         cell.swap_remove(at);
         self.cells[new_cell].push(id);
         self.cell_changes += 1;
+        self.dirty.insert(old_cell);
+        self.dirty.insert(new_cell);
         true
     }
 
@@ -224,6 +245,48 @@ impl Grid {
     /// Reset the cell-change counter.
     pub fn reset_cell_changes(&mut self) {
         self.cell_changes = 0;
+    }
+
+    /// Cells touched by insert/remove/update since the last
+    /// [`Grid::drain_dirty`].
+    #[inline]
+    pub fn dirty(&self) -> &CellSet {
+        &self.dirty
+    }
+
+    /// Epoch of the current dirty set: the number of drains so far.
+    #[inline]
+    pub fn dirty_epoch(&self) -> u64 {
+        self.dirty_epoch
+    }
+
+    /// Clear the dirty set and advance the epoch, closing out one tick of
+    /// update tracking.
+    pub fn drain_dirty(&mut self) {
+        self.dirty.clear();
+        self.dirty_epoch += 1;
+    }
+
+    /// Add to `out` every cell whose bounds intersect the closed disk of
+    /// the given `radius` around `center`. Used to build conservative
+    /// monitored-region cell sets.
+    ///
+    /// # Panics
+    /// Panics when `out` was not sized for this grid.
+    pub fn add_cells_in_disk(&self, center: Point, radius: f64, out: &mut CellSet) {
+        assert_eq!(out.capacity(), self.num_cells(), "capacity mismatch");
+        let r = radius.max(0.0);
+        let (c0, c1) = (self.col_of(center.x - r), self.col_of(center.x + r));
+        let (r0, r1) = (self.row_of(center.y - r), self.row_of(center.y + r));
+        let r_sq = r * r;
+        for iy in r0..=r1 {
+            for ix in c0..=c1 {
+                let c = self.cell_at(ix, iy);
+                if self.cell_bounds(c).mindist_sq(center) <= r_sq {
+                    out.insert(c);
+                }
+            }
+        }
     }
 
     /// Iterate over all `(id, position)` pairs.
@@ -340,6 +403,53 @@ mod tests {
             let s = Grid::suggest_size(n);
             assert!(s >= prev);
             prev = s;
+        }
+    }
+
+    #[test]
+    fn every_mutation_dirties_the_touched_cells() {
+        let mut g = grid4();
+        assert!(g.dirty().is_empty());
+        g.insert(ObjectId(0), Point::new(0.5, 0.5));
+        assert!(g.dirty().contains(g.cell_at(0, 0)));
+        g.drain_dirty();
+        assert!(g.dirty().is_empty());
+        assert_eq!(g.dirty_epoch(), 1);
+        // Within-cell move still dirties its cell.
+        g.update(ObjectId(0), Point::new(0.8, 0.2));
+        assert!(g.dirty().contains(g.cell_at(0, 0)));
+        assert_eq!(g.dirty().count(), 1);
+        g.drain_dirty();
+        // Boundary crossing dirties both endpoints.
+        g.update(ObjectId(0), Point::new(2.5, 3.5));
+        assert!(g.dirty().contains(g.cell_at(0, 0)));
+        assert!(g.dirty().contains(g.cell_at(2, 3)));
+        g.drain_dirty();
+        g.remove(ObjectId(0));
+        assert!(g.dirty().contains(g.cell_at(2, 3)));
+        assert_eq!(g.dirty_epoch(), 3);
+    }
+
+    #[test]
+    fn disk_cells_cover_exactly_the_intersecting_cells() {
+        let g = grid4();
+        let mut out = CellSet::new(g.num_cells());
+        g.add_cells_in_disk(Point::new(0.5, 0.5), 0.4, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![g.cell_at(0, 0)]);
+        out.clear();
+        // A disk spanning a corner touches all four neighbours.
+        g.add_cells_in_disk(Point::new(1.0, 1.0), 0.1, &mut out);
+        assert_eq!(out.count(), 4);
+        out.clear();
+        // Cross-check against a brute-force scan for several disks.
+        for (cx, cy, r) in [(0.0, 0.0, 1.5), (2.2, 3.1, 1.0), (5.0, 5.0, 2.0)] {
+            let center = Point::new(cx, cy);
+            out.clear();
+            g.add_cells_in_disk(center, r, &mut out);
+            for c in 0..g.num_cells() {
+                let want = g.cell_bounds(c).mindist_sq(center) <= r * r;
+                assert_eq!(out.contains(c), want, "disk ({cx},{cy},{r}) cell {c}");
+            }
         }
     }
 

@@ -6,9 +6,8 @@
 //! destination on arrival. One tick of simulated time advances every
 //! object by one time unit of travel.
 
+use crate::rng::Rng64;
 use igern_geom::{Aabb, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::network::{NodeId, RoadNetwork};
 use crate::route::RoutingTable;
@@ -32,7 +31,7 @@ pub struct NetworkMover {
     net: RoadNetwork,
     table: RoutingTable,
     objs: Vec<ObjState>,
-    rng: StdRng,
+    rng: Rng64,
     buf: Vec<Update>,
 }
 
@@ -45,7 +44,7 @@ impl NetworkMover {
     pub fn new(net: RoadNetwork, n: usize, seed: u64) -> Self {
         assert!(net.is_connected(), "network movement requires connectivity");
         let table = RoutingTable::build(&net);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut objs = Vec::with_capacity(n);
         for _ in 0..n {
             let at = rng.gen_range(0..net.num_nodes());
@@ -88,7 +87,7 @@ impl NetworkMover {
     fn step_object(
         net: &RoadNetwork,
         table: &RoutingTable,
-        rng: &mut StdRng,
+        rng: &mut Rng64,
         o: &mut ObjState,
     ) -> Point {
         let mut time_left = 1.0;
@@ -129,7 +128,7 @@ impl NetworkMover {
 }
 
 /// A fresh trip destination different from `at` (when possible).
-fn pick_destination(rng: &mut StdRng, num_nodes: usize, at: NodeId) -> NodeId {
+fn pick_destination(rng: &mut Rng64, num_nodes: usize, at: NodeId) -> NodeId {
     if num_nodes <= 1 {
         return at;
     }

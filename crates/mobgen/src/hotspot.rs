@@ -9,9 +9,8 @@
 //! adaptivity (CRNN's pies and IGERN's region react very differently to
 //! skew).
 
+use crate::rng::Rng64;
 use igern_geom::{Aabb, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{Mover, Update};
 
@@ -55,7 +54,7 @@ pub struct HotspotMover {
     cfg: HotspotConfig,
     centers: Vec<Point>,
     objs: Vec<Orbiter>,
-    rng: StdRng,
+    rng: Rng64,
     buf: Vec<Update>,
 }
 
@@ -70,7 +69,7 @@ impl HotspotMover {
             cfg.min_speed > 0.0 && cfg.max_speed >= cfg.min_speed,
             "bad speed range"
         );
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0b4d_5eed_cafe_f00d);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x0b4d_5eed_cafe_f00d);
         let centers: Vec<Point> = (0..cfg.num_hotspots)
             .map(|_| {
                 Point::new(
@@ -112,7 +111,7 @@ impl HotspotMover {
 }
 
 /// Clamped Box–Muller normal deviate around `center`.
-fn gaussian_around(rng: &mut StdRng, center: Point, sigma: f64, space: &Aabb) -> Point {
+fn gaussian_around(rng: &mut Rng64, center: Point, sigma: f64, space: &Aabb) -> Point {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
     let mag = sigma * (-2.0 * u1.ln()).sqrt();

@@ -33,6 +33,7 @@
 pub mod brinkhoff;
 pub mod hotspot;
 pub mod network;
+pub mod rng;
 pub mod route;
 pub mod synthetic;
 pub mod trace;

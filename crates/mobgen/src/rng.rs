@@ -1,0 +1,134 @@
+//! A small, dependency-free pseudo-random generator.
+//!
+//! Replaces the former `rand::StdRng` dependency so the workspace builds
+//! offline. The core is splitmix64 (Steele, Lea & Flood 2014): one
+//! 64-bit multiply-xor-shift chain per draw, statistically solid for the
+//! simulation workloads here and fully deterministic per seed — the
+//! mobgen determinism contract (same seed ⇒ byte-identical update
+//! streams) is preserved.
+
+/// Deterministic 64-bit generator (splitmix64).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Seed the generator. Equal seeds produce equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a range (see [`RangeSample`] for the supported
+    /// range shapes, mirroring the `rand::Rng::gen_range` call sites).
+    #[inline]
+    pub fn gen_range<R: RangeSample>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is outside `[0, 1]`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.f64() < p
+    }
+}
+
+/// Range shapes [`Rng64::gen_range`] can sample from.
+pub trait RangeSample {
+    type Out;
+    fn sample(self, rng: &mut Rng64) -> Self::Out;
+}
+
+impl RangeSample for std::ops::Range<usize> {
+    type Out = usize;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        // Multiply-shift mapping (Lemire): unbiased enough for simulation.
+        self.start + ((rng.next_u64() as u128 * span as u128) >> 64) as usize
+    }
+}
+
+impl RangeSample for std::ops::Range<f64> {
+    type Out = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+impl RangeSample for std::ops::RangeInclusive<f64> {
+    type Out = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = r.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let f = r.gen_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let g = r.gen_range(1.5..=2.5);
+            assert!((1.5..=2.5).contains(&g));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = Rng64::seed_from_u64(9);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = Rng64::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_200..=2_800).contains(&hits), "hits {hits}");
+    }
+}

@@ -7,9 +7,8 @@
 //! is a connected planar graph with the mixed road classes and irregular
 //! block structure that network-based movement statistics depend on.
 
+use crate::rng::Rng64;
 use igern_geom::{Aabb, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::network::{NodeId, RoadClass, RoadNetwork};
 
@@ -51,7 +50,7 @@ pub fn build_synthetic_network(cfg: &SyntheticNetworkConfig) -> RoadNetwork {
         cfg.jitter >= 0.0 && cfg.jitter < 0.5,
         "jitter must be in [0, 0.5)"
     );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng64::seed_from_u64(cfg.seed);
     let k = cfg.k;
     let space = cfg.space;
     let bw = space.width() / (k - 1) as f64; // block width

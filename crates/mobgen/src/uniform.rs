@@ -1,8 +1,7 @@
 //! Open-space movers (no road network) for the movement-model ablation.
 
+use crate::rng::Rng64;
 use igern_geom::{Aabb, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::workload::{Mover, Update};
 
@@ -18,7 +17,7 @@ struct Walker {
 pub struct RandomWaypointMover {
     space: Aabb,
     objs: Vec<Walker>,
-    rng: StdRng,
+    rng: Rng64,
     buf: Vec<Update>,
 }
 
@@ -27,8 +26,8 @@ impl RandomWaypointMover {
     /// from `[min_speed, max_speed]`.
     pub fn new(space: Aabb, n: usize, min_speed: f64, max_speed: f64, seed: u64) -> Self {
         assert!(min_speed > 0.0 && max_speed >= min_speed, "bad speed range");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
-        let rand_point = |rng: &mut StdRng| {
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+        let rand_point = |rng: &mut Rng64| {
             Point::new(
                 rng.gen_range(space.min.x..=space.max.x),
                 rng.gen_range(space.min.y..=space.max.y),

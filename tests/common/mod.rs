@@ -1,0 +1,57 @@
+//! Shared pseudo-random helper for the integration tests.
+//!
+//! A splitmix64 generator replaces the former proptest dependency so the
+//! test suite builds offline; each test drives the same properties over
+//! a fixed number of seeded random cases.
+
+use igern::geom::Point;
+
+/// Deterministic splitmix64 stream.
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    pub fn new(seed: u64) -> Self {
+        Lcg { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`. Not every test binary uses every helper.
+    #[allow(dead_code)]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A point uniform in the `side × side` square anchored at the origin.
+    pub fn point(&mut self, side: f64) -> Point {
+        Point::new(self.f64() * side, self.f64() * side)
+    }
+
+    /// `count` points uniform in the square.
+    pub fn points(&mut self, count: usize, side: f64) -> Vec<Point> {
+        (0..count).map(|_| self.point(side)).collect()
+    }
+}
