@@ -1,0 +1,172 @@
+//! Experiment ENG — sharded-engine scaling: wall-clock per tick of the
+//! 64-query corner workload (the routing acceptance workload) as the
+//! worker count sweeps 1 → 8.
+//!
+//! Two series per worker count:
+//!
+//! * **routed** — `IgernMono` with skip routing on: most query-ticks are
+//!   skipped, so this mainly measures the coordinator/worker round-trip
+//!   overhead the sharding adds.
+//! * **heavy** — `TplRepeat` with routing off: every query re-evaluates
+//!   every tick, the load the sharding is meant to spread.
+//!
+//! Results go to `BENCH_engine.json` (repo root by default). The file
+//! records `host_cpus`: on a single-core host the workers serialize and
+//! no speedup is physically possible — interpret the sweep against that
+//! field, the numbers are measured, never extrapolated.
+
+use std::time::Instant;
+
+use igern_bench::{report::print_table, ExpArgs};
+use igern_core::processor::Algorithm;
+use igern_core::types::ObjectKind;
+use igern_core::SpatialStore;
+use igern_engine::{Placement, ShardedEngine};
+use igern_geom::{Aabb, Point};
+use igern_grid::ObjectId;
+use igern_mobgen::rng::Rng64;
+
+const SIDE: f64 = 100.0;
+const CORNER: f64 = 10.0;
+const N_QUERIES: usize = 64;
+const N_FILLER: usize = 336;
+const N_MOVERS: usize = 40;
+
+fn corner_point(rng: &mut Rng64) -> Point {
+    Point::new(rng.f64() * CORNER, rng.f64() * CORNER)
+}
+
+/// The corner workload: 8×8 lattice of query anchors, uniform filler,
+/// movers jittering inside one grid corner.
+fn build_store(seed: u64) -> SpatialStore {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut pts: Vec<Point> = Vec::new();
+    for iy in 0..8 {
+        for ix in 0..8 {
+            pts.push(Point::new(ix as f64 * 12.5 + 6.25, iy as f64 * 12.5 + 6.25));
+        }
+    }
+    for _ in 0..N_FILLER {
+        pts.push(Point::new(rng.f64() * SIDE, rng.f64() * SIDE));
+    }
+    for _ in 0..N_MOVERS {
+        pts.push(corner_point(&mut rng));
+    }
+    let mut store = SpatialStore::new(
+        Aabb::from_coords(0.0, 0.0, SIDE, SIDE),
+        16,
+        vec![ObjectKind::A; pts.len()],
+    );
+    store.load(&pts);
+    store
+}
+
+/// The seeded update stream: each tick a subset of movers jitters inside
+/// the corner (identical across worker counts).
+fn build_stream(seed: u64, ticks: usize) -> Vec<Vec<(ObjectId, Point)>> {
+    let mut rng = Rng64::seed_from_u64(seed ^ 0xc02e_5eed);
+    let first_mover = (N_QUERIES + N_FILLER) as u32;
+    (0..ticks)
+        .map(|_| {
+            let mut ups = Vec::new();
+            for m in 0..N_MOVERS {
+                if rng.gen_bool(0.6) {
+                    ups.push((ObjectId(first_mover + m as u32), corner_point(&mut rng)));
+                }
+            }
+            ups
+        })
+        .collect()
+}
+
+struct Measured {
+    ms_per_tick: f64,
+    answer_fingerprint: u64,
+}
+
+/// Run the workload on `workers` threads and time the tick loop.
+fn measure(
+    workers: usize,
+    algo: Algorithm,
+    routing: bool,
+    seed: u64,
+    stream: &[Vec<(ObjectId, Point)>],
+) -> Measured {
+    let mut engine = ShardedEngine::new(build_store(seed), workers, Placement::RoundRobin);
+    engine.set_skip_routing(routing);
+    for i in 0..N_QUERIES {
+        engine.add_query(ObjectId(i as u32), algo);
+    }
+    engine.evaluate_all();
+    let start = Instant::now();
+    for ups in stream {
+        engine.step(ups);
+    }
+    let elapsed = start.elapsed();
+    // A cheap order-sensitive hash over every answer, to assert the
+    // sweep's outputs are identical at every worker count.
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for q in 0..N_QUERIES {
+        for o in engine.answer(q) {
+            fp = (fp ^ o.0 as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        fp = (fp ^ engine.monitored(q) as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    Measured {
+        ms_per_tick: elapsed.as_secs_f64() * 1e3 / stream.len() as f64,
+        answer_fingerprint: fp,
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ticks = if args.quick { 10 } else { args.ticks.min(60) };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "ENG: engine scaling — {} queries, {} objects, {ticks} ticks, seed {}, host cpus {host_cpus}",
+        N_QUERIES,
+        N_QUERIES + N_FILLER + N_MOVERS,
+        args.seed
+    );
+    let stream = build_stream(args.seed, ticks);
+    let sweep = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut fingerprints: Vec<(u64, u64)> = Vec::new();
+    for &workers in &sweep {
+        let routed = measure(workers, Algorithm::IgernMono, true, args.seed, &stream);
+        let heavy = measure(workers, Algorithm::TplRepeat, false, args.seed, &stream);
+        fingerprints.push((routed.answer_fingerprint, heavy.answer_fingerprint));
+        assert_eq!(
+            fingerprints[0],
+            *fingerprints.last().unwrap(),
+            "answers diverged at {workers} workers — the sweep is invalid"
+        );
+        rows.push(vec![
+            workers.to_string(),
+            format!("{:.4}", routed.ms_per_tick),
+            format!("{:.4}", heavy.ms_per_tick),
+        ]);
+        entries.push(format!(
+            "    {{\"workers\": {workers}, \"placement\": \"round-robin\", \
+             \"routed_ms_per_tick\": {:.6}, \"heavy_ms_per_tick\": {:.6}}}",
+            routed.ms_per_tick, heavy.ms_per_tick
+        ));
+    }
+    print_table(
+        "ENG: ms per tick vs workers (64-query corner workload)",
+        &["workers", "routed (IgernMono)", "heavy (TplRepeat)"],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"engine_scaling\",\n  \"workload\": \"corner-64q\",\n  \
+         \"queries\": {N_QUERIES},\n  \"objects\": {},\n  \"ticks\": {ticks},\n  \
+         \"seed\": {},\n  \"host_cpus\": {host_cpus},\n  \"series\": [\n{}\n  ]\n}}\n",
+        N_QUERIES + N_FILLER + N_MOVERS,
+        args.seed,
+        entries.join(",\n")
+    );
+    let path = "BENCH_engine.json";
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

@@ -11,6 +11,7 @@
 //! | `exp_bi_stability`     | 10a, 10b |
 //! | `exp_cost_model`       | §6       |
 //! | `exp_ablation`         | A1/A2/A4 |
+//! | `exp_engine`           | engine scaling (`BENCH_engine.json`) |
 //! | `run_all`              | all      |
 //!
 //! Every binary prints the same series the paper plots (plus

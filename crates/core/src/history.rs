@@ -1,0 +1,203 @@
+//! Bounded per-query sample history: a ring buffer of recent
+//! [`TickSample`]s plus an exact running [`SeriesStats`] aggregate.
+//!
+//! The processor used to keep an unbounded `Vec<TickSample>` per query,
+//! which grows without limit on soak runs. [`History`] caps the *retained*
+//! samples at a configurable capacity while the embedded [`SeriesStats`]
+//! still folds **every** sample ever pushed, so summary metrics (mean
+//! time, skip ratio, …) are identical whether or not old samples were
+//! evicted. The default is unbounded, preserving the previous behavior.
+
+use crate::metrics::{SeriesStats, TickSample};
+
+/// A per-query tick-sample log with optional ring-buffer eviction.
+///
+/// Samples are indexed oldest-retained-first: `history[0]` is the oldest
+/// sample still held, `history[history.len() - 1]` the newest.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Retained samples; a ring when `cap` is reached (`head` is the
+    /// logical start).
+    buf: Vec<TickSample>,
+    head: usize,
+    cap: Option<usize>,
+    total: u64,
+    stats: SeriesStats,
+}
+
+impl History {
+    /// An unbounded history (every sample retained).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A history retaining at most `cap` samples (older ones are evicted
+    /// first). `cap` must be at least 1.
+    ///
+    /// # Panics
+    /// Panics when `cap == 0`.
+    pub fn bounded(cap: usize) -> Self {
+        assert!(cap >= 1, "history capacity must be at least 1");
+        History {
+            cap: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// Build with an optional capacity (`None` = unbounded).
+    pub fn with_capacity(cap: Option<usize>) -> Self {
+        match cap {
+            None => Self::unbounded(),
+            Some(c) => Self::bounded(c),
+        }
+    }
+
+    /// The configured retention capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Append a sample, evicting the oldest when at capacity. The
+    /// aggregate stats fold the sample either way.
+    pub fn push(&mut self, s: TickSample) {
+        self.stats.push(&s);
+        self.total += 1;
+        match self.cap {
+            Some(cap) if self.buf.len() == cap => {
+                self.buf[self.head] = s;
+                self.head = (self.head + 1) % cap;
+            }
+            _ => self.buf.push(s),
+        }
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of samples ever pushed (≥ [`History::len`]).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Aggregate over **every** sample ever pushed, including evicted
+    /// ones.
+    pub fn stats(&self) -> &SeriesStats {
+        &self.stats
+    }
+
+    /// The newest sample.
+    pub fn latest(&self) -> Option<&TickSample> {
+        self.get(self.buf.len().wrapping_sub(1))
+    }
+
+    /// Retained sample at logical index `i` (0 = oldest retained).
+    pub fn get(&self, i: usize) -> Option<&TickSample> {
+        if i >= self.buf.len() {
+            return None;
+        }
+        Some(&self.buf[(self.head + i) % self.buf.len().max(1)])
+    }
+
+    /// Iterate retained samples oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TickSample> + '_ {
+        (0..self.buf.len()).map(move |i| self.get(i).expect("index in range"))
+    }
+}
+
+impl std::ops::Index<usize> for History {
+    type Output = TickSample;
+
+    fn index(&self, i: usize) -> &TickSample {
+        self.get(i).expect("history index out of range")
+    }
+}
+
+impl<'a> IntoIterator for &'a History {
+    type Item = &'a TickSample;
+    type IntoIter = Box<dyn Iterator<Item = &'a TickSample> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample(tick: u64) -> TickSample {
+        TickSample {
+            tick,
+            elapsed: Duration::from_millis(tick),
+            answer_size: tick as usize,
+            ..TickSample::default()
+        }
+    }
+
+    #[test]
+    fn unbounded_retains_everything() {
+        let mut h = History::unbounded();
+        assert!(h.is_empty());
+        assert_eq!(h.capacity(), None);
+        for t in 0..10 {
+            h.push(sample(t));
+        }
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h[0].tick, 0);
+        assert_eq!(h[9].tick, 9);
+        assert_eq!(h.latest().unwrap().tick, 9);
+        let ticks: Vec<u64> = h.iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_evicts_oldest_but_stats_fold_all() {
+        let mut h = History::bounded(3);
+        for t in 0..10 {
+            h.push(sample(t));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.total(), 10);
+        let ticks: Vec<u64> = h.iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, vec![7, 8, 9], "oldest → newest after eviction");
+        assert_eq!(h[0].tick, 7);
+        assert_eq!(h.latest().unwrap().tick, 9);
+        assert!(h.get(3).is_none());
+        // Stats saw all ten samples, not just the retained three.
+        assert_eq!(h.stats().len(), 10);
+        assert_eq!(h.stats().total_time(), Duration::from_millis(45));
+        assert_eq!(h.stats().mean_answer(), 4.5);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_latest() {
+        let mut h = History::with_capacity(Some(1));
+        h.push(sample(1));
+        h.push(sample(2));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].tick, 2);
+        assert_eq!(h.stats().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        History::bounded(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let h = History::unbounded();
+        let _ = h[0];
+    }
+}

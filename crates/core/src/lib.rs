@@ -30,6 +30,11 @@
 //! * [`processor`] — a continuous query processor running many queries of
 //!   mixed algorithms over one stream, skipping queries whose watched
 //!   cells saw no updates and collecting per-tick metrics.
+//! * [`eval`] — the per-query evaluation step ([`eval::evaluate_query`])
+//!   shared by the serial processor and the sharded `igern-engine`
+//!   worker pool, so every execution engine produces identical answers.
+//! * [`history`] — the bounded per-query sample log (ring buffer plus an
+//!   exact running aggregate).
 //! * [`costmodel`] — the analytical cost model of Section 6.
 //! * [`metrics`] — per-tick samples and experiment aggregation.
 //! * [`knn_monitor`] / [`range_monitor`] — companion continuous k-NN and
@@ -67,6 +72,8 @@
 pub mod baselines;
 pub mod bi;
 pub mod costmodel;
+pub mod eval;
+pub mod history;
 pub mod knn_monitor;
 pub mod metrics;
 pub mod monitor;
@@ -80,6 +87,8 @@ pub mod store;
 pub mod types;
 
 pub use bi::{BiIgern, BiIgernK};
+pub use eval::{can_skip, evaluate_query, QuerySlot};
+pub use history::History;
 pub use knn_monitor::KnnMonitor;
 pub use monitor::ContinuousMonitor;
 pub use mono::{MonoIgern, MonoIgernK};

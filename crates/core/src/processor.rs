@@ -6,7 +6,7 @@
 //! caller feeds the position updates (from any `igern_mobgen` mover), the
 //! processor applies them to the [`SpatialStore`], then re-evaluates every
 //! registered query with its [`ContinuousMonitor`], recording a
-//! [`TickSample`].
+//! [`TickSample`](crate::metrics::TickSample).
 //!
 //! # Dirty-region update routing
 //!
@@ -16,16 +16,15 @@
 //! ([`ContinuousMonitor::monitored_cells`]) plus its anchor cell; when
 //! they are disjoint, the previous answer is provably still valid and the
 //! query is skipped, recording a zero-cost sample marked
-//! [`TickSample::skipped`]. Routing is on by default and can be turned
+//! [`TickSample::skipped`](crate::metrics::TickSample::skipped). Routing is on by default and can be turned
 //! off with [`Processor::set_skip_routing`] (every query then re-runs
 //! every tick, the pre-routing behavior).
 
-use std::time::Instant;
-
 use igern_geom::Point;
-use igern_grid::{ObjectId, OpCounters};
+use igern_grid::ObjectId;
 
-use crate::metrics::TickSample;
+use crate::eval::{evaluate_query, QuerySlot};
+use crate::history::History;
 use crate::monitor::{ContinuousMonitor, NullMonitor};
 use crate::store::SpatialStore;
 
@@ -64,17 +63,11 @@ impl Algorithm {
     }
 }
 
-/// One registered continuous query.
+/// One registered continuous query: the shared evaluator state plus the
+/// processor-side sample log.
 struct Query {
-    /// The moving object acting as the query.
-    obj: ObjectId,
-    monitor: Box<dyn ContinuousMonitor>,
-    /// The monitor has had its initial evaluation.
-    initialized: bool,
-    answer: Vec<ObjectId>,
-    monitored: usize,
-    region_area: f64,
-    history: Vec<TickSample>,
+    slot: QuerySlot,
+    history: History,
     /// Tombstone: the query was removed and is skipped by evaluation.
     removed: bool,
 }
@@ -85,16 +78,19 @@ pub struct Processor {
     queries: Vec<Query>,
     tick: u64,
     skip_routing: bool,
+    history_capacity: Option<usize>,
 }
 
 impl Processor {
-    /// Wrap a loaded store. Dirty-region skip routing starts enabled.
+    /// Wrap a loaded store. Dirty-region skip routing starts enabled and
+    /// per-query histories are unbounded.
     pub fn new(store: SpatialStore) -> Self {
         Processor {
             store,
             queries: Vec::new(),
             tick: 0,
             skip_routing: true,
+            history_capacity: None,
         }
     }
 
@@ -113,6 +109,22 @@ impl Processor {
     /// Whether dirty-region skip routing is enabled.
     pub fn skip_routing(&self) -> bool {
         self.skip_routing
+    }
+
+    /// Cap the per-query sample history of **subsequently added** queries
+    /// at `cap` retained samples (`None` = unbounded, the default).
+    /// Summary stats ([`History::stats`]) still fold every sample exactly,
+    /// so eviction never changes reported aggregates.
+    pub fn set_history_capacity(&mut self, cap: Option<usize>) {
+        if let Some(c) = cap {
+            assert!(c >= 1, "history capacity must be at least 1");
+        }
+        self.history_capacity = cap;
+    }
+
+    /// The history capacity applied to newly added queries.
+    pub fn history_capacity(&self) -> Option<usize> {
+        self.history_capacity
     }
 
     /// Register a continuous query anchored at moving object `obj`;
@@ -148,13 +160,8 @@ impl Processor {
             "query object {obj} not in store"
         );
         let q = Query {
-            obj,
-            monitor,
-            initialized: false,
-            answer: Vec::new(),
-            monitored: 0,
-            region_area: 0.0,
-            history: Vec::new(),
+            slot: QuerySlot::new(obj, monitor),
+            history: History::with_capacity(self.history_capacity),
             removed: false,
         };
         match self.queries.iter().position(|slot| slot.removed) {
@@ -177,10 +184,10 @@ impl Processor {
         assert!(!self.queries[i].removed, "query {i} already removed");
         let q = &mut self.queries[i];
         q.removed = true;
-        q.initialized = false;
-        q.monitor = Box::new(NullMonitor);
-        q.answer = Vec::new();
-        q.history = Vec::new();
+        q.slot.initialized = false;
+        q.slot.monitor = Box::new(NullMonitor);
+        q.slot.answer = Vec::new();
+        q.history = History::unbounded();
     }
 
     /// Insert a new moving object into the store at runtime.
@@ -194,7 +201,7 @@ impl Processor {
     /// Panics if a live query is anchored at the object.
     pub fn remove_object(&mut self, id: ObjectId) -> Option<Point> {
         assert!(
-            !self.queries.iter().any(|q| !q.removed && q.obj == id),
+            !self.queries.iter().any(|q| !q.removed && q.slot.obj == id),
             "cannot remove the anchor of a live query"
         );
         self.store.remove(id)
@@ -218,12 +225,14 @@ impl Processor {
     }
 
     fn evaluate_round(&mut self, route: bool) {
+        let tick = self.tick;
         // Queries borrow the store immutably; detach the vector to satisfy
         // the borrow checker without cloning the store.
         let mut queries = std::mem::take(&mut self.queries);
         for q in &mut queries {
             if !q.removed {
-                self.evaluate_one(q, route);
+                let sample = evaluate_query(&self.store, &mut q.slot, tick, route);
+                q.history.push(sample);
             }
         }
         self.queries = queries;
@@ -256,15 +265,17 @@ impl Processor {
 
     fn evaluate_round_parallel(&mut self, route: bool, threads: usize) {
         assert!(threads >= 1, "need at least one worker");
+        let tick = self.tick;
         let mut queries = std::mem::take(&mut self.queries);
         let chunk = queries.len().div_ceil(threads).max(1);
         std::thread::scope(|scope| {
             for batch in queries.chunks_mut(chunk) {
-                let this = &*self;
+                let store = &self.store;
                 scope.spawn(move || {
                     for q in batch {
                         if !q.removed {
-                            this.evaluate_one(q, route);
+                            let sample = evaluate_query(store, &mut q.slot, tick, route);
+                            q.history.push(sample);
                         }
                     }
                 });
@@ -272,68 +283,6 @@ impl Processor {
         });
         self.queries = queries;
         self.store.drain_dirty();
-    }
-
-    /// The skip decision: may `q` keep its previous answer this tick?
-    ///
-    /// Sound only because every store mutation dirties the touched cells
-    /// of the all-objects grid (a superset of the A/B dirt) and each
-    /// monitor's watch set is a conservative closure of the cells its
-    /// next incremental step reads (see `crate::monitor`). The anchor
-    /// cell is always checked so a move of the query object itself — or
-    /// of a neighbor sharing its cell — forces re-evaluation.
-    fn can_skip(&self, q: &Query, anchor: Point) -> bool {
-        if !q.initialized {
-            return false;
-        }
-        let dirty = self.store.dirty_all();
-        if dirty.contains(self.store.all().cell_of_point(anchor)) {
-            return false;
-        }
-        match q.monitor.monitored_cells() {
-            None => dirty.is_empty(),
-            Some(watch) => !dirty.intersects(watch),
-        }
-    }
-
-    fn evaluate_one(&self, q: &mut Query, route: bool) {
-        let pos = self
-            .store
-            .position(q.obj)
-            .expect("query object vanished from store");
-        if route && self.can_skip(q, pos) {
-            // Zero-cost sample: the previous answer is reused verbatim.
-            q.history.push(TickSample {
-                tick: self.tick,
-                monitored: q.monitored,
-                answer_size: q.answer.len(),
-                region_area: q.region_area,
-                skipped: true,
-                ..TickSample::default()
-            });
-            return;
-        }
-        let mut ops = OpCounters::new();
-        let start = Instant::now();
-        if q.initialized {
-            q.monitor.incremental(&self.store, pos, &mut ops);
-        } else {
-            q.monitor.initial(&self.store, pos, &mut ops);
-            q.initialized = true;
-        }
-        let elapsed = start.elapsed();
-        q.monitor.answer_into(&mut q.answer);
-        q.monitored = q.monitor.num_monitored();
-        q.region_area = q.monitor.region_area(&self.store);
-        q.history.push(TickSample {
-            tick: self.tick,
-            elapsed,
-            ops,
-            monitored: q.monitored,
-            answer_size: q.answer.len(),
-            region_area: q.region_area,
-            skipped: false,
-        });
     }
 
     /// Current tick count (number of `step`/`evaluate_all` rounds).
@@ -352,22 +301,23 @@ impl Processor {
     /// Panics when the query was removed.
     pub fn answer(&self, i: usize) -> &[ObjectId] {
         assert!(!self.queries[i].removed, "query {i} was removed");
-        &self.queries[i].answer
+        &self.queries[i].slot.answer
     }
 
     /// Number of objects query `i` currently monitors.
     pub fn monitored(&self, i: usize) -> usize {
-        self.queries[i].monitored
+        self.queries[i].slot.monitored
     }
 
-    /// Full per-tick history of query `i`.
-    pub fn history(&self, i: usize) -> &[TickSample] {
+    /// Per-tick history of query `i` (a ring when a capacity is set; the
+    /// embedded stats always cover every tick).
+    pub fn history(&self, i: usize) -> &History {
         &self.queries[i].history
     }
 
     /// The query object of query `i`.
     pub fn query_object(&self, i: usize) -> ObjectId {
-        self.queries[i].obj
+        self.queries[i].slot.obj
     }
 }
 
@@ -615,6 +565,28 @@ mod tests {
         p.step(&[]);
         assert_eq!(p.query_object(c), ObjectId(2));
         assert_eq!(p.history(c).len(), 1, "fresh query, fresh history");
+    }
+
+    #[test]
+    fn bounded_history_keeps_stats_exact() {
+        let pts = [(5.0, 5.0), (4.0, 4.0), (6.0, 6.0)];
+        let mut p = Processor::new(store(&pts, 3));
+        assert_eq!(p.history_capacity(), None);
+        p.set_history_capacity(Some(2));
+        assert_eq!(p.history_capacity(), Some(2));
+        let q = p.add_query(ObjectId(0), Algorithm::IgernMono);
+        p.evaluate_all();
+        for i in 0..5 {
+            p.step(&[(ObjectId(1), Point::new(4.0 + 0.1 * i as f64, 4.0))]);
+        }
+        let h = p.history(q);
+        // Only the last two samples are retained…
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].tick, 4);
+        assert_eq!(h[1].tick, 5);
+        // …but the aggregate folded all six (initial + five steps).
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.stats().len(), 6);
     }
 
     #[test]

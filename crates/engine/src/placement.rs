@@ -1,0 +1,116 @@
+//! Shard placement: which worker owns which standing query.
+//!
+//! Two policies, both deterministic (placement never affects answers —
+//! only which thread computes them — but determinism keeps runs
+//! reproducible and makes the equivalence tests meaningful):
+//!
+//! * [`Placement::RoundRobin`] — queries are dealt to workers in rotation
+//!   and shards are rebalanced to within one query of each other after
+//!   every add/remove. Best when query costs are homogeneous.
+//! * [`Placement::AnchorCell`] — a query lands on the worker owning its
+//!   anchor's grid cell (cells are split into contiguous row-major bands,
+//!   one per worker), so queries that read neighbouring store cells run
+//!   on the same core. Skewed anchor distributions are tolerated up to a
+//!   2× load imbalance before queries migrate off the hottest shard.
+
+/// Shard placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Rotate over workers; keep shard sizes within 1 of each other.
+    #[default]
+    RoundRobin,
+    /// Map the anchor's grid cell to a worker band; rebalance at 2×
+    /// imbalance.
+    AnchorCell,
+}
+
+impl Placement {
+    /// Parse a CLI-style name (`round-robin` | `anchor-cell`).
+    pub fn parse(name: &str) -> Option<Placement> {
+        match name {
+            "round-robin" => Some(Placement::RoundRobin),
+            "anchor-cell" => Some(Placement::AnchorCell),
+            _ => None,
+        }
+    }
+
+    /// The worker that should adopt a new query, given the anchor's cell,
+    /// the grid's cell count, per-worker live-query loads, and the
+    /// round-robin cursor (advanced on use).
+    pub(crate) fn pick(
+        self,
+        cell: usize,
+        num_cells: usize,
+        loads: &[usize],
+        rr_cursor: &mut usize,
+    ) -> usize {
+        match self {
+            Placement::RoundRobin => {
+                let w = *rr_cursor % loads.len();
+                *rr_cursor += 1;
+                w
+            }
+            Placement::AnchorCell => cell * loads.len() / num_cells.max(1),
+        }
+    }
+
+    /// Whether the load spread warrants migrating a query from the
+    /// fullest shard to the emptiest.
+    pub(crate) fn needs_rebalance(self, min: usize, max: usize) -> bool {
+        match self {
+            Placement::RoundRobin => max > min + 1,
+            Placement::AnchorCell => max > 2 * min + 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::AnchorCell => "anchor-cell",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for p in [Placement::RoundRobin, Placement::AnchorCell] {
+            assert_eq!(Placement::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(Placement::parse("nope"), None);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let loads = [0usize; 3];
+        let mut cursor = 0;
+        let picks: Vec<usize> = (0..6)
+            .map(|_| Placement::RoundRobin.pick(0, 64, &loads, &mut cursor))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn anchor_cell_maps_bands() {
+        let loads = [0usize; 4];
+        let mut cursor = 0;
+        // 64 cells over 4 workers: 16-cell bands.
+        assert_eq!(Placement::AnchorCell.pick(0, 64, &loads, &mut cursor), 0);
+        assert_eq!(Placement::AnchorCell.pick(15, 64, &loads, &mut cursor), 0);
+        assert_eq!(Placement::AnchorCell.pick(16, 64, &loads, &mut cursor), 1);
+        assert_eq!(Placement::AnchorCell.pick(63, 64, &loads, &mut cursor), 3);
+    }
+
+    #[test]
+    fn rebalance_thresholds_differ() {
+        assert!(Placement::RoundRobin.needs_rebalance(0, 2));
+        assert!(!Placement::RoundRobin.needs_rebalance(1, 2));
+        assert!(!Placement::AnchorCell.needs_rebalance(1, 3));
+        assert!(Placement::AnchorCell.needs_rebalance(1, 4));
+    }
+}

@@ -1,0 +1,120 @@
+//! The worker side of the coordinator/worker protocol: a long-lived
+//! thread owning a disjoint shard of query slots, evaluating them against
+//! a frozen [`SpatialStore`] snapshot each tick.
+//!
+//! # Protocol
+//!
+//! Workers receive [`ToWorker`] messages over a per-worker mpsc channel
+//! and answer ticks on one shared results channel. Between ticks the
+//! coordinator may add, remove, or *take* (migrate) slots; those messages
+//! are processed in FIFO order, so shard membership is always settled
+//! before the next [`ToWorker::Tick`] arrives.
+//!
+//! # The store hand-off
+//!
+//! Each tick ships an `Arc<SpatialStore>` clone. The worker drops its
+//! clone **before** sending the shard report; the mpsc channel's
+//! happens-before edge then guarantees that once the coordinator has
+//! collected every report, it holds the only reference again and
+//! `Arc::get_mut` succeeds for the next tick's mutations. The borrow is
+//! scoped to the tick without any locking on the hot path.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use igern_core::eval::{evaluate_query, QuerySlot};
+use igern_core::metrics::{SeriesStats, TickSample};
+use igern_core::SpatialStore;
+use igern_grid::ObjectId;
+
+/// One tick's work order: the frozen store snapshot plus tick metadata.
+pub(crate) struct TickJob {
+    pub store: Arc<SpatialStore>,
+    pub tick: u64,
+    pub route: bool,
+}
+
+/// Coordinator → worker messages.
+pub(crate) enum ToWorker {
+    /// Adopt a query slot under the given engine-wide query id.
+    Add(usize, QuerySlot),
+    /// Drop a query slot (the query was removed).
+    Remove(usize),
+    /// Hand a slot back for migration to another worker.
+    Take(usize, Sender<QuerySlot>),
+    /// Evaluate the whole shard against the shipped store snapshot.
+    Tick(TickJob),
+    /// Report the per-worker aggregate of every sample produced so far.
+    TakeStats(Sender<SeriesStats>),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// One query's result within a shard report.
+pub(crate) struct QueryReport {
+    pub qid: usize,
+    pub sample: TickSample,
+    /// The new answer when the query was evaluated; `None` on a skip
+    /// (the coordinator's previous answer remains valid).
+    pub answer: Option<Vec<ObjectId>>,
+}
+
+/// Worker → coordinator tick result: every shard query's report, in
+/// ascending `qid` order.
+pub(crate) struct ShardReport {
+    pub reports: Vec<QueryReport>,
+}
+
+/// The worker loop: owns the shard until shutdown (or until the
+/// coordinator hangs up, which also ends the loop so drops stay clean).
+pub(crate) fn worker_loop(rx: Receiver<ToWorker>, results: Sender<ShardReport>) {
+    // The shard, kept sorted by qid so reports are emitted in
+    // deterministic ascending order.
+    let mut shard: Vec<(usize, QuerySlot)> = Vec::new();
+    let mut stats = SeriesStats::new();
+    for msg in rx {
+        match msg {
+            ToWorker::Add(qid, slot) => {
+                let at = shard.partition_point(|(id, _)| *id < qid);
+                shard.insert(at, (qid, slot));
+            }
+            ToWorker::Remove(qid) => {
+                if let Ok(at) = shard.binary_search_by_key(&qid, |(id, _)| *id) {
+                    shard.remove(at);
+                }
+            }
+            ToWorker::Take(qid, reply) => {
+                let at = shard
+                    .binary_search_by_key(&qid, |(id, _)| *id)
+                    .expect("cannot take a query this worker does not own");
+                let (_, slot) = shard.remove(at);
+                let _ = reply.send(slot);
+            }
+            ToWorker::Tick(job) => {
+                let TickJob { store, tick, route } = job;
+                let mut reports = Vec::with_capacity(shard.len());
+                for (qid, slot) in &mut shard {
+                    let sample = evaluate_query(&store, slot, tick, route);
+                    stats.push(&sample);
+                    let answer = (!sample.skipped).then(|| slot.answer.clone());
+                    reports.push(QueryReport {
+                        qid: *qid,
+                        sample,
+                        answer,
+                    });
+                }
+                // Release the store snapshot before reporting: the
+                // coordinator regains exclusive ownership exactly when
+                // the last report lands.
+                drop(store);
+                if results.send(ShardReport { reports }).is_err() {
+                    break;
+                }
+            }
+            ToWorker::TakeStats(reply) => {
+                let _ = reply.send(stats.clone());
+            }
+            ToWorker::Shutdown => break,
+        }
+    }
+}

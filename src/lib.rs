@@ -6,12 +6,15 @@
 //!
 //! * [`core`] — the IGERN algorithms, the CRNN / TPL / repetitive-Voronoi
 //!   baselines, the continuous query processor, and the Section-6 cost model.
+//! * [`engine`] — the sharded multi-worker tick engine (parallel form of
+//!   the serial processor with bit-identical answers).
 //! * [`grid`] — the N×N grid index and the shared nearest-neighbor search
 //!   substrate (unconstrained / constrained / bounded).
 //! * [`mobgen`] — Brinkhoff-style network-based moving-object generation.
 //! * [`geom`] — points, bisector half-planes, convex clipping, pie sectors,
 //!   Voronoi cells.
 pub use igern_core as core;
+pub use igern_engine as engine;
 pub use igern_geom as geom;
 pub use igern_grid as grid;
 pub use igern_mobgen as mobgen;

@@ -175,8 +175,9 @@ fn quiescent_stream_is_cheap_and_stable() {
     // The initial sample dominates the total object visits.
     let hist = proc.history(h);
     let initial_visits = hist[0].ops.objects_visited;
-    let later_max = hist[1..]
+    let later_max = hist
         .iter()
+        .skip(1)
         .map(|s| s.ops.objects_visited)
         .max()
         .unwrap();

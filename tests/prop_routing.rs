@@ -193,7 +193,7 @@ fn corner_updates_skip_the_majority_of_query_ticks() {
     let mut evaluated = 0usize;
     for qi in 0..N_QUERIES {
         // Skip the initial evaluation sample (tick 0, never skippable).
-        for s in &routed.history(qi)[1..] {
+        for s in routed.history(qi).iter().skip(1) {
             if s.skipped {
                 skipped += 1;
             } else {
