@@ -18,10 +18,11 @@
 use std::time::Instant;
 
 use igern_bench::{report::print_table, ExpArgs};
+use igern_core::obs::MetricsRegistry;
 use igern_core::processor::Algorithm;
 use igern_core::types::ObjectKind;
 use igern_core::SpatialStore;
-use igern_engine::{Placement, ShardedEngine};
+use igern_engine::{EngineMetrics, Placement, ShardedEngine};
 use igern_geom::{Aabb, Point};
 use igern_grid::ObjectId;
 use igern_mobgen::rng::Rng64;
@@ -82,20 +83,30 @@ fn build_stream(seed: u64, ticks: usize) -> Vec<Vec<(ObjectId, Point)>> {
 struct Measured {
     ms_per_tick: f64,
     answer_fingerprint: u64,
+    /// The observability registry, when the run was instrumented.
+    registry: Option<MetricsRegistry>,
 }
 
-/// Run the workload on `workers` threads and time the tick loop.
+/// Run the workload on `workers` threads and time the tick loop,
+/// optionally with the observability layer attached.
 fn measure(
     workers: usize,
     algo: Algorithm,
     routing: bool,
     seed: u64,
     stream: &[Vec<(ObjectId, Point)>],
+    with_metrics: bool,
 ) -> Measured {
     let mut engine = ShardedEngine::new(build_store(seed), workers, Placement::RoundRobin);
     engine.set_skip_routing(routing);
+    let registry = with_metrics.then(MetricsRegistry::new);
+    if let Some(reg) = &registry {
+        engine.set_metrics(Some(EngineMetrics::register(reg, "igern_engine", workers)));
+    }
     for i in 0..N_QUERIES {
-        engine.add_query(ObjectId(i as u32), algo);
+        engine
+            .add_query(ObjectId(i as u32), algo)
+            .expect("valid query");
     }
     engine.evaluate_all();
     let start = Instant::now();
@@ -115,6 +126,7 @@ fn measure(
     Measured {
         ms_per_tick: elapsed.as_secs_f64() * 1e3 / stream.len() as f64,
         answer_fingerprint: fp,
+        registry,
     }
 }
 
@@ -134,8 +146,22 @@ fn main() {
     let mut entries = Vec::new();
     let mut fingerprints: Vec<(u64, u64)> = Vec::new();
     for &workers in &sweep {
-        let routed = measure(workers, Algorithm::IgernMono, true, args.seed, &stream);
-        let heavy = measure(workers, Algorithm::TplRepeat, false, args.seed, &stream);
+        let routed = measure(
+            workers,
+            Algorithm::IgernMono,
+            true,
+            args.seed,
+            &stream,
+            false,
+        );
+        let heavy = measure(
+            workers,
+            Algorithm::TplRepeat,
+            false,
+            args.seed,
+            &stream,
+            false,
+        );
         fingerprints.push((routed.answer_fingerprint, heavy.answer_fingerprint));
         assert_eq!(
             fingerprints[0],
@@ -158,13 +184,69 @@ fn main() {
         &["workers", "routed (IgernMono)", "heavy (TplRepeat)"],
         &rows,
     );
+
+    // Observability acceptance check: the same workload with the metrics
+    // registry attached must stay within a few percent of the bare run.
+    // Best-of-N per side damps scheduler noise; the heavy series is used
+    // because its ticks are long enough to time meaningfully, over a 5×
+    // longer stream so each timed run is hundreds of milliseconds.
+    // Worker count is capped at the host's parallelism — oversubscribed
+    // threads on a small host add scheduling jitter far larger than the
+    // instrument cost being measured.
+    let ov_workers = host_cpus.clamp(1, 4);
+    let repeats = if args.quick { 3 } else { 5 };
+    let ov_stream = build_stream(args.seed, ticks * 5);
+    let mut off_best = f64::INFINITY;
+    let mut on_best = f64::INFINITY;
+    let mut on_registry = None;
+    for _ in 0..repeats {
+        let off = measure(
+            ov_workers,
+            Algorithm::TplRepeat,
+            false,
+            args.seed,
+            &ov_stream,
+            false,
+        );
+        let on = measure(
+            ov_workers,
+            Algorithm::TplRepeat,
+            false,
+            args.seed,
+            &ov_stream,
+            true,
+        );
+        assert_eq!(
+            off.answer_fingerprint, on.answer_fingerprint,
+            "attaching metrics changed the answers — instrumentation must be passive"
+        );
+        off_best = off_best.min(off.ms_per_tick);
+        if on.ms_per_tick < on_best {
+            on_best = on.ms_per_tick;
+            on_registry = on.registry;
+        }
+    }
+    let overhead_pct = (on_best - off_best) / off_best * 100.0;
+    println!(
+        "metrics overhead (heavy, {ov_workers} workers, best of {repeats}): \
+         off {off_best:.4} ms/tick, on {on_best:.4} ms/tick ({overhead_pct:+.2}%)"
+    );
+    let registry_json = on_registry
+        .expect("the instrumented run keeps its registry")
+        .render_json();
+
     let json = format!(
         "{{\n  \"experiment\": \"engine_scaling\",\n  \"workload\": \"corner-64q\",\n  \
          \"queries\": {N_QUERIES},\n  \"objects\": {},\n  \"ticks\": {ticks},\n  \
-         \"seed\": {},\n  \"host_cpus\": {host_cpus},\n  \"series\": [\n{}\n  ]\n}}\n",
+         \"seed\": {},\n  \"host_cpus\": {host_cpus},\n  \"series\": [\n{}\n  ],\n  \
+         \"metrics_overhead\": {{\"workers\": {ov_workers}, \"series\": \"heavy\", \
+         \"repeats\": {repeats}, \"off_ms_per_tick\": {off_best:.6}, \
+         \"on_ms_per_tick\": {on_best:.6}, \"overhead_pct\": {overhead_pct:.3}}},\n  \
+         \"metrics_registry\": {}\n}}\n",
         N_QUERIES + N_FILLER + N_MOVERS,
         args.seed,
-        entries.join(",\n")
+        entries.join(",\n"),
+        registry_json.trim_end()
     );
     let path = "BENCH_engine.json";
     std::fs::write(path, &json).expect("write BENCH_engine.json");

@@ -13,10 +13,11 @@
 
 use std::io::Write;
 
+use igern_core::obs::{jsontext, promtext, MetricsRegistry, PipelineMetrics};
 use igern_core::processor::{Algorithm, Processor};
 use igern_core::types::ObjectKind;
 use igern_core::{render, History, SpatialStore};
-use igern_engine::{Placement, ShardedEngine};
+use igern_engine::{EngineMetrics, Placement, ShardedEngine};
 use igern_geom::Point;
 use igern_grid::{Grid, ObjectId, OpCounters};
 use igern_mobgen::{
@@ -207,7 +208,7 @@ fn store_for(trace: &RecordedTrace, bi: bool, grid: usize) -> SpatialStore {
 /// identical answers; the enum just forwards the shared API.
 enum Runner {
     Serial(Box<Processor>),
-    Sharded(ShardedEngine),
+    Sharded(Box<ShardedEngine>),
 }
 
 impl Runner {
@@ -225,10 +226,25 @@ impl Runner {
         }
     }
 
-    fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> usize {
+    fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> Result<usize, CliError> {
         match self {
-            Runner::Serial(p) => p.add_query(obj, algo),
-            Runner::Sharded(e) => e.add_query(obj, algo),
+            Runner::Serial(p) => Ok(p.add_query(obj, algo)),
+            Runner::Sharded(e) => e.add_query(obj, algo).map_err(|e| CliError(e.to_string())),
+        }
+    }
+
+    /// Register both backends' instruments under the shared
+    /// `igern_pipeline` prefix; the sharded engine additionally emits its
+    /// coordinator/worker series under the same prefix.
+    fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        match self {
+            Runner::Serial(p) => {
+                p.set_metrics(Some(PipelineMetrics::register(registry, "igern_pipeline")));
+            }
+            Runner::Sharded(e) => {
+                let m = EngineMetrics::register(registry, "igern_pipeline", e.num_workers());
+                e.set_metrics(Some(m));
+            }
         }
     }
 
@@ -305,7 +321,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let mut proc = if workers == 1 {
         Runner::Serial(Box::new(Processor::new(store)))
     } else {
-        Runner::Sharded(ShardedEngine::new(store, workers, placement))
+        Runner::Sharded(Box::new(ShardedEngine::new(store, workers, placement)))
     };
     proc.set_history_capacity(history_cap);
     match args.get("routing").unwrap_or("on") {
@@ -313,11 +329,22 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "off" => proc.set_skip_routing(false),
         other => return Err(CliError(format!("bad value for --routing: {other:?}"))),
     }
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    let metrics_every: usize = args.num("metrics-every", 0)?;
+    if metrics_every > 0 && metrics_out.is_none() {
+        return Err(CliError(
+            "--metrics-every requires --metrics-out".to_string(),
+        ));
+    }
+    let registry = MetricsRegistry::new();
+    if metrics_out.is_some() {
+        proc.attach_metrics(&registry);
+    }
     let n = trace.num_objects();
     let candidates = if algo.is_bichromatic() { n / 2 } else { n };
     let handles: Vec<usize> = (0..nq.min(candidates))
         .map(|i| proc.add_query(ObjectId((i * candidates / nq.max(1)) as u32), algo))
-        .collect();
+        .collect::<Result<_, _>>()?;
     proc.evaluate_all();
     let mut player = trace.player();
     for t in 0..=ticks {
@@ -328,6 +355,11 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                 .map(|u| (ObjectId(u.id), u.pos))
                 .collect();
             proc.step(&ups);
+            if let Some(path) = &metrics_out {
+                if metrics_every > 0 && t % metrics_every == 0 {
+                    dump_registry(&registry, path)?;
+                }
+            }
         }
         write!(out, "tick {t}:")?;
         for &h in &handles {
@@ -352,6 +384,178 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             stats.len(),
         )?;
     }
+    if let Some(path) = &metrics_out {
+        dump_registry(&registry, path)?;
+        writeln!(out, "wrote metrics -> {path}")?;
+    }
+    Ok(())
+}
+
+/// Dump the registry to `path`; `.json` selects the JSON exporter,
+/// anything else the Prometheus text format.
+fn dump_registry(registry: &MetricsRegistry, path: &str) -> Result<(), CliError> {
+    let text = if path.ends_with(".json") {
+        registry.render_json()
+    } else {
+        registry.render_prometheus()
+    };
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+/// One row of the `stats` table.
+struct StatRow {
+    name: String,
+    kind: &'static str,
+    value: String,
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+fn fmt_label_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Summarize a Prometheus text dump. Validates it with the in-repo lint
+/// first, so a malformed export is an error, not garbled output.
+fn summarize_prom(text: &str) -> Result<Vec<StatRow>, CliError> {
+    let report =
+        promtext::lint(text).map_err(|e| CliError(format!("invalid metrics file: {e}")))?;
+    let mut rows = Vec::new();
+    for s in &report.parsed {
+        match report.types.get(&s.name).map(String::as_str) {
+            Some("counter") => rows.push(StatRow {
+                name: format!("{}{}", s.name, fmt_label_suffix(&s.labels)),
+                kind: "counter",
+                value: fmt_num(s.value),
+            }),
+            Some("gauge") => rows.push(StatRow {
+                name: format!("{}{}", s.name, fmt_label_suffix(&s.labels)),
+                kind: "gauge",
+                value: fmt_num(s.value),
+            }),
+            _ => {
+                // Histogram series: fold each `_count` sample together
+                // with its `_sum` sibling into one row.
+                let Some(base) = s.name.strip_suffix("_count") else {
+                    continue;
+                };
+                if report.types.get(base).map(String::as_str) != Some("histogram") {
+                    continue;
+                }
+                let sum = report
+                    .parsed
+                    .iter()
+                    .find(|o| o.name == format!("{base}_sum") && o.labels == s.labels)
+                    .map_or(0.0, |o| o.value);
+                let mean = if s.value > 0.0 { sum / s.value } else { 0.0 };
+                rows.push(StatRow {
+                    name: format!("{base}{}", fmt_label_suffix(&s.labels)),
+                    kind: "histogram",
+                    value: format!(
+                        "count={} sum={} mean={}",
+                        fmt_num(s.value),
+                        fmt_num(sum),
+                        fmt_num(mean)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Summarize a JSON dump produced by the JSON exporter.
+fn summarize_json(text: &str) -> Result<Vec<StatRow>, CliError> {
+    let doc = jsontext::parse(text).map_err(|e| CliError(format!("invalid metrics file: {e}")))?;
+    let metrics = doc
+        .get("metrics")
+        .and_then(|m| m.as_array())
+        .ok_or_else(|| CliError("metrics file has no \"metrics\" array".to_string()))?;
+    let mut rows = Vec::new();
+    for m in metrics {
+        let name = m
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| CliError("metric without a name".to_string()))?;
+        let labels = match m.get("labels") {
+            Some(jsontext::Value::Object(map)) => map
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_str().unwrap_or_default().to_string()))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let name = format!("{name}{}", fmt_label_suffix(&labels));
+        match m.get("type").and_then(|t| t.as_str()) {
+            Some(kind @ ("counter" | "gauge")) => rows.push(StatRow {
+                name,
+                kind: if kind == "counter" {
+                    "counter"
+                } else {
+                    "gauge"
+                },
+                value: m
+                    .get("value")
+                    .and_then(|v| v.as_f64())
+                    .map_or("null".to_string(), fmt_num),
+            }),
+            Some("histogram") => {
+                let count = m.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let sum = m.get("sum").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let mean = if count > 0.0 { sum / count } else { 0.0 };
+                rows.push(StatRow {
+                    name,
+                    kind: "histogram",
+                    value: format!(
+                        "count={} sum={} mean={}",
+                        fmt_num(count),
+                        fmt_num(sum),
+                        fmt_num(mean)
+                    ),
+                });
+            }
+            other => {
+                return Err(CliError(format!(
+                    "metric {name} has unknown type {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// `stats`: validate a metrics dump written by `run --metrics-out` and
+/// render it as a summary table. The validation pass doubles as the CI
+/// smoke check for the exporters.
+pub fn stats_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let path = args.require("metrics")?;
+    let text = std::fs::read_to_string(path)?;
+    let rows = if path.ends_with(".json") {
+        summarize_json(&text)?
+    } else {
+        summarize_prom(&text)?
+    };
+    if rows.is_empty() {
+        writeln!(out, "no metrics in {path}")?;
+        return Ok(());
+    }
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
+    writeln!(out, "{:<name_w$}  {:<9}  VALUE", "METRIC", "TYPE")?;
+    for r in &rows {
+        writeln!(out, "{:<name_w$}  {:<9}  {}", r.name, r.kind, r.value)?;
+    }
+    writeln!(out, "{} series ok", rows.len())?;
     Ok(())
 }
 
@@ -401,8 +605,9 @@ pub fn dispatch<W: Write>(cmd: &str, args: &Args, out: &mut W) -> Result<(), Cli
         "gen-trace" => gen_trace(args, out),
         "run" => run(args, out),
         "render" => render_cmd(args, out),
+        "stats" => stats_cmd(args, out),
         other => Err(CliError(format!(
-            "unknown command {other:?} (gen-network|gen-trace|run|render)"
+            "unknown command {other:?} (gen-network|gen-trace|run|render|stats)"
         ))),
     }
 }
@@ -419,11 +624,17 @@ COMMANDS:
   run          --trace FILE [--algo igern|crnn|tpl|igern-bi|voronoi|igern-k|igern-bi-k|knn]
                [--queries N] [--ticks N] [--grid N] [--k N] [--routing on|off]
                [--workers N] [--placement round-robin|anchor-cell] [--history N]
+               [--metrics-out FILE] [--metrics-every N]
   render       --trace FILE [--query N] [--ticks N] [--grid N]
+  stats        --metrics FILE
 
 `run --workers N` (default 1 = serial) evaluates queries on N sharded
 worker threads; answers are identical to the serial run. `--history N`
 caps per-query sample retention (summaries still cover every tick).
+`run --metrics-out FILE` records pipeline metrics and dumps them to FILE
+(Prometheus text, or JSON when FILE ends in .json) at the end of the run
+and — with `--metrics-every N` — every N ticks along the way. `stats`
+validates such a dump and renders it as a table.
 ";
 
 #[cfg(test)]
@@ -683,6 +894,74 @@ mod tests {
         }
         assert_eq!(outs[0], outs[1], "capped history must not change summary");
         let a = args(&["--trace", trace_path, "--history", "0"]);
+        assert!(run(&a, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn metrics_dump_roundtrips_through_stats() {
+        let dir = std::env::temp_dir().join("igern_cli_metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        let a = args(&[
+            "--objects",
+            "60",
+            "--ticks",
+            "8",
+            "--seed",
+            "21",
+            "--out",
+            trace_path,
+        ]);
+        gen_trace(&a, &mut Vec::new()).unwrap();
+        for (file, workers) in [("m.prom", "1"), ("m.json", "4")] {
+            let metrics_path = dir.join(file);
+            let metrics_path = metrics_path.to_str().unwrap();
+            let a = args(&[
+                "--trace",
+                trace_path,
+                "--algo",
+                "igern",
+                "--queries",
+                "2",
+                "--workers",
+                workers,
+                "--metrics-out",
+                metrics_path,
+                "--metrics-every",
+                "4",
+            ]);
+            let mut buf = Vec::new();
+            run(&a, &mut buf).unwrap();
+            assert!(String::from_utf8(buf).unwrap().contains("wrote metrics"));
+            // The dump validates and renders through `stats`.
+            let a = args(&["--metrics", metrics_path]);
+            let mut buf = Vec::new();
+            stats_cmd(&a, &mut buf).unwrap();
+            let table = String::from_utf8(buf).unwrap();
+            assert!(table.contains("igern_pipeline_ticks_total"), "{table}");
+            assert!(table.contains("counter"), "{table}");
+            assert!(table.contains("series ok"), "{table}");
+            // 9 rounds: the initial evaluation plus 8 stepped ticks.
+            assert!(
+                table
+                    .lines()
+                    .any(|l| l.starts_with("igern_pipeline_ticks_total") && l.ends_with('9')),
+                "{table}"
+            );
+            if workers == "4" {
+                assert!(table.contains("worker_tick_seconds"), "{table}");
+                assert!(table.contains("worker=\"3\""), "{table}");
+            }
+        }
+        // A corrupted dump is an error, not garbled output.
+        let bad = dir.join("bad.prom");
+        std::fs::write(&bad, "igern_ticks_total 4\n").unwrap();
+        let a = args(&["--metrics", bad.to_str().unwrap()]);
+        let err = stats_cmd(&a, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("invalid metrics file"), "{err}");
+        // --metrics-every without a sink is rejected.
+        let a = args(&["--trace", trace_path, "--metrics-every", "2"]);
         assert!(run(&a, &mut Vec::new()).is_err());
     }
 

@@ -193,7 +193,15 @@ impl BiIgern {
             .alive
             .iter()
             .flat_map(|c| grid_b.objects_in(c).iter().copied())
-            .map(|id| (id, grid_b.position(id).expect("cell desync")))
+            .filter_map(|id| match grid_b.position(id) {
+                Some(pos) => Some((id, pos)),
+                None => {
+                    // Bucket/position desync: treat the B-object as
+                    // removed and keep verifying instead of panicking.
+                    ops.desyncs += 1;
+                    None
+                }
+            })
             .collect();
         let mut rnn_b = Vec::new();
         for (ob, pos) in bs {

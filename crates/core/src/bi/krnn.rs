@@ -142,7 +142,12 @@ impl BiIgernK {
         let mut rnn_b = Vec::new();
         for c in self.alive.iter() {
             for &ob in grid_b.objects_in(c) {
-                let pos = grid_b.position(ob).expect("cell desync");
+                let Some(pos) = grid_b.position(ob) else {
+                    // Bucket/position desync: treat the B-object as
+                    // removed and keep verifying instead of panicking.
+                    ops.desyncs += 1;
+                    continue;
+                };
                 let d_q = pos.dist_sq(self.q);
                 // Object-level prefilter mirroring the order-1 monitor:
                 // ≥ k monitored A-objects strictly closer settles it.

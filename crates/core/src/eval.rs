@@ -77,17 +77,30 @@ pub fn can_skip(store: &SpatialStore, slot: &QuerySlot, anchor: igern_geom::Poin
 /// reads `store` (plus the slot it mutates), so disjoint slots can be
 /// evaluated concurrently against the same frozen store.
 ///
-/// # Panics
-/// Panics when the slot's anchor object is not in the store.
+/// A slot whose anchor object has vanished from the store (a desync — the
+/// engine should have removed the query first) degrades gracefully: the
+/// previous answer is carried over as a skipped sample whose
+/// `ops.desyncs` is set, so the event is counted instead of panicking
+/// mid-tick.
 pub fn evaluate_query(
     store: &SpatialStore,
     slot: &mut QuerySlot,
     tick: u64,
     route: bool,
 ) -> TickSample {
-    let pos = store
-        .position(slot.obj)
-        .expect("query object vanished from store");
+    let Some(pos) = store.position(slot.obj) else {
+        let mut ops = OpCounters::new();
+        ops.desyncs = 1;
+        return TickSample {
+            tick,
+            ops,
+            monitored: slot.monitored,
+            answer_size: slot.answer.len(),
+            region_area: slot.region_area,
+            skipped: true,
+            ..TickSample::default()
+        };
+    };
     if route && can_skip(store, slot, pos) {
         // Zero-cost sample: the previous answer is reused verbatim.
         return TickSample {

@@ -37,6 +37,9 @@
 //!   exact running aggregate).
 //! * [`costmodel`] — the analytical cost model of Section 6.
 //! * [`metrics`] — per-tick samples and experiment aggregation.
+//! * [`obs`] — the observability layer: a dependency-free
+//!   [`obs::MetricsRegistry`] (counters, gauges, histograms) with
+//!   Prometheus-text and JSON exporters, instrumenting every engine.
 //! * [`knn_monitor`] / [`range_monitor`] — companion continuous k-NN and
 //!   range facilities (the other standing-query types of the processors
 //!   the paper situates itself among).
@@ -79,6 +82,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod mono;
 pub mod naive;
+pub mod obs;
 pub mod processor;
 pub mod prune;
 pub mod range_monitor;

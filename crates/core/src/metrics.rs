@@ -83,7 +83,13 @@ impl SeriesStats {
         if self.samples == 0 {
             Duration::ZERO
         } else {
-            self.total_time / self.samples as u32
+            // Divide in u128 nanoseconds: `Duration / u32` would silently
+            // truncate the divisor above u32::MAX samples.
+            let nanos = self.total_time.as_nanos() / self.samples as u128;
+            Duration::new(
+                (nanos / 1_000_000_000) as u64,
+                (nanos % 1_000_000_000) as u32,
+            )
         }
     }
 
@@ -178,6 +184,26 @@ mod tests {
         assert_eq!(s.mean_answer(), 1.0);
         assert_eq!(s.mean_area(), 1.5);
         assert_eq!(s.ops().nn, 2);
+    }
+
+    #[test]
+    fn mean_time_survives_huge_sample_counts() {
+        // With more than u32::MAX samples the old `Duration / u32`
+        // division truncated the divisor; the u128-nanos path must not.
+        let samples = u32::MAX as usize + 7;
+        let s = SeriesStats {
+            samples,
+            total_time: Duration::from_secs(samples as u64),
+            ..Default::default()
+        };
+        assert_eq!(s.mean_time(), Duration::from_secs(1));
+        // And the ordinary path still rounds down to whole nanos.
+        let s = SeriesStats {
+            samples: 3,
+            total_time: Duration::from_nanos(10),
+            ..Default::default()
+        };
+        assert_eq!(s.mean_time(), Duration::from_nanos(3));
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Registry exporters: Prometheus text exposition format and JSON.
+//!
+//! Both render the same stable snapshot (entries sorted by name, then
+//! label set) so successive dumps of an unchanged registry are
+//! byte-identical — which lets the CI smoke check diff round-trips.
+
+use std::fmt::Write as _;
+
+use super::{Entry, Instrument, MetricsRegistry};
+
+/// Format an `f64` the way both exporters need it: integral values
+/// without a fractional part (`144` not `144.0`), non-finite values as
+/// Prometheus spellings (`+Inf`, `-Inf`, `NaN`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        let s = format!("{v}");
+        s
+    }
+}
+
+/// Render `{k="v",...}` for a series, merging `extra` (e.g. `le`) after
+/// the entry's own labels. Empty label sets render as nothing.
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+pub(super) fn render_prometheus(entries: &[Entry]) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<&str> = None;
+    for e in entries {
+        // One TYPE line per metric name, before its first sample.
+        if last_typed != Some(e.name.as_str()) {
+            let kind = match e.instrument {
+                Instrument::Counter(_) => "counter",
+                Instrument::Gauge(_) => "gauge",
+                Instrument::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {}", e.name, kind);
+            last_typed = Some(e.name.as_str());
+        }
+        match &e.instrument {
+            Instrument::Counter(c) => {
+                let _ = writeln!(out, "{}{} {}", e.name, fmt_labels(&e.labels, None), c.get());
+            }
+            Instrument::Gauge(g) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    e.name,
+                    fmt_labels(&e.labels, None),
+                    fmt_f64(g.get())
+                );
+            }
+            Instrument::Histogram(h) => {
+                for (bound, cum) in h.cumulative_buckets() {
+                    let le = fmt_f64(bound);
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        e.name,
+                        fmt_labels(&e.labels, Some(("le", &le))),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    e.name,
+                    fmt_labels(&e.labels, None),
+                    fmt_f64(h.sum())
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    e.name,
+                    fmt_labels(&e.labels, None),
+                    h.count()
+                );
+            }
+        }
+    }
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON has no Inf/NaN literals; export them as null.
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&fmt_f64(v));
+    } else {
+        out.push_str("null");
+    }
+}
+
+pub(super) fn render_json(entries: &[Entry]) -> String {
+    let mut out = String::from("{\n  \"metrics\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str("\"name\": ");
+        json_string(&mut out, &e.name);
+        if !e.labels.is_empty() {
+            out.push_str(", \"labels\": {");
+            for (j, (k, v)) in e.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                json_string(&mut out, k);
+                out.push_str(": ");
+                json_string(&mut out, v);
+            }
+            out.push('}');
+        }
+        match &e.instrument {
+            Instrument::Counter(c) => {
+                let _ = write!(out, ", \"type\": \"counter\", \"value\": {}", c.get());
+            }
+            Instrument::Gauge(g) => {
+                out.push_str(", \"type\": \"gauge\", \"value\": ");
+                json_f64(&mut out, g.get());
+            }
+            Instrument::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    ", \"type\": \"histogram\", \"count\": {}, \"sum\": ",
+                    h.count()
+                );
+                json_f64(&mut out, h.sum());
+                out.push_str(", \"buckets\": [");
+                for (j, (bound, cum)) in h.cumulative_buckets().iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str("{\"le\": ");
+                    json_f64(&mut out, *bound);
+                    let _ = write!(out, ", \"count\": {cum}}}");
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+impl MetricsRegistry {
+    /// Render every series in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.sorted_entries())
+    }
+
+    /// Render every series as a JSON document (`{"metrics": [...]}`;
+    /// non-finite values become `null`).
+    pub fn render_json(&self) -> String {
+        render_json(&self.sorted_entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("igern_ticks_total").add(3);
+        reg.gauge_labeled("igern_shard_size", &[("worker", "0")])
+            .set(17.0);
+        reg.gauge_labeled("igern_shard_size", &[("worker", "1")])
+            .set(12.5);
+        let h = reg.histogram("igern_tick_seconds", &[0.001, 0.01]);
+        h.observe(0.0005);
+        h.observe(0.02);
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = demo_registry().render_prometheus();
+        let expected = "\
+# TYPE igern_shard_size gauge
+igern_shard_size{worker=\"0\"} 17
+igern_shard_size{worker=\"1\"} 12.5
+# TYPE igern_tick_seconds histogram
+igern_tick_seconds_bucket{le=\"0.001\"} 1
+igern_tick_seconds_bucket{le=\"0.01\"} 1
+igern_tick_seconds_bucket{le=\"+Inf\"} 2
+igern_tick_seconds_sum 0.0205
+igern_tick_seconds_count 2
+# TYPE igern_ticks_total counter
+igern_ticks_total 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn json_shape_and_roundtrip() {
+        let reg = demo_registry();
+        let json = reg.render_json();
+        // Parses with the in-repo parser …
+        let v = crate::obs::jsontext::parse(&json).expect("valid json");
+        let metrics = v.get("metrics").and_then(|m| m.as_array()).expect("array");
+        assert_eq!(metrics.len(), 4);
+        let counter = metrics
+            .iter()
+            .find(|m| m.get("name").and_then(|n| n.as_str()) == Some("igern_ticks_total"))
+            .expect("counter present");
+        assert_eq!(counter.get("value").and_then(|v| v.as_f64()), Some(3.0));
+        // … and successive renders of an unchanged registry are identical.
+        assert_eq!(json, reg.render_json());
+    }
+
+    #[test]
+    fn non_finite_gauges_export_as_null_json_and_inf_prom() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("g").set(f64::INFINITY);
+        assert!(reg.render_prometheus().contains("g +Inf"));
+        let json = reg.render_json();
+        assert!(json.contains("\"value\": null"));
+        crate::obs::jsontext::parse(&json).expect("null is valid json");
+    }
+
+    #[test]
+    fn prometheus_output_passes_own_lint() {
+        let text = demo_registry().render_prometheus();
+        let report = crate::obs::promtext::lint(&text).expect("lint passes");
+        assert_eq!(report.families, 3);
+        assert_eq!(report.samples, 8);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_labeled("c", &[("path", "a\"b\\c")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"c{path="a\"b\\c"} 1"#), "{text}");
+        let json = reg.render_json();
+        crate::obs::jsontext::parse(&json).expect("escaped json parses");
+    }
+}

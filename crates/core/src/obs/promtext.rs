@@ -1,0 +1,340 @@
+//! A lint-grade parser for the Prometheus text exposition format.
+//!
+//! Used by the `igern stats` subcommand to render metric dumps and by
+//! the CI smoke check to validate that what the exporter wrote actually
+//! parses — without depending on an external `promtool`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// What `lint` verified.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Metric families (`# TYPE` lines).
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+    /// Parsed samples, in input order.
+    pub parsed: Vec<Sample>,
+    /// `name -> type` from TYPE lines.
+    pub types: BTreeMap<String, String>,
+}
+
+/// A lint failure, with the 1-based line number it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+fn is_name(s: &str, allow_colon: bool) -> bool {
+    !s.is_empty()
+        && !s.as_bytes()[0].is_ascii_digit()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || (allow_colon && b == b':'))
+}
+
+fn err(line: usize, message: impl Into<String>) -> LintError {
+    LintError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parsed `name="value"` pairs from one label block.
+type LabelPairs = Vec<(String, String)>;
+
+/// Parse the label block after `{`, returning the pairs and the rest of
+/// the line after `}`.
+fn parse_labels(line_no: usize, s: &str) -> Result<(LabelPairs, &str), LintError> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix('}') {
+            return Ok((labels, r));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| err(line_no, "label without '='"))?;
+        let key = rest[..eq].trim();
+        if !is_name(key, false) {
+            return Err(err(line_no, format!("bad label name {key:?}")));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(err(line_no, "label value must be quoted"));
+        }
+        let mut value = String::new();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    _ => return Err(err(line_no, "bad escape in label value")),
+                },
+                '"' => {
+                    end = Some(i + 1);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| err(line_no, "unterminated label value"))?;
+        labels.push((key.to_string(), value));
+        rest = rest[end..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.starts_with('}') {
+            return Err(err(line_no, "expected ',' or '}' after label"));
+        }
+    }
+}
+
+fn parse_value(line_no: usize, s: &str) -> Result<f64, LintError> {
+    let s = s.trim();
+    match s {
+        "+Inf" | "Inf" => return Ok(f64::INFINITY),
+        "-Inf" => return Ok(f64::NEG_INFINITY),
+        "NaN" => return Ok(f64::NAN),
+        _ => {}
+    }
+    s.parse::<f64>()
+        .map_err(|_| err(line_no, format!("bad sample value {s:?}")))
+}
+
+/// Lint + parse a Prometheus text document. Checks:
+///
+/// * every non-comment line is `name[{labels}] value`;
+/// * metric and label names are well-formed;
+/// * every sample's base name has a preceding `# TYPE` line (histogram
+///   samples may use the `_bucket`/`_sum`/`_count` suffixes);
+/// * histogram families end with an `le="+Inf"` bucket whose count
+///   equals `_count`.
+pub fn lint(text: &str) -> Result<LintReport, LintError> {
+    let mut report = LintReport::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().ok_or_else(|| err(line_no, "TYPE without name"))?;
+                let kind = it.next().ok_or_else(|| err(line_no, "TYPE without kind"))?;
+                if !is_name(name, true) {
+                    return Err(err(line_no, format!("bad metric name {name:?}")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err(line_no, format!("unknown metric type {kind:?}")));
+                }
+                if report
+                    .types
+                    .insert(name.to_string(), kind.to_string())
+                    .is_some()
+                {
+                    return Err(err(line_no, format!("duplicate TYPE for {name}")));
+                }
+                report.families += 1;
+            }
+            // HELP and plain comments are ignored.
+            continue;
+        }
+        // Sample line.
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .ok_or_else(|| err(line_no, "sample without value"))?;
+        let name = &line[..name_end];
+        if !is_name(name, true) {
+            return Err(err(line_no, format!("bad metric name {name:?}")));
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if let Some(r) = rest.strip_prefix('{') {
+            parse_labels(line_no, r)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let value = parse_value(line_no, rest)?;
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let stripped = name.strip_suffix(suffix)?;
+                if report.types.get(stripped).map(String::as_str) == Some("histogram") {
+                    Some(stripped)
+                } else {
+                    None
+                }
+            })
+            .unwrap_or(name);
+        if !report.types.contains_key(base) {
+            return Err(err(line_no, format!("sample {name:?} has no # TYPE line")));
+        }
+        let mut labels = labels;
+        labels.sort();
+        report.samples += 1;
+        report.parsed.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    check_histograms(&report)?;
+    Ok(report)
+}
+
+/// Per histogram family and label set: the `+Inf` bucket must exist and
+/// match `_count`.
+fn check_histograms(report: &LintReport) -> Result<(), LintError> {
+    for (name, kind) in &report.types {
+        if kind != "histogram" {
+            continue;
+        }
+        let series: Vec<Vec<(String, String)>> = {
+            let mut sets: Vec<_> = report
+                .parsed
+                .iter()
+                .filter(|s| s.name == format!("{name}_count"))
+                .map(|s| s.labels.clone())
+                .collect();
+            sets.dedup();
+            sets
+        };
+        if series.is_empty() {
+            return Err(err(0, format!("histogram {name} has no _count sample")));
+        }
+        for labels in series {
+            let count = report
+                .parsed
+                .iter()
+                .find(|s| s.name == format!("{name}_count") && s.labels == labels)
+                .map(|s| s.value)
+                .unwrap_or(f64::NAN);
+            let inf = report.parsed.iter().find(|s| {
+                s.name == format!("{name}_bucket")
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+                    && s.labels.iter().filter(|(k, _)| k != "le").count() == labels.len()
+                    && s.labels.iter().filter(|(k, _)| k != "le").eq(labels.iter())
+            });
+            match inf {
+                Some(s) if s.value == count => {}
+                Some(s) => {
+                    return Err(err(
+                        0,
+                        format!(
+                            "histogram {name}: +Inf bucket {} != count {}",
+                            s.value, count
+                        ),
+                    ));
+                }
+                None => {
+                    return Err(err(
+                        0,
+                        format!("histogram {name} is missing an le=\"+Inf\" bucket"),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_document() {
+        let report = lint(
+            "# HELP x ignored\n\
+             # TYPE x counter\n\
+             x 4\n\
+             # TYPE lat histogram\n\
+             lat_bucket{le=\"0.1\"} 1\n\
+             lat_bucket{le=\"+Inf\"} 2\n\
+             lat_sum 0.3\n\
+             lat_count 2\n",
+        )
+        .expect("lints");
+        assert_eq!(report.families, 2);
+        assert_eq!(report.samples, 5);
+        assert_eq!(report.parsed[0].value, 4.0);
+    }
+
+    #[test]
+    fn rejects_untyped_samples() {
+        let e = lint("x 1\n").unwrap_err();
+        assert!(e.message.contains("no # TYPE"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_names_and_values() {
+        assert!(lint("# TYPE 9x counter\n9x 1\n").is_err());
+        assert!(lint("# TYPE x counter\nx one\n").is_err());
+        assert!(lint("# TYPE x counter\nx{le=0.1} 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_histograms() {
+        let e = lint(
+            "# TYPE lat histogram\n\
+             lat_bucket{le=\"+Inf\"} 3\n\
+             lat_sum 0.3\n\
+             lat_count 2\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("!= count"), "{e}");
+        let e = lint(
+            "# TYPE lat histogram\n\
+             lat_sum 0.3\n\
+             lat_count 2\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("+Inf"), "{e}");
+    }
+
+    #[test]
+    fn labeled_histograms_check_per_series() {
+        lint(
+            "# TYPE lat histogram\n\
+             lat_bucket{w=\"0\",le=\"+Inf\"} 2\n\
+             lat_sum{w=\"0\"} 0.3\n\
+             lat_count{w=\"0\"} 2\n\
+             lat_bucket{w=\"1\",le=\"+Inf\"} 5\n\
+             lat_sum{w=\"1\"} 0.9\n\
+             lat_count{w=\"1\"} 5\n",
+        )
+        .expect("per-series counts match");
+    }
+
+    #[test]
+    fn escaped_label_values_roundtrip() {
+        let report = lint("# TYPE c counter\nc{p=\"a\\\"b\\\\c\"} 1\n").expect("lints");
+        assert_eq!(report.parsed[0].labels[0].1, "a\"b\\c");
+    }
+}

@@ -20,12 +20,15 @@
 //! off with [`Processor::set_skip_routing`] (every query then re-runs
 //! every tick, the pre-routing behavior).
 
+use std::time::Instant;
+
 use igern_geom::Point;
 use igern_grid::ObjectId;
 
 use crate::eval::{evaluate_query, QuerySlot};
 use crate::history::History;
 use crate::monitor::{ContinuousMonitor, NullMonitor};
+use crate::obs::PipelineMetrics;
 use crate::store::SpatialStore;
 
 /// Which algorithm evaluates a continuous query.
@@ -79,6 +82,7 @@ pub struct Processor {
     tick: u64,
     skip_routing: bool,
     history_capacity: Option<usize>,
+    metrics: Option<PipelineMetrics>,
 }
 
 impl Processor {
@@ -91,12 +95,35 @@ impl Processor {
             tick: 0,
             skip_routing: true,
             history_capacity: None,
+            metrics: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) an observability bundle. When set,
+    /// every round records phase timings, per-query samples, dirty-cell
+    /// counts, and §6 operation totals into the bundle's registry. The
+    /// hot path pays only relaxed atomic increments; detached (the
+    /// default) it pays nothing.
+    pub fn set_metrics(&mut self, metrics: Option<PipelineMetrics>) {
+        self.metrics = metrics;
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn metrics(&self) -> Option<&PipelineMetrics> {
+        self.metrics.as_ref()
     }
 
     /// The underlying store.
     pub fn store(&self) -> &SpatialStore {
         &self.store
+    }
+
+    /// Test hook: corrupt the store's bucket state for `id` (see
+    /// [`SpatialStore::debug_force_desync`]). Returns whether the object
+    /// was present.
+    #[doc(hidden)]
+    pub fn debug_force_desync(&mut self, id: ObjectId) -> bool {
+        self.store.debug_force_desync(id)
     }
 
     /// Enable or disable dirty-region skip routing in [`Processor::step`]
@@ -210,11 +237,32 @@ impl Processor {
     /// Apply one tick of updates and re-evaluate every query, skipping
     /// those whose watched cells saw no update (when routing is on).
     pub fn step(&mut self, updates: &[(ObjectId, Point)]) {
+        self.apply_updates(updates);
+        self.tick += 1;
+        self.evaluate_round(self.skip_routing);
+    }
+
+    /// Apply-updates phase shared by the serial and parallel steps.
+    fn apply_updates(&mut self, updates: &[(ObjectId, Point)]) {
+        let start = self.metrics.is_some().then(Instant::now);
         for &(id, pos) in updates {
             self.store.apply(id, pos);
         }
-        self.tick += 1;
-        self.evaluate_round(self.skip_routing);
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.apply_seconds.observe_duration(t0.elapsed());
+            m.updates_total.add(updates.len() as u64);
+        }
+    }
+
+    /// Observations taken once per round, just before the journal drain.
+    fn observe_round(&self, eval_start: Option<Instant>) {
+        if let Some(m) = &self.metrics {
+            if let Some(t0) = eval_start {
+                m.evaluate_seconds.observe_duration(t0.elapsed());
+            }
+            m.dirty_cells.observe(self.store.dirty_all().count() as f64);
+            m.ticks_total.inc();
+        }
     }
 
     /// Evaluate all queries against the current store state without
@@ -226,16 +274,21 @@ impl Processor {
 
     fn evaluate_round(&mut self, route: bool) {
         let tick = self.tick;
+        let eval_start = self.metrics.is_some().then(Instant::now);
         // Queries borrow the store immutably; detach the vector to satisfy
         // the borrow checker without cloning the store.
         let mut queries = std::mem::take(&mut self.queries);
         for q in &mut queries {
             if !q.removed {
                 let sample = evaluate_query(&self.store, &mut q.slot, tick, route);
+                if let Some(m) = &self.metrics {
+                    m.record_sample(&sample);
+                }
                 q.history.push(sample);
             }
         }
         self.queries = queries;
+        self.observe_round(eval_start);
         // Close out the journal: the next tick's dirt starts from here.
         self.store.drain_dirty();
     }
@@ -248,9 +301,7 @@ impl Processor {
     /// incremental ticks the thread hand-off overhead exceeds the win —
     /// measure with the `processor_64_queries` criterion group.
     pub fn step_parallel(&mut self, updates: &[(ObjectId, Point)], threads: usize) {
-        for &(id, pos) in updates {
-            self.store.apply(id, pos);
-        }
+        self.apply_updates(updates);
         self.tick += 1;
         self.evaluate_round_parallel(self.skip_routing, threads);
     }
@@ -266,15 +317,20 @@ impl Processor {
     fn evaluate_round_parallel(&mut self, route: bool, threads: usize) {
         assert!(threads >= 1, "need at least one worker");
         let tick = self.tick;
+        let eval_start = self.metrics.is_some().then(Instant::now);
         let mut queries = std::mem::take(&mut self.queries);
         let chunk = queries.len().div_ceil(threads).max(1);
         std::thread::scope(|scope| {
             for batch in queries.chunks_mut(chunk) {
                 let store = &self.store;
+                let metrics = self.metrics.clone();
                 scope.spawn(move || {
                     for q in batch {
                         if !q.removed {
                             let sample = evaluate_query(store, &mut q.slot, tick, route);
+                            if let Some(m) = &metrics {
+                                m.record_sample(&sample);
+                            }
                             q.history.push(sample);
                         }
                     }
@@ -282,6 +338,7 @@ impl Processor {
             }
         });
         self.queries = queries;
+        self.observe_round(eval_start);
         self.store.drain_dirty();
     }
 

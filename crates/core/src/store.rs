@@ -200,6 +200,18 @@ impl SpatialStore {
     pub fn space(&self) -> &Aabb {
         self.all.space()
     }
+
+    /// Test-only fault injection: clear `id`'s position slot in every
+    /// grid while leaving the cell buckets stale, producing exactly the
+    /// bucket/position desync the search layer must survive. Returns
+    /// whether the all-objects grid held the object.
+    #[doc(hidden)]
+    pub fn debug_force_desync(&mut self, id: ObjectId) -> bool {
+        let hit = self.all.debug_force_desync(id);
+        self.a.debug_force_desync(id);
+        self.b.debug_force_desync(id);
+        hit
+    }
 }
 
 #[cfg(test)]

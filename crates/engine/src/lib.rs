@@ -37,13 +37,18 @@
 //! [`Processor`]: igern_core::processor::Processor
 //! [`TickSample`]: igern_core::metrics::TickSample
 
+use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use igern_core::eval::QuerySlot;
 use igern_core::history::History;
 use igern_core::metrics::SeriesStats;
+use igern_core::obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, PipelineMetrics, LATENCY_BUCKETS_S,
+};
 use igern_core::processor::Algorithm;
 use igern_core::{ContinuousMonitor, ObjectKind, SpatialStore};
 use igern_geom::Point;
@@ -64,6 +69,98 @@ const _: () = {
     requires_send_sync::<SpatialStore>();
     requires_send::<QuerySlot>();
 };
+
+/// A recoverable engine registration error. Unlike the serial
+/// processor's asserts, the sharded engine reports bad registrations as
+/// values so long-running drivers (the CLI, network frontends) can
+/// surface them without unwinding across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query anchor object is not in the store.
+    UnknownObject(ObjectId),
+    /// A bichromatic algorithm was requested for a non-A anchor.
+    NotKindA(ObjectId),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownObject(id) => {
+                write!(f, "query object {id} not in store")
+            }
+            EngineError::NotKindA(id) => {
+                write!(f, "bichromatic query object {id} must be of kind A")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The engine-level observability bundle: the shared [`PipelineMetrics`]
+/// surface plus the coordinator/worker instruments that only exist in
+/// the sharded engine (per-worker tick latency, shard sizes, snapshot
+/// publish / hand-off / merge timings, results-channel backlog, and
+/// rebalance activity).
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// The engine-agnostic per-sample surface (same names the serial
+    /// processor emits under its prefix).
+    pub pipeline: PipelineMetrics,
+    /// Per-worker shard evaluation latency
+    /// (`<prefix>_worker_tick_seconds{worker="i"}`).
+    pub worker_tick_seconds: Vec<Histogram>,
+    /// Per-worker live-query count (`<prefix>_shard_size{worker="i"}`).
+    pub shard_size: Vec<Gauge>,
+    /// Time to clone + send the store snapshot to every worker
+    /// (`<prefix>_publish_seconds`).
+    pub publish_seconds: Histogram,
+    /// Time from publishing the snapshot until the coordinator regains
+    /// exclusive store ownership — the full `Arc` hand-off round trip
+    /// (`<prefix>_handoff_seconds`).
+    pub handoff_seconds: Histogram,
+    /// Time to sort and apply the merged shard reports
+    /// (`<prefix>_merge_seconds`).
+    pub merge_seconds: Histogram,
+    /// Shard reports already queued when the coordinator started
+    /// collecting — the results-channel backlog
+    /// (`<prefix>_results_backlog`).
+    pub results_backlog: Gauge,
+    /// Rebalance passes that migrated at least one query
+    /// (`<prefix>_rebalance_total`).
+    pub rebalance_total: Counter,
+    /// Individual query migrations (`<prefix>_migrations_total`).
+    pub migrations_total: Counter,
+}
+
+impl EngineMetrics {
+    /// Register (or re-attach to) the bundle under `prefix` for an
+    /// engine with `workers` worker threads.
+    pub fn register(registry: &MetricsRegistry, prefix: &str, workers: usize) -> Self {
+        let n = |suffix: &str| format!("{prefix}_{suffix}");
+        EngineMetrics {
+            pipeline: PipelineMetrics::register(registry, prefix),
+            worker_tick_seconds: (0..workers)
+                .map(|w| {
+                    registry.histogram_labeled(
+                        &n("worker_tick_seconds"),
+                        &[("worker", &w.to_string())],
+                        &LATENCY_BUCKETS_S,
+                    )
+                })
+                .collect(),
+            shard_size: (0..workers)
+                .map(|w| registry.gauge_labeled(&n("shard_size"), &[("worker", &w.to_string())]))
+                .collect(),
+            publish_seconds: registry.histogram(&n("publish_seconds"), &LATENCY_BUCKETS_S),
+            handoff_seconds: registry.histogram(&n("handoff_seconds"), &LATENCY_BUCKETS_S),
+            merge_seconds: registry.histogram(&n("merge_seconds"), &LATENCY_BUCKETS_S),
+            results_backlog: registry.gauge(&n("results_backlog")),
+            rebalance_total: registry.counter(&n("rebalance_total")),
+            migrations_total: registry.counter(&n("migrations_total")),
+        }
+    }
+}
 
 /// Coordinator-side record of one registered query.
 struct QueryMeta {
@@ -94,6 +191,7 @@ pub struct ShardedEngine {
     tick: u64,
     skip_routing: bool,
     history_capacity: Option<usize>,
+    metrics: Option<EngineMetrics>,
 }
 
 impl ShardedEngine {
@@ -108,12 +206,12 @@ impl ShardedEngine {
         let (results_tx, results) = channel();
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let (tx, rx) = channel();
             let results_tx = results_tx.clone();
             senders.push(tx);
             handles.push(std::thread::spawn(move || {
-                worker::worker_loop(rx, results_tx)
+                worker::worker_loop(w, rx, results_tx)
             }));
         }
         ShardedEngine {
@@ -130,7 +228,32 @@ impl ShardedEngine {
             tick: 0,
             skip_routing: true,
             history_capacity: None,
+            metrics: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) an observability bundle. When set,
+    /// every round records the pipeline surface plus the engine-specific
+    /// instruments (per-worker latency, hand-off timings, rebalance
+    /// counters). Detached (the default) the hot path pays nothing.
+    ///
+    /// # Panics
+    /// Panics when the bundle was registered for a different worker
+    /// count.
+    pub fn set_metrics(&mut self, metrics: Option<EngineMetrics>) {
+        if let Some(m) = &metrics {
+            assert_eq!(
+                m.worker_tick_seconds.len(),
+                self.num_workers(),
+                "metrics bundle registered for a different worker count"
+            );
+        }
+        self.metrics = metrics;
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn metrics(&self) -> Option<&EngineMetrics> {
+        self.metrics.as_ref()
     }
 
     /// The underlying store.
@@ -143,6 +266,14 @@ impl ShardedEngine {
     /// reporting).
     fn store_mut(&mut self) -> &mut SpatialStore {
         Arc::get_mut(&mut self.store).expect("store uniquely owned between ticks")
+    }
+
+    /// Test hook: corrupt the store's bucket state for `id` (see
+    /// `SpatialStore::debug_force_desync`). Returns whether the object
+    /// was present.
+    #[doc(hidden)]
+    pub fn debug_force_desync(&mut self, id: ObjectId) -> bool {
+        self.store_mut().debug_force_desync(id)
     }
 
     /// Number of worker threads.
@@ -189,16 +320,19 @@ impl ShardedEngine {
     /// returns its index. Index assignment (tombstone reuse first)
     /// matches the serial processor exactly.
     ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`] when `obj` is not in the store;
+    /// [`EngineError::NotKindA`] when a bichromatic algorithm is
+    /// requested for a non-A object.
+    ///
     /// # Panics
-    /// Panics when `obj` is not in the store, or when a bichromatic
-    /// algorithm is requested for a non-A object.
-    pub fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> usize {
-        if algo.is_bichromatic() {
-            assert_eq!(
-                self.store.kind(obj),
-                ObjectKind::A,
-                "bichromatic query object must be of kind A"
-            );
+    /// Panics when a k-variant algorithm is given `k == 0`.
+    pub fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> Result<usize, EngineError> {
+        if self.store.position(obj).is_none() {
+            return Err(EngineError::UnknownObject(obj));
+        }
+        if algo.is_bichromatic() && self.store.kind(obj) != ObjectKind::A {
+            return Err(EngineError::NotKindA(obj));
         }
         if let Algorithm::IgernMonoK(k) | Algorithm::IgernBiK(k) | Algorithm::Knn(k) = algo {
             assert!(k >= 1, "k must be positive");
@@ -209,13 +343,17 @@ impl ShardedEngine {
     /// Register a query evaluated by a caller-supplied monitor; returns
     /// its index (tombstoned slots are reused first).
     ///
-    /// # Panics
-    /// Panics when `obj` is not in the store.
-    pub fn add_query_with(&mut self, obj: ObjectId, monitor: Box<dyn ContinuousMonitor>) -> usize {
+    /// # Errors
+    /// [`EngineError::UnknownObject`] when `obj` is not in the store.
+    pub fn add_query_with(
+        &mut self,
+        obj: ObjectId,
+        monitor: Box<dyn ContinuousMonitor>,
+    ) -> Result<usize, EngineError> {
         let pos = self
             .store
             .position(obj)
-            .unwrap_or_else(|| panic!("query object {obj} not in store"));
+            .ok_or(EngineError::UnknownObject(obj))?;
         let cell = self.store.all().cell_of_point(pos);
         let num_cells = self.store.all().num_cells();
         let worker = self
@@ -244,7 +382,7 @@ impl ShardedEngine {
         self.loads[worker] += 1;
         self.send(worker, ToWorker::Add(qid, QuerySlot::new(obj, monitor)));
         self.rebalance();
-        qid
+        Ok(qid)
     }
 
     /// Drop a registered query; its slot, answer, and history are freed
@@ -285,11 +423,16 @@ impl ShardedEngine {
     /// routing is on). Blocks until every shard has reported and the
     /// merged state is consistent.
     pub fn step(&mut self, updates: &[(ObjectId, Point)]) {
+        let start = self.metrics.is_some().then(Instant::now);
         {
             let store = self.store_mut();
             for &(id, pos) in updates {
                 store.apply(id, pos);
             }
+        }
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.pipeline.apply_seconds.observe_duration(t0.elapsed());
+            m.pipeline.updates_total.add(updates.len() as u64);
         }
         self.tick += 1;
         self.run_round(self.skip_routing);
@@ -304,6 +447,7 @@ impl ShardedEngine {
     }
 
     fn run_round(&mut self, route: bool) {
+        let publish_start = self.metrics.is_some().then(Instant::now);
         for tx in &self.senders {
             let job = TickJob {
                 store: Arc::clone(&self.store),
@@ -312,23 +456,66 @@ impl ShardedEngine {
             };
             tx.send(ToWorker::Tick(job)).expect("worker alive");
         }
+        if let (Some(m), Some(t0)) = (&self.metrics, publish_start) {
+            m.publish_seconds.observe_duration(t0.elapsed());
+        }
         let mut merged = Vec::new();
-        for _ in 0..self.senders.len() {
-            let report = self.results.recv().expect("worker alive");
+        let mut received = 0;
+        // Reports already queued before the coordinator starts waiting
+        // measure how far the workers run ahead of the merge.
+        let mut backlog = 0usize;
+        while received < self.senders.len() {
+            let report = if received == backlog {
+                match self.results.try_recv() {
+                    Ok(r) => {
+                        backlog += 1;
+                        r
+                    }
+                    Err(_) => self.results.recv().expect("worker alive"),
+                }
+            } else {
+                self.results.recv().expect("worker alive")
+            };
+            received += 1;
+            if let Some(m) = &self.metrics {
+                m.worker_tick_seconds[report.worker].observe_duration(report.elapsed);
+            }
             merged.extend(report.reports);
         }
+        // Every worker released its store clone before reporting: the
+        // coordinator owns the snapshot exclusively again — the `Arc`
+        // hand-off round trip ends here.
+        if let (Some(m), Some(t0)) = (&self.metrics, publish_start) {
+            m.handoff_seconds.observe_duration(t0.elapsed());
+            m.results_backlog.set(backlog as f64);
+        }
+        let merge_start = self.metrics.is_some().then(Instant::now);
         // Deterministic merge: shard reports are each qid-sorted; the
         // global order is re-established so histories and answers are
         // written exactly as the serial processor would.
         merged.sort_unstable_by_key(|r| r.qid);
         for r in merged {
+            if let Some(m) = &self.metrics {
+                m.pipeline.record_sample(&r.sample);
+            }
             self.histories[r.qid].push(r.sample);
             if let Some(ans) = r.answer {
                 self.answers[r.qid] = ans;
             }
         }
-        // Every worker released its store clone before reporting; close
-        // out the journal so the next tick's dirt starts clean.
+        if let Some(m) = &self.metrics {
+            if let Some(t0) = merge_start {
+                m.merge_seconds.observe_duration(t0.elapsed());
+            }
+            for (w, &load) in self.loads.iter().enumerate() {
+                m.shard_size[w].set(load as f64);
+            }
+            m.pipeline
+                .dirty_cells
+                .observe(self.store.dirty_all().count() as f64);
+            m.pipeline.ticks_total.inc();
+        }
+        // Close out the journal so the next tick's dirt starts clean.
         self.store_mut().drain_dirty();
     }
 
@@ -336,6 +523,7 @@ impl ShardedEngine {
     /// is satisfied. Deterministic: highest query id moves first, ties on
     /// load break toward the lowest worker id.
     fn rebalance(&mut self) {
+        let mut migrated = 0u64;
         loop {
             let (max_w, &max) = self
                 .loads
@@ -350,6 +538,10 @@ impl ShardedEngine {
                 .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
                 .expect("at least one worker");
             if !self.placement.needs_rebalance(min, max) {
+                if let (Some(m), 1..) = (&self.metrics, migrated) {
+                    m.rebalance_total.inc();
+                    m.migrations_total.add(migrated);
+                }
                 return;
             }
             let qid = self
@@ -367,6 +559,7 @@ impl ShardedEngine {
             self.queries[qid].worker = min_w;
             self.loads[max_w] -= 1;
             self.loads[min_w] += 1;
+            migrated += 1;
         }
     }
 
@@ -472,7 +665,9 @@ mod tests {
         let mut engine = ShardedEngine::new(store(&pts, pts.len()), 3, Placement::RoundRobin);
         for i in 0..6u32 {
             serial.add_query(ObjectId(i * 4), Algorithm::IgernMono);
-            engine.add_query(ObjectId(i * 4), Algorithm::IgernMono);
+            engine
+                .add_query(ObjectId(i * 4), Algorithm::IgernMono)
+                .unwrap();
         }
         serial.evaluate_all();
         engine.evaluate_all();
@@ -507,7 +702,7 @@ mod tests {
         let mut engine = ShardedEngine::new(store(&pts, pts.len()), 4, Placement::RoundRobin);
         let mut handles = Vec::new();
         for i in 0..10u32 {
-            handles.push(engine.add_query(ObjectId(i), Algorithm::IgernMono));
+            handles.push(engine.add_query(ObjectId(i), Algorithm::IgernMono).unwrap());
         }
         assert_eq!(engine.worker_loads(), &[3, 3, 2, 2]);
         // Remove everything on worker 0's rotation: rebalance keeps the
@@ -535,10 +730,10 @@ mod tests {
         let mut engine = ShardedEngine::new(store(&pts, pts.len()), 2, Placement::AnchorCell);
         // Interleave bands so the intermediate spread never trips the
         // 2x rebalance threshold.
-        let a = engine.add_query(ObjectId(0), Algorithm::IgernMono);
-        let c = engine.add_query(ObjectId(2), Algorithm::IgernMono);
-        let b = engine.add_query(ObjectId(1), Algorithm::IgernMono);
-        let d = engine.add_query(ObjectId(3), Algorithm::IgernMono);
+        let a = engine.add_query(ObjectId(0), Algorithm::IgernMono).unwrap();
+        let c = engine.add_query(ObjectId(2), Algorithm::IgernMono).unwrap();
+        let b = engine.add_query(ObjectId(1), Algorithm::IgernMono).unwrap();
+        let d = engine.add_query(ObjectId(3), Algorithm::IgernMono).unwrap();
         // Low corner anchors share a band, far corner the other.
         assert_eq!(engine.worker_loads(), &[2, 2]);
         engine.evaluate_all();
@@ -552,11 +747,11 @@ mod tests {
     fn tombstoned_slots_are_reused_like_serial() {
         let pts = pts();
         let mut engine = ShardedEngine::new(store(&pts, pts.len()), 2, Placement::RoundRobin);
-        let a = engine.add_query(ObjectId(0), Algorithm::IgernMono);
-        let b = engine.add_query(ObjectId(1), Algorithm::IgernMono);
+        let a = engine.add_query(ObjectId(0), Algorithm::IgernMono).unwrap();
+        let b = engine.add_query(ObjectId(1), Algorithm::IgernMono).unwrap();
         engine.evaluate_all();
         engine.remove_query(a);
-        let c = engine.add_query(ObjectId(2), Algorithm::Knn(1));
+        let c = engine.add_query(ObjectId(2), Algorithm::Knn(1)).unwrap();
         assert_eq!(c, a, "removed slot must be handed out again");
         assert_ne!(c, b);
         assert_eq!(engine.num_queries(), 2);
@@ -570,7 +765,7 @@ mod tests {
     fn removed_query_answer_panics() {
         let pts = pts();
         let mut engine = ShardedEngine::new(store(&pts, pts.len()), 2, Placement::RoundRobin);
-        let a = engine.add_query(ObjectId(0), Algorithm::IgernMono);
+        let a = engine.add_query(ObjectId(0), Algorithm::IgernMono).unwrap();
         engine.evaluate_all();
         engine.remove_query(a);
         let _ = engine.answer(a);
@@ -592,7 +787,7 @@ mod tests {
         assert!(!engine.skip_routing());
         engine.set_history_capacity(Some(3));
         assert_eq!(engine.history_capacity(), Some(3));
-        let q = engine.add_query(ObjectId(0), Algorithm::IgernMono);
+        let q = engine.add_query(ObjectId(0), Algorithm::IgernMono).unwrap();
         engine.evaluate_all();
         for _ in 0..7 {
             engine.step(&[]);
@@ -605,10 +800,71 @@ mod tests {
     }
 
     #[test]
+    fn bad_registrations_are_reported_as_errors() {
+        let pts = pts();
+        // First 4 objects are kind A, the rest are B.
+        let mut engine = ShardedEngine::new(store(&pts, 4), 2, Placement::RoundRobin);
+        assert_eq!(
+            engine.add_query(ObjectId(999), Algorithm::IgernMono),
+            Err(EngineError::UnknownObject(ObjectId(999)))
+        );
+        assert_eq!(
+            engine.add_query(ObjectId(10), Algorithm::IgernBi),
+            Err(EngineError::NotKindA(ObjectId(10)))
+        );
+        // Failed registrations leave no residue: no slot, no load.
+        assert_eq!(engine.num_queries(), 0);
+        assert_eq!(engine.worker_loads(), &[0, 0]);
+        let q = engine.add_query(ObjectId(0), Algorithm::IgernMono).unwrap();
+        assert_eq!(q, 0);
+        engine.evaluate_all();
+        assert_eq!(
+            EngineError::UnknownObject(ObjectId(999)).to_string(),
+            "query object o999 not in store"
+        );
+    }
+
+    #[test]
+    fn engine_metrics_capture_rounds_and_workers() {
+        let pts = pts();
+        let reg = MetricsRegistry::new();
+        let mut engine = ShardedEngine::new(store(&pts, pts.len()), 2, Placement::RoundRobin);
+        engine.set_metrics(Some(EngineMetrics::register(
+            &reg,
+            "igern_engine",
+            engine.num_workers(),
+        )));
+        for i in 0..4u32 {
+            engine.add_query(ObjectId(i), Algorithm::IgernMono).unwrap();
+        }
+        engine.evaluate_all();
+        engine.step(&[(ObjectId(10), Point::new(1.0, 1.0))]);
+        let m = engine.metrics().unwrap();
+        assert_eq!(m.pipeline.ticks_total.get(), 2);
+        assert_eq!(m.pipeline.updates_total.get(), 1);
+        assert_eq!(
+            m.pipeline.queries_evaluated_total.get() + m.pipeline.queries_skipped_total.get(),
+            8,
+            "4 queries × 2 rounds, each either evaluated or skipped"
+        );
+        // Every worker timed both rounds, and shard gauges cover all
+        // live queries.
+        let worker_ticks: u64 = m.worker_tick_seconds.iter().map(|h| h.count()).sum();
+        assert_eq!(worker_ticks, 4);
+        let shard_total: f64 = m.shard_size.iter().map(|g| g.get()).sum();
+        assert_eq!(shard_total, 4.0);
+        assert_eq!(m.handoff_seconds.count(), 2);
+        // The full engine registry exports cleanly through both formats.
+        let prom = reg.render_prometheus();
+        igern_core::obs::promtext::lint(&prom).expect("engine export lints");
+        igern_core::obs::jsontext::parse(&reg.render_json()).expect("json parses");
+    }
+
+    #[test]
     fn dynamic_population_flows_through_the_engine() {
         let pts = [(5.0, 5.0), (4.0, 5.0), (8.0, 8.0)];
         let mut engine = ShardedEngine::new(store(&pts, 3), 2, Placement::RoundRobin);
-        let h = engine.add_query(ObjectId(0), Algorithm::IgernMono);
+        let h = engine.add_query(ObjectId(0), Algorithm::IgernMono).unwrap();
         engine.evaluate_all();
         engine.insert_object(ObjectId(50), ObjectKind::A, Point::new(5.4, 5.0));
         engine.step(&[]);

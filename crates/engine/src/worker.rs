@@ -21,6 +21,7 @@
 
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use igern_core::eval::{evaluate_query, QuerySlot};
 use igern_core::metrics::{SeriesStats, TickSample};
@@ -60,14 +61,19 @@ pub(crate) struct QueryReport {
 }
 
 /// Worker → coordinator tick result: every shard query's report, in
-/// ascending `qid` order.
+/// ascending `qid` order, plus the worker's own timing of the tick (for
+/// per-worker latency metrics).
 pub(crate) struct ShardReport {
+    /// Reporting worker's id.
+    pub worker: usize,
+    /// Wall-clock the worker spent evaluating its shard this tick.
+    pub elapsed: Duration,
     pub reports: Vec<QueryReport>,
 }
 
 /// The worker loop: owns the shard until shutdown (or until the
 /// coordinator hangs up, which also ends the loop so drops stay clean).
-pub(crate) fn worker_loop(rx: Receiver<ToWorker>, results: Sender<ShardReport>) {
+pub(crate) fn worker_loop(worker: usize, rx: Receiver<ToWorker>, results: Sender<ShardReport>) {
     // The shard, kept sorted by qid so reports are emitted in
     // deterministic ascending order.
     let mut shard: Vec<(usize, QuerySlot)> = Vec::new();
@@ -92,6 +98,7 @@ pub(crate) fn worker_loop(rx: Receiver<ToWorker>, results: Sender<ShardReport>) 
             }
             ToWorker::Tick(job) => {
                 let TickJob { store, tick, route } = job;
+                let start = Instant::now();
                 let mut reports = Vec::with_capacity(shard.len());
                 for (qid, slot) in &mut shard {
                     let sample = evaluate_query(&store, slot, tick, route);
@@ -103,11 +110,17 @@ pub(crate) fn worker_loop(rx: Receiver<ToWorker>, results: Sender<ShardReport>) 
                         answer,
                     });
                 }
+                let elapsed = start.elapsed();
                 // Release the store snapshot before reporting: the
                 // coordinator regains exclusive ownership exactly when
                 // the last report lands.
                 drop(store);
-                if results.send(ShardReport { reports }).is_err() {
+                let report = ShardReport {
+                    worker,
+                    elapsed,
+                    reports,
+                };
+                if results.send(report).is_err() {
                     break;
                 }
             }

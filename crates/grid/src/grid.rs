@@ -289,6 +289,24 @@ impl Grid {
         }
     }
 
+    /// Fault injection for desync testing: clear the position slot of
+    /// `id` while leaving it listed in its cell bucket, producing exactly
+    /// the bucket/position inconsistency that search routines must
+    /// survive (counted in `OpCounters::desyncs`). Returns `false` when
+    /// the object is not indexed. Never call this outside tests — it
+    /// deliberately corrupts the index.
+    #[doc(hidden)]
+    pub fn debug_force_desync(&mut self, id: ObjectId) -> bool {
+        match self.objects.get_mut(id.index()) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Iterate over all `(id, position)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
         self.objects

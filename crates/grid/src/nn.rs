@@ -47,7 +47,12 @@ fn scan_cell<F: FnMut(ObjectId, Point) -> bool>(
     ops.cells_visited += 1;
     for &id in grid.objects_in(cell) {
         ops.objects_visited += 1;
-        let pos = grid.position(id).expect("cell desync");
+        let Some(pos) = grid.position(id) else {
+            // Bucket/position desync: treat the object as
+            // removed rather than killing the search.
+            ops.desyncs += 1;
+            continue;
+        };
         let d = q.dist_sq(pos);
         if best.is_none_or(|b| d < b.dist_sq) && accept(id, pos) {
             *best = Some(Neighbor {
@@ -210,7 +215,12 @@ pub fn k_nearest(
                     continue;
                 }
                 ops.objects_visited += 1;
-                let pos = grid.position(id).expect("cell desync");
+                let Some(pos) = grid.position(id) else {
+                    // Bucket/position desync: treat the object as
+                    // removed rather than killing the search.
+                    ops.desyncs += 1;
+                    continue;
+                };
                 let d = q.dist_sq(pos);
                 if best.len() < k || d < best[best.len() - 1].dist_sq {
                     let at = best.partition_point(|n| n.dist_sq <= d);
@@ -265,7 +275,12 @@ pub fn exists_closer_than(
                     continue;
                 }
                 ops.objects_visited += 1;
-                let pos = grid.position(id).expect("cell desync");
+                let Some(pos) = grid.position(id) else {
+                    // Bucket/position desync: treat the object as
+                    // removed rather than killing the search.
+                    ops.desyncs += 1;
+                    continue;
+                };
                 if center.dist_sq(pos) < dist_sq {
                     return true;
                 }
@@ -315,7 +330,12 @@ pub fn count_closer_than(
                     continue;
                 }
                 ops.objects_visited += 1;
-                let pos = grid.position(id).expect("cell desync");
+                let Some(pos) = grid.position(id) else {
+                    // Bucket/position desync: treat the object as
+                    // removed rather than killing the search.
+                    ops.desyncs += 1;
+                    continue;
+                };
                 if center.dist_sq(pos) < dist_sq {
                     count += 1;
                     if count >= cap {
@@ -400,7 +420,12 @@ impl<'g> NearestIter<'g> {
                         continue;
                     }
                     ops.objects_visited += 1;
-                    let pos = self.grid.position(id).expect("cell desync");
+                    let Some(pos) = self.grid.position(id) else {
+                        // Bucket/position desync: treat the object as
+                        // removed rather than killing the search.
+                        ops.desyncs += 1;
+                        continue;
+                    };
                     self.pending.push(Neighbor {
                         id,
                         pos,
@@ -692,5 +717,26 @@ mod tests {
             &[ObjectId(1)],
             &mut ops
         ));
+    }
+
+    #[test]
+    fn searches_survive_an_injected_desync() {
+        let mut g = grid_with(&[(5.0, 5.0), (4.0, 5.0), (6.0, 5.0), (1.0, 1.0)]);
+        // Corrupt object 1: still listed in its cell bucket, but its
+        // position slot is gone. Every search treats it as removed.
+        assert!(g.debug_force_desync(ObjectId(1)));
+        assert!(!g.debug_force_desync(ObjectId(99)));
+        let q = Point::new(5.0, 5.0);
+        let mut ops = OpCounters::new();
+        let n = nearest(&g, q, Some(ObjectId(0)), &mut ops).unwrap();
+        assert_eq!(n.id, ObjectId(2), "desynced object must not be returned");
+        assert!(ops.desyncs >= 1, "the desync is counted, not fatal");
+        let ks = k_nearest(&g, q, 3, Some(ObjectId(0)), &mut ops);
+        assert_eq!(ks.len(), 2, "only live objects are reported");
+        assert!(!exists_closer_than(&g, q, 0.5, &[ObjectId(0)], &mut ops));
+        assert_eq!(
+            count_closer_than(&g, q, 100.0, usize::MAX, &[ObjectId(0)], &mut ops),
+            2
+        );
     }
 }

@@ -26,7 +26,12 @@ pub fn objects_in_circle(
             ops.cells_visited += 1;
             for &id in grid.objects_in(cell) {
                 ops.objects_visited += 1;
-                let pos = grid.position(id).expect("cell desync");
+                let Some(pos) = grid.position(id) else {
+                    // Bucket/position desync: treat the object as
+                    // removed rather than killing the search.
+                    ops.desyncs += 1;
+                    continue;
+                };
                 if circle.center.dist_sq(pos) <= r_sq {
                     out.push((id, pos));
                 }
@@ -53,7 +58,12 @@ pub fn objects_in_aabb(
             ops.cells_visited += 1;
             for &id in grid.objects_in(cell) {
                 ops.objects_visited += 1;
-                let pos = grid.position(id).expect("cell desync");
+                let Some(pos) = grid.position(id) else {
+                    // Bucket/position desync: treat the object as
+                    // removed rather than killing the search.
+                    ops.desyncs += 1;
+                    continue;
+                };
                 if bounds.contains(pos) {
                     out.push((id, pos));
                 }

@@ -21,6 +21,11 @@ pub struct OpCounters {
     pub cells_visited: u64,
     /// Objects examined (distance computations) by all searches.
     pub objects_visited: u64,
+    /// Cell-desync events survived: a cell bucket listed an object whose
+    /// position slot was empty. The object is treated as removed and the
+    /// search continues instead of panicking; a non-zero count signals an
+    /// index-consistency bug upstream.
+    pub desyncs: u64,
 }
 
 impl OpCounters {
@@ -37,6 +42,7 @@ impl OpCounters {
         self.verifications += other.verifications;
         self.cells_visited += other.cells_visited;
         self.objects_visited += other.objects_visited;
+        self.desyncs += other.desyncs;
     }
 
     /// Reset everything to zero.
@@ -63,11 +69,13 @@ mod tests {
             verifications: 4,
             cells_visited: 10,
             objects_visited: 20,
+            desyncs: 1,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.nn, 2);
         assert_eq!(a.objects_visited, 40);
+        assert_eq!(a.desyncs, 2);
         assert_eq!(a.total_searches(), 20);
         a.reset();
         assert_eq!(a, OpCounters::default());

@@ -77,7 +77,7 @@ fn run_stream(workers: usize, placement: Placement, seed: u64) {
         .map(|(i, &algo)| {
             let obj = ObjectId(i as u32 * 3);
             let qs = serial.add_query(obj, algo);
-            let qe = engine.add_query(obj, algo);
+            let qe = engine.add_query(obj, algo).expect("valid query");
             assert_eq!(qs, qe, "index assignment diverged on add");
             qs
         })
@@ -111,7 +111,7 @@ fn run_stream(workers: usize, placement: Placement, seed: u64) {
             let algo = ALGOS[rng.usize(ALGOS.len())];
             let obj = ObjectId((rng.usize(N_A / 2) * 2) as u32);
             let qs = serial.add_query(obj, algo);
-            let qe = engine.add_query(obj, algo);
+            let qe = engine.add_query(obj, algo).expect("valid query");
             assert_eq!(qs, qe, "index assignment diverged at tick {tick}");
             live.push(qs);
         }
