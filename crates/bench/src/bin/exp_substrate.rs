@@ -35,7 +35,7 @@ fn main() {
         .collect();
     store.load(&init);
     for (i, &p) in init.iter().enumerate() {
-        rtree.insert(ObjectId(i as u32), p);
+        rtree.insert(ObjectId(i as u32), p).unwrap();
     }
     let queries: Vec<ObjectId> = (0..args.queries)
         .map(|i| ObjectId((i * workload.len() / args.queries.max(1)) as u32))
@@ -58,7 +58,7 @@ fn main() {
         grid_maint += t.elapsed();
         let t = Instant::now();
         for u in &ups {
-            rtree.update(ObjectId(u.id), u.pos);
+            rtree.update(ObjectId(u.id), u.pos).unwrap();
         }
         tree_maint += t.elapsed();
 

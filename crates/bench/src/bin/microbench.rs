@@ -262,7 +262,7 @@ fn bench_rtree() {
     let f = fixture(false);
     let mut tree = RTree::new();
     for (id, p) in f.store.all().iter() {
-        tree.insert(id, p);
+        tree.insert(id, p).unwrap();
     }
     let q = f.store.position(f.query).unwrap();
     bench("rtree", "nearest", || {

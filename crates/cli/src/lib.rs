@@ -12,17 +12,19 @@
 //! ```
 
 use std::io::Write;
+use std::time::Duration;
 
-use igern_core::obs::{jsontext, promtext, MetricsRegistry, PipelineMetrics};
-use igern_core::processor::{Algorithm, Processor};
+use igern_core::obs::{jsontext, promtext, MetricsRegistry};
+use igern_core::processor::Algorithm;
 use igern_core::types::ObjectKind;
-use igern_core::{render, History, SpatialStore};
-use igern_engine::{EngineMetrics, Placement, ShardedEngine};
-use igern_geom::Point;
+use igern_core::{render, SpatialStore};
+use igern_engine::{Placement, TickRunner};
+use igern_geom::{Aabb, Point};
 use igern_grid::{Grid, ObjectId, OpCounters};
 use igern_mobgen::{
     build_synthetic_network, Mover, RecordedTrace, SyntheticNetworkConfig, Workload, WorkloadConfig,
 };
+use igern_server::{Server, ServerConfig, SlowConsumerPolicy, TickMode};
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -203,84 +205,33 @@ fn store_for(trace: &RecordedTrace, bi: bool, grid: usize) -> SpatialStore {
     store
 }
 
-/// Either tick backend behind the `run` command: the serial processor
-/// (`--workers 1`, the default) or the sharded engine. Both produce
-/// identical answers; the enum just forwards the shared API.
-enum Runner {
-    Serial(Box<Processor>),
-    Sharded(Box<ShardedEngine>),
+/// Parse `--grid`, rejecting a zero-cell grid.
+fn grid_arg(args: &Args, default: usize) -> Result<usize, CliError> {
+    let grid: usize = args.num("grid", default)?;
+    if grid == 0 {
+        return Err(CliError("--grid must be at least 1".to_string()));
+    }
+    Ok(grid)
 }
 
-impl Runner {
-    fn set_skip_routing(&mut self, on: bool) {
-        match self {
-            Runner::Serial(p) => p.set_skip_routing(on),
-            Runner::Sharded(e) => e.set_skip_routing(on),
-        }
+/// Parse `--k`, rejecting `k == 0` (an RkNN answer of size zero is
+/// meaningless and the engine refuses it).
+fn k_arg(args: &Args) -> Result<usize, CliError> {
+    let k: usize = args.num("k", 2usize)?;
+    if k == 0 {
+        return Err(CliError("--k must be at least 1".to_string()));
     }
+    Ok(k)
+}
 
-    fn set_history_capacity(&mut self, cap: Option<usize>) {
-        match self {
-            Runner::Serial(p) => p.set_history_capacity(cap),
-            Runner::Sharded(e) => e.set_history_capacity(cap),
-        }
-    }
-
-    fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> Result<usize, CliError> {
-        match self {
-            Runner::Serial(p) => Ok(p.add_query(obj, algo)),
-            Runner::Sharded(e) => e.add_query(obj, algo).map_err(|e| CliError(e.to_string())),
-        }
-    }
-
-    /// Register both backends' instruments under the shared
-    /// `igern_pipeline` prefix; the sharded engine additionally emits its
-    /// coordinator/worker series under the same prefix.
-    fn attach_metrics(&mut self, registry: &MetricsRegistry) {
-        match self {
-            Runner::Serial(p) => {
-                p.set_metrics(Some(PipelineMetrics::register(registry, "igern_pipeline")));
-            }
-            Runner::Sharded(e) => {
-                let m = EngineMetrics::register(registry, "igern_pipeline", e.num_workers());
-                e.set_metrics(Some(m));
-            }
-        }
-    }
-
-    fn evaluate_all(&mut self) {
-        match self {
-            Runner::Serial(p) => p.evaluate_all(),
-            Runner::Sharded(e) => e.evaluate_all(),
-        }
-    }
-
-    fn step(&mut self, updates: &[(ObjectId, Point)]) {
-        match self {
-            Runner::Serial(p) => p.step(updates),
-            Runner::Sharded(e) => e.step(updates),
-        }
-    }
-
-    fn answer(&self, i: usize) -> &[ObjectId] {
-        match self {
-            Runner::Serial(p) => p.answer(i),
-            Runner::Sharded(e) => e.answer(i),
-        }
-    }
-
-    fn query_object(&self, i: usize) -> ObjectId {
-        match self {
-            Runner::Serial(p) => p.query_object(i),
-            Runner::Sharded(e) => e.query_object(i),
-        }
-    }
-
-    fn history(&self, i: usize) -> &History {
-        match self {
-            Runner::Serial(p) => p.history(i),
-            Runner::Sharded(e) => e.history(i),
-        }
+fn placement_arg(args: &Args) -> Result<Placement, CliError> {
+    match args.get("placement") {
+        None => Ok(Placement::default()),
+        Some(name) => Placement::parse(name).ok_or_else(|| {
+            CliError(format!(
+                "bad value for --placement: {name:?} (round-robin|anchor-cell)"
+            ))
+        }),
     }
 }
 
@@ -288,23 +239,16 @@ impl Runner {
 /// per-tick answers and summary metrics.
 pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let trace = load_trace(args)?;
-    let algo = algorithm_by_name(args.get("algo").unwrap_or("igern"), args.num("k", 2usize)?)?;
+    let algo = algorithm_by_name(args.get("algo").unwrap_or("igern"), k_arg(args)?)?;
     let nq: usize = args.num("queries", 1usize)?;
     let ticks: usize = args.num("ticks", trace.num_ticks())?;
     let ticks = ticks.min(trace.num_ticks());
-    let grid = args.num("grid", Grid::suggest_size(trace.num_objects()))?;
+    let grid = grid_arg(args, Grid::suggest_size(trace.num_objects()))?;
     let workers: usize = args.num("workers", 1usize)?;
     if workers == 0 {
         return Err(CliError("--workers must be at least 1".to_string()));
     }
-    let placement = match args.get("placement") {
-        None => Placement::default(),
-        Some(name) => Placement::parse(name).ok_or_else(|| {
-            CliError(format!(
-                "bad value for --placement: {name:?} (round-robin|anchor-cell)"
-            ))
-        })?,
-    };
+    let placement = placement_arg(args)?;
     let history_cap = match args.get("history") {
         None => None,
         Some(v) => {
@@ -318,11 +262,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         }
     };
     let store = store_for(&trace, algo.is_bichromatic(), grid);
-    let mut proc = if workers == 1 {
-        Runner::Serial(Box::new(Processor::new(store)))
-    } else {
-        Runner::Sharded(Box::new(ShardedEngine::new(store, workers, placement)))
-    };
+    let mut proc = TickRunner::new(store, workers, placement);
     proc.set_history_capacity(history_cap);
     match args.get("routing").unwrap_or("on") {
         "on" => proc.set_skip_routing(true),
@@ -338,12 +278,15 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
     let registry = MetricsRegistry::new();
     if metrics_out.is_some() {
-        proc.attach_metrics(&registry);
+        proc.attach_metrics(&registry, "igern_pipeline");
     }
     let n = trace.num_objects();
     let candidates = if algo.is_bichromatic() { n / 2 } else { n };
     let handles: Vec<usize> = (0..nq.min(candidates))
-        .map(|i| proc.add_query(ObjectId((i * candidates / nq.max(1)) as u32), algo))
+        .map(|i| {
+            proc.add_query(ObjectId((i * candidates / nq.max(1)) as u32), algo)
+                .map_err(|e| CliError(e.to_string()))
+        })
         .collect::<Result<_, _>>()?;
     proc.evaluate_all();
     let mut player = trace.player();
@@ -388,6 +331,84 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         dump_registry(&registry, path)?;
         writeln!(out, "wrote metrics -> {path}")?;
     }
+    Ok(())
+}
+
+/// `serve`: run the network serving layer until a client sends
+/// SHUTDOWN. The store starts from `--trace` when given, empty
+/// otherwise (clients then populate it with UPSERT_OBJECT).
+pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7464");
+    let workers: usize = args.num("workers", 1usize)?;
+    if workers == 0 {
+        return Err(CliError("--workers must be at least 1".to_string()));
+    }
+    let tick_ms: u64 = args.num("tick-ms", 100u64)?;
+    let grid = grid_arg(args, 16)?;
+    let side: f64 = args.num("space", 1.0f64)?;
+    if !side.is_finite() || side <= 0.0 {
+        return Err(CliError(
+            "--space must be a positive side length".to_string(),
+        ));
+    }
+    let slow_consumer = match args.get("slow-consumer") {
+        None => SlowConsumerPolicy::default(),
+        Some(name) => SlowConsumerPolicy::parse(name).ok_or_else(|| {
+            CliError(format!(
+                "bad value for --slow-consumer: {name:?} (disconnect|coalesce)"
+            ))
+        })?,
+    };
+    let (store, space) = match args.get("trace") {
+        Some(_) => {
+            let trace = load_trace(args)?;
+            let bi = args.get("bi").map(|v| v == "true").unwrap_or(false);
+            let space = trace.space();
+            (store_for(&trace, bi, grid), space)
+        }
+        None => {
+            let space = Aabb::from_coords(0.0, 0.0, side, side);
+            (SpatialStore::new(space, grid, Vec::new()), space)
+        }
+    };
+    let cfg = ServerConfig {
+        space,
+        grid,
+        workers,
+        placement: placement_arg(args)?,
+        tick_mode: if tick_ms == 0 {
+            TickMode::Manual
+        } else {
+            TickMode::Every(Duration::from_millis(tick_ms))
+        },
+        slow_consumer,
+        outbound_queue_frames: args.num("queue", 1024usize)?,
+        ..ServerConfig::default()
+    };
+    let mut server =
+        Server::start(addr, store, cfg).map_err(|e| CliError(format!("bind {addr}: {e}")))?;
+    writeln!(
+        out,
+        "serving on {} ({} workers, tick {}, {} policy)",
+        server.local_addr(),
+        workers,
+        if tick_ms == 0 {
+            "manual".to_string()
+        } else {
+            format!("{tick_ms}ms")
+        },
+        match slow_consumer {
+            SlowConsumerPolicy::Disconnect => "disconnect",
+            SlowConsumerPolicy::Coalesce => "coalesce",
+        },
+    )?;
+    out.flush()?;
+    server.wait();
+    if let Some(path) = args.get("metrics-out") {
+        dump_registry(server.registry(), path)?;
+        writeln!(out, "wrote metrics -> {path}")?;
+    }
+    writeln!(out, "server stopped")?;
     Ok(())
 }
 
@@ -568,7 +589,7 @@ pub fn render_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
     let ticks: usize = args.num("ticks", 3usize)?;
     let ticks = ticks.min(trace.num_ticks());
-    let grid_n = args.num("grid", 16usize)?;
+    let grid_n = grid_arg(args, 16)?;
     let mut g = Grid::new(trace.space(), grid_n);
     for (i, &p) in trace.initial().iter().enumerate() {
         g.insert(ObjectId(i as u32), p);
@@ -604,10 +625,11 @@ pub fn dispatch<W: Write>(cmd: &str, args: &Args, out: &mut W) -> Result<(), Cli
         "gen-network" => gen_network(args, out),
         "gen-trace" => gen_trace(args, out),
         "run" => run(args, out),
+        "serve" => serve(args, out),
         "render" => render_cmd(args, out),
         "stats" => stats_cmd(args, out),
         other => Err(CliError(format!(
-            "unknown command {other:?} (gen-network|gen-trace|run|render|stats)"
+            "unknown command {other:?} (gen-network|gen-trace|run|serve|render|stats)"
         ))),
     }
 }
@@ -625,6 +647,9 @@ COMMANDS:
                [--queries N] [--ticks N] [--grid N] [--k N] [--routing on|off]
                [--workers N] [--placement round-robin|anchor-cell] [--history N]
                [--metrics-out FILE] [--metrics-every N]
+  serve        [--addr HOST:PORT] [--workers N] [--tick-ms N] [--grid N]
+               [--space SIDE] [--trace FILE] [--slow-consumer disconnect|coalesce]
+               [--queue N] [--placement round-robin|anchor-cell] [--metrics-out FILE]
   render       --trace FILE [--query N] [--ticks N] [--grid N]
   stats        --metrics FILE
 
@@ -635,6 +660,12 @@ caps per-query sample retention (summaries still cover every tick).
 (Prometheus text, or JSON when FILE ends in .json) at the end of the run
 and — with `--metrics-every N` — every N ticks along the way. `stats`
 validates such a dump and renders it as a table.
+
+`serve` exposes the pipeline over TCP: clients stream object upserts,
+subscribe continuous queries, and receive per-tick answer deltas (see
+DESIGN.md §12 for the wire protocol). `--tick-ms 0` ticks only on
+client STEP frames; the default is a 100ms timer. The server runs until
+a client sends SHUTDOWN, then dumps metrics to `--metrics-out`.
 ";
 
 #[cfg(test)]
@@ -1019,5 +1050,117 @@ mod tests {
     fn dispatch_rejects_unknown() {
         let a = Args::default();
         assert!(dispatch("nope", &a, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn grid_and_k_zero_are_rejected() {
+        let dir = std::env::temp_dir().join("igern_cli_validate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        let a = args(&[
+            "--objects",
+            "20",
+            "--ticks",
+            "2",
+            "--seed",
+            "1",
+            "--out",
+            trace_path,
+        ]);
+        gen_trace(&a, &mut Vec::new()).unwrap();
+        for extra in [&["--grid", "0"][..], &["--k", "0"][..]] {
+            let mut list = vec!["--trace", trace_path];
+            list.extend_from_slice(extra);
+            let err = run(&args(&list), &mut Vec::new()).unwrap_err();
+            assert!(err.to_string().contains("at least 1"), "{err}");
+        }
+        let a = args(&["--trace", trace_path, "--grid", "0"]);
+        assert!(render_cmd(&a, &mut Vec::new()).is_err());
+        let a = args(&["--grid", "0"]);
+        assert!(serve(&a, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        for bad in [
+            &["--workers", "0"][..],
+            &["--space", "-3"][..],
+            &["--space", "nan"][..],
+            &["--slow-consumer", "shrug"][..],
+            &["--placement", "zigzag"][..],
+        ] {
+            let err = serve(&args(bad), &mut Vec::new()).unwrap_err();
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn serve_round_trips_a_client_session() {
+        use igern_core::processor::Algorithm;
+        use igern_server::Client;
+
+        // Pick a free port, then serve on it from a thread. (The serve
+        // API blocks until a client SHUTDOWN, as the binary does.)
+        let port = {
+            let probe = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let dir = std::env::temp_dir().join("igern_cli_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics_path = dir.join("serve.prom");
+        let metrics_path = metrics_path.to_str().unwrap().to_string();
+        let addr = format!("127.0.0.1:{port}");
+        let handle = {
+            let addr = addr.clone();
+            let metrics_path = metrics_path.clone();
+            std::thread::spawn(move || {
+                let a = args(&[
+                    "--addr",
+                    &addr,
+                    "--tick-ms",
+                    "0",
+                    "--space",
+                    "10",
+                    "--metrics-out",
+                    &metrics_path,
+                ]);
+                let mut buf = Vec::new();
+                serve(&a, &mut buf).unwrap();
+                String::from_utf8(buf).unwrap()
+            })
+        };
+        // The listener may not be up yet; retry the connect briefly.
+        let mut client = None;
+        for _ in 0..100 {
+            match Client::connect(&*addr) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        }
+        let mut client = client.expect("server never came up");
+        client.upsert(0, ObjectKind::A, 1.0, 1.0).unwrap();
+        client.upsert(1, ObjectKind::A, 2.0, 2.0).unwrap();
+        client.upsert(2, ObjectKind::A, 8.0, 8.0).unwrap();
+        let sid = client.subscribe(0, Algorithm::IgernMono).unwrap();
+        client.step().unwrap();
+        client
+            .wait_tick_end(1, std::time::Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(client.answer(sid), vec![1]);
+        client.shutdown_server().unwrap();
+        let out = handle.join().expect("serve thread");
+        assert!(out.contains("serving on"), "{out}");
+        assert!(out.contains("server stopped"), "{out}");
+        // The metrics dump validates through `stats`.
+        let a = args(&["--metrics", &metrics_path]);
+        let mut buf = Vec::new();
+        stats_cmd(&a, &mut buf).unwrap();
+        let table = String::from_utf8(buf).unwrap();
+        assert!(table.contains("igern_server_connections_total"), "{table}");
+        assert!(table.contains("series ok"), "{table}");
     }
 }

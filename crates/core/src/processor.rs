@@ -234,6 +234,19 @@ impl Processor {
         self.store.remove(id)
     }
 
+    /// Apply a single position update without ticking. The touched cells
+    /// stay in the store's dirty journal until the next
+    /// [`Processor::step`] / [`Processor::evaluate_all`] closes the
+    /// round, so skip routing remains sound: streaming ingesters (the
+    /// network server) apply updates one by one as they arrive and then
+    /// call `step(&[])` to evaluate the accumulated batch.
+    pub fn apply_update(&mut self, id: ObjectId, pos: Point) {
+        self.store.apply(id, pos);
+        if let Some(m) = &self.metrics {
+            m.updates_total.inc();
+        }
+    }
+
     /// Apply one tick of updates and re-evaluate every query, skipping
     /// those whose watched cells saw no update (when routing is on).
     pub fn step(&mut self, updates: &[(ObjectId, Point)]) {

@@ -55,9 +55,11 @@ use igern_geom::Point;
 use igern_grid::ObjectId;
 
 pub mod placement;
+pub mod runner;
 mod worker;
 
 pub use placement::Placement;
+pub use runner::TickRunner;
 
 use worker::{ShardReport, TickJob, ToWorker};
 
@@ -80,6 +82,8 @@ pub enum EngineError {
     UnknownObject(ObjectId),
     /// A bichromatic algorithm was requested for a non-A anchor.
     NotKindA(ObjectId),
+    /// A k-variant algorithm was requested with `k == 0`.
+    ZeroK,
 }
 
 impl fmt::Display for EngineError {
@@ -91,6 +95,7 @@ impl fmt::Display for EngineError {
             EngineError::NotKindA(id) => {
                 write!(f, "bichromatic query object {id} must be of kind A")
             }
+            EngineError::ZeroK => write!(f, "k must be positive"),
         }
     }
 }
@@ -323,10 +328,8 @@ impl ShardedEngine {
     /// # Errors
     /// [`EngineError::UnknownObject`] when `obj` is not in the store;
     /// [`EngineError::NotKindA`] when a bichromatic algorithm is
-    /// requested for a non-A object.
-    ///
-    /// # Panics
-    /// Panics when a k-variant algorithm is given `k == 0`.
+    /// requested for a non-A object; [`EngineError::ZeroK`] when a
+    /// k-variant algorithm is given `k == 0`.
     pub fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> Result<usize, EngineError> {
         if self.store.position(obj).is_none() {
             return Err(EngineError::UnknownObject(obj));
@@ -334,8 +337,8 @@ impl ShardedEngine {
         if algo.is_bichromatic() && self.store.kind(obj) != ObjectKind::A {
             return Err(EngineError::NotKindA(obj));
         }
-        if let Algorithm::IgernMonoK(k) | Algorithm::IgernBiK(k) | Algorithm::Knn(k) = algo {
-            assert!(k >= 1, "k must be positive");
+        if let Algorithm::IgernMonoK(0) | Algorithm::IgernBiK(0) | Algorithm::Knn(0) = algo {
+            return Err(EngineError::ZeroK);
         }
         self.add_query_with(obj, algo.make_monitor(Some(obj)))
     }
@@ -404,6 +407,19 @@ impl ShardedEngine {
     /// Insert a new moving object into the store at runtime.
     pub fn insert_object(&mut self, id: ObjectId, kind: ObjectKind, pos: Point) {
         self.store_mut().insert(id, kind, pos);
+    }
+
+    /// Apply a single position update without ticking (streaming
+    /// ingestion). Touched cells stay in the dirty journal until the
+    /// next [`ShardedEngine::step`] closes the round, so skip routing
+    /// stays sound — the serial processor's
+    /// [`apply_update`](igern_core::processor::Processor::apply_update)
+    /// contract, mirrored here.
+    pub fn apply_update(&mut self, id: ObjectId, pos: Point) {
+        self.store_mut().apply(id, pos);
+        if let Some(m) = &self.metrics {
+            m.pipeline.updates_total.inc();
+        }
     }
 
     /// Remove a moving object from the store at runtime.

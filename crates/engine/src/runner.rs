@@ -1,0 +1,275 @@
+//! [`TickRunner`] — one tick backend behind a worker-count switch.
+//!
+//! The CLI's `run` command and the network server both need "a thing
+//! that ticks": the serial [`Processor`] when one worker suffices, the
+//! sharded [`ShardedEngine`] otherwise. Both produce bit-identical
+//! answers; this enum forwards the shared API so drivers are written
+//! once. Unlike the raw serial processor, every registration error is
+//! reported as an [`EngineError`] value (the serial variant pre-checks
+//! the conditions the processor would assert on), so long-running
+//! drivers never unwind on bad input.
+//!
+//! [`Processor`]: igern_core::processor::Processor
+
+use igern_core::history::History;
+use igern_core::obs::{MetricsRegistry, PipelineMetrics};
+use igern_core::processor::{Algorithm, Processor};
+use igern_core::{ObjectKind, SpatialStore};
+use igern_geom::Point;
+use igern_grid::ObjectId;
+
+use crate::{EngineError, EngineMetrics, Placement, ShardedEngine};
+
+/// Either tick backend: the serial processor (`workers == 1`) or the
+/// sharded engine. Answers are identical across the two.
+pub enum TickRunner {
+    /// The serial [`Processor`].
+    Serial(Box<Processor>),
+    /// The sharded multi-worker engine.
+    Sharded(Box<ShardedEngine>),
+}
+
+impl TickRunner {
+    /// Build a runner over a loaded store: serial for `workers == 1`,
+    /// sharded otherwise.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0`.
+    pub fn new(store: SpatialStore, workers: usize, placement: Placement) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        if workers == 1 {
+            TickRunner::Serial(Box::new(Processor::new(store)))
+        } else {
+            TickRunner::Sharded(Box::new(ShardedEngine::new(store, workers, placement)))
+        }
+    }
+
+    /// Number of evaluation workers (1 for the serial backend).
+    pub fn num_workers(&self) -> usize {
+        match self {
+            TickRunner::Serial(_) => 1,
+            TickRunner::Sharded(e) => e.num_workers(),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &SpatialStore {
+        match self {
+            TickRunner::Serial(p) => p.store(),
+            TickRunner::Sharded(e) => e.store(),
+        }
+    }
+
+    /// Enable or disable dirty-region skip routing.
+    pub fn set_skip_routing(&mut self, on: bool) {
+        match self {
+            TickRunner::Serial(p) => p.set_skip_routing(on),
+            TickRunner::Sharded(e) => e.set_skip_routing(on),
+        }
+    }
+
+    /// Cap the history of subsequently added queries (`None` =
+    /// unbounded).
+    pub fn set_history_capacity(&mut self, cap: Option<usize>) {
+        match self {
+            TickRunner::Serial(p) => p.set_history_capacity(cap),
+            TickRunner::Sharded(e) => e.set_history_capacity(cap),
+        }
+    }
+
+    /// Register both backends' instruments under `prefix`; the sharded
+    /// engine additionally emits its coordinator/worker series there.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry, prefix: &str) {
+        match self {
+            TickRunner::Serial(p) => {
+                p.set_metrics(Some(PipelineMetrics::register(registry, prefix)));
+            }
+            TickRunner::Sharded(e) => {
+                let m = EngineMetrics::register(registry, prefix, e.num_workers());
+                e.set_metrics(Some(m));
+            }
+        }
+    }
+
+    /// Register a continuous query anchored at `obj`; returns its index
+    /// (tombstoned slots are reused first, identically on both
+    /// backends).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`], [`EngineError::NotKindA`], or
+    /// [`EngineError::ZeroK`] — on both backends (the serial variant
+    /// pre-validates instead of asserting).
+    pub fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> Result<usize, EngineError> {
+        match self {
+            TickRunner::Serial(p) => {
+                if p.store().position(obj).is_none() {
+                    return Err(EngineError::UnknownObject(obj));
+                }
+                if algo.is_bichromatic() && p.store().kind(obj) != ObjectKind::A {
+                    return Err(EngineError::NotKindA(obj));
+                }
+                if let Algorithm::IgernMonoK(0) | Algorithm::IgernBiK(0) | Algorithm::Knn(0) = algo
+                {
+                    return Err(EngineError::ZeroK);
+                }
+                Ok(p.add_query(obj, algo))
+            }
+            TickRunner::Sharded(e) => e.add_query(obj, algo),
+        }
+    }
+
+    /// Drop a registered query; its index becomes reusable.
+    ///
+    /// # Panics
+    /// Panics when the query was already removed.
+    pub fn remove_query(&mut self, i: usize) {
+        match self {
+            TickRunner::Serial(p) => p.remove_query(i),
+            TickRunner::Sharded(e) => e.remove_query(i),
+        }
+    }
+
+    /// Insert a new moving object into the store at runtime.
+    pub fn insert_object(&mut self, id: ObjectId, kind: ObjectKind, pos: Point) {
+        match self {
+            TickRunner::Serial(p) => p.insert_object(id, kind, pos),
+            TickRunner::Sharded(e) => e.insert_object(id, kind, pos),
+        }
+    }
+
+    /// Remove a moving object from the store at runtime.
+    ///
+    /// # Panics
+    /// Panics if a live query is anchored at the object — callers that
+    /// take ids from untrusted input must check first.
+    pub fn remove_object(&mut self, id: ObjectId) -> Option<Point> {
+        match self {
+            TickRunner::Serial(p) => p.remove_object(id),
+            TickRunner::Sharded(e) => e.remove_object(id),
+        }
+    }
+
+    /// Apply a single position update without ticking (streaming
+    /// ingestion); the dirty journal carries it into the next `step`.
+    pub fn apply_update(&mut self, id: ObjectId, pos: Point) {
+        match self {
+            TickRunner::Serial(p) => p.apply_update(id, pos),
+            TickRunner::Sharded(e) => e.apply_update(id, pos),
+        }
+    }
+
+    /// Evaluate every query without applying updates or routing.
+    pub fn evaluate_all(&mut self) {
+        match self {
+            TickRunner::Serial(p) => p.evaluate_all(),
+            TickRunner::Sharded(e) => e.evaluate_all(),
+        }
+    }
+
+    /// Apply one tick of updates and re-evaluate.
+    pub fn step(&mut self, updates: &[(ObjectId, Point)]) {
+        match self {
+            TickRunner::Serial(p) => p.step(updates),
+            TickRunner::Sharded(e) => e.step(updates),
+        }
+    }
+
+    /// Latest answer of query `i`, sorted by object id.
+    ///
+    /// # Panics
+    /// Panics when the query was removed.
+    pub fn answer(&self, i: usize) -> &[ObjectId] {
+        match self {
+            TickRunner::Serial(p) => p.answer(i),
+            TickRunner::Sharded(e) => e.answer(i),
+        }
+    }
+
+    /// The query object of query `i`.
+    pub fn query_object(&self, i: usize) -> ObjectId {
+        match self {
+            TickRunner::Serial(p) => p.query_object(i),
+            TickRunner::Sharded(e) => e.query_object(i),
+        }
+    }
+
+    /// Per-tick history of query `i`.
+    pub fn history(&self, i: usize) -> &History {
+        match self {
+            TickRunner::Serial(p) => p.history(i),
+            TickRunner::Sharded(e) => e.history(i),
+        }
+    }
+
+    /// Current tick count.
+    pub fn tick(&self) -> u64 {
+        match self {
+            TickRunner::Serial(p) => p.tick(),
+            TickRunner::Sharded(e) => e.tick(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igern_geom::Aabb;
+
+    fn store() -> SpatialStore {
+        let pts: Vec<Point> = (0..12)
+            .map(|i| Point::new((i * 7 % 12) as f64 / 1.2, (i * 5 % 12) as f64 / 1.2))
+            .collect();
+        let mut kinds = vec![ObjectKind::A; 8];
+        kinds.extend(vec![ObjectKind::B; 4]);
+        let mut s = SpatialStore::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 8, kinds);
+        s.load(&pts);
+        s
+    }
+
+    #[test]
+    fn serial_and_sharded_runners_agree() {
+        let mut serial = TickRunner::new(store(), 1, Placement::RoundRobin);
+        let mut sharded = TickRunner::new(store(), 3, Placement::RoundRobin);
+        assert_eq!(serial.num_workers(), 1);
+        assert_eq!(sharded.num_workers(), 3);
+        for r in [&mut serial, &mut sharded] {
+            r.set_history_capacity(Some(4));
+            let q = r.add_query(ObjectId(0), Algorithm::IgernMono).unwrap();
+            r.add_query(ObjectId(1), Algorithm::Knn(2)).unwrap();
+            r.evaluate_all();
+            r.apply_update(ObjectId(5), Point::new(0.4, 0.4));
+            r.step(&[]);
+            assert_eq!(r.query_object(q), ObjectId(0));
+            assert_eq!(r.tick(), 1);
+            assert_eq!(r.history(q).len(), 2);
+        }
+        for q in 0..2 {
+            assert_eq!(serial.answer(q), sharded.answer(q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn serial_runner_reports_errors_instead_of_panicking() {
+        let mut r = TickRunner::new(store(), 1, Placement::RoundRobin);
+        assert_eq!(
+            r.add_query(ObjectId(99), Algorithm::IgernMono),
+            Err(EngineError::UnknownObject(ObjectId(99)))
+        );
+        assert_eq!(
+            r.add_query(ObjectId(9), Algorithm::IgernBi),
+            Err(EngineError::NotKindA(ObjectId(9)))
+        );
+        assert_eq!(
+            r.add_query(ObjectId(0), Algorithm::Knn(0)),
+            Err(EngineError::ZeroK)
+        );
+        // Dynamic population flows through the shared surface.
+        r.insert_object(ObjectId(50), ObjectKind::A, Point::new(5.0, 5.0));
+        let q = r.add_query(ObjectId(50), Algorithm::IgernMono).unwrap();
+        r.step(&[]);
+        let _ = r.answer(q);
+        assert!(r.store().position(ObjectId(50)).is_some());
+        r.remove_query(q);
+        assert_eq!(r.remove_object(ObjectId(50)), Some(Point::new(5.0, 5.0)));
+    }
+}

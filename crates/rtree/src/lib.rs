@@ -20,12 +20,13 @@
 //!
 //! let mut tree = RTree::new();
 //! for i in 0..100u32 {
-//!     tree.insert(ObjectId(i), Point::new(i as f64, (i * 7 % 100) as f64));
+//!     tree.insert(ObjectId(i), Point::new(i as f64, (i * 7 % 100) as f64))?;
 //! }
-//! tree.update(ObjectId(3), Point::new(50.5, 50.5));
+//! tree.update(ObjectId(3), Point::new(50.5, 50.5))?;
 //! let mut ops = OpCounters::new();
 //! let n = nearest(&tree, Point::new(50.4, 50.4), None, &mut ops).unwrap();
 //! assert_eq!(n.id, ObjectId(3));
+//! # Ok::<(), igern_rtree::RTreeError>(())
 //! ```
 
 pub mod query;
@@ -34,4 +35,4 @@ pub mod tree;
 
 pub use query::{exists_closer_than, k_nearest, nearest, objects_in_circle};
 pub use tpl::tpl_snapshot_rtree;
-pub use tree::RTree;
+pub use tree::{RTree, RTreeError};

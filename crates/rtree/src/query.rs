@@ -183,7 +183,7 @@ mod tests {
     fn tree_with(points: &[(f64, f64)]) -> RTree {
         let mut t = RTree::new();
         for (i, &(x, y)) in points.iter().enumerate() {
-            t.insert(ObjectId(i as u32), Point::new(x, y));
+            t.insert(ObjectId(i as u32), Point::new(x, y)).unwrap();
         }
         t
     }
@@ -290,12 +290,12 @@ mod tests {
         let mut t = RTree::new();
         let pts = scatter(200, 3);
         for (i, &(x, y)) in pts.iter().enumerate() {
-            t.insert(ObjectId(i as u32), Point::new(x, y));
+            t.insert(ObjectId(i as u32), Point::new(x, y)).unwrap();
         }
         // Move half the points, remove a quarter.
         for i in (0..200u32).step_by(2) {
             let (x, y) = pts[(i as usize + 100) % 200];
-            t.update(ObjectId(i), Point::new(x, y));
+            t.update(ObjectId(i), Point::new(x, y)).unwrap();
         }
         for i in (0..200u32).step_by(4) {
             t.remove(ObjectId(i));

@@ -139,7 +139,7 @@ mod tests {
     fn tree_with(points: &[(f64, f64)]) -> RTree {
         let mut t = RTree::new();
         for (i, &(x, y)) in points.iter().enumerate() {
-            t.insert(ObjectId(i as u32), Point::new(x, y));
+            t.insert(ObjectId(i as u32), Point::new(x, y)).unwrap();
         }
         t
     }

@@ -9,6 +9,26 @@ pub(crate) const MAX_ENTRIES: usize = 16;
 /// Minimum entries per node (underflow threshold), ⌈M·0.4⌉.
 pub(crate) const MIN_ENTRIES: usize = 6;
 
+/// Rejected [`RTree`] mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RTreeError {
+    /// [`RTree::insert`] was given an id that is already stored.
+    DuplicateObject(ObjectId),
+    /// [`RTree::update`] was given an id that is not stored.
+    UnknownObject(ObjectId),
+}
+
+impl std::fmt::Display for RTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RTreeError::DuplicateObject(id) => write!(f, "object {id} already in tree"),
+            RTreeError::UnknownObject(id) => write!(f, "object {id} not in tree"),
+        }
+    }
+}
+
+impl std::error::Error for RTreeError {}
+
 /// A leaf data entry.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct Entry {
@@ -139,24 +159,21 @@ impl RTree {
         self.positions.get(id.index()).and_then(|p| *p)
     }
 
-    /// Insert a new point.
-    ///
-    /// # Panics
-    /// Panics when `id` is already stored.
-    pub fn insert(&mut self, id: ObjectId, pos: Point) {
+    /// Insert a new point; rejects an `id` that is already stored.
+    pub fn insert(&mut self, id: ObjectId, pos: Point) -> Result<(), RTreeError> {
         if self.positions.len() <= id.index() {
             self.positions.resize(id.index() + 1, None);
         }
-        assert!(
-            self.positions[id.index()].is_none(),
-            "object {id} already in tree"
-        );
+        if self.positions[id.index()].is_some() {
+            return Err(RTreeError::DuplicateObject(id));
+        }
         self.positions[id.index()] = Some(pos);
         self.len += 1;
         if let Some((a, b)) = insert_rec(&mut self.root, Entry { id, pos }) {
             // Root split: grow the tree by one level.
             self.root = Node::Internal(vec![a, b]);
         }
+        Ok(())
     }
 
     /// Remove a point, returning its last position.
@@ -188,14 +205,12 @@ impl RTree {
         Some(pos)
     }
 
-    /// Move a point (delete + insert).
-    ///
-    /// # Panics
-    /// Panics when `id` is not stored.
-    pub fn update(&mut self, id: ObjectId, pos: Point) {
-        self.remove(id)
-            .unwrap_or_else(|| panic!("object {id} not in tree"));
-        self.insert(id, pos);
+    /// Move a point (delete + insert); rejects an `id` that is not
+    /// stored.
+    pub fn update(&mut self, id: ObjectId, pos: Point) -> Result<(), RTreeError> {
+        self.remove(id).ok_or(RTreeError::UnknownObject(id))?;
+        // The slot was just vacated, so the re-insert cannot collide.
+        self.insert(id, pos)
     }
 
     /// Iterate over all `(id, position)` pairs.
@@ -431,7 +446,7 @@ mod tests {
     fn insert_lookup_len() {
         let mut t = RTree::new();
         for i in 0..100u32 {
-            t.insert(ObjectId(i), pt(i as u64));
+            t.insert(ObjectId(i), pt(i as u64)).unwrap();
         }
         assert_eq!(t.len(), 100);
         assert_eq!(t.position(ObjectId(7)), Some(pt(7)));
@@ -443,7 +458,7 @@ mod tests {
     fn split_produces_balanced_tree() {
         let mut t = RTree::new();
         for i in 0..500u32 {
-            t.insert(ObjectId(i), pt(i as u64));
+            t.insert(ObjectId(i), pt(i as u64)).unwrap();
         }
         let height = t.check_invariants();
         assert!(height >= 2, "500 points must split the root");
@@ -454,7 +469,7 @@ mod tests {
     fn remove_roundtrip() {
         let mut t = RTree::new();
         for i in 0..200u32 {
-            t.insert(ObjectId(i), pt(i as u64));
+            t.insert(ObjectId(i), pt(i as u64)).unwrap();
         }
         for i in (0..200u32).step_by(2) {
             assert_eq!(t.remove(ObjectId(i)), Some(pt(i as u64)));
@@ -472,7 +487,7 @@ mod tests {
     fn remove_everything_leaves_empty_tree() {
         let mut t = RTree::new();
         for i in 0..150u32 {
-            t.insert(ObjectId(i), pt(i as u64));
+            t.insert(ObjectId(i), pt(i as u64)).unwrap();
         }
         for i in 0..150u32 {
             assert!(t.remove(ObjectId(i)).is_some(), "remove {i}");
@@ -486,27 +501,43 @@ mod tests {
     fn update_moves_points() {
         let mut t = RTree::new();
         for i in 0..64u32 {
-            t.insert(ObjectId(i), pt(i as u64));
+            t.insert(ObjectId(i), pt(i as u64)).unwrap();
         }
-        t.update(ObjectId(5), Point::new(999.0, 999.0));
+        t.update(ObjectId(5), Point::new(999.0, 999.0)).unwrap();
         assert_eq!(t.position(ObjectId(5)), Some(Point::new(999.0, 999.0)));
         assert_eq!(t.len(), 64);
         t.check_invariants();
     }
 
     #[test]
-    #[should_panic(expected = "already in tree")]
-    fn double_insert_panics() {
+    fn double_insert_is_rejected() {
         let mut t = RTree::new();
-        t.insert(ObjectId(0), Point::new(1.0, 1.0));
-        t.insert(ObjectId(0), Point::new(2.0, 2.0));
+        t.insert(ObjectId(0), Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(
+            t.insert(ObjectId(0), Point::new(2.0, 2.0)),
+            Err(RTreeError::DuplicateObject(ObjectId(0)))
+        );
+        // The rejected insert left the tree untouched.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.position(ObjectId(0)), Some(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn update_of_missing_object_is_rejected() {
+        let mut t = RTree::new();
+        t.insert(ObjectId(0), Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(
+            t.update(ObjectId(9), Point::new(2.0, 2.0)),
+            Err(RTreeError::UnknownObject(ObjectId(9)))
+        );
+        assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn duplicate_positions_are_fine() {
         let mut t = RTree::new();
         for i in 0..40u32 {
-            t.insert(ObjectId(i), Point::new(5.0, 5.0));
+            t.insert(ObjectId(i), Point::new(5.0, 5.0)).unwrap();
         }
         assert_eq!(t.len(), 40);
         t.check_invariants();
@@ -531,7 +562,7 @@ mod tests {
             if coin != 0 || live.is_empty() {
                 let id = ObjectId(next_id);
                 next_id += 1;
-                t.insert(id, pt(rnd()));
+                t.insert(id, pt(rnd())).unwrap();
                 live.push(id);
             } else {
                 let at = (rnd() as usize) % live.len();

@@ -1,0 +1,347 @@
+//! Per-connection state: the bounded outbound queue and the reader /
+//! writer thread loops.
+//!
+//! Each accepted socket gets two threads. The **reader** owns the
+//! receive side: it enforces the `HELLO` handshake, answers `PING`
+//! inline, forwards every mutating command — in arrival order — into
+//! the server's one bounded ingest queue (a blocking send, which is the
+//! backpressure path), and turns protocol violations into one `ERROR`
+//! frame plus a connection close, never a panic. The **writer** drains
+//! the connection's outbound queue to the socket under a write timeout.
+//!
+//! The outbound queue is a `Mutex<VecDeque<Frame>>` (not a channel)
+//! because the slow-consumer *coalesce* policy needs to drop queued
+//! tick traffic in place while keeping acks and errors.
+
+use std::collections::VecDeque;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::proto::{ErrorCode, Frame, FrameError, FrameReader, ReadOutcome, PROTOCOL_VERSION};
+use crate::{Ingest, ServerConfig, ServerMetrics, SlowConsumerPolicy};
+
+/// Result of pushing a tick batch into the outbound queue.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushOutcome {
+    /// The batch is queued.
+    Delivered,
+    /// Coalesce policy fired: queued tick traffic was dropped and the
+    /// batch was NOT queued — re-push full snapshots with
+    /// [`Connection::push_forced`].
+    NeedSnapshot,
+    /// The connection is dead (or the disconnect policy just killed it).
+    Dead,
+}
+
+/// Shared per-connection state (reader, writer, and tick thread all
+/// hold an `Arc`).
+pub(crate) struct Connection {
+    pub id: u64,
+    stream: TcpStream,
+    queue: Mutex<VecDeque<Frame>>,
+    wake: Condvar,
+    /// Hard-dead: no more frames in or out; sockets are shut down.
+    dead: AtomicBool,
+    /// Graceful close: writer flushes the queue, then exits.
+    closing: AtomicBool,
+}
+
+impl Connection {
+    pub fn new(id: u64, stream: TcpStream) -> Self {
+        Connection {
+            id,
+            stream,
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            dead: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+        }
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Kill the connection now: both socket directions are shut down so
+    /// the reader unblocks, and the writer discards whatever is queued.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.wake.notify_all();
+    }
+
+    /// Graceful close: the writer flushes queued frames first.
+    pub fn close_after_flush(&self) {
+        self.closing.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+
+    /// Queue a control frame (ack, error, pong) — never dropped by
+    /// coalescing. Control traffic is bounded by the peer's own request
+    /// rate (one reply per request, and requests flow through the
+    /// bounded ingest queue), but a hard cap guards a peer that floods
+    /// requests while never reading replies: past `4 × cap` the
+    /// connection is killed regardless of policy.
+    pub fn push_control(&self, frame: Frame, cap: usize, metrics: &ServerMetrics) {
+        let mut q = self.queue.lock().unwrap();
+        if self.is_dead() {
+            return;
+        }
+        if q.len() >= cap.saturating_mul(4) {
+            drop(q);
+            metrics.slow_consumer_total.inc();
+            self.kill();
+            return;
+        }
+        q.push_back(frame);
+        drop(q);
+        self.wake.notify_one();
+    }
+
+    /// Queue one tick's push batch, applying the slow-consumer policy
+    /// on overflow.
+    pub fn push_tick_batch(
+        &self,
+        batch: Vec<Frame>,
+        cap: usize,
+        policy: SlowConsumerPolicy,
+        metrics: &ServerMetrics,
+    ) -> PushOutcome {
+        let mut q = self.queue.lock().unwrap();
+        if self.is_dead() {
+            return PushOutcome::Dead;
+        }
+        if q.len() + batch.len() > cap {
+            metrics.slow_consumer_total.inc();
+            match policy {
+                SlowConsumerPolicy::Disconnect => {
+                    drop(q);
+                    self.kill();
+                    return PushOutcome::Dead;
+                }
+                SlowConsumerPolicy::Coalesce => {
+                    // Shed every queued tick frame (stale deltas and
+                    // end markers); acks/errors/pongs survive. The
+                    // caller re-sends the current tick as snapshots.
+                    q.retain(|f| !f.is_tick_traffic());
+                    return PushOutcome::NeedSnapshot;
+                }
+            }
+        }
+        q.extend(batch);
+        drop(q);
+        self.wake.notify_one();
+        PushOutcome::Delivered
+    }
+
+    /// Queue a snapshot batch after a coalesce, bypassing the cap (the
+    /// queue holds no tick traffic at this point, so the overshoot is
+    /// bounded by one tick's worth of frames — documented soft cap).
+    pub fn push_forced(&self, batch: Vec<Frame>) -> PushOutcome {
+        let mut q = self.queue.lock().unwrap();
+        if self.is_dead() {
+            return PushOutcome::Dead;
+        }
+        q.extend(batch);
+        drop(q);
+        self.wake.notify_one();
+        PushOutcome::Delivered
+    }
+
+    /// Writer thread body: drain the queue to the socket.
+    pub fn writer_loop(self: &Arc<Self>, metrics: &ServerMetrics) {
+        loop {
+            let frame = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if self.is_dead() {
+                        return;
+                    }
+                    if let Some(f) = q.pop_front() {
+                        break f;
+                    }
+                    if self.closing.load(Ordering::Acquire) {
+                        // Flushed everything; hand the socket back.
+                        let _ = self.stream.shutdown(Shutdown::Write);
+                        return;
+                    }
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .unwrap();
+                    q = guard;
+                }
+            };
+            let wire = frame.encode();
+            if std::io::Write::write_all(&mut (&self.stream), &wire).is_err() {
+                // Write timeout or broken pipe: the consumer is gone
+                // (or too slow to keep the socket open) — kill.
+                metrics.slow_consumer_total.inc();
+                self.kill();
+                return;
+            }
+            metrics.frame_out(frame.type_name());
+        }
+    }
+}
+
+/// Reader thread body. Owns the receive half until the peer disconnects
+/// or violates the protocol; always announces the close to the tick
+/// thread with [`Ingest::Closed`] exactly once.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reader_loop(
+    conn: Arc<Connection>,
+    stream: TcpStream,
+    ingest: SyncSender<Ingest>,
+    next_sid: Arc<AtomicU32>,
+    shutdown: Arc<AtomicBool>,
+    cfg: &ServerConfig,
+    metrics: &ServerMetrics,
+) {
+    let mut reader = FrameReader::new(stream);
+    let mut greeted = false;
+    let err_frame = |code: ErrorCode, msg: &str| Frame::Error {
+        code,
+        message: msg.to_string(),
+    };
+    loop {
+        match reader.poll() {
+            Ok(ReadOutcome::Idle) => {
+                if conn.is_dead() || shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Ok(ReadOutcome::Eof) => break,
+            Err(FrameError::Io(_)) => break,
+            Err(FrameError::Proto(e)) => {
+                metrics.protocol_errors_total.inc();
+                conn.push_control(
+                    err_frame(ErrorCode::Malformed, &e.to_string()),
+                    cfg.outbound_queue_frames,
+                    metrics,
+                );
+                conn.close_after_flush();
+                break;
+            }
+            Ok(ReadOutcome::Frame(frame)) => {
+                metrics.frame_in(frame.type_name());
+                if !greeted {
+                    match frame {
+                        Frame::Hello { version } if version == PROTOCOL_VERSION => {
+                            greeted = true;
+                            conn.push_control(
+                                Frame::HelloAck {
+                                    version: PROTOCOL_VERSION,
+                                },
+                                cfg.outbound_queue_frames,
+                                metrics,
+                            );
+                        }
+                        Frame::Hello { version } => {
+                            metrics.protocol_errors_total.inc();
+                            conn.push_control(
+                                err_frame(
+                                    ErrorCode::VersionMismatch,
+                                    &format!(
+                                        "server speaks version {PROTOCOL_VERSION}, \
+                                         client sent {version}"
+                                    ),
+                                ),
+                                cfg.outbound_queue_frames,
+                                metrics,
+                            );
+                            conn.close_after_flush();
+                            break;
+                        }
+                        _ => {
+                            metrics.protocol_errors_total.inc();
+                            conn.push_control(
+                                err_frame(ErrorCode::ExpectedHello, "first frame must be HELLO"),
+                                cfg.outbound_queue_frames,
+                                metrics,
+                            );
+                            conn.close_after_flush();
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                let item = match frame {
+                    Frame::Ping { nonce } => {
+                        // Answered inline: liveness must not wait for a
+                        // tick.
+                        conn.push_control(
+                            Frame::Pong { nonce },
+                            cfg.outbound_queue_frames,
+                            metrics,
+                        );
+                        continue;
+                    }
+                    Frame::UpsertObject { id, kind, x, y } => Ingest::Upsert {
+                        conn: conn.id,
+                        id,
+                        kind,
+                        x,
+                        y,
+                    },
+                    Frame::RemoveObject { id } => Ingest::Remove { conn: conn.id, id },
+                    Frame::Subscribe {
+                        token,
+                        anchor,
+                        algo,
+                    } => {
+                        // The sid is allocated here and acknowledged
+                        // immediately; outbound FIFO order guarantees
+                        // the SUBSCRIBED precedes any TICK_DELTA for it.
+                        let sid = next_sid.fetch_add(1, Ordering::Relaxed);
+                        conn.push_control(
+                            Frame::Subscribed { token, sid },
+                            cfg.outbound_queue_frames,
+                            metrics,
+                        );
+                        Ingest::Subscribe {
+                            conn: conn.id,
+                            sid,
+                            anchor,
+                            algo,
+                        }
+                    }
+                    Frame::Unsubscribe { sid } => Ingest::Unsubscribe { conn: conn.id, sid },
+                    Frame::Step => Ingest::Step,
+                    Frame::Shutdown => Ingest::ShutdownRequested,
+                    // Server→client frames arriving from a client are a
+                    // protocol violation.
+                    _ => {
+                        metrics.protocol_errors_total.inc();
+                        conn.push_control(
+                            err_frame(
+                                ErrorCode::Malformed,
+                                &format!("unexpected {} frame from client", frame.type_name()),
+                            ),
+                            cfg.outbound_queue_frames,
+                            metrics,
+                        );
+                        conn.close_after_flush();
+                        break;
+                    }
+                };
+                // Blocking send on the bounded queue: this is where a
+                // firehose client is backpressured.
+                if ingest.send(item).is_err() {
+                    break; // tick thread gone (shutdown)
+                }
+                metrics.ingest_enqueued_total.inc();
+            }
+        }
+    }
+    // Announce the close exactly once; tick thread tears down subs.
+    if ingest.send(Ingest::Closed(conn.id)).is_ok() {
+        metrics.ingest_enqueued_total.inc();
+    }
+    if !conn.is_dead() {
+        conn.close_after_flush();
+    }
+}

@@ -1,0 +1,387 @@
+//! igern-server — the network serving layer.
+//!
+//! A dependency-free TCP server over `std::net` that exposes the IGERN
+//! continuous-evaluation pipeline to remote clients:
+//!
+//! * **streaming ingestion** — clients push `UPSERT_OBJECT` /
+//!   `REMOVE_OBJECT` frames; mutations land in one bounded ingest queue
+//!   (arrival order preserved, blocking send = backpressure) and are
+//!   applied to the [`SpatialStore`]
+//!   immediately, so the dirty-cell journal keeps skip routing sound;
+//! * **query subscriptions** — `SUBSCRIBE_QUERY` registers any of the
+//!   eight [`Algorithm`](igern_core::processor::Algorithm) variants
+//!   against the shared serial [`Processor`] or [`ShardedEngine`]
+//!   (behind [`TickRunner`]) — answers are bit-identical to an offline
+//!   run over the same update sequence;
+//! * **answer-delta push** — each tick the server diffs every
+//!   subscription's answer against the previous tick and pushes only
+//!   the adds/removes; the first push after subscribe (and after a
+//!   slow-consumer coalesce) is a full snapshot.
+//!
+//! See `DESIGN.md` §12 for the frame table and threading model. The
+//! in-process [`Client`] speaks the same protocol and is what the
+//! equivalence tests and `exp_server` bench drive.
+//!
+//! [`Processor`]: igern_core::processor::Processor
+//! [`ShardedEngine`]: igern_engine::ShardedEngine
+//! [`TickRunner`]: igern_engine::TickRunner
+
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use igern_core::obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, COUNT_BUCKETS, LATENCY_BUCKETS_S,
+};
+use igern_core::SpatialStore;
+use igern_engine::{Placement, TickRunner};
+use igern_geom::Aabb;
+
+pub mod client;
+mod conn;
+pub mod proto;
+mod tick;
+
+pub use client::{Client, ClientError, Event};
+pub use proto::{ErrorCode, Frame, ProtoError, PROTOCOL_VERSION};
+
+pub(crate) use tick::Ingest;
+
+use conn::{reader_loop, Connection};
+use tick::TickThread;
+
+/// What to do when a connection's outbound queue overflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlowConsumerPolicy {
+    /// Kill the connection (default: a consumer that cannot keep up
+    /// should not silently see stale data).
+    #[default]
+    Disconnect,
+    /// Drop queued tick traffic and restart the conversation with full
+    /// answer snapshots; acks, errors, and pongs are never dropped.
+    Coalesce,
+}
+
+impl SlowConsumerPolicy {
+    /// Parse a CLI-style name (`disconnect` | `coalesce`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "disconnect" => Some(SlowConsumerPolicy::Disconnect),
+            "coalesce" => Some(SlowConsumerPolicy::Coalesce),
+            _ => None,
+        }
+    }
+}
+
+/// When ticks fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickMode {
+    /// Only on client `STEP` frames (deterministic tests).
+    Manual,
+    /// On a fixed period; `STEP` still forces an immediate tick.
+    Every(Duration),
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Data space all object positions must fall inside.
+    pub space: Aabb,
+    /// Grid resolution (`n × n` cells), as in the offline pipeline.
+    pub grid: usize,
+    /// Evaluation workers: 1 = serial processor, >1 = sharded engine.
+    pub workers: usize,
+    /// Query→shard placement for the sharded backend.
+    pub placement: Placement,
+    /// Tick cadence.
+    pub tick_mode: TickMode,
+    /// Bound of the shared ingest queue (frames).
+    pub ingest_queue_frames: usize,
+    /// Bound of each connection's outbound queue (frames).
+    pub outbound_queue_frames: usize,
+    /// Overflow policy for slow consumers.
+    pub slow_consumer: SlowConsumerPolicy,
+    /// Socket read poll interval (reader threads wake this often to
+    /// notice shutdown).
+    pub read_timeout: Duration,
+    /// Socket write timeout (a blocked write past this kills the
+    /// connection).
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            space: Aabb::from_coords(0.0, 0.0, 1.0, 1.0),
+            grid: 16,
+            workers: 1,
+            placement: Placement::RoundRobin,
+            tick_mode: TickMode::Manual,
+            ingest_queue_frames: 4096,
+            outbound_queue_frames: 1024,
+            slow_consumer: SlowConsumerPolicy::Disconnect,
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// All server instruments, registered under the `igern_server` prefix
+/// in a shared [`MetricsRegistry`].
+#[derive(Clone)]
+pub struct ServerMetrics {
+    pub connections_total: Counter,
+    pub connections_active: Gauge,
+    pub subscriptions_active: Gauge,
+    pub ingest_enqueued_total: Counter,
+    pub ingest_dequeued_total: Counter,
+    pub ingest_queue_depth: Gauge,
+    /// Mutations applied per tick.
+    pub batch_size: Histogram,
+    /// Seconds from tick start (engine step) to every delta queued.
+    pub tick_push_seconds: Histogram,
+    pub slow_consumer_total: Counter,
+    pub protocol_errors_total: Counter,
+    /// Per-frame-type counters, resolved once at registration so the
+    /// per-frame hot path never touches the registry lock.
+    frames_in: Vec<(&'static str, Counter)>,
+    frames_out: Vec<(&'static str, Counter)>,
+}
+
+impl ServerMetrics {
+    /// Register every instrument in `registry` under `igern_server`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        let p = "igern_server";
+        let by_type = |dir: &str| -> Vec<(&'static str, Counter)> {
+            proto::FRAME_TYPE_NAMES
+                .iter()
+                .map(|&ty| {
+                    let c = registry
+                        .counter_labeled(&format!("{p}_frames_{dir}_total"), &[("type", ty)]);
+                    (ty, c)
+                })
+                .collect()
+        };
+        ServerMetrics {
+            connections_total: registry.counter(&format!("{p}_connections_total")),
+            connections_active: registry.gauge(&format!("{p}_connections_active")),
+            subscriptions_active: registry.gauge(&format!("{p}_subscriptions_active")),
+            ingest_enqueued_total: registry.counter(&format!("{p}_ingest_enqueued_total")),
+            ingest_dequeued_total: registry.counter(&format!("{p}_ingest_dequeued_total")),
+            ingest_queue_depth: registry.gauge(&format!("{p}_ingest_queue_depth")),
+            batch_size: registry.histogram(&format!("{p}_tick_batch_size"), &COUNT_BUCKETS),
+            tick_push_seconds: registry
+                .histogram(&format!("{p}_tick_push_seconds"), &LATENCY_BUCKETS_S),
+            slow_consumer_total: registry.counter(&format!("{p}_slow_consumer_events_total")),
+            protocol_errors_total: registry.counter(&format!("{p}_protocol_errors_total")),
+            frames_in: by_type("in"),
+            frames_out: by_type("out"),
+        }
+    }
+
+    /// Count one received frame of wire type `ty`.
+    pub fn frame_in(&self, ty: &str) {
+        if let Some((_, c)) = self.frames_in.iter().find(|(n, _)| *n == ty) {
+            c.inc();
+        }
+    }
+
+    /// Count one sent frame of wire type `ty`.
+    pub fn frame_out(&self, ty: &str) {
+        if let Some((_, c)) = self.frames_out.iter().find(|(n, _)| *n == ty) {
+            c.inc();
+        }
+    }
+}
+
+/// A running server: an acceptor thread, one reader + writer thread per
+/// connection, and the tick thread that owns the engine.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    ingest: SyncSender<Ingest>,
+    shutdown: Arc<AtomicBool>,
+    registry: MetricsRegistry,
+    metrics: ServerMetrics,
+    acceptor: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` and start serving `store` under `cfg`. Engine
+    /// metrics attach under `igern_pipeline`, server metrics under
+    /// `igern_server`, all in the returned server's registry.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        store: SpatialStore,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let registry = MetricsRegistry::new();
+        Self::start_with_registry(addr, store, cfg, registry)
+    }
+
+    /// As [`Server::start`], registering instruments in `registry`.
+    pub fn start_with_registry<A: ToSocketAddrs>(
+        addr: A,
+        store: SpatialStore,
+        cfg: ServerConfig,
+        registry: MetricsRegistry,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let metrics = ServerMetrics::register(&registry);
+        let mut runner = TickRunner::new(store, cfg.workers, cfg.placement);
+        runner.attach_metrics(&registry, "igern_pipeline");
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let next_sid = Arc::new(AtomicU32::new(1));
+        let (tx, rx) = sync_channel::<Ingest>(cfg.ingest_queue_frames);
+
+        let ticker = {
+            let t = TickThread::new(runner, cfg.clone(), metrics.clone(), Arc::clone(&shutdown));
+            std::thread::Builder::new()
+                .name("igern-tick".into())
+                .spawn(move || t.run(rx))
+                .expect("spawn tick thread")
+        };
+
+        let acceptor = {
+            let tx = tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = metrics.clone();
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("igern-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, tx, next_sid, shutdown, cfg, metrics);
+                })
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server {
+            addr: local,
+            ingest: tx,
+            shutdown,
+            registry,
+            metrics,
+            acceptor: Some(acceptor),
+            ticker: Some(ticker),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The registry holding server + pipeline instruments.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The server's own instruments.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Ask the server to stop: in-flight ingested mutations are
+    /// evaluated in one final tick and pushed before connections close.
+    pub fn shutdown(&self) {
+        // Queue the request; if the queue is full or the tick thread is
+        // already gone, fall back to the flag (the acceptor and readers
+        // watch it, and the tick loop exits when every sender is gone).
+        let _ = self.ingest.try_send(Ingest::ShutdownRequested);
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Block until the server has fully stopped (all threads joined).
+    pub fn wait(&mut self) {
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// [`shutdown`](Server::shutdown) then [`wait`](Server::wait).
+    pub fn stop(&mut self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    ingest: SyncSender<Ingest>,
+    next_sid: Arc<AtomicU32>,
+    shutdown: Arc<AtomicBool>,
+    cfg: ServerConfig,
+    metrics: ServerMetrics,
+) {
+    let next_conn = AtomicU64::new(1);
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        // Per-socket deadlines: reads poll (readers must notice
+        // shutdown), writes hard-timeout (a wedged peer cannot pin a
+        // writer thread forever).
+        let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+        let _ = stream.set_nodelay(true);
+
+        let id = next_conn.fetch_add(1, Ordering::Relaxed);
+        metrics.connections_total.inc();
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn = Arc::new(Connection::new(id, stream));
+        if ingest.send(Ingest::NewConn(Arc::clone(&conn))).is_err() {
+            return; // tick thread gone: shutting down
+        }
+        metrics.ingest_enqueued_total.inc();
+
+        {
+            let conn = Arc::clone(&conn);
+            let metrics = metrics.clone();
+            let _ = std::thread::Builder::new()
+                .name(format!("igern-write-{id}"))
+                .spawn(move || conn.writer_loop(&metrics));
+        }
+        {
+            let ingest = ingest.clone();
+            let next_sid = Arc::clone(&next_sid);
+            let shutdown = Arc::clone(&shutdown);
+            let cfg = cfg.clone();
+            let metrics = metrics.clone();
+            let _ = std::thread::Builder::new()
+                .name(format!("igern-read-{id}"))
+                .spawn(move || {
+                    reader_loop(conn, read_half, ingest, next_sid, shutdown, &cfg, &metrics)
+                });
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! The tick thread: single owner of the engine and all subscription
+//! state.
+//!
+//! Every mutation flows through one bounded channel in arrival order
+//! and is applied to the store immediately (the dirty-cell journal
+//! accumulates until the tick's `step(&[])` drains it, so skip routing
+//! stays sound — see `Processor::apply_update`). Ticks fire on a timer
+//! (`tick_ms > 0`) or on explicit `STEP` frames (manual mode, the
+//! deterministic test path). Each tick diffs every subscription's
+//! answer against the previous tick and pushes only the delta; the
+//! first push after subscribe — and after a slow-consumer coalesce —
+//! is a full snapshot instead.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use igern_core::processor::Algorithm;
+use igern_core::types::ObjectKind;
+use igern_engine::{EngineError, TickRunner};
+use igern_geom::Point;
+use igern_grid::ObjectId;
+
+use crate::conn::{Connection, PushOutcome};
+use crate::proto::{ErrorCode, Frame};
+use crate::{ServerConfig, ServerMetrics, TickMode};
+
+/// One item of the ingest queue, in arrival order.
+pub(crate) enum Ingest {
+    /// A new accepted connection (from the acceptor thread).
+    NewConn(Arc<Connection>),
+    /// `UPSERT_OBJECT`.
+    Upsert {
+        conn: u64,
+        id: u32,
+        kind: ObjectKind,
+        x: f64,
+        y: f64,
+    },
+    /// `REMOVE_OBJECT`.
+    Remove { conn: u64, id: u32 },
+    /// `SUBSCRIBE_QUERY`; `sid` was already allocated and acknowledged
+    /// by the reader thread.
+    Subscribe {
+        conn: u64,
+        sid: u32,
+        anchor: u32,
+        algo: Algorithm,
+    },
+    /// `UNSUBSCRIBE`.
+    Unsubscribe { conn: u64, sid: u32 },
+    /// `STEP` — tick right now (whatever the tick mode).
+    Step,
+    /// A client sent `SHUTDOWN`, or the local handle asked for it.
+    ShutdownRequested,
+    /// The reader thread exited; tear the connection down.
+    Closed(u64),
+}
+
+/// Tick-thread record of one live subscription.
+struct Sub {
+    conn: u64,
+    /// Engine query slot.
+    qid: usize,
+    anchor: ObjectId,
+    /// Answer pushed at the previous tick (sorted by id).
+    prev: Vec<ObjectId>,
+    /// Next push must be a full snapshot (fresh subscription, or the
+    /// delta chain was broken by a coalesce).
+    needs_snapshot: bool,
+}
+
+struct ConnState {
+    conn: Arc<Connection>,
+    /// Subscriptions owned by this connection, in sid order.
+    subs: Vec<u32>,
+}
+
+pub(crate) struct TickThread {
+    runner: TickRunner,
+    cfg: ServerConfig,
+    metrics: ServerMetrics,
+    shutdown: Arc<AtomicBool>,
+    conns: BTreeMap<u64, ConnState>,
+    subs: BTreeMap<u32, Sub>,
+    /// Mutations applied since the last tick (batch-size metric).
+    pending_mutations: u64,
+}
+
+fn now_nanos() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64)
+}
+
+impl TickThread {
+    pub fn new(
+        runner: TickRunner,
+        cfg: ServerConfig,
+        metrics: ServerMetrics,
+        shutdown: Arc<AtomicBool>,
+    ) -> Self {
+        TickThread {
+            runner,
+            cfg,
+            metrics,
+            shutdown,
+            conns: BTreeMap::new(),
+            subs: BTreeMap::new(),
+            pending_mutations: 0,
+        }
+    }
+
+    /// Main loop: drain the ingest queue, tick on schedule (or on
+    /// `STEP`), and on shutdown run one final tick so every applied
+    /// mutation is evaluated and pushed before connections close.
+    pub fn run(mut self, rx: Receiver<Ingest>) {
+        let mut next_deadline = match self.cfg.tick_mode {
+            TickMode::Manual => None,
+            TickMode::Every(period) => Some(Instant::now() + period),
+        };
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                break; // local handle asked to stop
+            }
+            // Manual mode still polls so a local shutdown() that found
+            // the ingest queue full is noticed via the flag above.
+            let wait = match next_deadline {
+                None => Duration::from_millis(100),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.tick();
+                        if let TickMode::Every(period) = self.cfg.tick_mode {
+                            next_deadline = Some(now + period);
+                        }
+                        continue;
+                    }
+                    deadline - now
+                }
+            };
+            let item = match rx.recv_timeout(wait) {
+                Ok(item) => item,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            match item {
+                Ingest::NewConn(conn) => {
+                    self.metrics.ingest_dequeued_total.inc();
+                    self.conns.insert(
+                        conn.id,
+                        ConnState {
+                            conn,
+                            subs: Vec::new(),
+                        },
+                    );
+                    self.metrics.connections_active.set(self.conns.len() as f64);
+                }
+                Ingest::Closed(id) => {
+                    self.metrics.ingest_dequeued_total.inc();
+                    self.drop_conn(id);
+                }
+                Ingest::Step => {
+                    self.metrics.ingest_dequeued_total.inc();
+                    self.tick();
+                    if let TickMode::Every(period) = self.cfg.tick_mode {
+                        next_deadline = Some(Instant::now() + period);
+                    }
+                }
+                Ingest::ShutdownRequested => {
+                    self.metrics.ingest_dequeued_total.inc();
+                    break;
+                }
+                other => {
+                    self.metrics.ingest_dequeued_total.inc();
+                    self.apply(other);
+                }
+            }
+        }
+        // Graceful shutdown: evaluate and push whatever was ingested,
+        // then flush and close every connection.
+        self.shutdown.store(true, Ordering::Release);
+        self.tick();
+        for cs in self.conns.values() {
+            cs.conn.close_after_flush();
+        }
+    }
+
+    /// Apply one mutating command immediately, in arrival order.
+    fn apply(&mut self, item: Ingest) {
+        match item {
+            Ingest::Upsert {
+                conn,
+                id,
+                kind,
+                x,
+                y,
+            } => {
+                let pos = Point::new(x, y);
+                if !self.cfg.space.contains(pos) {
+                    self.reject(
+                        conn,
+                        ErrorCode::OutOfBounds,
+                        &format!("object {id} position ({x}, {y}) outside the data space"),
+                    );
+                    return;
+                }
+                let oid = ObjectId(id);
+                if self.runner.store().position(oid).is_some() {
+                    if self.runner.store().kind(oid) != kind {
+                        self.reject(
+                            conn,
+                            ErrorCode::KindMismatch,
+                            &format!("object {id} already exists with a different kind"),
+                        );
+                        return;
+                    }
+                    self.runner.apply_update(oid, pos);
+                } else {
+                    self.runner.insert_object(oid, kind, pos);
+                }
+                self.pending_mutations += 1;
+            }
+            Ingest::Remove { conn, id } => {
+                let oid = ObjectId(id);
+                if self.subs.values().any(|s| s.anchor == oid) {
+                    self.reject(
+                        conn,
+                        ErrorCode::AnchorInUse,
+                        &format!("object {id} anchors a live subscription"),
+                    );
+                    return;
+                }
+                if self.runner.remove_object(oid).is_none() {
+                    self.reject(conn, ErrorCode::UnknownObject, &format!("no object {id}"));
+                    return;
+                }
+                self.pending_mutations += 1;
+            }
+            Ingest::Subscribe {
+                conn,
+                sid,
+                anchor,
+                algo,
+            } => match self.runner.add_query(ObjectId(anchor), algo) {
+                Ok(qid) => {
+                    self.subs.insert(
+                        sid,
+                        Sub {
+                            conn,
+                            qid,
+                            anchor: ObjectId(anchor),
+                            prev: Vec::new(),
+                            needs_snapshot: true,
+                        },
+                    );
+                    if let Some(cs) = self.conns.get_mut(&conn) {
+                        cs.subs.push(sid);
+                    }
+                    self.metrics
+                        .subscriptions_active
+                        .set(self.subs.len() as f64);
+                }
+                Err(e) => {
+                    let code = match e {
+                        EngineError::UnknownObject(_) => ErrorCode::UnknownObject,
+                        EngineError::NotKindA(_) => ErrorCode::NotKindA,
+                        EngineError::ZeroK => ErrorCode::ZeroK,
+                    };
+                    self.reject(conn, code, &format!("subscription {sid} rejected: {e}"));
+                }
+            },
+            Ingest::Unsubscribe { conn, sid } => {
+                let owned = self.subs.get(&sid).is_some_and(|s| s.conn == conn);
+                if !owned {
+                    self.reject(
+                        conn,
+                        ErrorCode::UnknownSubscription,
+                        &format!("subscription {sid} is not owned by this connection"),
+                    );
+                    return;
+                }
+                let sub = self.subs.remove(&sid).expect("checked above");
+                self.runner.remove_query(sub.qid);
+                if let Some(cs) = self.conns.get_mut(&conn) {
+                    cs.subs.retain(|&s| s != sid);
+                    cs.conn.push_control(
+                        Frame::Unsubscribed { sid },
+                        self.cfg.outbound_queue_frames,
+                        &self.metrics,
+                    );
+                }
+                self.metrics
+                    .subscriptions_active
+                    .set(self.subs.len() as f64);
+            }
+            _ => unreachable!("non-mutating items handled in run()"),
+        }
+    }
+
+    /// Push an `ERROR` frame at the offending connection. Semantic
+    /// rejections keep the connection alive.
+    fn reject(&self, conn: u64, code: ErrorCode, message: &str) {
+        self.metrics.protocol_errors_total.inc();
+        if let Some(cs) = self.conns.get(&conn) {
+            cs.conn.push_control(
+                Frame::Error {
+                    code,
+                    message: message.to_string(),
+                },
+                self.cfg.outbound_queue_frames,
+                &self.metrics,
+            );
+        }
+    }
+
+    /// Tear down a closed connection: every subscription it owned is
+    /// removed from the engine. Queued frames (a final ERROR, say) are
+    /// flushed first — `kill()` here would race the writer and eat them.
+    fn drop_conn(&mut self, id: u64) {
+        if let Some(cs) = self.conns.remove(&id) {
+            for sid in cs.subs {
+                if let Some(sub) = self.subs.remove(&sid) {
+                    self.runner.remove_query(sub.qid);
+                }
+            }
+            cs.conn.close_after_flush();
+        }
+        self.metrics.connections_active.set(self.conns.len() as f64);
+        self.metrics
+            .subscriptions_active
+            .set(self.subs.len() as f64);
+    }
+
+    /// One tick: evaluate the accumulated batch, diff every
+    /// subscription, push deltas (or snapshots where the chain broke),
+    /// and close with a `TICK_END` per subscribed connection.
+    fn tick(&mut self) {
+        let t0 = Instant::now();
+        self.runner.step(&[]);
+        self.metrics
+            .batch_size
+            .observe(self.pending_mutations as f64);
+        self.pending_mutations = 0;
+        let tick = self.runner.tick();
+        let stamp_nanos = now_nanos();
+        let mut dead = Vec::new();
+        for (&conn_id, cs) in &mut self.conns {
+            if cs.subs.is_empty() {
+                continue;
+            }
+            if cs.conn.is_dead() {
+                dead.push(conn_id);
+                continue;
+            }
+            let mut batch = Vec::new();
+            for &sid in &cs.subs {
+                let sub = self.subs.get_mut(&sid).expect("sub index consistent");
+                let answer = self.runner.answer(sub.qid);
+                if sub.needs_snapshot {
+                    batch.push(Frame::TickDelta {
+                        tick,
+                        stamp_nanos,
+                        sid,
+                        snapshot: true,
+                        adds: answer.iter().map(|o| o.0).collect(),
+                        removes: Vec::new(),
+                    });
+                } else {
+                    let (adds, removes) = diff_sorted(&sub.prev, answer);
+                    if !adds.is_empty() || !removes.is_empty() {
+                        batch.push(Frame::TickDelta {
+                            tick,
+                            stamp_nanos,
+                            sid,
+                            snapshot: false,
+                            adds,
+                            removes,
+                        });
+                    }
+                }
+                sub.needs_snapshot = false;
+                sub.prev = answer.to_vec();
+            }
+            batch.push(Frame::TickEnd { tick, stamp_nanos });
+            match cs.conn.push_tick_batch(
+                batch,
+                self.cfg.outbound_queue_frames,
+                self.cfg.slow_consumer,
+                &self.metrics,
+            ) {
+                PushOutcome::Delivered => {}
+                PushOutcome::Dead => dead.push(conn_id),
+                PushOutcome::NeedSnapshot => {
+                    // The queue shed all tick traffic, including any of
+                    // this tick's frames: restart the conversation with
+                    // full snapshots for every sub on the connection.
+                    let snap: Vec<Frame> = cs
+                        .subs
+                        .iter()
+                        .map(|&sid| {
+                            let sub = self.subs.get_mut(&sid).expect("sub index consistent");
+                            sub.needs_snapshot = false;
+                            Frame::TickDelta {
+                                tick,
+                                stamp_nanos,
+                                sid,
+                                snapshot: true,
+                                adds: sub.prev.iter().map(|o| o.0).collect(),
+                                removes: Vec::new(),
+                            }
+                        })
+                        .chain(std::iter::once(Frame::TickEnd { tick, stamp_nanos }))
+                        .collect();
+                    if cs.conn.push_forced(snap) == PushOutcome::Dead {
+                        dead.push(conn_id);
+                    }
+                }
+            }
+        }
+        for id in dead {
+            self.drop_conn(id);
+        }
+        self.metrics
+            .tick_push_seconds
+            .observe_duration(t0.elapsed());
+        self.metrics.ingest_queue_depth.set(
+            (self.metrics.ingest_enqueued_total.get() as f64)
+                - (self.metrics.ingest_dequeued_total.get() as f64),
+        );
+    }
+}
+
+/// Sorted-merge diff: `(adds, removes)` turning `prev` into `cur`.
+fn diff_sorted(prev: &[ObjectId], cur: &[ObjectId]) -> (Vec<u32>, Vec<u32>) {
+    let (mut adds, mut removes) = (Vec::new(), Vec::new());
+    let (mut i, mut j) = (0, 0);
+    while i < prev.len() || j < cur.len() {
+        match (prev.get(i), cur.get(j)) {
+            (Some(p), Some(c)) if p == c => {
+                i += 1;
+                j += 1;
+            }
+            (Some(p), Some(c)) if p < c => {
+                removes.push(p.0);
+                i += 1;
+            }
+            (Some(_), Some(c)) => {
+                adds.push(c.0);
+                j += 1;
+            }
+            (Some(p), None) => {
+                removes.push(p.0);
+                i += 1;
+            }
+            (None, Some(c)) => {
+                adds.push(c.0);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    (adds, removes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ObjectId> {
+        v.iter().map(|&i| ObjectId(i)).collect()
+    }
+
+    #[test]
+    fn sorted_diff_covers_all_shapes() {
+        assert_eq!(diff_sorted(&[], &[]), (vec![], vec![]));
+        assert_eq!(diff_sorted(&[], &ids(&[1, 2])), (vec![1, 2], vec![]));
+        assert_eq!(diff_sorted(&ids(&[1, 2]), &[]), (vec![], vec![1, 2]));
+        assert_eq!(
+            diff_sorted(&ids(&[1, 3, 5]), &ids(&[1, 4, 5, 9])),
+            (vec![4, 9], vec![3])
+        );
+        assert_eq!(diff_sorted(&ids(&[7]), &ids(&[7])), (vec![], vec![]));
+    }
+}

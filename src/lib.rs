@@ -13,8 +13,11 @@
 //! * [`mobgen`] — Brinkhoff-style network-based moving-object generation.
 //! * [`geom`] — points, bisector half-planes, convex clipping, pie sectors,
 //!   Voronoi cells.
+//! * [`server`] — the TCP serving layer: streaming update ingestion, query
+//!   subscriptions, per-tick answer-delta push.
 pub use igern_core as core;
 pub use igern_engine as engine;
 pub use igern_geom as geom;
 pub use igern_grid as grid;
 pub use igern_mobgen as mobgen;
+pub use igern_server as server;

@@ -41,6 +41,7 @@ impl Lcg {
         ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
+    #[allow(dead_code)]
     pub fn bool(&mut self, p: f64) -> bool {
         self.f64() < p
     }

@@ -235,7 +235,7 @@ fn rtree_agrees_with_grid_and_oracle() {
         let g = grid_of(&points, 8);
         let mut t = RTree::new();
         for (i, &p) in points.iter().enumerate() {
-            t.insert(ObjectId(i as u32), p);
+            t.insert(ObjectId(i as u32), p).unwrap();
         }
         t.check_invariants();
         let mut ops = OpCounters::new();

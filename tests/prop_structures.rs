@@ -47,7 +47,7 @@ fn rtree_churn_preserves_invariants() {
             match op {
                 Op::Insert(p) => {
                     mirror.push(Some(p));
-                    tree.insert(ObjectId(mirror.len() as u32 - 1), p);
+                    tree.insert(ObjectId(mirror.len() as u32 - 1), p).unwrap();
                 }
                 Op::Remove(i) => {
                     let live: Vec<usize> = mirror
@@ -72,7 +72,7 @@ fn rtree_churn_preserves_invariants() {
                     if !live.is_empty() {
                         let target = live[i % live.len()];
                         mirror[target] = Some(p);
-                        tree.update(ObjectId(target as u32), p);
+                        tree.update(ObjectId(target as u32), p).unwrap();
                     }
                 }
             }
