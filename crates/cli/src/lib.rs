@@ -412,6 +412,122 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parse a `true|false` flag with a default.
+fn bool_arg(args: &Args, name: &str, default: bool) -> Result<bool, CliError> {
+    match args.get(name) {
+        None => Ok(default),
+        Some("true") => Ok(true),
+        Some("false") => Ok(false),
+        Some(v) => Err(CliError(format!(
+            "bad value for --{name}: {v:?} (true|false)"
+        ))),
+    }
+}
+
+/// `sim`: run the deterministic fault-injection harness (DESIGN.md
+/// §13) — one seed drives every backend through a faulted schedule
+/// with every tick oracle-checked. A healthy build prints a digest
+/// (identical across runs of the same seed); a failing one gets its
+/// schedule delta-debugged down and written as a self-contained
+/// `.simreplay` file that `igern sim --replay FILE` re-executes.
+pub fn sim_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let (plan, label) = match args.get("replay") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let plan =
+                igern_sim::load_replay(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+            (plan, format!("replay {path}"))
+        }
+        None => {
+            let cfg = igern_sim::SimConfig {
+                seed: args.num("seed", 1u64)?,
+                ticks: args.num("ticks", 100u64)?,
+                objects: args.num("objects", 48usize)?,
+                grid: grid_arg(args, 16)?,
+                queries: args.num("queries", 8usize)?,
+                workers: args.num("workers", 4usize)?,
+                faults: bool_arg(args, "faults", true)?,
+                server: bool_arg(args, "server", true)?,
+                ..igern_sim::SimConfig::default()
+            };
+            if cfg.ticks == 0 || cfg.objects == 0 || cfg.workers == 0 {
+                return Err(CliError(
+                    "--ticks, --objects, and --workers must be at least 1".to_string(),
+                ));
+            }
+            let label = format!("seed {}", cfg.seed);
+            (cfg.plan(), label)
+        }
+    };
+    writeln!(
+        out,
+        "sim {label}: {} objects, {} ticks, {} events, {} workers, server {}",
+        plan.initial.len(),
+        plan.ticks,
+        plan.events.len(),
+        plan.workers,
+        if plan.server { "on" } else { "off" },
+    )?;
+    match igern_sim::execute(&plan, None) {
+        Ok(report) => {
+            let c = &report.counters;
+            writeln!(
+                out,
+                "PASS: {} ticks, digest {:016x}",
+                report.ticks, report.digest
+            )?;
+            writeln!(
+                out,
+                "  events applied {} (skipped {}): {} moves, {} inserts, {} removes, \
+                 {} queries added, {} removed",
+                c.events_applied,
+                c.events_skipped,
+                c.moves,
+                c.inserts,
+                c.removes,
+                c.queries_added,
+                c.queries_removed,
+            )?;
+            writeln!(
+                out,
+                "  faults: {} desyncs, {} worker stalls, {} frame faults, {} client stalls",
+                c.desyncs, c.worker_stalls, c.frame_faults, c.client_stalls,
+            )?;
+            // Victim-connection liveness is deliberately not printed:
+            // it races real connection teardown and is excluded from
+            // the determinism contract, while this output is diffed
+            // across runs (CI) to prove bit-identical behavior.
+            writeln!(
+                out,
+                "  {} answer checks, final population {}",
+                c.answer_checks, c.final_population,
+            )?;
+            Ok(())
+        }
+        Err(failure) => {
+            writeln!(out, "FAIL: {failure}")?;
+            let budget: u32 = args.num("shrink", 500u32)?;
+            let minimal = if budget > 0 {
+                let (min, min_failure, stats) =
+                    igern_sim::minimize(&plan, &failure, budget, |p| igern_sim::execute(p, None));
+                writeln!(
+                    out,
+                    "shrunk {} -> {} events, {} ticks in {} executions; minimal: {min_failure}",
+                    stats.from_events, stats.to_events, stats.to_ticks, stats.executions,
+                )?;
+                min
+            } else {
+                plan
+            };
+            let path = args.get("replay-out").unwrap_or("failure.simreplay");
+            std::fs::write(path, igern_sim::write_replay(&minimal))?;
+            writeln!(out, "wrote replay -> {path}")?;
+            Err(CliError(format!("simulation failed: {failure}")))
+        }
+    }
+}
+
 /// Dump the registry to `path`; `.json` selects the JSON exporter,
 /// anything else the Prometheus text format.
 fn dump_registry(registry: &MetricsRegistry, path: &str) -> Result<(), CliError> {
@@ -628,8 +744,9 @@ pub fn dispatch<W: Write>(cmd: &str, args: &Args, out: &mut W) -> Result<(), Cli
         "serve" => serve(args, out),
         "render" => render_cmd(args, out),
         "stats" => stats_cmd(args, out),
+        "sim" => sim_cmd(args, out),
         other => Err(CliError(format!(
-            "unknown command {other:?} (gen-network|gen-trace|run|serve|render|stats)"
+            "unknown command {other:?} (gen-network|gen-trace|run|serve|render|stats|sim)"
         ))),
     }
 }
@@ -652,6 +769,9 @@ COMMANDS:
                [--queue N] [--placement round-robin|anchor-cell] [--metrics-out FILE]
   render       --trace FILE [--query N] [--ticks N] [--grid N]
   stats        --metrics FILE
+  sim          [--seed N] [--ticks N] [--objects N] [--grid N] [--queries N]
+               [--workers N] [--faults true|false] [--server true|false]
+               [--shrink BUDGET] [--replay-out FILE] | --replay FILE
 
 `run --workers N` (default 1 = serial) evaluates queries on N sharded
 worker threads; answers are identical to the serial run. `--history N`
@@ -666,6 +786,15 @@ subscribe continuous queries, and receive per-tick answer deltas (see
 DESIGN.md §12 for the wire protocol). `--tick-ms 0` ticks only on
 client STEP frames; the default is a 100ms timer. The server runs until
 a client sends SHUTDOWN, then dumps metrics to `--metrics-out`.
+
+`sim` runs the deterministic fault-injection harness (DESIGN.md §13):
+one seed generates a schedule of moves, churn, query turnover, and
+faults, executes it on the serial, sharded, and served backends in
+lockstep, and checks every query every tick against the brute-force
+oracles. Same seed, same digest — byte-identical output across runs.
+On failure the schedule is shrunk (`--shrink` caps re-executions) and
+written to `--replay-out` (default failure.simreplay); `igern sim
+--replay FILE` re-executes a replay file exactly.
 ";
 
 #[cfg(test)]
@@ -1093,6 +1222,79 @@ mod tests {
             let err = serve(&args(bad), &mut Vec::new()).unwrap_err();
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn sim_runs_are_deterministic_and_flags_validate() {
+        let list = [
+            "--seed",
+            "3",
+            "--ticks",
+            "20",
+            "--objects",
+            "16",
+            "--queries",
+            "4",
+            "--workers",
+            "2",
+        ];
+        let mut outs = Vec::new();
+        for _ in 0..2 {
+            let mut buf = Vec::new();
+            sim_cmd(&args(&list), &mut buf).unwrap();
+            outs.push(String::from_utf8(buf).unwrap());
+        }
+        assert!(outs[0].contains("PASS:"), "{}", outs[0]);
+        assert!(outs[0].contains("digest "), "{}", outs[0]);
+        assert_eq!(outs[0], outs[1], "same seed must print identical output");
+
+        for bad in [
+            &["--ticks", "0"][..],
+            &["--objects", "0"][..],
+            &["--workers", "0"][..],
+            &["--grid", "0"][..],
+            &["--faults", "shrug"][..],
+            &["--server", "2"][..],
+        ] {
+            assert!(sim_cmd(&args(bad), &mut Vec::new()).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn sim_replay_file_reproduces_the_run() {
+        let dir = std::env::temp_dir().join("igern_cli_sim_replay");
+        std::fs::create_dir_all(&dir).unwrap();
+        let replay_path = dir.join("healthy.simreplay");
+        let replay_path = replay_path.to_str().unwrap();
+
+        // Write a replay of a healthy offline plan by hand, then the
+        // `--replay` path must execute it to the same digest as the
+        // direct run.
+        let cfg = igern_sim::SimConfig {
+            seed: 4,
+            ticks: 15,
+            objects: 16,
+            queries: 4,
+            server: false,
+            ..igern_sim::SimConfig::default()
+        };
+        let plan = cfg.plan();
+        std::fs::write(replay_path, igern_sim::write_replay(&plan)).unwrap();
+        let direct = igern_sim::execute(&plan, None).unwrap();
+
+        let a = args(&["--replay", replay_path]);
+        let mut buf = Vec::new();
+        sim_cmd(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains(&format!("digest {:016x}", direct.digest)),
+            "{text}"
+        );
+
+        // A corrupt replay file is an error, not a panic.
+        std::fs::write(replay_path, "{\"format\":\"nope\"}").unwrap();
+        let err = sim_cmd(&a, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains(replay_path), "{err}");
     }
 
     #[test]

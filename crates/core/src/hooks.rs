@@ -1,0 +1,57 @@
+//! Deterministic fault-injection points for the simulation harness.
+//!
+//! `igern-sim` drives the full stack — serial [`Processor`], the sharded
+//! engine, and the network server — from one seed and needs to perturb
+//! each of them *at the same logical instant* regardless of which threads
+//! happen to run the code. [`SimHooks`] is that seam: every tick backend
+//! calls into the (optional) hook object at fixed points of the tick
+//! protocol, and the simulator's implementation decides — purely from the
+//! logical `(tick, worker)` coordinates — whether to inject a grid
+//! desync, stall a worker shard, or do nothing.
+//!
+//! Production builds never install hooks; the per-tick cost of the
+//! disabled path is one `Option` check.
+//!
+//! [`Processor`]: crate::processor::Processor
+
+use igern_grid::ObjectId;
+use std::sync::Arc;
+
+/// Injection points honored by every tick backend.
+///
+/// All methods default to no-ops so implementors override only the
+/// faults they script. Implementations must be deterministic functions
+/// of their arguments (plus internal state advanced in tick order):
+/// the harness replays schedules by re-running them, and a hook that
+/// consults wall-clock time or an unseeded RNG breaks replay.
+pub trait SimHooks: Send + Sync {
+    /// Called by the tick owner (serial processor, sharded coordinator,
+    /// or the server tick thread via its runner) after the tick counter
+    /// has advanced and pending updates are applied, immediately before
+    /// query evaluation.
+    fn on_tick(&self, _tick: u64) {}
+
+    /// Called by each sharded-engine worker right before it evaluates
+    /// its shard for `tick`. Sleeping here simulates a straggler worker
+    /// without affecting the merged answer (the merge is order-blind).
+    fn on_worker_shard(&self, _worker: usize, _tick: u64) {}
+
+    /// Object ids whose grid slots should be corrupted (via
+    /// `debug_force_desync`) at the start of `tick`, after updates are
+    /// applied and before evaluation. Return an empty vector for clean
+    /// ticks.
+    fn desync_targets(&self, tick: u64) -> Vec<ObjectId> {
+        let _ = tick;
+        Vec::new()
+    }
+
+    /// Called by the network server's tick thread just before it hands
+    /// the tick to its runner (the serving-layer analogue of
+    /// [`SimHooks::on_tick`], which fires inside the runner). Stalling
+    /// here simulates a slow tick thread while connections keep
+    /// ingesting.
+    fn on_server_tick(&self, _tick: u64) {}
+}
+
+/// Shared hook handle as threaded through the engines.
+pub type SharedSimHooks = Arc<dyn SimHooks>;

@@ -77,6 +77,7 @@ pub mod bi;
 pub mod costmodel;
 pub mod eval;
 pub mod history;
+pub mod hooks;
 pub mod knn_monitor;
 pub mod metrics;
 pub mod monitor;
@@ -93,6 +94,7 @@ pub mod types;
 pub use bi::{BiIgern, BiIgernK};
 pub use eval::{can_skip, evaluate_query, QuerySlot};
 pub use history::History;
+pub use hooks::{SharedSimHooks, SimHooks};
 pub use knn_monitor::KnnMonitor;
 pub use monitor::ContinuousMonitor;
 pub use mono::{MonoIgern, MonoIgernK};

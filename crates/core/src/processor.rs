@@ -27,6 +27,7 @@ use igern_grid::ObjectId;
 
 use crate::eval::{evaluate_query, QuerySlot};
 use crate::history::History;
+use crate::hooks::SharedSimHooks;
 use crate::monitor::{ContinuousMonitor, NullMonitor};
 use crate::obs::PipelineMetrics;
 use crate::store::SpatialStore;
@@ -83,6 +84,7 @@ pub struct Processor {
     skip_routing: bool,
     history_capacity: Option<usize>,
     metrics: Option<PipelineMetrics>,
+    sim_hooks: Option<SharedSimHooks>,
 }
 
 impl Processor {
@@ -96,6 +98,7 @@ impl Processor {
             skip_routing: true,
             history_capacity: None,
             metrics: None,
+            sim_hooks: None,
         }
     }
 
@@ -111,6 +114,16 @@ impl Processor {
     /// The attached observability bundle, if any.
     pub fn metrics(&self) -> Option<&PipelineMetrics> {
         self.metrics.as_ref()
+    }
+
+    /// Install (or clear, with `None`) simulation fault-injection hooks
+    /// (see [`crate::hooks::SimHooks`]). [`Processor::step`] fires
+    /// [`on_tick`](crate::hooks::SimHooks::on_tick) and applies
+    /// [`desync_targets`](crate::hooks::SimHooks::desync_targets)
+    /// after updates are applied and before evaluation. Never installed
+    /// in production; the disabled path costs one `Option` check.
+    pub fn set_sim_hooks(&mut self, hooks: Option<SharedSimHooks>) {
+        self.sim_hooks = hooks;
     }
 
     /// The underlying store.
@@ -252,7 +265,20 @@ impl Processor {
     pub fn step(&mut self, updates: &[(ObjectId, Point)]) {
         self.apply_updates(updates);
         self.tick += 1;
+        self.fire_tick_hooks();
         self.evaluate_round(self.skip_routing);
+    }
+
+    /// Fire the pre-evaluation injection points of any installed
+    /// [`SimHooks`](crate::hooks::SimHooks): `on_tick`, then the tick's
+    /// scripted grid desyncs.
+    fn fire_tick_hooks(&mut self) {
+        if let Some(h) = self.sim_hooks.clone() {
+            h.on_tick(self.tick);
+            for id in h.desync_targets(self.tick) {
+                self.store.debug_force_desync(id);
+            }
+        }
     }
 
     /// Apply-updates phase shared by the serial and parallel steps.
@@ -316,6 +342,7 @@ impl Processor {
     pub fn step_parallel(&mut self, updates: &[(ObjectId, Point)], threads: usize) {
         self.apply_updates(updates);
         self.tick += 1;
+        self.fire_tick_hooks();
         self.evaluate_round_parallel(self.skip_routing, threads);
     }
 

@@ -45,6 +45,7 @@ use std::time::Instant;
 
 use igern_core::eval::QuerySlot;
 use igern_core::history::History;
+use igern_core::hooks::SharedSimHooks;
 use igern_core::metrics::SeriesStats;
 use igern_core::obs::{
     Counter, Gauge, Histogram, MetricsRegistry, PipelineMetrics, LATENCY_BUCKETS_S,
@@ -197,6 +198,7 @@ pub struct ShardedEngine {
     skip_routing: bool,
     history_capacity: Option<usize>,
     metrics: Option<EngineMetrics>,
+    sim_hooks: Option<SharedSimHooks>,
 }
 
 impl ShardedEngine {
@@ -234,6 +236,7 @@ impl ShardedEngine {
             skip_routing: true,
             history_capacity: None,
             metrics: None,
+            sim_hooks: None,
         }
     }
 
@@ -259,6 +262,16 @@ impl ShardedEngine {
     /// The attached observability bundle, if any.
     pub fn metrics(&self) -> Option<&EngineMetrics> {
         self.metrics.as_ref()
+    }
+
+    /// Install (or clear, with `None`) simulation fault-injection hooks
+    /// (see [`igern_core::hooks::SimHooks`]). [`ShardedEngine::step`]
+    /// fires `on_tick` and applies `desync_targets` after updates are
+    /// applied and before the round is published; each worker fires
+    /// `on_worker_shard` before evaluating its shard. Never installed in
+    /// production.
+    pub fn set_sim_hooks(&mut self, hooks: Option<SharedSimHooks>) {
+        self.sim_hooks = hooks;
     }
 
     /// The underlying store.
@@ -451,6 +464,12 @@ impl ShardedEngine {
             m.pipeline.updates_total.add(updates.len() as u64);
         }
         self.tick += 1;
+        if let Some(h) = self.sim_hooks.clone() {
+            h.on_tick(self.tick);
+            for id in h.desync_targets(self.tick) {
+                self.store_mut().debug_force_desync(id);
+            }
+        }
         self.run_round(self.skip_routing);
     }
 
@@ -469,6 +488,7 @@ impl ShardedEngine {
                 store: Arc::clone(&self.store),
                 tick: self.tick,
                 route,
+                hooks: self.sim_hooks.clone(),
             };
             tx.send(ToWorker::Tick(job)).expect("worker alive");
         }

@@ -12,6 +12,7 @@
 //! [`Processor`]: igern_core::processor::Processor
 
 use igern_core::history::History;
+use igern_core::hooks::SharedSimHooks;
 use igern_core::obs::{MetricsRegistry, PipelineMetrics};
 use igern_core::processor::{Algorithm, Processor};
 use igern_core::{ObjectKind, SpatialStore};
@@ -88,6 +89,29 @@ impl TickRunner {
                 let m = EngineMetrics::register(registry, prefix, e.num_workers());
                 e.set_metrics(Some(m));
             }
+        }
+    }
+
+    /// Install (or clear, with `None`) simulation fault-injection hooks
+    /// on the underlying backend (see [`igern_core::hooks::SimHooks`]).
+    /// Both backends fire `on_tick` / apply `desync_targets` at the same
+    /// logical point of `step`, so a hooked serial and a hooked sharded
+    /// runner stay bit-identical.
+    pub fn set_sim_hooks(&mut self, hooks: Option<SharedSimHooks>) {
+        match self {
+            TickRunner::Serial(p) => p.set_sim_hooks(hooks),
+            TickRunner::Sharded(e) => e.set_sim_hooks(hooks),
+        }
+    }
+
+    /// Test hook: corrupt the store's bucket state for `id` (see
+    /// `SpatialStore::debug_force_desync`). Returns whether the object
+    /// was present.
+    #[doc(hidden)]
+    pub fn debug_force_desync(&mut self, id: ObjectId) -> bool {
+        match self {
+            TickRunner::Serial(p) => p.debug_force_desync(id),
+            TickRunner::Sharded(e) => e.debug_force_desync(id),
         }
     }
 

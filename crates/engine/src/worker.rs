@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use igern_core::eval::{evaluate_query, QuerySlot};
+use igern_core::hooks::SharedSimHooks;
 use igern_core::metrics::{SeriesStats, TickSample};
 use igern_core::SpatialStore;
 use igern_grid::ObjectId;
@@ -33,6 +34,8 @@ pub(crate) struct TickJob {
     pub store: Arc<SpatialStore>,
     pub tick: u64,
     pub route: bool,
+    /// Simulation fault-injection hooks; `None` outside the harness.
+    pub hooks: Option<SharedSimHooks>,
 }
 
 /// Coordinator → worker messages.
@@ -97,7 +100,15 @@ pub(crate) fn worker_loop(worker: usize, rx: Receiver<ToWorker>, results: Sender
                 let _ = reply.send(slot);
             }
             ToWorker::Tick(job) => {
-                let TickJob { store, tick, route } = job;
+                let TickJob {
+                    store,
+                    tick,
+                    route,
+                    hooks,
+                } = job;
+                if let Some(h) = &hooks {
+                    h.on_worker_shard(worker, tick);
+                }
                 let start = Instant::now();
                 let mut reports = Vec::with_capacity(shard.len());
                 for (qid, slot) in &mut shard {

@@ -1,0 +1,140 @@
+//! Degenerate-input tests for the geometry kernel: coincident points,
+//! collinear configurations, zero-area clips, and the six-pie cover of
+//! the full angle range — the inputs that turn into `Option::None` or
+//! empty regions rather than NaN-poisoned geometry.
+
+use std::f64::consts::TAU;
+
+use igern_geom::{sector_of, Aabb, ConvexPolygon, HalfPlane, Point, Sector, EPS, SECTOR_COUNT};
+
+#[test]
+fn bisector_of_coincident_points_is_none() {
+    let p = Point::new(3.0, -4.0);
+    assert!(HalfPlane::bisector(p, p).is_none());
+    // Numerically coincident (separation far below EPS) degenerates the
+    // same way instead of producing a garbage normal.
+    let q = Point::new(3.0 + EPS * 1e-3, -4.0);
+    assert!(HalfPlane::bisector(p, q).is_none());
+    // Zero normal vectors are rejected at the coefficient level too.
+    assert!(HalfPlane::from_coeffs(0.0, 0.0, 1.0).is_none());
+    assert!(HalfPlane::from_coeffs(EPS * 1e-3, 0.0, 1.0).is_none());
+}
+
+#[test]
+fn bisector_of_distinct_points_keeps_the_near_side() {
+    let keep = Point::new(0.0, 0.0);
+    let prune = Point::new(4.0, 0.0);
+    let h = HalfPlane::bisector(keep, prune).unwrap();
+    assert!(h.contains(keep));
+    assert!(!h.contains(prune));
+    // The midpoint sits on the boundary line.
+    let mid = keep.midpoint(prune);
+    assert!(h.signed_dist(mid).abs() <= EPS, "{}", h.signed_dist(mid));
+}
+
+#[test]
+fn collinear_bisectors_are_parallel_and_never_intersect() {
+    // Three collinear points produce parallel bisector boundaries;
+    // line_intersection must report None, not a far-away fake vertex.
+    let a = Point::new(0.0, 0.0);
+    let b = Point::new(1.0, 1.0);
+    let c = Point::new(5.0, 5.0);
+    let h1 = HalfPlane::bisector(a, b).unwrap();
+    let h2 = HalfPlane::bisector(a, c).unwrap();
+    assert!(h1.line_intersection(&h2).is_none());
+    // Self-intersection is degenerate as well.
+    assert!(h1.line_intersection(&h1).is_none());
+    // A non-collinear third point does intersect.
+    let h3 = HalfPlane::bisector(a, Point::new(0.0, 2.0)).unwrap();
+    let x = h1.line_intersection(&h3).unwrap();
+    // The crossing is equidistant from all three generators.
+    assert!((x.dist(a) - x.dist(b)).abs() < 1e-9);
+    assert!((x.dist(a) - x.dist(Point::new(0.0, 2.0))).abs() < 1e-9);
+}
+
+#[test]
+fn clipping_to_zero_area_yields_the_empty_polygon() {
+    let unit = Aabb::from_coords(0.0, 0.0, 1.0, 1.0);
+
+    // A half-plane strictly excluding the box empties it.
+    let mut p = ConvexPolygon::from_aabb(&unit);
+    p.clip(&HalfPlane::from_coeffs(1.0, 0.0, -5.0).unwrap()); // x ≤ -5
+    assert!(p.is_empty());
+    assert_eq!(p.vertices().len(), 0);
+    assert_eq!(p.area(), 0.0);
+    assert!(!p.contains(Point::new(0.5, 0.5)));
+
+    // Clipping the empty polygon stays empty (no panic, no resurrection).
+    p.clip(&HalfPlane::from_coeffs(0.0, 1.0, 10.0).unwrap());
+    assert!(p.is_empty());
+
+    // A boundary exactly through an edge collapses the region to a
+    // zero-area sliver, which canonicalizes to empty.
+    let mut q = ConvexPolygon::from_aabb(&unit);
+    q.clip(&HalfPlane::from_coeffs(1.0, 0.0, 0.0).unwrap()); // x ≤ 0
+    assert!(q.is_empty(), "sliver left {:?}", q.vertices());
+
+    // A boundary exactly through a corner keeps the full box on the
+    // kept side without duplicate corner vertices.
+    let mut r = ConvexPolygon::from_aabb(&unit);
+    r.clip(&HalfPlane::from_coeffs(-1.0, -1.0, 0.0).unwrap()); // x + y ≥ 0
+    assert_eq!(r.vertices().len(), 4, "{:?}", r.vertices());
+    assert!((r.area() - 1.0).abs() < 1e-12);
+
+    // Opposing half-planes squeeze the box to a line, then to nothing.
+    let mut s = ConvexPolygon::from_aabb(&unit);
+    s.clip(&HalfPlane::from_coeffs(1.0, 0.0, 0.5).unwrap()); // x ≤ 0.5
+    s.clip(&HalfPlane::from_coeffs(-1.0, 0.0, -0.5).unwrap()); // x ≥ 0.5
+    assert!(s.is_empty(), "line sliver left {:?}", s.vertices());
+}
+
+#[test]
+fn six_pies_cover_the_full_circle_exactly_once() {
+    let c = Point::new(-7.0, 2.5);
+    let pies = Sector::all(c);
+    assert_eq!(pies.len(), SECTOR_COUNT);
+
+    // The angular ranges chain with no gap and no overlap, spanning 2π.
+    for w in pies.windows(2) {
+        assert_eq!(w[0].end_angle(), w[1].start_angle());
+    }
+    assert_eq!(pies[0].start_angle(), 0.0);
+    assert!((pies[SECTOR_COUNT - 1].end_angle() - TAU).abs() < 1e-12);
+
+    // Every direction — including probes near pie boundaries — lands in
+    // exactly one pie, and `contains` agrees with `sector_of`.
+    for k in 0..720 {
+        let a = k as f64 * TAU / 720.0 + 1e-7;
+        let p = c + Point::new(a.cos(), a.sin()) * 3.0;
+        let owners: Vec<usize> = (0..SECTOR_COUNT).filter(|&i| pies[i].contains(p)).collect();
+        assert_eq!(owners.len(), 1, "angle {a}: owners {owners:?}");
+        assert_eq!(owners[0], sector_of(c, p));
+    }
+
+    // The apex itself belongs to pie 0 by convention.
+    let owners: Vec<usize> = (0..SECTOR_COUNT).filter(|&i| pies[i].contains(c)).collect();
+    assert_eq!(owners, vec![0]);
+
+    // Any box — even a degenerate point-box — meets at least one pie,
+    // and a box around the apex meets all six.
+    let spot = Aabb::from_coords(40.0, 40.0, 40.0, 40.0);
+    assert!(pies.iter().any(|s| s.intersects_aabb(&spot)));
+    let around = Aabb::from_coords(c.x - 1.0, c.y - 1.0, c.x + 1.0, c.y + 1.0);
+    for s in &pies {
+        assert!(
+            s.intersects_aabb(&around),
+            "pie {} misses apex box",
+            s.index
+        );
+    }
+    let at_apex = Aabb::from_coords(c.x, c.y, c.x, c.y);
+    for s in &pies {
+        assert!(s.intersects_aabb(&at_apex), "pie {}", s.index);
+    }
+}
+
+#[test]
+#[should_panic(expected = "sector index out of range")]
+fn sector_index_out_of_range_panics() {
+    let _ = Sector::new(Point::ORIGIN, SECTOR_COUNT);
+}

@@ -299,8 +299,13 @@ impl Grid {
     pub fn debug_force_desync(&mut self, id: ObjectId) -> bool {
         match self.objects.get_mut(id.index()) {
             Some(slot @ Some(_)) => {
+                // A real lost-update desync happens *during* a mutation of
+                // this cell, so the cell would be in the dirty set; mark it
+                // so skip routing re-examines queries watching the victim.
+                let (_, cell) = slot.expect("slot matched Some");
                 *slot = None;
                 self.len -= 1;
+                self.dirty.insert(cell);
                 true
             }
             _ => false,

@@ -14,6 +14,8 @@
 //!   road-class speeds, re-routing on arrival;
 //! * [`uniform`] — non-network movers (random waypoint) for ablations;
 //! * [`workload`] — object/type/query assembly for the experiments;
+//! * [`schedule`] — pre-materialized, replayable motion schedules with
+//!   population churn for the `igern-sim` fault-injection harness;
 //! * [`trace`] — record/replay of update streams so that competing
 //!   algorithms consume byte-identical inputs.
 //!
@@ -35,6 +37,7 @@ pub mod hotspot;
 pub mod network;
 pub mod rng;
 pub mod route;
+pub mod schedule;
 pub mod synthetic;
 pub mod trace;
 pub mod uniform;
@@ -44,6 +47,7 @@ pub use brinkhoff::NetworkMover;
 pub use hotspot::{HotspotConfig, HotspotMover};
 pub use network::{EdgeId, NodeId, RoadClass, RoadNetwork};
 pub use route::RoutingTable;
+pub use schedule::{MotionEvent, MotionSchedule, ScheduleConfig};
 pub use synthetic::{build_synthetic_network, SyntheticNetworkConfig};
 pub use trace::RecordedTrace;
 pub use uniform::RandomWaypointMover;

@@ -1,0 +1,270 @@
+//! Pre-materialized motion schedules for the simulation harness.
+//!
+//! The live movers in this crate ([`crate::Mover`]) hand out updates one
+//! tick at a time and mutate internal state as they go — fine for
+//! benchmarks, awkward for a fault-injection simulator that needs to
+//! truncate, splice, and replay the exact same object history across
+//! several execution backends. A [`MotionSchedule`] is the alternative:
+//! the whole run — initial population, per-tick moves, teleports, and
+//! population churn — is generated up front from one [`Rng64`] seed into
+//! a plain vector of [`MotionEvent`]s per tick. Consumers iterate it as
+//! many times as they like (serial engine, sharded engine, wire server,
+//! brute-force oracle) and every pass sees byte-identical input.
+//!
+//! Churn respects a *protected* id set so that objects anchoring
+//! continuous queries are never removed mid-run.
+
+use igern_geom::{Aabb, Point};
+
+use crate::rng::Rng64;
+use crate::workload::ObjKind;
+
+/// One scheduled population change at some tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MotionEvent {
+    /// Object `id` reports a new position.
+    Move { id: u32, pos: Point },
+    /// A previously removed (or never-live) object enters the space.
+    Insert { id: u32, kind: ObjKind, pos: Point },
+    /// Object `id` leaves the space.
+    Remove { id: u32 },
+}
+
+/// Knobs for [`MotionSchedule::generate`].
+#[derive(Debug, Clone)]
+pub struct ScheduleConfig {
+    /// Initial population size (ids are `0..num_objects`).
+    pub num_objects: usize,
+    /// Number of ticks to materialize.
+    pub ticks: usize,
+    /// Seed; equal configs produce equal schedules.
+    pub seed: u64,
+    /// The data space every position stays inside.
+    pub space: Aabb,
+    /// Maximum per-axis displacement of a normal per-tick move.
+    pub max_step: f64,
+    /// Fraction of the live population that reports each tick.
+    pub move_fraction: f64,
+    /// Per-object per-tick probability of a teleport (a jump to a
+    /// uniformly random position — the pathological long-distance move).
+    pub teleport_prob: f64,
+    /// Per-tick probability of one removal and of one (re)insertion.
+    pub churn_prob: f64,
+    /// Fraction of objects of kind A; `None` means monochromatic.
+    pub kind_a_fraction: Option<f64>,
+    /// Ids that are never removed (continuous-query anchors).
+    pub protected: Vec<u32>,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            num_objects: 64,
+            ticks: 100,
+            seed: 1,
+            space: Aabb::from_coords(0.0, 0.0, 1000.0, 1000.0),
+            max_step: 12.0,
+            move_fraction: 0.6,
+            teleport_prob: 0.01,
+            churn_prob: 0.15,
+            kind_a_fraction: None,
+            protected: Vec::new(),
+        }
+    }
+}
+
+/// A fully materialized, replayable object history.
+#[derive(Debug, Clone)]
+pub struct MotionSchedule {
+    space: Aabb,
+    initial: Vec<Point>,
+    kinds: Vec<ObjKind>,
+    ticks: Vec<Vec<MotionEvent>>,
+}
+
+impl MotionSchedule {
+    /// Materialize a schedule from its config. Deterministic: equal
+    /// configs yield equal schedules.
+    pub fn generate(cfg: &ScheduleConfig) -> Self {
+        let mut rng = Rng64::seed_from_u64(cfg.seed);
+        let n = cfg.num_objects;
+        let initial: Vec<Point> = (0..n).map(|_| random_point(&mut rng, &cfg.space)).collect();
+        let n_a = match cfg.kind_a_fraction {
+            None => n,
+            Some(f) => ((n as f64) * f).ceil() as usize,
+        };
+        let kinds: Vec<ObjKind> = (0..n)
+            .map(|i| if i < n_a { ObjKind::A } else { ObjKind::B })
+            .collect();
+
+        let mut pos = initial.clone();
+        let mut live = vec![true; n];
+        let mut ticks = Vec::with_capacity(cfg.ticks);
+        for _ in 0..cfg.ticks {
+            let mut events = Vec::new();
+            for id in 0..n as u32 {
+                if !live[id as usize] {
+                    continue;
+                }
+                let next = if rng.gen_bool(cfg.teleport_prob) {
+                    random_point(&mut rng, &cfg.space)
+                } else if rng.gen_bool(cfg.move_fraction) {
+                    let dx = rng.gen_range(-cfg.max_step..=cfg.max_step);
+                    let dy = rng.gen_range(-cfg.max_step..=cfg.max_step);
+                    let p = pos[id as usize];
+                    cfg.space.clamp(Point::new(p.x + dx, p.y + dy))
+                } else {
+                    continue;
+                };
+                pos[id as usize] = next;
+                events.push(MotionEvent::Move { id, pos: next });
+            }
+            if n > 0 && rng.gen_bool(cfg.churn_prob) {
+                let victims: Vec<u32> = (0..n as u32)
+                    .filter(|id| live[*id as usize] && !cfg.protected.contains(id))
+                    .collect();
+                if !victims.is_empty() {
+                    let id = victims[rng.gen_range(0..victims.len())];
+                    live[id as usize] = false;
+                    events.push(MotionEvent::Remove { id });
+                }
+            }
+            if n > 0 && rng.gen_bool(cfg.churn_prob) {
+                let dead: Vec<u32> = (0..n as u32).filter(|id| !live[*id as usize]).collect();
+                if !dead.is_empty() {
+                    let id = dead[rng.gen_range(0..dead.len())];
+                    let p = random_point(&mut rng, &cfg.space);
+                    live[id as usize] = true;
+                    pos[id as usize] = p;
+                    events.push(MotionEvent::Insert {
+                        id,
+                        kind: kinds[id as usize],
+                        pos: p,
+                    });
+                }
+            }
+            ticks.push(events);
+        }
+        MotionSchedule {
+            space: cfg.space,
+            initial,
+            kinds,
+            ticks,
+        }
+    }
+
+    /// The data space of the schedule.
+    #[inline]
+    pub fn space(&self) -> Aabb {
+        self.space
+    }
+
+    /// Initial positions, indexed by object id.
+    #[inline]
+    pub fn initial_positions(&self) -> &[Point] {
+        &self.initial
+    }
+
+    /// Object kinds, indexed by object id.
+    #[inline]
+    pub fn kinds(&self) -> &[ObjKind] {
+        &self.kinds
+    }
+
+    /// Number of materialized ticks.
+    #[inline]
+    pub fn num_ticks(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Events of tick `t` (0-based), in application order.
+    #[inline]
+    pub fn events(&self, t: usize) -> &[MotionEvent] {
+        &self.ticks[t]
+    }
+}
+
+fn random_point(rng: &mut Rng64, space: &Aabb) -> Point {
+    Point::new(
+        rng.gen_range(space.min.x..space.max.x),
+        rng.gen_range(space.min.y..space.max.y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ScheduleConfig {
+        ScheduleConfig {
+            num_objects: 30,
+            ticks: 80,
+            seed: 5,
+            protected: vec![0, 1, 2],
+            kind_a_fraction: Some(0.5),
+            ..ScheduleConfig::default()
+        }
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_schedules() {
+        let a = MotionSchedule::generate(&cfg());
+        let b = MotionSchedule::generate(&cfg());
+        assert_eq!(a.initial_positions(), b.initial_positions());
+        for t in 0..a.num_ticks() {
+            assert_eq!(a.events(t), b.events(t), "tick {t}");
+        }
+        let c = MotionSchedule::generate(&ScheduleConfig { seed: 6, ..cfg() });
+        assert_ne!(a.initial_positions(), c.initial_positions());
+    }
+
+    #[test]
+    fn positions_stay_in_space_and_protected_ids_survive() {
+        let s = MotionSchedule::generate(&cfg());
+        let space = s.space();
+        for p in s.initial_positions() {
+            assert!(space.contains(*p));
+        }
+        for t in 0..s.num_ticks() {
+            for e in s.events(t) {
+                match *e {
+                    MotionEvent::Move { pos, .. } | MotionEvent::Insert { pos, .. } => {
+                        assert!(space.contains(pos), "tick {t}: {pos} escaped")
+                    }
+                    MotionEvent::Remove { id } => {
+                        assert!(!(0..=2).contains(&id), "protected id {id} removed")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_is_consistent_with_liveness() {
+        let s = MotionSchedule::generate(&cfg());
+        let mut live = [true; 30];
+        let mut saw_remove = false;
+        let mut saw_insert = false;
+        for t in 0..s.num_ticks() {
+            for e in s.events(t) {
+                match *e {
+                    MotionEvent::Move { id, .. } => {
+                        assert!(live[id as usize], "tick {t}: dead object {id} moved")
+                    }
+                    MotionEvent::Remove { id } => {
+                        assert!(live[id as usize], "tick {t}: double remove of {id}");
+                        live[id as usize] = false;
+                        saw_remove = true;
+                    }
+                    MotionEvent::Insert { id, kind, .. } => {
+                        assert!(!live[id as usize], "tick {t}: double insert of {id}");
+                        assert_eq!(kind, s.kinds()[id as usize]);
+                        live[id as usize] = true;
+                        saw_insert = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_remove && saw_insert, "churn never fired in 80 ticks");
+    }
+}

@@ -18,6 +18,7 @@ use igern_core::types::ObjectKind;
 use crate::proto::{
     ErrorCode, Frame, FrameError, FrameReader, ProtoError, ReadOutcome, PROTOCOL_VERSION,
 };
+use crate::transport::Stream;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -32,6 +33,9 @@ pub enum ClientError {
     TimedOut,
     /// The server closed the connection.
     Closed,
+    /// The server answered a command wait with an `ERROR` frame (a
+    /// semantic rejection; the connection stays usable).
+    Server { code: ErrorCode, message: String },
 }
 
 impl std::fmt::Display for ClientError {
@@ -42,6 +46,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Handshake(m) => write!(f, "handshake rejected: {m}"),
             ClientError::TimedOut => write!(f, "timed out waiting for the server"),
             ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
         }
     }
 }
@@ -93,17 +100,24 @@ pub enum Event {
 /// Blocking client over one connection. Not thread-safe; clone the
 /// answers out if another thread needs them.
 pub struct Client {
-    stream: TcpStream,
-    reader: FrameReader<TcpStream>,
+    stream: Stream,
+    reader: FrameReader<Stream>,
     next_token: u32,
     answers: BTreeMap<u32, BTreeSet<u32>>,
     last_tick_end: Option<(u64, u64)>,
 }
 
 impl Client {
-    /// Connect and complete the `HELLO` handshake.
+    /// Connect over TCP and complete the `HELLO` handshake.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(Stream::Tcp(stream))
+    }
+
+    /// Speak the protocol over an already-connected [`Stream`] (TCP or
+    /// the in-process memory transport) and complete the `HELLO`
+    /// handshake.
+    pub fn from_stream(stream: Stream) -> Result<Client, ClientError> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_millis(25)))?;
         let reader = FrameReader::new(stream.try_clone()?);
@@ -145,6 +159,11 @@ impl Client {
     /// `k == 0`) is still acknowledged — the rejection arrives
     /// afterwards as an [`Event::Error`] and the sid never produces
     /// deltas.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] when the server pushes an `ERROR` frame
+    /// while the ack is awaited (e.g. the connection is being rejected),
+    /// instead of spinning until a generic [`ClientError::TimedOut`].
     pub fn subscribe(&mut self, anchor: u32, algo: Algorithm) -> Result<u32, ClientError> {
         let token = self.next_token;
         self.next_token += 1;
@@ -163,6 +182,9 @@ impl Client {
                     self.answers.entry(sid).or_default();
                     return Ok(sid);
                 }
+                Event::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
                 _ => continue,
             }
         }
@@ -180,6 +202,10 @@ impl Client {
     }
 
     /// Round-trip a `PING`; returns when the matching `PONG` arrives.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] when an `ERROR` frame arrives while the
+    /// `PONG` is awaited (the failure, not a generic timeout).
     pub fn ping(&mut self, nonce: u64) -> Result<(), ClientError> {
         self.send(&Frame::Ping { nonce })?;
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -187,10 +213,12 @@ impl Client {
             let remain = deadline
                 .checked_duration_since(Instant::now())
                 .ok_or(ClientError::TimedOut)?;
-            if let Event::Pong { nonce: n } = self.wait_event(remain)? {
-                if n == nonce {
-                    return Ok(());
+            match self.wait_event(remain)? {
+                Event::Pong { nonce: n } if n == nonce => return Ok(()),
+                Event::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
                 }
+                _ => continue,
             }
         }
     }
@@ -220,6 +248,9 @@ impl Client {
         loop {
             match self.reader.poll() {
                 Ok(ReadOutcome::Frame(frame)) => return Ok(Some(self.apply(frame))),
+                // Forward compatibility: skip frame types newer than
+                // this client.
+                Ok(ReadOutcome::Skipped(_)) => {}
                 Ok(ReadOutcome::Idle) => {
                     if Instant::now() >= deadline {
                         return Ok(None);

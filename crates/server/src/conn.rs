@@ -14,13 +14,14 @@
 //! tick traffic in place while keeping acks and errors.
 
 use std::collections::VecDeque;
-use std::net::{Shutdown, TcpStream};
+use std::net::Shutdown;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use crate::proto::{ErrorCode, Frame, FrameError, FrameReader, ReadOutcome, PROTOCOL_VERSION};
+use crate::transport::Stream;
 use crate::{Ingest, ServerConfig, ServerMetrics, SlowConsumerPolicy};
 
 /// Result of pushing a tick batch into the outbound queue.
@@ -40,7 +41,7 @@ pub(crate) enum PushOutcome {
 /// hold an `Arc`).
 pub(crate) struct Connection {
     pub id: u64,
-    stream: TcpStream,
+    stream: Stream,
     queue: Mutex<VecDeque<Frame>>,
     wake: Condvar,
     /// Hard-dead: no more frames in or out; sockets are shut down.
@@ -50,7 +51,7 @@ pub(crate) struct Connection {
 }
 
 impl Connection {
-    pub fn new(id: u64, stream: TcpStream) -> Self {
+    pub fn new(id: u64, stream: Stream) -> Self {
         Connection {
             id,
             stream,
@@ -63,6 +64,20 @@ impl Connection {
 
     pub fn is_dead(&self) -> bool {
         self.dead.load(Ordering::Acquire)
+    }
+
+    /// Lock the outbound queue, recovering from poison instead of
+    /// propagating it. A writer- or tick-thread panic must cost at most
+    /// its own connection: the queue holds plain frames (always
+    /// consistent at any lock boundary), so the poison flag carries no
+    /// information here — swallowing it stops one panic from cascading
+    /// into every thread that touches this queue. Recoveries are
+    /// counted in `ServerMetrics::lock_poisoned_total`.
+    fn lock_queue(&self, metrics: &ServerMetrics) -> MutexGuard<'_, VecDeque<Frame>> {
+        self.queue.lock().unwrap_or_else(|e: PoisonError<_>| {
+            metrics.lock_poisoned_total.inc();
+            e.into_inner()
+        })
     }
 
     /// Kill the connection now: both socket directions are shut down so
@@ -86,7 +101,7 @@ impl Connection {
     /// requests while never reading replies: past `4 × cap` the
     /// connection is killed regardless of policy.
     pub fn push_control(&self, frame: Frame, cap: usize, metrics: &ServerMetrics) {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = self.lock_queue(metrics);
         if self.is_dead() {
             return;
         }
@@ -110,7 +125,7 @@ impl Connection {
         policy: SlowConsumerPolicy,
         metrics: &ServerMetrics,
     ) -> PushOutcome {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = self.lock_queue(metrics);
         if self.is_dead() {
             return PushOutcome::Dead;
         }
@@ -140,8 +155,8 @@ impl Connection {
     /// Queue a snapshot batch after a coalesce, bypassing the cap (the
     /// queue holds no tick traffic at this point, so the overshoot is
     /// bounded by one tick's worth of frames — documented soft cap).
-    pub fn push_forced(&self, batch: Vec<Frame>) -> PushOutcome {
-        let mut q = self.queue.lock().unwrap();
+    pub fn push_forced(&self, batch: Vec<Frame>, metrics: &ServerMetrics) -> PushOutcome {
+        let mut q = self.lock_queue(metrics);
         if self.is_dead() {
             return PushOutcome::Dead;
         }
@@ -155,7 +170,7 @@ impl Connection {
     pub fn writer_loop(self: &Arc<Self>, metrics: &ServerMetrics) {
         loop {
             let frame = {
-                let mut q = self.queue.lock().unwrap();
+                let mut q = self.lock_queue(metrics);
                 loop {
                     if self.is_dead() {
                         return;
@@ -171,7 +186,10 @@ impl Connection {
                     let (guard, _) = self
                         .wake
                         .wait_timeout(q, Duration::from_millis(100))
-                        .unwrap();
+                        .unwrap_or_else(|e: PoisonError<_>| {
+                            metrics.lock_poisoned_total.inc();
+                            e.into_inner()
+                        });
                     q = guard;
                 }
             };
@@ -194,7 +212,7 @@ impl Connection {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn reader_loop(
     conn: Arc<Connection>,
-    stream: TcpStream,
+    stream: Stream,
     ingest: SyncSender<Ingest>,
     next_sid: Arc<AtomicU32>,
     shutdown: Arc<AtomicBool>,
@@ -215,6 +233,11 @@ pub(crate) fn reader_loop(
                 }
             }
             Ok(ReadOutcome::Eof) => break,
+            Ok(ReadOutcome::Skipped(_)) => {
+                // Forward compatibility: a newer client's frame type we
+                // cannot decode — counted, otherwise ignored.
+                metrics.frames_skipped_total.inc();
+            }
             Err(FrameError::Io(_)) => break,
             Err(FrameError::Proto(e)) => {
                 metrics.protocol_errors_total.inc();

@@ -33,6 +33,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use igern_core::hooks::SharedSimHooks;
 use igern_core::obs::{
     Counter, Gauge, Histogram, MetricsRegistry, COUNT_BUCKETS, LATENCY_BUCKETS_S,
 };
@@ -44,9 +45,13 @@ pub mod client;
 mod conn;
 pub mod proto;
 mod tick;
+pub mod transport;
 
 pub use client::{Client, ClientError, Event};
 pub use proto::{ErrorCode, Frame, ProtoError, PROTOCOL_VERSION};
+pub use transport::{
+    memory_listener, memory_listener_with_capacity, Listener, MemConnector, MemStream, Stream,
+};
 
 pub(crate) use tick::Ingest;
 
@@ -86,7 +91,7 @@ pub enum TickMode {
 }
 
 /// Server construction parameters.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Data space all object positions must fall inside.
     pub space: Aabb,
@@ -110,6 +115,28 @@ pub struct ServerConfig {
     /// Socket write timeout (a blocked write past this kills the
     /// connection).
     pub write_timeout: Duration,
+    /// Simulation fault-injection hooks, forwarded to the tick runner
+    /// and fired by the tick thread (see [`igern_core::hooks::SimHooks`]).
+    /// `None` in production.
+    pub sim_hooks: Option<SharedSimHooks>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("space", &self.space)
+            .field("grid", &self.grid)
+            .field("workers", &self.workers)
+            .field("placement", &self.placement)
+            .field("tick_mode", &self.tick_mode)
+            .field("ingest_queue_frames", &self.ingest_queue_frames)
+            .field("outbound_queue_frames", &self.outbound_queue_frames)
+            .field("slow_consumer", &self.slow_consumer)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("sim_hooks", &self.sim_hooks.as_ref().map(|_| "<installed>"))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -125,6 +152,7 @@ impl Default for ServerConfig {
             slow_consumer: SlowConsumerPolicy::Disconnect,
             read_timeout: Duration::from_millis(50),
             write_timeout: Duration::from_secs(5),
+            sim_hooks: None,
         }
     }
 }
@@ -145,6 +173,11 @@ pub struct ServerMetrics {
     pub tick_push_seconds: Histogram,
     pub slow_consumer_total: Counter,
     pub protocol_errors_total: Counter,
+    /// Outbound-queue mutex poison recoveries (a thread panicked while
+    /// holding the lock; the queue stays usable — see `conn.rs`).
+    pub lock_poisoned_total: Counter,
+    /// Unknown-frame-type payloads skipped for forward compatibility.
+    pub frames_skipped_total: Counter,
     /// Per-frame-type counters, resolved once at registration so the
     /// per-frame hot path never touches the registry lock.
     frames_in: Vec<(&'static str, Counter)>,
@@ -177,6 +210,8 @@ impl ServerMetrics {
                 .histogram(&format!("{p}_tick_push_seconds"), &LATENCY_BUCKETS_S),
             slow_consumer_total: registry.counter(&format!("{p}_slow_consumer_events_total")),
             protocol_errors_total: registry.counter(&format!("{p}_protocol_errors_total")),
+            lock_poisoned_total: registry.counter(&format!("{p}_lock_poisoned_total")),
+            frames_skipped_total: registry.counter(&format!("{p}_frames_skipped_total")),
             frames_in: by_type("in"),
             frames_out: by_type("out"),
         }
@@ -231,10 +266,24 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        Self::start_on(Listener::Tcp(listener), store, cfg, registry)
+    }
+
+    /// Serve on an already-bound [`Listener`] — the transport-generic
+    /// entry point. The simulation harness passes the in-process memory
+    /// listener here to run the whole server (acceptor, connection
+    /// threads, tick thread) without any ports.
+    pub fn start_on(
+        listener: Listener,
+        store: SpatialStore,
+        cfg: ServerConfig,
+        registry: MetricsRegistry,
+    ) -> std::io::Result<Server> {
         let local = listener.local_addr()?;
         let metrics = ServerMetrics::register(&registry);
         let mut runner = TickRunner::new(store, cfg.workers, cfg.placement);
         runner.attach_metrics(&registry, "igern_pipeline");
+        runner.set_sim_hooks(cfg.sim_hooks.clone());
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let next_sid = Arc::new(AtomicU32::new(1));
@@ -322,7 +371,7 @@ impl Drop for Server {
 }
 
 fn accept_loop(
-    listener: TcpListener,
+    listener: Listener,
     ingest: SyncSender<Ingest>,
     next_sid: Arc<AtomicU32>,
     shutdown: Arc<AtomicBool>,
@@ -334,8 +383,8 @@ fn accept_loop(
         if shutdown.load(Ordering::Acquire) {
             return;
         }
-        let (stream, _) = match listener.accept() {
-            Ok(pair) => pair,
+        let stream = match listener.accept() {
+            Ok(stream) => stream,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
                 continue;

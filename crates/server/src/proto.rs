@@ -439,6 +439,13 @@ impl Frame {
     }
 }
 
+/// Whether `t` is a frame type this build decodes. Unknown types inside
+/// a valid envelope are skipped by [`FrameReader::poll`] for forward
+/// compatibility.
+fn is_known_type(t: u8) -> bool {
+    matches!(t, T_HELLO..=T_SHUTDOWN | T_HELLO_ACK..=T_ERROR)
+}
+
 fn type_name_of(t: u8) -> &'static str {
     match t {
         T_HELLO => "hello",
@@ -488,6 +495,12 @@ pub enum ReadOutcome {
     Idle,
     /// The peer closed the stream at a frame boundary.
     Eof,
+    /// A well-framed payload of an unknown frame type was skipped
+    /// (forward compatibility: a newer peer may emit frame types this
+    /// build does not know; the length prefix delimits them, so they
+    /// are consumed without desyncing the stream). Carries the unknown
+    /// type byte.
+    Skipped(u8),
 }
 
 /// A transport or protocol failure while reading frames.
@@ -574,6 +587,17 @@ impl<R: Read> FrameReader<R> {
                 }
                 self.payload_len = Some(len as usize);
                 continue;
+            }
+            // Forward compatibility: an unknown type byte in a
+            // well-formed envelope is skipped, not a protocol error —
+            // the prefix told us exactly how much to consume. Known
+            // types still decode strictly (any other malformation kills
+            // the connection).
+            let ty = self.buf[4];
+            if !is_known_type(ty) {
+                self.buf.clear();
+                self.payload_len = None;
+                return Ok(ReadOutcome::Skipped(ty));
             }
             let frame = Frame::decode(&self.buf[4..]).map_err(FrameError::Proto)?;
             self.buf.clear();

@@ -339,6 +339,13 @@ impl TickThread {
     /// and close with a `TICK_END` per subscribed connection.
     fn tick(&mut self) {
         let t0 = Instant::now();
+        // Simulation injection point: the runner fires `on_tick` /
+        // desyncs itself inside `step`; `on_server_tick` covers the
+        // serving layer (e.g. stalling the tick thread while readers
+        // keep ingesting).
+        if let Some(h) = &self.cfg.sim_hooks {
+            h.on_server_tick(self.runner.tick() + 1);
+        }
         self.runner.step(&[]);
         self.metrics
             .batch_size
@@ -414,7 +421,7 @@ impl TickThread {
                         })
                         .chain(std::iter::once(Frame::TickEnd { tick, stamp_nanos }))
                         .collect();
-                    if cs.conn.push_forced(snap) == PushOutcome::Dead {
+                    if cs.conn.push_forced(snap, &self.metrics) == PushOutcome::Dead {
                         dead.push(conn_id);
                     }
                 }

@@ -1,0 +1,670 @@
+//! Transport abstraction: real TCP sockets or an in-process duplex pipe.
+//!
+//! The server core (connection threads, tick thread, client) is written
+//! against [`Stream`] / [`Listener`], concrete enums over `TcpStream` /
+//! `TcpListener` and the in-memory [`MemStream`] / [`MemListener`]. The
+//! memory transport exists for the deterministic simulation harness
+//! (`igern-sim`): it lets a whole server — acceptor, reader/writer
+//! threads, tick thread — run against clients in the same process with
+//! no ports, while preserving the socket semantics the server relies on:
+//!
+//! * **bounded buffering** — each direction is a capacity-limited byte
+//!   queue, so a stalled consumer eventually blocks the producer and the
+//!   slow-consumer machinery fires exactly as it would on TCP;
+//! * **timeouts** — reads past the read timeout fail with `WouldBlock`
+//!   (what [`FrameReader`](crate::proto::FrameReader) treats as
+//!   [`Idle`](crate::proto::ReadOutcome::Idle)); writes past the write
+//!   timeout fail with `TimedOut` (what the writer loop treats as a dead
+//!   consumer);
+//! * **half-close** — `shutdown(Write)` lets the peer drain buffered
+//!   bytes and then observe EOF, which is how graceful close works on
+//!   sockets.
+//!
+//! The memory pipe additionally supports a **write tap** — a scripted
+//! transformation of each written chunk — which is how the simulation
+//! harness injects dropped, duplicated, truncated, and reordered frames
+//! between the server and a victim client without touching protocol
+//! code. Every server write is one whole encoded frame (`write_all` of
+//! `Frame::encode`), so per-chunk taps are per-frame taps.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Transformation applied to each chunk written into a [`MemStream`]
+/// before it is buffered: the returned chunks are delivered instead
+/// (empty = drop, two copies = duplicate, a held-back chunk emitted
+/// later = reorder). Called on the writer's thread, in write order.
+pub type WriteTap = Box<dyn FnMut(&[u8]) -> Vec<Vec<u8>> + Send>;
+
+/// Default per-direction buffer capacity of a memory pipe (bytes).
+pub const MEM_PIPE_CAPACITY: usize = 1 << 16;
+
+/// One direction of a duplex memory pipe: a bounded byte queue with
+/// blocking reads/writes, timeouts, and close flags for each end.
+struct Pipe {
+    inner: Mutex<PipeState>,
+    /// Signalled when bytes (or EOF) become available to the reader.
+    readable: Condvar,
+    /// Signalled when space (or reader close) becomes visible to the
+    /// writer.
+    writable: Condvar,
+    capacity: usize,
+}
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    /// The writing end is gone: drained reads return EOF.
+    tx_closed: bool,
+    /// The reading end is gone: writes fail with `BrokenPipe`.
+    rx_closed: bool,
+    /// Scripted fault injection on this direction's writes.
+    tap: Option<WriteTap>,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> Self {
+        Pipe {
+            inner: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                tx_closed: false,
+                rx_closed: false,
+                tap: None,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn close_tx(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .tx_closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    fn close_rx(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .rx_closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    fn read(&self, buf: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if !st.buf.is_empty() {
+                let n = buf.len().min(st.buf.len());
+                for b in buf.iter_mut().take(n) {
+                    *b = st.buf.pop_front().expect("len checked");
+                }
+                self.writable.notify_all();
+                return Ok(n);
+            }
+            if st.tx_closed || st.rx_closed {
+                return Ok(0); // EOF (rx_closed = our own shutdown(Read))
+            }
+            st = match timeout {
+                None => self
+                    .readable
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+                Some(d) => {
+                    let (guard, res) = self
+                        .readable
+                        .wait_timeout(st, d)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if res.timed_out() && guard.buf.is_empty() && !guard.tx_closed {
+                        return Err(io::ErrorKind::WouldBlock.into());
+                    }
+                    guard
+                }
+            };
+        }
+    }
+
+    /// Buffer one whole chunk, blocking for space as needed. Called with
+    /// post-tap chunks, so partial progress never splits a tap result.
+    fn write_chunk(&self, chunk: &[u8], timeout: Option<Duration>) -> io::Result<()> {
+        let mut st = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut off = 0;
+        while off < chunk.len() {
+            if st.rx_closed {
+                return Err(io::ErrorKind::BrokenPipe.into());
+            }
+            if st.tx_closed {
+                return Err(io::ErrorKind::NotConnected.into());
+            }
+            let space = self.capacity.saturating_sub(st.buf.len());
+            if space == 0 {
+                st = match timeout {
+                    None => self
+                        .writable
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    Some(d) => {
+                        let (guard, res) = self
+                            .writable
+                            .wait_timeout(st, d)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        if res.timed_out() && guard.buf.len() >= self.capacity && !guard.rx_closed {
+                            return Err(io::ErrorKind::TimedOut.into());
+                        }
+                        guard
+                    }
+                };
+                continue;
+            }
+            let n = space.min(chunk.len() - off);
+            st.buf.extend(&chunk[off..off + n]);
+            off += n;
+            self.readable.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Run the tap (if any) over `buf` and buffer the resulting chunks.
+    fn write(&self, buf: &[u8], timeout: Option<Duration>) -> io::Result<usize> {
+        let tapped: Option<Vec<Vec<u8>>> = {
+            let mut st = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if st.rx_closed {
+                return Err(io::ErrorKind::BrokenPipe.into());
+            }
+            st.tap.as_mut().map(|t| t(buf))
+        };
+        match tapped {
+            None => self.write_chunk(buf, timeout)?,
+            Some(chunks) => {
+                for c in chunks {
+                    self.write_chunk(&c, timeout)?;
+                }
+            }
+        }
+        // The caller's whole buffer is accounted for even when the tap
+        // rewrote it: `write_all` must not retry tapped bytes.
+        Ok(buf.len())
+    }
+
+    fn set_tap(&self, tap: Option<WriteTap>) {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .tap = tap;
+    }
+}
+
+/// Socket-wide state of one endpoint of a memory duplex pipe. All
+/// clones of a [`MemStream`] share this (like `TcpStream::try_clone`
+/// sharing one socket); when the last clone drops, both directions are
+/// closed, mirroring OS socket teardown.
+struct MemEndpoint {
+    /// Pipe this endpoint reads from.
+    rx: Arc<Pipe>,
+    /// Pipe this endpoint writes into.
+    tx: Arc<Pipe>,
+    read_timeout: Mutex<Option<Duration>>,
+    write_timeout: Mutex<Option<Duration>>,
+}
+
+impl Drop for MemEndpoint {
+    fn drop(&mut self) {
+        self.tx.close_tx();
+        self.rx.close_rx();
+    }
+}
+
+/// One endpoint of an in-process duplex byte pipe with TCP-like
+/// semantics (see the module docs). Clones share the endpoint.
+#[derive(Clone)]
+pub struct MemStream(Arc<MemEndpoint>);
+
+impl MemStream {
+    /// Per-endpoint timeouts, as on a socket (shared across clones).
+    pub fn set_read_timeout(&self, d: Option<Duration>) {
+        *self
+            .0
+            .read_timeout
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = d;
+    }
+
+    /// See [`MemStream::set_read_timeout`].
+    pub fn set_write_timeout(&self, d: Option<Duration>) {
+        *self
+            .0
+            .write_timeout
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = d;
+    }
+
+    /// Shut down one or both directions, as on a socket.
+    pub fn shutdown(&self, how: Shutdown) {
+        if matches!(how, Shutdown::Write | Shutdown::Both) {
+            self.0.tx.close_tx();
+        }
+        if matches!(how, Shutdown::Read | Shutdown::Both) {
+            self.0.rx.close_rx();
+        }
+    }
+
+    /// Install (or clear) a fault-injection tap on this endpoint's
+    /// writes. The peer's reads observe the tap's output.
+    pub fn set_write_tap(&self, tap: Option<WriteTap>) {
+        self.0.tx.set_tap(tap);
+    }
+
+    fn read_timeout(&self) -> Option<Duration> {
+        *self
+            .0
+            .read_timeout
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write_timeout(&self) -> Option<Duration> {
+        *self
+            .0
+            .write_timeout
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Read for &MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let t = self.read_timeout();
+        self.0.rx.read(buf, t)
+    }
+}
+
+impl Write for &MemStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let t = self.write_timeout();
+        self.0.tx.write(buf, t)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A connected pair of memory endpoints with the given per-direction
+/// buffer capacity.
+pub fn memory_pair_with_capacity(capacity: usize) -> (MemStream, MemStream) {
+    let a2b = Arc::new(Pipe::new(capacity));
+    let b2a = Arc::new(Pipe::new(capacity));
+    let a = MemStream(Arc::new(MemEndpoint {
+        rx: Arc::clone(&b2a),
+        tx: Arc::clone(&a2b),
+        read_timeout: Mutex::new(None),
+        write_timeout: Mutex::new(None),
+    }));
+    let b = MemStream(Arc::new(MemEndpoint {
+        rx: a2b,
+        tx: b2a,
+        read_timeout: Mutex::new(None),
+        write_timeout: Mutex::new(None),
+    }));
+    (a, b)
+}
+
+/// [`memory_pair_with_capacity`] at [`MEM_PIPE_CAPACITY`].
+pub fn memory_pair() -> (MemStream, MemStream) {
+    memory_pair_with_capacity(MEM_PIPE_CAPACITY)
+}
+
+/// Either transport's stream, behind one concrete type so connection
+/// state needs no generics.
+pub enum Stream {
+    /// A real socket.
+    Tcp(TcpStream),
+    /// An in-process pipe endpoint.
+    Mem(MemStream),
+}
+
+impl std::fmt::Debug for Stream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stream::Tcp(s) => f.debug_tuple("Tcp").field(s).finish(),
+            Stream::Mem(_) => f.write_str("Mem"),
+        }
+    }
+}
+
+impl Stream {
+    /// A second handle to the same underlying stream (for the split
+    /// reader/writer threads).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Mem(s) => Stream::Mem(s.clone()),
+        })
+    }
+
+    /// Shut down one or both directions.
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(how),
+            Stream::Mem(s) => {
+                s.shutdown(how);
+                Ok(())
+            }
+        }
+    }
+
+    /// Socket read timeout (`None` = block forever).
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(d),
+            Stream::Mem(s) => {
+                s.set_read_timeout(d);
+                Ok(())
+            }
+        }
+    }
+
+    /// Socket write timeout (`None` = block forever).
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(d),
+            Stream::Mem(s) => {
+                s.set_write_timeout(d);
+                Ok(())
+            }
+        }
+    }
+
+    /// `TCP_NODELAY` on sockets; a no-op on the memory pipe (which
+    /// never batches).
+    pub fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nodelay(on),
+            Stream::Mem(_) => Ok(()),
+        }
+    }
+}
+
+impl Read for &Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => (&*s).read(buf),
+            Stream::Mem(s) => {
+                let mut r = s;
+                r.read(buf)
+            }
+        }
+    }
+}
+
+impl Write for &Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => (&*s).write(buf),
+            Stream::Mem(s) => {
+                let mut w = s;
+                w.write(buf)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => (&*s).flush(),
+            Stream::Mem(_) => Ok(()),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (&*self).read(buf)
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (&*self).write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&*self).flush()
+    }
+}
+
+/// Accept queue shared by a [`MemListener`] and its [`MemConnector`]s.
+struct MemAcceptQueue {
+    pending: Mutex<Vec<MemStream>>,
+    closed: Mutex<bool>,
+}
+
+/// In-process listener: accepts connections made through a
+/// [`MemConnector`]. Nonblocking, like the server's TCP listener.
+pub struct MemListener {
+    queue: Arc<MemAcceptQueue>,
+}
+
+impl Drop for MemListener {
+    fn drop(&mut self) {
+        *self
+            .queue
+            .closed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+    }
+}
+
+/// Client-side handle for connecting to a [`MemListener`]. Cloneable;
+/// each `connect` creates a fresh duplex pipe.
+#[derive(Clone)]
+pub struct MemConnector {
+    queue: Arc<MemAcceptQueue>,
+    capacity: usize,
+}
+
+impl MemConnector {
+    /// Connect, handing the listener the server-side endpoint.
+    pub fn connect(&self) -> io::Result<MemStream> {
+        self.connect_with_tap(None)
+    }
+
+    /// Connect, installing `tap` on the **server-side** endpoint's
+    /// writes — i.e. on the server→client direction — before the server
+    /// ever sees the stream. This is the simulation harness's frame
+    /// fault-injection point.
+    pub fn connect_with_tap(&self, tap: Option<WriteTap>) -> io::Result<MemStream> {
+        if *self
+            .queue
+            .closed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            return Err(io::ErrorKind::ConnectionRefused.into());
+        }
+        let (client, server) = memory_pair_with_capacity(self.capacity);
+        server.set_write_tap(tap);
+        self.queue
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(server);
+        Ok(client)
+    }
+}
+
+/// A connected in-process listener/connector pair with the given
+/// per-direction pipe capacity.
+pub fn memory_listener_with_capacity(capacity: usize) -> (MemListener, MemConnector) {
+    let queue = Arc::new(MemAcceptQueue {
+        pending: Mutex::new(Vec::new()),
+        closed: Mutex::new(false),
+    });
+    (
+        MemListener {
+            queue: Arc::clone(&queue),
+        },
+        MemConnector { queue, capacity },
+    )
+}
+
+/// [`memory_listener_with_capacity`] at [`MEM_PIPE_CAPACITY`].
+pub fn memory_listener() -> (MemListener, MemConnector) {
+    memory_listener_with_capacity(MEM_PIPE_CAPACITY)
+}
+
+/// Either transport's listener. The accept loop polls, so both arms are
+/// nonblocking (`WouldBlock` when no connection is pending).
+pub enum Listener {
+    /// A nonblocking TCP listener.
+    Tcp(TcpListener),
+    /// An in-process accept queue.
+    Mem(MemListener),
+}
+
+impl Listener {
+    /// Accept one pending connection, `WouldBlock` if none is queued.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Mem(l) => {
+                let mut pending = l
+                    .queue
+                    .pending
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if pending.is_empty() {
+                    Err(io::ErrorKind::WouldBlock.into())
+                } else {
+                    // FIFO: connections are served in connect order.
+                    Ok(Stream::Mem(pending.remove(0)))
+                }
+            }
+        }
+    }
+
+    /// The bound address; memory listeners report the TCP unspecified
+    /// address (there is no port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        match self {
+            Listener::Tcp(l) => l.local_addr(),
+            Listener::Mem(_) => Ok(SocketAddr::from(([127, 0, 0, 1], 0))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_pipe_moves_bytes_both_ways() {
+        let (a, b) = memory_pair();
+        (&a).write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        (&b).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        (&b).write_all(b"pong").unwrap();
+        (&a).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn read_timeout_is_wouldblock_and_eof_after_writer_close() {
+        let (a, b) = memory_pair();
+        b.set_read_timeout(Some(Duration::from_millis(5)));
+        let mut buf = [0u8; 1];
+        let err = (&b).read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        (&a).write_all(b"x").unwrap();
+        a.shutdown(Shutdown::Write);
+        assert_eq!((&b).read(&mut buf).unwrap(), 1); // buffered byte first
+        assert_eq!((&b).read(&mut buf).unwrap(), 0); // then EOF
+    }
+
+    #[test]
+    fn full_pipe_times_out_then_drains() {
+        let (a, b) = memory_pair_with_capacity(4);
+        a.set_write_timeout(Some(Duration::from_millis(5)));
+        (&a).write_all(b"1234").unwrap();
+        let err = (&a).write_all(b"5").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let mut buf = [0u8; 4];
+        (&b).read_exact(&mut buf).unwrap();
+        (&a).write_all(b"5").unwrap();
+        assert_eq!((&b).read(&mut buf).unwrap(), 1);
+        assert_eq!(buf[0], b'5');
+    }
+
+    #[test]
+    fn dropped_peer_breaks_writes() {
+        let (a, b) = memory_pair();
+        drop(b);
+        let err = (&a).write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn write_tap_transforms_the_byte_stream() {
+        let (a, b) = memory_pair();
+        // Drop every chunk containing 'd', duplicate the rest.
+        a.set_write_tap(Some(Box::new(|chunk: &[u8]| {
+            if chunk.contains(&b'd') {
+                vec![]
+            } else {
+                vec![chunk.to_vec(), chunk.to_vec()]
+            }
+        })));
+        (&a).write_all(b"keep").unwrap();
+        (&a).write_all(b"drop").unwrap();
+        a.shutdown(Shutdown::Write);
+        let mut out = Vec::new();
+        (&b).read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"keepkeep");
+    }
+
+    #[test]
+    fn listener_hands_over_connections_in_order() {
+        let (listener, connector) = memory_listener();
+        assert_eq!(
+            Listener::Mem(listener)
+                .local_addr()
+                .unwrap()
+                .ip()
+                .to_string(),
+            "127.0.0.1"
+        );
+        let (listener, connector2) = memory_listener();
+        let listener = Listener::Mem(listener);
+        assert!(matches!(
+            listener.accept().unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        ));
+        let c1 = connector2.connect().unwrap();
+        let _c2 = connector2.connect().unwrap();
+        let s1 = listener.accept().unwrap();
+        (&c1).write_all(b"a").unwrap();
+        let mut buf = [0u8; 1];
+        let mut r = &s1;
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(buf[0], b'a');
+        drop(connector);
+    }
+}

@@ -261,9 +261,10 @@ fn malformed_frames_poison_only_their_own_connection() {
     // Evil client 1: oversized length prefix.
     let mut evil = Client::connect(server.local_addr()).expect("connect evil");
     evil.send_raw(&[0xff, 0xff, 0xff, 0xff]).expect("inject");
-    // Evil client 2: valid length, garbage frame type.
+    // Evil client 2: valid envelope around a known type with a garbage
+    // body (an upsert frame three bytes long).
     let mut evil2 = Client::connect(server.local_addr()).expect("connect evil2");
-    evil2.send_raw(&[3, 0, 0, 0, 0xEE, 1, 2]).expect("inject");
+    evil2.send_raw(&[3, 0, 0, 0, 2, 1, 2]).expect("inject");
 
     // Both evil connections get an ERROR frame and then EOF.
     for bad in [&mut evil, &mut evil2] {
@@ -280,6 +281,16 @@ fn malformed_frames_poison_only_their_own_connection() {
         }
         assert!(saw_error, "malformed input did not produce an ERROR frame");
     }
+
+    // A well-framed *unknown* frame type is forward-compatibility, not
+    // an attack: it is skipped and the connection stays fully usable.
+    let mut futur = Client::connect(server.local_addr()).expect("connect futuristic");
+    futur.send_raw(&[3, 0, 0, 0, 0xEE, 1, 2]).expect("inject");
+    futur.ping(7).expect("ping after unknown frame type");
+    assert!(
+        server.metrics().frames_skipped_total.get() >= 1,
+        "the skipped frame was not counted"
+    );
 
     // The good client is still served.
     good.upsert(5, ObjectKind::A, 1.0, 1.0).expect("upsert");

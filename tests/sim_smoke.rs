@@ -1,0 +1,116 @@
+//! End-to-end checks of the `igern-sim` fault-injection harness: a
+//! healthy build must survive a fully faulted run on every backend,
+//! runs must be bit-deterministic, and an injected defect must be
+//! caught, shrunk to a handful of events, and reproducible from the
+//! written `.simreplay` file.
+
+use igern_sim::{execute, load_replay, minimize, run, write_replay, Corruption, SimConfig};
+
+fn small(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        ticks: 60,
+        objects: 32,
+        queries: 8,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn seeded_runs_are_bit_deterministic() {
+    let cfg = small(5);
+    let a = run(&cfg).expect("healthy build");
+    let b = run(&cfg).expect("healthy build");
+    assert_eq!(a.digest, b.digest, "answer digests diverged");
+    assert_eq!(a.counters, b.counters, "counters diverged");
+    assert_ne!(
+        a.digest,
+        run(&small(6)).expect("healthy build").digest,
+        "different seeds should explore different schedules"
+    );
+}
+
+#[test]
+fn faulted_300_tick_run_stays_oracle_equal_on_all_backends() {
+    // The acceptance run: all eight algorithms in rotation, 1-worker
+    // serial vs 4-worker sharded vs the served wire protocol, faults
+    // on (desyncs, stalls, frame corruption, storms), every tick
+    // checked against the brute-force oracles.
+    let cfg = SimConfig {
+        seed: 1,
+        ticks: 300,
+        objects: 48,
+        queries: 8,
+        workers: 4,
+        faults: true,
+        server: true,
+        ..SimConfig::default()
+    };
+    let report = run(&cfg).unwrap_or_else(|f| panic!("sim failed: {f}"));
+    assert_eq!(report.ticks, 300);
+    let c = &report.counters;
+    assert!(c.desyncs > 0, "fault plan injected no desyncs");
+    assert!(c.frame_faults > 0, "fault plan injected no frame faults");
+    assert!(c.worker_stalls > 0, "fault plan injected no worker stalls");
+    assert!(c.answer_checks > 1000, "only {} checks", c.answer_checks);
+    assert!(c.queries_added >= 8);
+}
+
+#[test]
+fn injected_defect_is_caught_shrunk_and_replayable() {
+    // Simulate a broken build via the corruption seam: the serial
+    // backend reports a wrong answer for query 0 at tick 30.
+    let cfg = SimConfig {
+        seed: 9,
+        ticks: 40,
+        objects: 24,
+        queries: 4,
+        server: false, // offline-only keeps the shrink loop fast
+        ..SimConfig::default()
+    };
+    let corruption = Corruption { tick: 30, query: 0 };
+    let plan = cfg.plan();
+    let failure = execute(&plan, Some(&corruption)).expect_err("the corrupted run must fail");
+    assert_eq!(failure.tick, 30);
+    assert_eq!(failure.query, Some(0));
+    assert_eq!(failure.kind, "mismatch");
+
+    let (minimized, min_failure, stats) =
+        minimize(&plan, &failure, 600, |p| execute(p, Some(&corruption)));
+    assert!(
+        minimized.events.len() <= 25,
+        "shrunk to {} events (wanted <= 25) from {}",
+        minimized.events.len(),
+        stats.from_events
+    );
+    assert!(minimized.events.len() < plan.events.len());
+    assert_eq!(min_failure.kind, "mismatch");
+    assert!(minimized.ticks <= 30);
+
+    // The written replay is self-contained: load it back and the same
+    // defect reproduces at the same tick.
+    let text = write_replay(&minimized);
+    let reloaded = load_replay(&text).expect("own replay file loads");
+    assert_eq!(reloaded, minimized);
+    let replayed =
+        execute(&reloaded, Some(&corruption)).expect_err("replayed plan must still fail");
+    assert_eq!(replayed.tick, min_failure.tick);
+}
+
+#[test]
+fn replay_of_a_healthy_plan_matches_the_original_run() {
+    let cfg = SimConfig {
+        seed: 12,
+        ticks: 25,
+        objects: 20,
+        queries: 6,
+        server: false,
+        ..SimConfig::default()
+    };
+    let plan = cfg.plan();
+    let direct = execute(&plan, None).expect("healthy");
+    let reloaded = load_replay(&write_replay(&plan)).expect("round trip");
+    let replayed = execute(&reloaded, None).expect("healthy replay");
+    assert_eq!(direct.digest, replayed.digest);
+    assert_eq!(direct.counters, replayed.counters);
+}
