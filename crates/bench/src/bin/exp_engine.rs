@@ -15,17 +15,94 @@
 //! no speedup is physically possible — interpret the sweep against that
 //! field, the numbers are measured, never extrapolated.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use igern_bench::{report::print_table, ExpArgs};
 use igern_core::obs::MetricsRegistry;
-use igern_core::processor::Algorithm;
+use igern_core::processor::{Algorithm, Processor};
 use igern_core::types::ObjectKind;
 use igern_core::SpatialStore;
 use igern_engine::{EngineMetrics, Placement, ShardedEngine};
 use igern_geom::{Aabb, Point};
 use igern_grid::ObjectId;
 use igern_mobgen::rng::Rng64;
+
+/// Counting global allocator — bench-harness-only instrumentation that
+/// turns the "zero steady-state allocations per routed tick" claim into a
+/// measurement instead of an assertion. Every allocation and reallocation
+/// bumps one relaxed counter; frees are not counted (a tick that frees
+/// without allocating still holds the steady state). The counter is read
+/// around the measured tick window of the `large` series.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+static BT_BUDGET: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    static IN_HOOK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn trace_alloc(layout: Layout) {
+    if BT_BUDGET.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    IN_HOOK.with(|flag| {
+        if flag.get() {
+            return;
+        }
+        flag.set(true);
+        if BT_BUDGET.fetch_sub(1, Ordering::Relaxed) > 0 {
+            eprintln!(
+                "alloc of {} bytes at:\n{}",
+                layout.size(),
+                std::backtrace::Backtrace::force_capture()
+            );
+        }
+        flag.set(false);
+    });
+}
+
+/// Count one allocation — unless it came from the backtrace printer
+/// itself (the debug-only `EXP_ALLOC_TRACE` path), whose own allocations
+/// would otherwise pollute the measurement.
+fn count_alloc(layout: Layout) {
+    let in_hook = IN_HOOK.try_with(|flag| flag.get()).unwrap_or(false);
+    if !in_hook {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        trace_alloc(layout);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_alloc(layout);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_alloc(layout);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_alloc(layout);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 const SIDE: f64 = 100.0;
 const CORNER: f64 = 10.0;
@@ -130,6 +207,130 @@ fn measure(
     }
 }
 
+// ---------------------------------------------------------------------
+// The `large` series: 100k objects × 10k queries on the serial tick loop.
+// ---------------------------------------------------------------------
+
+const L_SIDE: f64 = 1000.0;
+const L_CORNER: f64 = 100.0;
+const L_GRID_N: usize = 64;
+const L_OBJECTS: usize = 100_000;
+const L_QUERIES: usize = 10_000;
+const L_MOVERS: usize = 1_000;
+
+struct LargeResult {
+    routed_ms_per_tick: f64,
+    routed_allocs: u64,
+    routed_ticks: usize,
+    warmup_ticks: usize,
+    heavy_ms_per_tick: f64,
+    heavy_ticks: usize,
+}
+
+/// The scaled-up workload: 100×100 lattice of query anchors over a
+/// 1000×1000 space, uniform filler to 100k objects, 1k movers jittering
+/// in one 100×100 corner. Runs on the serial [`Processor`] — the engine's
+/// coordinator/worker channels allocate per message by design, so the
+/// zero-alloc claim is about the tick loop itself, which the serial path
+/// exercises without protocol noise.
+///
+/// Two measurements:
+///
+/// * **routed** — `IgernMono` with skip routing on; after a warm-up
+///   window the allocation counter must not move across the measured
+///   ticks (the tentpole's zero-steady-state-allocation acceptance).
+/// * **heavy** — the same queries with routing off, so all 10k re-run
+///   IGERN's incremental step every tick. (`TplRepeat` is not used here:
+///   10k snapshot re-runs over 100k objects per tick is the quadratic
+///   blow-up the continuous algorithms exist to avoid.)
+fn large_series(seed: u64, quick: bool) -> LargeResult {
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x1a26_e5ee);
+    let mut pts: Vec<Point> = Vec::with_capacity(L_OBJECTS);
+    for iy in 0..100 {
+        for ix in 0..100 {
+            pts.push(Point::new(ix as f64 * 10.0 + 5.0, iy as f64 * 10.0 + 5.0));
+        }
+    }
+    for _ in 0..L_OBJECTS - L_QUERIES - L_MOVERS {
+        pts.push(Point::new(rng.f64() * L_SIDE, rng.f64() * L_SIDE));
+    }
+    for _ in 0..L_MOVERS {
+        pts.push(Point::new(rng.f64() * L_CORNER, rng.f64() * L_CORNER));
+    }
+    let mut store = SpatialStore::new(
+        Aabb::from_coords(0.0, 0.0, L_SIDE, L_SIDE),
+        L_GRID_N,
+        vec![ObjectKind::A; pts.len()],
+    );
+    store.load(&pts);
+
+    let mut p = Processor::new(store);
+    // Bounded histories become rings: pushes stop allocating once full.
+    p.set_history_capacity(Some(4));
+    for i in 0..L_QUERIES {
+        p.add_query(ObjectId(i as u32), Algorithm::IgernMono);
+    }
+    p.evaluate_all();
+
+    let warmup_ticks = if quick { 4 } else { 10 };
+    let routed_ticks = if quick { 5 } else { 20 };
+    let heavy_ticks = if quick { 2 } else { 3 };
+    // The whole stream is pre-built so tick timing and the allocation
+    // counter see only the processor, never the workload generator.
+    let mut srng = Rng64::seed_from_u64(seed ^ 0x1a26_c02e);
+    let first_mover = (L_OBJECTS - L_MOVERS) as u32;
+    let stream: Vec<Vec<(ObjectId, Point)>> = (0..warmup_ticks + routed_ticks + heavy_ticks)
+        .map(|_| {
+            let mut ups = Vec::new();
+            for m in 0..L_MOVERS {
+                if srng.gen_bool(0.6) {
+                    ups.push((
+                        ObjectId(first_mover + m as u32),
+                        Point::new(srng.f64() * L_CORNER, srng.f64() * L_CORNER),
+                    ));
+                }
+            }
+            ups
+        })
+        .collect();
+
+    for ups in &stream[..warmup_ticks] {
+        p.step(ups);
+    }
+    let trace = std::env::var_os("EXP_ALLOC_TRACE").is_some();
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    for ups in &stream[warmup_ticks..warmup_ticks + routed_ticks] {
+        let ta = alloc_count();
+        if trace {
+            BT_BUDGET.store(12, Ordering::Relaxed);
+        }
+        p.step(ups);
+        if trace {
+            BT_BUDGET.store(0, Ordering::Relaxed);
+            eprintln!("tick allocs: {}", alloc_count() - ta);
+        }
+    }
+    let routed_elapsed = t0.elapsed();
+    let routed_allocs = alloc_count() - a0;
+
+    p.set_skip_routing(false);
+    let t1 = Instant::now();
+    for ups in &stream[warmup_ticks + routed_ticks..] {
+        p.step(ups);
+    }
+    let heavy_elapsed = t1.elapsed();
+
+    LargeResult {
+        routed_ms_per_tick: routed_elapsed.as_secs_f64() * 1e3 / routed_ticks as f64,
+        routed_allocs,
+        routed_ticks,
+        warmup_ticks,
+        heavy_ms_per_tick: heavy_elapsed.as_secs_f64() * 1e3 / heavy_ticks as f64,
+        heavy_ticks,
+    }
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let ticks = if args.quick { 10 } else { args.ticks.min(60) };
@@ -145,44 +346,76 @@ fn main() {
     let mut rows = Vec::new();
     let mut entries = Vec::new();
     let mut fingerprints: Vec<(u64, u64)> = Vec::new();
+    // Best-of-N per cell: on a contended host a single timed sweep is at
+    // the mercy of the scheduler, and the minimum is the estimate least
+    // polluted by interference (same rationale as the metrics-overhead
+    // check below). Every repeat's answers still feed the fingerprint
+    // cross-check.
+    let sweep_repeats = if args.quick { 2 } else { 3 };
     for &workers in &sweep {
-        let routed = measure(
-            workers,
-            Algorithm::IgernMono,
-            true,
-            args.seed,
-            &stream,
-            false,
-        );
-        let heavy = measure(
-            workers,
-            Algorithm::TplRepeat,
-            false,
-            args.seed,
-            &stream,
-            false,
-        );
-        fingerprints.push((routed.answer_fingerprint, heavy.answer_fingerprint));
-        assert_eq!(
-            fingerprints[0],
-            *fingerprints.last().unwrap(),
-            "answers diverged at {workers} workers — the sweep is invalid"
-        );
+        let mut routed_best = f64::INFINITY;
+        let mut heavy_best = f64::INFINITY;
+        for _ in 0..sweep_repeats {
+            let routed = measure(
+                workers,
+                Algorithm::IgernMono,
+                true,
+                args.seed,
+                &stream,
+                false,
+            );
+            let heavy = measure(
+                workers,
+                Algorithm::TplRepeat,
+                false,
+                args.seed,
+                &stream,
+                false,
+            );
+            routed_best = routed_best.min(routed.ms_per_tick);
+            heavy_best = heavy_best.min(heavy.ms_per_tick);
+            fingerprints.push((routed.answer_fingerprint, heavy.answer_fingerprint));
+            assert_eq!(
+                fingerprints[0],
+                *fingerprints.last().unwrap(),
+                "answers diverged at {workers} workers — the sweep is invalid"
+            );
+        }
         rows.push(vec![
             workers.to_string(),
-            format!("{:.4}", routed.ms_per_tick),
-            format!("{:.4}", heavy.ms_per_tick),
+            format!("{routed_best:.4}"),
+            format!("{heavy_best:.4}"),
         ]);
         entries.push(format!(
             "    {{\"workers\": {workers}, \"placement\": \"round-robin\", \
-             \"routed_ms_per_tick\": {:.6}, \"heavy_ms_per_tick\": {:.6}}}",
-            routed.ms_per_tick, heavy.ms_per_tick
+             \"repeats\": {sweep_repeats}, \
+             \"routed_ms_per_tick\": {routed_best:.6}, \"heavy_ms_per_tick\": {heavy_best:.6}}}",
         ));
     }
     print_table(
         "ENG: ms per tick vs workers (64-query corner workload)",
         &["workers", "routed (IgernMono)", "heavy (TplRepeat)"],
         &rows,
+    );
+
+    // The large series: scale check plus the measured zero-alloc claim.
+    let large = large_series(args.seed, args.quick);
+    println!(
+        "large ({}k objects, {}k queries, serial): routed {:.4} ms/tick \
+         ({} allocations over {} measured ticks after {} warm-up), \
+         heavy {:.2} ms/tick over {} ticks",
+        L_OBJECTS / 1000,
+        L_QUERIES / 1000,
+        large.routed_ms_per_tick,
+        large.routed_allocs,
+        large.routed_ticks,
+        large.warmup_ticks,
+        large.heavy_ms_per_tick,
+        large.heavy_ticks,
+    );
+    assert_eq!(
+        large.routed_allocs, 0,
+        "steady-state routed ticks must not touch the allocator"
     );
 
     // Observability acceptance check: the same workload with the metrics
@@ -242,10 +475,21 @@ fn main() {
          \"metrics_overhead\": {{\"workers\": {ov_workers}, \"series\": \"heavy\", \
          \"repeats\": {repeats}, \"off_ms_per_tick\": {off_best:.6}, \
          \"on_ms_per_tick\": {on_best:.6}, \"overhead_pct\": {overhead_pct:.3}}},\n  \
+         \"large\": {{\"objects\": {L_OBJECTS}, \"queries\": {L_QUERIES}, \
+         \"grid_n\": {L_GRID_N}, \"engine\": \"serial\", \
+         \"warmup_ticks\": {}, \"routed_ticks\": {}, \
+         \"routed_ms_per_tick\": {:.6}, \"routed_allocs\": {}, \
+         \"heavy_ticks\": {}, \"heavy_ms_per_tick\": {:.6}}},\n  \
          \"metrics_registry\": {}\n}}\n",
         N_QUERIES + N_FILLER + N_MOVERS,
         args.seed,
         entries.join(",\n"),
+        large.warmup_ticks,
+        large.routed_ticks,
+        large.routed_ms_per_tick,
+        large.routed_allocs,
+        large.heavy_ticks,
+        large.heavy_ms_per_tick,
         registry_json.trim_end()
     );
     let path = "BENCH_engine.json";

@@ -184,6 +184,9 @@ struct Series {
 /// Run all clients against `addr` and aggregate.
 fn run_clients(addr: &str, args: &SrvArgs) -> (f64, Vec<f64>) {
     let runs: Vec<ClientRun> = std::thread::scope(|scope| {
+        // The collect is the spawn barrier: chaining map(spawn).map(join)
+        // lazily would run the clients one at a time.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = (0..args.clients)
             .map(|i| scope.spawn(move || drive_client(addr, i, args)))
             .collect();

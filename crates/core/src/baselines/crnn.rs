@@ -43,7 +43,7 @@ impl Crnn {
             ops.nn_c += 1;
             *slot = pie_nn(grid, q, q_id, i, f64::INFINITY, ops);
         }
-        state.rnn = state.verify(grid, ops);
+        state.verify(grid, ops);
         state
     }
 
@@ -77,29 +77,35 @@ impl Crnn {
                 (None, None) => None,
             };
         }
-        self.rnn = self.verify(grid, ops);
+        self.verify(grid, ops);
     }
 
     /// Verification: each pie candidate is an RNN iff no other object lies
     /// strictly closer to it than the query does.
-    fn verify(&self, grid: &Grid, ops: &mut OpCounters) -> Vec<ObjectId> {
-        let mut rnn: Vec<ObjectId> = self
-            .cands
-            .iter()
-            .flatten()
-            .filter(|&&(id, pos)| {
-                ops.verifications += 1;
-                let exclude = match self.q_id {
-                    Some(qid) => vec![id, qid],
-                    None => vec![id],
-                };
-                !exists_closer_than(grid, pos, pos.dist_sq(self.q), &exclude, ops)
-            })
-            .map(|&(id, _)| id)
-            .collect();
+    fn verify(&mut self, grid: &Grid, ops: &mut OpCounters) {
+        let mut rnn = std::mem::take(&mut self.rnn);
+        rnn.clear();
+        for &(id, pos) in self.cands.iter().flatten() {
+            ops.verifications += 1;
+            let pair;
+            let single;
+            let exclude: &[ObjectId] = match self.q_id {
+                Some(qid) => {
+                    pair = [id, qid];
+                    &pair
+                }
+                None => {
+                    single = [id];
+                    &single
+                }
+            };
+            if !exists_closer_than(grid, pos, pos.dist_sq(self.q), exclude, ops) {
+                rnn.push(id);
+            }
+        }
         rnn.sort_unstable();
         rnn.dedup();
-        rnn
+        self.rnn = rnn;
     }
 
     /// The current verified answer, sorted by id.
@@ -137,6 +143,11 @@ impl Crnn {
     /// Ids of the current pie candidates.
     pub fn candidates(&self) -> Vec<ObjectId> {
         self.cands.iter().flatten().map(|&(id, _)| id).collect()
+    }
+
+    /// The current pie candidates with their last-seen positions.
+    pub fn candidate_pairs(&self) -> impl Iterator<Item = (Point, ObjectId)> + '_ {
+        self.cands.iter().flatten().map(|&(id, p)| (p, id))
     }
 }
 

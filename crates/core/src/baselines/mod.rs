@@ -7,5 +7,5 @@ mod tpl;
 mod voronoi;
 
 pub use crnn::Crnn;
-pub use tpl::{tpl_snapshot, TplAnswer};
+pub use tpl::{tpl_snapshot, tpl_snapshot_with, TplAnswer};
 pub use voronoi::{voronoi_snapshot, voronoi_snapshot_with, SiteAcquisition, VoronoiAnswer};

@@ -11,14 +11,13 @@
 //! reconstruction.
 
 use igern_geom::Point;
-use igern_grid::{
-    exists_closer_than, nearest, nearest_in_cells, CellSet, Grid, ObjectId, OpCounters,
-};
+use igern_grid::{exists_closer_than, nearest, nearest_in_set, Grid, ObjectId, OpCounters};
 
-use crate::prune::recompute_alive;
+use crate::prune::kill_cells_beyond_bisector;
+use crate::scratch::EvalScratch;
 
 /// Result of one snapshot evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TplAnswer {
     /// The verified reverse nearest neighbors, sorted by id.
     pub rnn: Vec<ObjectId>,
@@ -33,21 +32,50 @@ pub fn tpl_snapshot(
     q_id: Option<ObjectId>,
     ops: &mut OpCounters,
 ) -> TplAnswer {
+    let mut out = TplAnswer::default();
+    tpl_snapshot_with(grid, q, q_id, ops, &mut EvalScratch::default(), &mut out);
+    out
+}
+
+/// [`tpl_snapshot`] writing into a caller-provided answer with reusable
+/// evaluation scratch, so repeated snapshots allocate nothing once warm.
+pub fn tpl_snapshot_with(
+    grid: &Grid,
+    q: Point,
+    q_id: Option<ObjectId>,
+    ops: &mut OpCounters,
+    scratch: &mut EvalScratch,
+    out: &mut TplAnswer,
+) {
     // Filter step: iterative constrained NN + bisector pruning. The first
-    // probe (all cells alive) runs as a plain ring search; after that the
-    // alive set is rebuilt from the bisector polygon, the same machinery
-    // the IGERN steps use — the baselines share every optimization.
-    let mut alive = CellSet::full(grid.num_cells());
-    let mut cand: Vec<(ObjectId, Point)> = Vec::new();
+    // probe (all cells alive) runs as a plain ring search; after that each
+    // new candidate's bisector kills the alive cells fully beyond it.
+    // Per-bisector killing keeps a (slight) superset of the redrawn
+    // intersection region, which is harmless here: the object predicate
+    // below filters dominated objects *exactly*, and a point is outside
+    // the exact kept region iff some candidate dominates it — so the
+    // discovered candidates, and hence the answer, are identical to a
+    // full redraw while each step costs one O(|alive|) sweep instead of a
+    // polygon rasterization.
+    let EvalScratch {
+        pairs: cand, alive, ..
+    } = scratch;
+    alive.reset(grid.num_cells());
+    alive.fill();
+    cand.clear();
     loop {
         ops.nn_c += 1;
         let next = if cand.is_empty() {
             nearest(grid, q, q_id, ops)
         } else {
-            nearest_in_cells(
+            // The alive region always surrounds q, so a ring expansion
+            // over just the alive cells reaches the constrained NN after
+            // a handful of rings and — crucially for the terminating
+            // empty probe — never sweeps the dead remainder of the grid.
+            nearest_in_set(
                 grid,
                 q,
-                &alive,
+                alive,
                 // TPL prunes at object granularity: an object beyond the
                 // bisector of any existing candidate (closer to it than to
                 // q) is filtered, exactly as in the original algorithm.
@@ -63,27 +91,31 @@ pub fn tpl_snapshot(
         };
         let Some(n) = next else { break };
         cand.push((n.id, n.pos));
-        let sites: Vec<Point> = cand.iter().map(|&(_, p)| p).collect();
-        alive = recompute_alive(grid, q, &sites);
+        kill_cells_beyond_bisector(grid, alive, q, n.pos);
     }
     // Refinement step: verify every candidate with an unconstrained test.
-    let mut rnn: Vec<ObjectId> = cand
-        .iter()
-        .filter(|&&(id, pos)| {
-            ops.verifications += 1;
-            let exclude = match q_id {
-                Some(qid) => vec![id, qid],
-                None => vec![id],
-            };
-            !exists_closer_than(grid, pos, pos.dist_sq(q), &exclude, ops)
-        })
-        .map(|&(id, _)| id)
-        .collect();
-    rnn.sort_unstable();
-    TplAnswer {
-        rnn,
-        candidates: cand.into_iter().map(|(id, _)| id).collect(),
+    out.rnn.clear();
+    for &(id, pos) in cand.iter() {
+        ops.verifications += 1;
+        let pair;
+        let single;
+        let exclude: &[ObjectId] = match q_id {
+            Some(qid) => {
+                pair = [id, qid];
+                &pair
+            }
+            None => {
+                single = [id];
+                &single
+            }
+        };
+        if !exists_closer_than(grid, pos, pos.dist_sq(q), exclude, ops) {
+            out.rnn.push(id);
+        }
     }
+    out.rnn.sort_unstable();
+    out.candidates.clear();
+    out.candidates.extend(cand.iter().map(|&(id, _)| id));
 }
 
 #[cfg(test)]
@@ -115,6 +147,28 @@ mod tests {
             let got = tpl_snapshot(&g, q, None, &mut ops);
             let objs: Vec<(ObjectId, Point)> = g.iter().collect();
             assert_eq!(got.rnn, naive::mono_rnn(&objs, q, None), "round {round}");
+        }
+    }
+
+    #[test]
+    fn warm_scratch_reproduces_the_cold_answer() {
+        // One scratch reused across many snapshots must never leak state
+        // between evaluations.
+        let mut state = 62u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        let mut scratch = EvalScratch::default();
+        let mut out = TplAnswer::default();
+        for _ in 0..15 {
+            let pts: Vec<(f64, f64)> = (0..40).map(|_| (rnd(), rnd())).collect();
+            let g = grid_with(&pts);
+            let q = Point::new(rnd(), rnd());
+            let mut ops = OpCounters::new();
+            tpl_snapshot_with(&g, q, None, &mut ops, &mut scratch, &mut out);
+            let cold = tpl_snapshot(&g, q, None, &mut ops);
+            assert_eq!(out, cold);
         }
     }
 

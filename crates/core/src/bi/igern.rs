@@ -15,12 +15,12 @@
 //! moves, or when a new A-object enters it.
 
 use igern_geom::Point;
-use igern_grid::{nearest, nearest_in_cells, CellSet, Grid, ObjectId, OpCounters};
+use igern_grid::{nearest, nearest_in_cells_with, CellSet, Grid, ObjectId, OpCounters};
 
 use crate::prune::{
-    clean_dominated, kill_cells_beyond_bisector, recompute_alive, PruneGranularity,
+    clean_dominated_with, kill_cells_beyond_bisector, recompute_alive_into, PruneGranularity,
 };
-use igern_geom::Point as GeomPoint;
+use crate::scratch::EvalScratch;
 
 /// Continuous bichromatic RNN query state.
 #[derive(Debug, Clone)]
@@ -70,6 +70,31 @@ impl BiIgern {
         granularity: PruneGranularity,
         ops: &mut OpCounters,
     ) -> Self {
+        Self::initial_in(
+            grid_a,
+            grid_b,
+            q,
+            q_id,
+            granularity,
+            ops,
+            &mut EvalScratch::default(),
+        )
+    }
+
+    /// [`BiIgern::initial_with`] with caller-provided evaluation scratch
+    /// — the allocation-free form the hot paths use.
+    ///
+    /// # Panics
+    /// Panics when the two grids do not share cell geometry.
+    pub fn initial_in(
+        grid_a: &Grid,
+        grid_b: &Grid,
+        q: Point,
+        q_id: Option<ObjectId>,
+        granularity: PruneGranularity,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) -> Self {
         assert_eq!(
             grid_a.num_cells(),
             grid_b.num_cells(),
@@ -85,15 +110,28 @@ impl BiIgern {
             granularity,
         };
         // Phase I: bounded region from A-object bisectors.
-        state.tighten(grid_a, grid_b, ops, SearchClass::Constrained);
+        state.tighten(grid_a, grid_b, ops, SearchClass::Constrained, scratch);
         // Phase II: verification (also refines the region and NN_A).
-        state.verify(grid_a, grid_b, ops);
+        state.verify(grid_a, grid_b, ops, scratch);
         state
     }
 
     /// Algorithm 4 — the incremental step, run every Δt with the query's
     /// current position.
     pub fn incremental(&mut self, grid_a: &Grid, grid_b: &Grid, q: Point, ops: &mut OpCounters) {
+        self.incremental_in(grid_a, grid_b, q, ops, &mut EvalScratch::default());
+    }
+
+    /// [`BiIgern::incremental`] with caller-provided evaluation scratch;
+    /// a warm scratch makes the steady-state tick allocation-free.
+    pub fn incremental_in(
+        &mut self,
+        grid_a: &Grid,
+        grid_b: &Grid,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         // Lines 2–5: redraw when the query or a monitored A-object moved.
         let q_moved = q != self.q;
         let mut a_moved = false;
@@ -113,30 +151,39 @@ impl BiIgern {
             });
         self.q = q;
         if q_moved || a_moved || self.stale {
-            let sites: Vec<Point> = self.nn_a.iter().map(|&(p, _)| p).collect();
-            self.alive = recompute_alive(grid_b, q, &sites);
+            let sites = &mut scratch.sites;
+            sites.clear();
+            sites.extend(self.nn_a.iter().map(|&(p, _)| p));
+            recompute_alive_into(grid_b, q, sites, &mut self.alive, &mut scratch.prune);
             self.stale = false;
         }
         // Lines 6–9: tighten on new A-objects in the alive cells, then
         // clean the monitored set.
-        self.tighten(grid_a, grid_b, ops, SearchClass::Bounded);
+        self.tighten(grid_a, grid_b, ops, SearchClass::Bounded, scratch);
         // Cleaning runs unconditionally: movement alone can make one
         // monitored A-object dominate another (see the monochromatic
         // monitor for the pie-lemma bound this restores).
         let grown = self.nn_a.len();
-        clean_dominated(&mut self.nn_a, q);
+        clean_dominated_with(&mut self.nn_a, q, &mut scratch.prune);
         if self.nn_a.len() < grown {
             self.stale = true;
         }
         // Line 10: verify as in Phase II of Algorithm 3.
-        self.verify(grid_a, grid_b, ops);
+        self.verify(grid_a, grid_b, ops, scratch);
     }
 
     /// Phase-I loop (Algorithm 3 lines 3–6): pull A-objects out of the
     /// alive cells in distance order, monitoring each and killing the
     /// cells its bisector dominates, until no unmonitored A-object remains
     /// alive.
-    fn tighten(&mut self, grid_a: &Grid, grid_b: &Grid, ops: &mut OpCounters, class: SearchClass) {
+    fn tighten(
+        &mut self,
+        grid_a: &Grid,
+        grid_b: &Grid,
+        ops: &mut OpCounters,
+        class: SearchClass,
+        scratch: &mut EvalScratch,
+    ) {
         loop {
             match class {
                 SearchClass::Constrained => ops.nn_c += 1,
@@ -151,7 +198,7 @@ impl BiIgern {
                 // as a plain ring search over the A-grid.
                 nearest(grid_a, self.q, q_id, ops)
             } else {
-                nearest_in_cells(
+                nearest_in_cells_with(
                     grid_a,
                     self.q,
                     &self.alive,
@@ -172,12 +219,15 @@ impl BiIgern {
                         }
                     },
                     ops,
+                    &mut scratch.cell_order,
                 )
             };
             let Some(n) = next else { break };
             self.nn_a.push((n.pos, n.id));
-            let sites: Vec<GeomPoint> = self.nn_a.iter().map(|&(p, _)| p).collect();
-            self.alive = recompute_alive(grid_b, self.q, &sites);
+            let sites = &mut scratch.sites;
+            sites.clear();
+            sites.extend(self.nn_a.iter().map(|&(p, _)| p));
+            recompute_alive_into(grid_b, self.q, sites, &mut self.alive, &mut scratch.prune);
         }
     }
 
@@ -185,26 +235,33 @@ impl BiIgern {
     /// in the alive cells, test whether `q_A` is its nearest A-object. A
     /// failing B-object's blocker joins `NN_A` and its bisector further
     /// shrinks the region.
-    fn verify(&mut self, grid_a: &Grid, grid_b: &Grid, ops: &mut OpCounters) {
+    fn verify(
+        &mut self,
+        grid_a: &Grid,
+        grid_b: &Grid,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         // Materialize the B-objects currently alive; membership is
         // re-checked per object because the region shrinks as blockers are
         // discovered.
-        let bs: Vec<(ObjectId, Point)> = self
-            .alive
-            .iter()
-            .flat_map(|c| grid_b.objects_in(c).iter().copied())
-            .filter_map(|id| match grid_b.position(id) {
-                Some(pos) => Some((id, pos)),
-                None => {
-                    // Bucket/position desync: treat the B-object as
-                    // removed and keep verifying instead of panicking.
-                    ops.desyncs += 1;
-                    None
+        let bs = &mut scratch.pairs;
+        bs.clear();
+        for c in self.alive.iter() {
+            for &id in grid_b.objects_in(c) {
+                match grid_b.position(id) {
+                    Some(pos) => bs.push((id, pos)),
+                    None => {
+                        // Bucket/position desync: treat the B-object as
+                        // removed and keep verifying instead of panicking.
+                        ops.desyncs += 1;
+                    }
                 }
-            })
-            .collect();
-        let mut rnn_b = Vec::new();
-        for (ob, pos) in bs {
+            }
+        }
+        let mut rnn_b = std::mem::take(&mut self.rnn_b);
+        rnn_b.clear();
+        for &(ob, pos) in bs.iter() {
             if !self.alive.contains(grid_b.cell_of_point(pos)) {
                 // Killed by a blocker found earlier in this pass: some
                 // monitored A-object is provably closer to it than q.
@@ -237,7 +294,7 @@ impl BiIgern {
                         self.nn_a.push((na.pos, na.id));
                         kill_cells_beyond_bisector(grid_b, &mut self.alive, self.q, na.pos);
                         let grown = self.nn_a.len();
-                        clean_dominated(&mut self.nn_a, self.q);
+                        clean_dominated_with(&mut self.nn_a, self.q, &mut scratch.prune);
                         if self.nn_a.len() < grown {
                             self.stale = true;
                         }
@@ -258,6 +315,13 @@ impl BiIgern {
     /// The monitored A-objects.
     pub fn monitored(&self) -> Vec<ObjectId> {
         self.nn_a.iter().map(|&(_, id)| id).collect()
+    }
+
+    /// The monitored A-objects with their last-seen positions, without
+    /// allocating.
+    #[inline]
+    pub fn monitored_pairs(&self) -> &[(Point, ObjectId)] {
+        &self.nn_a
     }
 
     /// Number of monitored A-objects (the Figure 9b metric).

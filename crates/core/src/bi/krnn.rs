@@ -12,10 +12,11 @@
 
 use igern_geom::Point;
 use igern_grid::{
-    count_closer_than, nearest, nearest_in_cells, CellSet, Grid, ObjectId, OpCounters,
+    count_closer_than, nearest, nearest_in_cells_with, CellSet, Grid, ObjectId, OpCounters,
 };
 
-use crate::prune::{clean_dominated_k, recompute_alive_k};
+use crate::prune::{clean_dominated_k_with, recompute_alive_k_into};
+use crate::scratch::EvalScratch;
 
 /// Continuous bichromatic RkNN query state.
 #[derive(Debug, Clone)]
@@ -42,6 +43,22 @@ impl BiIgernK {
         k: usize,
         ops: &mut OpCounters,
     ) -> Self {
+        Self::initial_in(grid_a, grid_b, q, q_id, k, ops, &mut EvalScratch::default())
+    }
+
+    /// [`BiIgernK::initial`] with caller-provided evaluation scratch.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or the grids disagree on cell geometry.
+    pub fn initial_in(
+        grid_a: &Grid,
+        grid_b: &Grid,
+        q: Point,
+        q_id: Option<ObjectId>,
+        k: usize,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) -> Self {
         assert!(k >= 1, "k must be positive");
         assert_eq!(
             grid_a.num_cells(),
@@ -57,13 +74,26 @@ impl BiIgernK {
             rnn_b: Vec::new(),
             stale: false,
         };
-        state.tighten(grid_a, grid_b, ops, true);
+        state.tighten(grid_a, grid_b, ops, true, scratch);
         state.verify(grid_a, grid_b, ops);
         state
     }
 
     /// Incremental step, run every Δt.
     pub fn incremental(&mut self, grid_a: &Grid, grid_b: &Grid, q: Point, ops: &mut OpCounters) {
+        self.incremental_in(grid_a, grid_b, q, ops, &mut EvalScratch::default());
+    }
+
+    /// [`BiIgernK::incremental`] with caller-provided evaluation scratch;
+    /// a warm scratch makes the steady-state tick allocation-free.
+    pub fn incremental_in(
+        &mut self,
+        grid_a: &Grid,
+        grid_b: &Grid,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         let q_moved = q != self.q;
         let mut a_moved = false;
         self.nn_a
@@ -82,13 +112,22 @@ impl BiIgernK {
             });
         self.q = q;
         if q_moved || a_moved || self.stale {
-            let sites: Vec<Point> = self.nn_a.iter().map(|&(p, _)| p).collect();
-            self.alive = recompute_alive_k(grid_b, q, &sites, self.k);
+            let sites = &mut scratch.sites;
+            sites.clear();
+            sites.extend(self.nn_a.iter().map(|&(p, _)| p));
+            recompute_alive_k_into(
+                grid_b,
+                q,
+                sites,
+                self.k,
+                &mut self.alive,
+                &mut scratch.prune,
+            );
             self.stale = false;
         }
-        self.tighten(grid_a, grid_b, ops, false);
+        self.tighten(grid_a, grid_b, ops, false, scratch);
         let grown = self.nn_a.len();
-        clean_dominated_k(&mut self.nn_a, q, self.k);
+        clean_dominated_k_with(&mut self.nn_a, q, self.k, &mut scratch.prune);
         if self.nn_a.len() < grown {
             self.stale = true;
         }
@@ -96,7 +135,14 @@ impl BiIgernK {
     }
 
     /// Phase-I loop at order `k` over the A-grid.
-    fn tighten(&mut self, grid_a: &Grid, grid_b: &Grid, ops: &mut OpCounters, initial: bool) {
+    fn tighten(
+        &mut self,
+        grid_a: &Grid,
+        grid_b: &Grid,
+        ops: &mut OpCounters,
+        initial: bool,
+        scratch: &mut EvalScratch,
+    ) {
         loop {
             if initial {
                 ops.nn_c += 1;
@@ -110,7 +156,7 @@ impl BiIgernK {
             let next = if nn_a.is_empty() {
                 nearest(grid_a, self.q, q_id, ops)
             } else {
-                nearest_in_cells(
+                nearest_in_cells_with(
                     grid_a,
                     self.q,
                     &self.alive,
@@ -126,12 +172,22 @@ impl BiIgernK {
                         dominators < k
                     },
                     ops,
+                    &mut scratch.cell_order,
                 )
             };
             let Some(n) = next else { break };
             self.nn_a.push((n.pos, n.id));
-            let sites: Vec<Point> = self.nn_a.iter().map(|&(p, _)| p).collect();
-            self.alive = recompute_alive_k(grid_b, self.q, &sites, self.k);
+            let sites = &mut scratch.sites;
+            sites.clear();
+            sites.extend(self.nn_a.iter().map(|&(p, _)| p));
+            recompute_alive_k_into(
+                grid_b,
+                self.q,
+                sites,
+                self.k,
+                &mut self.alive,
+                &mut scratch.prune,
+            );
         }
     }
 
@@ -139,7 +195,8 @@ impl BiIgernK {
     /// alive cells, count A-objects strictly closer than the query (cap
     /// `k`); fewer than `k` means it is an answer.
     fn verify(&mut self, grid_a: &Grid, grid_b: &Grid, ops: &mut OpCounters) {
-        let mut rnn_b = Vec::new();
+        let mut rnn_b = std::mem::take(&mut self.rnn_b);
+        rnn_b.clear();
         for c in self.alive.iter() {
             for &ob in grid_b.objects_in(c) {
                 let Some(pos) = grid_b.position(ob) else {
@@ -160,11 +217,15 @@ impl BiIgernK {
                     continue;
                 }
                 ops.verifications += 1;
-                let exclude = match self.q_id {
-                    Some(qid) => vec![qid],
-                    None => Vec::new(),
+                let single;
+                let exclude: &[ObjectId] = match self.q_id {
+                    Some(qid) => {
+                        single = [qid];
+                        &single
+                    }
+                    None => &[],
                 };
-                if count_closer_than(grid_a, pos, d_q, self.k, &exclude, ops) < self.k {
+                if count_closer_than(grid_a, pos, d_q, self.k, exclude, ops) < self.k {
                     rnn_b.push(ob);
                 }
             }
@@ -188,6 +249,12 @@ impl BiIgernK {
     /// The monitored A-objects.
     pub fn monitored(&self) -> Vec<ObjectId> {
         self.nn_a.iter().map(|&(_, id)| id).collect()
+    }
+
+    /// The monitored A-objects with their cached positions.
+    #[inline]
+    pub fn monitored_pairs(&self) -> &[(Point, ObjectId)] {
+        &self.nn_a
     }
 
     /// Number of monitored A-objects.

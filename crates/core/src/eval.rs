@@ -12,6 +12,7 @@ use igern_grid::{ObjectId, OpCounters};
 
 use crate::metrics::TickSample;
 use crate::monitor::ContinuousMonitor;
+use crate::scratch::EvalScratch;
 use crate::store::SpatialStore;
 
 /// One standing query's evaluator state: the anchor object, the boxed
@@ -39,7 +40,9 @@ impl QuerySlot {
             obj,
             monitor,
             initialized: false,
-            answer: Vec::new(),
+            // Headroom so small per-tick answer fluctuations never regrow
+            // the buffer mid-stream.
+            answer: Vec::with_capacity(16),
             monitored: 0,
             region_area: 0.0,
         }
@@ -82,11 +85,17 @@ pub fn can_skip(store: &SpatialStore, slot: &QuerySlot, anchor: igern_geom::Poin
 /// previous answer is carried over as a skipped sample whose
 /// `ops.desyncs` is set, so the event is counted instead of panicking
 /// mid-tick.
+///
+/// `scratch` is the execution lane's reusable evaluation workspace; a warm
+/// scratch makes the steady-state tick allocation-free. Lanes must not
+/// share one scratch concurrently, but any slot may be evaluated with any
+/// lane's scratch — the answer does not depend on the scratch contents.
 pub fn evaluate_query(
     store: &SpatialStore,
     slot: &mut QuerySlot,
     tick: u64,
     route: bool,
+    scratch: &mut EvalScratch,
 ) -> TickSample {
     let Some(pos) = store.position(slot.obj) else {
         let mut ops = OpCounters::new();
@@ -115,9 +124,9 @@ pub fn evaluate_query(
     let mut ops = OpCounters::new();
     let start = Instant::now();
     if slot.initialized {
-        slot.monitor.incremental(store, pos, &mut ops);
+        slot.monitor.incremental(store, pos, &mut ops, scratch);
     } else {
-        slot.monitor.initial(store, pos, &mut ops);
+        slot.monitor.initial(store, pos, &mut ops, scratch);
         slot.initialized = true;
     }
     let elapsed = start.elapsed();
@@ -158,25 +167,26 @@ mod tests {
             ObjectId(0),
             Algorithm::IgernMono.make_monitor(Some(ObjectId(0))),
         );
+        let mut scratch = EvalScratch::default();
         // Uninitialized slots never skip, even on a quiet store.
         assert!(!can_skip(&s, &slot, Point::new(5.0, 5.0)));
-        let s0 = evaluate_query(&s, &mut slot, 0, true);
+        let s0 = evaluate_query(&s, &mut slot, 0, true, &mut scratch);
         assert!(!s0.skipped);
         assert!(slot.initialized);
         // Both neighbors have the query as their nearest object.
         assert_eq!(slot.answer, vec![ObjectId(1), ObjectId(2)]);
         s.drain_dirty();
         // Quiet tick: routed evaluation skips, carrying the answer over.
-        let s1 = evaluate_query(&s, &mut slot, 1, true);
+        let s1 = evaluate_query(&s, &mut slot, 1, true, &mut scratch);
         assert!(s1.skipped);
         assert_eq!(s1.answer_size, 2);
         assert_eq!(s1.tick, 1);
         // Forced evaluation never skips.
-        let s2 = evaluate_query(&s, &mut slot, 2, false);
+        let s2 = evaluate_query(&s, &mut slot, 2, false, &mut scratch);
         assert!(!s2.skipped);
         // A move in the watched region forces routed re-evaluation.
         s.apply(ObjectId(1), Point::new(4.2, 5.0));
-        let s3 = evaluate_query(&s, &mut slot, 3, true);
+        let s3 = evaluate_query(&s, &mut slot, 3, true, &mut scratch);
         assert!(!s3.skipped);
     }
 }

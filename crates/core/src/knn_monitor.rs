@@ -14,7 +14,11 @@
 //! the answer. Otherwise the tick costs one bounded emptiness probe.
 
 use igern_geom::Point;
-use igern_grid::{exists_closer_than, k_nearest, Grid, Neighbor, ObjectId, OpCounters};
+use igern_grid::{
+    exists_closer_than, k_nearest, k_nearest_into, Grid, Neighbor, ObjectId, OpCounters,
+};
+
+use crate::scratch::EvalScratch;
 
 /// Continuous k-NN query state.
 #[derive(Debug, Clone)]
@@ -46,6 +50,18 @@ impl KnnMonitor {
 
     /// Per-tick maintenance with the query's current position.
     pub fn incremental(&mut self, grid: &Grid, q: Point, ops: &mut OpCounters) {
+        self.incremental_in(grid, q, ops, &mut EvalScratch::default());
+    }
+
+    /// [`KnnMonitor::incremental`] with caller-provided evaluation
+    /// scratch; a warm scratch makes the steady-state tick allocation-free.
+    pub fn incremental_in(
+        &mut self,
+        grid: &Grid,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         let q_moved = q != self.q;
         // Did a current neighbor move (or vanish)?
         let mut neighbor_moved = false;
@@ -67,18 +83,21 @@ impl KnnMonitor {
             // SEA-CNN). Exclude the current answer and the query itself.
             let radius_sq = self.answer.last().map(|n| n.dist_sq).unwrap_or(0.0);
             if radius_sq > 0.0 {
-                let mut exclude: Vec<ObjectId> = self.answer.iter().map(|n| n.id).collect();
+                let exclude = &mut scratch.ids;
+                exclude.clear();
+                exclude.extend(self.answer.iter().map(|n| n.id));
                 if let Some(qid) = self.q_id {
                     exclude.push(qid);
                 }
                 ops.nn_b += 1;
-                dirty = exists_closer_than(grid, q, radius_sq, &exclude, ops);
+                dirty = exists_closer_than(grid, q, radius_sq, exclude, ops);
             }
         }
         self.q = q;
         if dirty {
             ops.nn += 1;
-            self.answer = k_nearest(grid, q, self.k, self.q_id, ops);
+            k_nearest_into(grid, q, self.k, self.q_id, ops, &mut scratch.neighbors);
+            std::mem::swap(&mut self.answer, &mut scratch.neighbors);
         }
     }
 

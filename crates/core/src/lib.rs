@@ -88,6 +88,7 @@ pub mod processor;
 pub mod prune;
 pub mod range_monitor;
 pub mod render;
+pub mod scratch;
 pub mod store;
 pub mod types;
 
@@ -99,5 +100,6 @@ pub use knn_monitor::KnnMonitor;
 pub use monitor::ContinuousMonitor;
 pub use mono::{MonoIgern, MonoIgernK};
 pub use range_monitor::RangeMonitor;
+pub use scratch::EvalScratch;
 pub use store::SpatialStore;
 pub use types::ObjectKind;

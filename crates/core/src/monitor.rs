@@ -42,27 +42,44 @@
 use igern_geom::{Point, SECTOR_COUNT};
 use igern_grid::{CellSet, Grid, ObjectId, OpCounters};
 
-use crate::baselines::{tpl_snapshot, voronoi_snapshot, Crnn};
+use crate::baselines::{tpl_snapshot_with, voronoi_snapshot, Crnn, TplAnswer};
 use crate::bi::{BiIgern, BiIgernK};
 use crate::knn_monitor::KnnMonitor;
 use crate::mono::{MonoIgern, MonoIgernK};
 use crate::processor::Algorithm;
+use crate::prune::PruneGranularity;
+use crate::scratch::EvalScratch;
 use crate::store::SpatialStore;
 
 /// A continuous query evaluation strategy with a routable watch set.
 ///
 /// The processor drives the lifecycle: exactly one [`initial`] call on the
 /// first evaluation, then [`incremental`] every subsequent tick the query
-/// is not skipped. `q` is the query object's current position.
+/// is not skipped. `q` is the query object's current position. `scratch`
+/// is reusable evaluation workspace owned by the execution lane (serial
+/// processor or engine worker); a warm scratch makes the steady-state
+/// tick allocation-free.
 ///
 /// [`initial`]: ContinuousMonitor::initial
 /// [`incremental`]: ContinuousMonitor::incremental
 pub trait ContinuousMonitor: Send + Sync {
     /// First evaluation, from scratch.
-    fn initial(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters);
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    );
 
     /// Re-evaluation after one tick of updates.
-    fn incremental(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters);
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    );
 
     /// Write the current answer into `out` (cleared first), sorted by id.
     fn answer_into(&self, out: &mut Vec<ObjectId>);
@@ -105,14 +122,17 @@ fn reset_watch(watch: &mut CellSet, num_cells: usize) {
 }
 
 /// Add the candidates' cells and `disk(q, 2·max_cand_dist)` to `watch` —
-/// the verification closure shared by the candidate-set monitors.
-fn add_candidate_closure(grid: &Grid, q: Point, cand: &[ObjectId], watch: &mut CellSet) {
+/// the verification closure shared by the candidate-set monitors. Takes
+/// the (position, id) pairs the evaluators already cache, so no position
+/// lookups or id-vector allocations are needed.
+fn add_candidate_closure<I>(grid: &Grid, q: Point, cand: I, watch: &mut CellSet)
+where
+    I: IntoIterator<Item = (Point, ObjectId)>,
+{
     let mut max_d_sq = 0.0f64;
-    for &id in cand {
-        if let Some(p) = grid.position(id) {
-            watch.insert(grid.cell_of_point(p));
-            max_d_sq = max_d_sq.max(p.dist_sq(q));
-        }
+    for (p, _) in cand {
+        watch.insert(grid.cell_of_point(p));
+        max_d_sq = max_d_sq.max(p.dist_sq(q));
     }
     // Any disk centered at q covers q's own cell, so the anchor cell is
     // always watched even with an empty candidate set.
@@ -139,21 +159,45 @@ impl MonoIgernMonitor {
     fn rebuild_watch(&mut self, store: &SpatialStore, q: Point) {
         let m = self.inner.as_ref().expect("monitor not initialized");
         self.watch.clone_from(m.alive_cells());
-        add_candidate_closure(store.all(), q, &m.candidates(), &mut self.watch);
+        add_candidate_closure(
+            store.all(),
+            q,
+            m.candidate_pairs().iter().copied(),
+            &mut self.watch,
+        );
     }
 }
 
 impl ContinuousMonitor for MonoIgernMonitor {
-    fn initial(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
-        self.inner = Some(MonoIgern::initial(store.all(), q, self.q_id, ops));
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.inner = Some(MonoIgern::initial_in(
+            store.all(),
+            q,
+            self.q_id,
+            PruneGranularity::default(),
+            ops,
+            scratch,
+        ));
         self.rebuild_watch(store, q);
     }
 
-    fn incremental(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
-            .incremental(store.all(), q, ops);
+            .incremental_in(store.all(), q, ops, scratch);
         self.rebuild_watch(store, q);
     }
 
@@ -201,21 +245,45 @@ impl MonoIgernKMonitor {
     fn rebuild_watch(&mut self, store: &SpatialStore, q: Point) {
         let m = self.inner.as_ref().expect("monitor not initialized");
         self.watch.clone_from(m.alive_cells());
-        add_candidate_closure(store.all(), q, &m.candidates(), &mut self.watch);
+        add_candidate_closure(
+            store.all(),
+            q,
+            m.candidate_pairs().iter().copied(),
+            &mut self.watch,
+        );
     }
 }
 
 impl ContinuousMonitor for MonoIgernKMonitor {
-    fn initial(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
-        self.inner = Some(MonoIgernK::initial(store.all(), q, self.q_id, self.k, ops));
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.inner = Some(MonoIgernK::initial_in(
+            store.all(),
+            q,
+            self.q_id,
+            self.k,
+            ops,
+            scratch,
+        ));
         self.rebuild_watch(store, q);
     }
 
-    fn incremental(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
-            .incremental(store.all(), q, ops);
+            .incremental_in(store.all(), q, ops, scratch);
         self.rebuild_watch(store, q);
     }
 
@@ -256,7 +324,7 @@ fn rebuild_bi_watch(
     store: &SpatialStore,
     q: Point,
     alive: &CellSet,
-    monitored: &[ObjectId],
+    monitored: &[(Point, ObjectId)],
     watch: &mut CellSet,
 ) {
     let grid = store.all();
@@ -266,10 +334,8 @@ fn rebuild_bi_watch(
         r_sq = r_sq.max(grid.cell_bounds(c).maxdist_sq(q));
     }
     grid.add_cells_in_disk(q, 2.0 * r_sq.sqrt(), watch);
-    for &id in monitored {
-        if let Some(p) = store.grid_a().position(id) {
-            watch.insert(grid.cell_of_point(p));
-        }
+    for &(p, _) in monitored {
+        watch.insert(grid.cell_of_point(p));
     }
 }
 
@@ -285,27 +351,47 @@ impl BiIgernMonitor {
 
     fn rebuild_watch(&mut self, store: &SpatialStore, q: Point) {
         let m = self.inner.as_ref().expect("monitor not initialized");
-        rebuild_bi_watch(store, q, m.alive_cells(), &m.monitored(), &mut self.watch);
+        rebuild_bi_watch(
+            store,
+            q,
+            m.alive_cells(),
+            m.monitored_pairs(),
+            &mut self.watch,
+        );
     }
 }
 
 impl ContinuousMonitor for BiIgernMonitor {
-    fn initial(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
-        self.inner = Some(BiIgern::initial(
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.inner = Some(BiIgern::initial_in(
             store.grid_a(),
             store.grid_b(),
             q,
             self.q_id,
+            PruneGranularity::default(),
             ops,
+            scratch,
         ));
         self.rebuild_watch(store, q);
     }
 
-    fn incremental(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
-            .incremental(store.grid_a(), store.grid_b(), q, ops);
+            .incremental_in(store.grid_a(), store.grid_b(), q, ops, scratch);
         self.rebuild_watch(store, q);
     }
 
@@ -354,28 +440,47 @@ impl BiIgernKMonitor {
 
     fn rebuild_watch(&mut self, store: &SpatialStore, q: Point) {
         let m = self.inner.as_ref().expect("monitor not initialized");
-        rebuild_bi_watch(store, q, m.alive_cells(), &m.monitored(), &mut self.watch);
+        rebuild_bi_watch(
+            store,
+            q,
+            m.alive_cells(),
+            m.monitored_pairs(),
+            &mut self.watch,
+        );
     }
 }
 
 impl ContinuousMonitor for BiIgernKMonitor {
-    fn initial(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
-        self.inner = Some(BiIgernK::initial(
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.inner = Some(BiIgernK::initial_in(
             store.grid_a(),
             store.grid_b(),
             q,
             self.q_id,
             self.k,
             ops,
+            scratch,
         ));
         self.rebuild_watch(store, q);
     }
 
-    fn incremental(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
-            .incremental(store.grid_a(), store.grid_b(), q, ops);
+            .incremental_in(store.grid_a(), store.grid_b(), q, ops, scratch);
         self.rebuild_watch(store, q);
     }
 
@@ -432,17 +537,29 @@ impl CrnnMonitor {
         }
         let grid = store.all();
         reset_watch(&mut self.watch, grid.num_cells());
-        add_candidate_closure(grid, q, &m.candidates(), &mut self.watch);
+        add_candidate_closure(grid, q, m.candidate_pairs(), &mut self.watch);
     }
 }
 
 impl ContinuousMonitor for CrnnMonitor {
-    fn initial(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        _scratch: &mut EvalScratch,
+    ) {
         self.inner = Some(Crnn::initial(store.all(), q, self.q_id, ops));
         self.rebuild_watch(store, q);
     }
 
-    fn incremental(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        _scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
@@ -512,16 +629,28 @@ impl KnnQueryMonitor {
 }
 
 impl ContinuousMonitor for KnnQueryMonitor {
-    fn initial(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        _scratch: &mut EvalScratch,
+    ) {
         self.inner = Some(KnnMonitor::initial(store.all(), q, self.q_id, self.k, ops));
         self.rebuild_watch(store, q);
     }
 
-    fn incremental(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
-            .incremental(store.all(), q, ops);
+            .incremental_in(store.all(), q, ops, scratch);
         self.rebuild_watch(store, q);
     }
 
@@ -550,11 +679,12 @@ impl ContinuousMonitor for KnnQueryMonitor {
     }
 }
 
-/// Snapshot TPL re-run every tick behind the routable interface.
+/// Snapshot TPL re-run every tick behind the routable interface. Owns its
+/// [`TplAnswer`] so repeated snapshots reuse the answer buffers instead of
+/// reallocating them every tick.
 pub struct TplRepeatMonitor {
     q_id: Option<ObjectId>,
-    rnn: Vec<ObjectId>,
-    candidates: usize,
+    ans: TplAnswer,
 }
 
 impl TplRepeatMonitor {
@@ -562,26 +692,35 @@ impl TplRepeatMonitor {
     pub fn new(q_id: Option<ObjectId>) -> Self {
         TplRepeatMonitor {
             q_id,
-            rnn: Vec::new(),
-            candidates: 0,
+            ans: TplAnswer::default(),
         }
     }
 }
 
 impl ContinuousMonitor for TplRepeatMonitor {
-    fn initial(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
-        self.incremental(store, q, ops);
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.incremental(store, q, ops, scratch);
     }
 
-    fn incremental(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
-        let ans = tpl_snapshot(store.all(), q, self.q_id, ops);
-        self.candidates = ans.candidates.len();
-        self.rnn = ans.rnn;
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        tpl_snapshot_with(store.all(), q, self.q_id, ops, scratch, &mut self.ans);
     }
 
     fn answer_into(&self, out: &mut Vec<ObjectId>) {
         out.clear();
-        out.extend_from_slice(&self.rnn);
+        out.extend_from_slice(&self.ans.rnn);
     }
 
     fn monitored_cells(&self) -> Option<&CellSet> {
@@ -589,7 +728,7 @@ impl ContinuousMonitor for TplRepeatMonitor {
     }
 
     fn num_monitored(&self) -> usize {
-        self.candidates
+        self.ans.candidates.len()
     }
 
     fn region_area(&self, _store: &SpatialStore) -> f64 {
@@ -616,11 +755,23 @@ impl VoronoiRepeatMonitor {
 }
 
 impl ContinuousMonitor for VoronoiRepeatMonitor {
-    fn initial(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
-        self.incremental(store, q, ops);
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.incremental(store, q, ops, scratch);
     }
 
-    fn incremental(&mut self, store: &SpatialStore, q: Point, ops: &mut OpCounters) {
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        _scratch: &mut EvalScratch,
+    ) {
         let ans = voronoi_snapshot(store.grid_a(), store.grid_b(), q, self.q_id, ops);
         self.sites_used = ans.sites_used;
         self.rnn = ans.rnn;
@@ -649,9 +800,23 @@ impl ContinuousMonitor for VoronoiRepeatMonitor {
 pub struct NullMonitor;
 
 impl ContinuousMonitor for NullMonitor {
-    fn initial(&mut self, _store: &SpatialStore, _q: Point, _ops: &mut OpCounters) {}
+    fn initial(
+        &mut self,
+        _store: &SpatialStore,
+        _q: Point,
+        _ops: &mut OpCounters,
+        _scratch: &mut EvalScratch,
+    ) {
+    }
 
-    fn incremental(&mut self, _store: &SpatialStore, _q: Point, _ops: &mut OpCounters) {}
+    fn incremental(
+        &mut self,
+        _store: &SpatialStore,
+        _q: Point,
+        _ops: &mut OpCounters,
+        _scratch: &mut EvalScratch,
+    ) {
+    }
 
     fn answer_into(&self, out: &mut Vec<ObjectId>) {
         out.clear();
@@ -690,7 +855,7 @@ mod tests {
         let mut ops = OpCounters::new();
         let q = Point::new(5.0, 5.0);
         let mut mon = MonoIgernMonitor::new(Some(ObjectId(0)));
-        mon.initial(&store, q, &mut ops);
+        mon.initial(&store, q, &mut ops, &mut EvalScratch::default());
         let watch = mon.monitored_cells().expect("mono watch is bounded");
         let inner = mon.inner.as_ref().unwrap();
         for c in inner.alive_cells().iter() {
@@ -710,12 +875,12 @@ mod tests {
         let q = Point::new(5.0, 5.0);
         // Underfull answer (k > population): watch everything.
         let mut big = KnnQueryMonitor::new(Some(ObjectId(0)), 10);
-        big.initial(&store, q, &mut ops);
+        big.initial(&store, q, &mut ops, &mut EvalScratch::default());
         assert!(big.monitored_cells().is_none());
         // Full answer: a bounded disk that contains the anchor cell but
         // not the far corner.
         let mut two = KnnQueryMonitor::new(Some(ObjectId(0)), 2);
-        two.initial(&store, q, &mut ops);
+        two.initial(&store, q, &mut ops, &mut EvalScratch::default());
         let watch = two.monitored_cells().expect("full answer bounds the watch");
         assert!(watch.contains(store.all().cell_of_point(q)));
         assert!(!watch.contains(store.all().cell_of_point(Point::new(9.9, 9.9))));
@@ -726,7 +891,12 @@ mod tests {
         let store = mono_store(&[(5.0, 5.0), (4.0, 5.0)]);
         let mut ops = OpCounters::new();
         let mut tpl = TplRepeatMonitor::new(Some(ObjectId(0)));
-        tpl.initial(&store, Point::new(5.0, 5.0), &mut ops);
+        tpl.initial(
+            &store,
+            Point::new(5.0, 5.0),
+            &mut ops,
+            &mut EvalScratch::default(),
+        );
         assert!(tpl.monitored_cells().is_none());
         let mut out = Vec::new();
         tpl.answer_into(&mut out);
@@ -739,7 +909,12 @@ mod tests {
         let store = mono_store(&[(5.0, 5.0), (6.0, 5.0)]);
         let mut ops = OpCounters::new();
         let mut mon = CrnnMonitor::new(Some(ObjectId(0)));
-        mon.initial(&store, Point::new(5.0, 5.0), &mut ops);
+        mon.initial(
+            &store,
+            Point::new(5.0, 5.0),
+            &mut ops,
+            &mut EvalScratch::default(),
+        );
         assert!(mon.num_monitored() < SECTOR_COUNT);
         assert!(mon.monitored_cells().is_none());
     }
@@ -749,7 +924,12 @@ mod tests {
         let store = mono_store(&[(5.0, 5.0)]);
         let mut ops = OpCounters::new();
         let mut null = NullMonitor;
-        null.initial(&store, Point::new(1.0, 1.0), &mut ops);
+        null.initial(
+            &store,
+            Point::new(1.0, 1.0),
+            &mut ops,
+            &mut EvalScratch::default(),
+        );
         let mut out = vec![ObjectId(7)];
         null.answer_into(&mut out);
         assert!(out.is_empty());

@@ -14,9 +14,10 @@
 //! need watching.
 
 use igern_geom::Point;
-use igern_grid::{nearest, nearest_in_cells, CellSet, Grid, ObjectId, OpCounters};
+use igern_grid::{nearest, nearest_in_cells_with, CellSet, Grid, ObjectId, OpCounters};
 
-use crate::prune::{clean_dominated, recompute_alive, PruneGranularity};
+use crate::prune::{clean_dominated_with, recompute_alive_into, PruneGranularity};
+use crate::scratch::EvalScratch;
 
 /// Continuous monochromatic RNN query state.
 #[derive(Debug, Clone)]
@@ -62,25 +63,53 @@ impl MonoIgern {
         granularity: PruneGranularity,
         ops: &mut OpCounters,
     ) -> Self {
+        Self::initial_in(grid, q, q_id, granularity, ops, &mut EvalScratch::default())
+    }
+
+    /// [`MonoIgern::initial_with`] with caller-provided evaluation scratch
+    /// — the allocation-free form the hot paths use.
+    pub fn initial_in(
+        grid: &Grid,
+        q: Point,
+        q_id: Option<ObjectId>,
+        granularity: PruneGranularity,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) -> Self {
         let mut state = MonoIgern {
             q_id,
             q,
             alive: CellSet::full(grid.num_cells()),
-            cand: Vec::new(),
-            rnn: Vec::new(),
+            // Cleaning bounds the candidate set at 6 (six-region lemma);
+            // tighten can briefly overshoot, so reserve enough headroom
+            // that steady-state ticks never regrow these.
+            cand: Vec::with_capacity(16),
+            rnn: Vec::with_capacity(16),
             stale: false,
             granularity,
         };
         // Phase I: bounded region.
-        state.tighten(grid, ops, SearchClass::Constrained);
+        state.tighten(grid, ops, SearchClass::Constrained, scratch);
         // Phase II: verification.
-        state.rnn = state.verify(grid, ops);
+        state.verify(grid, ops);
         state
     }
 
     /// Algorithm 2 — the incremental step, run every Δt with the query's
     /// current position.
     pub fn incremental(&mut self, grid: &Grid, q: Point, ops: &mut OpCounters) {
+        self.incremental_in(grid, q, ops, &mut EvalScratch::default());
+    }
+
+    /// [`MonoIgern::incremental`] with caller-provided evaluation scratch;
+    /// a warm scratch makes the steady-state tick allocation-free.
+    pub fn incremental_in(
+        &mut self,
+        grid: &Grid,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         // Scenario checks (lines 2–5): did the query or any candidate move?
         let q_moved = q != self.q;
         let mut cand_moved = false;
@@ -102,34 +131,42 @@ impl MonoIgern {
         if q_moved || cand_moved || self.stale {
             // Redraw all bisectors; only cells between q and the bisectors
             // stay alive.
-            let sites: Vec<Point> = self.cand.iter().map(|&(p, _)| p).collect();
-            self.alive = recompute_alive(grid, q, &sites);
+            let sites = &mut scratch.sites;
+            sites.clear();
+            sites.extend(self.cand.iter().map(|&(p, _)| p));
+            recompute_alive_into(grid, q, sites, &mut self.alive, &mut scratch.prune);
             self.stale = false;
         }
         // Lines 6–9: if objects (re-)entered the alive region, tighten the
         // region and clean the candidate list. The tighten loop doubles as
         // the existence check — it is a single bounded search when the
         // region is quiet.
-        self.tighten(grid, ops, SearchClass::Bounded);
+        self.tighten(grid, ops, SearchClass::Bounded, scratch);
         // Cleaning runs unconditionally: movement alone can make one
         // candidate dominate another, and with exact-granularity greedy
         // insertion the cleaned set is guaranteed ≤ 6 (at most one
         // candidate per 60° pie survives, by the classic six-region
         // lemma the paper's related work builds on).
         let grown = self.cand.len();
-        clean_dominated(&mut self.cand, q);
+        clean_dominated_with(&mut self.cand, q, &mut scratch.prune);
         if self.cand.len() < grown {
             self.stale = true;
         }
         // Lines 10: verification.
-        self.rnn = self.verify(grid, ops);
+        self.verify(grid, ops);
     }
 
     /// Phase-I loop (Algorithm 1 lines 3–6): repeatedly take the nearest
     /// non-candidate object inside the alive cells, add it to `RNNcand`,
     /// and kill the cells beyond its bisector, until the alive region
     /// holds no non-candidate object.
-    fn tighten(&mut self, grid: &Grid, ops: &mut OpCounters, class: SearchClass) {
+    fn tighten(
+        &mut self,
+        grid: &Grid,
+        ops: &mut OpCounters,
+        class: SearchClass,
+        scratch: &mut EvalScratch,
+    ) {
         loop {
             match class {
                 SearchClass::Constrained => ops.nn_c += 1,
@@ -146,7 +183,7 @@ impl MonoIgern {
                 // cell set.
                 nearest(grid, self.q, q_id, ops)
             } else {
-                nearest_in_cells(
+                nearest_in_cells_with(
                     grid,
                     self.q,
                     &self.alive,
@@ -165,34 +202,45 @@ impl MonoIgern {
                         }
                     },
                     ops,
+                    &mut scratch.cell_order,
                 )
             };
             let Some(n) = next else { break };
             self.cand.push((n.pos, n.id));
-            let sites: Vec<Point> = self.cand.iter().map(|&(p, _)| p).collect();
-            self.alive = recompute_alive(grid, self.q, &sites);
+            let sites = &mut scratch.sites;
+            sites.clear();
+            sites.extend(self.cand.iter().map(|&(p, _)| p));
+            recompute_alive_into(grid, self.q, sites, &mut self.alive, &mut scratch.prune);
         }
     }
 
     /// Phase-II verification (Algorithm 1 line 8 / Algorithm 2 line 10):
     /// keep a candidate iff the query is its nearest object — i.e. no
     /// other object lies strictly closer to it than the query does.
-    fn verify(&self, grid: &Grid, ops: &mut OpCounters) -> Vec<ObjectId> {
-        let mut rnn: Vec<ObjectId> = self
-            .cand
-            .iter()
-            .filter(|&&(pos, id)| {
-                ops.verifications += 1;
-                let exclude = match self.q_id {
-                    Some(qid) => vec![id, qid],
-                    None => vec![id],
-                };
-                !igern_grid::exists_closer_than(grid, pos, pos.dist_sq(self.q), &exclude, ops)
-            })
-            .map(|&(_, id)| id)
-            .collect();
+    /// Rebuilds `self.rnn` in place.
+    fn verify(&mut self, grid: &Grid, ops: &mut OpCounters) {
+        let mut rnn = std::mem::take(&mut self.rnn);
+        rnn.clear();
+        for &(pos, id) in &self.cand {
+            ops.verifications += 1;
+            let pair;
+            let single;
+            let exclude: &[ObjectId] = match self.q_id {
+                Some(qid) => {
+                    pair = [id, qid];
+                    &pair
+                }
+                None => {
+                    single = [id];
+                    &single
+                }
+            };
+            if !igern_grid::exists_closer_than(grid, pos, pos.dist_sq(self.q), exclude, ops) {
+                rnn.push(id);
+            }
+        }
         rnn.sort_unstable();
-        rnn
+        self.rnn = rnn;
     }
 
     /// The current verified answer, sorted by id.
@@ -204,6 +252,13 @@ impl MonoIgern {
     /// The monitored candidate set `RNNcand`.
     pub fn candidates(&self) -> Vec<ObjectId> {
         self.cand.iter().map(|&(_, id)| id).collect()
+    }
+
+    /// The monitored candidates with their last-seen positions, without
+    /// allocating.
+    #[inline]
+    pub fn candidate_pairs(&self) -> &[(Point, ObjectId)] {
+        &self.cand
     }
 
     /// Number of monitored objects (the Figure 7b metric; ≈3 on average

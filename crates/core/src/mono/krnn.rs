@@ -19,10 +19,11 @@
 
 use igern_geom::Point;
 use igern_grid::{
-    count_closer_than, nearest, nearest_in_cells, CellSet, Grid, ObjectId, OpCounters,
+    count_closer_than, nearest, nearest_in_cells_with, CellSet, Grid, ObjectId, OpCounters,
 };
 
-use crate::prune::{clean_dominated_k, recompute_alive_k};
+use crate::prune::{clean_dominated_k_with, recompute_alive_k_into};
+use crate::scratch::EvalScratch;
 
 /// Continuous monochromatic RkNN query state.
 #[derive(Debug, Clone)]
@@ -48,6 +49,21 @@ impl MonoIgernK {
         k: usize,
         ops: &mut OpCounters,
     ) -> Self {
+        Self::initial_in(grid, q, q_id, k, ops, &mut EvalScratch::default())
+    }
+
+    /// [`MonoIgernK::initial`] with caller-provided evaluation scratch.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn initial_in(
+        grid: &Grid,
+        q: Point,
+        q_id: Option<ObjectId>,
+        k: usize,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) -> Self {
         assert!(k >= 1, "k must be positive");
         let mut state = MonoIgernK {
             k,
@@ -58,13 +74,25 @@ impl MonoIgernK {
             rnn: Vec::new(),
             stale: false,
         };
-        state.tighten(grid, ops, true);
-        state.rnn = state.verify(grid, ops);
+        state.tighten(grid, ops, true, scratch);
+        state.verify(grid, ops);
         state
     }
 
     /// Incremental step, run every Δt with the query's current position.
     pub fn incremental(&mut self, grid: &Grid, q: Point, ops: &mut OpCounters) {
+        self.incremental_in(grid, q, ops, &mut EvalScratch::default());
+    }
+
+    /// [`MonoIgernK::incremental`] with caller-provided evaluation
+    /// scratch; a warm scratch makes the steady-state tick allocation-free.
+    pub fn incremental_in(
+        &mut self,
+        grid: &Grid,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         let q_moved = q != self.q;
         let mut cand_moved = false;
         self.cand.retain_mut(|(pos, id)| match grid.position(*id) {
@@ -82,23 +110,31 @@ impl MonoIgernK {
         });
         self.q = q;
         if q_moved || cand_moved || self.stale {
-            let sites: Vec<Point> = self.cand.iter().map(|&(p, _)| p).collect();
-            self.alive = recompute_alive_k(grid, q, &sites, self.k);
+            let sites = &mut scratch.sites;
+            sites.clear();
+            sites.extend(self.cand.iter().map(|&(p, _)| p));
+            recompute_alive_k_into(grid, q, sites, self.k, &mut self.alive, &mut scratch.prune);
             self.stale = false;
         }
-        self.tighten(grid, ops, false);
+        self.tighten(grid, ops, false, scratch);
         let grown = self.cand.len();
-        clean_dominated_k(&mut self.cand, q, self.k);
+        clean_dominated_k_with(&mut self.cand, q, self.k, &mut scratch.prune);
         if self.cand.len() < grown {
             self.stale = true;
         }
-        self.rnn = self.verify(grid, ops);
+        self.verify(grid, ops);
     }
 
     /// Phase-I loop at order `k`: pull the nearest object of the alive
     /// cells that has fewer than `k` candidate dominators, monitor it,
     /// and re-kill cells excluded by ≥ `k` bisectors.
-    fn tighten(&mut self, grid: &Grid, ops: &mut OpCounters, initial: bool) {
+    fn tighten(
+        &mut self,
+        grid: &Grid,
+        ops: &mut OpCounters,
+        initial: bool,
+        scratch: &mut EvalScratch,
+    ) {
         loop {
             if initial {
                 ops.nn_c += 1;
@@ -112,7 +148,7 @@ impl MonoIgernK {
             let next = if cand.is_empty() {
                 nearest(grid, self.q, q_id, ops)
             } else {
-                nearest_in_cells(
+                nearest_in_cells_with(
                     grid,
                     self.q,
                     &self.alive,
@@ -128,33 +164,51 @@ impl MonoIgernK {
                         dominators < k
                     },
                     ops,
+                    &mut scratch.cell_order,
                 )
             };
             let Some(n) = next else { break };
             self.cand.push((n.pos, n.id));
-            let sites: Vec<Point> = self.cand.iter().map(|&(p, _)| p).collect();
-            self.alive = recompute_alive_k(grid, self.q, &sites, self.k);
+            let sites = &mut scratch.sites;
+            sites.clear();
+            sites.extend(self.cand.iter().map(|&(p, _)| p));
+            recompute_alive_k_into(
+                grid,
+                self.q,
+                sites,
+                self.k,
+                &mut self.alive,
+                &mut scratch.prune,
+            );
         }
     }
 
     /// Verification at order `k`: a candidate is an answer iff fewer than
     /// `k` other objects lie strictly closer to it than the query.
-    fn verify(&self, grid: &Grid, ops: &mut OpCounters) -> Vec<ObjectId> {
-        let mut rnn: Vec<ObjectId> = self
-            .cand
-            .iter()
-            .filter(|&&(pos, id)| {
-                ops.verifications += 1;
-                let exclude = match self.q_id {
-                    Some(qid) => vec![id, qid],
-                    None => vec![id],
-                };
-                count_closer_than(grid, pos, pos.dist_sq(self.q), self.k, &exclude, ops) < self.k
-            })
-            .map(|&(_, id)| id)
-            .collect();
+    /// Rebuilds `self.rnn` in place.
+    fn verify(&mut self, grid: &Grid, ops: &mut OpCounters) {
+        let mut rnn = std::mem::take(&mut self.rnn);
+        rnn.clear();
+        for &(pos, id) in &self.cand {
+            ops.verifications += 1;
+            let pair;
+            let single;
+            let exclude: &[ObjectId] = match self.q_id {
+                Some(qid) => {
+                    pair = [id, qid];
+                    &pair
+                }
+                None => {
+                    single = [id];
+                    &single
+                }
+            };
+            if count_closer_than(grid, pos, pos.dist_sq(self.q), self.k, exclude, ops) < self.k {
+                rnn.push(id);
+            }
+        }
         rnn.sort_unstable();
-        rnn
+        self.rnn = rnn;
     }
 
     /// The current verified answer, sorted by id.
@@ -172,6 +226,13 @@ impl MonoIgernK {
     /// The monitored candidate set.
     pub fn candidates(&self) -> Vec<ObjectId> {
         self.cand.iter().map(|&(_, id)| id).collect()
+    }
+
+    /// The monitored candidates with their last-seen positions, without
+    /// allocating.
+    #[inline]
+    pub fn candidate_pairs(&self) -> &[(Point, ObjectId)] {
+        &self.cand
     }
 
     /// Number of monitored objects (≤ 6k under exact greedy insertion).

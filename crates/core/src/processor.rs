@@ -30,6 +30,7 @@ use crate::history::History;
 use crate::hooks::SharedSimHooks;
 use crate::monitor::{ContinuousMonitor, NullMonitor};
 use crate::obs::PipelineMetrics;
+use crate::scratch::EvalScratch;
 use crate::store::SpatialStore;
 
 /// Which algorithm evaluates a continuous query.
@@ -85,6 +86,11 @@ pub struct Processor {
     history_capacity: Option<usize>,
     metrics: Option<PipelineMetrics>,
     sim_hooks: Option<SharedSimHooks>,
+    /// Reusable evaluation workspace for the serial path; once warm, a
+    /// steady-state tick allocates nothing.
+    scratch: EvalScratch,
+    /// Per-worker scratches for the parallel path, grown on demand.
+    scratch_pool: Vec<EvalScratch>,
 }
 
 impl Processor {
@@ -99,6 +105,8 @@ impl Processor {
             history_capacity: None,
             metrics: None,
             sim_hooks: None,
+            scratch: EvalScratch::new(),
+            scratch_pool: Vec::new(),
         }
     }
 
@@ -206,7 +214,12 @@ impl Processor {
         };
         match self.queries.iter().position(|slot| slot.removed) {
             Some(i) => {
-                self.queries[i] = q;
+                // Hand the tombstone's (cleared) answer buffer to the new
+                // tenant so slot churn does not reallocate it.
+                let old = std::mem::replace(&mut self.queries[i], q);
+                let mut buf = old.slot.answer;
+                buf.clear();
+                self.queries[i].slot.answer = buf;
                 i
             }
             None => {
@@ -216,17 +229,20 @@ impl Processor {
         }
     }
 
-    /// Drop a registered query, freeing its monitor state, answer, and
-    /// history allocations. Indices of other queries are stable (the
-    /// slot is tombstoned until [`Processor::add_query`] reuses it);
-    /// accessing a removed query panics.
+    /// Drop a registered query, freeing its monitor state and history
+    /// allocations (the answer buffer is kept for the slot's next
+    /// tenant). Indices of other queries are stable (the slot is
+    /// tombstoned until [`Processor::add_query`] reuses it); accessing a
+    /// removed query panics.
     pub fn remove_query(&mut self, i: usize) {
         assert!(!self.queries[i].removed, "query {i} already removed");
         let q = &mut self.queries[i];
         q.removed = true;
         q.slot.initialized = false;
         q.slot.monitor = Box::new(NullMonitor);
-        q.slot.answer = Vec::new();
+        // Keep the answer buffer's allocation for the slot's next tenant;
+        // clearing empties the visible answer just the same.
+        q.slot.answer.clear();
         q.history = History::unbounded();
     }
 
@@ -281,12 +297,12 @@ impl Processor {
         }
     }
 
-    /// Apply-updates phase shared by the serial and parallel steps.
+    /// Apply-updates phase shared by the serial and parallel steps: one
+    /// batched pass over the tick's deltas (see
+    /// [`SpatialStore::apply_batch`]).
     fn apply_updates(&mut self, updates: &[(ObjectId, Point)]) {
         let start = self.metrics.is_some().then(Instant::now);
-        for &(id, pos) in updates {
-            self.store.apply(id, pos);
-        }
+        self.store.apply_batch(updates);
         if let (Some(m), Some(t0)) = (&self.metrics, start) {
             m.apply_seconds.observe_duration(t0.elapsed());
             m.updates_total.add(updates.len() as u64);
@@ -319,7 +335,8 @@ impl Processor {
         let mut queries = std::mem::take(&mut self.queries);
         for q in &mut queries {
             if !q.removed {
-                let sample = evaluate_query(&self.store, &mut q.slot, tick, route);
+                let sample =
+                    evaluate_query(&self.store, &mut q.slot, tick, route, &mut self.scratch);
                 if let Some(m) = &self.metrics {
                     m.record_sample(&sample);
                 }
@@ -360,14 +377,19 @@ impl Processor {
         let eval_start = self.metrics.is_some().then(Instant::now);
         let mut queries = std::mem::take(&mut self.queries);
         let chunk = queries.len().div_ceil(threads).max(1);
+        // Persistent per-worker scratches: chunk i always takes pool
+        // slot i, so repeated parallel rounds stay warm.
+        if self.scratch_pool.len() < threads {
+            self.scratch_pool.resize_with(threads, EvalScratch::new);
+        }
         std::thread::scope(|scope| {
-            for batch in queries.chunks_mut(chunk) {
+            for (batch, scratch) in queries.chunks_mut(chunk).zip(self.scratch_pool.iter_mut()) {
                 let store = &self.store;
                 let metrics = self.metrics.clone();
                 scope.spawn(move || {
                     for q in batch {
                         if !q.removed {
-                            let sample = evaluate_query(store, &mut q.slot, tick, route);
+                            let sample = evaluate_query(store, &mut q.slot, tick, route, scratch);
                             if let Some(m) = &metrics {
                                 m.record_sample(&sample);
                             }

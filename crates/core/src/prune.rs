@@ -46,15 +46,101 @@ pub fn kill_cells_beyond_bisector(
 }
 
 /// Mark dead every alive cell entirely outside `h`'s kept side.
+///
+/// A cell is outside iff its most-inside corner — picked per axis from the
+/// sign of the boundary normal — lies strictly on the pruned side, which
+/// by linearity is exactly the all-four-corners test of
+/// [`HalfPlane::classify`]. Along one grid row that corner's signed
+/// distance is monotone in the column index, so the dead cells of a row
+/// form a contiguous run at the row's pruned end: each row resolves with a
+/// bisection of at most `log n` corner tests plus one masked range clear,
+/// instead of classifying every alive cell individually.
 pub fn kill_cells(grid: &Grid, alive: &mut CellSet, h: &HalfPlane) -> usize {
-    let dead: Vec<usize> = alive
-        .iter()
-        .filter(|&c| h.classify(&grid.cell_bounds(c)) == RegionSide::Outside)
-        .collect();
-    for c in &dead {
-        alive.remove(*c);
+    let n = grid.cells_per_side();
+    if n == 0 || alive.is_empty() {
+        return 0;
     }
-    dead.len()
+    let normal = h.normal();
+    // Evaluated with the same arithmetic as `classify(&cell_bounds(..))`
+    // at that corner, so the dead set is bit-identical to a per-cell
+    // classify sweep (floating-point monotonicity puts the evaluated
+    // minimum at the geometric minimum corner).
+    let outside = |ix: usize, iy: usize| -> bool {
+        let b = grid.cell_bounds_at(ix, iy);
+        let x = if normal.x > 0.0 { b.min.x } else { b.max.x };
+        let y = if normal.y > 0.0 { b.min.y } else { b.max.y };
+        !h.contains(Point::new(x, y))
+    };
+    // Rows with no alive cell are no-op kills; bound the sweep to the
+    // alive id range (after a few bisectors the region is a handful of
+    // rows around q).
+    let (Some(first), Some(last)) = (alive.first_set(), alive.last_set()) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for iy in first / n..=last / n {
+        // Dead columns form a suffix when the normal points along +x and
+        // a prefix when it points along -x (a whole-row kill when the
+        // boundary is horizontal and the row's band is beyond it).
+        let range = if normal.x > 0.0 {
+            if !outside(n - 1, iy) {
+                continue;
+            }
+            if outside(0, iy) {
+                0..n
+            } else {
+                // Invariant: outside(hi), !outside(lo); find the first
+                // dead column.
+                let (mut lo, mut hi) = (0, n - 1);
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if outside(mid, iy) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                hi..n
+            }
+        } else {
+            if !outside(0, iy) {
+                continue;
+            }
+            if outside(n - 1, iy) {
+                0..n
+            } else {
+                // Invariant: outside(lo), !outside(hi); find the last
+                // dead column.
+                let (mut lo, mut hi) = (0, n - 1);
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if outside(mid, iy) {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                0..lo + 1
+            }
+        };
+        removed += alive.remove_range(iy * n + range.start, iy * n + range.end);
+    }
+    removed
+}
+
+/// Reusable buffers for the pruning and cleaning routines: polygon rings
+/// for the scanline redraw, bisector staging for the order-k redraw, and
+/// ordering/keep marks for candidate cleaning. One of these lives inside
+/// every `EvalScratch`, so steady-state redraws allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PruneScratch {
+    region: ConvexPolygon,
+    strip: ConvexPolygon,
+    clip_buf: Vec<Point>,
+    planes: Vec<HalfPlane>,
+    order: Vec<usize>,
+    keep: Vec<bool>,
+    kept: Vec<Point>,
 }
 
 /// Recompute the alive region from scratch. This is the redraw of the
@@ -75,10 +161,27 @@ pub fn kill_cells(grid: &Grid, alive: &mut CellSet, h: &HalfPlane) -> usize {
 /// potential answers live — so completeness is unaffected.
 pub fn recompute_alive(grid: &Grid, q: Point, sites: &[Point]) -> CellSet {
     let mut alive = CellSet::new(grid.num_cells());
-    let mut region = ConvexPolygon::from_aabb(grid.space());
+    let mut scratch = PruneScratch::default();
+    recompute_alive_into(grid, q, sites, &mut alive, &mut scratch);
+    alive
+}
+
+/// [`recompute_alive`] writing into a caller-provided set (re-shaped to
+/// this grid and cleared first) with reusable polygon scratch, so a warm
+/// redraw performs no heap allocation.
+pub fn recompute_alive_into(
+    grid: &Grid,
+    q: Point,
+    sites: &[Point],
+    alive: &mut CellSet,
+    scratch: &mut PruneScratch,
+) {
+    alive.reset(grid.num_cells());
+    let region = &mut scratch.region;
+    region.set_from_aabb(grid.space());
     for &s in sites {
         if let Some(h) = HalfPlane::bisector(q, s) {
-            region.clip(&h);
+            region.clip_with(&h, &mut scratch.clip_buf);
         }
     }
     let bbox = match region.bounding_box() {
@@ -87,7 +190,7 @@ pub fn recompute_alive(grid: &Grid, q: Point, sites: &[Point]) -> CellSet {
         // numerical degeneracy; fall back to q's own cell.
         None => {
             alive.insert(grid.cell_of_point(q));
-            return alive;
+            return;
         }
     };
     // Scanline rasterization: for each grid row under the region's bbox,
@@ -104,8 +207,10 @@ pub fn recompute_alive(grid: &Grid, q: Point, sites: &[Point]) -> CellSet {
         let band = grid.cell_bounds(grid.cell_at(0, iy));
         let above = HalfPlane::from_coeffs(0.0, -1.0, -band.min.y).expect("unit normal");
         let below = HalfPlane::from_coeffs(0.0, 1.0, band.max.y).expect("unit normal");
-        let mut strip = region.clipped(&above);
-        strip.clip(&below);
+        let strip = &mut scratch.strip;
+        strip.copy_from(region);
+        strip.clip_with(&above, &mut scratch.clip_buf);
+        strip.clip_with(&below, &mut scratch.clip_buf);
         let (ix0, ix1) = match strip.bounding_box() {
             Some(b) => {
                 let l = grid.space().clamp(b.min);
@@ -128,7 +233,6 @@ pub fn recompute_alive(grid: &Grid, q: Point, sites: &[Point]) -> CellSet {
     // Guard against pathological clipping: the query's own cell is always
     // part of the region.
     alive.insert(grid.cell_of_point(q));
-    alive
 }
 
 /// The candidate-cleaning rule shared by both incremental steps
@@ -148,11 +252,21 @@ pub fn recompute_alive(grid: &Grid, q: Point, sites: &[Point]) -> CellSet {
 /// `items` are `(position, payload)` pairs; the function retains the
 /// non-dominated ones in place, preserving their relative order.
 pub fn clean_dominated<T>(items: &mut Vec<(Point, T)>, q: Point) {
-    let mut order: Vec<usize> = (0..items.len()).collect();
+    clean_dominated_with(items, q, &mut PruneScratch::default());
+}
+
+/// [`clean_dominated`] with reusable ordering scratch.
+pub fn clean_dominated_with<T>(items: &mut Vec<(Point, T)>, q: Point, scratch: &mut PruneScratch) {
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..items.len());
     order.sort_by(|&i, &j| items[i].0.dist_sq(q).total_cmp(&items[j].0.dist_sq(q)));
-    let mut keep = vec![false; items.len()];
-    let mut kept_positions: Vec<Point> = Vec::with_capacity(items.len());
-    for i in order {
+    let keep = &mut scratch.keep;
+    keep.clear();
+    keep.resize(items.len(), false);
+    let kept_positions = &mut scratch.kept;
+    kept_positions.clear();
+    for &i in order.iter() {
         let p = items[i].0;
         let d_q = p.dist_sq(q);
         if kept_positions.iter().all(|k| p.dist_sq(*k) >= d_q) {
@@ -174,24 +288,39 @@ pub fn clean_dominated<T>(items: &mut Vec<(Point, T)>, q: Point) {
 /// the grid is scanned densely. `k = 1` falls back to the fast convex
 /// path.
 pub fn recompute_alive_k(grid: &Grid, q: Point, sites: &[Point], k: usize) -> CellSet {
+    let mut alive = CellSet::new(grid.num_cells());
+    recompute_alive_k_into(grid, q, sites, k, &mut alive, &mut PruneScratch::default());
+    alive
+}
+
+/// [`recompute_alive_k`] writing into a caller-provided set with reusable
+/// bisector staging.
+pub fn recompute_alive_k_into(
+    grid: &Grid,
+    q: Point,
+    sites: &[Point],
+    k: usize,
+    alive: &mut CellSet,
+    scratch: &mut PruneScratch,
+) {
     assert!(k >= 1, "order must be positive");
     if k == 1 {
-        return recompute_alive(grid, q, sites);
+        recompute_alive_into(grid, q, sites, alive, scratch);
+        return;
     }
-    let planes: Vec<HalfPlane> = sites
-        .iter()
-        .filter_map(|&s| HalfPlane::bisector(q, s))
-        .collect();
-    let mut alive = CellSet::new(grid.num_cells());
+    let planes = &mut scratch.planes;
+    planes.clear();
+    planes.extend(sites.iter().filter_map(|&s| HalfPlane::bisector(q, s)));
+    alive.reset(grid.num_cells());
     if planes.len() < k {
         // Fewer than k bisectors can never exclude a cell.
         alive.fill();
-        return alive;
+        return;
     }
     for c in 0..grid.num_cells() {
         let bounds = grid.cell_bounds(c);
         let mut violated = 0;
-        for h in &planes {
+        for h in planes.iter() {
             if h.classify(&bounds) == RegionSide::Outside {
                 violated += 1;
                 if violated >= k {
@@ -204,7 +333,6 @@ pub fn recompute_alive_k(grid: &Grid, q: Point, sites: &[Point], k: usize) -> Ce
         }
     }
     alive.insert(grid.cell_of_point(q));
-    alive
 }
 
 /// Order-`k` cleaning: drop a monitored object when **at least `k`** kept
@@ -213,12 +341,27 @@ pub fn recompute_alive_k(grid: &Grid, q: Point, sites: &[Point], k: usize) -> Ce
 /// in distance order, like [`clean_dominated`]. `k = 1` coincides with
 /// it.
 pub fn clean_dominated_k<T>(items: &mut Vec<(Point, T)>, q: Point, k: usize) {
+    clean_dominated_k_with(items, q, k, &mut PruneScratch::default());
+}
+
+/// [`clean_dominated_k`] with reusable ordering scratch.
+pub fn clean_dominated_k_with<T>(
+    items: &mut Vec<(Point, T)>,
+    q: Point,
+    k: usize,
+    scratch: &mut PruneScratch,
+) {
     assert!(k >= 1, "order must be positive");
-    let mut order: Vec<usize> = (0..items.len()).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..items.len());
     order.sort_by(|&i, &j| items[i].0.dist_sq(q).total_cmp(&items[j].0.dist_sq(q)));
-    let mut keep = vec![false; items.len()];
-    let mut kept_positions: Vec<Point> = Vec::with_capacity(items.len());
-    for i in order {
+    let keep = &mut scratch.keep;
+    keep.clear();
+    keep.resize(items.len(), false);
+    let kept_positions = &mut scratch.kept;
+    kept_positions.clear();
+    for &i in order.iter() {
         let p = items[i].0;
         let d_q = p.dist_sq(q);
         let dominators = kept_positions
@@ -277,6 +420,47 @@ mod tests {
         );
         let far_cell = g.cell_at(3, 0); // spans x in [7.5, 10]
         assert!(!alive.contains(far_cell));
+    }
+
+    #[test]
+    fn row_sweep_matches_per_cell_classify() {
+        // The bisection kill must produce the exact dead set of the
+        // reference per-cell classify sweep — including straddling cells
+        // and bisectors at every orientation — even when the alive set is
+        // already partially dead.
+        let mut state = 83u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        for n in [1usize, 3, 8, 16] {
+            let g = grid(n);
+            for round in 0..40 {
+                let q = Point::new(rnd(), rnd());
+                let site = match round % 4 {
+                    // Axis-aligned bisectors exercise the zero-normal
+                    // components.
+                    0 => Point::new(rnd(), q.y),
+                    1 => Point::new(q.x, rnd()),
+                    _ => Point::new(rnd(), rnd()),
+                };
+                let Some(h) = HalfPlane::bisector(q, site) else {
+                    continue;
+                };
+                let mut fast = CellSet::full(g.num_cells());
+                // Pre-kill a random slice so the sweep also runs against
+                // partially-dead sets.
+                if round % 3 == 0 {
+                    kill_cells_beyond_bisector(&g, &mut fast, q, Point::new(rnd(), rnd()));
+                }
+                let mut slow = fast.clone();
+                let fast_removed = kill_cells(&g, &mut fast, &h);
+                let slow_removed =
+                    slow.retain(|c| h.classify(&g.cell_bounds(c)) != RegionSide::Outside);
+                assert_eq!(fast, slow, "n={n} round={round} q={q} site={site}");
+                assert_eq!(fast_removed, slow_removed);
+            }
+        }
     }
 
     #[test]

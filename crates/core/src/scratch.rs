@@ -1,0 +1,51 @@
+//! Reusable evaluation scratch — the heap-buffer pool threaded through
+//! every [`ContinuousMonitor`] evaluation so steady-state ticks allocate
+//! nothing.
+//!
+//! One `EvalScratch` lives per execution lane (the serial processor owns
+//! one, each engine worker owns one, each scoped thread of the parallel
+//! step owns one). The buffers inside are written-then-read within a
+//! single evaluation; nothing in them carries meaning across calls, so a
+//! scratch can be shared freely between queries and algorithms on the
+//! same lane.
+//!
+//! [`ContinuousMonitor`]: crate::monitor::ContinuousMonitor
+
+use igern_geom::Point;
+use igern_grid::{CellOrderScratch, CellSet, Neighbor, ObjectId};
+
+use crate::prune::PruneScratch;
+
+/// Per-lane scratch buffers for monitor evaluation.
+///
+/// Fields are public so algorithm internals can borrow disjoint buffers
+/// simultaneously (e.g. staging sites in [`sites`] while redrawing into
+/// [`prune`]).
+///
+/// [`sites`]: EvalScratch::sites
+/// [`prune`]: EvalScratch::prune
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Polygon rings, bisector staging, and cleaning marks for the
+    /// alive-region redraw and candidate cleaning.
+    pub prune: PruneScratch,
+    /// Mindist ordering for constrained (alive-cell) NN searches.
+    pub cell_order: CellOrderScratch,
+    /// Candidate/site position staging for bisector redraws.
+    pub sites: Vec<Point>,
+    /// Object-id staging (exclude lists, candidate closures).
+    pub ids: Vec<ObjectId>,
+    /// `(id, position)` staging (bichromatic verification sweeps).
+    pub pairs: Vec<(ObjectId, Point)>,
+    /// Neighbor staging for k-NN searches.
+    pub neighbors: Vec<Neighbor>,
+    /// Alive-region staging for snapshot baselines (TPL).
+    pub alive: CellSet,
+}
+
+impl EvalScratch {
+    /// A fresh scratch with empty buffers; they warm up on first use.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+}

@@ -104,6 +104,23 @@ impl SpatialStore {
         self.moved.push(id);
     }
 
+    /// Apply one tick's position updates in a single pass: each update's
+    /// grid mutation, kind routing, and journal publication (moved list +
+    /// dirty cells) happen together, with the moved list grown once up
+    /// front instead of per update. Equivalent to calling
+    /// [`SpatialStore::apply`] per element.
+    pub fn apply_batch(&mut self, updates: &[(ObjectId, Point)]) {
+        self.moved.reserve(updates.len());
+        for &(id, pos) in updates {
+            self.all.update(id, pos);
+            match self.kinds[id.index()] {
+                ObjectKind::A => self.a.update(id, pos),
+                ObjectKind::B => self.b.update(id, pos),
+            };
+            self.moved.push(id);
+        }
+    }
+
     /// The all-objects grid.
     #[inline]
     pub fn all(&self) -> &Grid {

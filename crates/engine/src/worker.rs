@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use igern_core::eval::{evaluate_query, QuerySlot};
 use igern_core::hooks::SharedSimHooks;
 use igern_core::metrics::{SeriesStats, TickSample};
-use igern_core::SpatialStore;
+use igern_core::{EvalScratch, SpatialStore};
 use igern_grid::ObjectId;
 
 /// One tick's work order: the frozen store snapshot plus tick metadata.
@@ -81,6 +81,10 @@ pub(crate) fn worker_loop(worker: usize, rx: Receiver<ToWorker>, results: Sender
     // deterministic ascending order.
     let mut shard: Vec<(usize, QuerySlot)> = Vec::new();
     let mut stats = SeriesStats::new();
+    // The worker's persistent evaluation workspace: it outlives every
+    // `Arc<SpatialStore>` snapshot hand-off, so steady-state shard
+    // evaluation allocates nothing once the buffers are warm.
+    let mut scratch = EvalScratch::new();
     for msg in rx {
         match msg {
             ToWorker::Add(qid, slot) => {
@@ -112,7 +116,7 @@ pub(crate) fn worker_loop(worker: usize, rx: Receiver<ToWorker>, results: Sender
                 let start = Instant::now();
                 let mut reports = Vec::with_capacity(shard.len());
                 for (qid, slot) in &mut shard {
-                    let sample = evaluate_query(&store, slot, tick, route);
+                    let sample = evaluate_query(&store, slot, tick, route, &mut scratch);
                     stats.push(&sample);
                     let answer = (!sample.skipped).then(|| slot.answer.clone());
                     reports.push(QueryReport {

@@ -32,6 +32,18 @@ impl ConvexPolygon {
         }
     }
 
+    /// Reset to the polygon covering an AABB, reusing the vertex storage.
+    pub fn set_from_aabb(&mut self, b: &Aabb) {
+        self.vertices.clear();
+        self.vertices.extend_from_slice(&b.corners());
+    }
+
+    /// Become a copy of `other`, reusing the vertex storage.
+    pub fn copy_from(&mut self, other: &ConvexPolygon) {
+        self.vertices.clear();
+        self.vertices.extend_from_slice(&other.vertices);
+    }
+
     /// The vertices, counter-clockwise.
     #[inline]
     pub fn vertices(&self) -> &[Point] {
@@ -48,11 +60,21 @@ impl ConvexPolygon {
     /// place. After the call the polygon is the intersection with `h`'s
     /// kept side.
     pub fn clip(&mut self, h: &HalfPlane) {
+        let mut scratch = Vec::new();
+        self.clip_with(h, &mut scratch);
+    }
+
+    /// [`ConvexPolygon::clip`] with a caller-provided output buffer: the
+    /// clipped ring is built in `scratch` and swapped in, so a warm buffer
+    /// makes repeated clipping allocation-free.
+    pub fn clip_with(&mut self, h: &HalfPlane, scratch: &mut Vec<Point>) {
         if self.vertices.is_empty() {
             return;
         }
         let n = self.vertices.len();
-        let mut out = Vec::with_capacity(n + 1);
+        let out = scratch;
+        out.clear();
+        out.reserve(n + 1);
         for i in 0..n {
             let cur = self.vertices[i];
             let nxt = self.vertices[(i + 1) % n];
@@ -78,7 +100,7 @@ impl ConvexPolygon {
         if out.len() < 3 {
             out.clear();
         }
-        self.vertices = out;
+        std::mem::swap(&mut self.vertices, out);
     }
 
     /// A clipped copy.

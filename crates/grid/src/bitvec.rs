@@ -1,0 +1,144 @@
+//! A growable bitset used as the occupancy table of the SoA object store.
+//!
+//! Unlike [`crate::cellset::CellSet`] — which is fixed-capacity and sized to
+//! the `n·n` cells of one grid — this bitvec grows with the object-id space
+//! and answers only "is slot `i` live", which is all the SoA tables need.
+
+/// A growable bitset over object slots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An empty bitvec with zero capacity.
+    pub fn new() -> Self {
+        BitVec::default()
+    }
+
+    /// Number of addressable slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is addressable.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grow to at least `len` slots; new slots start clear. Never shrinks.
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            self.words.resize(len.div_ceil(64), 0);
+        }
+    }
+
+    /// Whether slot `i` is set. Out-of-range slots read as clear.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        match self.words.get(i / 64) {
+            Some(w) => w & (1 << (i % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Set slot `i`. Returns whether the bit changed.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range — call [`BitVec::grow`] first.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1 << (i % 64);
+        let was = *w & bit != 0;
+        *w |= bit;
+        !was
+    }
+
+    /// Clear slot `i`. Returns whether the bit changed. Out-of-range slots
+    /// are already clear.
+    #[inline]
+    pub fn unset(&mut self, i: usize) -> bool {
+        match self.words.get_mut(i / 64) {
+            Some(w) => {
+                let bit = 1 << (i % 64);
+                let was = *w & bit != 0;
+                *w &= !bit;
+                was
+            }
+            None => false,
+        }
+    }
+
+    /// Iterate over the indices of set slots, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_set_unset_roundtrip() {
+        let mut b = BitVec::new();
+        assert!(b.is_empty());
+        assert!(!b.get(10)); // out of range reads clear
+        b.grow(70);
+        assert_eq!(b.len(), 70);
+        assert!(b.set(0));
+        assert!(b.set(69));
+        assert!(!b.set(69)); // already set
+        assert!(b.get(0) && b.get(69) && !b.get(35));
+        assert!(b.unset(0));
+        assert!(!b.unset(0));
+        assert!(!b.unset(1000)); // out of range is already clear
+    }
+
+    #[test]
+    fn grow_preserves_bits_and_never_shrinks() {
+        let mut b = BitVec::new();
+        b.grow(5);
+        b.set(3);
+        b.grow(200);
+        assert!(b.get(3));
+        assert_eq!(b.len(), 200);
+        b.grow(10);
+        assert_eq!(b.len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut b = BitVec::new();
+        b.grow(4);
+        b.set(4);
+    }
+
+    #[test]
+    fn iter_ones_is_ascending_and_exact() {
+        let mut b = BitVec::new();
+        b.grow(200);
+        for &i in &[3usize, 64, 65, 128, 199] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, vec![3, 64, 65, 128, 199]);
+    }
+}

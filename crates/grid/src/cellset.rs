@@ -5,11 +5,37 @@
 //! neighbors of q" (paper, §3.1). Bisector pruning then marks cells dead.
 
 /// A fixed-capacity bitset addressing the `n·n` cells of a grid.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct CellSet {
     words: Vec<u64>,
     len: usize,
     count: usize,
+}
+
+impl Clone for CellSet {
+    fn clone(&self) -> Self {
+        CellSet {
+            words: self.words.clone(),
+            len: self.len,
+            count: self.count,
+        }
+    }
+
+    /// Reuses the existing word storage (a derived impl would fall back
+    /// to `*self = source.clone()`), so cloning into a warmed-up set —
+    /// the per-tick watch-set rebuild — does not touch the allocator.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+        self.len = source.len;
+        self.count = source.count;
+    }
+}
+
+impl Default for CellSet {
+    /// An empty set over zero cells; [`CellSet::reset`] it before use.
+    fn default() -> Self {
+        CellSet::new(0)
+    }
 }
 
 impl CellSet {
@@ -84,6 +110,17 @@ impl CellSet {
         }
     }
 
+    /// Clear and, when the capacity differs, re-shape to `len` cells — the
+    /// scratch-friendly way to get an all-clear set of the right size
+    /// without reallocating in the common same-grid case.
+    pub fn reset(&mut self, len: usize) {
+        if self.len == len {
+            self.clear();
+        } else {
+            *self = CellSet::new(len);
+        }
+    }
+
     /// Clear everything.
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
@@ -117,6 +154,85 @@ impl CellSet {
                 Some(wi * 64 + b)
             })
         })
+    }
+
+    /// Keep only the set cells satisfying `pred`, in place and without
+    /// allocating. Returns the number of cells cleared.
+    pub fn retain(&mut self, mut pred: impl FnMut(usize) -> bool) -> usize {
+        let mut removed = 0;
+        for wi in 0..self.words.len() {
+            let mut w = self.words[wi];
+            let mut scan = w;
+            while scan != 0 {
+                let b = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                if !pred(wi * 64 + b) {
+                    w &= !(1u64 << b);
+                    removed += 1;
+                }
+            }
+            self.words[wi] = w;
+        }
+        self.count -= removed;
+        removed
+    }
+
+    /// Smallest set cell index, or `None` when the set is empty. A word
+    /// scan, not a bit scan — used to bound sweeps to the live id range.
+    pub fn first_set(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, w)| wi * 64 + w.trailing_zeros() as usize)
+    }
+
+    /// Largest set cell index, or `None` when the set is empty.
+    pub fn last_set(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, w)| wi * 64 + 63 - w.leading_zeros() as usize)
+    }
+
+    /// Clear every set cell in `start..end`, whole words at a time.
+    /// Returns the number of cells cleared.
+    ///
+    /// This is the bulk form of [`CellSet::remove`] used by bisector
+    /// pruning: the dead cells of one grid row form a contiguous id range,
+    /// so a row is killed with at most a few masked word stores instead of
+    /// a bit-by-bit sweep.
+    pub fn remove_range(&mut self, start: usize, end: usize) -> usize {
+        debug_assert!(start <= end && end <= self.len);
+        if start >= end {
+            return 0;
+        }
+        let (first_w, first_b) = (start / 64, start % 64);
+        let (last_w, last_b) = ((end - 1) / 64, (end - 1) % 64);
+        let head = !0u64 << first_b;
+        let tail = !0u64 >> (63 - last_b);
+        let mut removed = 0usize;
+        if first_w == last_w {
+            let mask = head & tail;
+            let w = &mut self.words[first_w];
+            removed += (*w & mask).count_ones() as usize;
+            *w &= !mask;
+        } else {
+            let w = &mut self.words[first_w];
+            removed += (*w & head).count_ones() as usize;
+            *w &= !head;
+            for wi in first_w + 1..last_w {
+                removed += self.words[wi].count_ones() as usize;
+                self.words[wi] = 0;
+            }
+            let w = &mut self.words[last_w];
+            removed += (*w & tail).count_ones() as usize;
+            *w &= !tail;
+        }
+        self.count -= removed;
+        removed
     }
 
     /// In-place intersection with `other`. Both sets must have the same
@@ -230,6 +346,78 @@ mod tests {
         assert!(a.contains(3) && a.contains(97));
         assert!(a.intersects(&b));
         assert!(!CellSet::new(100).intersects(&CellSet::full(100)));
+    }
+
+    #[test]
+    fn retain_clears_failing_cells_and_counts() {
+        let mut s = CellSet::new(200);
+        for &i in &[3usize, 64, 65, 128, 199] {
+            s.insert(i);
+        }
+        let removed = s.retain(|c| c % 2 == 1);
+        assert_eq!(removed, 2); // 64 and 128 go
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 65, 199]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.retain(|_| true), 0);
+    }
+
+    #[test]
+    fn first_and_last_set_bits() {
+        let mut s = CellSet::new(200);
+        assert_eq!(s.first_set(), None);
+        assert_eq!(s.last_set(), None);
+        s.insert(77);
+        assert_eq!(s.first_set(), Some(77));
+        assert_eq!(s.last_set(), Some(77));
+        s.insert(3);
+        s.insert(199);
+        assert_eq!(s.first_set(), Some(3));
+        assert_eq!(s.last_set(), Some(199));
+        s.remove(3);
+        assert_eq!(s.first_set(), Some(77));
+    }
+
+    #[test]
+    fn remove_range_matches_per_bit_removal() {
+        // Exercise the single-word, word-boundary, and multi-word paths.
+        for &(start, end) in &[
+            (0usize, 0usize),
+            (3, 9),
+            (0, 64),
+            (60, 70),
+            (64, 128),
+            (1, 199),
+            (199, 200),
+        ] {
+            let mut fast = CellSet::new(200);
+            let mut slow = CellSet::new(200);
+            for i in (0..200).step_by(3) {
+                fast.insert(i);
+                slow.insert(i);
+            }
+            let removed = fast.remove_range(start, end);
+            let mut expect = 0;
+            for i in start..end {
+                if slow.remove(i) {
+                    expect += 1;
+                }
+            }
+            assert_eq!(removed, expect, "range {start}..{end}");
+            assert_eq!(fast, slow, "range {start}..{end}");
+            assert_eq!(fast.count(), slow.count());
+        }
+    }
+
+    #[test]
+    fn reset_reuses_or_reshapes() {
+        let mut s = CellSet::full(100);
+        s.reset(100);
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 100);
+        s.insert(5);
+        s.reset(64);
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 64);
     }
 
     #[test]

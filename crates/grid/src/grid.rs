@@ -2,15 +2,138 @@
 
 use igern_geom::{Aabb, Point};
 
+use crate::bitvec::BitVec;
 use crate::cellset::CellSet;
 use crate::object::ObjectId;
 
 /// Index of a grid cell, in row-major order (`iy * n + ix`).
 pub type CellId = usize;
 
+/// Sentinel filler for unoccupied arena slots; never returned by queries.
+const ARENA_HOLE: ObjectId = ObjectId(u32::MAX);
+
+/// Per-cell bucket descriptor: a `(start, len, cap)` window into the shared
+/// bucket arena. `cap == 0` means the cell has never held an object and owns
+/// no arena block.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// The flat bucket arena shared by every cell of one grid.
+///
+/// Cell membership lists live in one contiguous `Vec<ObjectId>` slab instead
+/// of `n²` separately heap-allocated `Vec`s. Each cell owns a power-of-two
+/// sized block (`cap ∈ {4, 8, 16, …}`); when a bucket outgrows its block it
+/// moves to a block of the next size class — recycled from a per-class free
+/// list when one is available, carved off the end of the slab otherwise —
+/// and its old block joins the free list. The free lists are *intrusive*:
+/// each freed block stores the start of the next free block of its class in
+/// its own first slot, so freeing is a single slab write and steady-state
+/// churn (objects moving between warmed-up cells) touches no allocator at
+/// all — not even for free-list bookkeeping — while cell scans walk
+/// contiguous memory.
+#[derive(Debug, Clone)]
+struct BucketArena {
+    slab: Vec<ObjectId>,
+    /// Start of the first free block per size class
+    /// (`cap = MIN_CAP << class`), [`FREE_NONE`] when the list is empty.
+    free_heads: [u32; NUM_CLASSES],
+}
+
+/// Smallest bucket block, in slots.
+const MIN_CAP: u32 = 4;
+
+/// Every representable block size: `MIN_CAP << (NUM_CLASSES - 1)` = 2³¹.
+const NUM_CLASSES: usize = 30;
+
+/// Empty-free-list sentinel (no slab index can reach it: a block that
+/// started there would overflow the `u32` slab).
+const FREE_NONE: u32 = u32::MAX;
+
+impl Default for BucketArena {
+    fn default() -> Self {
+        BucketArena {
+            slab: Vec::new(),
+            free_heads: [FREE_NONE; NUM_CLASSES],
+        }
+    }
+}
+
+impl BucketArena {
+    #[inline]
+    fn class_of(cap: u32) -> usize {
+        debug_assert!(cap >= MIN_CAP && cap.is_power_of_two());
+        (cap / MIN_CAP).trailing_zeros() as usize
+    }
+
+    /// Hand out a block of exactly `cap` slots (a power of two ≥ `MIN_CAP`).
+    fn alloc_block(&mut self, cap: u32) -> u32 {
+        let class = Self::class_of(cap);
+        let head = self.free_heads[class];
+        if head != FREE_NONE {
+            // Pop the intrusive list: the block's first slot holds the
+            // next free block's start.
+            self.free_heads[class] = self.slab[head as usize].0;
+            self.slab[head as usize] = ARENA_HOLE;
+            return head;
+        }
+        let start = self.slab.len() as u32;
+        self.slab.resize(self.slab.len() + cap as usize, ARENA_HOLE);
+        start
+    }
+
+    /// Return a block to its size-class free list (one slab write, no
+    /// allocation).
+    fn free_block(&mut self, start: u32, cap: u32) {
+        let class = Self::class_of(cap);
+        self.slab[start as usize] = ObjectId(self.free_heads[class]);
+        self.free_heads[class] = start;
+    }
+
+    /// Append `id` to `bucket`, migrating it to a larger block when full.
+    fn push(&mut self, bucket: &mut Bucket, id: ObjectId) {
+        if bucket.len == bucket.cap {
+            let new_cap = (bucket.cap * 2).max(MIN_CAP);
+            let new_start = self.alloc_block(new_cap);
+            self.slab.copy_within(
+                bucket.start as usize..(bucket.start + bucket.len) as usize,
+                new_start as usize,
+            );
+            if bucket.cap > 0 {
+                self.free_block(bucket.start, bucket.cap);
+            }
+            bucket.start = new_start;
+            bucket.cap = new_cap;
+        }
+        self.slab[(bucket.start + bucket.len) as usize] = id;
+        bucket.len += 1;
+    }
+
+    /// Remove the entry at `at` by swapping in the last one (order is not
+    /// maintained, exactly like the former `Vec::swap_remove`).
+    #[inline]
+    fn swap_remove(&mut self, bucket: &mut Bucket, at: usize) {
+        debug_assert!(at < bucket.len as usize);
+        let last = (bucket.start + bucket.len - 1) as usize;
+        self.slab[bucket.start as usize + at] = self.slab[last];
+        self.slab[last] = ARENA_HOLE;
+        bucket.len -= 1;
+    }
+
+    /// The live entries of `bucket`.
+    #[inline]
+    fn slice(&self, bucket: Bucket) -> &[ObjectId] {
+        &self.slab[bucket.start as usize..(bucket.start + bucket.len) as usize]
+    }
+}
+
 /// A uniform grid of `n × n` equal-size cells over a rectangular data
-/// space. Each cell keeps the ids of the objects currently inside it; a
-/// flat per-object table stores the exact position and current cell.
+/// space. Each cell keeps the ids of the objects currently inside it; the
+/// object table is stored SoA — a flat position vector, a flat cell vector,
+/// and an occupancy bitset — so hot scans touch only the column they need.
 ///
 /// The grid also counts *cell changes* — the number of object updates that
 /// moved an object across a cell boundary — which is the maintenance-cost
@@ -27,9 +150,14 @@ pub struct Grid {
     n: usize,
     cell_w: f64,
     cell_h: f64,
-    cells: Vec<Vec<ObjectId>>,
-    /// Indexed by `ObjectId::index()`: position and current cell.
-    objects: Vec<Option<(Point, CellId)>>,
+    /// Per-cell `(start, len, cap)` windows into the bucket arena.
+    buckets: Vec<Bucket>,
+    arena: BucketArena,
+    /// SoA object table, indexed by `ObjectId::index()`. A slot is only
+    /// meaningful when its `occupied` bit is set.
+    positions: Vec<Point>,
+    obj_cells: Vec<u32>,
+    occupied: BitVec,
     len: usize,
     cell_changes: u64,
     /// Cells touched since the last drain.
@@ -65,8 +193,11 @@ impl Grid {
             n,
             cell_w: space.width() / n as f64,
             cell_h: space.height() / n as f64,
-            cells: vec![Vec::new(); n * n],
-            objects: Vec::new(),
+            buckets: vec![Bucket::default(); n * n],
+            arena: BucketArena::default(),
+            positions: Vec::new(),
+            obj_cells: Vec::new(),
+            occupied: BitVec::new(),
             len: 0,
             cell_changes: 0,
             dirty: CellSet::new(n * n),
@@ -146,26 +277,47 @@ impl Grid {
     }
 
     /// Geometric bounds of a cell.
+    #[inline]
     pub fn cell_bounds(&self, c: CellId) -> Aabb {
         let (ix, iy) = self.cell_coords(c);
+        self.cell_bounds_at(ix, iy)
+    }
+
+    /// Geometric bounds of the cell at `(column, row)` — [`Grid::cell_bounds`]
+    /// without the id-to-coordinates division, for callers already sweeping
+    /// in grid coordinates.
+    #[inline]
+    pub fn cell_bounds_at(&self, ix: usize, iy: usize) -> Aabb {
+        debug_assert!(ix < self.n && iy < self.n);
         let x0 = self.space.min.x + ix as f64 * self.cell_w;
         let y0 = self.space.min.y + iy as f64 * self.cell_h;
         Aabb::from_coords(x0, y0, x0 + self.cell_w, y0 + self.cell_h)
     }
 
-    /// Objects currently inside cell `c`.
+    /// Objects currently inside cell `c`: a contiguous slice of the bucket
+    /// arena.
     #[inline]
     pub fn objects_in(&self, c: CellId) -> &[ObjectId] {
-        &self.cells[c]
+        self.arena.slice(self.buckets[c])
     }
 
     /// Current position of object `id`, if indexed.
     #[inline]
     pub fn position(&self, id: ObjectId) -> Option<Point> {
-        self.objects
-            .get(id.index())
-            .and_then(|s| s.as_ref())
-            .map(|&(p, _)| p)
+        if self.occupied.get(id.index()) {
+            Some(self.positions[id.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Grow the SoA object tables so slot `i` is addressable.
+    fn grow_tables(&mut self, i: usize) {
+        if self.positions.len() <= i {
+            self.positions.resize(i + 1, Point::new(0.0, 0.0));
+            self.obj_cells.resize(i + 1, 0);
+        }
+        self.occupied.grow(i + 1);
     }
 
     /// Insert a new object.
@@ -173,26 +325,35 @@ impl Grid {
     /// # Panics
     /// Panics if `id` is already indexed.
     pub fn insert(&mut self, id: ObjectId, p: Point) {
-        if self.objects.len() <= id.index() {
-            self.objects.resize(id.index() + 1, None);
-        }
-        assert!(
-            self.objects[id.index()].is_none(),
-            "object {id} already in grid"
-        );
+        let i = id.index();
+        self.grow_tables(i);
+        assert!(!self.occupied.get(i), "object {id} already in grid");
         let c = self.cell_of_point(p);
-        self.cells[c].push(id);
-        self.objects[id.index()] = Some((p, c));
+        self.arena.push(&mut self.buckets[c], id);
+        self.positions[i] = p;
+        self.obj_cells[i] = c as u32;
+        self.occupied.set(i);
         self.len += 1;
         self.dirty.insert(c);
     }
 
     /// Remove an object, returning its last position.
     pub fn remove(&mut self, id: ObjectId) -> Option<Point> {
-        let (p, c) = self.objects.get_mut(id.index())?.take()?;
-        let cell = &mut self.cells[c];
-        let at = cell.iter().position(|&o| o == id).expect("cell desync");
-        cell.swap_remove(at);
+        let i = id.index();
+        if !self.occupied.get(i) {
+            return None;
+        }
+        let p = self.positions[i];
+        let c = self.obj_cells[i] as CellId;
+        self.occupied.unset(i);
+        let bucket = &mut self.buckets[c];
+        let at = self
+            .arena
+            .slice(*bucket)
+            .iter()
+            .position(|&o| o == id)
+            .expect("cell desync");
+        self.arena.swap_remove(bucket, at);
         self.len -= 1;
         self.dirty.insert(c);
         Some(p)
@@ -205,30 +366,27 @@ impl Grid {
     /// # Panics
     /// Panics if `id` is not indexed.
     pub fn update(&mut self, id: ObjectId, p: Point) -> bool {
-        let slot = self.objects[id.index()]
-            .as_mut()
-            .unwrap_or_else(|| panic!("object {id} not in grid"));
-        let old_cell = slot.1;
-        let new_cell = {
-            // Inline cell_of_point to sidestep the borrow of `slot`.
-            let ix = (((p.x - self.space.min.x) / self.cell_w) as isize)
-                .clamp(0, self.n as isize - 1) as usize;
-            let iy = (((p.y - self.space.min.y) / self.cell_h) as isize)
-                .clamp(0, self.n as isize - 1) as usize;
-            iy * self.n + ix
-        };
-        slot.0 = p;
+        let i = id.index();
+        assert!(self.occupied.get(i), "object {id} not in grid");
+        let old_cell = self.obj_cells[i] as CellId;
+        let new_cell = self.cell_of_point(p);
+        self.positions[i] = p;
         if new_cell == old_cell {
             // The cell population is unchanged but a position inside it
             // moved, so the cell is still dirty for routing purposes.
             self.dirty.insert(old_cell);
             return false;
         }
-        slot.1 = new_cell;
-        let cell = &mut self.cells[old_cell];
-        let at = cell.iter().position(|&o| o == id).expect("cell desync");
-        cell.swap_remove(at);
-        self.cells[new_cell].push(id);
+        self.obj_cells[i] = new_cell as u32;
+        let bucket = &mut self.buckets[old_cell];
+        let at = self
+            .arena
+            .slice(*bucket)
+            .iter()
+            .position(|&o| o == id)
+            .expect("cell desync");
+        self.arena.swap_remove(bucket, at);
+        self.arena.push(&mut self.buckets[new_cell], id);
         self.cell_changes += 1;
         self.dirty.insert(old_cell);
         self.dirty.insert(new_cell);
@@ -289,7 +447,7 @@ impl Grid {
         }
     }
 
-    /// Fault injection for desync testing: clear the position slot of
+    /// Fault injection for desync testing: clear the occupancy bit of
     /// `id` while leaving it listed in its cell bucket, producing exactly
     /// the bucket/position inconsistency that search routines must
     /// survive (counted in `OpCounters::desyncs`). Returns `false` when
@@ -297,27 +455,33 @@ impl Grid {
     /// deliberately corrupts the index.
     #[doc(hidden)]
     pub fn debug_force_desync(&mut self, id: ObjectId) -> bool {
-        match self.objects.get_mut(id.index()) {
-            Some(slot @ Some(_)) => {
-                // A real lost-update desync happens *during* a mutation of
-                // this cell, so the cell would be in the dirty set; mark it
-                // so skip routing re-examines queries watching the victim.
-                let (_, cell) = slot.expect("slot matched Some");
-                *slot = None;
-                self.len -= 1;
-                self.dirty.insert(cell);
-                true
-            }
-            _ => false,
+        let i = id.index();
+        if !self.occupied.get(i) {
+            return false;
         }
+        // A real lost-update desync happens *during* a mutation of this
+        // cell, so the cell would be in the dirty set; mark it so skip
+        // routing re-examines queries watching the victim.
+        let cell = self.obj_cells[i] as CellId;
+        self.occupied.unset(i);
+        self.len -= 1;
+        self.dirty.insert(cell);
+        true
     }
 
     /// Iterate over all `(id, position)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
-        self.objects
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|(p, _)| (ObjectId(i as u32), p)))
+        self.occupied
+            .iter_ones()
+            .map(|i| (ObjectId(i as u32), self.positions[i]))
+    }
+
+    /// Write all `(id, position)` pairs into `out` (cleared first),
+    /// ascending by id. The scratch-friendly sibling of [`Grid::iter`] for
+    /// call sites that would otherwise `iter().collect()` every tick.
+    pub fn objects_into(&self, out: &mut Vec<(ObjectId, Point)>) {
+        out.clear();
+        out.extend(self.iter());
     }
 }
 
@@ -406,6 +570,21 @@ mod tests {
     }
 
     #[test]
+    fn objects_into_matches_iter_and_reuses_buffer() {
+        let mut g = grid4();
+        for i in 0..10u32 {
+            g.insert(ObjectId(i), Point::new(0.1 + 0.35 * i as f64, 2.0));
+        }
+        let mut buf = Vec::new();
+        g.objects_into(&mut buf);
+        assert_eq!(buf, g.iter().collect::<Vec<_>>());
+        let cap = buf.capacity();
+        g.objects_into(&mut buf); // second fill reuses the allocation
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
     fn sparse_ids_are_supported() {
         let mut g = grid4();
         g.insert(ObjectId(1000), Point::new(1.0, 1.0));
@@ -481,5 +660,82 @@ mod tests {
         let g = Grid::new(Aabb::from_coords(-2.0, 1.0, 6.0, 9.0), 8);
         let total: f64 = (0..g.num_cells()).map(|c| g.cell_bounds(c).area()).sum();
         assert!((total - g.space().area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_growth_preserves_membership() {
+        // Push many objects into one cell so its bucket walks through
+        // several size classes, then drain it back down.
+        let mut g = grid4();
+        for i in 0..100u32 {
+            g.insert(ObjectId(i), Point::new(0.5, 0.5));
+        }
+        let mut got: Vec<u32> = g.objects_in(g.cell_at(0, 0)).iter().map(|o| o.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        for i in 0..100u32 {
+            assert_eq!(g.remove(ObjectId(i)), Some(Point::new(0.5, 0.5)));
+        }
+        assert!(g.objects_in(g.cell_at(0, 0)).is_empty());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn freed_blocks_are_recycled_across_cells() {
+        // Grow one cell's bucket (freeing its smaller blocks), then grow
+        // another cell and check the slab did not balloon: the second cell
+        // reuses the first cell's recycled blocks.
+        let mut g = grid4();
+        for i in 0..32u32 {
+            g.insert(ObjectId(i), Point::new(0.5, 0.5)); // cell (0,0)
+        }
+        let slab_after_first = g.arena.slab.len();
+        for i in 32..48u32 {
+            g.insert(ObjectId(i), Point::new(3.5, 3.5)); // cell (3,3)
+        }
+        // Cell (3,3) needed blocks of cap 4, 8, and 16 — all available on
+        // the free lists from cell (0,0)'s growth — so only its final
+        // block (if any) could extend the slab.
+        assert!(
+            g.arena.slab.len() <= slab_after_first + 16,
+            "slab grew from {} to {} — free lists not recycled",
+            slab_after_first,
+            g.arena.slab.len()
+        );
+        assert_eq!(g.objects_in(g.cell_at(3, 3)).len(), 16);
+    }
+
+    #[test]
+    fn steady_state_churn_does_not_grow_the_slab() {
+        // Objects bouncing between two warmed-up cells must not touch the
+        // allocator: same slab length before and after the churn.
+        let mut g = grid4();
+        for i in 0..20u32 {
+            g.insert(ObjectId(i), Point::new(0.5, 0.5));
+        }
+        for i in 0..20u32 {
+            g.update(ObjectId(i), Point::new(3.5, 3.5));
+        }
+        let warm = g.arena.slab.len();
+        for round in 0..50 {
+            let dst = if round % 2 == 0 { 0.5 } else { 3.5 };
+            for i in 0..20u32 {
+                g.update(ObjectId(i), Point::new(dst, dst));
+            }
+        }
+        assert_eq!(g.arena.slab.len(), warm);
+    }
+
+    #[test]
+    fn desync_leaves_bucket_stale_but_position_gone() {
+        let mut g = grid4();
+        g.insert(ObjectId(3), Point::new(1.5, 1.5));
+        assert!(g.debug_force_desync(ObjectId(3)));
+        assert!(!g.debug_force_desync(ObjectId(3))); // already gone
+        assert_eq!(g.position(ObjectId(3)), None);
+        assert_eq!(g.len(), 0);
+        // The stale bucket entry is exactly the injected fault.
+        assert_eq!(g.objects_in(g.cell_of_point(Point::new(1.5, 1.5))).len(), 1);
+        assert!(g.dirty().contains(g.cell_of_point(Point::new(1.5, 1.5))));
     }
 }

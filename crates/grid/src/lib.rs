@@ -36,6 +36,7 @@
 //! assert!(grid.cell_changes() >= 1); // the move crossed a cell boundary
 //! ```
 
+pub mod bitvec;
 pub mod cellset;
 pub mod grid;
 pub mod nn;
@@ -44,11 +45,12 @@ pub mod range;
 pub mod stats;
 pub mod visit;
 
+pub use bitvec::BitVec;
 pub use cellset::CellSet;
 pub use grid::{CellId, Grid};
 pub use nn::{
-    count_closer_than, exists_closer_than, k_nearest, nearest, nearest_in_cells, nearest_where,
-    NearestIter, Neighbor,
+    count_closer_than, exists_closer_than, k_nearest, k_nearest_into, nearest, nearest_in_cells,
+    nearest_in_cells_with, nearest_in_set, nearest_where, CellOrderScratch, NearestIter, Neighbor,
 };
 pub use object::ObjectId;
 pub use stats::OpCounters;

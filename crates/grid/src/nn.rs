@@ -147,13 +147,17 @@ where
     best.filter(|b| b.dist_sq <= max_dist_sq)
 }
 
-/// Nearest neighbor of `q` among the objects lying in the given cell set
-/// (IGERN's constrained search over the *alive cells*).
+/// Ring-expansion NN constrained to the cells of `cells` (TPL's probe over
+/// the *alive* region).
 ///
-/// Iterates the set directly in mindist order — the alive region is
-/// typically a small neighborhood of `q`, so this beats ring expansion
-/// over the whole grid.
-pub fn nearest_in_cells<O>(
+/// Behaves exactly like [`nearest_where`] with a `cells.contains` cell
+/// predicate, with two sweep-cost refinements that leave the scanned cell
+/// sequence — and therefore the result and every op counter — unchanged:
+/// the membership test runs before any cell geometry is computed, and the
+/// ring loop stops once all `cells.count()` member cells have been seen,
+/// so a probe over a small alive region never sweeps the dead remainder
+/// of the grid.
+pub fn nearest_in_set<O>(
     grid: &Grid,
     q: Point,
     cells: &CellSet,
@@ -163,13 +167,91 @@ pub fn nearest_in_cells<O>(
 where
     O: FnMut(ObjectId, Point) -> bool,
 {
-    let mut order: Vec<(f64, CellId)> = cells
-        .iter()
-        .map(|c| (grid.cell_bounds(c).mindist_sq(q), c))
-        .collect();
+    let (cx, cy) = grid.cell_coords(grid.cell_of_point(q));
+    let max_r = max_ring_radius(grid, cx, cy);
+    let ext = grid.min_cell_extent();
+    let total = cells.count();
+    let mut seen = 0usize;
+    let mut best: Option<Neighbor> = None;
+    for r in 0..=max_r {
+        if seen == total {
+            // Every member cell is behind us; no farther ring matters.
+            break;
+        }
+        if r >= 1 {
+            let lb = (r as f64 - 1.0) * ext;
+            if let Some(b) = best {
+                if b.dist_sq <= lb * lb {
+                    break;
+                }
+            }
+        }
+        for cell in ring_cells(grid, cx, cy, r) {
+            if !cells.contains(cell) {
+                continue;
+            }
+            seen += 1;
+            let bounds = grid.cell_bounds(cell);
+            let md = bounds.mindist_sq(q);
+            if let Some(b) = best {
+                if md >= b.dist_sq {
+                    continue;
+                }
+            }
+            scan_cell(grid, cell, q, &mut obj_pred, &mut best, ops);
+        }
+    }
+    best
+}
+
+/// Reusable mindist-ordering buffer for [`nearest_in_cells_with`]. One of
+/// these lives in each evaluation scratch so the constrained search sorts
+/// in place instead of collecting a fresh vector per probe.
+#[derive(Debug, Clone, Default)]
+pub struct CellOrderScratch {
+    order: Vec<(f64, CellId)>,
+}
+
+/// Nearest neighbor of `q` among the objects lying in the given cell set
+/// (IGERN's constrained search over the *alive cells*).
+///
+/// Iterates the set directly in mindist order — the alive region is
+/// typically a small neighborhood of `q`, so this beats ring expansion
+/// over the whole grid. Allocates a fresh ordering buffer; hot paths use
+/// [`nearest_in_cells_with`] and a persistent [`CellOrderScratch`].
+pub fn nearest_in_cells<O>(
+    grid: &Grid,
+    q: Point,
+    cells: &CellSet,
+    obj_pred: O,
+    ops: &mut OpCounters,
+) -> Option<Neighbor>
+where
+    O: FnMut(ObjectId, Point) -> bool,
+{
+    let mut scratch = CellOrderScratch::default();
+    nearest_in_cells_with(grid, q, cells, obj_pred, ops, &mut scratch)
+}
+
+/// [`nearest_in_cells`] writing its mindist ordering into caller-provided
+/// scratch, so steady-state probes perform no heap allocation.
+pub fn nearest_in_cells_with<O>(
+    grid: &Grid,
+    q: Point,
+    cells: &CellSet,
+    mut obj_pred: O,
+    ops: &mut OpCounters,
+    scratch: &mut CellOrderScratch,
+) -> Option<Neighbor>
+where
+    O: FnMut(ObjectId, Point) -> bool,
+{
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(cells.iter().map(|c| (grid.cell_bounds(c).mindist_sq(q), c)));
     order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
     let mut best: Option<Neighbor> = None;
-    for (md, cell) in order {
+    for &(md, cell) in order.iter() {
         if let Some(b) = best {
             if md >= b.dist_sq {
                 break;
@@ -189,14 +271,30 @@ pub fn k_nearest(
     exclude: Option<ObjectId>,
     ops: &mut OpCounters,
 ) -> Vec<Neighbor> {
+    let mut best = Vec::new();
+    k_nearest_into(grid, q, k, exclude, ops, &mut best);
+    best
+}
+
+/// [`k_nearest`] writing the result into a caller-provided buffer
+/// (cleared first), so repeated probes reuse one allocation.
+pub fn k_nearest_into(
+    grid: &Grid,
+    q: Point,
+    k: usize,
+    exclude: Option<ObjectId>,
+    ops: &mut OpCounters,
+    best: &mut Vec<Neighbor>,
+) {
+    best.clear();
     if k == 0 {
-        return Vec::new();
+        return;
     }
     let (cx, cy) = grid.cell_coords(grid.cell_of_point(q));
     let max_r = max_ring_radius(grid, cx, cy);
     let ext = grid.min_cell_extent();
     // Small k: a sorted vector beats a heap.
-    let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    best.reserve(k.saturating_add(1).min(grid.len() + 1));
     for r in 0..=max_r {
         if r >= 1 && best.len() == k {
             let lb = (r as f64 - 1.0) * ext;
@@ -237,7 +335,6 @@ pub fn k_nearest(
             }
         }
     }
-    best
 }
 
 /// Whether any object other than those in `exclude` lies strictly closer

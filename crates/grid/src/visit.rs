@@ -11,31 +11,117 @@ use crate::grid::{CellId, Grid};
 
 /// Yields the cell ids at Chebyshev distance exactly `r` from
 /// `(cx, cy)`, clipped to the grid. Ring 0 is the center cell itself.
-pub fn ring_cells(grid: &Grid, cx: usize, cy: usize, r: usize) -> Vec<CellId> {
+///
+/// Returns a lazy iterator rather than materializing the ring: every NN
+/// search expands rings in its inner loop, and a per-ring `Vec` was the
+/// last allocation left in the steady-state tick. The emission order is
+/// exactly the order the former `Vec` held — top and bottom rows
+/// interleaved left to right, then the side columns top to bottom — so
+/// distance ties keep resolving to the same object.
+pub fn ring_cells(grid: &Grid, cx: usize, cy: usize, r: usize) -> RingCells {
     let n = grid.cells_per_side();
     debug_assert!(cx < n && cy < n);
-    let mut out = Vec::new();
-    if r == 0 {
-        out.push(grid.cell_at(cx, cy));
-        return out;
+    RingCells {
+        n: n as isize,
+        cx: cx as isize,
+        cy: cy as isize,
+        r: r as isize,
+        phase: if r == 0 { Phase::Center } else { Phase::Rows },
+        i: cx as isize - r as isize,
+        pending: None,
     }
-    let (cx, cy, r, n) = (cx as isize, cy as isize, r as isize, n as isize);
-    let push = |x: isize, y: isize, out: &mut Vec<CellId>| {
-        if x >= 0 && x < n && y >= 0 && y < n {
-            out.push((y * n + x) as CellId);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    /// Ring 0: the center cell alone.
+    Center,
+    /// Top and bottom rows, `x` sweeping `cx-r ..= cx+r`.
+    Rows,
+    /// Left and right columns, `y` sweeping `cy-r+1 .. cy+r`.
+    Cols,
+    Done,
+}
+
+/// Allocation-free iterator over one ring's cells (see [`ring_cells`]).
+pub struct RingCells {
+    n: isize,
+    cx: isize,
+    cy: isize,
+    r: isize,
+    phase: Phase,
+    /// Sweep coordinate: `x` during [`Phase::Rows`], `y` during
+    /// [`Phase::Cols`].
+    i: isize,
+    /// Second cell of the current pair (bottom row / right column),
+    /// emitted on the next pull.
+    pending: Option<CellId>,
+}
+
+impl Iterator for RingCells {
+    type Item = CellId;
+
+    fn next(&mut self) -> Option<CellId> {
+        if let Some(c) = self.pending.take() {
+            return Some(c);
         }
-    };
-    // Top and bottom rows of the ring.
-    for x in (cx - r)..=(cx + r) {
-        push(x, cy - r, &mut out);
-        push(x, cy + r, &mut out);
+        loop {
+            match self.phase {
+                Phase::Center => {
+                    self.phase = Phase::Done;
+                    return Some((self.cy * self.n + self.cx) as CellId);
+                }
+                Phase::Rows => {
+                    if self.i > self.cx + self.r {
+                        self.phase = Phase::Cols;
+                        self.i = self.cy - self.r + 1;
+                        continue;
+                    }
+                    let x = self.i;
+                    self.i += 1;
+                    if x < 0 || x >= self.n {
+                        continue;
+                    }
+                    let top = self.cy - self.r;
+                    let bot = self.cy + self.r;
+                    let first = (top >= 0).then(|| (top * self.n + x) as CellId);
+                    let second = (bot < self.n).then(|| (bot * self.n + x) as CellId);
+                    match (first, second) {
+                        (Some(a), b) => {
+                            self.pending = b;
+                            return Some(a);
+                        }
+                        (None, Some(b)) => return Some(b),
+                        (None, None) => continue,
+                    }
+                }
+                Phase::Cols => {
+                    if self.i >= self.cy + self.r {
+                        self.phase = Phase::Done;
+                        continue;
+                    }
+                    let y = self.i;
+                    self.i += 1;
+                    if y < 0 || y >= self.n {
+                        continue;
+                    }
+                    let left = self.cx - self.r;
+                    let right = self.cx + self.r;
+                    let first = (left >= 0).then(|| (y * self.n + left) as CellId);
+                    let second = (right < self.n).then(|| (y * self.n + right) as CellId);
+                    match (first, second) {
+                        (Some(a), b) => {
+                            self.pending = b;
+                            return Some(a);
+                        }
+                        (None, Some(b)) => return Some(b),
+                        (None, None) => continue,
+                    }
+                }
+                Phase::Done => return None,
+            }
+        }
     }
-    // Left and right columns, excluding the corners already emitted.
-    for y in (cy - r + 1)..(cy + r) {
-        push(cx - r, y, &mut out);
-        push(cx + r, y, &mut out);
-    }
-    out
 }
 
 /// The largest ring radius that can still contain cells of the grid when
@@ -57,7 +143,10 @@ mod tests {
     #[test]
     fn ring_zero_is_center() {
         let g = grid(5);
-        assert_eq!(ring_cells(&g, 2, 2, 0), vec![g.cell_at(2, 2)]);
+        assert_eq!(
+            ring_cells(&g, 2, 2, 0).collect::<Vec<_>>(),
+            vec![g.cell_at(2, 2)]
+        );
     }
 
     #[test]
@@ -65,7 +154,7 @@ mod tests {
         let g = grid(9);
         // Full ring r has 8r cells when not clipped.
         for r in 1..=3 {
-            assert_eq!(ring_cells(&g, 4, 4, r).len(), 8 * r);
+            assert_eq!(ring_cells(&g, 4, 4, r).count(), 8 * r);
         }
     }
 
@@ -86,10 +175,41 @@ mod tests {
     #[test]
     fn corner_rings_are_clipped() {
         let g = grid(4);
-        let ring1 = ring_cells(&g, 0, 0, 1);
-        assert_eq!(ring1.len(), 3); // (1,0), (0,1), (1,1)
-        let ring3 = ring_cells(&g, 0, 0, 3);
-        assert_eq!(ring3.len(), 7); // last row + last column
+        assert_eq!(ring_cells(&g, 0, 0, 1).count(), 3); // (1,0), (0,1), (1,1)
+        assert_eq!(ring_cells(&g, 0, 0, 3).count(), 7); // last row + last column
+    }
+
+    /// The iterator must emit exactly the order of the former
+    /// `Vec`-building implementation — NN tie-breaking depends on it.
+    #[test]
+    fn ring_order_matches_the_materialized_ring() {
+        let g = grid(7);
+        for &(cx, cy) in &[(3usize, 3usize), (0, 0), (6, 2), (1, 6)] {
+            for r in 0..=max_ring_radius(&g, cx, cy) {
+                let got: Vec<CellId> = ring_cells(&g, cx, cy, r).collect();
+                let mut want: Vec<CellId> = Vec::new();
+                let n = g.cells_per_side() as isize;
+                let (cxi, cyi, ri) = (cx as isize, cy as isize, r as isize);
+                let mut push = |x: isize, y: isize| {
+                    if x >= 0 && x < n && y >= 0 && y < n {
+                        want.push((y * n + x) as CellId);
+                    }
+                };
+                if r == 0 {
+                    push(cxi, cyi);
+                } else {
+                    for x in (cxi - ri)..=(cxi + ri) {
+                        push(x, cyi - ri);
+                        push(x, cyi + ri);
+                    }
+                    for y in (cyi - ri + 1)..(cyi + ri) {
+                        push(cxi - ri, y);
+                        push(cxi + ri, y);
+                    }
+                }
+                assert_eq!(got, want, "center ({cx},{cy}) ring {r}");
+            }
+        }
     }
 
     #[test]

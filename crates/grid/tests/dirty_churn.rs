@@ -1,0 +1,123 @@
+//! Property test: dirty-cell tracking and `drain_dirty` epochs survive
+//! arena-bucket churn.
+//!
+//! The grid's cell membership lists live in a shared slab arena with
+//! power-of-two blocks and intrusive per-class free lists, and dirty-region
+//! routing depends on every mutation marking exactly the touched cells.
+//! This test drives hotspot-biased insert/remove/update churn — enough to
+//! push buckets through several size classes, free their old blocks, and
+//! recycle them — while mirroring the expected state in naive containers,
+//! and asserts after every epoch that the dirty set, the epoch counter,
+//! and the bucket layout all agree with the mirror exactly.
+
+use std::collections::{HashMap, HashSet};
+
+use igern_geom::{Aabb, Point};
+use igern_grid::{Grid, ObjectId};
+
+/// The splitmix-style generator used across the repo's fuzz suites.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0 >> 11
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next() & ((1 << 32) - 1)) as f64 / (1u64 << 32) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[test]
+fn dirty_tracking_survives_bucket_churn() {
+    let mut g = Grid::new(Aabb::from_coords(0.0, 0.0, 10.0, 10.0), 8);
+    let mut rng = Rng(0x0051_ab17);
+    // The naive mirror: object positions, the cells every mutation should
+    // have dirtied this epoch, and the live id list for uniform picking.
+    let mut mirror: HashMap<u32, Point> = HashMap::new();
+    let mut expected_dirty: HashSet<usize> = HashSet::new();
+    let mut live: Vec<u32> = Vec::new();
+    let mut next_id = 0u32;
+
+    for epoch in 0..60u64 {
+        assert_eq!(g.dirty_epoch(), epoch, "drain count drifted");
+        for _ in 0..120 {
+            let roll = rng.below(10);
+            if roll < 4 || mirror.is_empty() {
+                // Insert, hotspot-biased: half the objects land in a 2×2
+                // corner patch so its buckets climb size classes while
+                // uniform cells stay small.
+                let p = if rng.below(2) == 0 {
+                    Point::new(rng.f64() * 2.0, rng.f64() * 2.0)
+                } else {
+                    Point::new(rng.f64() * 10.0, rng.f64() * 10.0)
+                };
+                let id = next_id;
+                next_id += 1;
+                g.insert(ObjectId(id), p);
+                mirror.insert(id, p);
+                live.push(id);
+                expected_dirty.insert(g.cell_of_point(p));
+            } else if roll < 7 {
+                // Update: small within-cell nudges and long jumps both
+                // occur; either way the old cell must be dirtied, and the
+                // new one too when the move crosses a boundary.
+                let id = live[rng.below(live.len())];
+                let old = mirror[&id];
+                let p = if rng.below(3) == 0 {
+                    Point::new(
+                        (old.x + (rng.f64() - 0.5) * 0.1).clamp(0.0, 10.0),
+                        (old.y + (rng.f64() - 0.5) * 0.1).clamp(0.0, 10.0),
+                    )
+                } else {
+                    Point::new(rng.f64() * 10.0, rng.f64() * 10.0)
+                };
+                let (old_cell, new_cell) = (g.cell_of_point(old), g.cell_of_point(p));
+                let crossed = g.update(ObjectId(id), p);
+                assert_eq!(crossed, old_cell != new_cell);
+                mirror.insert(id, p);
+                expected_dirty.insert(old_cell);
+                expected_dirty.insert(new_cell);
+            } else {
+                // Remove (occasionally draining a whole hotspot bucket so
+                // grown blocks are freed and later recycled).
+                let at = rng.below(live.len());
+                let id = live.swap_remove(at);
+                let old = mirror.remove(&id).unwrap();
+                assert_eq!(g.remove(ObjectId(id)), Some(old));
+                expected_dirty.insert(g.cell_of_point(old));
+            }
+        }
+
+        // The dirty set is exactly the mirror's: no missed mutations, no
+        // phantom cells.
+        let got: HashSet<usize> = g.dirty().iter().collect();
+        assert_eq!(got, expected_dirty, "dirty set diverged at epoch {epoch}");
+
+        // Bucket layout vs mirror: every live object listed exactly once,
+        // in the cell its position maps to, with a matching position
+        // lookup — dangling or duplicated slab entries fail the count.
+        assert_eq!(g.len(), mirror.len());
+        let mut listed = 0usize;
+        for c in 0..g.num_cells() {
+            for &id in g.objects_in(c) {
+                let p = *mirror.get(&id.0).expect("phantom object in a bucket");
+                assert_eq!(g.cell_of_point(p), c, "object {id} listed in wrong cell");
+                assert_eq!(g.position(id), Some(p));
+                listed += 1;
+            }
+        }
+        assert_eq!(listed, mirror.len(), "buckets duplicate or drop objects");
+
+        g.drain_dirty();
+        expected_dirty.clear();
+        assert!(g.dirty().is_empty(), "drain left residue");
+    }
+    assert_eq!(g.dirty_epoch(), 60);
+}

@@ -170,15 +170,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let base = SyntheticNetworkConfig {
+        let mut cfg = SyntheticNetworkConfig {
             k: 8,
+            seed: 1,
             ..Default::default()
         };
-        let a = build_synthetic_network(&SyntheticNetworkConfig {
-            seed: 1,
-            ..base.clone()
-        });
-        let b = build_synthetic_network(&SyntheticNetworkConfig { seed: 2, ..base });
+        let a = build_synthetic_network(&cfg);
+        cfg.seed = 2;
+        let b = build_synthetic_network(&cfg);
         let moved = (0..a.num_nodes()).any(|i| a.node(i) != b.node(i));
         assert!(moved, "jitter should depend on the seed");
     }
