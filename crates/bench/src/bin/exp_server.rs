@@ -10,11 +10,14 @@
 //! queue.
 //!
 //! By default the server runs in-process (workers 1 and a host-capped
-//! 4, two series); `--addr HOST:PORT` instead drives an external
-//! `igern serve` instance, which is how the CI smoke leg exercises the
-//! shipped binary. Results go to `BENCH_server.json` with `host_cpus`
-//! recorded — single-core hosts serialize everything, so read the
-//! numbers against that field.
+//! 4, two series), followed by a **durability sweep**: the same
+//! workload with the write-ahead log enabled, one series per fsync
+//! policy (`never`/`tick`/`always`), so `BENCH_server.json` shows what
+//! durability costs relative to the log-free baseline. `--addr
+//! HOST:PORT` instead drives an external `igern serve` instance, which
+//! is how the CI smoke leg exercises the shipped binary. Results go to
+//! `BENCH_server.json` with `host_cpus` recorded — single-core hosts
+//! serialize everything, so read the numbers against that field.
 
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -26,6 +29,7 @@ use igern_geom::Aabb;
 use igern_mobgen::rng::Rng64;
 use igern_server::client::Event;
 use igern_server::{Client, Server, ServerConfig, SlowConsumerPolicy, TickMode};
+use igern_wal::{FsyncPolicy, WalOptions};
 
 const SIDE: f64 = 100.0;
 
@@ -173,6 +177,8 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 struct Series {
     label: String,
     workers: usize,
+    /// `None` = no write-ahead log for this series.
+    wal_fsync: Option<FsyncPolicy>,
     updates_per_sec: f64,
     p50_ms: f64,
     p99_ms: f64,
@@ -202,23 +208,41 @@ fn run_clients(addr: &str, args: &SrvArgs) -> (f64, Vec<f64>) {
     (sent as f64 / wall, latencies)
 }
 
-fn measure_in_process(workers: usize, args: &SrvArgs) -> Series {
+fn measure_in_process(workers: usize, args: &SrvArgs, wal_fsync: Option<FsyncPolicy>) -> Series {
     let store = SpatialStore::new(Aabb::from_coords(0.0, 0.0, SIDE, SIDE), 16, Vec::new());
+    let wal_dir = wal_fsync.map(|fsync| {
+        let dir = std::env::temp_dir().join(format!(
+            "igern-bench-wal-{}-{}",
+            std::process::id(),
+            fsync.name()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (dir, fsync)
+    });
     let cfg = ServerConfig {
         space: Aabb::from_coords(0.0, 0.0, SIDE, SIDE),
         grid: 16,
         workers,
         tick_mode: TickMode::Every(Duration::from_millis(args.tick_ms.max(1))),
         slow_consumer: SlowConsumerPolicy::Coalesce,
+        wal: wal_dir.as_ref().map(|(dir, fsync)| WalOptions {
+            fsync: *fsync,
+            ..WalOptions::new(dir)
+        }),
         ..ServerConfig::default()
     };
     let mut server = Server::start(("127.0.0.1", 0), store, cfg).expect("bind");
     let addr = server.local_addr().to_string();
     let (updates_per_sec, latencies) = run_clients(&addr, args);
     let m = server.metrics();
+    let label = match wal_fsync {
+        None => format!("in-process, {workers} workers"),
+        Some(f) => format!("in-process, {workers} workers, wal fsync={}", f.name()),
+    };
     let series = Series {
-        label: format!("in-process, {workers} workers"),
+        label,
         workers,
+        wal_fsync,
         updates_per_sec,
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
@@ -227,6 +251,9 @@ fn measure_in_process(workers: usize, args: &SrvArgs) -> Series {
         protocol_errors: m.protocol_errors_total.get(),
     };
     server.stop();
+    if let Some((dir, _)) = wal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     series
 }
 
@@ -245,6 +272,7 @@ fn main() {
             vec![Series {
                 label: format!("external {addr}"),
                 workers: 0,
+                wal_fsync: None,
                 updates_per_sec,
                 p50_ms: percentile(&latencies, 0.50),
                 p99_ms: percentile(&latencies, 0.99),
@@ -255,10 +283,20 @@ fn main() {
         }
         None => {
             let sweep = if host_cpus >= 4 { vec![1, 4] } else { vec![1] };
-            sweep
-                .into_iter()
-                .map(|w| measure_in_process(w, &args))
-                .collect()
+            let mut series: Vec<Series> = sweep
+                .iter()
+                .map(|&w| measure_in_process(w, &args, None))
+                .collect();
+            // Durability sweep: the same workload over a write-ahead
+            // log, one series per fsync policy, at the widest worker
+            // count measured above (the log rides the tick thread, so
+            // its cost is worker-independent — compare against that
+            // baseline series).
+            let wal_workers = *sweep.last().expect("sweep never empty");
+            for fsync in [FsyncPolicy::Never, FsyncPolicy::Tick, FsyncPolicy::Always] {
+                series.push(measure_in_process(wal_workers, &args, Some(fsync)));
+            }
+            series
         }
     };
 
@@ -284,12 +322,15 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"label\": \"{}\", \"workers\": {}, \"updates_per_sec\": {:.1}, \
+                "    {{\"label\": \"{}\", \"workers\": {}, \"wal_fsync\": {}, \
+                 \"updates_per_sec\": {:.1}, \
                  \"tick_to_push_p50_ms\": {:.4}, \"tick_to_push_p99_ms\": {:.4}, \
                  \"latency_samples\": {}, \"slow_consumer_events\": {}, \
                  \"protocol_errors\": {}}}",
                 s.label,
                 s.workers,
+                s.wal_fsync
+                    .map_or("null".to_string(), |f| format!("\"{}\"", f.name())),
                 s.updates_per_sec,
                 s.p50_ms,
                 s.p99_ms,

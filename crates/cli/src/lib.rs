@@ -383,10 +383,40 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         },
         slow_consumer,
         outbound_queue_frames: args.num("queue", 1024usize)?,
+        wal: wal_options_arg(args)?,
         ..ServerConfig::default()
     };
+    if let Some(w) = &cfg.wal {
+        std::fs::create_dir_all(&w.dir)?;
+    }
     let mut server =
         Server::start(addr, store, cfg).map_err(|e| CliError(format!("bind {addr}: {e}")))?;
+    if let Some(rec) = server.recovery() {
+        writeln!(
+            out,
+            "recovered: tick {}, {} objects, {} subs, digest {:016x} \
+             ({} records / {} ticks replayed{})",
+            rec.tick,
+            rec.objects,
+            rec.subs,
+            rec.digest,
+            rec.report.replayed_records,
+            rec.report.replayed_ticks,
+            if rec.report.clean() {
+                String::new()
+            } else {
+                format!(
+                    "; tolerated {} bad records, {} torn bytes, {} bad snapshots, \
+                     {} digest mismatches, {} lenient skips",
+                    rec.report.skipped_records,
+                    rec.report.torn_tail_bytes,
+                    rec.report.skipped_snapshots,
+                    rec.report.digest_mismatches,
+                    rec.report.lenient_skips,
+                )
+            },
+        )?;
+    }
     writeln!(
         out,
         "serving on {} ({} workers, tick {}, {} policy)",
@@ -409,6 +439,227 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         writeln!(out, "wrote metrics -> {path}")?;
     }
     writeln!(out, "server stopped")?;
+    Ok(())
+}
+
+/// Parse the `serve` durability flags into [`igern_wal::WalOptions`];
+/// the `--snapshot-every` / `--fsync` / `--segment-bytes` knobs are
+/// only meaningful together with `--wal-dir`.
+fn wal_options_arg(args: &Args) -> Result<Option<igern_wal::WalOptions>, CliError> {
+    let Some(dir) = args.get("wal-dir") else {
+        for dependent in ["snapshot-every", "fsync", "segment-bytes"] {
+            if args.get(dependent).is_some() {
+                return Err(CliError(format!("--{dependent} requires --wal-dir")));
+            }
+        }
+        return Ok(None);
+    };
+    let mut opts = igern_wal::WalOptions::new(dir);
+    opts.snapshot_every = args.num("snapshot-every", opts.snapshot_every)?;
+    opts.segment_bytes = args.num("segment-bytes", opts.segment_bytes)?;
+    if let Some(name) = args.get("fsync") {
+        opts.fsync = igern_wal::FsyncPolicy::parse(name).ok_or_else(|| {
+            CliError(format!(
+                "bad value for --fsync: {name:?} (always|tick|never)"
+            ))
+        })?;
+    }
+    Ok(Some(opts))
+}
+
+/// `wal inspect`: walk a durability directory and report every
+/// snapshot and segment, then dry-run recovery and print the state a
+/// server booted on this directory would resume with.
+pub fn wal_inspect<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let dir = std::path::PathBuf::from(args.require("dir")?);
+    if !dir.is_dir() {
+        return Err(CliError(format!(
+            "--dir {}: not a directory",
+            dir.display()
+        )));
+    }
+    let snaps = igern_wal::snapshot_paths(&dir)?;
+    writeln!(out, "{} snapshot(s):", snaps.len())?;
+    for (covered, _, path) in &snaps {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        match igern_wal::load_snapshot(path) {
+            Some(s) => writeln!(
+                out,
+                "  {name}: tick {}, covers seq < {covered}, {} objects, {} subs",
+                s.tick,
+                s.objects.len(),
+                s.subs.len(),
+            )?,
+            None => writeln!(out, "  {name}: CORRUPT (recovery will skip it)")?,
+        }
+    }
+    let segs = igern_wal::segment_paths(&dir)?;
+    writeln!(out, "{} segment(s):", segs.len())?;
+    for (first, path) in &segs {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        match igern_wal::scan_segment(path) {
+            Ok(scan) => {
+                let ticks = scan
+                    .records
+                    .iter()
+                    .filter(|r| matches!(r.frame, igern_server::Frame::TickEnd { .. }))
+                    .count();
+                writeln!(
+                    out,
+                    "  {name}: seq [{first}, {}), {} records ({} tick boundaries), \
+                     {} skipped, {} torn tail bytes",
+                    scan.end_seq,
+                    scan.records.len(),
+                    ticks,
+                    scan.skipped_records,
+                    scan.torn_tail_bytes,
+                )?;
+            }
+            Err(e) => writeln!(out, "  {name}: unreadable ({e})")?,
+        }
+    }
+    let rec = igern_wal::recover(
+        &dir,
+        1,
+        Placement::RoundRobin,
+        Aabb::from_coords(0.0, 0.0, 1.0, 1.0),
+        16,
+    )?;
+    writeln!(
+        out,
+        "recovery: tick {}, {} objects, {} subs, digest {:016x}, clean {}",
+        rec.tick,
+        rec.runner.store().len(),
+        rec.subs.len(),
+        rec.digest,
+        rec.report.clean(),
+    )?;
+    Ok(())
+}
+
+/// `wal drive`: the crash-recovery smoke driver. Connects to a served
+/// instance, streams a seeded workload through manual ticks, and
+/// mirrors every mutation into an in-process [`TickRunner`]; each tick
+/// the pushed answers must match the mirror exactly. Prints the
+/// mirror's whole-state digest per tick — after the server is
+/// `kill -9`ed and restarted, its recovery banner must report the same
+/// digest this driver last printed.
+pub fn wal_drive<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    use igern_server::Client;
+
+    let addr = args.require("addr")?;
+    let objects: u32 = args.num("objects", 32u32)?;
+    let subs: u32 = args.num("subs", 4u32)?;
+    let ticks: u64 = args.num("ticks", 30u64)?;
+    let seed: u64 = args.num("seed", 1u64)?;
+    let side: f64 = args.num("space", 1.0f64)?;
+    let grid = grid_arg(args, 16)?;
+    if objects == 0 || subs == 0 || ticks == 0 {
+        return Err(CliError(
+            "--objects, --subs, and --ticks must be at least 1".to_string(),
+        ));
+    }
+    let subs = subs.min(objects);
+
+    // The offline mirror: same space/grid as the server, serial
+    // backend (worker count never changes answers).
+    let space = Aabb::from_coords(0.0, 0.0, side, side);
+    let store = SpatialStore::new(space, grid, Vec::new());
+    let mut mirror = TickRunner::new(store, 1, Placement::RoundRobin);
+
+    // The serve banner races the first connect; retry briefly.
+    let mut client = None;
+    for _ in 0..250 {
+        match Client::connect(addr) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let mut client =
+        client.ok_or_else(|| CliError(format!("no server came up on {addr} within 5s")))?;
+
+    let mut rng = igern_mobgen::rng::Rng64::seed_from_u64(seed);
+    let place = |rng: &mut igern_mobgen::rng::Rng64| Point::new(rng.f64() * side, rng.f64() * side);
+    for id in 0..objects {
+        let p = place(&mut rng);
+        client
+            .upsert(id, ObjectKind::A, p.x, p.y)
+            .map_err(|e| CliError(e.to_string()))?;
+        mirror.insert_object(ObjectId(id), ObjectKind::A, p);
+    }
+    let mut tracked: Vec<(u32, igern_wal::SubSpec, usize)> = Vec::new();
+    for i in 0..subs {
+        let anchor = i * objects / subs;
+        let algo = if i % 2 == 0 {
+            Algorithm::IgernMono
+        } else {
+            Algorithm::Knn(2)
+        };
+        let sid = client
+            .subscribe(anchor, algo)
+            .map_err(|e| CliError(e.to_string()))?;
+        let handle = mirror
+            .add_query(ObjectId(anchor), algo)
+            .map_err(|e| CliError(e.to_string()))?;
+        tracked.push((sid, igern_wal::SubSpec { sid, anchor, algo }, handle));
+    }
+    mirror.evaluate_all();
+
+    let mut last = 0u64;
+    for _ in 0..ticks {
+        let mut moved: Vec<(ObjectId, Point)> = Vec::new();
+        for id in 0..objects {
+            if rng.next_u64().is_multiple_of(3) {
+                let p = place(&mut rng);
+                client
+                    .upsert(id, ObjectKind::A, p.x, p.y)
+                    .map_err(|e| CliError(e.to_string()))?;
+                moved.push((ObjectId(id), p));
+            }
+        }
+        client.step().map_err(|e| CliError(e.to_string()))?;
+        let (tick, _) = client
+            .wait_tick_end(last + 1, Duration::from_secs(10))
+            .map_err(|e| CliError(e.to_string()))?;
+        last = tick;
+        mirror.step(&moved);
+        for &(sid, _, handle) in &tracked {
+            let served = client.answer(sid);
+            let local: Vec<u32> = mirror.answer(handle).iter().map(|o| o.0).collect();
+            if served != local {
+                return Err(CliError(format!(
+                    "tick {tick}: sub {sid} diverged from the offline mirror: \
+                     served {served:?}, mirror {local:?}"
+                )));
+            }
+        }
+        let specs: Vec<igern_wal::SubSpec> = tracked.iter().map(|&(_, s, _)| s).collect();
+        let digest = igern_wal::state_digest(tick, &specs, |s| {
+            let &(_, _, handle) = tracked
+                .iter()
+                .find(|(sid, _, _)| *sid == s.sid)
+                .expect("spec came from tracked");
+            mirror.answer(handle)
+        });
+        writeln!(out, "tick {tick} digest {digest:016x}")?;
+        out.flush()?;
+    }
+    writeln!(
+        out,
+        "drove {ticks} ticks to tick {last}; all answers matched the mirror"
+    )?;
+    out.flush()?;
+    // Disconnecting drops our subscriptions server-side (and logs the
+    // drops), which would change the durable state. For the crash
+    // smoke, hold the connection open so the kill lands while the
+    // subscriptions are still live.
+    let hold_ms: u64 = args.num("hold-ms", 0u64)?;
+    if hold_ms > 0 {
+        std::thread::sleep(Duration::from_millis(hold_ms));
+    }
     Ok(())
 }
 
@@ -449,8 +700,16 @@ pub fn sim_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                 workers: args.num("workers", 4usize)?,
                 faults: bool_arg(args, "faults", true)?,
                 server: bool_arg(args, "server", true)?,
+                durable: bool_arg(args, "durable", false)?,
                 ..igern_sim::SimConfig::default()
             };
+            if cfg.durable && !(cfg.server && cfg.faults) {
+                return Err(CliError(
+                    "--durable true needs --server true and --faults true \
+                     (the crash fault targets the served backend)"
+                        .to_string(),
+                ));
+            }
             if cfg.ticks == 0 || cfg.objects == 0 || cfg.workers == 0 {
                 return Err(CliError(
                     "--ticks, --objects, and --workers must be at least 1".to_string(),
@@ -462,12 +721,13 @@ pub fn sim_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     };
     writeln!(
         out,
-        "sim {label}: {} objects, {} ticks, {} events, {} workers, server {}",
+        "sim {label}: {} objects, {} ticks, {} events, {} workers, server {}{}",
         plan.initial.len(),
         plan.ticks,
         plan.events.len(),
         plan.workers,
         if plan.server { "on" } else { "off" },
+        if plan.durable { " (durable)" } else { "" },
     )?;
     match igern_sim::execute(&plan, None) {
         Ok(report) => {
@@ -491,8 +751,9 @@ pub fn sim_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             )?;
             writeln!(
                 out,
-                "  faults: {} desyncs, {} worker stalls, {} frame faults, {} client stalls",
-                c.desyncs, c.worker_stalls, c.frame_faults, c.client_stalls,
+                "  faults: {} desyncs, {} worker stalls, {} frame faults, {} client stalls, \
+                 {} kill-restarts",
+                c.desyncs, c.worker_stalls, c.frame_faults, c.client_stalls, c.kill_restarts,
             )?;
             // Victim-connection liveness is deliberately not printed:
             // it races real connection teardown and is excluded from
@@ -745,8 +1006,13 @@ pub fn dispatch<W: Write>(cmd: &str, args: &Args, out: &mut W) -> Result<(), Cli
         "render" => render_cmd(args, out),
         "stats" => stats_cmd(args, out),
         "sim" => sim_cmd(args, out),
+        "wal inspect" => wal_inspect(args, out),
+        "wal drive" => wal_drive(args, out),
+        "wal" | "wal " => Err(CliError(
+            "wal needs a subcommand: wal inspect | wal drive".to_string(),
+        )),
         other => Err(CliError(format!(
-            "unknown command {other:?} (gen-network|gen-trace|run|serve|render|stats|sim)"
+            "unknown command {other:?} (gen-network|gen-trace|run|serve|render|stats|sim|wal)"
         ))),
     }
 }
@@ -767,11 +1033,17 @@ COMMANDS:
   serve        [--addr HOST:PORT] [--workers N] [--tick-ms N] [--grid N]
                [--space SIDE] [--trace FILE] [--slow-consumer disconnect|coalesce]
                [--queue N] [--placement round-robin|anchor-cell] [--metrics-out FILE]
+               [--wal-dir DIR] [--snapshot-every N] [--fsync always|tick|never]
+               [--segment-bytes N]
   render       --trace FILE [--query N] [--ticks N] [--grid N]
   stats        --metrics FILE
   sim          [--seed N] [--ticks N] [--objects N] [--grid N] [--queries N]
                [--workers N] [--faults true|false] [--server true|false]
-               [--shrink BUDGET] [--replay-out FILE] | --replay FILE
+               [--durable true|false] [--shrink BUDGET] [--replay-out FILE]
+               | --replay FILE
+  wal inspect  --dir DIR
+  wal drive    --addr HOST:PORT [--objects N] [--subs N] [--ticks N] [--seed N]
+               [--space SIDE] [--grid N] [--hold-ms N]
 
 `run --workers N` (default 1 = serial) evaluates queries on N sharded
 worker threads; answers are identical to the serial run. `--history N`
@@ -794,7 +1066,22 @@ lockstep, and checks every query every tick against the brute-force
 oracles. Same seed, same digest — byte-identical output across runs.
 On failure the schedule is shrunk (`--shrink` caps re-executions) and
 written to `--replay-out` (default failure.simreplay); `igern sim
---replay FILE` re-executes a replay file exactly.
+--replay FILE` re-executes a replay file exactly. `sim --durable true`
+runs the served backend over a write-ahead log and schedules
+crash-kill/restart faults against it — recovered answers must stay
+bit-identical to the oracle.
+
+`serve --wal-dir DIR` turns on durability (DESIGN.md §15): every
+admitted mutation is write-ahead-logged, a compacted snapshot is taken
+every `--snapshot-every` ticks (default 256), and a restart over the
+same directory recovers the exact pre-crash state — the banner prints
+the recovered tick and state digest. `wal inspect` reports the
+snapshots and segments in a durability directory and dry-runs
+recovery. `wal drive` streams a seeded workload at a served instance
+while mirroring it into an in-process runner, failing on any answer
+divergence and printing the per-tick state digest the server must
+recover to after `kill -9` (`--hold-ms` keeps its subscriptions alive
+while the kill lands).
 ";
 
 #[cfg(test)]
@@ -1295,6 +1582,120 @@ mod tests {
         std::fs::write(replay_path, "{\"format\":\"nope\"}").unwrap();
         let err = sim_cmd(&a, &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains(replay_path), "{err}");
+    }
+
+    #[test]
+    fn wal_flags_validate() {
+        // Dependent flags without --wal-dir are rejected.
+        for bad in [
+            &["--snapshot-every", "8"][..],
+            &["--fsync", "tick"][..],
+            &["--segment-bytes", "4096"][..],
+        ] {
+            let err = serve(&args(bad), &mut Vec::new()).unwrap_err();
+            assert!(err.to_string().contains("requires --wal-dir"), "{err}");
+        }
+        let a = args(&["--wal-dir", "/tmp/x", "--fsync", "sometimes"]);
+        let err = wal_options_arg(&a).unwrap_err();
+        assert!(err.to_string().contains("--fsync"), "{err}");
+        let a = args(&[
+            "--wal-dir",
+            "/tmp/x",
+            "--fsync",
+            "never",
+            "--snapshot-every",
+            "9",
+        ]);
+        let opts = wal_options_arg(&a).unwrap().unwrap();
+        assert_eq!(opts.fsync, igern_wal::FsyncPolicy::Never);
+        assert_eq!(opts.snapshot_every, 9);
+
+        // `wal` alone names its subcommands; unknown dirs error cleanly.
+        let err = dispatch("wal", &Args::default(), &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("wal inspect"), "{err}");
+        let a = args(&["--dir", "/nonexistent-igern-wal"]);
+        assert!(wal_inspect(&a, &mut Vec::new()).is_err());
+        let a = args(&["--addr", "127.0.0.1:1", "--objects", "0"]);
+        assert!(wal_drive(&a, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn wal_drive_mirrors_a_durable_server_and_inspect_reads_the_dir() {
+        let dir = std::env::temp_dir().join(format!("igern_cli_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_dir = dir.join("wal");
+        let wal_dir_s = wal_dir.to_str().unwrap().to_string();
+        let port = {
+            let probe = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let handle = {
+            let addr = addr.clone();
+            let wal_dir_s = wal_dir_s.clone();
+            std::thread::spawn(move || {
+                let a = args(&[
+                    "--addr",
+                    &addr,
+                    "--tick-ms",
+                    "0",
+                    "--wal-dir",
+                    &wal_dir_s,
+                    "--snapshot-every",
+                    "5",
+                ]);
+                let mut buf = Vec::new();
+                serve(&a, &mut buf).unwrap();
+                String::from_utf8(buf).unwrap()
+            })
+        };
+        // Drive a seeded workload; the command itself asserts served
+        // answers match its offline mirror every tick.
+        let a = args(&[
+            "--addr",
+            &addr,
+            "--objects",
+            "24",
+            "--subs",
+            "3",
+            "--ticks",
+            "12",
+            "--seed",
+            "3",
+        ]);
+        let mut buf = Vec::new();
+        wal_drive(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("tick 12 digest "), "{text}");
+        assert!(text.contains("drove 12 ticks"), "{text}");
+
+        // Inspect sees the periodic snapshot and live segments while
+        // the server still runs.
+        let a = args(&["--dir", &wal_dir_s]);
+        let mut buf = Vec::new();
+        wal_inspect(&a, &mut buf).unwrap();
+        let inspect = String::from_utf8(buf).unwrap();
+        assert!(inspect.contains("snapshot(s):"), "{inspect}");
+        assert!(inspect.contains("segment(s):"), "{inspect}");
+        assert!(inspect.contains("recovery: tick"), "{inspect}");
+        assert!(inspect.contains("clean true"), "{inspect}");
+
+        let mut c = igern_server::Client::connect(&*addr).unwrap();
+        c.shutdown_server().unwrap();
+        let out = handle.join().expect("serve thread");
+        assert!(out.contains("serving on"), "{out}");
+
+        // Graceful shutdown reclaimed every segment; a dry-run
+        // recovery over the clean snapshot replays nothing.
+        assert!(igern_wal::segment_paths(&wal_dir).unwrap().is_empty());
+        let a = args(&["--dir", &wal_dir_s]);
+        let mut buf = Vec::new();
+        wal_inspect(&a, &mut buf).unwrap();
+        let inspect = String::from_utf8(buf).unwrap();
+        assert!(inspect.contains("0 segment(s):"), "{inspect}");
+        assert!(inspect.contains("clean true"), "{inspect}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -178,7 +178,9 @@ const T_TICK_END: u8 = 20;
 const T_PONG: u8 = 21;
 const T_ERROR: u8 = 22;
 
-fn algo_to_wire(algo: Algorithm) -> (u8, u16) {
+/// Wire encoding of an [`Algorithm`]: `(code, k)`. Public because the
+/// WAL snapshot codec stores standing queries in the same encoding.
+pub fn algo_to_wire(algo: Algorithm) -> (u8, u16) {
     match algo {
         Algorithm::IgernMono => (0, 0),
         Algorithm::Crnn => (1, 0),
@@ -191,7 +193,8 @@ fn algo_to_wire(algo: Algorithm) -> (u8, u16) {
     }
 }
 
-fn algo_from_wire(code: u8, k: u16) -> Result<Algorithm, ProtoError> {
+/// Inverse of [`algo_to_wire`].
+pub fn algo_from_wire(code: u8, k: u16) -> Result<Algorithm, ProtoError> {
     Ok(match code {
         0 => Algorithm::IgernMono,
         1 => Algorithm::Crnn,

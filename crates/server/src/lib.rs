@@ -43,7 +43,12 @@ use igern_geom::Aabb;
 
 pub mod client;
 mod conn;
-pub mod proto;
+/// The wire codec, re-exported from [`igern_proto`] (extracted so the
+/// WAL crate can encode log records with the same frames without
+/// depending on the server).
+pub mod proto {
+    pub use igern_proto::*;
+}
 mod tick;
 pub mod transport;
 
@@ -119,6 +124,10 @@ pub struct ServerConfig {
     /// and fired by the tick thread (see [`igern_core::hooks::SimHooks`]).
     /// `None` in production.
     pub sim_hooks: Option<SharedSimHooks>,
+    /// Durability: with `Some`, the server recovers state from the
+    /// directory on boot, write-ahead-logs every admitted mutation,
+    /// and snapshots periodically (see [`igern_wal`]).
+    pub wal: Option<igern_wal::WalOptions>,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -135,6 +144,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
             .field("sim_hooks", &self.sim_hooks.as_ref().map(|_| "<installed>"))
+            .field("wal", &self.wal)
             .finish()
     }
 }
@@ -153,6 +163,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(50),
             write_timeout: Duration::from_secs(5),
             sim_hooks: None,
+            wal: None,
         }
     }
 }
@@ -178,6 +189,13 @@ pub struct ServerMetrics {
     pub lock_poisoned_total: Counter,
     /// Unknown-frame-type payloads skipped for forward compatibility.
     pub frames_skipped_total: Counter,
+    /// WAL records appended (mutations + tick boundaries).
+    pub wal_records_total: Counter,
+    /// WAL append/snapshot failures (durability degraded, serving
+    /// continues).
+    pub wal_errors_total: Counter,
+    /// Compacted snapshots written.
+    pub wal_snapshots_total: Counter,
     /// Per-frame-type counters, resolved once at registration so the
     /// per-frame hot path never touches the registry lock.
     frames_in: Vec<(&'static str, Counter)>,
@@ -212,6 +230,9 @@ impl ServerMetrics {
             protocol_errors_total: registry.counter(&format!("{p}_protocol_errors_total")),
             lock_poisoned_total: registry.counter(&format!("{p}_lock_poisoned_total")),
             frames_skipped_total: registry.counter(&format!("{p}_frames_skipped_total")),
+            wal_records_total: registry.counter(&format!("{p}_wal_records_total")),
+            wal_errors_total: registry.counter(&format!("{p}_wal_errors_total")),
+            wal_snapshots_total: registry.counter(&format!("{p}_wal_snapshots_total")),
             frames_in: by_type("in"),
             frames_out: by_type("out"),
         }
@@ -232,12 +253,31 @@ impl ServerMetrics {
     }
 }
 
+/// What WAL recovery restored at boot (`None` when the durability
+/// directory was fresh or durability is off).
+#[derive(Debug, Clone)]
+pub struct RecoveryInfo {
+    /// Logical tick the server resumed at.
+    pub tick: u64,
+    /// Objects restored into the store.
+    pub objects: usize,
+    /// Standing queries restored (as claimable orphans).
+    pub subs: usize,
+    /// [`igern_wal::state_digest`] of the recovered answers — compare
+    /// against the pre-crash digest of an equivalent offline runner.
+    pub digest: u64,
+    /// What recovery skipped and tolerated.
+    pub report: igern_wal::RecoveryReport,
+}
+
 /// A running server: an acceptor thread, one reader + writer thread per
 /// connection, and the tick thread that owns the engine.
 pub struct Server {
     addr: std::net::SocketAddr,
     ingest: SyncSender<Ingest>,
     shutdown: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+    recovery: Option<RecoveryInfo>,
     registry: MetricsRegistry,
     metrics: ServerMetrics,
     acceptor: Option<JoinHandle<()>>,
@@ -281,16 +321,54 @@ impl Server {
     ) -> std::io::Result<Server> {
         let local = listener.local_addr()?;
         let metrics = ServerMetrics::register(&registry);
+
+        // With durability on, recovered state replaces the passed
+        // store unless the directory is fresh (no snapshot, no
+        // records) — a fresh directory starts from `store` as usual.
         let mut runner = TickRunner::new(store, cfg.workers, cfg.placement);
+        let mut recovery = None;
+        let mut durable = None;
+        let mut first_sid = 1u32;
+        if let Some(opts) = &cfg.wal {
+            let rec =
+                igern_wal::recover(&opts.dir, cfg.workers, cfg.placement, cfg.space, cfg.grid)?;
+            let fresh = rec.report.snapshot.is_none() && rec.next_seq == 0;
+            let tick_base = rec.tick - rec.runner.tick();
+            if !fresh {
+                recovery = Some(RecoveryInfo {
+                    tick: rec.tick,
+                    objects: rec.runner.store().len(),
+                    subs: rec.subs.len(),
+                    digest: rec.digest,
+                    report: rec.report.clone(),
+                });
+                runner = rec.runner;
+                first_sid = rec.next_sid;
+            }
+            durable = Some(tick::DurableState {
+                wal: igern_wal::WalWriter::open(opts)?,
+                recovered_subs: if fresh { Vec::new() } else { rec.subs },
+                tick_base: if fresh { 0 } else { tick_base },
+            });
+        }
         runner.attach_metrics(&registry, "igern_pipeline");
         runner.set_sim_hooks(cfg.sim_hooks.clone());
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let next_sid = Arc::new(AtomicU32::new(1));
+        let crashed = Arc::new(AtomicBool::new(false));
+        let next_sid = Arc::new(AtomicU32::new(first_sid));
         let (tx, rx) = sync_channel::<Ingest>(cfg.ingest_queue_frames);
 
         let ticker = {
-            let t = TickThread::new(runner, cfg.clone(), metrics.clone(), Arc::clone(&shutdown));
+            let t = TickThread::new(
+                runner,
+                cfg.clone(),
+                metrics.clone(),
+                Arc::clone(&shutdown),
+                Arc::clone(&crashed),
+                durable,
+                Arc::clone(&next_sid),
+            );
             std::thread::Builder::new()
                 .name("igern-tick".into())
                 .spawn(move || t.run(rx))
@@ -314,11 +392,18 @@ impl Server {
             addr: local,
             ingest: tx,
             shutdown,
+            crashed,
+            recovery,
             registry,
             metrics,
             acceptor: Some(acceptor),
             ticker: Some(ticker),
         })
+    }
+
+    /// What WAL recovery restored at boot, if anything.
+    pub fn recovery(&self) -> Option<&RecoveryInfo> {
+        self.recovery.as_ref()
     }
 
     /// The bound address (useful with port 0).
@@ -359,6 +444,16 @@ impl Server {
 
     /// [`shutdown`](Server::shutdown) then [`wait`](Server::wait).
     pub fn stop(&mut self) {
+        self.shutdown();
+        self.wait();
+    }
+
+    /// Tear down abruptly, simulating `kill -9` for crash-recovery
+    /// testing: no final tick, no WAL flush beyond what `write(2)`
+    /// already delivered, no clean snapshot. The next boot over the
+    /// same WAL directory must *recover*, not resume.
+    pub fn crash(&mut self) {
+        self.crashed.store(true, Ordering::Release);
         self.shutdown();
         self.wait();
     }

@@ -12,7 +12,7 @@
 //! is a full snapshot instead.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -22,10 +22,20 @@ use igern_core::types::ObjectKind;
 use igern_engine::{EngineError, TickRunner};
 use igern_geom::Point;
 use igern_grid::ObjectId;
+use igern_wal::{
+    answer_digest, prune_snapshots, remove_all_segments, SnapshotData, SubEntry, WalWriter,
+};
 
 use crate::conn::{Connection, PushOutcome};
 use crate::proto::{ErrorCode, Frame};
 use crate::{ServerConfig, ServerMetrics, TickMode};
+
+/// Connection-id sentinel for *orphan* subscriptions restored by WAL
+/// recovery: they keep evaluating every tick but belong to no live
+/// connection (the acceptor allocates real ids from 1). A client
+/// re-subscribing with the same `(anchor, algo)` claims the orphan
+/// instead of registering a second identical query.
+const ORPHAN_CONN: u64 = 0;
 
 /// One item of the ingest queue, in arrival order.
 pub(crate) enum Ingest {
@@ -65,6 +75,8 @@ struct Sub {
     /// Engine query slot.
     qid: usize,
     anchor: ObjectId,
+    /// Query algorithm (orphan-claim matching and WAL snapshots).
+    algo: Algorithm,
     /// Answer pushed at the previous tick (sorted by id).
     prev: Vec<ObjectId>,
     /// Next push must be a full snapshot (fresh subscription, or the
@@ -83,10 +95,21 @@ pub(crate) struct TickThread {
     cfg: ServerConfig,
     metrics: ServerMetrics,
     shutdown: Arc<AtomicBool>,
+    /// Set by [`crate::Server::crash`]: exit without the final tick,
+    /// WAL flush, or clean snapshot (simulated `kill -9`).
+    crashed: Arc<AtomicBool>,
     conns: BTreeMap<u64, ConnState>,
     subs: BTreeMap<u32, Sub>,
     /// Mutations applied since the last tick (batch-size metric).
     pending_mutations: u64,
+    /// Durability sink (None without `--wal-dir`).
+    wal: Option<WalWriter>,
+    /// Logical-tick offset: the runner restarts at 0 after recovery,
+    /// so every wire-visible tick is `tick_base + runner.tick()`.
+    tick_base: u64,
+    /// Subscription-id allocator, shared with the reader threads;
+    /// snapshotted so recovery never reuses a sid.
+    next_sid: Arc<AtomicU32>,
 }
 
 fn now_nanos() -> u64 {
@@ -95,28 +118,77 @@ fn now_nanos() -> u64 {
         .map_or(0, |d| d.as_nanos() as u64)
 }
 
+/// Durable-mode state handed to the tick thread at start: the log
+/// writer plus whatever recovery restored.
+pub(crate) struct DurableState {
+    pub wal: WalWriter,
+    /// Subscriptions restored by recovery; they become orphans.
+    pub recovered_subs: Vec<igern_wal::RecoveredSub>,
+    /// Logical tick the recovered runner stands at minus its internal
+    /// tick counter (wire ticks continue across the restart).
+    pub tick_base: u64,
+}
+
 impl TickThread {
     pub fn new(
         runner: TickRunner,
         cfg: ServerConfig,
         metrics: ServerMetrics,
         shutdown: Arc<AtomicBool>,
+        crashed: Arc<AtomicBool>,
+        durable: Option<DurableState>,
+        next_sid: Arc<AtomicU32>,
     ) -> Self {
-        TickThread {
+        let (wal, tick_base, subs) = match durable {
+            None => (None, 0, BTreeMap::new()),
+            Some(d) => {
+                let mut subs = BTreeMap::new();
+                for r in d.recovered_subs {
+                    subs.insert(
+                        r.sid,
+                        Sub {
+                            conn: ORPHAN_CONN,
+                            qid: r.qid,
+                            anchor: r.anchor,
+                            algo: r.algo,
+                            prev: Vec::new(),
+                            needs_snapshot: true,
+                        },
+                    );
+                }
+                (Some(d.wal), d.tick_base, subs)
+            }
+        };
+        let t = TickThread {
             runner,
             cfg,
             metrics,
             shutdown,
+            crashed,
             conns: BTreeMap::new(),
-            subs: BTreeMap::new(),
+            subs,
             pending_mutations: 0,
-        }
+            wal,
+            tick_base,
+            next_sid,
+        };
+        t.metrics.subscriptions_active.set(t.subs.len() as f64);
+        t
     }
 
     /// Main loop: drain the ingest queue, tick on schedule (or on
     /// `STEP`), and on shutdown run one final tick so every applied
     /// mutation is evaluated and pushed before connections close.
     pub fn run(mut self, rx: Receiver<Ingest>) {
+        // A durable server snapshots its boot state before serving: the
+        // store it was handed (a trace preload, a recovered state) never
+        // went through the logged ingest path, so a crash before the
+        // first periodic snapshot would otherwise replay the log onto an
+        // empty store and silently drop the preloaded population.
+        if self.wal.is_some() {
+            let tick = self.tick_base + self.runner.tick();
+            self.write_wal_snapshot(tick);
+        }
         let mut next_deadline = match self.cfg.tick_mode {
             TickMode::Manual => None,
             TickMode::Every(period) => Some(Instant::now() + period),
@@ -182,9 +254,90 @@ impl TickThread {
         // Graceful shutdown: evaluate and push whatever was ingested,
         // then flush and close every connection.
         self.shutdown.store(true, Ordering::Release);
+        if self.crashed.load(Ordering::Acquire) {
+            // Simulated `kill -9`: no final tick, no flush, no clean
+            // snapshot — the next boot must recover from whatever
+            // already reached the log.
+            for cs in self.conns.values() {
+                cs.conn.close_after_flush();
+            }
+            return;
+        }
         self.tick();
+        if self.wal.is_some() {
+            // Satellite durability guarantee: a graceful exit leaves a
+            // snapshot covering the whole log and zero segments to
+            // replay, so restart cost is one snapshot load.
+            if let Some(w) = self.wal.as_mut() {
+                let _ = w.sync();
+            }
+            let tick = self.tick_base + self.runner.tick();
+            self.write_wal_snapshot(tick);
+            if let Some(opts) = &self.cfg.wal {
+                let _ = remove_all_segments(&opts.dir);
+            }
+        }
         for cs in self.conns.values() {
             cs.conn.close_after_flush();
+        }
+    }
+
+    /// Append one admitted mutation to the log (no-op without WAL).
+    fn wal_append(&mut self, frame: &Frame) {
+        if let Some(w) = self.wal.as_mut() {
+            match w.append(frame) {
+                Ok(_) => self.metrics.wal_records_total.inc(),
+                Err(e) => {
+                    // Durability degrades; availability does not. The
+                    // error is counted and the server keeps serving.
+                    self.metrics.wal_errors_total.inc();
+                    eprintln!("wal: append failed: {e}");
+                }
+            }
+        }
+    }
+
+    /// Write a compacted snapshot at `tick`, then reclaim covered
+    /// segments and prune stale snapshots (no-op without WAL).
+    fn write_wal_snapshot(&mut self, tick: u64) {
+        let Some(w) = self.wal.as_mut() else { return };
+        let covered_seq = w.next_seq();
+        let store = self.runner.store();
+        let data = SnapshotData {
+            tick,
+            covered_seq,
+            next_sid: self.next_sid.load(Ordering::Relaxed),
+            space: *store.space(),
+            grid: store.all().cells_per_side(),
+            objects: store
+                .all()
+                .iter()
+                .map(|(id, p)| (id.0, store.kind(id), p.x, p.y))
+                .collect(),
+            subs: self
+                .subs
+                .iter()
+                .map(|(&sid, s)| SubEntry {
+                    sid,
+                    anchor: s.anchor.0,
+                    algo: s.algo,
+                    answer_digest: answer_digest(self.runner.answer(s.qid)),
+                })
+                .collect(),
+        };
+        let dir = self.cfg.wal.as_ref().expect("wal cfg present").dir.clone();
+        match igern_wal::write_snapshot(&dir, &data) {
+            Ok(_) => {
+                self.metrics.wal_snapshots_total.inc();
+                // Keep the fallback snapshot recovery would use if the
+                // newest one is damaged, drop anything older.
+                let _ = w.reclaim_covered(covered_seq);
+                let _ = prune_snapshots(&dir, 2);
+            }
+            Err(e) => {
+                self.metrics.wal_errors_total.inc();
+                eprintln!("wal: snapshot failed: {e}");
+            }
         }
     }
 
@@ -222,6 +375,7 @@ impl TickThread {
                     self.runner.insert_object(oid, kind, pos);
                 }
                 self.pending_mutations += 1;
+                self.wal_append(&Frame::UpsertObject { id, kind, x, y });
             }
             Ingest::Remove { conn, id } => {
                 let oid = ObjectId(id);
@@ -238,40 +392,82 @@ impl TickThread {
                     return;
                 }
                 self.pending_mutations += 1;
+                self.wal_append(&Frame::RemoveObject { id });
             }
             Ingest::Subscribe {
                 conn,
                 sid,
                 anchor,
                 algo,
-            } => match self.runner.add_query(ObjectId(anchor), algo) {
-                Ok(qid) => {
-                    self.subs.insert(
-                        sid,
-                        Sub {
-                            conn,
-                            qid,
-                            anchor: ObjectId(anchor),
-                            prev: Vec::new(),
-                            needs_snapshot: true,
-                        },
-                    );
+            } => {
+                // A recovered orphan with the same query identity is
+                // claimed instead of registering a duplicate: the
+                // existing engine slot (and its answer) transfers to
+                // the new sid, logged as an unsubscribe + subscribe.
+                let claim = self
+                    .subs
+                    .iter()
+                    .find(|(_, s)| {
+                        s.conn == ORPHAN_CONN && s.anchor == ObjectId(anchor) && s.algo == algo
+                    })
+                    .map(|(&old_sid, _)| old_sid);
+                if let Some(old_sid) = claim {
+                    let mut sub = self.subs.remove(&old_sid).expect("claim scanned above");
+                    sub.conn = conn;
+                    sub.needs_snapshot = true;
+                    sub.prev = Vec::new();
+                    self.subs.insert(sid, sub);
                     if let Some(cs) = self.conns.get_mut(&conn) {
                         cs.subs.push(sid);
                     }
+                    self.wal_append(&Frame::Unsubscribe { sid: old_sid });
+                    self.wal_append(&Frame::Subscribe {
+                        token: sid,
+                        anchor,
+                        algo,
+                    });
                     self.metrics
                         .subscriptions_active
                         .set(self.subs.len() as f64);
+                    return;
                 }
-                Err(e) => {
-                    let code = match e {
-                        EngineError::UnknownObject(_) => ErrorCode::UnknownObject,
-                        EngineError::NotKindA(_) => ErrorCode::NotKindA,
-                        EngineError::ZeroK => ErrorCode::ZeroK,
-                    };
-                    self.reject(conn, code, &format!("subscription {sid} rejected: {e}"));
+                match self.runner.add_query(ObjectId(anchor), algo) {
+                    Ok(qid) => {
+                        self.subs.insert(
+                            sid,
+                            Sub {
+                                conn,
+                                qid,
+                                anchor: ObjectId(anchor),
+                                algo,
+                                prev: Vec::new(),
+                                needs_snapshot: true,
+                            },
+                        );
+                        if let Some(cs) = self.conns.get_mut(&conn) {
+                            cs.subs.push(sid);
+                        }
+                        // Logged with the assigned sid in the token
+                        // field, so replay restores the same sid.
+                        self.wal_append(&Frame::Subscribe {
+                            token: sid,
+                            anchor,
+                            algo,
+                        });
+                        self.metrics
+                            .subscriptions_active
+                            .set(self.subs.len() as f64);
+                    }
+                    Err(e) => {
+                        let code = match e {
+                            EngineError::UnknownObject(_) => ErrorCode::UnknownObject,
+                            EngineError::NotKindA(_) => ErrorCode::NotKindA,
+                            EngineError::ZeroK => ErrorCode::ZeroK,
+                        };
+                        self.reject(conn, code, &format!("subscription {sid} rejected: {e}"));
+                    }
                 }
-            },
+            }
             Ingest::Unsubscribe { conn, sid } => {
                 let owned = self.subs.get(&sid).is_some_and(|s| s.conn == conn);
                 if !owned {
@@ -284,6 +480,7 @@ impl TickThread {
                 }
                 let sub = self.subs.remove(&sid).expect("checked above");
                 self.runner.remove_query(sub.qid);
+                self.wal_append(&Frame::Unsubscribe { sid });
                 if let Some(cs) = self.conns.get_mut(&conn) {
                     cs.subs.retain(|&s| s != sid);
                     cs.conn.push_control(
@@ -324,6 +521,9 @@ impl TickThread {
             for sid in cs.subs {
                 if let Some(sub) = self.subs.remove(&sid) {
                     self.runner.remove_query(sub.qid);
+                    // A dead connection's queries are gone for good:
+                    // log the removal or recovery would resurrect them.
+                    self.wal_append(&Frame::Unsubscribe { sid });
                 }
             }
             cs.conn.close_after_flush();
@@ -351,8 +551,27 @@ impl TickThread {
             .batch_size
             .observe(self.pending_mutations as f64);
         self.pending_mutations = 0;
-        let tick = self.runner.tick();
+        // Wire-visible tick numbers continue across recovery: the
+        // rebuilt runner counts from zero again, `tick_base` bridges.
+        let tick = self.tick_base + self.runner.tick();
         let stamp_nanos = now_nanos();
+        // Durability barrier: the tick boundary (and, per fsync
+        // policy, everything before it) is on disk before any client
+        // sees this tick's deltas — a crash after a push can never
+        // lose state a client already observed.
+        if let Some(w) = self.wal.as_mut() {
+            match w.tick_boundary(tick, stamp_nanos) {
+                Ok(_) => self.metrics.wal_records_total.inc(),
+                Err(e) => {
+                    self.metrics.wal_errors_total.inc();
+                    eprintln!("wal: tick boundary append failed: {e}");
+                }
+            }
+        }
+        let snapshot_every = self.cfg.wal.as_ref().map_or(0, |o| o.snapshot_every);
+        if self.wal.is_some() && snapshot_every > 0 && tick.is_multiple_of(snapshot_every) {
+            self.write_wal_snapshot(tick);
+        }
         let mut dead = Vec::new();
         for (&conn_id, cs) in &mut self.conns {
             if cs.subs.is_empty() {

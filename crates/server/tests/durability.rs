@@ -1,0 +1,236 @@
+//! End-to-end durability tests over the in-memory transport: a served
+//! workload is crash-killed (no final tick, no clean snapshot) and the
+//! restarted server must recover to the exact pre-kill state digest,
+//! re-attach re-subscribed clients to their recovered queries, and —
+//! after a *graceful* stop — restart by replaying zero log records.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use igern_core::obs::MetricsRegistry;
+use igern_core::processor::Algorithm;
+use igern_core::types::ObjectKind;
+use igern_core::SpatialStore;
+use igern_geom::Aabb;
+use igern_mobgen::rng::Rng64;
+use igern_server::{memory_listener, Client, Listener, MemConnector, Server, ServerConfig, Stream};
+use igern_wal::{state_digest, SubSpec, WalOptions};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("igern-srv-dur-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn boot(dir: &Path, snapshot_every: u64) -> (Server, MemConnector) {
+    let mut wal = WalOptions::new(dir);
+    wal.snapshot_every = snapshot_every;
+    let cfg = ServerConfig {
+        space: Aabb::from_coords(0.0, 0.0, 100.0, 100.0),
+        grid: 8,
+        wal: Some(wal),
+        ..ServerConfig::default()
+    };
+    let store = SpatialStore::new(cfg.space, cfg.grid, Vec::new());
+    let (listener, connector) = memory_listener();
+    let srv = Server::start_on(Listener::Mem(listener), store, cfg, MetricsRegistry::new())
+        .expect("server boots");
+    (srv, connector)
+}
+
+fn connect(connector: &MemConnector) -> Client {
+    Client::from_stream(Stream::Mem(connector.connect().unwrap())).expect("handshake")
+}
+
+/// Drive `ticks` manual ticks, jittering object positions in between,
+/// and return the tick the server last closed.
+fn churn(c: &mut Client, rng: &mut Rng64, ids: &[u32], from_tick: u64, ticks: u64) -> u64 {
+    let mut last = from_tick;
+    for _ in 0..ticks {
+        for &id in ids {
+            if rng.next_u64().is_multiple_of(3) {
+                let x = rng.f64() * 100.0;
+                let y = rng.f64() * 100.0;
+                c.upsert(id, ObjectKind::A, x, y).unwrap();
+            }
+        }
+        c.step().unwrap();
+        last = c
+            .wait_tick_end(last + 1, Duration::from_secs(10))
+            .unwrap()
+            .0;
+    }
+    last
+}
+
+#[test]
+fn crash_recovers_to_pre_kill_digest_and_reattaches_subs() {
+    let dir = tmp_dir("crash");
+    let (mut srv, connector) = boot(&dir, 4);
+    assert!(srv.recovery().is_none(), "fresh directory recovers nothing");
+
+    let mut c = connect(&connector);
+    let ids: Vec<u32> = (1..=20).collect();
+    let mut rng = Rng64::seed_from_u64(0xD00D);
+    for &id in &ids {
+        let x = rng.f64() * 100.0;
+        let y = rng.f64() * 100.0;
+        c.upsert(id, ObjectKind::A, x, y).unwrap();
+    }
+    let sid1 = c.subscribe(5, Algorithm::IgernMono).unwrap();
+    let sid2 = c.subscribe(12, Algorithm::Knn(3)).unwrap();
+
+    // Snapshot cadence of 4 over 10 ticks: recovery must combine the
+    // newest snapshot (tick 8) with a replayed segment tail.
+    let tick = churn(&mut c, &mut rng, &ids, 0, 10);
+    assert_eq!(tick, 10);
+    let a1 = c.answer(sid1);
+    let a2 = c.answer(sid2);
+    let subs = [
+        SubSpec {
+            sid: sid1,
+            anchor: 5,
+            algo: Algorithm::IgernMono,
+        },
+        SubSpec {
+            sid: sid2,
+            anchor: 12,
+            algo: Algorithm::Knn(3),
+        },
+    ];
+    let answers: Vec<Vec<igern_grid::ObjectId>> = [&a1, &a2]
+        .iter()
+        .map(|a| a.iter().map(|&id| igern_grid::ObjectId(id)).collect())
+        .collect();
+    let expected = state_digest(tick, &subs, |s| {
+        if s.sid == sid1 {
+            &answers[0]
+        } else {
+            &answers[1]
+        }
+    });
+
+    srv.crash();
+    drop(connector);
+
+    let (mut srv2, connector2) = boot(&dir, 4);
+    let rec = srv2.recovery().expect("state was recovered").clone();
+    assert_eq!(rec.tick, tick, "recovered to the last closed tick");
+    assert_eq!(rec.objects, ids.len());
+    assert_eq!(rec.subs, 2);
+    assert_eq!(
+        rec.digest, expected,
+        "recovered digest matches the pre-kill client view"
+    );
+    assert!(rec.report.clean(), "in-process crash loses nothing");
+    assert!(
+        rec.report.snapshot.is_some(),
+        "recovery started from the periodic snapshot"
+    );
+    assert!(rec.report.replayed_records > 0, "a tail was replayed");
+
+    // Re-subscribing the same (anchor, algo) claims the recovered
+    // orphan: the first pushed snapshot delta must reproduce the
+    // pre-kill answer exactly, without re-sending history.
+    let mut c2 = connect(&connector2);
+    let nsid1 = c2.subscribe(5, Algorithm::IgernMono).unwrap();
+    let nsid2 = c2.subscribe(12, Algorithm::Knn(3)).unwrap();
+    c2.step().unwrap();
+    let (t2, _) = c2.wait_tick_end(tick + 1, Duration::from_secs(10)).unwrap();
+    assert_eq!(t2, tick + 1, "logical tick continues past the crash");
+    assert_eq!(c2.answer(nsid1), a1);
+    assert_eq!(c2.answer(nsid2), a2);
+
+    // The claimed queries keep evolving: more churn works normally.
+    let mut rng2 = Rng64::seed_from_u64(0xBEEF);
+    churn(&mut c2, &mut rng2, &ids, t2, 3);
+
+    srv2.stop();
+    drop(c2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn graceful_stop_then_restart_replays_zero_records() {
+    let dir = tmp_dir("graceful");
+    let (mut srv, connector) = boot(&dir, 0); // no periodic snapshots
+    let mut c = connect(&connector);
+    let ids: Vec<u32> = (1..=12).collect();
+    let mut rng = Rng64::seed_from_u64(7);
+    for &id in &ids {
+        let x = rng.f64() * 100.0;
+        let y = rng.f64() * 100.0;
+        c.upsert(id, ObjectKind::A, x, y).unwrap();
+    }
+    let sid = c.subscribe(3, Algorithm::IgernMonoK(2)).unwrap();
+    let tick = churn(&mut c, &mut rng, &ids, 0, 5);
+    let answer = c.answer(sid);
+
+    srv.stop(); // graceful: final tick + clean snapshot + segment reclaim
+    drop(c);
+    drop(connector);
+
+    let segs = igern_wal::segment_paths(&dir).unwrap();
+    assert!(segs.is_empty(), "clean shutdown reclaims every segment");
+
+    let (mut srv2, connector2) = boot(&dir, 0);
+    let rec = srv2.recovery().expect("clean snapshot recovered").clone();
+    assert_eq!(
+        rec.report.replayed_records, 0,
+        "graceful restart replays nothing"
+    );
+    assert_eq!(rec.report.replayed_ticks, 0);
+    assert!(rec.report.clean());
+    assert_eq!(rec.subs, 1);
+    // The graceful path runs one final (empty) tick after the last
+    // client-observed one.
+    assert_eq!(rec.tick, tick + 1);
+
+    let mut c2 = connect(&connector2);
+    let nsid = c2.subscribe(3, Algorithm::IgernMonoK(2)).unwrap();
+    c2.step().unwrap();
+    c2.wait_tick_end(rec.tick + 1, Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(c2.answer(nsid), answer, "answer survives a clean restart");
+
+    srv2.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unclaimed_orphans_keep_evaluating_and_can_be_unsubscribed_later() {
+    let dir = tmp_dir("orphan");
+    let (mut srv, connector) = boot(&dir, 0);
+    let mut c = connect(&connector);
+    for id in 1..=8u32 {
+        c.upsert(id, ObjectKind::A, id as f64 * 3.0, 50.0).unwrap();
+    }
+    c.subscribe(4, Algorithm::IgernMono).unwrap();
+    c.subscribe(6, Algorithm::Knn(2)).unwrap();
+    c.step().unwrap();
+    c.wait_tick_end(1, Duration::from_secs(10)).unwrap();
+    srv.crash();
+    drop(c);
+    drop(connector);
+
+    let (mut srv2, connector2) = boot(&dir, 0);
+    assert_eq!(srv2.recovery().unwrap().subs, 2);
+
+    // Claim only ONE of the two orphans; the other keeps running
+    // headless (no connection) without blocking ticks.
+    let mut c2 = connect(&connector2);
+    let sid = c2.subscribe(4, Algorithm::IgernMono).unwrap();
+    c2.step().unwrap();
+    c2.wait_tick_end(2, Duration::from_secs(10)).unwrap();
+    assert!(!c2.answer(sid).is_empty() || c2.answer(sid).is_empty()); // reachable
+
+    // A *different* algo on the same anchor must NOT claim the orphan:
+    // it registers a brand-new query.
+    let other = c2.subscribe(4, Algorithm::Knn(1)).unwrap();
+    assert_ne!(other, sid);
+
+    srv2.stop();
+    drop(c2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

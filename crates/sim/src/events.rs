@@ -89,6 +89,11 @@ pub enum SimEvent {
     ClientStall { ticks: u32 },
     /// Corrupt one server→victim frame.
     FrameFault { fault: FrameFault },
+    /// Crash-kill the served backend (no final tick, no clean
+    /// snapshot) and restart it from its write-ahead log. Only valid on
+    /// durable server plans; the executor re-subscribes its clients and
+    /// every answer must still match the mirror afterwards.
+    KillRestart,
 }
 
 /// A [`SimEvent`] pinned to the tick it happens on. Events of tick `t`
@@ -118,6 +123,13 @@ pub struct Plan {
     /// Whether the wire-protocol backend (server over the in-memory
     /// transport) participates.
     pub server: bool,
+    /// Whether the served backend runs with a write-ahead log (a
+    /// throwaway directory managed by the executor). Required for
+    /// [`SimEvent::KillRestart`] to be admissible; implies the
+    /// generator never emits [`SimEvent::ForceDesync`] — desync is an
+    /// unrecoverable corruption the durability layer would silently
+    /// repair on replay, splitting the backends from the mirror.
+    pub durable: bool,
     /// Anchor of the fault-victim client's own subscription. The
     /// executor's mirror pins this object: it is never removed, so the
     /// victim's standing query stays semantically valid on the server
@@ -170,6 +182,7 @@ pub struct GenConfig {
     pub space: Aabb,
     pub faults: bool,
     pub server: bool,
+    pub durable: bool,
 }
 
 /// The algorithm rotation new queries cycle through — all eight
@@ -252,7 +265,19 @@ pub fn generate(cfg: &GenConfig) -> Plan {
     let storm_reinsert = (cfg.ticks / 2).max(3);
     let storm_teleport = (cfg.ticks * 2 / 3).max(4);
 
+    let durable = cfg.durable && cfg.server && cfg.faults;
+    let storm_kill = (cfg.ticks / 2 + 1).max(4);
+
     for t in 1..=cfg.ticks {
+        // Crash-kill the durable server: always scheduled first in its
+        // tick so every prior mutation sits behind a tick-end barrier
+        // (and therefore in the log) before the plug is pulled. One
+        // kill is scripted right after the re-insert storm so every
+        // durable seed exercises recovery at least once.
+        if durable && (t == storm_kill || (t > 1 && rng.gen_bool(0.03))) {
+            push(t, SimEvent::KillRestart);
+        }
+
         // Base motion (already includes background churn + teleports).
         for e in motion.events(t as usize - 1) {
             match *e {
@@ -327,7 +352,10 @@ pub fn generate(cfg: &GenConfig) -> Plan {
         // Grid desync: a live, unanchored object's bucket state is
         // corrupted mid-tick. The object is gone for good (ghosts are
         // never revived — matching what the fault does to the store).
-        if rng.gen_bool(0.05) {
+        // Durable plans skip it: the fault is injected below the ingest
+        // path, so a WAL replay would resurrect the ghost as a healthy
+        // object and legitimately diverge from the mirror.
+        if !durable && rng.gen_bool(0.05) {
             let candidates: Vec<u32> = (0..n as u32)
                 .filter(|&id| {
                     live[id as usize]
@@ -418,6 +446,7 @@ pub fn generate(cfg: &GenConfig) -> Plan {
         workers: cfg.workers,
         ticks: cfg.ticks,
         server: cfg.server,
+        durable,
         victim_anchor: (cfg.server && cfg.faults).then_some(victim_anchor),
         initial,
         events,
@@ -446,6 +475,7 @@ mod tests {
             space: Aabb::from_coords(0.0, 0.0, 100.0, 100.0),
             faults: true,
             server: true,
+            durable: false,
         }
     }
 
@@ -477,6 +507,42 @@ mod tests {
         assert!(algos.len() >= 8, "only {algos:?}");
         assert!(desync && stall && frame, "{desync} {stall} {frame}");
         assert_eq!(plan.victim_anchor, Some(31));
+    }
+
+    #[test]
+    fn durable_plans_swap_desync_for_kill_restart() {
+        let plan = generate(&GenConfig {
+            durable: true,
+            ..cfg()
+        });
+        assert!(plan.durable);
+        let kills = plan
+            .events
+            .iter()
+            .filter(|e| e.event == SimEvent::KillRestart)
+            .count();
+        assert!(kills >= 1, "every durable seed schedules a crash");
+        assert!(
+            !plan
+                .events
+                .iter()
+                .any(|e| matches!(e.event, SimEvent::ForceDesync { .. })),
+            "durable plans never desync (replay would repair the ghost)"
+        );
+        // The kill always opens its tick, so every earlier mutation is
+        // behind a tick-end barrier (and in the log) when it lands.
+        let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for e in &plan.events {
+            if e.event == SimEvent::KillRestart {
+                assert!(!seen.contains(&e.tick), "kill is first in tick {}", e.tick);
+            }
+            seen.insert(e.tick);
+        }
+        // Non-durable plans are unchanged by the new knob.
+        assert!(!generate(&cfg())
+            .events
+            .iter()
+            .any(|e| e.event == SimEvent::KillRestart));
     }
 
     #[test]

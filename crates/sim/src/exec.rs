@@ -17,8 +17,17 @@
 //! backend. `W` is held to full correctness even while `F`'s connection
 //! is being corrupted — faults on one connection must never leak into
 //! another subscriber's answers.
+//!
+//! On durable plans the server additionally keeps a write-ahead log in
+//! a throwaway directory, and [`SimEvent::KillRestart`] events
+//! crash-kill it mid-run: a replacement server boots from the log,
+//! reconnecting clients claim their recovered queries back, and every
+//! answer from the very next tick is held to the same oracle —
+//! recovery must be exact, not approximate.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
@@ -30,8 +39,8 @@ use igern_engine::{Placement, TickRunner};
 use igern_geom::Point;
 use igern_grid::ObjectId;
 use igern_server::{
-    memory_listener, Client, ClientError, Listener, Server, ServerConfig, SlowConsumerPolicy,
-    Stream, TickMode,
+    memory_listener, Client, ClientError, Listener, MemConnector, Server, ServerConfig,
+    SlowConsumerPolicy, Stream, TickMode,
 };
 
 use crate::events::{FrameFault, Plan, SimEvent};
@@ -44,8 +53,9 @@ pub struct SimFailure {
     pub tick: u64,
     /// Offending query, when the failure is an answer mismatch.
     pub query: Option<u32>,
-    /// Failure class: `"mismatch"`, `"cross-backend"`, `"panic"`, or
-    /// `"server-io"`.
+    /// Failure class: `"mismatch"`, `"cross-backend"`, `"panic"`,
+    /// `"server-io"`, or `"recovery"` (a crash-restarted server came
+    /// back lossy or empty).
     pub kind: &'static str,
     /// Human-readable specifics (backend, expected vs got, ...).
     pub detail: String,
@@ -93,6 +103,7 @@ pub struct SimCounters {
     pub client_stalls: u64,
     pub queries_added: u64,
     pub queries_removed: u64,
+    pub kill_restarts: u64,
     pub answer_checks: u64,
     pub final_population: u64,
 }
@@ -196,9 +207,33 @@ impl Offline {
     }
 }
 
+/// A throwaway WAL directory for one durable execution, removed on
+/// drop so failed runs don't leak state into later ones.
+struct TempWalDir(PathBuf);
+
+impl Drop for TempWalDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+static SIM_WAL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_wal_dir() -> std::io::Result<TempWalDir> {
+    let seq = SIM_WAL_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("igern-sim-wal-{}-{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    Ok(TempWalDir(dir))
+}
+
 /// The wire-protocol backend: a served engine behind two clients.
 struct Served {
-    _server: Server,
+    server: Server,
+    hooks: Arc<ScriptedFaults>,
+    /// Write-ahead-log directory on durable plans; [`Served::kill_restart`]
+    /// reboots the server from it.
+    wal_dir: Option<PathBuf>,
     /// Clean workload client: sends every mutation, is oracle-checked.
     w: Client,
     /// Fault victim: owns one subscription, absorbs the frame faults;
@@ -213,115 +248,226 @@ struct Served {
     /// answer reads never race the tick).
     has_barrier: bool,
     sid_of: HashMap<u32, u32>,
+    /// Live queries by plan id — what a restarted server's fresh
+    /// workload client must re-subscribe (in ascending id order, so
+    /// recovered orphan queries are claimed deterministically).
+    query_of: HashMap<u32, (u32, Algorithm)>,
     /// Registered kind per id — the upsert frame re-states the kind on
     /// every move, and a mismatch is a semantic error.
     kind_of: HashMap<u32, igern_core::ObjectKind>,
     tap_script: Arc<Mutex<VecDeque<FrameFault>>>,
 }
 
+fn io_fail(tick: u64, e: &dyn std::fmt::Display) -> SimFailure {
+    SimFailure {
+        tick,
+        query: None,
+        kind: "server-io",
+        detail: format!("server backend setup: {e}"),
+    }
+}
+
+fn server_cfg(plan: &Plan, hooks: Arc<ScriptedFaults>, wal_dir: Option<&Path>) -> ServerConfig {
+    ServerConfig {
+        space: plan.space,
+        grid: plan.grid,
+        workers: plan.workers,
+        placement: Placement::RoundRobin,
+        tick_mode: TickMode::Manual,
+        slow_consumer: SlowConsumerPolicy::Coalesce,
+        outbound_queue_frames: 64,
+        sim_hooks: Some(hooks),
+        wal: wal_dir.map(|dir| {
+            let mut opts = igern_wal::WalOptions::new(dir);
+            // Snapshots every few ticks so recovery exercises both the
+            // snapshot load and a segment tail replay; no fsync — the
+            // kill is an in-process crash, not a power cut.
+            opts.snapshot_every = 16;
+            opts.fsync = igern_wal::FsyncPolicy::Never;
+            opts
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// Connect the workload client and open its tick-barrier subscription.
+fn connect_w(
+    tick: u64,
+    connector: &MemConnector,
+    plan: &Plan,
+) -> Result<(Client, bool), SimFailure> {
+    let fail = |e: &dyn std::fmt::Display| io_fail(tick, e);
+    let mut w = Client::from_stream(Stream::Mem(connector.connect().map_err(|e| fail(&e))?))
+        .map_err(|e| fail(&e))?;
+    w.set_read_timeout(Duration::from_millis(1))
+        .map_err(|e| fail(&e))?;
+    // The server pushes TICK_END only to subscribed connections, so
+    // W opens a standing subscription on the pinned anchor purely
+    // to receive that frame — it is the per-tick barrier proving
+    // every delta of the tick has been delivered and folded.
+    let has_barrier = match plan.pinned_anchor() {
+        Some(anchor) => {
+            w.subscribe(anchor, Algorithm::IgernMono)
+                .map_err(|e| fail(&e))?;
+            true
+        }
+        None => false,
+    };
+    Ok((w, has_barrier))
+}
+
+/// Connect the fault-victim client through a write tap scripted by
+/// `tap_script`, subscribed at the plan's victim anchor.
+fn connect_f(
+    tick: u64,
+    connector: &MemConnector,
+    plan: &Plan,
+    tap_script: &Arc<Mutex<VecDeque<FrameFault>>>,
+) -> Result<Option<Client>, SimFailure> {
+    let fail = |e: &dyn std::fmt::Display| io_fail(tick, e);
+    let Some(anchor) = plan.victim_anchor else {
+        return Ok(None);
+    };
+    let script = Arc::clone(tap_script);
+    let mut held: Option<Vec<u8>> = None;
+    let tap = Box::new(move |bytes: &[u8]| {
+        let fault = script
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front();
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        match fault {
+            None => out.push(bytes.to_vec()),
+            Some(FrameFault::Drop) => {}
+            Some(FrameFault::Duplicate) => {
+                out.push(bytes.to_vec());
+                out.push(bytes.to_vec());
+            }
+            Some(FrameFault::Truncate) => {
+                out.push(bytes[..bytes.len() / 2].to_vec());
+            }
+            Some(FrameFault::Reorder) if held.is_none() => {
+                held = Some(bytes.to_vec());
+            }
+            Some(FrameFault::Reorder) => out.push(bytes.to_vec()),
+        }
+        // A held-back frame rides out right after the next
+        // delivered one.
+        if !out.is_empty() {
+            if let Some(h) = held.take() {
+                out.push(h);
+            }
+        }
+        out
+    });
+    let stream = connector
+        .connect_with_tap(Some(tap))
+        .map_err(|e| fail(&e))?;
+    let mut f = Client::from_stream(Stream::Mem(stream)).map_err(|e| fail(&e))?;
+    f.set_read_timeout(Duration::from_millis(1))
+        .map_err(|e| fail(&e))?;
+    f.subscribe(anchor, Algorithm::IgernMono)
+        .map_err(|e| fail(&e))?;
+    Ok(Some(f))
+}
+
 impl Served {
-    fn start(plan: &Plan, hooks: Arc<ScriptedFaults>) -> Result<Served, SimFailure> {
-        let io_fail = |e: &dyn std::fmt::Display| SimFailure {
-            tick: 0,
-            query: None,
-            kind: "server-io",
-            detail: format!("server backend setup: {e}"),
-        };
+    fn start(
+        plan: &Plan,
+        hooks: Arc<ScriptedFaults>,
+        wal_dir: Option<&Path>,
+    ) -> Result<Served, SimFailure> {
         let (listener, connector) = memory_listener();
-        let cfg = ServerConfig {
-            space: plan.space,
-            grid: plan.grid,
-            workers: plan.workers,
-            placement: Placement::RoundRobin,
-            tick_mode: TickMode::Manual,
-            slow_consumer: SlowConsumerPolicy::Coalesce,
-            outbound_queue_frames: 64,
-            sim_hooks: Some(hooks),
-            ..ServerConfig::default()
-        };
+        let cfg = server_cfg(plan, Arc::clone(&hooks), wal_dir);
         let server = Server::start_on(
             Listener::Mem(listener),
             build_store(plan),
             cfg,
             MetricsRegistry::new(),
         )
-        .map_err(|e| io_fail(&e))?;
+        .map_err(|e| io_fail(0, &e))?;
 
-        let mut w = Client::from_stream(Stream::Mem(connector.connect().map_err(|e| io_fail(&e))?))
-            .map_err(|e| io_fail(&e))?;
-        w.set_read_timeout(Duration::from_millis(1))
-            .map_err(|e| io_fail(&e))?;
-        // The server pushes TICK_END only to subscribed connections, so
-        // W opens a standing subscription on the pinned anchor purely
-        // to receive that frame — it is the per-tick barrier proving
-        // every delta of the tick has been delivered and folded.
-        let has_barrier = match plan.pinned_anchor() {
-            Some(anchor) => {
-                w.subscribe(anchor, Algorithm::IgernMono)
-                    .map_err(|e| io_fail(&e))?;
-                true
-            }
-            None => false,
-        };
-
+        let (w, has_barrier) = connect_w(0, &connector, plan)?;
         let tap_script: Arc<Mutex<VecDeque<FrameFault>>> = Arc::default();
-        let f = match plan.victim_anchor {
-            None => None,
-            Some(anchor) => {
-                let script = Arc::clone(&tap_script);
-                let mut held: Option<Vec<u8>> = None;
-                let tap = Box::new(move |bytes: &[u8]| {
-                    let fault = script
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .pop_front();
-                    let mut out: Vec<Vec<u8>> = Vec::new();
-                    match fault {
-                        None => out.push(bytes.to_vec()),
-                        Some(FrameFault::Drop) => {}
-                        Some(FrameFault::Duplicate) => {
-                            out.push(bytes.to_vec());
-                            out.push(bytes.to_vec());
-                        }
-                        Some(FrameFault::Truncate) => {
-                            out.push(bytes[..bytes.len() / 2].to_vec());
-                        }
-                        Some(FrameFault::Reorder) if held.is_none() => {
-                            held = Some(bytes.to_vec());
-                        }
-                        Some(FrameFault::Reorder) => out.push(bytes.to_vec()),
-                    }
-                    // A held-back frame rides out right after the next
-                    // delivered one.
-                    if !out.is_empty() {
-                        if let Some(h) = held.take() {
-                            out.push(h);
-                        }
-                    }
-                    out
-                });
-                let stream = connector
-                    .connect_with_tap(Some(tap))
-                    .map_err(|e| io_fail(&e))?;
-                let mut f = Client::from_stream(Stream::Mem(stream)).map_err(|e| io_fail(&e))?;
-                f.set_read_timeout(Duration::from_millis(1))
-                    .map_err(|e| io_fail(&e))?;
-                f.subscribe(anchor, Algorithm::IgernMono)
-                    .map_err(|e| io_fail(&e))?;
-                Some(f)
-            }
-        };
+        let f = connect_f(0, &connector, plan, &tap_script)?;
 
         Ok(Served {
-            _server: server,
+            server,
+            hooks,
+            wal_dir: wal_dir.map(Path::to_path_buf),
             w,
             f,
             f_stalled_ticks: 0,
             has_barrier,
             sid_of: HashMap::new(),
+            query_of: HashMap::new(),
             kind_of: plan.initial.iter().map(|&(id, k, _, _)| (id, k)).collect(),
             tap_script,
         })
+    }
+
+    /// Crash-kill the server (no final tick, no clean snapshot) and
+    /// boot a replacement over the same WAL directory. The recovered
+    /// engine re-evaluates its standing queries as headless orphans;
+    /// reconnecting clients claim them back by re-subscribing the same
+    /// `(anchor, algorithm)` pairs. Every answer after this point is
+    /// still held to the mirror — recovery must be exact.
+    fn kill_restart(&mut self, plan: &Plan, tick: u64) -> Result<(), SimFailure> {
+        let fail = |e: &dyn std::fmt::Display| io_fail(tick, e);
+        let dir = self
+            .wal_dir
+            .clone()
+            .expect("mirror admits KillRestart only on durable plans");
+        self.server.crash();
+
+        let (listener, connector) = memory_listener();
+        let cfg = server_cfg(plan, Arc::clone(&self.hooks), Some(&dir));
+        let store = SpatialStore::new(plan.space, plan.grid, Vec::new());
+        let server = Server::start_on(Listener::Mem(listener), store, cfg, MetricsRegistry::new())
+            .map_err(|e| fail(&e))?;
+        let recovered = server.recovery().ok_or_else(|| SimFailure {
+            tick,
+            query: None,
+            kind: "recovery",
+            detail: "restarted server recovered nothing from its WAL".into(),
+        })?;
+        if !recovered.report.clean() {
+            return Err(SimFailure {
+                tick,
+                query: None,
+                kind: "recovery",
+                detail: format!(
+                    "in-process crash must lose nothing, yet recovery skipped \
+                     {} records and dropped a {}-byte torn tail",
+                    recovered.report.skipped_records, recovered.report.torn_tail_bytes
+                ),
+            });
+        }
+
+        let (mut w, has_barrier) = connect_w(tick, &connector, plan)?;
+        let mut sid_of = HashMap::new();
+        let mut queries: Vec<(u32, (u32, Algorithm))> =
+            self.query_of.iter().map(|(&q, &v)| (q, v)).collect();
+        queries.sort_unstable_by_key(|&(q, _)| q);
+        for (q, (anchor, algo)) in queries {
+            let sid = w.subscribe(anchor, algo).map_err(|e| fail(&e))?;
+            sid_of.insert(q, sid);
+        }
+        // The victim reconnects (through a fresh tap over the same
+        // fault script) only if its previous connection was still
+        // alive; a dead victim stays dead, like any real client.
+        let f = if self.f.is_some() {
+            connect_f(tick, &connector, plan, &self.tap_script)?
+        } else {
+            None
+        };
+
+        self.server = server;
+        self.w = w;
+        self.f = f;
+        self.has_barrier = has_barrier;
+        self.sid_of = sid_of;
+        Ok(())
     }
 
     fn apply(&mut self, tick: u64, event: &SimEvent) -> Result<(), SimFailure> {
@@ -347,11 +493,13 @@ impl Served {
                     .subscribe(anchor, algo)
                     .map(|sid| {
                         self.sid_of.insert(q, sid);
+                        self.query_of.insert(q, (anchor, algo));
                     })
                     .map_err(fail);
             }
             SimEvent::RemoveQuery { q } => {
                 let sid = self.sid_of.remove(&q).expect("mirror admitted the removal");
+                self.query_of.remove(&q);
                 self.w.unsubscribe(sid)
             }
             SimEvent::ClientStall { ticks } => {
@@ -366,6 +514,9 @@ impl Served {
                 Ok(())
             }
             SimEvent::ForceDesync { .. } | SimEvent::StallWorker { .. } => Ok(()),
+            // Crashes are applied by the executor on the tick boundary
+            // (see `run_tick`), never through the per-event path.
+            SimEvent::KillRestart => unreachable!("handled on the tick boundary"),
         }
         .map_err(fail)
     }
@@ -464,8 +615,19 @@ pub fn execute(plan: &Plan, corruption: Option<&Corruption>) -> Result<SimReport
     sharded
         .runner
         .set_sim_hooks(Some(Arc::clone(&hooks) as Arc<dyn SimHooks>));
+    // Durable plans run the served backend over a throwaway WAL
+    // directory so KillRestart faults have a log to come back from.
+    let wal_dir = if plan.server && plan.durable {
+        Some(temp_wal_dir().map_err(|e| io_fail(0, &e))?)
+    } else {
+        None
+    };
     let mut served = if plan.server {
-        Some(Served::start(plan, Arc::clone(&hooks))?)
+        Some(Served::start(
+            plan,
+            Arc::clone(&hooks),
+            wal_dir.as_ref().map(|d| d.0.as_path()),
+        )?)
     } else {
         None
     };
@@ -530,11 +692,28 @@ fn run_tick(
     mut served: Option<&mut Served>,
     corruption: Option<&Corruption>,
 ) -> Result<(), SimFailure> {
+    // 0. Crash faults land on the tick boundary, before any of this
+    // tick's mutations are sent: everything up to tick t-1 sits behind
+    // a TICK_END barrier (and therefore in the log), so nothing can be
+    // lost in the ingest queue when the plug is pulled.
+    for event in plan.events_at(t) {
+        if *event == SimEvent::KillRestart && mirror.admits(event) {
+            counters.events_applied += 1;
+            counters.kill_restarts += 1;
+            if let Some(s) = served.as_deref_mut() {
+                s.kill_restart(plan, t)?;
+            }
+        }
+    }
+
     // 1. Admit and apply this tick's events everywhere.
     for event in plan.events_at(t) {
         if !mirror.admits(event) {
             counters.events_skipped += 1;
             continue;
+        }
+        if *event == SimEvent::KillRestart {
+            continue; // applied above, on the boundary
         }
         counters.events_applied += 1;
         match event {
@@ -556,6 +735,7 @@ fn run_tick(
             }
             SimEvent::ClientStall { .. } => counters.client_stalls += 1,
             SimEvent::FrameFault { .. } => counters.frame_faults += 1,
+            SimEvent::KillRestart => unreachable!("skipped above"),
         }
         mirror.apply(event);
         serial.apply(event);

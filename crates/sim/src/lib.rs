@@ -9,7 +9,9 @@
 //! grid desyncs, worker stalls, dropped/duplicated/truncated/reordered
 //! frames, slow-consumer stalls, teleports, and population storms on
 //! top of the workload; all of it must be answer-invisible to a clean
-//! subscriber.
+//! subscriber. With [`SimConfig::durable`] on, the served backend runs
+//! over a write-ahead log and is crash-killed and restarted mid-run —
+//! recovery must reproduce the exact pre-kill answers.
 //!
 //! The moving parts:
 //!
@@ -77,6 +79,13 @@ pub struct SimConfig {
     /// Include the wire-protocol backend (server over the in-memory
     /// transport, plus the fault-victim client when `faults` is on).
     pub server: bool,
+    /// Run the served backend over a write-ahead log and schedule
+    /// crash-kill/restart faults against it (requires `server` and
+    /// `faults`; replaces the grid-desync fault, which a log replay
+    /// would repair). Recovery is held to the same oracle as normal
+    /// operation: answers must be bit-identical from the first
+    /// post-restart tick.
+    pub durable: bool,
 }
 
 impl Default for SimConfig {
@@ -91,6 +100,7 @@ impl Default for SimConfig {
             space: Aabb::from_coords(0.0, 0.0, 1000.0, 1000.0),
             faults: true,
             server: true,
+            durable: false,
         }
     }
 }
@@ -107,6 +117,7 @@ impl SimConfig {
             space: self.space,
             faults: self.faults,
             server: self.server,
+            durable: self.durable,
         }
     }
 

@@ -34,6 +34,9 @@ pub struct Mirror {
     /// the workload client's tick-barrier anchor (see
     /// [`crate::events::Plan::pinned_anchor`]).
     pinned: Option<u32>,
+    /// Whether [`SimEvent::KillRestart`] is admissible: the plan runs a
+    /// served backend AND that backend keeps a write-ahead log.
+    durable_server: bool,
 }
 
 impl Mirror {
@@ -49,6 +52,7 @@ impl Mirror {
             desynced: Default::default(),
             queries: BTreeMap::new(),
             pinned: plan.pinned_anchor(),
+            durable_server: plan.server && plan.durable,
         }
     }
 
@@ -95,6 +99,9 @@ impl Mirror {
             SimEvent::StallWorker { .. }
             | SimEvent::ClientStall { .. }
             | SimEvent::FrameFault { .. } => true,
+            // A crash only makes sense against a server that can come
+            // back: without a WAL the restarted backend would be empty.
+            SimEvent::KillRestart => self.durable_server,
         }
     }
 
@@ -122,7 +129,8 @@ impl Mirror {
             }
             SimEvent::StallWorker { .. }
             | SimEvent::ClientStall { .. }
-            | SimEvent::FrameFault { .. } => {}
+            | SimEvent::FrameFault { .. }
+            | SimEvent::KillRestart => {}
         }
     }
 
@@ -206,6 +214,7 @@ mod tests {
             workers: 1,
             ticks: 1,
             server: false,
+            durable: false,
             victim_anchor: Some(3),
             initial: vec![
                 (0, ObjectKind::A, 1.0, 1.0),

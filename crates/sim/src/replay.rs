@@ -88,6 +88,7 @@ pub fn write_replay(plan: &Plan) -> String {
     let _ = writeln!(s, "  \"workers\": {},", plan.workers);
     let _ = writeln!(s, "  \"ticks\": {},", plan.ticks);
     let _ = writeln!(s, "  \"server\": {},", plan.server);
+    let _ = writeln!(s, "  \"durable\": {},", plan.durable);
     match plan.victim_anchor {
         Some(a) => {
             let _ = writeln!(s, "  \"victim_anchor\": {a},");
@@ -131,6 +132,7 @@ pub fn write_replay(plan: &Plan) -> String {
             SimEvent::FrameFault { fault } => {
                 format!("\"op\": \"frame-fault\", \"fault\": \"{}\"", fault.name())
             }
+            SimEvent::KillRestart => "\"op\": \"kill-restart\"".to_string(),
         };
         let _ = writeln!(s, "    {{\"tick\": {t}, {body}}}{comma}");
     }
@@ -264,6 +266,7 @@ pub fn load_replay(text: &str) -> Result<Plan, ReplayError> {
                         .ok_or_else(|| ReplayError(format!("unknown fault {name:?}")))?,
                 }
             }
+            "kill-restart" => SimEvent::KillRestart,
             other => return Err(ReplayError(format!("unknown op {other:?}"))),
         };
         events.push(ScheduledEvent { tick, event });
@@ -281,6 +284,8 @@ pub fn load_replay(text: &str) -> Result<Plan, ReplayError> {
         workers: uint(root.get("workers"), "workers")? as usize,
         ticks: uint(root.get("ticks"), "ticks")?,
         server: matches!(root.get("server"), Some(Value::Bool(true))),
+        // Absent in files written before durability existed: off.
+        durable: matches!(root.get("durable"), Some(Value::Bool(true))),
         victim_anchor,
         initial,
         events,
@@ -303,6 +308,7 @@ mod tests {
             space: Aabb::from_coords(0.0, 0.0, 64.0, 64.0),
             faults: true,
             server: true,
+            durable: false,
         })
     }
 
@@ -311,6 +317,33 @@ mod tests {
         let p = plan();
         let text = write_replay(&p);
         assert_eq!(load_replay(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn durable_round_trip_keeps_the_flag_and_kill_events() {
+        let p = generate(&GenConfig {
+            seed: 11,
+            ticks: 30,
+            objects: 16,
+            grid: 8,
+            queries: 8,
+            workers: 4,
+            space: Aabb::from_coords(0.0, 0.0, 64.0, 64.0),
+            faults: true,
+            server: true,
+            durable: true,
+        });
+        assert!(p.events.iter().any(|e| e.event == SimEvent::KillRestart));
+        let text = write_replay(&p);
+        assert!(text.contains("\"durable\": true"));
+        assert!(text.contains("\"op\": \"kill-restart\""));
+        assert_eq!(load_replay(&text).unwrap(), p);
+        // Files that predate the field load as non-durable.
+        assert!(
+            !load_replay(&text.replacen("  \"durable\": true,\n", "", 1))
+                .unwrap()
+                .durable
+        );
     }
 
     #[test]

@@ -136,6 +136,7 @@ mod tests {
             workers: 2,
             ticks: 50,
             server: false,
+            durable: false,
             victim_anchor: None,
             initial: Vec::new(),
             events: (0..n_events)

@@ -1,0 +1,406 @@
+//! Compacted snapshots: the full store + standing-query set at a tick
+//! boundary, written atomically (temp file + rename) and CRC-guarded.
+//!
+//! Layout: 8-byte magic `IGSNAP01`, `u32` body length, `u32` CRC-32 of
+//! the body, then the body —
+//!
+//! ```text
+//! u64 tick            logical tick the snapshot was taken at
+//! u64 covered_seq     log records with seq < this are reflected
+//! u32 next_sid        subscription-id allocator watermark
+//! f64×4 space         min x, min y, max x, max y
+//! u32 grid            cells per side
+//! u32 object count    then per object: u32 id, u8 kind, f64 x, f64 y
+//! u32 sub count       then per sub: u32 sid, u32 anchor, u8 algo
+//!                     code, u16 k, u64 answer digest
+//! ```
+//!
+//! The per-sub digests ([`crate::answer_digest`]) are verification
+//! data, not state: recovery re-evaluates every query from the
+//! restored store and counts (never trusts away) any mismatch.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use igern_core::processor::Algorithm;
+use igern_core::types::ObjectKind;
+use igern_geom::Aabb;
+use igern_proto::{algo_from_wire, algo_to_wire};
+
+use crate::crc::crc32;
+
+/// Snapshot header magic.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"IGSNAP01";
+
+/// One standing query in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubEntry {
+    /// Server-assigned subscription id.
+    pub sid: u32,
+    /// Anchor object id.
+    pub anchor: u32,
+    /// Query algorithm.
+    pub algo: Algorithm,
+    /// [`crate::answer_digest`] of the answer at snapshot time.
+    pub answer_digest: u64,
+}
+
+/// Everything a snapshot stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotData {
+    /// Logical tick at capture (always a tick boundary).
+    pub tick: u64,
+    /// Log records with `seq < covered_seq` are reflected here.
+    pub covered_seq: u64,
+    /// Subscription-id allocator watermark.
+    pub next_sid: u32,
+    /// Data space.
+    pub space: Aabb,
+    /// Grid cells per side.
+    pub grid: usize,
+    /// Live objects: `(id, kind, x, y)`.
+    pub objects: Vec<(u32, ObjectKind, f64, f64)>,
+    /// Standing queries.
+    pub subs: Vec<SubEntry>,
+}
+
+impl SnapshotData {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64 + self.objects.len() * 21 + self.subs.len() * 19);
+        b.extend_from_slice(&self.tick.to_le_bytes());
+        b.extend_from_slice(&self.covered_seq.to_le_bytes());
+        b.extend_from_slice(&self.next_sid.to_le_bytes());
+        for v in [
+            self.space.min.x,
+            self.space.min.y,
+            self.space.max.x,
+            self.space.max.y,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b.extend_from_slice(&(self.grid as u32).to_le_bytes());
+        b.extend_from_slice(&(self.objects.len() as u32).to_le_bytes());
+        for &(id, kind, x, y) in &self.objects {
+            b.extend_from_slice(&id.to_le_bytes());
+            b.push(match kind {
+                ObjectKind::A => 0,
+                ObjectKind::B => 1,
+            });
+            b.extend_from_slice(&x.to_le_bytes());
+            b.extend_from_slice(&y.to_le_bytes());
+        }
+        b.extend_from_slice(&(self.subs.len() as u32).to_le_bytes());
+        for s in &self.subs {
+            let (code, k) = algo_to_wire(s.algo);
+            b.extend_from_slice(&s.sid.to_le_bytes());
+            b.extend_from_slice(&s.anchor.to_le_bytes());
+            b.push(code);
+            b.extend_from_slice(&k.to_le_bytes());
+            b.extend_from_slice(&s.answer_digest.to_le_bytes());
+        }
+        b
+    }
+
+    fn decode_body(body: &[u8]) -> Option<SnapshotData> {
+        struct C<'a>(&'a [u8], usize);
+        impl C<'_> {
+            fn take(&mut self, n: usize) -> Option<&[u8]> {
+                if self.0.len() - self.1 < n {
+                    return None;
+                }
+                let s = &self.0[self.1..self.1 + n];
+                self.1 += n;
+                Some(s)
+            }
+            fn u8(&mut self) -> Option<u8> {
+                Some(self.take(1)?[0])
+            }
+            fn u16(&mut self) -> Option<u16> {
+                Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+            }
+            fn u32(&mut self) -> Option<u32> {
+                Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+            }
+            fn u64(&mut self) -> Option<u64> {
+                Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+            }
+            fn f64(&mut self) -> Option<f64> {
+                Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+            }
+        }
+        let mut c = C(body, 0);
+        let tick = c.u64()?;
+        let covered_seq = c.u64()?;
+        let next_sid = c.u32()?;
+        let (x0, y0, x1, y1) = (c.f64()?, c.f64()?, c.f64()?, c.f64()?);
+        if !(x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite())
+            || x1 < x0
+            || y1 < y0
+        {
+            return None;
+        }
+        let grid = c.u32()? as usize;
+        if grid == 0 {
+            return None;
+        }
+        let n_obj = c.u32()? as usize;
+        // Bound counts by the bytes actually present.
+        if body.len() - c.1 < n_obj * 21 {
+            return None;
+        }
+        let mut objects = Vec::with_capacity(n_obj);
+        for _ in 0..n_obj {
+            let id = c.u32()?;
+            let kind = match c.u8()? {
+                0 => ObjectKind::A,
+                1 => ObjectKind::B,
+                _ => return None,
+            };
+            objects.push((id, kind, c.f64()?, c.f64()?));
+        }
+        let n_sub = c.u32()? as usize;
+        if body.len() - c.1 < n_sub * 19 {
+            return None;
+        }
+        let mut subs = Vec::with_capacity(n_sub);
+        for _ in 0..n_sub {
+            let sid = c.u32()?;
+            let anchor = c.u32()?;
+            let algo = algo_from_wire(c.u8()?, c.u16()?).ok()?;
+            subs.push(SubEntry {
+                sid,
+                anchor,
+                algo,
+                answer_digest: c.u64()?,
+            });
+        }
+        if c.1 != body.len() {
+            return None; // trailing bytes: not a snapshot we wrote
+        }
+        Some(SnapshotData {
+            tick,
+            covered_seq,
+            next_sid,
+            space: Aabb::from_coords(x0, y0, x1, y1),
+            grid,
+            objects,
+            subs,
+        })
+    }
+}
+
+/// List snapshot files in `dir`, sorted ascending by `(covered_seq,
+/// tick)` parsed from the `snap-<seq hex>-<tick hex>.snap` name — the
+/// last entry is the newest candidate.
+pub fn snapshot_paths(dir: &Path) -> io::Result<Vec<(u64, u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".snap"))
+        else {
+            continue;
+        };
+        let Some((seq_hex, tick_hex)) = stem.split_once('-') else {
+            continue;
+        };
+        if let (Ok(seq), Ok(tick)) = (
+            u64::from_str_radix(seq_hex, 16),
+            u64::from_str_radix(tick_hex, 16),
+        ) {
+            out.push((seq, tick, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(seq, tick, _)| (seq, tick));
+    Ok(out)
+}
+
+/// Write a snapshot atomically (temp + rename + fsync) into `dir`.
+/// Returns the final path.
+pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let body = data.encode_body();
+    let mut bytes = Vec::with_capacity(16 + body.len());
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    bytes.extend_from_slice(&body);
+    let final_path = dir.join(format!(
+        "snap-{:016x}-{:016x}.snap",
+        data.covered_seq, data.tick
+    ));
+    let tmp_path = dir.join(format!(
+        "snap-{:016x}-{:016x}.tmp",
+        data.covered_seq, data.tick
+    ));
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // Make the rename durable too; failure to fsync the directory is
+    // not fatal to the running server.
+    let _ = File::open(dir).and_then(|d| d.sync_all());
+    Ok(final_path)
+}
+
+/// Load and validate one snapshot file. `None` means the file is
+/// unreadable, truncated, or fails its CRC — the caller falls back to
+/// an older snapshot.
+pub fn load_snapshot(path: &Path) -> Option<SnapshotData> {
+    let mut bytes = Vec::new();
+    File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+    if bytes.len() < 16 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    let body_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if bytes.len() - 16 != body_len {
+        return None;
+    }
+    let body = &bytes[16..];
+    if crc32(body) != crc {
+        return None;
+    }
+    SnapshotData::decode_body(body)
+}
+
+/// Find the newest *valid* snapshot in `dir`, trying candidates
+/// newest-first. Returns the winner (if any) and how many newer
+/// candidates were skipped as invalid.
+pub fn load_newest_snapshot(dir: &Path) -> io::Result<(Option<(PathBuf, SnapshotData)>, u64)> {
+    let mut skipped = 0;
+    for (_, _, path) in snapshot_paths(dir)?.into_iter().rev() {
+        match load_snapshot(&path) {
+            Some(data) => return Ok((Some((path, data)), skipped)),
+            None => skipped += 1,
+        }
+    }
+    Ok((None, skipped))
+}
+
+/// Delete snapshots older than the newest `keep` (by name order).
+pub fn prune_snapshots(dir: &Path, keep: usize) -> io::Result<u64> {
+    let paths = snapshot_paths(dir)?;
+    let mut removed = 0;
+    if paths.len() > keep {
+        for (_, _, path) in &paths[..paths.len() - keep] {
+            fs::remove_file(path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotData {
+        SnapshotData {
+            tick: 42,
+            covered_seq: 1000,
+            next_sid: 7,
+            space: Aabb::from_coords(0.0, 0.0, 100.0, 50.0),
+            grid: 16,
+            objects: vec![
+                (1, ObjectKind::A, 1.25, 2.5),
+                (9, ObjectKind::B, 99.0, 49.0),
+            ],
+            subs: vec![
+                SubEntry {
+                    sid: 1,
+                    anchor: 1,
+                    algo: Algorithm::IgernMono,
+                    answer_digest: 0xdead_beef,
+                },
+                SubEntry {
+                    sid: 3,
+                    anchor: 9,
+                    algo: Algorithm::Knn(4),
+                    answer_digest: 77,
+                },
+            ],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("igern-wal-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tmp_dir("rt");
+        let data = sample();
+        let path = write_snapshot(&dir, &data).unwrap();
+        assert_eq!(load_snapshot(&path), Some(data.clone()));
+        let (found, skipped) = load_newest_snapshot(&dir).unwrap();
+        assert_eq!(found.unwrap().1, data);
+        assert_eq!(skipped, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = tmp_dir("fallback");
+        let older = sample();
+        write_snapshot(&dir, &older).unwrap();
+        let mut newer = sample();
+        newer.covered_seq = 2000;
+        newer.tick = 84;
+        let newer_path = write_snapshot(&dir, &newer).unwrap();
+        // Flip a body byte: CRC must reject it.
+        let mut bytes = fs::read(&newer_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&newer_path, &bytes).unwrap();
+        let (found, skipped) = load_newest_snapshot(&dir).unwrap();
+        assert_eq!(found.unwrap().1, older);
+        assert_eq!(skipped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_garbage_rejected() {
+        let dir = tmp_dir("garbage");
+        let path = write_snapshot(&dir, &sample()).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for cut in [0, 4, 15, bytes.len() - 3] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(load_snapshot(&path).is_none(), "cut {cut} accepted");
+        }
+        fs::write(&path, b"not a snapshot at all").unwrap();
+        assert!(load_snapshot(&path).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = tmp_dir("prune");
+        for seq in [100u64, 200, 300] {
+            let mut d = sample();
+            d.covered_seq = seq;
+            write_snapshot(&dir, &d).unwrap();
+        }
+        assert_eq!(prune_snapshots(&dir, 2).unwrap(), 1);
+        let left = snapshot_paths(&dir).unwrap();
+        assert_eq!(
+            left.iter().map(|&(s, _, _)| s).collect::<Vec<_>>(),
+            vec![200, 300]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,308 @@
+//! Recovery under deliberate on-disk damage, driven through the public
+//! crate surface: a truncated tail record, a bit-flipped record
+//! mid-segment, destroyed or missing snapshots, and a seeded
+//! byte-mangling fuzz loop over whole durability directories (the same
+//! style the wire protocol's `proto_edges.rs` uses for streams).
+//!
+//! The contract under test is *counted, not panicking*: every kind of
+//! damage shows up in [`RecoveryReport`]'s counters, recovery always
+//! returns `Ok`, and — as long as the log itself is intact — the
+//! recovered digest does not depend on snapshots at all, because an
+//! uncompacted log replays to the same state from scratch.
+
+use std::path::{Path, PathBuf};
+
+use igern_core::processor::Algorithm;
+use igern_core::types::ObjectKind;
+use igern_engine::Placement;
+use igern_geom::Aabb;
+use igern_grid::ObjectId;
+use igern_mobgen::rng::Rng64;
+use igern_proto::Frame;
+use igern_wal::{
+    answer_digest, recover, segment_paths, snapshot_paths, write_snapshot, Recovered, SnapshotData,
+    SubEntry, WalOptions, WalWriter,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("igern-wal-corr-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn space() -> Aabb {
+    Aabb::from_coords(0.0, 0.0, 100.0, 100.0)
+}
+
+fn rec(dir: &Path) -> Recovered {
+    recover(dir, 1, Placement::RoundRobin, space(), 8).unwrap()
+}
+
+/// Write a realistic durability directory: 20 objects, two standing
+/// queries, `ticks` boundaries of churn. With `snapshots` true, a
+/// snapshot is taken after ticks 2 and 4 — *without* reclaiming any
+/// segment, so the full log survives alongside them.
+fn build_dir(tag: &str, ticks: u64, snapshots: bool) -> PathBuf {
+    let dir = tmp_dir(tag);
+    let mut w = WalWriter::open(&WalOptions::new(&dir)).unwrap();
+    let mut rng = Rng64::seed_from_u64(0xC0FFEE);
+    for id in 0..20u32 {
+        let kind = if id.is_multiple_of(4) {
+            ObjectKind::B
+        } else {
+            ObjectKind::A
+        };
+        w.append(&Frame::UpsertObject {
+            id,
+            kind,
+            x: rng.f64() * 100.0,
+            y: rng.f64() * 100.0,
+        })
+        .unwrap();
+    }
+    for (token, anchor, algo) in [
+        (1u32, 1u32, Algorithm::IgernMono),
+        (2, 2, Algorithm::Knn(3)),
+    ] {
+        w.append(&Frame::Subscribe {
+            token,
+            anchor,
+            algo,
+        })
+        .unwrap();
+    }
+    for t in 1..=ticks {
+        for _ in 0..8 {
+            let id = rng.gen_range(0..20) as u32;
+            if !id.is_multiple_of(4) {
+                w.append(&Frame::UpsertObject {
+                    id,
+                    kind: ObjectKind::A,
+                    x: rng.f64() * 100.0,
+                    y: rng.f64() * 100.0,
+                })
+                .unwrap();
+            }
+        }
+        w.tick_boundary(t, 0).unwrap();
+        if snapshots && (t == 2 || t == 4) {
+            // Snapshot the state a recovery of the current log reaches
+            // (exactly what the live tick thread records), but keep
+            // every segment so the log remains self-sufficient.
+            let covered_seq = w.next_seq();
+            let mid = rec(&dir);
+            let data = SnapshotData {
+                tick: mid.tick,
+                covered_seq,
+                next_sid: mid.next_sid,
+                space: space(),
+                grid: 8,
+                objects: mid
+                    .runner
+                    .store()
+                    .all()
+                    .iter()
+                    .map(|(id, p)| (id.0, mid.runner.store().kind(id), p.x, p.y))
+                    .collect(),
+                subs: mid
+                    .subs
+                    .iter()
+                    .map(|s| SubEntry {
+                        sid: s.sid,
+                        anchor: s.anchor.0,
+                        algo: s.algo,
+                        answer_digest: answer_digest(mid.runner.answer(s.qid)),
+                    })
+                    .collect(),
+            };
+            write_snapshot(&dir, &data).unwrap();
+        }
+    }
+    drop(w);
+    dir
+}
+
+#[test]
+fn truncated_tail_record_recovers_to_the_previous_boundary() {
+    let dir = build_dir("torn", 5, false);
+    let clean = rec(&dir);
+    assert!(clean.report.clean());
+    assert_eq!(clean.tick, 5);
+
+    // Chop into the final record (the tick-5 boundary, 25 bytes on
+    // disk): a torn write the crash left behind.
+    let (_, seg) = segment_paths(&dir).unwrap().pop().unwrap();
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let cut = bytes.len() - 5;
+    bytes.truncate(cut);
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let r = rec(&dir);
+    assert!(!r.report.clean());
+    assert_eq!(r.report.torn_tail_bytes, 20, "25-byte record minus 5");
+    assert_eq!(r.report.skipped_records, 0, "a tear is not a skip");
+    assert_eq!(r.tick, 4, "state lands on the last intact boundary");
+    assert_eq!(r.subs.len(), 2);
+    assert_eq!(r.runner.store().len(), 20);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flipped_record_mid_segment_is_skipped_and_counted() {
+    let dir = build_dir("flip", 5, false);
+    let clean = rec(&dir);
+    let total = clean.report.replayed_records;
+
+    // Flip one payload byte in an early record: the CRC disowns that
+    // record, framing stays intact, and everything after it replays.
+    let (_, seg) = segment_paths(&dir).unwrap().pop().unwrap();
+    let mut bytes = std::fs::read(&seg).unwrap();
+    // Header is 16 bytes; first record is an upsert (8 + 22 bytes).
+    // Target a payload byte of record 0 (offset 16 + 8 + 3).
+    bytes[16 + 8 + 3] ^= 0x10;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let r = rec(&dir);
+    assert!(!r.report.clean());
+    assert_eq!(r.report.skipped_records, 1);
+    assert_eq!(r.report.torn_tail_bytes, 0);
+    assert_eq!(
+        r.report.replayed_records,
+        total - 1,
+        "every record after the flipped one still replays"
+    );
+    assert_eq!(r.tick, clean.tick, "all boundaries survive");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn destroyed_snapshots_fall_back_without_changing_the_digest() {
+    let dir = build_dir("snapfall", 6, true);
+    let clean = rec(&dir);
+    assert!(clean.report.clean());
+    assert!(clean.report.snapshot.is_some(), "newest snapshot used");
+
+    let mut snaps = snapshot_paths(&dir).unwrap();
+    assert_eq!(snaps.len(), 2);
+    // Corrupt the newest snapshot: recovery must count it and fall
+    // back to the older one — and because no segment was reclaimed,
+    // the digest cannot change.
+    let (_, _, newest) = snaps.pop().unwrap();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&newest, &bytes).unwrap();
+    let r = rec(&dir);
+    assert_eq!(r.report.skipped_snapshots, 1);
+    assert_eq!(r.digest, clean.digest);
+    assert_eq!(r.tick, clean.tick);
+    assert_ne!(r.report.snapshot, clean.report.snapshot);
+
+    // Delete the newest snapshot outright: same story, silently — a
+    // missing file is not damage, just absence.
+    std::fs::remove_file(&newest).unwrap();
+    let r = rec(&dir);
+    assert_eq!(r.report.skipped_snapshots, 0);
+    assert_eq!(r.digest, clean.digest);
+
+    // Delete every snapshot: pure log replay, still the same state.
+    for (_, _, path) in snapshot_paths(&dir).unwrap() {
+        std::fs::remove_file(&path).unwrap();
+    }
+    let r = rec(&dir);
+    assert!(r.report.snapshot.is_none());
+    assert_eq!(r.digest, clean.digest);
+    assert_eq!(r.tick, clean.tick);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Seeded mangling fuzz (`proto_edges.rs` style): damage 1–4 random
+/// bytes — or truncate at a random point — of a random durability file,
+/// then recover. Recovery must always return `Ok`, never panic, and
+/// whenever it claims to be *clean* it must land on a valid
+/// crash-prefix state — some state a real crash could have left. (A
+/// truncation at an exact record boundary is indistinguishable from a
+/// crash right after that record, so "clean ⇒ exactly the full digest"
+/// would be too strong; "clean ⇒ some prefix digest" is exactly
+/// right.)
+#[test]
+fn fuzz_mangled_directories_always_recover_counted() {
+    let base = build_dir("fuzz-base", 5, true);
+    let clean = rec(&base);
+    let work = tmp_dir("fuzz-work");
+    let mut rng = Rng64::seed_from_u64(0x5EED);
+
+    let files: Vec<PathBuf> = std::fs::read_dir(&base)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert!(files.len() >= 3, "segments + two snapshots");
+
+    // Enumerate every valid crash-prefix digest by replaying the
+    // (single) segment truncated at each record boundary.
+    let segs = segment_paths(&base).unwrap();
+    assert_eq!(segs.len(), 1, "this little log stays in one segment");
+    let seg_name = segs[0].1.file_name().unwrap().to_owned();
+    let seg_bytes = std::fs::read(&segs[0].1).unwrap();
+    let prefix_dir = tmp_dir("fuzz-prefix");
+    let mut prefix_digests = std::collections::BTreeSet::new();
+    let mut pos = 16usize; // header
+    loop {
+        std::fs::write(prefix_dir.join(&seg_name), &seg_bytes[..pos]).unwrap();
+        let p = rec(&prefix_dir);
+        assert!(p.report.clean());
+        prefix_digests.insert(p.digest);
+        if pos >= seg_bytes.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(seg_bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 8 + len;
+    }
+    assert!(prefix_digests.contains(&clean.digest));
+
+    for round in 0..150 {
+        // Fresh copy of the directory.
+        for old in std::fs::read_dir(&work).unwrap() {
+            std::fs::remove_file(old.unwrap().path()).unwrap();
+        }
+        for f in &files {
+            std::fs::copy(f, work.join(f.file_name().unwrap())).unwrap();
+        }
+        // Mangle one file.
+        let victim = work.join(files[rng.gen_range(0..files.len())].file_name().unwrap());
+        let mut bytes = std::fs::read(&victim).unwrap();
+        if rng.gen_bool(0.25) {
+            bytes.truncate(rng.gen_range(0..bytes.len() + 1));
+        } else {
+            for _ in 0..rng.gen_range(1..5) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0..8);
+            }
+        }
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let r = recover(&work, 1, Placement::RoundRobin, space(), 8)
+            .unwrap_or_else(|e| panic!("round {round}: recovery errored on damage: {e}"));
+        if r.report.clean() {
+            assert!(
+                prefix_digests.contains(&r.digest),
+                "round {round}: clean recovery must be a valid crash-prefix state"
+            );
+        }
+        // Damaged or not, the recovered runner is live: it can take a
+        // query and evaluate without panicking.
+        let mut runner = r.runner;
+        if runner.store().position(ObjectId(1)).is_some() {
+            let q = runner.add_query(ObjectId(1), Algorithm::IgernMono).unwrap();
+            runner.evaluate_all();
+            let _ = runner.answer(q);
+        }
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+    std::fs::remove_dir_all(&work).unwrap();
+    std::fs::remove_dir_all(&prefix_dir).unwrap();
+}
