@@ -331,6 +331,117 @@ fn large_series(seed: u64, quick: bool) -> LargeResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// The `batch` series: clustered 10k queries, batched vs per-query.
+// ---------------------------------------------------------------------
+
+const B_SIDE: f64 = 1000.0;
+const B_CORNER: f64 = 100.0;
+const B_GRID_N: usize = 16;
+const B_QUERIES: usize = 10_000;
+const B_FILLER: usize = 190_000;
+const B_MOVERS: usize = 1_000;
+/// Query anchors take every 19th object id: a cluster cell's bucket then
+/// holds ids scattered across the whole 200k-entry position table, so
+/// the per-query path pays a cache miss per object per member where the
+/// batched path gathers each cell once per group.
+const B_STRIDE: usize = (B_QUERIES + B_FILLER) / B_QUERIES;
+
+struct BatchResult {
+    per_query_ms_per_tick: f64,
+    batched_ms_per_tick: f64,
+    speedup: f64,
+    ticks: usize,
+}
+
+/// The shared-scan showcase workload: 10k `IgernMono` anchors packed
+/// into one 100×100 corner of a 1000×1000 space (a few dozen grid cells,
+/// hundreds of same-class queries per anchor cell), uniform filler, 1k
+/// movers jittering inside the corner. Routing is off so every query
+/// re-runs its incremental step every tick; the run is repeated on the
+/// serial [`Processor`] with batching off and on, same pre-built stream.
+/// Batching is a pure execution-plan change, so the answers must be
+/// bit-identical — asserted via the same fingerprint as the sweep.
+fn batch_series(seed: u64, quick: bool) -> BatchResult {
+    let build = |batch: bool| {
+        let mut rng = Rng64::seed_from_u64(seed ^ 0xba7c_5eed);
+        let mut pts: Vec<Point> = (0..B_QUERIES + B_FILLER)
+            .map(|_| Point::new(rng.f64() * B_SIDE, rng.f64() * B_SIDE))
+            .collect();
+        for i in 0..B_QUERIES {
+            pts[i * B_STRIDE] = Point::new(rng.f64() * B_CORNER, rng.f64() * B_CORNER);
+        }
+        for _ in 0..B_MOVERS {
+            pts.push(Point::new(rng.f64() * B_CORNER, rng.f64() * B_CORNER));
+        }
+        let mut store = SpatialStore::new(
+            Aabb::from_coords(0.0, 0.0, B_SIDE, B_SIDE),
+            B_GRID_N,
+            vec![ObjectKind::A; pts.len()],
+        );
+        store.load(&pts);
+        let mut p = Processor::new(store);
+        p.set_skip_routing(false);
+        p.set_history_capacity(Some(4));
+        p.set_batch(batch);
+        for i in 0..B_QUERIES {
+            p.add_query(ObjectId((i * B_STRIDE) as u32), Algorithm::IgernMono);
+        }
+        p.evaluate_all();
+        p
+    };
+    let warmup = 1;
+    let ticks = if quick { 2 } else { 4 };
+    let mut srng = Rng64::seed_from_u64(seed ^ 0xba7c_c02e);
+    let first_mover = (B_QUERIES + B_FILLER) as u32;
+    let stream: Vec<Vec<(ObjectId, Point)>> = (0..warmup + ticks)
+        .map(|_| {
+            let mut ups = Vec::new();
+            for m in 0..B_MOVERS {
+                if srng.gen_bool(0.6) {
+                    ups.push((
+                        ObjectId(first_mover + m as u32),
+                        Point::new(srng.f64() * B_CORNER, srng.f64() * B_CORNER),
+                    ));
+                }
+            }
+            ups
+        })
+        .collect();
+
+    let run = |batch: bool| {
+        let mut p = build(batch);
+        for ups in &stream[..warmup] {
+            p.step(ups);
+        }
+        let t0 = Instant::now();
+        for ups in &stream[warmup..] {
+            p.step(ups);
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / ticks as f64;
+        let mut fp = 0xcbf2_9ce4_8422_2325u64;
+        for q in 0..B_QUERIES {
+            for o in p.answer(q) {
+                fp = (fp ^ o.0 as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            fp = (fp ^ p.monitored(q) as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        (ms, fp)
+    };
+    let (per_query_ms, fp_plain) = run(false);
+    let (batched_ms, fp_batched) = run(true);
+    assert_eq!(
+        fp_plain, fp_batched,
+        "batched answers diverged from the per-query path — the series is invalid"
+    );
+    BatchResult {
+        per_query_ms_per_tick: per_query_ms,
+        batched_ms_per_tick: batched_ms,
+        speedup: per_query_ms / batched_ms,
+        ticks,
+    }
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let ticks = if args.quick { 10 } else { args.ticks.min(60) };
@@ -418,6 +529,18 @@ fn main() {
         "steady-state routed ticks must not touch the allocator"
     );
 
+    // The batch series: shared-scan evaluation on the clustered workload.
+    let batch = batch_series(args.seed, args.quick);
+    println!(
+        "batch ({}k clustered queries, serial, routing off): per-query {:.2} ms/tick, \
+         batched {:.2} ms/tick ({:.2}x) over {} ticks",
+        B_QUERIES / 1000,
+        batch.per_query_ms_per_tick,
+        batch.batched_ms_per_tick,
+        batch.speedup,
+        batch.ticks,
+    );
+
     // Observability acceptance check: the same workload with the metrics
     // registry attached must stay within a few percent of the bare run.
     // Best-of-N per side damps scheduler noise; the heavy series is used
@@ -480,6 +603,10 @@ fn main() {
          \"warmup_ticks\": {}, \"routed_ticks\": {}, \
          \"routed_ms_per_tick\": {:.6}, \"routed_allocs\": {}, \
          \"heavy_ticks\": {}, \"heavy_ms_per_tick\": {:.6}}},\n  \
+         \"batch\": {{\"queries\": {B_QUERIES}, \"objects\": {}, \
+         \"grid_n\": {B_GRID_N}, \"engine\": \"serial\", \"routing\": false, \
+         \"ticks\": {}, \"per_query_ms_per_tick\": {:.6}, \
+         \"batched_ms_per_tick\": {:.6}, \"speedup\": {:.3}}},\n  \
          \"metrics_registry\": {}\n}}\n",
         N_QUERIES + N_FILLER + N_MOVERS,
         args.seed,
@@ -490,6 +617,11 @@ fn main() {
         large.routed_allocs,
         large.heavy_ticks,
         large.heavy_ms_per_tick,
+        B_QUERIES + B_FILLER + B_MOVERS,
+        batch.ticks,
+        batch.per_query_ms_per_tick,
+        batch.batched_ms_per_tick,
+        batch.speedup,
         registry_json.trim_end()
     );
     let path = "BENCH_engine.json";

@@ -269,6 +269,11 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "off" => proc.set_skip_routing(false),
         other => return Err(CliError(format!("bad value for --routing: {other:?}"))),
     }
+    match args.get("batch").unwrap_or("on") {
+        "on" => proc.set_batch(true),
+        "off" => proc.set_batch(false),
+        other => return Err(CliError(format!("bad value for --batch: {other:?}"))),
+    }
     let metrics_out = args.get("metrics-out").map(str::to_string);
     let metrics_every: usize = args.num("metrics-every", 0)?;
     if metrics_every > 0 && metrics_out.is_none() {
@@ -371,11 +376,17 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             (SpatialStore::new(space, grid, Vec::new()), space)
         }
     };
+    let batch = match args.get("batch").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(CliError(format!("bad value for --batch: {other:?}"))),
+    };
     let cfg = ServerConfig {
         space,
         grid,
         workers,
         placement: placement_arg(args)?,
+        batch,
         tick_mode: if tick_ms == 0 {
             TickMode::Manual
         } else {
@@ -701,6 +712,7 @@ pub fn sim_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                 faults: bool_arg(args, "faults", true)?,
                 server: bool_arg(args, "server", true)?,
                 durable: bool_arg(args, "durable", false)?,
+                batch: bool_arg(args, "batch", false)?,
                 ..igern_sim::SimConfig::default()
             };
             if cfg.durable && !(cfg.server && cfg.faults) {
@@ -1028,26 +1040,32 @@ COMMANDS:
   gen-trace    --objects N --ticks N --seed N [--bi true] [--out FILE]
   run          --trace FILE [--algo igern|crnn|tpl|igern-bi|voronoi|igern-k|igern-bi-k|knn]
                [--queries N] [--ticks N] [--grid N] [--k N] [--routing on|off]
-               [--workers N] [--placement round-robin|anchor-cell] [--history N]
+               [--batch on|off] [--workers N]
+               [--placement round-robin|anchor-cell] [--history N]
                [--metrics-out FILE] [--metrics-every N]
   serve        [--addr HOST:PORT] [--workers N] [--tick-ms N] [--grid N]
                [--space SIDE] [--trace FILE] [--slow-consumer disconnect|coalesce]
-               [--queue N] [--placement round-robin|anchor-cell] [--metrics-out FILE]
+               [--queue N] [--placement round-robin|anchor-cell] [--batch on|off]
+               [--metrics-out FILE]
                [--wal-dir DIR] [--snapshot-every N] [--fsync always|tick|never]
                [--segment-bytes N]
   render       --trace FILE [--query N] [--ticks N] [--grid N]
   stats        --metrics FILE
   sim          [--seed N] [--ticks N] [--objects N] [--grid N] [--queries N]
                [--workers N] [--faults true|false] [--server true|false]
-               [--durable true|false] [--shrink BUDGET] [--replay-out FILE]
-               | --replay FILE
+               [--durable true|false] [--batch true|false] [--shrink BUDGET]
+               [--replay-out FILE] | --replay FILE
   wal inspect  --dir DIR
   wal drive    --addr HOST:PORT [--objects N] [--subs N] [--ticks N] [--seed N]
                [--space SIDE] [--grid N] [--hold-ms N]
 
 `run --workers N` (default 1 = serial) evaluates queries on N sharded
-worker threads; answers are identical to the serial run. `--history N`
-caps per-query sample retention (summaries still cover every tick).
+worker threads; answers are identical to the serial run. `--batch on`
+(the default for run and serve) groups same-cell, same-algorithm
+queries into one shared grid scan per tick — answers, counters, and
+skip decisions stay bit-identical; `--batch off` evaluates per query.
+`--history N` caps per-query sample retention (summaries still cover
+every tick).
 `run --metrics-out FILE` records pipeline metrics and dumps them to FILE
 (Prometheus text, or JSON when FILE ends in .json) at the end of the run
 and — with `--metrics-every N` — every N ticks along the way. `stats`

@@ -15,7 +15,9 @@
 //! moves, or when a new A-object enters it.
 
 use igern_geom::Point;
-use igern_grid::{nearest, nearest_in_cells_with, CellSet, Grid, ObjectId, OpCounters};
+use igern_grid::{
+    nearest_feed, nearest_in_cells_with_feed, CellFeed, CellSet, Grid, ObjectId, OpCounters,
+};
 
 use crate::prune::{
     clean_dominated_with, kill_cells_beyond_bisector, recompute_alive_into, PruneGranularity,
@@ -95,6 +97,37 @@ impl BiIgern {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) -> Self {
+        Self::initial_in_feed(
+            grid_a,
+            grid_b,
+            None,
+            None,
+            q,
+            q_id,
+            granularity,
+            ops,
+            scratch,
+        )
+    }
+
+    /// [`BiIgern::initial_in`] reading primed A-/B-grid cells from
+    /// `feed_a`/`feed_b` (the batch evaluator's shared-scan caches);
+    /// bit-identical to the `None`-feed form.
+    ///
+    /// # Panics
+    /// Panics when the two grids do not share cell geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn initial_in_feed(
+        grid_a: &Grid,
+        grid_b: &Grid,
+        feed_a: Option<&CellFeed>,
+        feed_b: Option<&CellFeed>,
+        q: Point,
+        q_id: Option<ObjectId>,
+        granularity: PruneGranularity,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) -> Self {
         assert_eq!(
             grid_a.num_cells(),
             grid_b.num_cells(),
@@ -110,9 +143,16 @@ impl BiIgern {
             granularity,
         };
         // Phase I: bounded region from A-object bisectors.
-        state.tighten(grid_a, grid_b, ops, SearchClass::Constrained, scratch);
+        state.tighten(
+            grid_a,
+            grid_b,
+            feed_a,
+            ops,
+            SearchClass::Constrained,
+            scratch,
+        );
         // Phase II: verification (also refines the region and NN_A).
-        state.verify(grid_a, grid_b, ops, scratch);
+        state.verify(grid_a, grid_b, feed_a, feed_b, ops, scratch);
         state
     }
 
@@ -128,6 +168,22 @@ impl BiIgern {
         &mut self,
         grid_a: &Grid,
         grid_b: &Grid,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.incremental_in_feed(grid_a, grid_b, None, None, q, ops, scratch);
+    }
+
+    /// [`BiIgern::incremental_in`] reading primed cells from
+    /// `feed_a`/`feed_b`; see [`BiIgern::initial_in_feed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn incremental_in_feed(
+        &mut self,
+        grid_a: &Grid,
+        grid_b: &Grid,
+        feed_a: Option<&CellFeed>,
+        feed_b: Option<&CellFeed>,
         q: Point,
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
@@ -159,7 +215,7 @@ impl BiIgern {
         }
         // Lines 6–9: tighten on new A-objects in the alive cells, then
         // clean the monitored set.
-        self.tighten(grid_a, grid_b, ops, SearchClass::Bounded, scratch);
+        self.tighten(grid_a, grid_b, feed_a, ops, SearchClass::Bounded, scratch);
         // Cleaning runs unconditionally: movement alone can make one
         // monitored A-object dominate another (see the monochromatic
         // monitor for the pie-lemma bound this restores).
@@ -169,7 +225,7 @@ impl BiIgern {
             self.stale = true;
         }
         // Line 10: verify as in Phase II of Algorithm 3.
-        self.verify(grid_a, grid_b, ops, scratch);
+        self.verify(grid_a, grid_b, feed_a, feed_b, ops, scratch);
     }
 
     /// Phase-I loop (Algorithm 3 lines 3–6): pull A-objects out of the
@@ -180,6 +236,7 @@ impl BiIgern {
         &mut self,
         grid_a: &Grid,
         grid_b: &Grid,
+        feed_a: Option<&CellFeed>,
         ops: &mut OpCounters,
         class: SearchClass,
         scratch: &mut EvalScratch,
@@ -196,10 +253,11 @@ impl BiIgern {
             let next = if nn_a.is_empty() {
                 // All cells alive: run the degenerate constrained search
                 // as a plain ring search over the A-grid.
-                nearest(grid_a, self.q, q_id, ops)
+                nearest_feed(grid_a, feed_a, self.q, q_id, ops)
             } else {
-                nearest_in_cells_with(
+                nearest_in_cells_with_feed(
                     grid_a,
+                    feed_a,
                     self.q,
                     &self.alive,
                     |id, pos| {
@@ -239,6 +297,8 @@ impl BiIgern {
         &mut self,
         grid_a: &Grid,
         grid_b: &Grid,
+        feed_a: Option<&CellFeed>,
+        feed_b: Option<&CellFeed>,
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) {
@@ -248,6 +308,18 @@ impl BiIgern {
         let bs = &mut scratch.pairs;
         bs.clear();
         for c in self.alive.iter() {
+            if let Some(entries) = feed_b.and_then(|f| f.get(c)) {
+                // Feed-primed cell: replay the cached bucket — same order,
+                // same desync counting as the direct scan below.
+                for e in entries {
+                    if e.live {
+                        bs.push((e.id, e.pos));
+                    } else {
+                        ops.desyncs += 1;
+                    }
+                }
+                continue;
+            }
             for &id in grid_b.objects_in(c) {
                 match grid_b.position(id) {
                     Some(pos) => bs.push((id, pos)),
@@ -280,7 +352,7 @@ impl BiIgern {
                 }
             }
             ops.verifications += 1;
-            let nearest_a = nearest(grid_a, pos, self.q_id, ops);
+            let nearest_a = nearest_feed(grid_a, feed_a, pos, self.q_id, ops);
             let d_q = pos.dist_sq(self.q);
             match nearest_a {
                 // No other A-object at all: q is trivially nearest.

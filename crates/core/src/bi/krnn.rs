@@ -12,7 +12,8 @@
 
 use igern_geom::Point;
 use igern_grid::{
-    count_closer_than, nearest, nearest_in_cells_with, CellSet, Grid, ObjectId, OpCounters,
+    count_closer_than_feed, nearest_feed, nearest_in_cells_with_feed, CellFeed, CellSet, Grid,
+    ObjectId, OpCounters,
 };
 
 use crate::prune::{clean_dominated_k_with, recompute_alive_k_into};
@@ -59,6 +60,27 @@ impl BiIgernK {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) -> Self {
+        Self::initial_in_feed(grid_a, grid_b, None, None, q, q_id, k, ops, scratch)
+    }
+
+    /// [`BiIgernK::initial_in`] reading primed A-/B-grid cells from
+    /// `feed_a`/`feed_b` (the batch evaluator's shared-scan caches);
+    /// bit-identical to the `None`-feed form.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or the grids disagree on cell geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn initial_in_feed(
+        grid_a: &Grid,
+        grid_b: &Grid,
+        feed_a: Option<&CellFeed>,
+        feed_b: Option<&CellFeed>,
+        q: Point,
+        q_id: Option<ObjectId>,
+        k: usize,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) -> Self {
         assert!(k >= 1, "k must be positive");
         assert_eq!(
             grid_a.num_cells(),
@@ -74,8 +96,8 @@ impl BiIgernK {
             rnn_b: Vec::new(),
             stale: false,
         };
-        state.tighten(grid_a, grid_b, ops, true, scratch);
-        state.verify(grid_a, grid_b, ops);
+        state.tighten(grid_a, grid_b, feed_a, ops, true, scratch);
+        state.verify(grid_a, grid_b, feed_a, feed_b, ops);
         state
     }
 
@@ -90,6 +112,22 @@ impl BiIgernK {
         &mut self,
         grid_a: &Grid,
         grid_b: &Grid,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.incremental_in_feed(grid_a, grid_b, None, None, q, ops, scratch);
+    }
+
+    /// [`BiIgernK::incremental_in`] reading primed cells from
+    /// `feed_a`/`feed_b`; see [`BiIgernK::initial_in_feed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn incremental_in_feed(
+        &mut self,
+        grid_a: &Grid,
+        grid_b: &Grid,
+        feed_a: Option<&CellFeed>,
+        feed_b: Option<&CellFeed>,
         q: Point,
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
@@ -125,13 +163,13 @@ impl BiIgernK {
             );
             self.stale = false;
         }
-        self.tighten(grid_a, grid_b, ops, false, scratch);
+        self.tighten(grid_a, grid_b, feed_a, ops, false, scratch);
         let grown = self.nn_a.len();
         clean_dominated_k_with(&mut self.nn_a, q, self.k, &mut scratch.prune);
         if self.nn_a.len() < grown {
             self.stale = true;
         }
-        self.verify(grid_a, grid_b, ops);
+        self.verify(grid_a, grid_b, feed_a, feed_b, ops);
     }
 
     /// Phase-I loop at order `k` over the A-grid.
@@ -139,6 +177,7 @@ impl BiIgernK {
         &mut self,
         grid_a: &Grid,
         grid_b: &Grid,
+        feed_a: Option<&CellFeed>,
         ops: &mut OpCounters,
         initial: bool,
         scratch: &mut EvalScratch,
@@ -154,10 +193,11 @@ impl BiIgernK {
             let k = self.k;
             let nn_a = &self.nn_a;
             let next = if nn_a.is_empty() {
-                nearest(grid_a, self.q, q_id, ops)
+                nearest_feed(grid_a, feed_a, self.q, q_id, ops)
             } else {
-                nearest_in_cells_with(
+                nearest_in_cells_with_feed(
                     grid_a,
+                    feed_a,
                     self.q,
                     &self.alive,
                     |id, pos| {
@@ -194,10 +234,29 @@ impl BiIgernK {
     /// Phase-II verification at order `k`: for every B-object in the
     /// alive cells, count A-objects strictly closer than the query (cap
     /// `k`); fewer than `k` means it is an answer.
-    fn verify(&mut self, grid_a: &Grid, grid_b: &Grid, ops: &mut OpCounters) {
+    fn verify(
+        &mut self,
+        grid_a: &Grid,
+        grid_b: &Grid,
+        feed_a: Option<&CellFeed>,
+        feed_b: Option<&CellFeed>,
+        ops: &mut OpCounters,
+    ) {
         let mut rnn_b = std::mem::take(&mut self.rnn_b);
         rnn_b.clear();
         for c in self.alive.iter() {
+            if let Some(entries) = feed_b.and_then(|f| f.get(c)) {
+                // Feed-primed cell: replay the cached bucket — same order,
+                // same desync counting as the direct scan below.
+                for e in entries {
+                    if !e.live {
+                        ops.desyncs += 1;
+                        continue;
+                    }
+                    self.verify_one(grid_a, feed_a, e.id, e.pos, ops, &mut rnn_b);
+                }
+                continue;
+            }
             for &ob in grid_b.objects_in(c) {
                 let Some(pos) = grid_b.position(ob) else {
                     // Bucket/position desync: treat the B-object as
@@ -205,33 +264,47 @@ impl BiIgernK {
                     ops.desyncs += 1;
                     continue;
                 };
-                let d_q = pos.dist_sq(self.q);
-                // Object-level prefilter mirroring the order-1 monitor:
-                // ≥ k monitored A-objects strictly closer settles it.
-                let monitored_blockers = self
-                    .nn_a
-                    .iter()
-                    .filter(|&&(ap, _)| pos.dist_sq(ap) < d_q)
-                    .count();
-                if monitored_blockers >= self.k {
-                    continue;
-                }
-                ops.verifications += 1;
-                let single;
-                let exclude: &[ObjectId] = match self.q_id {
-                    Some(qid) => {
-                        single = [qid];
-                        &single
-                    }
-                    None => &[],
-                };
-                if count_closer_than(grid_a, pos, d_q, self.k, exclude, ops) < self.k {
-                    rnn_b.push(ob);
-                }
+                self.verify_one(grid_a, feed_a, ob, pos, ops, &mut rnn_b);
             }
         }
         rnn_b.sort_unstable();
         self.rnn_b = rnn_b;
+    }
+
+    /// Verify one alive B-object: fewer than `k` A-objects strictly
+    /// closer than the query means it is an answer.
+    fn verify_one(
+        &self,
+        grid_a: &Grid,
+        feed_a: Option<&CellFeed>,
+        ob: ObjectId,
+        pos: Point,
+        ops: &mut OpCounters,
+        rnn_b: &mut Vec<ObjectId>,
+    ) {
+        let d_q = pos.dist_sq(self.q);
+        // Object-level prefilter mirroring the order-1 monitor:
+        // ≥ k monitored A-objects strictly closer settles it.
+        let monitored_blockers = self
+            .nn_a
+            .iter()
+            .filter(|&&(ap, _)| pos.dist_sq(ap) < d_q)
+            .count();
+        if monitored_blockers >= self.k {
+            return;
+        }
+        ops.verifications += 1;
+        let single;
+        let exclude: &[ObjectId] = match self.q_id {
+            Some(qid) => {
+                single = [qid];
+                &single
+            }
+            None => &[],
+        };
+        if count_closer_than_feed(grid_a, feed_a, pos, d_q, self.k, exclude, ops) < self.k {
+            rnn_b.push(ob);
+        }
     }
 
     /// The current verified answer (B-object ids), sorted.

@@ -8,8 +8,10 @@
 
 use std::time::Instant;
 
+use igern_geom::Point;
 use igern_grid::{ObjectId, OpCounters};
 
+use crate::batch::Feeds;
 use crate::metrics::TickSample;
 use crate::monitor::ContinuousMonitor;
 use crate::scratch::EvalScratch;
@@ -97,10 +99,31 @@ pub fn evaluate_query(
     route: bool,
     scratch: &mut EvalScratch,
 ) -> TickSample {
+    match presample(store, slot, tick, route) {
+        Presample::Done(sample) => sample,
+        Presample::Evaluate(pos) => evaluate_at(store, slot, pos, tick, scratch, Feeds::default()),
+    }
+}
+
+/// Outcome of the pre-evaluation checks (desync and skip routing): either
+/// the tick's sample is already decided, or the monitor must run against
+/// the query's resolved position.
+pub enum Presample {
+    /// The sample is final — the anchor desynced or the skip check passed.
+    Done(TickSample),
+    /// The monitor must evaluate at this (resolved) query position.
+    Evaluate(Point),
+}
+
+/// The desync/skip prefix of [`evaluate_query`], split out so the batch
+/// evaluator can group the queries that actually need evaluation by their
+/// anchor cell first. Calling [`presample`] then [`evaluate_at`] on
+/// `Evaluate` is exactly [`evaluate_query`].
+pub fn presample(store: &SpatialStore, slot: &QuerySlot, tick: u64, route: bool) -> Presample {
     let Some(pos) = store.position(slot.obj) else {
         let mut ops = OpCounters::new();
         ops.desyncs = 1;
-        return TickSample {
+        return Presample::Done(TickSample {
             tick,
             ops,
             monitored: slot.monitored,
@@ -108,25 +131,43 @@ pub fn evaluate_query(
             region_area: slot.region_area,
             skipped: true,
             ..TickSample::default()
-        };
+        });
     };
     if route && can_skip(store, slot, pos) {
         // Zero-cost sample: the previous answer is reused verbatim.
-        return TickSample {
+        return Presample::Done(TickSample {
             tick,
             monitored: slot.monitored,
             answer_size: slot.answer.len(),
             region_area: slot.region_area,
             skipped: true,
             ..TickSample::default()
-        };
+        });
     }
+    Presample::Evaluate(pos)
+}
+
+/// The evaluation suffix of [`evaluate_query`]: run the monitor at `pos`
+/// and refresh the slot's derived results. `feeds` carries the batch
+/// evaluator's shared-scan caches; `Feeds::default()` (no feeds) gives the
+/// plain per-query path, and any feed state yields bit-identical answers
+/// and counters (unprimed cells fall back to direct grid reads).
+pub fn evaluate_at(
+    store: &SpatialStore,
+    slot: &mut QuerySlot,
+    pos: Point,
+    tick: u64,
+    scratch: &mut EvalScratch,
+    feeds: Feeds<'_>,
+) -> TickSample {
     let mut ops = OpCounters::new();
     let start = Instant::now();
     if slot.initialized {
-        slot.monitor.incremental(store, pos, &mut ops, scratch);
+        slot.monitor
+            .incremental_feed(store, pos, feeds, &mut ops, scratch);
     } else {
-        slot.monitor.initial(store, pos, &mut ops, scratch);
+        slot.monitor
+            .initial_feed(store, pos, feeds, &mut ops, scratch);
         slot.initialized = true;
     }
     let elapsed = start.elapsed();

@@ -33,6 +33,10 @@
 //! * [`eval`] — the per-query evaluation step ([`eval::evaluate_query`])
 //!   shared by the serial processor and the sharded `igern-engine`
 //!   worker pool, so every execution engine produces identical answers.
+//! * [`batch`] — the anchor-cell shared-scan batch evaluator
+//!   ([`batch::BatchEvaluator`]): same-class queries anchored in the same
+//!   cell share one ring-ordered priming pass, bit-identical to the
+//!   per-query path.
 //! * [`history`] — the bounded per-query sample log (ring buffer plus an
 //!   exact running aggregate).
 //! * [`costmodel`] — the analytical cost model of Section 6.
@@ -73,6 +77,7 @@
 //! ```
 
 pub mod baselines;
+pub mod batch;
 pub mod bi;
 pub mod costmodel;
 pub mod eval;
@@ -92,8 +97,9 @@ pub mod scratch;
 pub mod store;
 pub mod types;
 
+pub use batch::{BatchClass, BatchEvaluator, Feeds, SlotLane};
 pub use bi::{BiIgern, BiIgernK};
-pub use eval::{can_skip, evaluate_query, QuerySlot};
+pub use eval::{can_skip, evaluate_at, evaluate_query, presample, Presample, QuerySlot};
 pub use history::History;
 pub use hooks::{SharedSimHooks, SimHooks};
 pub use knn_monitor::KnnMonitor;

@@ -43,6 +43,7 @@ use igern_geom::{Point, SECTOR_COUNT};
 use igern_grid::{CellSet, Grid, ObjectId, OpCounters};
 
 use crate::baselines::{tpl_snapshot_with, voronoi_snapshot, Crnn, TplAnswer};
+use crate::batch::{BatchClass, Feeds};
 use crate::bi::{BiIgern, BiIgernK};
 use crate::knn_monitor::KnnMonitor;
 use crate::mono::{MonoIgern, MonoIgernK};
@@ -80,6 +81,43 @@ pub trait ContinuousMonitor: Send + Sync {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     );
+
+    /// The batch-evaluation grouping class, when this monitor can share an
+    /// expanding-ring scan with same-class queries anchored in the same
+    /// cell. `None` (the default) keeps the monitor on the per-query path.
+    fn batch_class(&self) -> Option<BatchClass> {
+        None
+    }
+
+    /// [`ContinuousMonitor::initial`] with the batch evaluator's
+    /// shared-scan feeds. The default ignores the feeds; monitors that
+    /// return a [`ContinuousMonitor::batch_class`] override this (and must
+    /// stay bit-identical to the feedless form for any feed state).
+    fn initial_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        let _ = feeds;
+        self.initial(store, q, ops, scratch);
+    }
+
+    /// [`ContinuousMonitor::incremental`] with the batch evaluator's
+    /// shared-scan feeds; see [`ContinuousMonitor::initial_feed`].
+    fn incremental_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        let _ = feeds;
+        self.incremental(store, q, ops, scratch);
+    }
 
     /// Write the current answer into `out` (cleared first), sorted by id.
     fn answer_into(&self, out: &mut Vec<ObjectId>);
@@ -176,15 +214,7 @@ impl ContinuousMonitor for MonoIgernMonitor {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) {
-        self.inner = Some(MonoIgern::initial_in(
-            store.all(),
-            q,
-            self.q_id,
-            PruneGranularity::default(),
-            ops,
-            scratch,
-        ));
-        self.rebuild_watch(store, q);
+        self.initial_feed(store, q, Feeds::default(), ops, scratch);
     }
 
     fn incremental(
@@ -194,10 +224,45 @@ impl ContinuousMonitor for MonoIgernMonitor {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) {
+        self.incremental_feed(store, q, Feeds::default(), ops, scratch);
+    }
+
+    fn batch_class(&self) -> Option<BatchClass> {
+        Some(BatchClass::MonoRnn)
+    }
+
+    fn initial_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.inner = Some(MonoIgern::initial_in_feed(
+            store.all(),
+            feeds.all,
+            q,
+            self.q_id,
+            PruneGranularity::default(),
+            ops,
+            scratch,
+        ));
+        self.rebuild_watch(store, q);
+    }
+
+    fn incremental_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
-            .incremental_in(store.all(), q, ops, scratch);
+            .incremental_in_feed(store.all(), feeds.all, q, ops, scratch);
         self.rebuild_watch(store, q);
     }
 
@@ -262,15 +327,7 @@ impl ContinuousMonitor for MonoIgernKMonitor {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) {
-        self.inner = Some(MonoIgernK::initial_in(
-            store.all(),
-            q,
-            self.q_id,
-            self.k,
-            ops,
-            scratch,
-        ));
-        self.rebuild_watch(store, q);
+        self.initial_feed(store, q, Feeds::default(), ops, scratch);
     }
 
     fn incremental(
@@ -280,10 +337,45 @@ impl ContinuousMonitor for MonoIgernKMonitor {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) {
+        self.incremental_feed(store, q, Feeds::default(), ops, scratch);
+    }
+
+    fn batch_class(&self) -> Option<BatchClass> {
+        Some(BatchClass::MonoRknn(self.k))
+    }
+
+    fn initial_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.inner = Some(MonoIgernK::initial_in_feed(
+            store.all(),
+            feeds.all,
+            q,
+            self.q_id,
+            self.k,
+            ops,
+            scratch,
+        ));
+        self.rebuild_watch(store, q);
+    }
+
+    fn incremental_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
-            .incremental_in(store.all(), q, ops, scratch);
+            .incremental_in_feed(store.all(), feeds.all, q, ops, scratch);
         self.rebuild_watch(store, q);
     }
 
@@ -369,16 +461,7 @@ impl ContinuousMonitor for BiIgernMonitor {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) {
-        self.inner = Some(BiIgern::initial_in(
-            store.grid_a(),
-            store.grid_b(),
-            q,
-            self.q_id,
-            PruneGranularity::default(),
-            ops,
-            scratch,
-        ));
-        self.rebuild_watch(store, q);
+        self.initial_feed(store, q, Feeds::default(), ops, scratch);
     }
 
     fn incremental(
@@ -388,10 +471,55 @@ impl ContinuousMonitor for BiIgernMonitor {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) {
+        self.incremental_feed(store, q, Feeds::default(), ops, scratch);
+    }
+
+    fn batch_class(&self) -> Option<BatchClass> {
+        Some(BatchClass::BiRnn)
+    }
+
+    fn initial_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.inner = Some(BiIgern::initial_in_feed(
+            store.grid_a(),
+            store.grid_b(),
+            feeds.a,
+            feeds.b,
+            q,
+            self.q_id,
+            PruneGranularity::default(),
+            ops,
+            scratch,
+        ));
+        self.rebuild_watch(store, q);
+    }
+
+    fn incremental_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
-            .incremental_in(store.grid_a(), store.grid_b(), q, ops, scratch);
+            .incremental_in_feed(
+                store.grid_a(),
+                store.grid_b(),
+                feeds.a,
+                feeds.b,
+                q,
+                ops,
+                scratch,
+            );
         self.rebuild_watch(store, q);
     }
 
@@ -458,16 +586,7 @@ impl ContinuousMonitor for BiIgernKMonitor {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) {
-        self.inner = Some(BiIgernK::initial_in(
-            store.grid_a(),
-            store.grid_b(),
-            q,
-            self.q_id,
-            self.k,
-            ops,
-            scratch,
-        ));
-        self.rebuild_watch(store, q);
+        self.initial_feed(store, q, Feeds::default(), ops, scratch);
     }
 
     fn incremental(
@@ -477,10 +596,55 @@ impl ContinuousMonitor for BiIgernKMonitor {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) {
+        self.incremental_feed(store, q, Feeds::default(), ops, scratch);
+    }
+
+    fn batch_class(&self) -> Option<BatchClass> {
+        Some(BatchClass::BiRknn(self.k))
+    }
+
+    fn initial_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.inner = Some(BiIgernK::initial_in_feed(
+            store.grid_a(),
+            store.grid_b(),
+            feeds.a,
+            feeds.b,
+            q,
+            self.q_id,
+            self.k,
+            ops,
+            scratch,
+        ));
+        self.rebuild_watch(store, q);
+    }
+
+    fn incremental_feed(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        feeds: Feeds<'_>,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
         self.inner
             .as_mut()
             .expect("initial must run first")
-            .incremental_in(store.grid_a(), store.grid_b(), q, ops, scratch);
+            .incremental_in_feed(
+                store.grid_a(),
+                store.grid_b(),
+                feeds.a,
+                feeds.b,
+                q,
+                ops,
+                scratch,
+            );
         self.rebuild_watch(store, q);
     }
 

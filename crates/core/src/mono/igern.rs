@@ -14,7 +14,10 @@
 //! need watching.
 
 use igern_geom::Point;
-use igern_grid::{nearest, nearest_in_cells_with, CellSet, Grid, ObjectId, OpCounters};
+use igern_grid::{
+    exists_closer_than_feed, nearest_feed, nearest_undominated_in_cells_feed, CellFeed, CellSet,
+    Grid, ObjectId, OpCounters,
+};
 
 use crate::prune::{clean_dominated_with, recompute_alive_into, PruneGranularity};
 use crate::scratch::EvalScratch;
@@ -76,6 +79,21 @@ impl MonoIgern {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) -> Self {
+        Self::initial_in_feed(grid, None, q, q_id, granularity, ops, scratch)
+    }
+
+    /// [`MonoIgern::initial_in`] reading primed cells from `feed` (the
+    /// batch evaluator's shared-scan cache). `None`-feed calls and
+    /// feed-backed calls produce bit-identical answers and counters.
+    pub fn initial_in_feed(
+        grid: &Grid,
+        feed: Option<&CellFeed>,
+        q: Point,
+        q_id: Option<ObjectId>,
+        granularity: PruneGranularity,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) -> Self {
         let mut state = MonoIgern {
             q_id,
             q,
@@ -89,9 +107,9 @@ impl MonoIgern {
             granularity,
         };
         // Phase I: bounded region.
-        state.tighten(grid, ops, SearchClass::Constrained, scratch);
+        state.tighten(grid, feed, ops, SearchClass::Constrained, scratch);
         // Phase II: verification.
-        state.verify(grid, ops);
+        state.verify(grid, feed, ops);
         state
     }
 
@@ -106,6 +124,19 @@ impl MonoIgern {
     pub fn incremental_in(
         &mut self,
         grid: &Grid,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.incremental_in_feed(grid, None, q, ops, scratch);
+    }
+
+    /// [`MonoIgern::incremental_in`] reading primed cells from `feed`;
+    /// see [`MonoIgern::initial_in_feed`].
+    pub fn incremental_in_feed(
+        &mut self,
+        grid: &Grid,
+        feed: Option<&CellFeed>,
         q: Point,
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
@@ -141,7 +172,7 @@ impl MonoIgern {
         // region and clean the candidate list. The tighten loop doubles as
         // the existence check — it is a single bounded search when the
         // region is quiet.
-        self.tighten(grid, ops, SearchClass::Bounded, scratch);
+        self.tighten(grid, feed, ops, SearchClass::Bounded, scratch);
         // Cleaning runs unconditionally: movement alone can make one
         // candidate dominate another, and with exact-granularity greedy
         // insertion the cleaned set is guaranteed ≤ 6 (at most one
@@ -153,7 +184,7 @@ impl MonoIgern {
             self.stale = true;
         }
         // Lines 10: verification.
-        self.verify(grid, ops);
+        self.verify(grid, feed, ops);
     }
 
     /// Phase-I loop (Algorithm 1 lines 3–6): repeatedly take the nearest
@@ -163,6 +194,7 @@ impl MonoIgern {
     fn tighten(
         &mut self,
         grid: &Grid,
+        feed: Option<&CellFeed>,
         ops: &mut OpCounters,
         class: SearchClass,
         scratch: &mut EvalScratch,
@@ -173,36 +205,41 @@ impl MonoIgern {
                 SearchClass::Bounded => ops.nn_b += 1,
             }
             let q_id = self.q_id;
-            let q = self.q;
             let cand = &self.cand;
-            let granularity = self.granularity;
             let next = if cand.is_empty() {
                 // No bisector drawn yet: every cell is alive, so the
                 // constrained search degenerates to an unconstrained one —
                 // run it as a ring search instead of sorting the whole
                 // cell set.
-                nearest(grid, self.q, q_id, ops)
+                nearest_feed(grid, feed, self.q, q_id, ops)
             } else {
-                nearest_in_cells_with(
+                // The probe excludes the query object and the candidates,
+                // and under exact granularity also skips objects already
+                // dominated by a candidate: they cannot be RNNs and need
+                // no bisector. Cell granularity passes no sites, which
+                // disables the domination test.
+                let EvalScratch {
+                    sites,
+                    ids,
+                    cell_order,
+                    ..
+                } = scratch;
+                sites.clear();
+                if let PruneGranularity::Exact = self.granularity {
+                    sites.extend(cand.iter().map(|&(p, _)| p));
+                }
+                ids.clear();
+                ids.extend(q_id);
+                ids.extend(cand.iter().map(|&(_, id)| id));
+                nearest_undominated_in_cells_feed(
                     grid,
+                    feed,
                     self.q,
                     &self.alive,
-                    |id, pos| {
-                        if Some(id) == q_id || cand.iter().any(|&(_, c)| c == id) {
-                            return false;
-                        }
-                        match granularity {
-                            PruneGranularity::Cell => true,
-                            // Skip objects already dominated by a candidate:
-                            // they cannot be RNNs and need no bisector.
-                            PruneGranularity::Exact => {
-                                let d_q = pos.dist_sq(q);
-                                !cand.iter().any(|&(cp, _)| pos.dist_sq(cp) < d_q)
-                            }
-                        }
-                    },
+                    sites,
+                    ids,
                     ops,
-                    &mut scratch.cell_order,
+                    cell_order,
                 )
             };
             let Some(n) = next else { break };
@@ -218,7 +255,7 @@ impl MonoIgern {
     /// keep a candidate iff the query is its nearest object — i.e. no
     /// other object lies strictly closer to it than the query does.
     /// Rebuilds `self.rnn` in place.
-    fn verify(&mut self, grid: &Grid, ops: &mut OpCounters) {
+    fn verify(&mut self, grid: &Grid, feed: Option<&CellFeed>, ops: &mut OpCounters) {
         let mut rnn = std::mem::take(&mut self.rnn);
         rnn.clear();
         for &(pos, id) in &self.cand {
@@ -235,7 +272,7 @@ impl MonoIgern {
                     &single
                 }
             };
-            if !igern_grid::exists_closer_than(grid, pos, pos.dist_sq(self.q), exclude, ops) {
+            if !exists_closer_than_feed(grid, feed, pos, pos.dist_sq(self.q), exclude, ops) {
                 rnn.push(id);
             }
         }

@@ -19,7 +19,8 @@
 
 use igern_geom::Point;
 use igern_grid::{
-    count_closer_than, nearest, nearest_in_cells_with, CellSet, Grid, ObjectId, OpCounters,
+    count_closer_than_feed, nearest_feed, nearest_in_cells_with_feed, CellFeed, CellSet, Grid,
+    ObjectId, OpCounters,
 };
 
 use crate::prune::{clean_dominated_k_with, recompute_alive_k_into};
@@ -64,6 +65,24 @@ impl MonoIgernK {
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
     ) -> Self {
+        Self::initial_in_feed(grid, None, q, q_id, k, ops, scratch)
+    }
+
+    /// [`MonoIgernK::initial_in`] reading primed cells from `feed` (the
+    /// batch evaluator's shared-scan cache); bit-identical to the
+    /// `None`-feed form.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn initial_in_feed(
+        grid: &Grid,
+        feed: Option<&CellFeed>,
+        q: Point,
+        q_id: Option<ObjectId>,
+        k: usize,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) -> Self {
         assert!(k >= 1, "k must be positive");
         let mut state = MonoIgernK {
             k,
@@ -74,8 +93,8 @@ impl MonoIgernK {
             rnn: Vec::new(),
             stale: false,
         };
-        state.tighten(grid, ops, true, scratch);
-        state.verify(grid, ops);
+        state.tighten(grid, feed, ops, true, scratch);
+        state.verify(grid, feed, ops);
         state
     }
 
@@ -89,6 +108,19 @@ impl MonoIgernK {
     pub fn incremental_in(
         &mut self,
         grid: &Grid,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.incremental_in_feed(grid, None, q, ops, scratch);
+    }
+
+    /// [`MonoIgernK::incremental_in`] reading primed cells from `feed`;
+    /// see [`MonoIgernK::initial_in_feed`].
+    pub fn incremental_in_feed(
+        &mut self,
+        grid: &Grid,
+        feed: Option<&CellFeed>,
         q: Point,
         ops: &mut OpCounters,
         scratch: &mut EvalScratch,
@@ -116,13 +148,13 @@ impl MonoIgernK {
             recompute_alive_k_into(grid, q, sites, self.k, &mut self.alive, &mut scratch.prune);
             self.stale = false;
         }
-        self.tighten(grid, ops, false, scratch);
+        self.tighten(grid, feed, ops, false, scratch);
         let grown = self.cand.len();
         clean_dominated_k_with(&mut self.cand, q, self.k, &mut scratch.prune);
         if self.cand.len() < grown {
             self.stale = true;
         }
-        self.verify(grid, ops);
+        self.verify(grid, feed, ops);
     }
 
     /// Phase-I loop at order `k`: pull the nearest object of the alive
@@ -131,6 +163,7 @@ impl MonoIgernK {
     fn tighten(
         &mut self,
         grid: &Grid,
+        feed: Option<&CellFeed>,
         ops: &mut OpCounters,
         initial: bool,
         scratch: &mut EvalScratch,
@@ -146,10 +179,11 @@ impl MonoIgernK {
             let k = self.k;
             let cand = &self.cand;
             let next = if cand.is_empty() {
-                nearest(grid, self.q, q_id, ops)
+                nearest_feed(grid, feed, self.q, q_id, ops)
             } else {
-                nearest_in_cells_with(
+                nearest_in_cells_with_feed(
                     grid,
+                    feed,
                     self.q,
                     &self.alive,
                     |id, pos| {
@@ -186,7 +220,7 @@ impl MonoIgernK {
     /// Verification at order `k`: a candidate is an answer iff fewer than
     /// `k` other objects lie strictly closer to it than the query.
     /// Rebuilds `self.rnn` in place.
-    fn verify(&mut self, grid: &Grid, ops: &mut OpCounters) {
+    fn verify(&mut self, grid: &Grid, feed: Option<&CellFeed>, ops: &mut OpCounters) {
         let mut rnn = std::mem::take(&mut self.rnn);
         rnn.clear();
         for &(pos, id) in &self.cand {
@@ -203,7 +237,9 @@ impl MonoIgernK {
                     &single
                 }
             };
-            if count_closer_than(grid, pos, pos.dist_sq(self.q), self.k, exclude, ops) < self.k {
+            if count_closer_than_feed(grid, feed, pos, pos.dist_sq(self.q), self.k, exclude, ops)
+                < self.k
+            {
                 rnn.push(id);
             }
         }

@@ -25,6 +25,7 @@ use std::time::Instant;
 use igern_geom::Point;
 use igern_grid::ObjectId;
 
+use crate::batch::{BatchEvaluator, SlotLane};
 use crate::eval::{evaluate_query, QuerySlot};
 use crate::history::History;
 use crate::hooks::SharedSimHooks;
@@ -77,12 +78,32 @@ struct Query {
     removed: bool,
 }
 
+/// The processor's query vector as a batch-evaluation lane; tombstoned
+/// slots are holes.
+struct QueryLane<'a>(&'a mut [Query]);
+
+impl SlotLane for QueryLane<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn slot(&mut self, i: usize) -> Option<&mut QuerySlot> {
+        let q = &mut self.0[i];
+        if q.removed {
+            None
+        } else {
+            Some(&mut q.slot)
+        }
+    }
+}
+
 /// The processor.
 pub struct Processor {
     store: SpatialStore,
     queries: Vec<Query>,
     tick: u64,
     skip_routing: bool,
+    batch: bool,
     history_capacity: Option<usize>,
     metrics: Option<PipelineMetrics>,
     sim_hooks: Option<SharedSimHooks>,
@@ -91,6 +112,9 @@ pub struct Processor {
     scratch: EvalScratch,
     /// Per-worker scratches for the parallel path, grown on demand.
     scratch_pool: Vec<EvalScratch>,
+    /// Shared-scan batch evaluator for the serial path (used when
+    /// [`Processor::set_batch`] enables batching).
+    batch_eval: BatchEvaluator,
 }
 
 impl Processor {
@@ -102,11 +126,13 @@ impl Processor {
             queries: Vec::new(),
             tick: 0,
             skip_routing: true,
+            batch: false,
             history_capacity: None,
             metrics: None,
             sim_hooks: None,
             scratch: EvalScratch::new(),
             scratch_pool: Vec::new(),
+            batch_eval: BatchEvaluator::new(),
         }
     }
 
@@ -157,6 +183,19 @@ impl Processor {
     /// Whether dirty-region skip routing is enabled.
     pub fn skip_routing(&self) -> bool {
         self.skip_routing
+    }
+
+    /// Enable or disable anchor-cell shared-scan batch evaluation on the
+    /// serial path (see [`crate::batch::BatchEvaluator`]). Off by default;
+    /// answers, op counters, and skip decisions are bit-identical either
+    /// way — batching only changes how grid buckets are scanned.
+    pub fn set_batch(&mut self, on: bool) {
+        self.batch = on;
+    }
+
+    /// Whether shared-scan batch evaluation is enabled.
+    pub fn batch(&self) -> bool {
+        self.batch
     }
 
     /// Cap the per-query sample history of **subsequently added** queries
@@ -333,14 +372,32 @@ impl Processor {
         // Queries borrow the store immutably; detach the vector to satisfy
         // the borrow checker without cloning the store.
         let mut queries = std::mem::take(&mut self.queries);
-        for q in &mut queries {
-            if !q.removed {
-                let sample =
-                    evaluate_query(&self.store, &mut q.slot, tick, route, &mut self.scratch);
-                if let Some(m) = &self.metrics {
-                    m.record_sample(&sample);
+        if self.batch {
+            let mut lane = QueryLane(&mut queries);
+            self.batch_eval
+                .run(&self.store, &mut lane, tick, route, &mut self.scratch);
+            for (q, sample) in queries.iter_mut().zip(self.batch_eval.samples()) {
+                if let Some(sample) = sample {
+                    if let Some(m) = &self.metrics {
+                        m.record_sample(sample);
+                    }
+                    q.history.push(*sample);
                 }
-                q.history.push(sample);
+            }
+            if let Some(m) = &self.metrics {
+                m.batch_groups_total.add(self.batch_eval.groups());
+                m.batch_members_total.add(self.batch_eval.members());
+            }
+        } else {
+            for q in &mut queries {
+                if !q.removed {
+                    let sample =
+                        evaluate_query(&self.store, &mut q.slot, tick, route, &mut self.scratch);
+                    if let Some(m) = &self.metrics {
+                        m.record_sample(&sample);
+                    }
+                    q.history.push(sample);
+                }
             }
         }
         self.queries = queries;
@@ -799,6 +856,66 @@ mod tests {
                     forced.answer(qi),
                     "query {qi} tick {tick}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_processor_matches_per_query_processor() {
+        let pts: Vec<(f64, f64)> = (0..30)
+            .map(|i| ((i * 7 % 30) as f64 / 3.0, (i * 11 % 30) as f64 / 3.0))
+            .collect();
+        let mk = |batch| {
+            let mut p = Processor::new(store(&pts, 20));
+            p.set_batch(batch);
+            assert_eq!(p.batch(), batch);
+            p.add_query(ObjectId(0), Algorithm::IgernMono);
+            p.add_query(ObjectId(0), Algorithm::IgernMonoK(2));
+            p.add_query(ObjectId(0), Algorithm::IgernBi);
+            p.add_query(ObjectId(0), Algorithm::IgernBiK(2));
+            p.add_query(ObjectId(1), Algorithm::IgernMono);
+            p.add_query(ObjectId(0), Algorithm::Crnn);
+            p.evaluate_all();
+            p
+        };
+        let mut plain = mk(false);
+        let mut batched = mk(true);
+        let mut state = 123u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for tick in 0..20 {
+            let mut ups: Vec<(ObjectId, Point)> = Vec::new();
+            for i in 0..30u32 {
+                if rnd() < 0.4 {
+                    let cur = plain.store().position(ObjectId(i)).unwrap();
+                    ups.push((
+                        ObjectId(i),
+                        Point::new(
+                            (cur.x + rnd() - 0.5).clamp(0.0, 10.0),
+                            (cur.y + rnd() - 0.5).clamp(0.0, 10.0),
+                        ),
+                    ));
+                }
+            }
+            if tick == 7 {
+                plain.remove_query(4);
+                batched.remove_query(4);
+            }
+            plain.step(&ups);
+            batched.step(&ups);
+            for qi in [0usize, 1, 2, 3, 5] {
+                assert_eq!(
+                    plain.answer(qi),
+                    batched.answer(qi),
+                    "query {qi} tick {tick}"
+                );
+                let (ph, bh) = (plain.history(qi), batched.history(qi));
+                let (a, b) = (ph[ph.len() - 1], bh[bh.len() - 1]);
+                assert_eq!(a.skipped, b.skipped, "query {qi} tick {tick}");
+                assert_eq!(a.ops, b.ops, "query {qi} tick {tick}");
+                assert_eq!(a.monitored, b.monitored, "query {qi} tick {tick}");
             }
         }
     }

@@ -196,6 +196,7 @@ pub struct ShardedEngine {
     histories: Vec<History>,
     tick: u64,
     skip_routing: bool,
+    batch: bool,
     history_capacity: Option<usize>,
     metrics: Option<EngineMetrics>,
     sim_hooks: Option<SharedSimHooks>,
@@ -234,6 +235,7 @@ impl ShardedEngine {
             histories: Vec::new(),
             tick: 0,
             skip_routing: true,
+            batch: false,
             history_capacity: None,
             metrics: None,
             sim_hooks: None,
@@ -318,6 +320,19 @@ impl ShardedEngine {
     /// Whether dirty-region skip routing is enabled.
     pub fn skip_routing(&self) -> bool {
         self.skip_routing
+    }
+
+    /// Enable or disable shared-scan batch evaluation inside each worker
+    /// shard (mirrors the serial processor's
+    /// [`set_batch`](igern_core::processor::Processor::set_batch)). Off by
+    /// default; answers and counters are bit-identical either way.
+    pub fn set_batch(&mut self, on: bool) {
+        self.batch = on;
+    }
+
+    /// Whether shared-scan batch evaluation is enabled.
+    pub fn batch(&self) -> bool {
+        self.batch
     }
 
     /// Cap the history of subsequently added queries (`None` =
@@ -488,6 +503,7 @@ impl ShardedEngine {
                 store: Arc::clone(&self.store),
                 tick: self.tick,
                 route,
+                batch: self.batch,
                 hooks: self.sim_hooks.clone(),
             };
             tx.send(ToWorker::Tick(job)).expect("worker alive");
@@ -515,6 +531,10 @@ impl ShardedEngine {
             received += 1;
             if let Some(m) = &self.metrics {
                 m.worker_tick_seconds[report.worker].observe_duration(report.elapsed);
+                if report.batch_groups > 0 {
+                    m.pipeline.batch_groups_total.add(report.batch_groups);
+                    m.pipeline.batch_members_total.add(report.batch_members);
+                }
             }
             merged.extend(report.reports);
         }

@@ -69,6 +69,16 @@ impl TickRunner {
         }
     }
 
+    /// Enable or disable shared-scan batch evaluation (see
+    /// [`igern_core::batch::BatchEvaluator`]). Answers are bit-identical
+    /// either way, on either backend.
+    pub fn set_batch(&mut self, on: bool) {
+        match self {
+            TickRunner::Serial(p) => p.set_batch(on),
+            TickRunner::Sharded(e) => e.set_batch(on),
+        }
+    }
+
     /// Cap the history of subsequently added queries (`None` =
     /// unbounded).
     pub fn set_history_capacity(&mut self, cap: Option<usize>) {

@@ -23,6 +23,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use igern_core::batch::{BatchEvaluator, SlotLane};
 use igern_core::eval::{evaluate_query, QuerySlot};
 use igern_core::hooks::SharedSimHooks;
 use igern_core::metrics::{SeriesStats, TickSample};
@@ -34,8 +35,24 @@ pub(crate) struct TickJob {
     pub store: Arc<SpatialStore>,
     pub tick: u64,
     pub route: bool,
+    /// Evaluate the shard through the shared-scan batch evaluator
+    /// (bit-identical answers; see [`igern_core::batch`]).
+    pub batch: bool,
     /// Simulation fault-injection hooks; `None` outside the harness.
     pub hooks: Option<SharedSimHooks>,
+}
+
+/// A worker shard as a batch-evaluation lane; every entry is live.
+struct ShardLane<'a>(&'a mut [(usize, QuerySlot)]);
+
+impl SlotLane for ShardLane<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn slot(&mut self, i: usize) -> Option<&mut QuerySlot> {
+        Some(&mut self.0[i].1)
+    }
 }
 
 /// Coordinator → worker messages.
@@ -71,6 +88,10 @@ pub(crate) struct ShardReport {
     pub worker: usize,
     /// Wall-clock the worker spent evaluating its shard this tick.
     pub elapsed: Duration,
+    /// Multi-member shared-scan groups formed this tick (0 unbatched).
+    pub batch_groups: u64,
+    /// Queries evaluated inside those groups (0 unbatched).
+    pub batch_members: u64,
     pub reports: Vec<QueryReport>,
 }
 
@@ -85,6 +106,9 @@ pub(crate) fn worker_loop(worker: usize, rx: Receiver<ToWorker>, results: Sender
     // `Arc<SpatialStore>` snapshot hand-off, so steady-state shard
     // evaluation allocates nothing once the buffers are warm.
     let mut scratch = EvalScratch::new();
+    // Persistent shared-scan batch evaluator; its feeds/plan buffers warm
+    // up once and are reused every batched tick.
+    let mut batcher = BatchEvaluator::new();
     for msg in rx {
         match msg {
             ToWorker::Add(qid, slot) => {
@@ -108,6 +132,7 @@ pub(crate) fn worker_loop(worker: usize, rx: Receiver<ToWorker>, results: Sender
                     store,
                     tick,
                     route,
+                    batch,
                     hooks,
                 } = job;
                 if let Some(h) = &hooks {
@@ -115,15 +140,33 @@ pub(crate) fn worker_loop(worker: usize, rx: Receiver<ToWorker>, results: Sender
                 }
                 let start = Instant::now();
                 let mut reports = Vec::with_capacity(shard.len());
-                for (qid, slot) in &mut shard {
-                    let sample = evaluate_query(&store, slot, tick, route, &mut scratch);
-                    stats.push(&sample);
-                    let answer = (!sample.skipped).then(|| slot.answer.clone());
-                    reports.push(QueryReport {
-                        qid: *qid,
-                        sample,
-                        answer,
-                    });
+                let (mut batch_groups, mut batch_members) = (0, 0);
+                if batch {
+                    let mut lane = ShardLane(&mut shard);
+                    batcher.run(&store, &mut lane, tick, route, &mut scratch);
+                    batch_groups = batcher.groups();
+                    batch_members = batcher.members();
+                    for ((qid, slot), sample) in shard.iter_mut().zip(batcher.samples()) {
+                        let sample = sample.expect("batched run fills every live lane slot");
+                        stats.push(&sample);
+                        let answer = (!sample.skipped).then(|| slot.answer.clone());
+                        reports.push(QueryReport {
+                            qid: *qid,
+                            sample,
+                            answer,
+                        });
+                    }
+                } else {
+                    for (qid, slot) in &mut shard {
+                        let sample = evaluate_query(&store, slot, tick, route, &mut scratch);
+                        stats.push(&sample);
+                        let answer = (!sample.skipped).then(|| slot.answer.clone());
+                        reports.push(QueryReport {
+                            qid: *qid,
+                            sample,
+                            answer,
+                        });
+                    }
                 }
                 let elapsed = start.elapsed();
                 // Release the store snapshot before reporting: the
@@ -133,6 +176,8 @@ pub(crate) fn worker_loop(worker: usize, rx: Receiver<ToWorker>, results: Sender
                 let report = ShardReport {
                     worker,
                     elapsed,
+                    batch_groups,
+                    batch_members,
                     reports,
                 };
                 if results.send(report).is_err() {

@@ -38,6 +38,7 @@
 
 pub mod bitvec;
 pub mod cellset;
+pub mod feed;
 pub mod grid;
 pub mod nn;
 pub mod object;
@@ -47,10 +48,14 @@ pub mod visit;
 
 pub use bitvec::BitVec;
 pub use cellset::CellSet;
+pub use feed::{CellFeed, FeedEntry, FeedScan};
 pub use grid::{CellId, Grid};
 pub use nn::{
-    count_closer_than, exists_closer_than, k_nearest, k_nearest_into, nearest, nearest_in_cells,
-    nearest_in_cells_with, nearest_in_set, nearest_where, CellOrderScratch, NearestIter, Neighbor,
+    count_closer_than, count_closer_than_feed, exists_closer_than, exists_closer_than_feed,
+    k_nearest, k_nearest_into, k_nearest_into_feed, nearest, nearest_feed, nearest_in_cells,
+    nearest_in_cells_with, nearest_in_cells_with_feed, nearest_in_set,
+    nearest_undominated_in_cells_feed, nearest_where, nearest_where_feed, CellOrderScratch,
+    NearestIter, Neighbor,
 };
 pub use object::ObjectId;
 pub use stats::OpCounters;

@@ -11,6 +11,7 @@
 use igern_geom::{Aabb, Point};
 
 use crate::cellset::CellSet;
+use crate::feed::CellFeed;
 use crate::grid::{CellId, Grid};
 use crate::object::ObjectId;
 use crate::stats::OpCounters;
@@ -35,9 +36,15 @@ impl Neighbor {
 
 /// Scan one cell, updating `best` with any closer object that passes
 /// `accept`.
+///
+/// When `feed` has the cell primed, the scan replays the feed's cached
+/// bucket snapshot — same entries, same order, same counter increments
+/// (a dead entry counts one `objects_visited` and one `desyncs`, exactly
+/// like a live bucket id whose position slot is missing).
 #[inline]
 fn scan_cell<F: FnMut(ObjectId, Point) -> bool>(
     grid: &Grid,
+    feed: Option<&CellFeed>,
     cell: CellId,
     q: Point,
     accept: &mut F,
@@ -45,6 +52,24 @@ fn scan_cell<F: FnMut(ObjectId, Point) -> bool>(
     ops: &mut OpCounters,
 ) {
     ops.cells_visited += 1;
+    if let Some(entries) = feed.and_then(|f| f.get(cell)) {
+        for e in entries {
+            ops.objects_visited += 1;
+            if !e.live {
+                ops.desyncs += 1;
+                continue;
+            }
+            let d = q.dist_sq(e.pos);
+            if best.is_none_or(|b| d < b.dist_sq) && accept(e.id, e.pos) {
+                *best = Some(Neighbor {
+                    id: e.id,
+                    pos: e.pos,
+                    dist_sq: d,
+                });
+            }
+        }
+        return;
+    }
     for &id in grid.objects_in(cell) {
         ops.objects_visited += 1;
         let Some(pos) = grid.position(id) else {
@@ -73,8 +98,22 @@ pub fn nearest(
     exclude: Option<ObjectId>,
     ops: &mut OpCounters,
 ) -> Option<Neighbor> {
-    nearest_where(
+    nearest_feed(grid, None, q, exclude, ops)
+}
+
+/// [`nearest`] reading primed cells from a shared-scan [`CellFeed`]
+/// (unprimed cells fall back to the grid; `feed = None` is exactly
+/// [`nearest`]).
+pub fn nearest_feed(
+    grid: &Grid,
+    feed: Option<&CellFeed>,
+    q: Point,
+    exclude: Option<ObjectId>,
+    ops: &mut OpCounters,
+) -> Option<Neighbor> {
+    nearest_where_feed(
         grid,
+        feed,
         q,
         |_, _| true,
         |id, _| Some(id) != exclude,
@@ -94,6 +133,24 @@ pub fn nearest(
 ///   `f64::INFINITY` for an unbounded search.
 pub fn nearest_where<C, O>(
     grid: &Grid,
+    q: Point,
+    cell_pred: C,
+    obj_pred: O,
+    max_dist: f64,
+    ops: &mut OpCounters,
+) -> Option<Neighbor>
+where
+    C: FnMut(CellId, &Aabb) -> bool,
+    O: FnMut(ObjectId, Point) -> bool,
+{
+    nearest_where_feed(grid, None, q, cell_pred, obj_pred, max_dist, ops)
+}
+
+/// [`nearest_where`] reading primed cells from a shared-scan
+/// [`CellFeed`].
+pub fn nearest_where_feed<C, O>(
+    grid: &Grid,
+    feed: Option<&CellFeed>,
     q: Point,
     mut cell_pred: C,
     mut obj_pred: O,
@@ -141,7 +198,7 @@ where
             if !cell_pred(cell, &bounds) {
                 continue;
             }
-            scan_cell(grid, cell, q, &mut obj_pred, &mut best, ops);
+            scan_cell(grid, feed, cell, q, &mut obj_pred, &mut best, ops);
         }
     }
     best.filter(|b| b.dist_sq <= max_dist_sq)
@@ -198,7 +255,7 @@ where
                     continue;
                 }
             }
-            scan_cell(grid, cell, q, &mut obj_pred, &mut best, ops);
+            scan_cell(grid, None, cell, q, &mut obj_pred, &mut best, ops);
         }
     }
     best
@@ -239,6 +296,23 @@ pub fn nearest_in_cells_with<O>(
     grid: &Grid,
     q: Point,
     cells: &CellSet,
+    obj_pred: O,
+    ops: &mut OpCounters,
+    scratch: &mut CellOrderScratch,
+) -> Option<Neighbor>
+where
+    O: FnMut(ObjectId, Point) -> bool,
+{
+    nearest_in_cells_with_feed(grid, None, q, cells, obj_pred, ops, scratch)
+}
+
+/// [`nearest_in_cells_with`] reading primed cells from a shared-scan
+/// [`CellFeed`].
+pub fn nearest_in_cells_with_feed<O>(
+    grid: &Grid,
+    feed: Option<&CellFeed>,
+    q: Point,
+    cells: &CellSet,
     mut obj_pred: O,
     ops: &mut OpCounters,
     scratch: &mut CellOrderScratch,
@@ -257,7 +331,253 @@ where
                 break;
             }
         }
-        scan_cell(grid, cell, q, &mut obj_pred, &mut best, ops);
+        scan_cell(grid, feed, cell, q, &mut obj_pred, &mut best, ops);
+    }
+    best
+}
+
+/// Widest candidate set the branch-free fast path of
+/// [`nearest_undominated_in_cells_feed`] is specialized for. IGERN's
+/// cleaned candidate set is ≤ 6 (six-region lemma); tighten can briefly
+/// overshoot, in which case the kernel falls back to the scalar replay.
+const MAX_FAST_SITES: usize = 6;
+/// Fixed exclusion width of the fast path (`q` plus [`MAX_FAST_SITES`]
+/// candidates, padded by repeating the first excluded id).
+const MAX_FAST_EXCLUDE: usize = 7;
+
+/// The object predicate of IGERN's Phase-I probe: reject excluded ids
+/// (the query object and the current candidates), and reject *dominated*
+/// objects — some site strictly closer to the object than `q` is. An
+/// empty `sites` is the cell-granularity variant (exclusion only).
+#[inline]
+fn undominated(id: ObjectId, pos: Point, q: Point, sites: &[Point], exclude: &[ObjectId]) -> bool {
+    if exclude.contains(&id) {
+        return false;
+    }
+    let d_q = pos.dist_sq(q);
+    !sites.iter().any(|&s| pos.dist_sq(s) < d_q)
+}
+
+/// Fold one primed cell's columns to the minimum accepted distance
+/// (`f64::INFINITY` when nothing passes), specialized per site count so
+/// the domination loop fully unrolls and the whole scan stays
+/// branch-free — rejected and dead entries fold to infinity instead of
+/// branching, which lets the compiler keep the loop in SIMD registers.
+///
+/// Every lane is a plain IEEE subtract/multiply/add/compare (no fused
+/// multiply-add, no reassociation), so the fold computes bit-identical
+/// values at any vector width — which is what lets the AVX2 version
+/// below share this body.
+#[inline(always)]
+fn column_min_pass_body<const C: usize>(
+    xs: &[f64],
+    ys: &[f64],
+    ids: &[u32],
+    q: Point,
+    sites: &[Point],
+    excl: &[u32; MAX_FAST_EXCLUDE],
+) -> f64 {
+    let sx: [f64; C] = std::array::from_fn(|j| sites[j].x);
+    let sy: [f64; C] = std::array::from_fn(|j| sites[j].y);
+    let mut m = f64::INFINITY;
+    for ((&x, &y), &id) in xs.iter().zip(ys).zip(ids) {
+        let dx = x - q.x;
+        let dy = y - q.y;
+        let d = dx * dx + dy * dy;
+        let mut out = false;
+        for j in 0..C {
+            let ex = x - sx[j];
+            let ey = y - sy[j];
+            out |= ex * ex + ey * ey < d;
+        }
+        for &e in excl {
+            out |= id == e;
+        }
+        let v = if out { f64::INFINITY } else { d };
+        m = if v < m { v } else { m };
+    }
+    m
+}
+
+/// [`column_min_pass_body`] compiled for AVX2 — four f64 lanes per
+/// instruction instead of the two the baseline x86-64 target allows.
+///
+/// # Safety
+///
+/// The caller must have verified that the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn column_min_pass_avx2<const C: usize>(
+    xs: &[f64],
+    ys: &[f64],
+    ids: &[u32],
+    q: Point,
+    sites: &[Point],
+    excl: &[u32; MAX_FAST_EXCLUDE],
+) -> f64 {
+    column_min_pass_body::<C>(xs, ys, ids, q, sites, excl)
+}
+
+/// Width-dispatched [`column_min_pass_body`]: picks the widest fold the
+/// CPU supports at runtime (the detection result is cached by `std`).
+#[inline]
+fn column_min_pass<const C: usize>(
+    xs: &[f64],
+    ys: &[f64],
+    ids: &[u32],
+    q: Point,
+    sites: &[Point],
+    excl: &[u32; MAX_FAST_EXCLUDE],
+) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence checked on the line above.
+        return unsafe { column_min_pass_avx2::<C>(xs, ys, ids, q, sites, excl) };
+    }
+    column_min_pass_body::<C>(xs, ys, ids, q, sites, excl)
+}
+
+/// The fast-path scan of one primed cell: the index and distance of the
+/// closest accepted entry, when it beats `bound`.
+///
+/// Pass 1 is the branch-free column fold; pass 2 re-derives which entry
+/// produced the minimum, and only runs when the cell actually improves
+/// the running best — which steady-state ticks almost never do. Both
+/// passes evaluate the same IEEE expressions as the scalar replay
+/// ((a−b)² ≡ (b−a)²), so results are bit-identical.
+#[inline]
+fn column_min(
+    scan: &crate::feed::FeedScan<'_>,
+    q: Point,
+    sites: &[Point],
+    exclude: &[ObjectId],
+    excl: &[u32; MAX_FAST_EXCLUDE],
+    bound: f64,
+) -> Option<(usize, f64)> {
+    let m = match sites.len() {
+        0 => column_min_pass::<0>(scan.xs, scan.ys, scan.ids, q, sites, excl),
+        1 => column_min_pass::<1>(scan.xs, scan.ys, scan.ids, q, sites, excl),
+        2 => column_min_pass::<2>(scan.xs, scan.ys, scan.ids, q, sites, excl),
+        3 => column_min_pass::<3>(scan.xs, scan.ys, scan.ids, q, sites, excl),
+        4 => column_min_pass::<4>(scan.xs, scan.ys, scan.ids, q, sites, excl),
+        5 => column_min_pass::<5>(scan.xs, scan.ys, scan.ids, q, sites, excl),
+        _ => column_min_pass::<MAX_FAST_SITES>(scan.xs, scan.ys, scan.ids, q, sites, excl),
+    };
+    if m >= bound {
+        return None;
+    }
+    for (i, e) in scan.entries.iter().enumerate() {
+        if !e.live {
+            continue;
+        }
+        let d = q.dist_sq(e.pos);
+        if d == m && undominated(e.id, e.pos, q, sites, exclude) {
+            return Some((i, d));
+        }
+    }
+    unreachable!("column minimum must correspond to an accepted entry")
+}
+
+/// Nearest object of `cells` that passes the [`undominated`] predicate —
+/// IGERN's Phase-I probe ("the nearest non-candidate object inside the
+/// alive region"), with exact-granularity domination pruning when
+/// `sites` holds the candidate positions and cell granularity when it is
+/// empty.
+///
+/// Exactly equivalent to [`nearest_in_cells_with_feed`] with the
+/// corresponding object predicate — same result, same first-in-bucket-
+/// order tie-break, same op counters. The difference is mechanical:
+/// primed cells are scanned through the feed's position columns with the
+/// predicate inlined into a branch-free fold and the per-cell counter
+/// effect applied in bulk (a full-cell scan visits every entry and
+/// counts every dead one regardless of outcome), which is what makes a
+/// shared scan cheaper than a per-query replay rather than merely
+/// gather-free. Unprimed cells and oversized candidate sets replay the
+/// canonical scalar loop.
+#[allow(clippy::too_many_arguments)]
+pub fn nearest_undominated_in_cells_feed(
+    grid: &Grid,
+    feed: Option<&CellFeed>,
+    q: Point,
+    cells: &CellSet,
+    sites: &[Point],
+    exclude: &[ObjectId],
+    ops: &mut OpCounters,
+    scratch: &mut CellOrderScratch,
+) -> Option<Neighbor> {
+    // The fast path needs a fixed-width exclusion array; padding repeats
+    // the first excluded id, so an empty exclusion (no safe pad value)
+    // takes the scalar replay.
+    let fast =
+        !exclude.is_empty() && exclude.len() <= MAX_FAST_EXCLUDE && sites.len() <= MAX_FAST_SITES;
+    let excl: [u32; MAX_FAST_EXCLUDE] =
+        std::array::from_fn(|i| exclude.get(i).or(exclude.first()).map_or(0, |e| e.0));
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(cells.iter().map(|c| (grid.cell_bounds(c).mindist_sq(q), c)));
+    order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    let mut best: Option<Neighbor> = None;
+    for &(md, cell) in order.iter() {
+        if let Some(b) = best {
+            if md >= b.dist_sq {
+                break;
+            }
+        }
+        ops.cells_visited += 1;
+        match feed.and_then(|f| f.get_scan(cell)) {
+            Some(scan) if fast => {
+                ops.objects_visited += scan.entries.len() as u64;
+                ops.desyncs += scan.dead as u64;
+                let bound = best.map_or(f64::INFINITY, |b| b.dist_sq);
+                if let Some((i, d)) = column_min(&scan, q, sites, exclude, &excl, bound) {
+                    let e = scan.entries[i];
+                    best = Some(Neighbor {
+                        id: e.id,
+                        pos: e.pos,
+                        dist_sq: d,
+                    });
+                }
+            }
+            Some(scan) => {
+                for e in scan.entries {
+                    ops.objects_visited += 1;
+                    if !e.live {
+                        ops.desyncs += 1;
+                        continue;
+                    }
+                    let d = q.dist_sq(e.pos);
+                    if best.is_none_or(|b| d < b.dist_sq)
+                        && undominated(e.id, e.pos, q, sites, exclude)
+                    {
+                        best = Some(Neighbor {
+                            id: e.id,
+                            pos: e.pos,
+                            dist_sq: d,
+                        });
+                    }
+                }
+            }
+            None => {
+                for &id in grid.objects_in(cell) {
+                    ops.objects_visited += 1;
+                    let Some(pos) = grid.position(id) else {
+                        // Bucket/position desync: treat the object as
+                        // removed rather than killing the search.
+                        ops.desyncs += 1;
+                        continue;
+                    };
+                    let d = q.dist_sq(pos);
+                    if best.is_none_or(|b| d < b.dist_sq) && undominated(id, pos, q, sites, exclude)
+                    {
+                        best = Some(Neighbor {
+                            id,
+                            pos,
+                            dist_sq: d,
+                        });
+                    }
+                }
+            }
+        }
     }
     best
 }
@@ -286,6 +606,20 @@ pub fn k_nearest_into(
     ops: &mut OpCounters,
     best: &mut Vec<Neighbor>,
 ) {
+    k_nearest_into_feed(grid, None, q, k, exclude, ops, best);
+}
+
+/// [`k_nearest_into`] reading primed cells from a shared-scan
+/// [`CellFeed`].
+pub fn k_nearest_into_feed(
+    grid: &Grid,
+    feed: Option<&CellFeed>,
+    q: Point,
+    k: usize,
+    exclude: Option<ObjectId>,
+    ops: &mut OpCounters,
+    best: &mut Vec<Neighbor>,
+) {
     best.clear();
     if k == 0 {
         return;
@@ -295,6 +629,23 @@ pub fn k_nearest_into(
     let ext = grid.min_cell_extent();
     // Small k: a sorted vector beats a heap.
     best.reserve(k.saturating_add(1).min(grid.len() + 1));
+    // Mirrors the scan below; the exclusion check deliberately runs
+    // before `objects_visited` on both paths.
+    let consider = |id: ObjectId, pos: Point, best: &mut Vec<Neighbor>| {
+        let d = q.dist_sq(pos);
+        if best.len() < k || d < best[best.len() - 1].dist_sq {
+            let at = best.partition_point(|n| n.dist_sq <= d);
+            best.insert(
+                at,
+                Neighbor {
+                    id,
+                    pos,
+                    dist_sq: d,
+                },
+            );
+            best.truncate(k);
+        }
+    };
     for r in 0..=max_r {
         if r >= 1 && best.len() == k {
             let lb = (r as f64 - 1.0) * ext;
@@ -308,6 +659,20 @@ pub fn k_nearest_into(
                 continue;
             }
             ops.cells_visited += 1;
+            if let Some(entries) = feed.and_then(|f| f.get(cell)) {
+                for e in entries {
+                    if Some(e.id) == exclude {
+                        continue;
+                    }
+                    ops.objects_visited += 1;
+                    if !e.live {
+                        ops.desyncs += 1;
+                        continue;
+                    }
+                    consider(e.id, e.pos, best);
+                }
+                continue;
+            }
             for &id in grid.objects_in(cell) {
                 if Some(id) == exclude {
                     continue;
@@ -319,19 +684,7 @@ pub fn k_nearest_into(
                     ops.desyncs += 1;
                     continue;
                 };
-                let d = q.dist_sq(pos);
-                if best.len() < k || d < best[best.len() - 1].dist_sq {
-                    let at = best.partition_point(|n| n.dist_sq <= d);
-                    best.insert(
-                        at,
-                        Neighbor {
-                            id,
-                            pos,
-                            dist_sq: d,
-                        },
-                    );
-                    best.truncate(k);
-                }
+                consider(id, pos, best);
             }
         }
     }
@@ -352,6 +705,19 @@ pub fn exists_closer_than(
     exclude: &[ObjectId],
     ops: &mut OpCounters,
 ) -> bool {
+    exists_closer_than_feed(grid, None, center, dist_sq, exclude, ops)
+}
+
+/// [`exists_closer_than`] reading primed cells from a shared-scan
+/// [`CellFeed`].
+pub fn exists_closer_than_feed(
+    grid: &Grid,
+    feed: Option<&CellFeed>,
+    center: Point,
+    dist_sq: f64,
+    exclude: &[ObjectId],
+    ops: &mut OpCounters,
+) -> bool {
     let (cx, cy) = grid.cell_coords(grid.cell_of_point(center));
     let max_r = max_ring_radius(grid, cx, cy);
     let ext = grid.min_cell_extent();
@@ -367,6 +733,22 @@ pub fn exists_closer_than(
                 continue;
             }
             ops.cells_visited += 1;
+            if let Some(entries) = feed.and_then(|f| f.get(cell)) {
+                for e in entries {
+                    if exclude.contains(&e.id) {
+                        continue;
+                    }
+                    ops.objects_visited += 1;
+                    if !e.live {
+                        ops.desyncs += 1;
+                        continue;
+                    }
+                    if center.dist_sq(e.pos) < dist_sq {
+                        return true;
+                    }
+                }
+                continue;
+            }
             for &id in grid.objects_in(cell) {
                 if exclude.contains(&id) {
                     continue;
@@ -403,6 +785,20 @@ pub fn count_closer_than(
     exclude: &[ObjectId],
     ops: &mut OpCounters,
 ) -> usize {
+    count_closer_than_feed(grid, None, center, dist_sq, cap, exclude, ops)
+}
+
+/// [`count_closer_than`] reading primed cells from a shared-scan
+/// [`CellFeed`].
+pub fn count_closer_than_feed(
+    grid: &Grid,
+    feed: Option<&CellFeed>,
+    center: Point,
+    dist_sq: f64,
+    cap: usize,
+    exclude: &[ObjectId],
+    ops: &mut OpCounters,
+) -> usize {
     if cap == 0 {
         return 0;
     }
@@ -422,6 +818,25 @@ pub fn count_closer_than(
                 continue;
             }
             ops.cells_visited += 1;
+            if let Some(entries) = feed.and_then(|f| f.get(cell)) {
+                for e in entries {
+                    if exclude.contains(&e.id) {
+                        continue;
+                    }
+                    ops.objects_visited += 1;
+                    if !e.live {
+                        ops.desyncs += 1;
+                        continue;
+                    }
+                    if center.dist_sq(e.pos) < dist_sq {
+                        count += 1;
+                        if count >= cap {
+                            return count;
+                        }
+                    }
+                }
+                continue;
+            }
             for &id in grid.objects_in(cell) {
                 if exclude.contains(&id) {
                     continue;
@@ -814,6 +1229,150 @@ mod tests {
             &[ObjectId(1)],
             &mut ops
         ));
+    }
+
+    #[test]
+    fn feed_backed_kernels_match_direct_scans_bit_for_bit() {
+        let mut state = 31u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        let pts: Vec<(f64, f64)> = (0..250).map(|_| (rnd(), rnd())).collect();
+        let mut g = grid_with(&pts);
+        // Desyncs must replay identically through the feed.
+        assert!(g.debug_force_desync(ObjectId(17)));
+        assert!(g.debug_force_desync(ObjectId(101)));
+        let mut feed = CellFeed::new();
+        feed.begin(g.num_cells());
+        for c in 0..g.num_cells() {
+            feed.prime(&g, c);
+        }
+        let mut alive = CellSet::new(g.num_cells());
+        for c in 0..g.num_cells() {
+            if c % 3 != 0 {
+                alive.insert(c);
+            }
+        }
+        let mut scratch = CellOrderScratch::default();
+        let mut buf_a = Vec::new();
+        let mut buf_b = Vec::new();
+        let mut desyncs_seen = 0;
+        for i in 0..25 {
+            let q = Point::new((i as f64 * 0.41) % 10.0, (i as f64 * 0.83) % 10.0);
+            let excl = ObjectId(i as u32 * 7);
+            let mut plain = OpCounters::new();
+            let mut fed = OpCounters::new();
+
+            let a = nearest(&g, q, Some(excl), &mut plain);
+            let b = nearest_feed(&g, Some(&feed), q, Some(excl), &mut fed);
+            assert_eq!(a, b, "nearest, query {i}");
+
+            let a = nearest_in_cells_with(&g, q, &alive, |_, _| true, &mut plain, &mut scratch);
+            let b = nearest_in_cells_with_feed(
+                &g,
+                Some(&feed),
+                q,
+                &alive,
+                |_, _| true,
+                &mut fed,
+                &mut scratch,
+            );
+            assert_eq!(a, b, "nearest_in_cells, query {i}");
+
+            k_nearest_into(&g, q, 4, Some(excl), &mut plain, &mut buf_a);
+            k_nearest_into_feed(&g, Some(&feed), q, 4, Some(excl), &mut fed, &mut buf_b);
+            assert_eq!(buf_a, buf_b, "k_nearest, query {i}");
+
+            let r = 1.5 * 1.5;
+            assert_eq!(
+                exists_closer_than(&g, q, r, &[excl], &mut plain),
+                exists_closer_than_feed(&g, Some(&feed), q, r, &[excl], &mut fed),
+                "exists_closer_than, query {i}"
+            );
+            assert_eq!(
+                count_closer_than(&g, q, r, 3, &[excl], &mut plain),
+                count_closer_than_feed(&g, Some(&feed), q, r, 3, &[excl], &mut fed),
+                "count_closer_than, query {i}"
+            );
+
+            assert_eq!(plain, fed, "op counters must be bit-identical, query {i}");
+            desyncs_seen += plain.desyncs;
+        }
+        assert!(desyncs_seen > 0, "desyncs flow through both paths");
+    }
+
+    #[test]
+    fn undominated_kernel_matches_predicate_kernel_bit_for_bit() {
+        let mut state = 77u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        let pts: Vec<(f64, f64)> = (0..260).map(|_| (rnd(), rnd())).collect();
+        let mut g = grid_with(&pts);
+        assert!(g.debug_force_desync(ObjectId(23)));
+        assert!(g.debug_force_desync(ObjectId(200)));
+        let mut feed = CellFeed::new();
+        feed.begin(g.num_cells());
+        for c in 0..g.num_cells() {
+            // Prime most cells; the rest exercise the grid fallback.
+            if c % 5 != 0 {
+                feed.prime(&g, c);
+            }
+        }
+        let mut alive = CellSet::new(g.num_cells());
+        for c in 0..g.num_cells() {
+            if c % 4 != 0 {
+                alive.insert(c);
+            }
+        }
+        let mut scratch = CellOrderScratch::default();
+        // Site counts 0..8 cover the cell-granularity case, every
+        // specialized width, and the >MAX_FAST_SITES fallback.
+        for n_sites in 0..8usize {
+            for i in 0..20 {
+                let q = Point::new(rnd(), rnd());
+                let sites: Vec<Point> = (0..n_sites).map(|_| Point::new(rnd(), rnd())).collect();
+                let exclude: Vec<ObjectId> = (0..1 + i % 7)
+                    .map(|j| ObjectId(((i * 31 + j * 17) % 260) as u32))
+                    .collect();
+                for f in [None, Some(&feed)] {
+                    let mut want_ops = OpCounters::new();
+                    let want = nearest_in_cells_with_feed(
+                        &g,
+                        f,
+                        q,
+                        &alive,
+                        |id, pos| {
+                            if exclude.contains(&id) {
+                                return false;
+                            }
+                            let d_q = pos.dist_sq(q);
+                            !sites.iter().any(|&s| pos.dist_sq(s) < d_q)
+                        },
+                        &mut want_ops,
+                        &mut scratch,
+                    );
+                    let mut got_ops = OpCounters::new();
+                    let got = nearest_undominated_in_cells_feed(
+                        &g,
+                        f,
+                        q,
+                        &alive,
+                        &sites,
+                        &exclude,
+                        &mut got_ops,
+                        &mut scratch,
+                    );
+                    assert_eq!(want, got, "sites {n_sites} query {i} feed {}", f.is_some());
+                    assert_eq!(
+                        want_ops, got_ops,
+                        "op counters diverged: sites {n_sites} query {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

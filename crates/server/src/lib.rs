@@ -106,6 +106,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Query→shard placement for the sharded backend.
     pub placement: Placement,
+    /// Shared-scan batch evaluation (anchor-cell grouping; see
+    /// [`igern_core::batch`]). On by default — answers are bit-identical
+    /// to per-query evaluation, batching only reduces scan work.
+    pub batch: bool,
     /// Tick cadence.
     pub tick_mode: TickMode,
     /// Bound of the shared ingest queue (frames).
@@ -137,6 +141,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("grid", &self.grid)
             .field("workers", &self.workers)
             .field("placement", &self.placement)
+            .field("batch", &self.batch)
             .field("tick_mode", &self.tick_mode)
             .field("ingest_queue_frames", &self.ingest_queue_frames)
             .field("outbound_queue_frames", &self.outbound_queue_frames)
@@ -156,6 +161,7 @@ impl Default for ServerConfig {
             grid: 16,
             workers: 1,
             placement: Placement::RoundRobin,
+            batch: true,
             tick_mode: TickMode::Manual,
             ingest_queue_frames: 4096,
             outbound_queue_frames: 1024,
@@ -196,6 +202,13 @@ pub struct ServerMetrics {
     pub wal_errors_total: Counter,
     /// Compacted snapshots written.
     pub wal_snapshots_total: Counter,
+    /// Snapshots requested while durability is off (guarded no-op
+    /// instead of a tick-thread panic).
+    pub wal_snapshots_skipped_total: Counter,
+    /// Subscription-index desyncs survived: a sid listed by a
+    /// connection was missing from the tick thread's sub table; the
+    /// stale entry is dropped and the tick completes.
+    pub sub_desync_total: Counter,
     /// Per-frame-type counters, resolved once at registration so the
     /// per-frame hot path never touches the registry lock.
     frames_in: Vec<(&'static str, Counter)>,
@@ -233,6 +246,9 @@ impl ServerMetrics {
             wal_records_total: registry.counter(&format!("{p}_wal_records_total")),
             wal_errors_total: registry.counter(&format!("{p}_wal_errors_total")),
             wal_snapshots_total: registry.counter(&format!("{p}_wal_snapshots_total")),
+            wal_snapshots_skipped_total: registry
+                .counter(&format!("{p}_wal_snapshots_skipped_total")),
+            sub_desync_total: registry.counter(&format!("{p}_sub_desync_total")),
             frames_in: by_type("in"),
             frames_out: by_type("out"),
         }
@@ -353,6 +369,7 @@ impl Server {
         }
         runner.attach_metrics(&registry, "igern_pipeline");
         runner.set_sim_hooks(cfg.sim_hooks.clone());
+        runner.set_batch(cfg.batch);
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let crashed = Arc::new(AtomicBool::new(false));
@@ -419,6 +436,15 @@ impl Server {
     /// The server's own instruments.
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// Test hook: drop `sid` from the tick thread's subscription table
+    /// while leaving it on its connection's sub list — the index desync
+    /// the tick loop must survive (counted in
+    /// `igern_server_sub_desync_total`). Never called in production.
+    #[doc(hidden)]
+    pub fn debug_desync_sub(&self, sid: u32) {
+        let _ = self.ingest.try_send(Ingest::DebugDropSub(sid));
     }
 
     /// Ask the server to stop: in-flight ingested mutations are

@@ -67,6 +67,10 @@ pub(crate) enum Ingest {
     ShutdownRequested,
     /// The reader thread exited; tear the connection down.
     Closed(u64),
+    /// Test hook ([`crate::Server::debug_desync_sub`]): drop a sid from
+    /// the sub table without touching its connection's sub list,
+    /// forcing the index desync the tick loop degrades around.
+    DebugDropSub(u32),
 }
 
 /// Tick-thread record of one live subscription.
@@ -245,6 +249,13 @@ impl TickThread {
                     self.metrics.ingest_dequeued_total.inc();
                     break;
                 }
+                Ingest::DebugDropSub(sid) => {
+                    self.metrics.ingest_dequeued_total.inc();
+                    // Deliberately skips the connection's sub list and
+                    // the engine slot: the next tick must hit the
+                    // dangling sid and degrade instead of panicking.
+                    self.subs.remove(&sid);
+                }
                 other => {
                     self.metrics.ingest_dequeued_total.inc();
                     self.apply(other);
@@ -325,7 +336,14 @@ impl TickThread {
                 })
                 .collect(),
         };
-        let dir = self.cfg.wal.as_ref().expect("wal cfg present").dir.clone();
+        // A snapshot needs the durability config for its directory; a
+        // writer without one (snapshot requested with durability off)
+        // is a counted no-op, not a tick-thread panic.
+        let Some(opts) = self.cfg.wal.as_ref() else {
+            self.metrics.wal_snapshots_skipped_total.inc();
+            return;
+        };
+        let dir = opts.dir.clone();
         match igern_wal::write_snapshot(&dir, &data) {
             Ok(_) => {
                 self.metrics.wal_snapshots_total.inc();
@@ -412,24 +430,29 @@ impl TickThread {
                     })
                     .map(|(&old_sid, _)| old_sid);
                 if let Some(old_sid) = claim {
-                    let mut sub = self.subs.remove(&old_sid).expect("claim scanned above");
-                    sub.conn = conn;
-                    sub.needs_snapshot = true;
-                    sub.prev = Vec::new();
-                    self.subs.insert(sid, sub);
-                    if let Some(cs) = self.conns.get_mut(&conn) {
-                        cs.subs.push(sid);
+                    if let Some(mut sub) = self.subs.remove(&old_sid) {
+                        sub.conn = conn;
+                        sub.needs_snapshot = true;
+                        sub.prev = Vec::new();
+                        self.subs.insert(sid, sub);
+                        if let Some(cs) = self.conns.get_mut(&conn) {
+                            cs.subs.push(sid);
+                        }
+                        self.wal_append(&Frame::Unsubscribe { sid: old_sid });
+                        self.wal_append(&Frame::Subscribe {
+                            token: sid,
+                            anchor,
+                            algo,
+                        });
+                        self.metrics
+                            .subscriptions_active
+                            .set(self.subs.len() as f64);
+                        return;
                     }
-                    self.wal_append(&Frame::Unsubscribe { sid: old_sid });
-                    self.wal_append(&Frame::Subscribe {
-                        token: sid,
-                        anchor,
-                        algo,
-                    });
-                    self.metrics
-                        .subscriptions_active
-                        .set(self.subs.len() as f64);
-                    return;
+                    // The claim scan and the removal disagree (index
+                    // desync): count it and fall through to a fresh
+                    // registration instead of panicking.
+                    self.metrics.sub_desync_total.inc();
                 }
                 match self.runner.add_query(ObjectId(anchor), algo) {
                     Ok(qid) => {
@@ -478,7 +501,19 @@ impl TickThread {
                     );
                     return;
                 }
-                let sub = self.subs.remove(&sid).expect("checked above");
+                let Some(sub) = self.subs.remove(&sid) else {
+                    // Ownership check and removal disagree (index
+                    // desync): drop the stale sid from the connection
+                    // and keep serving.
+                    self.metrics.sub_desync_total.inc();
+                    if let Some(cs) = self.conns.get_mut(&conn) {
+                        cs.subs.retain(|&s| s != sid);
+                    }
+                    self.metrics
+                        .subscriptions_active
+                        .set(self.subs.len() as f64);
+                    return;
+                };
                 self.runner.remove_query(sub.qid);
                 self.wal_append(&Frame::Unsubscribe { sid });
                 if let Some(cs) = self.conns.get_mut(&conn) {
@@ -582,8 +617,15 @@ impl TickThread {
                 continue;
             }
             let mut batch = Vec::new();
+            // Sids the sub table no longer knows (index desync): the
+            // stale entries are dropped below and the tick completes.
+            let mut stale: Vec<u32> = Vec::new();
             for &sid in &cs.subs {
-                let sub = self.subs.get_mut(&sid).expect("sub index consistent");
+                let Some(sub) = self.subs.get_mut(&sid) else {
+                    self.metrics.sub_desync_total.inc();
+                    stale.push(sid);
+                    continue;
+                };
                 let answer = self.runner.answer(sub.qid);
                 if sub.needs_snapshot {
                     batch.push(Frame::TickDelta {
@@ -610,6 +652,9 @@ impl TickThread {
                 sub.needs_snapshot = false;
                 sub.prev = answer.to_vec();
             }
+            if !stale.is_empty() {
+                cs.subs.retain(|s| !stale.contains(s));
+            }
             batch.push(Frame::TickEnd { tick, stamp_nanos });
             match cs.conn.push_tick_batch(
                 batch,
@@ -626,17 +671,23 @@ impl TickThread {
                     let snap: Vec<Frame> = cs
                         .subs
                         .iter()
-                        .map(|&sid| {
-                            let sub = self.subs.get_mut(&sid).expect("sub index consistent");
+                        .filter_map(|&sid| {
+                            // The delta loop above already purged stale
+                            // sids this tick; a race is still counted
+                            // and skipped rather than panicking.
+                            let Some(sub) = self.subs.get_mut(&sid) else {
+                                self.metrics.sub_desync_total.inc();
+                                return None;
+                            };
                             sub.needs_snapshot = false;
-                            Frame::TickDelta {
+                            Some(Frame::TickDelta {
                                 tick,
                                 stamp_nanos,
                                 sid,
                                 snapshot: true,
                                 adds: sub.prev.iter().map(|o| o.0).collect(),
                                 removes: Vec::new(),
-                            }
+                            })
                         })
                         .chain(std::iter::once(Frame::TickEnd { tick, stamp_nanos }))
                         .collect();

@@ -130,6 +130,9 @@ pub struct Plan {
     /// unrecoverable corruption the durability layer would silently
     /// repair on replay, splitting the backends from the mirror.
     pub durable: bool,
+    /// Whether every backend evaluates through the shared-scan batch
+    /// path (`igern_core::batch`) — must be answer-invisible.
+    pub batch: bool,
     /// Anchor of the fault-victim client's own subscription. The
     /// executor's mirror pins this object: it is never removed, so the
     /// victim's standing query stays semantically valid on the server
@@ -183,6 +186,7 @@ pub struct GenConfig {
     pub faults: bool,
     pub server: bool,
     pub durable: bool,
+    pub batch: bool,
 }
 
 /// The algorithm rotation new queries cycle through — all eight
@@ -447,6 +451,7 @@ pub fn generate(cfg: &GenConfig) -> Plan {
         ticks: cfg.ticks,
         server: cfg.server,
         durable,
+        batch: cfg.batch,
         victim_anchor: (cfg.server && cfg.faults).then_some(victim_anchor),
         initial,
         events,
@@ -476,6 +481,7 @@ mod tests {
             faults: true,
             server: true,
             durable: false,
+            batch: false,
         }
     }
 

@@ -86,6 +86,10 @@ pub struct SimConfig {
     /// operation: answers must be bit-identical from the first
     /// post-restart tick.
     pub durable: bool,
+    /// Run every backend with shared-scan batch evaluation (see
+    /// `igern_core::batch`). Off by default so the harness's baseline
+    /// stays the per-query path; turning it on must be answer-invisible.
+    pub batch: bool,
 }
 
 impl Default for SimConfig {
@@ -101,6 +105,7 @@ impl Default for SimConfig {
             faults: true,
             server: true,
             durable: false,
+            batch: false,
         }
     }
 }
@@ -118,6 +123,7 @@ impl SimConfig {
             faults: self.faults,
             server: self.server,
             durable: self.durable,
+            batch: self.batch,
         }
     }
 

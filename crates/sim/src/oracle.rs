@@ -214,6 +214,7 @@ mod tests {
             workers: 1,
             ticks: 1,
             server: false,
+            batch: false,
             durable: false,
             victim_anchor: Some(3),
             initial: vec![

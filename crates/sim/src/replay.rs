@@ -89,6 +89,7 @@ pub fn write_replay(plan: &Plan) -> String {
     let _ = writeln!(s, "  \"ticks\": {},", plan.ticks);
     let _ = writeln!(s, "  \"server\": {},", plan.server);
     let _ = writeln!(s, "  \"durable\": {},", plan.durable);
+    let _ = writeln!(s, "  \"batch\": {},", plan.batch);
     match plan.victim_anchor {
         Some(a) => {
             let _ = writeln!(s, "  \"victim_anchor\": {a},");
@@ -286,6 +287,8 @@ pub fn load_replay(text: &str) -> Result<Plan, ReplayError> {
         server: matches!(root.get("server"), Some(Value::Bool(true))),
         // Absent in files written before durability existed: off.
         durable: matches!(root.get("durable"), Some(Value::Bool(true))),
+        // Absent in files written before batch evaluation existed: off.
+        batch: matches!(root.get("batch"), Some(Value::Bool(true))),
         victim_anchor,
         initial,
         events,
@@ -309,6 +312,7 @@ mod tests {
             faults: true,
             server: true,
             durable: false,
+            batch: false,
         })
     }
 
@@ -332,6 +336,7 @@ mod tests {
             faults: true,
             server: true,
             durable: true,
+            batch: false,
         });
         assert!(p.events.iter().any(|e| e.event == SimEvent::KillRestart));
         let text = write_replay(&p);

@@ -137,6 +137,7 @@ mod tests {
             ticks: 50,
             server: false,
             durable: false,
+            batch: false,
             victim_anchor: None,
             initial: Vec::new(),
             events: (0..n_events)

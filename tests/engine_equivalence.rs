@@ -6,7 +6,10 @@
 //! algorithms.
 //!
 //! Set `IGERN_TEST_WORKERS` to add a worker count to the sweep (the CI
-//! matrix uses this to force a 4-worker leg).
+//! matrix uses this to force a 4-worker leg). Set `IGERN_TEST_BATCH=on`
+//! to run the whole sweep with shared-scan batch evaluation enabled on
+//! both backends — batching must be answer-invisible, so every assertion
+//! below holds unchanged (the CI batch leg uses this).
 
 mod common;
 
@@ -63,12 +66,25 @@ fn worker_counts() -> Vec<usize> {
     counts
 }
 
+/// `IGERN_TEST_BATCH=on` switches both backends to the batched
+/// shared-scan path (which must be bit-identical to per-query).
+fn batch_on() -> bool {
+    matches!(
+        std::env::var("IGERN_TEST_BATCH").as_deref().map(str::trim),
+        Ok("on") | Ok("1")
+    )
+}
+
 /// Drive the serial processor and a sharded engine through the identical
 /// randomized stream — movement, skip routing on, and mid-stream
 /// add/remove of standing queries — asserting lock-step equality.
 fn run_stream(workers: usize, placement: Placement, seed: u64) {
     let mut serial = Processor::new(loaded_store(seed));
     let mut engine = ShardedEngine::new(loaded_store(seed), workers, placement);
+    if batch_on() {
+        serial.set_batch(true);
+        engine.set_batch(true);
+    }
 
     // Anchors are kind-A objects (required by the bichromatic ones).
     let mut live: Vec<usize> = ALGOS

@@ -356,6 +356,52 @@ fn semantic_errors_keep_the_connection_alive() {
     server.stop();
 }
 
+/// An internal sub-index desync — a connection listing a subscription
+/// id the tick thread's sub table no longer knows — must not take the
+/// tick thread down: the tick completes, the desync is counted in
+/// `igern_server_sub_desync_total`, and the server keeps serving.
+#[test]
+fn injected_sub_desync_is_survived_and_counted() {
+    let seed = 0xDE_517C;
+    let mut server =
+        Server::start(("127.0.0.1", 0), seeded_store(seed), manual_config(1)).expect("bind server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let sid = client
+        .subscribe(0, Algorithm::IgernMono)
+        .expect("subscribe");
+    client.step().expect("step");
+    client.wait_tick_end(1, WAIT).expect("tick end");
+
+    // Rip the subscription out of the tick thread's sub table while the
+    // connection still lists it, then force a tick with answer churn so
+    // the delta fan-out walks the now-dangling sid.
+    server.debug_desync_sub(sid);
+    client.upsert(1, ObjectKind::A, 1.0, 1.0).expect("upsert");
+    client.step().expect("step");
+    client
+        .wait_tick_end(2, WAIT)
+        .expect("tick survives the desync");
+    assert!(
+        server.metrics().sub_desync_total.get() >= 1,
+        "the injected desync was not counted"
+    );
+
+    // The server is still fully serviceable: a fresh subscription on
+    // the same connection answers on the next tick.
+    let sid2 = client.subscribe(2, Algorithm::Knn(3)).expect("resubscribe");
+    client.upsert(3, ObjectKind::A, 2.0, 2.0).expect("upsert");
+    client.step().expect("step");
+    client
+        .wait_tick_end(3, WAIT)
+        .expect("tick end after recovery");
+    assert_eq!(
+        client.answer(sid2).len(),
+        3,
+        "knn answer missing after the desync"
+    );
+    server.stop();
+}
+
 /// A wrong protocol version is rejected with VERSION_MISMATCH at
 /// handshake.
 #[test]
