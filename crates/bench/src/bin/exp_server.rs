@@ -18,17 +18,30 @@
 //! is how the CI smoke leg exercises the shipped binary. Results go to
 //! `BENCH_server.json` with `host_cpus` recorded — single-core hosts
 //! serialize everything, so read the numbers against that field.
+//!
+//! In-process runs finish with a **subscriber sweep**: 100 / 1k / 10k
+//! concurrent standing subscriptions over the in-memory transport, one
+//! series per I/O backend, measuring per-tick fan-out latency (tick
+//! stamp → each subscriber's `TICK_END` decoded). The threaded backend
+//! is skipped at 10k — two OS threads per connection would need 20k
+//! threads — which is exactly the scaling cliff the reactor removes.
 
+use std::io::Write;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use igern_bench::report::print_table;
+use igern_core::obs::MetricsRegistry;
 use igern_core::processor::Algorithm;
 use igern_core::types::ObjectKind;
 use igern_core::SpatialStore;
 use igern_geom::Aabb;
 use igern_mobgen::rng::Rng64;
 use igern_server::client::Event;
-use igern_server::{Client, Server, ServerConfig, SlowConsumerPolicy, TickMode};
+use igern_server::proto::{Frame, FrameReader, ReadOutcome};
+use igern_server::{
+    memory_listener, Client, IoBackend, Listener, Server, ServerConfig, SlowConsumerPolicy, Stream,
+    TickMode, PROTOCOL_VERSION,
+};
 use igern_wal::{FsyncPolicy, WalOptions};
 
 const SIDE: f64 = 100.0;
@@ -46,6 +59,10 @@ struct SrvArgs {
     addr: Option<String>,
     /// Send a SHUTDOWN frame when done (external mode).
     shutdown: bool,
+    /// I/O backend for in-process runs; `None` sweeps both.
+    io: Option<IoBackend>,
+    /// Override the subscriber-sweep counts (default 100/1k/10k).
+    subscribers: Option<usize>,
 }
 
 impl SrvArgs {
@@ -59,6 +76,8 @@ impl SrvArgs {
             quick: false,
             addr: None,
             shutdown: false,
+            io: None,
+            subscribers: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -77,9 +96,22 @@ impl SrvArgs {
                 "--quick" => args.quick = true,
                 "--addr" => args.addr = Some(value("--addr")),
                 "--shutdown" => args.shutdown = value("--shutdown") == "true",
+                "--subscribers" => {
+                    args.subscribers = Some(value("--subscribers").parse().expect("--subscribers"))
+                }
+                "--io" => {
+                    let name = value("--io");
+                    args.io = match name.as_str() {
+                        "both" => None,
+                        other => Some(
+                            IoBackend::parse(other)
+                                .unwrap_or_else(|| panic!("--io {other:?} (threads|reactor|both)")),
+                        ),
+                    };
+                }
                 other => panic!(
                     "unknown flag {other} \
-                     (--clients --updates --objects --tick-ms --seed --quick --addr --shutdown)"
+                     (--clients --updates --objects --tick-ms --seed --quick --addr --shutdown --io)"
                 ),
             }
         }
@@ -177,6 +209,9 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 struct Series {
     label: String,
     workers: usize,
+    /// `None` for the external mode, where the server's backend is its
+    /// own business.
+    io: Option<IoBackend>,
     /// `None` = no write-ahead log for this series.
     wal_fsync: Option<FsyncPolicy>,
     updates_per_sec: f64,
@@ -208,7 +243,12 @@ fn run_clients(addr: &str, args: &SrvArgs) -> (f64, Vec<f64>) {
     (sent as f64 / wall, latencies)
 }
 
-fn measure_in_process(workers: usize, args: &SrvArgs, wal_fsync: Option<FsyncPolicy>) -> Series {
+fn measure_in_process(
+    workers: usize,
+    io: IoBackend,
+    args: &SrvArgs,
+    wal_fsync: Option<FsyncPolicy>,
+) -> Series {
     let store = SpatialStore::new(Aabb::from_coords(0.0, 0.0, SIDE, SIDE), 16, Vec::new());
     let wal_dir = wal_fsync.map(|fsync| {
         let dir = std::env::temp_dir().join(format!(
@@ -223,6 +263,7 @@ fn measure_in_process(workers: usize, args: &SrvArgs, wal_fsync: Option<FsyncPol
         space: Aabb::from_coords(0.0, 0.0, SIDE, SIDE),
         grid: 16,
         workers,
+        io,
         tick_mode: TickMode::Every(Duration::from_millis(args.tick_ms.max(1))),
         slow_consumer: SlowConsumerPolicy::Coalesce,
         wal: wal_dir.as_ref().map(|(dir, fsync)| WalOptions {
@@ -236,12 +277,17 @@ fn measure_in_process(workers: usize, args: &SrvArgs, wal_fsync: Option<FsyncPol
     let (updates_per_sec, latencies) = run_clients(&addr, args);
     let m = server.metrics();
     let label = match wal_fsync {
-        None => format!("in-process, {workers} workers"),
-        Some(f) => format!("in-process, {workers} workers, wal fsync={}", f.name()),
+        None => format!("in-process, {workers} workers, {} io", io.name()),
+        Some(f) => format!(
+            "in-process, {workers} workers, {} io, wal fsync={}",
+            io.name(),
+            f.name()
+        ),
     };
     let series = Series {
         label,
         workers,
+        io: Some(io),
         wal_fsync,
         updates_per_sec,
         p50_ms: percentile(&latencies, 0.50),
@@ -255,6 +301,202 @@ fn measure_in_process(workers: usize, args: &SrvArgs, wal_fsync: Option<FsyncPol
         let _ = std::fs::remove_dir_all(dir);
     }
     series
+}
+
+/// Objects the sweep driver maintains; subscriber anchors cycle these.
+const SWEEP_OBJECTS: u32 = 512;
+/// Driver churn per tick in the subscriber sweep.
+const SWEEP_CHURN: usize = 64;
+
+struct SweepPoint {
+    io: IoBackend,
+    subscribers: usize,
+    ticks: u64,
+    handshake_secs: f64,
+    fanout_p50_ms: f64,
+    fanout_p99_ms: f64,
+    samples: usize,
+    /// `Some(reason)` when the point was not measured.
+    skipped: Option<&'static str>,
+}
+
+/// Block on `r` (bounded by the stream's read timeout per poll) until a
+/// frame decodes.
+fn next_push(r: &mut FrameReader<Stream>, deadline: Duration) -> Frame {
+    let t0 = Instant::now();
+    loop {
+        match r.poll().expect("subscriber stream is well-formed") {
+            ReadOutcome::Frame(f) => return f,
+            ReadOutcome::Eof => panic!("subscriber saw EOF mid-sweep"),
+            _ => assert!(
+                t0.elapsed() < deadline,
+                "subscriber starved for {deadline:?}"
+            ),
+        }
+    }
+}
+
+/// Fan-out to `n` standing subscribers over the in-memory transport:
+/// one driver client churns objects and steps ticks while `n` raw
+/// streams each hold a 4-NN subscription. Per tick, every subscriber's
+/// `TICK_END` arrival is timed against the tick's push stamp; the
+/// drain runs on one thread, so the recorded p99 is the cost of
+/// delivering *and consuming* the full fan-out, not one lucky socket.
+fn sweep_point(io: IoBackend, n: usize, ticks: u64, args: &SrvArgs) -> SweepPoint {
+    let space = Aabb::from_coords(0.0, 0.0, SIDE, SIDE);
+    let cfg = ServerConfig {
+        space,
+        grid: 16,
+        io,
+        tick_mode: TickMode::Manual,
+        slow_consumer: SlowConsumerPolicy::Coalesce,
+        ..ServerConfig::default()
+    };
+    let store = SpatialStore::new(space, 16, Vec::new());
+    let (listener, connector) = memory_listener();
+    let mut server = Server::start_on(Listener::Mem(listener), store, cfg, MetricsRegistry::new())
+        .expect("sweep server boots");
+
+    let mut driver = Client::from_stream(Stream::Mem(connector.connect().expect("driver pipe")))
+        .expect("driver handshake");
+    let mut rng = Rng64::seed_from_u64(args.seed ^ 0xFA0);
+    for id in 1..=SWEEP_OBJECTS {
+        driver
+            .upsert(id, ObjectKind::A, rng.f64() * SIDE, rng.f64() * SIDE)
+            .expect("populate");
+    }
+    // The driver holds a subscription of its own purely so TICK_END
+    // reaches it (ticks are only pushed to subscribed connections).
+    driver.subscribe(1, Algorithm::Knn(1)).expect("driver sub");
+
+    // Handshake pipelined in waves — send to all, then collect from
+    // all — so connection setup overlaps inside the server instead of
+    // serializing on this thread's round trips.
+    let wait = Duration::from_secs(120);
+    let t0 = Instant::now();
+    let mut subs: Vec<(Stream, FrameReader<Stream>)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = Stream::Mem(connector.connect().expect("subscriber pipe"));
+        s.set_read_timeout(Some(Duration::from_millis(100)))
+            .expect("read timeout");
+        let mut w = s.try_clone().expect("stream clone");
+        w.write_all(
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+            }
+            .encode(),
+        )
+        .expect("hello");
+        subs.push((w, FrameReader::new(s)));
+    }
+    for (_, r) in subs.iter_mut() {
+        match next_push(r, wait) {
+            Frame::HelloAck { .. } => {}
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+    }
+    for (i, (w, _)) in subs.iter_mut().enumerate() {
+        w.write_all(
+            &Frame::Subscribe {
+                token: 1,
+                anchor: 1 + (i as u32 % SWEEP_OBJECTS),
+                algo: Algorithm::Knn(4),
+            }
+            .encode(),
+        )
+        .expect("subscribe");
+    }
+    for (_, r) in subs.iter_mut() {
+        match next_push(r, wait) {
+            Frame::Subscribed { .. } => {}
+            other => panic!("expected Subscribed, got {other:?}"),
+        }
+    }
+    let handshake_secs = t0.elapsed().as_secs_f64();
+
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(n * ticks as usize);
+    for tick in 1..=ticks {
+        for _ in 0..SWEEP_CHURN {
+            let id = 1 + rng.gen_range(0..SWEEP_OBJECTS as usize) as u32;
+            driver
+                .upsert(id, ObjectKind::A, rng.f64() * SIDE, rng.f64() * SIDE)
+                .expect("churn");
+        }
+        driver.step().expect("step");
+        driver
+            .wait_tick_end(tick, Duration::from_secs(120))
+            .expect("driver tick");
+        for (_, r) in subs.iter_mut() {
+            loop {
+                if let Frame::TickEnd {
+                    tick: t,
+                    stamp_nanos,
+                } = next_push(r, wait)
+                {
+                    if t == tick {
+                        let now = now_nanos();
+                        if now > stamp_nanos {
+                            lat_ms.push((now - stamp_nanos) as f64 / 1e6);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+    drop(subs);
+    drop(driver);
+    server.stop();
+    SweepPoint {
+        io,
+        subscribers: n,
+        ticks,
+        handshake_secs,
+        fanout_p50_ms: percentile(&lat_ms, 0.50),
+        fanout_p99_ms: percentile(&lat_ms, 0.99),
+        samples: lat_ms.len(),
+        skipped: None,
+    }
+}
+
+fn run_subscriber_sweep(args: &SrvArgs) -> Vec<SweepPoint> {
+    let counts: Vec<usize> = match args.subscribers {
+        Some(n) => vec![n],
+        None if args.quick => vec![100, 1_000],
+        None => vec![100, 1_000, 10_000],
+    };
+    let ticks: u64 = if args.quick { 3 } else { 5 };
+    let backends: &[IoBackend] = match args.io {
+        Some(IoBackend::Reactor) => &[IoBackend::Reactor],
+        Some(IoBackend::Threads) => &[IoBackend::Threads],
+        None => &[IoBackend::Reactor, IoBackend::Threads],
+    };
+    let mut points = Vec::new();
+    for &io in backends {
+        for &n in &counts {
+            if io == IoBackend::Threads && n >= 10_000 {
+                // Two OS threads per connection: 10k subscribers means
+                // 20k threads, which degrades (or outright fails) long
+                // before the reactor's fixed pool notices. Documented
+                // rather than measured.
+                points.push(SweepPoint {
+                    io,
+                    subscribers: n,
+                    ticks,
+                    handshake_secs: f64::NAN,
+                    fanout_p50_ms: f64::NAN,
+                    fanout_p99_ms: f64::NAN,
+                    samples: 0,
+                    skipped: Some("threads backend needs 2 OS threads/conn; 20k threads"),
+                });
+                continue;
+            }
+            println!("  sweep: {} io, {n} subscribers ...", io.name());
+            points.push(sweep_point(io, n, ticks, args));
+        }
+    }
+    points
 }
 
 fn main() {
@@ -272,6 +514,7 @@ fn main() {
             vec![Series {
                 label: format!("external {addr}"),
                 workers: 0,
+                io: None,
                 wal_fsync: None,
                 updates_per_sec,
                 p50_ms: percentile(&latencies, 0.50),
@@ -282,10 +525,11 @@ fn main() {
             }]
         }
         None => {
+            let io = args.io.unwrap_or(IoBackend::Reactor);
             let sweep = if host_cpus >= 4 { vec![1, 4] } else { vec![1] };
             let mut series: Vec<Series> = sweep
                 .iter()
-                .map(|&w| measure_in_process(w, &args, None))
+                .map(|&w| measure_in_process(w, io, &args, None))
                 .collect();
             // Durability sweep: the same workload over a write-ahead
             // log, one series per fsync policy, at the widest worker
@@ -294,10 +538,15 @@ fn main() {
             // baseline series).
             let wal_workers = *sweep.last().expect("sweep never empty");
             for fsync in [FsyncPolicy::Never, FsyncPolicy::Tick, FsyncPolicy::Always] {
-                series.push(measure_in_process(wal_workers, &args, Some(fsync)));
+                series.push(measure_in_process(wal_workers, io, &args, Some(fsync)));
             }
             series
         }
+    };
+    let sweep_points: Vec<SweepPoint> = if args.addr.is_none() {
+        run_subscriber_sweep(&args)
+    } else {
+        Vec::new()
     };
 
     let rows: Vec<Vec<String>> = series
@@ -318,17 +567,45 @@ fn main() {
         &rows,
     );
 
+    if !sweep_points.is_empty() {
+        let rows: Vec<Vec<String>> = sweep_points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.io.name().to_string(),
+                    p.subscribers.to_string(),
+                    match p.skipped {
+                        Some(why) => format!("skipped: {why}"),
+                        None => format!("{:.3}", p.fanout_p50_ms),
+                    },
+                    if p.skipped.is_some() {
+                        "-".to_string()
+                    } else {
+                        format!("{:.3}", p.fanout_p99_ms)
+                    },
+                    p.samples.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "SRV: subscriber fan-out sweep (tick stamp → TICK_END decoded)",
+            &["io", "subscribers", "p50 ms", "p99 ms", "samples"],
+            &rows,
+        );
+    }
+
     let entries: Vec<String> = series
         .iter()
         .map(|s| {
             format!(
-                "    {{\"label\": \"{}\", \"workers\": {}, \"wal_fsync\": {}, \
+                "    {{\"label\": \"{}\", \"workers\": {}, \"io\": {}, \"wal_fsync\": {}, \
                  \"updates_per_sec\": {:.1}, \
                  \"tick_to_push_p50_ms\": {:.4}, \"tick_to_push_p99_ms\": {:.4}, \
                  \"latency_samples\": {}, \"slow_consumer_events\": {}, \
                  \"protocol_errors\": {}}}",
                 s.label,
                 s.workers,
+                s.io.map_or("null".to_string(), |io| format!("\"{}\"", io.name())),
                 s.wal_fsync
                     .map_or("null".to_string(), |f| format!("\"{}\"", f.name())),
                 s.updates_per_sec,
@@ -340,17 +617,44 @@ fn main() {
             )
         })
         .collect();
+    let sweep_entries: Vec<String> = sweep_points
+        .iter()
+        .map(|p| {
+            let num = |v: f64| {
+                if v.is_finite() {
+                    format!("{v:.4}")
+                } else {
+                    "null".to_string()
+                }
+            };
+            format!(
+                "    {{\"io\": \"{}\", \"subscribers\": {}, \"ticks\": {}, \
+                 \"handshake_secs\": {}, \"fanout_p50_ms\": {}, \"fanout_p99_ms\": {}, \
+                 \"samples\": {}, \"skipped\": {}}}",
+                p.io.name(),
+                p.subscribers,
+                p.ticks,
+                num(p.handshake_secs),
+                num(p.fanout_p50_ms),
+                num(p.fanout_p99_ms),
+                p.samples,
+                p.skipped
+                    .map_or("null".to_string(), |why| format!("\"{why}\"")),
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"experiment\": \"server_throughput\",\n  \"clients\": {},\n  \
          \"updates_per_client\": {},\n  \"objects_per_client\": {},\n  \
          \"tick_ms\": {},\n  \"seed\": {},\n  \"host_cpus\": {host_cpus},\n  \
-         \"series\": [\n{}\n  ]\n}}\n",
+         \"series\": [\n{}\n  ],\n  \"subscriber_sweep\": [\n{}\n  ]\n}}\n",
         args.clients,
         args.updates,
         args.objects_per_client,
         args.tick_ms,
         args.seed,
-        entries.join(",\n")
+        entries.join(",\n"),
+        sweep_entries.join(",\n")
     );
     let path = "BENCH_server.json";
     std::fs::write(path, &json).expect("write BENCH_server.json");

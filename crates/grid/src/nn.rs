@@ -478,7 +478,7 @@ fn column_min(
     unreachable!("column minimum must correspond to an accepted entry")
 }
 
-/// Nearest object of `cells` that passes the [`undominated`] predicate —
+/// Nearest object of `cells` that passes the `undominated` predicate —
 /// IGERN's Phase-I probe ("the nearest non-candidate object inside the
 /// alive region"), with exact-granularity domination pruning when
 /// `sites` holds the candidate positions and cell granularity when it is

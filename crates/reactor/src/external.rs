@@ -1,0 +1,124 @@
+//! Externally-signalled readiness sources.
+//!
+//! The in-process memory transport has no fd, so its readiness can't
+//! come from the kernel. An [`ExternalHandle`] is the bridge: the
+//! producer side (a pipe's notify hook) flips ready bits and wakes the
+//! loop; the reactor drains signalled handles into ordinary [`Event`]s
+//! after each poller wait, so callers see fd-backed and fd-less
+//! sources through one event stream.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::poller::WakeShared;
+use crate::Token;
+
+const READABLE: u8 = 1;
+const WRITABLE: u8 = 2;
+const HANGUP: u8 = 4;
+
+struct ExternalInner {
+    token: Token,
+    /// READABLE | WRITABLE | HANGUP bits, set by producers, consumed
+    /// by the loop.
+    ready: AtomicU8,
+    /// Dedup flag: true while this handle sits in the pending list.
+    queued: AtomicBool,
+    pending: Arc<Mutex<Vec<Arc<ExternalInner>>>>,
+    wake: Arc<WakeShared>,
+}
+
+/// Producer-side handle for one fd-less source. Clonable and cheap to
+/// signal from any thread: setting an already-set bit while queued is
+/// two relaxed atomics and no syscall.
+#[derive(Clone)]
+pub struct ExternalHandle {
+    inner: Arc<ExternalInner>,
+}
+
+impl ExternalHandle {
+    /// Signal readiness. Bits accumulate until the loop consumes them.
+    pub fn set_ready(&self, readable: bool, writable: bool) {
+        let mut bits = 0;
+        if readable {
+            bits |= READABLE;
+        }
+        if writable {
+            bits |= WRITABLE;
+        }
+        if bits == 0 {
+            return;
+        }
+        self.signal(bits);
+    }
+
+    /// Signal that the peer is gone (reported as `hangup` + readable so
+    /// consumers observe EOF through their normal read path).
+    pub fn set_hangup(&self) {
+        self.signal(HANGUP | READABLE);
+    }
+
+    pub fn token(&self) -> Token {
+        self.inner.token
+    }
+
+    fn signal(&self, bits: u8) {
+        self.inner.ready.fetch_or(bits, Ordering::AcqRel);
+        if !self.inner.queued.swap(true, Ordering::AcqRel) {
+            self.inner
+                .pending
+                .lock()
+                .unwrap()
+                .push(Arc::clone(&self.inner));
+            self.inner.wake.wake();
+        }
+    }
+}
+
+/// Loop-side registry of external sources.
+pub(crate) struct Externals {
+    pending: Arc<Mutex<Vec<Arc<ExternalInner>>>>,
+}
+
+impl Externals {
+    pub(crate) fn new() -> Externals {
+        Externals {
+            pending: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    pub(crate) fn create(&self, token: Token, wake: Arc<WakeShared>) -> ExternalHandle {
+        ExternalHandle {
+            inner: Arc::new(ExternalInner {
+                token,
+                ready: AtomicU8::new(0),
+                queued: AtomicBool::new(false),
+                pending: Arc::clone(&self.pending),
+                wake,
+            }),
+        }
+    }
+
+    /// Drain all signalled handles into `(token, readable, writable,
+    /// hangup)` tuples, clearing their state for re-signalling.
+    pub(crate) fn drain(&self, out: &mut Vec<(Token, bool, bool, bool)>) {
+        let drained: Vec<_> = {
+            let mut pending = self.pending.lock().unwrap();
+            pending.drain(..).collect()
+        };
+        for inner in drained {
+            // Clear queued before reading bits: a producer signalling
+            // after this point re-queues the handle, so nothing is lost.
+            inner.queued.store(false, Ordering::Release);
+            let bits = inner.ready.swap(0, Ordering::AcqRel);
+            if bits != 0 {
+                out.push((
+                    inner.token,
+                    bits & READABLE != 0,
+                    bits & WRITABLE != 0,
+                    bits & HANGUP != 0,
+                ));
+            }
+        }
+    }
+}

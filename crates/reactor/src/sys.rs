@@ -1,0 +1,275 @@
+//! Thin `libc`-crate-free syscall FFI.
+//!
+//! The workspace carries no external dependencies, so the handful of
+//! readiness syscalls the reactor needs are declared here as
+//! `extern "C"` bindings against the C library `std` already links on
+//! every unix target. Errno is read through
+//! [`std::io::Error::last_os_error`], which keeps this module free of
+//! per-platform `errno` location shims.
+//!
+//! Everything epoll- or eventfd-specific is gated to Linux/Android;
+//! the portable surface (`poll(2)`, `pipe(2)`, `fcntl(2)`,
+//! `getrlimit(2)`) compiles on any unix, which is what the
+//! [`poll` backend](crate::Backend::Poll) builds on for
+//! macOS/CI-without-epoll.
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+
+pub type c_int = i32;
+pub type c_uint = u32;
+
+/// `RawFd` without pulling the whole `std::os::fd` surface into
+/// every use site.
+pub type Fd = c_int;
+
+// ---------------------------------------------------------------- epoll
+
+/// Linux `struct epoll_event`. Packed on x86 so the layout matches the
+/// kernel ABI (12 bytes); naturally aligned elsewhere (16 bytes on
+/// aarch64).
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut epoll_event, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+}
+
+// ----------------------------------------------------------------- poll
+
+/// Portable `struct pollfd` (identical layout on every unix).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct pollfd {
+    pub fd: c_int,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+type nfds_t = u64;
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+type nfds_t = c_uint;
+
+// ------------------------------------------------------------- portable
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const F_SETFD: c_int = 2;
+const FD_CLOEXEC: c_int = 1;
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+const O_NONBLOCK: c_int = 0o4000;
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+const O_NONBLOCK: c_int = 0x0004;
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+const RLIMIT_NOFILE: c_int = 7;
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+const RLIMIT_NOFILE: c_int = 8;
+
+#[repr(C)]
+struct rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const u8,
+        optlen: c_uint,
+    ) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// -------------------------------------------------------- safe wrappers
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub fn sys_epoll_create() -> io::Result<Fd> {
+    // SAFETY: no pointers involved; the fd is owned by the caller.
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub fn sys_epoll_ctl(epfd: Fd, op: c_int, fd: Fd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = epoll_event { events, data };
+    // SAFETY: `ev` outlives the call; the kernel copies it.
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub fn sys_epoll_wait(
+    epfd: Fd,
+    events: &mut [epoll_event],
+    timeout_ms: c_int,
+) -> io::Result<usize> {
+    // SAFETY: the buffer is valid for `events.len()` entries.
+    let n =
+        cvt(unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) })?;
+    Ok(n as usize)
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub fn sys_eventfd() -> io::Result<Fd> {
+    // SAFETY: no pointers involved.
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+pub fn sys_poll(fds: &mut [pollfd], timeout_ms: c_int) -> io::Result<usize> {
+    // SAFETY: the buffer is valid for `fds.len()` entries.
+    let n = cvt(unsafe { poll(fds.as_mut_ptr(), fds.len() as nfds_t, timeout_ms) })?;
+    Ok(n as usize)
+}
+
+/// A nonblocking close-on-exec pipe: `(read_end, write_end)`.
+pub fn sys_pipe_nonblocking() -> io::Result<(Fd, Fd)> {
+    let mut fds = [0 as c_int; 2];
+    // SAFETY: `fds` is a valid 2-element buffer.
+    cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+    for &fd in &fds {
+        if let Err(e) = set_nonblocking_cloexec(fd) {
+            // SAFETY: both fds came from the pipe call above.
+            unsafe {
+                close(fds[0]);
+                close(fds[1]);
+            }
+            return Err(e);
+        }
+    }
+    Ok((fds[0], fds[1]))
+}
+
+fn set_nonblocking_cloexec(fd: Fd) -> io::Result<()> {
+    // SAFETY: plain fcntl on an owned fd.
+    unsafe {
+        let flags = cvt(fcntl(fd, F_GETFL, 0))?;
+        cvt(fcntl(fd, F_SETFL, flags | O_NONBLOCK))?;
+        cvt(fcntl(fd, F_SETFD, FD_CLOEXEC))?;
+    }
+    Ok(())
+}
+
+/// Nonblocking read; `Ok(0)` on EOF, `WouldBlock` surfaces as `Err`.
+pub fn sys_read(fd: Fd, buf: &mut [u8]) -> io::Result<usize> {
+    // SAFETY: the buffer is valid for `buf.len()` bytes.
+    let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+pub fn sys_write(fd: Fd, buf: &[u8]) -> io::Result<usize> {
+    // SAFETY: the buffer is valid for `buf.len()` bytes.
+    let n = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+pub fn sys_close(fd: Fd) {
+    // SAFETY: the reactor owns every fd it closes; double-close is
+    // prevented by the owning wrappers.
+    unsafe {
+        close(fd);
+    }
+}
+
+/// `(soft, hard)` RLIMIT_NOFILE, or `None` if the syscall failed.
+pub fn fd_limit() -> Option<(u64, u64)> {
+    let mut lim = rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a valid out-pointer.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } == 0 {
+        Some((lim.rlim_cur, lim.rlim_max))
+    } else {
+        None
+    }
+}
+
+/// `setsockopt(SOL_SOCKET, SO_SNDBUF, bytes)` — exposed for the
+/// partial-write tests, which shrink a socket's send buffer to force
+/// short writes through the connection state machine.
+pub fn set_send_buffer(fd: Fd, bytes: c_int) -> io::Result<()> {
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const SOL_SOCKET: c_int = 1;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const SOL_SOCKET: c_int = 0xffff;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const SO_SNDBUF: c_int = 7;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const SO_SNDBUF: c_int = 0x1001;
+    let val = bytes.to_ne_bytes();
+    // SAFETY: `val` is a valid c_int-sized buffer.
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_SNDBUF,
+            val.as_ptr(),
+            std::mem::size_of::<c_int>() as c_uint,
+        )
+    })
+    .map(|_| ())
+}

@@ -1,0 +1,62 @@
+//! Deadline timers: a binary heap with lazy deletion.
+//!
+//! Each `set_timer` bumps a per-token sequence number; heap entries
+//! carry the sequence they were armed with, so stale entries (the
+//! token re-armed or cancelled since) are skipped on pop instead of
+//! being dug out of the heap.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use crate::Token;
+
+#[derive(Default)]
+pub(crate) struct Timers {
+    heap: BinaryHeap<Reverse<(Instant, u64, Token)>>,
+    /// token → sequence of its live arming (absent = no live timer).
+    live: HashMap<u64, u64>,
+    next_seq: u64,
+}
+
+impl Timers {
+    /// Arm (or re-arm) the timer for `token`.
+    pub(crate) fn set(&mut self, token: Token, deadline: Instant) {
+        self.next_seq += 1;
+        self.live.insert(token.0, self.next_seq);
+        self.heap.push(Reverse((deadline, self.next_seq, token)));
+    }
+
+    pub(crate) fn cancel(&mut self, token: Token) {
+        self.live.remove(&token.0);
+    }
+
+    /// Earliest live deadline, discarding stale heap entries on the way.
+    pub(crate) fn next_deadline(&mut self) -> Option<Instant> {
+        while let Some(Reverse((deadline, seq, token))) = self.heap.peek().copied() {
+            if self.live.get(&token.0) == Some(&seq) {
+                return Some(deadline);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pop every live timer with `deadline <= now`.
+    pub(crate) fn expired(&mut self, now: Instant, out: &mut Vec<Token>) {
+        while let Some(Reverse((deadline, seq, token))) = self.heap.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            self.heap.pop();
+            if self.live.get(&token.0) == Some(&seq) {
+                self.live.remove(&token.0);
+                out.push(token);
+            }
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}

@@ -221,6 +221,15 @@ pub(crate) fn reader_loop(
 ) {
     let mut reader = FrameReader::new(stream);
     let mut greeted = false;
+    // Idle backoff: `read_timeout` is a poll interval, so an idle
+    // reader wakes 20×/s doing nothing. After >1s without a frame the
+    // poll stretches to 1s (shutdown latency bound); the next frame
+    // restores the configured interval. The reactor backend has no
+    // equivalent — it is readiness-driven and never polls.
+    const IDLE_BACKOFF_AFTER: Duration = Duration::from_secs(1);
+    const IDLE_POLL: Duration = Duration::from_secs(1);
+    let mut idle_since: Option<std::time::Instant> = None;
+    let mut backed_off = false;
     let err_frame = |code: ErrorCode, msg: &str| Frame::Error {
         code,
         message: msg.to_string(),
@@ -230,6 +239,14 @@ pub(crate) fn reader_loop(
             Ok(ReadOutcome::Idle) => {
                 if conn.is_dead() || shutdown.load(Ordering::Acquire) {
                     break;
+                }
+                match idle_since {
+                    None => idle_since = Some(std::time::Instant::now()),
+                    Some(t0) if !backed_off && t0.elapsed() >= IDLE_BACKOFF_AFTER => {
+                        backed_off = true;
+                        let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+                    }
+                    Some(_) => {}
                 }
             }
             Ok(ReadOutcome::Eof) => break,
@@ -250,6 +267,11 @@ pub(crate) fn reader_loop(
                 break;
             }
             Ok(ReadOutcome::Frame(frame)) => {
+                idle_since = None;
+                if backed_off {
+                    backed_off = false;
+                    let _ = reader.get_ref().set_read_timeout(Some(cfg.read_timeout));
+                }
                 metrics.frame_in(frame.type_name());
                 if !greeted {
                     match frame {
@@ -316,18 +338,16 @@ pub(crate) fn reader_loop(
                         anchor,
                         algo,
                     } => {
-                        // The sid is allocated here and acknowledged
-                        // immediately; outbound FIFO order guarantees
-                        // the SUBSCRIBED precedes any TICK_DELTA for it.
+                        // The sid is allocated here but the SUBSCRIBED
+                        // ack is emitted by the tick thread at dequeue,
+                        // so a client that has seen it is part of the
+                        // next tick and the ack precedes any ERROR or
+                        // TICK_DELTA for the subscription.
                         let sid = next_sid.fetch_add(1, Ordering::Relaxed);
-                        conn.push_control(
-                            Frame::Subscribed { token, sid },
-                            cfg.outbound_queue_frames,
-                            metrics,
-                        );
                         Ingest::Subscribe {
                             conn: conn.id,
                             sid,
+                            token,
                             anchor,
                             algo,
                         }

@@ -49,11 +49,13 @@ mod conn;
 pub mod proto {
     pub use igern_proto::*;
 }
+mod rio;
 mod tick;
 pub mod transport;
 
 pub use client::{Client, ClientError, Event};
 pub use proto::{ErrorCode, Frame, ProtoError, PROTOCOL_VERSION};
+pub use rio::ReactorMetrics;
 pub use transport::{
     memory_listener, memory_listener_with_capacity, Listener, MemConnector, MemStream, Stream,
 };
@@ -61,6 +63,7 @@ pub use transport::{
 pub(crate) use tick::Ingest;
 
 use conn::{reader_loop, Connection};
+use rio::ConnHandle;
 use tick::TickThread;
 
 /// What to do when a connection's outbound queue overflows.
@@ -83,6 +86,53 @@ impl SlowConsumerPolicy {
             "coalesce" => Some(SlowConsumerPolicy::Coalesce),
             _ => None,
         }
+    }
+}
+
+/// Which I/O runtime serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoBackend {
+    /// Two OS threads per connection (blocking reader + writer).
+    /// Simple and battle-tested, but thread count scales with
+    /// subscribers — fine to a few hundred connections.
+    Threads,
+    /// A fixed pool of event-loop threads driving non-blocking
+    /// connection state machines (epoll, `poll(2)` fallback). The
+    /// default: thread count is constant at 10k subscribers.
+    Reactor,
+}
+
+impl IoBackend {
+    /// Parse a CLI-style name (`threads` | `reactor`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threads" => Some(IoBackend::Threads),
+            "reactor" => Some(IoBackend::Reactor),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name, inverse of [`IoBackend::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            IoBackend::Threads => "threads",
+            IoBackend::Reactor => "reactor",
+        }
+    }
+
+    /// The default backend, overridable via `IGERN_TEST_IO` so the CI
+    /// matrix can run every suite against either runtime unchanged.
+    pub fn default_from_env() -> Self {
+        std::env::var("IGERN_TEST_IO")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+            .unwrap_or(IoBackend::Reactor)
+    }
+}
+
+impl Default for IoBackend {
+    fn default() -> Self {
+        Self::default_from_env()
     }
 }
 
@@ -118,8 +168,25 @@ pub struct ServerConfig {
     pub outbound_queue_frames: usize,
     /// Overflow policy for slow consumers.
     pub slow_consumer: SlowConsumerPolicy,
-    /// Socket read poll interval (reader threads wake this often to
-    /// notice shutdown).
+    /// I/O runtime serving connections (default [`IoBackend::Reactor`],
+    /// overridable via `IGERN_TEST_IO`).
+    pub io: IoBackend,
+    /// Event-loop threads for the reactor backend; `0` = auto
+    /// (`min(4, cpus)`). Ignored by the threaded backend.
+    pub io_threads: usize,
+    /// Graceful-shutdown drain deadline for the reactor backend: after
+    /// the final tick, loops keep flushing outbound queues at most this
+    /// long before cutting slow consumers off.
+    pub shutdown_drain: Duration,
+    /// `SO_SNDBUF` for accepted TCP sockets, `None` = OS default. The
+    /// partial-write tests shrink this to force short writes through
+    /// the connection state machines; the kernel clamps to its minimum.
+    pub tcp_send_buffer: Option<u32>,
+    /// *Legacy, threaded backend only:* socket read poll interval —
+    /// blocking reader threads wake this often to notice shutdown.
+    /// After >1s without a frame a reader backs off to 1s polls (and
+    /// restores this interval on the next frame). The reactor backend
+    /// is readiness-driven and never read-polls.
     pub read_timeout: Duration,
     /// Socket write timeout (a blocked write past this kills the
     /// connection).
@@ -146,6 +213,10 @@ impl std::fmt::Debug for ServerConfig {
             .field("ingest_queue_frames", &self.ingest_queue_frames)
             .field("outbound_queue_frames", &self.outbound_queue_frames)
             .field("slow_consumer", &self.slow_consumer)
+            .field("io", &self.io)
+            .field("io_threads", &self.io_threads)
+            .field("shutdown_drain", &self.shutdown_drain)
+            .field("tcp_send_buffer", &self.tcp_send_buffer)
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
             .field("sim_hooks", &self.sim_hooks.as_ref().map(|_| "<installed>"))
@@ -166,6 +237,10 @@ impl Default for ServerConfig {
             ingest_queue_frames: 4096,
             outbound_queue_frames: 1024,
             slow_consumer: SlowConsumerPolicy::Disconnect,
+            io: IoBackend::default_from_env(),
+            io_threads: 0,
+            shutdown_drain: Duration::from_secs(2),
+            tcp_send_buffer: None,
             read_timeout: Duration::from_millis(50),
             write_timeout: Duration::from_secs(5),
             sim_hooks: None,
@@ -286,8 +361,17 @@ pub struct RecoveryInfo {
     pub report: igern_wal::RecoveryReport,
 }
 
-/// A running server: an acceptor thread, one reader + writer thread per
-/// connection, and the tick thread that owns the engine.
+/// The I/O side of a running server, one arm per [`IoBackend`].
+enum IoRuntime {
+    /// Acceptor thread + a reader/writer thread pair per connection.
+    Threads { acceptor: Option<JoinHandle<()>> },
+    /// Fixed pool of event-loop threads (acceptor runs on loop 0).
+    Reactor { pool: rio::ReactorPool },
+}
+
+/// A running server: the tick thread that owns the engine, plus an I/O
+/// runtime — per-connection reader/writer threads (`threads`) or a
+/// fixed event-loop pool (`reactor`, the default).
 pub struct Server {
     addr: std::net::SocketAddr,
     ingest: SyncSender<Ingest>,
@@ -296,7 +380,7 @@ pub struct Server {
     recovery: Option<RecoveryInfo>,
     registry: MetricsRegistry,
     metrics: ServerMetrics,
-    acceptor: Option<JoinHandle<()>>,
+    io: IoRuntime,
     ticker: Option<JoinHandle<()>>,
 }
 
@@ -392,17 +476,34 @@ impl Server {
                 .expect("spawn tick thread")
         };
 
-        let acceptor = {
-            let tx = tx.clone();
-            let shutdown = Arc::clone(&shutdown);
-            let metrics = metrics.clone();
-            let cfg = cfg.clone();
-            std::thread::Builder::new()
-                .name("igern-accept".into())
-                .spawn(move || {
-                    accept_loop(listener, tx, next_sid, shutdown, cfg, metrics);
-                })
-                .expect("spawn acceptor thread")
+        let io = match cfg.io {
+            IoBackend::Threads => {
+                let tx = tx.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let metrics = metrics.clone();
+                let cfg = cfg.clone();
+                let acceptor = std::thread::Builder::new()
+                    .name("igern-accept".into())
+                    .spawn(move || {
+                        accept_loop(listener, tx, next_sid, shutdown, cfg, metrics);
+                    })
+                    .expect("spawn acceptor thread");
+                IoRuntime::Threads {
+                    acceptor: Some(acceptor),
+                }
+            }
+            IoBackend::Reactor => {
+                let pool = rio::start_pool(
+                    listener,
+                    tx.clone(),
+                    next_sid,
+                    Arc::clone(&shutdown),
+                    cfg.clone(),
+                    metrics.clone(),
+                    &registry,
+                )?;
+                IoRuntime::Reactor { pool }
+            }
         };
 
         Ok(Server {
@@ -413,7 +514,7 @@ impl Server {
             recovery,
             registry,
             metrics,
-            acceptor: Some(acceptor),
+            io,
             ticker: Some(ticker),
         })
     }
@@ -455,6 +556,10 @@ impl Server {
         // watch it, and the tick loop exits when every sender is gone).
         let _ = self.ingest.try_send(Ingest::ShutdownRequested);
         self.shutdown.store(true, Ordering::Release);
+        if let IoRuntime::Reactor { pool } = &self.io {
+            // Loops only observe the flag when awake: stop accepting now.
+            pool.wake_all();
+        }
     }
 
     /// Block until the server has fully stopped (all threads joined).
@@ -463,8 +568,18 @@ impl Server {
             let _ = h.join();
         }
         self.shutdown.store(true, Ordering::Release);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+        match &mut self.io {
+            IoRuntime::Threads { acceptor } => {
+                if let Some(h) = acceptor.take() {
+                    let _ = h.join();
+                }
+            }
+            IoRuntime::Reactor { pool } => {
+                // The final tick has queued its pushes; drain them under
+                // the bounded deadline, then join the loops.
+                pool.begin_drain();
+                pool.join();
+            }
         }
     }
 
@@ -521,6 +636,9 @@ fn accept_loop(
         let _ = stream.set_read_timeout(Some(cfg.read_timeout));
         let _ = stream.set_write_timeout(Some(cfg.write_timeout));
         let _ = stream.set_nodelay(true);
+        if let (Some(bytes), Some(fd)) = (cfg.tcp_send_buffer, stream.raw_fd()) {
+            let _ = igern_reactor::sys::set_send_buffer(fd, bytes as std::ffi::c_int);
+        }
 
         let id = next_conn.fetch_add(1, Ordering::Relaxed);
         metrics.connections_total.inc();
@@ -529,7 +647,10 @@ fn accept_loop(
             Err(_) => continue,
         };
         let conn = Arc::new(Connection::new(id, stream));
-        if ingest.send(Ingest::NewConn(Arc::clone(&conn))).is_err() {
+        if ingest
+            .send(Ingest::NewConn(ConnHandle::Thread(Arc::clone(&conn))))
+            .is_err()
+        {
             return; // tick thread gone: shutting down
         }
         metrics.ingest_enqueued_total.inc();

@@ -26,8 +26,9 @@ use igern_wal::{
     answer_digest, prune_snapshots, remove_all_segments, SnapshotData, SubEntry, WalWriter,
 };
 
-use crate::conn::{Connection, PushOutcome};
+use crate::conn::PushOutcome;
 use crate::proto::{ErrorCode, Frame};
+use crate::rio::ConnHandle;
 use crate::{ServerConfig, ServerMetrics, TickMode};
 
 /// Connection-id sentinel for *orphan* subscriptions restored by WAL
@@ -39,8 +40,9 @@ const ORPHAN_CONN: u64 = 0;
 
 /// One item of the ingest queue, in arrival order.
 pub(crate) enum Ingest {
-    /// A new accepted connection (from the acceptor thread).
-    NewConn(Arc<Connection>),
+    /// A new accepted connection (from the acceptor thread or an I/O
+    /// event loop, depending on the backend).
+    NewConn(ConnHandle),
     /// `UPSERT_OBJECT`.
     Upsert {
         conn: u64,
@@ -51,11 +53,14 @@ pub(crate) enum Ingest {
     },
     /// `REMOVE_OBJECT`.
     Remove { conn: u64, id: u32 },
-    /// `SUBSCRIBE_QUERY`; `sid` was already allocated and acknowledged
-    /// by the reader thread.
+    /// `SUBSCRIBE_QUERY`; `sid` was allocated by the I/O side, but the
+    /// SUBSCRIBED ack is emitted here at dequeue — before validation —
+    /// so an acked client is guaranteed part of the next tick and the
+    /// ack always precedes any ERROR or deltas for the subscription.
     Subscribe {
         conn: u64,
         sid: u32,
+        token: u32,
         anchor: u32,
         algo: Algorithm,
     },
@@ -89,7 +94,7 @@ struct Sub {
 }
 
 struct ConnState {
-    conn: Arc<Connection>,
+    conn: ConnHandle,
     /// Subscriptions owned by this connection, in sid order.
     subs: Vec<u32>,
 }
@@ -226,7 +231,7 @@ impl TickThread {
                 Ingest::NewConn(conn) => {
                     self.metrics.ingest_dequeued_total.inc();
                     self.conns.insert(
-                        conn.id,
+                        conn.id(),
                         ConnState {
                             conn,
                             subs: Vec::new(),
@@ -415,9 +420,20 @@ impl TickThread {
             Ingest::Subscribe {
                 conn,
                 sid,
+                token,
                 anchor,
                 algo,
             } => {
+                // Ack first: the subscription is now owned by this
+                // thread, so SUBSCRIBED lands before any ERROR below
+                // and before the tick's deltas.
+                if let Some(cs) = self.conns.get(&conn) {
+                    cs.conn.push_control(
+                        Frame::Subscribed { token, sid },
+                        self.cfg.outbound_queue_frames,
+                        &self.metrics,
+                    );
+                }
                 // A recovered orphan with the same query identity is
                 // claimed instead of registering a duplicate: the
                 // existing engine slot (and its answer) transfers to

@@ -39,6 +39,12 @@ use std::time::Duration;
 /// later = reorder). Called on the writer's thread, in write order.
 pub type WriteTap = Box<dyn FnMut(&[u8]) -> Vec<Vec<u8>> + Send>;
 
+/// Readiness callback installed on a memory pipe or accept queue so an
+/// event loop can be prodded without polling. Called **after** the pipe
+/// mutex is released (so the callback may itself take locks), possibly
+/// spuriously, from whichever thread caused the transition.
+pub type ReadyNotify = Arc<dyn Fn() + Send + Sync>;
+
 /// Default per-direction buffer capacity of a memory pipe (bytes).
 pub const MEM_PIPE_CAPACITY: usize = 1 << 16;
 
@@ -62,6 +68,20 @@ struct PipeState {
     rx_closed: bool,
     /// Scripted fault injection on this direction's writes.
     tap: Option<WriteTap>,
+    /// Fired (post-unlock) whenever bytes or EOF become readable.
+    notify_readable: Option<ReadyNotify>,
+    /// Fired (post-unlock) whenever space or reader-close becomes
+    /// visible to the writer.
+    notify_writable: Option<ReadyNotify>,
+}
+
+/// Clone the readable-notify iff any bytes were buffered (`off > 0`).
+fn wrote(st: &PipeState, off: usize) -> Option<ReadyNotify> {
+    if off > 0 {
+        st.notify_readable.clone()
+    } else {
+        None
+    }
 }
 
 impl Pipe {
@@ -72,6 +92,8 @@ impl Pipe {
                 tx_closed: false,
                 rx_closed: false,
                 tap: None,
+                notify_readable: None,
+                notify_writable: None,
             }),
             readable: Condvar::new(),
             writable: Condvar::new(),
@@ -80,21 +102,79 @@ impl Pipe {
     }
 
     fn close_tx(&self) {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .tx_closed = true;
+        let (cb_r, cb_w) = {
+            let mut st = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.tx_closed = true;
+            (st.notify_readable.clone(), st.notify_writable.clone())
+        };
         self.readable.notify_all();
         self.writable.notify_all();
+        if let Some(cb) = cb_r {
+            cb(); // EOF is observed through the read path
+        }
+        if let Some(cb) = cb_w {
+            cb(); // writes now fail fast — let the flusher find out
+        }
     }
 
     fn close_rx(&self) {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .rx_closed = true;
+        let (cb_r, cb_w) = {
+            let mut st = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.rx_closed = true;
+            (st.notify_readable.clone(), st.notify_writable.clone())
+        };
         self.readable.notify_all();
         self.writable.notify_all();
+        if let Some(cb) = cb_r {
+            cb();
+        }
+        if let Some(cb) = cb_w {
+            cb();
+        }
+    }
+
+    /// Install the readable-side callback; fires immediately if the
+    /// pipe is already readable so no prior transition is missed.
+    fn set_notify_readable(&self, cb: Option<ReadyNotify>) {
+        let fire = {
+            let mut st = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let ready = !st.buf.is_empty() || st.tx_closed || st.rx_closed;
+            st.notify_readable = cb.clone();
+            ready
+        };
+        if fire {
+            if let Some(cb) = cb {
+                cb();
+            }
+        }
+    }
+
+    /// Install the writable-side callback; fires immediately if the
+    /// pipe already has space (or is closed).
+    fn set_notify_writable(&self, cb: Option<ReadyNotify>) {
+        let fire = {
+            let mut st = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let ready = st.buf.len() < self.capacity || st.tx_closed || st.rx_closed;
+            st.notify_writable = cb.clone();
+            ready
+        };
+        if fire {
+            if let Some(cb) = cb {
+                cb();
+            }
+        }
     }
 
     fn read(&self, buf: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
@@ -112,6 +192,11 @@ impl Pipe {
                     *b = st.buf.pop_front().expect("len checked");
                 }
                 self.writable.notify_all();
+                let cb = st.notify_writable.clone();
+                drop(st);
+                if let Some(cb) = cb {
+                    cb();
+                }
                 return Ok(n);
             }
             if st.tx_closed || st.rx_closed {
@@ -139,6 +224,20 @@ impl Pipe {
     /// Buffer one whole chunk, blocking for space as needed. Called with
     /// post-tap chunks, so partial progress never splits a tap result.
     fn write_chunk(&self, chunk: &[u8], timeout: Option<Duration>) -> io::Result<()> {
+        let (res, cb) = self.write_chunk_inner(chunk, timeout);
+        // Fire even on error paths: a timed-out write may still have
+        // buffered a prefix the reader-side loop must hear about.
+        if let Some(cb) = cb {
+            cb();
+        }
+        res
+    }
+
+    fn write_chunk_inner(
+        &self,
+        chunk: &[u8],
+        timeout: Option<Duration>,
+    ) -> (io::Result<()>, Option<ReadyNotify>) {
         let mut st = self
             .inner
             .lock()
@@ -146,10 +245,12 @@ impl Pipe {
         let mut off = 0;
         while off < chunk.len() {
             if st.rx_closed {
-                return Err(io::ErrorKind::BrokenPipe.into());
+                let cb = wrote(&st, off);
+                return (Err(io::ErrorKind::BrokenPipe.into()), cb);
             }
             if st.tx_closed {
-                return Err(io::ErrorKind::NotConnected.into());
+                let cb = wrote(&st, off);
+                return (Err(io::ErrorKind::NotConnected.into()), cb);
             }
             let space = self.capacity.saturating_sub(st.buf.len());
             if space == 0 {
@@ -164,7 +265,8 @@ impl Pipe {
                             .wait_timeout(st, d)
                             .unwrap_or_else(std::sync::PoisonError::into_inner);
                         if res.timed_out() && guard.buf.len() >= self.capacity && !guard.rx_closed {
-                            return Err(io::ErrorKind::TimedOut.into());
+                            let cb = wrote(&guard, off);
+                            return (Err(io::ErrorKind::TimedOut.into()), cb);
                         }
                         guard
                     }
@@ -176,7 +278,75 @@ impl Pipe {
             off += n;
             self.readable.notify_all();
         }
-        Ok(())
+        let cb = wrote(&st, off);
+        (Ok(()), cb)
+    }
+
+    /// Nonblocking chunk write with **all-or-nothing admission**: the
+    /// whole (post-tap) chunk is accepted iff the buffer is below
+    /// capacity, overshooting by at most one chunk. This keeps write
+    /// taps per-frame — a retried frame is never re-tapped — and
+    /// guarantees progress for frames larger than the pipe capacity.
+    fn write_nonblocking(&self, buf: &[u8]) -> io::Result<usize> {
+        let cb = {
+            let mut st = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if st.rx_closed {
+                return Err(io::ErrorKind::BrokenPipe.into());
+            }
+            if st.tx_closed {
+                return Err(io::ErrorKind::NotConnected.into());
+            }
+            if st.buf.len() >= self.capacity {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let tapped = st.tap.as_mut().map(|t| t(buf));
+            match tapped {
+                None => st.buf.extend(buf),
+                Some(chunks) => {
+                    for c in chunks {
+                        st.buf.extend(c.iter());
+                    }
+                }
+            }
+            self.readable.notify_all();
+            st.notify_readable.clone()
+        };
+        if let Some(cb) = cb {
+            cb();
+        }
+        Ok(buf.len())
+    }
+
+    /// Nonblocking read: `WouldBlock` instead of waiting.
+    fn read_nonblocking(&self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let (n, cb) = {
+            let mut st = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if st.buf.is_empty() {
+                if st.tx_closed || st.rx_closed {
+                    return Ok(0);
+                }
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(st.buf.len());
+            for b in buf.iter_mut().take(n) {
+                *b = st.buf.pop_front().expect("len checked");
+            }
+            self.writable.notify_all();
+            (n, st.notify_writable.clone())
+        };
+        if let Some(cb) = cb {
+            cb();
+        }
+        Ok(n)
     }
 
     /// Run the tap (if any) over `buf` and buffer the resulting chunks.
@@ -223,6 +393,9 @@ struct MemEndpoint {
     tx: Arc<Pipe>,
     read_timeout: Mutex<Option<Duration>>,
     write_timeout: Mutex<Option<Duration>>,
+    /// Reads/writes return `WouldBlock` instead of waiting (shared
+    /// across clones, like `TcpStream::set_nonblocking`).
+    nonblocking: std::sync::atomic::AtomicBool,
 }
 
 impl Drop for MemEndpoint {
@@ -272,6 +445,24 @@ impl MemStream {
         self.0.tx.set_tap(tap);
     }
 
+    /// Nonblocking mode, as on a socket: reads/writes fail with
+    /// `WouldBlock` instead of waiting. Shared across clones.
+    pub fn set_nonblocking(&self, on: bool) {
+        self.0
+            .nonblocking
+            .store(on, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Install readiness callbacks for an event loop: `on_readable`
+    /// fires when this endpoint has bytes/EOF to read, `on_writable`
+    /// when its outbound pipe has space (or is closed). Either fires
+    /// immediately if the condition already holds, so no transition
+    /// before installation is lost. Pass `None` to uninstall.
+    pub fn set_notify(&self, on_readable: Option<ReadyNotify>, on_writable: Option<ReadyNotify>) {
+        self.0.rx.set_notify_readable(on_readable);
+        self.0.tx.set_notify_writable(on_writable);
+    }
+
     fn read_timeout(&self) -> Option<Duration> {
         *self
             .0
@@ -291,6 +482,13 @@ impl MemStream {
 
 impl Read for &MemStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self
+            .0
+            .nonblocking
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            return self.0.rx.read_nonblocking(buf);
+        }
         let t = self.read_timeout();
         self.0.rx.read(buf, t)
     }
@@ -298,6 +496,13 @@ impl Read for &MemStream {
 
 impl Write for &MemStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self
+            .0
+            .nonblocking
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            return self.0.tx.write_nonblocking(buf);
+        }
         let t = self.write_timeout();
         self.0.tx.write(buf, t)
     }
@@ -317,12 +522,14 @@ pub fn memory_pair_with_capacity(capacity: usize) -> (MemStream, MemStream) {
         tx: Arc::clone(&a2b),
         read_timeout: Mutex::new(None),
         write_timeout: Mutex::new(None),
+        nonblocking: std::sync::atomic::AtomicBool::new(false),
     }));
     let b = MemStream(Arc::new(MemEndpoint {
         rx: a2b,
         tx: b2a,
         read_timeout: Mutex::new(None),
         write_timeout: Mutex::new(None),
+        nonblocking: std::sync::atomic::AtomicBool::new(false),
     }));
     (a, b)
 }
@@ -401,6 +608,43 @@ impl Stream {
             Stream::Mem(_) => Ok(()),
         }
     }
+
+    /// Nonblocking mode for both transports (reads/writes return
+    /// `WouldBlock` instead of waiting).
+    pub fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(on),
+            Stream::Mem(s) => {
+                s.set_nonblocking(on);
+                Ok(())
+            }
+        }
+    }
+
+    /// The OS fd for kernel-pollable streams; `None` for the memory
+    /// transport (which registers as an external readiness source).
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> Option<i32> {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Stream::Tcp(s) => Some(s.as_raw_fd()),
+            Stream::Mem(_) => None,
+        }
+    }
+
+    /// See the unix variant; no kernel-pollable fds elsewhere.
+    #[cfg(not(unix))]
+    pub fn raw_fd(&self) -> Option<i32> {
+        None
+    }
+
+    /// Readiness callbacks for event-loop integration; a no-op on TCP
+    /// (whose readiness comes from the kernel poller).
+    pub fn set_notify(&self, on_readable: Option<ReadyNotify>, on_writable: Option<ReadyNotify>) {
+        if let Stream::Mem(s) = self {
+            s.set_notify(on_readable, on_writable);
+        }
+    }
 }
 
 impl Read for &Stream {
@@ -454,6 +698,8 @@ impl Write for Stream {
 struct MemAcceptQueue {
     pending: Mutex<Vec<MemStream>>,
     closed: Mutex<bool>,
+    /// Fired (post-unlock) when a connection is queued.
+    notify: Mutex<Option<ReadyNotify>>,
 }
 
 /// In-process listener: accepts connections made through a
@@ -506,6 +752,15 @@ impl MemConnector {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(server);
+        let cb = self
+            .queue
+            .notify
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        if let Some(cb) = cb {
+            cb();
+        }
         Ok(client)
     }
 }
@@ -516,6 +771,7 @@ pub fn memory_listener_with_capacity(capacity: usize) -> (MemListener, MemConnec
     let queue = Arc::new(MemAcceptQueue {
         pending: Mutex::new(Vec::new()),
         closed: Mutex::new(false),
+        notify: Mutex::new(None),
     });
     (
         MemListener {
@@ -566,6 +822,49 @@ impl Listener {
         match self {
             Listener::Tcp(l) => l.local_addr(),
             Listener::Mem(_) => Ok(SocketAddr::from(([127, 0, 0, 1], 0))),
+        }
+    }
+
+    /// The OS fd for TCP listeners; `None` for memory listeners (the
+    /// event loop uses [`Listener::set_accept_notify`] instead).
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> Option<i32> {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Listener::Tcp(l) => Some(l.as_raw_fd()),
+            Listener::Mem(_) => None,
+        }
+    }
+
+    /// See the unix variant; no kernel-pollable fds elsewhere.
+    #[cfg(not(unix))]
+    pub fn raw_fd(&self) -> Option<i32> {
+        None
+    }
+
+    /// Install a callback fired whenever a memory connection is queued
+    /// for accept; fires immediately if one is already waiting. A no-op
+    /// on TCP listeners (readiness comes from the kernel poller).
+    pub fn set_accept_notify(&self, cb: Option<ReadyNotify>) {
+        if let Listener::Mem(l) = self {
+            let fire = {
+                let mut slot = l
+                    .queue
+                    .notify
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                *slot = cb.clone();
+                !l.queue
+                    .pending
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .is_empty()
+            };
+            if fire {
+                if let Some(cb) = cb {
+                    cb();
+                }
+            }
         }
     }
 }
@@ -638,6 +937,80 @@ mod tests {
         let mut out = Vec::new();
         (&b).read_to_end(&mut out).unwrap();
         assert_eq!(out, b"keepkeep");
+    }
+
+    #[test]
+    fn nonblocking_mem_stream_wouldblocks_and_overshoots_once() {
+        let (a, b) = memory_pair_with_capacity(4);
+        a.set_nonblocking(true);
+        b.set_nonblocking(true);
+        let mut buf = [0u8; 16];
+        assert_eq!(
+            (&b).read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        // All-or-nothing admission: a chunk larger than capacity is
+        // accepted whole while the buffer is below capacity...
+        assert_eq!((&a).write(b"123456").unwrap(), 6);
+        // ...and further writes WouldBlock until the reader drains.
+        assert_eq!(
+            (&a).write(b"7").unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        assert_eq!((&b).read(&mut buf).unwrap(), 6);
+        assert_eq!((&a).write(b"7").unwrap(), 1);
+        // EOF still reads as Ok(0).
+        a.shutdown(Shutdown::Write);
+        assert_eq!((&b).read(&mut buf).unwrap(), 1);
+        assert_eq!((&b).read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn notify_fires_on_data_space_and_close() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (a, b) = memory_pair_with_capacity(4);
+        let reads = Arc::new(AtomicUsize::new(0));
+        let writes = Arc::new(AtomicUsize::new(0));
+        let (r, w) = (Arc::clone(&reads), Arc::clone(&writes));
+        // Installing on an empty, spacious pipe: writable fires
+        // immediately (space available), readable does not.
+        b.set_notify(
+            Some(Arc::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            })),
+            Some(Arc::new(move || {
+                w.fetch_add(1, Ordering::SeqCst);
+            })),
+        );
+        assert_eq!(reads.load(Ordering::SeqCst), 0);
+        assert_eq!(writes.load(Ordering::SeqCst), 1);
+
+        (&a).write_all(b"hi").unwrap();
+        assert_eq!(reads.load(Ordering::SeqCst), 1);
+        // Peer close fires readable (EOF) again.
+        a.shutdown(Shutdown::Write);
+        assert!(reads.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn accept_notify_fires_on_connect_and_backlog() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (listener, connector) = memory_listener();
+        let listener = Listener::Mem(listener);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        listener.set_accept_notify(Some(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        })));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        let _c = connector.connect().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Re-install with a backlog pending: fires immediately.
+        let h = Arc::clone(&hits);
+        listener.set_accept_notify(Some(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        })));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 
     #[test]
