@@ -22,12 +22,13 @@ use std::time::Instant;
 use igern_bench::{report::print_table, ExpArgs};
 use igern_core::obs::MetricsRegistry;
 use igern_core::processor::{Algorithm, Processor};
-use igern_core::types::ObjectKind;
-use igern_core::SpatialStore;
+use igern_core::types::{DistanceMode, ObjectKind};
+use igern_core::{NetworkSpace, SpatialStore};
 use igern_engine::{EngineMetrics, Placement, ShardedEngine};
 use igern_geom::{Aabb, Point};
 use igern_grid::ObjectId;
 use igern_mobgen::rng::Rng64;
+use igern_mobgen::{build_synthetic_network, SyntheticNetworkConfig};
 
 /// Counting global allocator — bench-harness-only instrumentation that
 /// turns the "zero steady-state allocations per routed tick" claim into a
@@ -165,7 +166,9 @@ struct Measured {
 }
 
 /// Run the workload on `workers` threads and time the tick loop,
-/// optionally with the observability layer attached.
+/// optionally with the observability layer attached. With
+/// [`DistanceMode::Network`] the store carries a deterministic synthetic
+/// road graph (built from `seed`) and every query routes over it.
 fn measure(
     workers: usize,
     algo: Algorithm,
@@ -173,8 +176,20 @@ fn measure(
     seed: u64,
     stream: &[Vec<(ObjectId, Point)>],
     with_metrics: bool,
+    mode: DistanceMode,
 ) -> Measured {
-    let mut engine = ShardedEngine::new(build_store(seed), workers, Placement::RoundRobin);
+    let mut store = build_store(seed);
+    if mode == DistanceMode::Network {
+        store.set_network(std::sync::Arc::new(NetworkSpace::from_network(
+            &build_synthetic_network(&SyntheticNetworkConfig {
+                k: 8,
+                space: Aabb::from_coords(0.0, 0.0, SIDE, SIDE),
+                seed,
+                ..Default::default()
+            }),
+        )));
+    }
+    let mut engine = ShardedEngine::new(store, workers, Placement::RoundRobin);
     engine.set_skip_routing(routing);
     let registry = with_metrics.then(MetricsRegistry::new);
     if let Some(reg) = &registry {
@@ -182,7 +197,7 @@ fn measure(
     }
     for i in 0..N_QUERIES {
         engine
-            .add_query(ObjectId(i as u32), algo)
+            .add_query_in(ObjectId(i as u32), algo, mode)
             .expect("valid query");
     }
     engine.evaluate_all();
@@ -474,6 +489,7 @@ fn main() {
                 args.seed,
                 &stream,
                 false,
+                DistanceMode::Euclidean,
             );
             let heavy = measure(
                 workers,
@@ -482,6 +498,7 @@ fn main() {
                 args.seed,
                 &stream,
                 false,
+                DistanceMode::Euclidean,
             );
             routed_best = routed_best.min(routed.ms_per_tick);
             heavy_best = heavy_best.min(heavy.ms_per_tick);
@@ -541,6 +558,59 @@ fn main() {
         batch.ticks,
     );
 
+    // The network series: the same corner workload under road-network
+    // (shortest-path) distance — a synthetic 8×8 road graph over the
+    // space, every query in DistanceMode::Network. Two worker counts
+    // cross-check each other's answers; timings quantify what graph
+    // routing costs relative to the Euclidean sweep above. The Euclidean
+    // hot path is untouched by all of this: the `large` series'
+    // zero-allocation assertion (above) is the regression gate.
+    let net_ticks = if args.quick { 5 } else { 15 };
+    let net_stream = build_stream(args.seed, net_ticks);
+    let mut net_entries = Vec::new();
+    let mut net_rows = Vec::new();
+    let mut net_fps: Vec<(u64, u64)> = Vec::new();
+    for workers in [1usize, 4] {
+        let routed = measure(
+            workers,
+            Algorithm::IgernMono,
+            true,
+            args.seed,
+            &net_stream,
+            false,
+            DistanceMode::Network,
+        );
+        let heavy = measure(
+            workers,
+            Algorithm::TplRepeat,
+            false,
+            args.seed,
+            &net_stream,
+            false,
+            DistanceMode::Network,
+        );
+        net_fps.push((routed.answer_fingerprint, heavy.answer_fingerprint));
+        assert_eq!(
+            net_fps[0],
+            *net_fps.last().unwrap(),
+            "network answers diverged at {workers} workers — the series is invalid"
+        );
+        net_rows.push(vec![
+            workers.to_string(),
+            format!("{:.4}", routed.ms_per_tick),
+            format!("{:.4}", heavy.ms_per_tick),
+        ]);
+        net_entries.push(format!(
+            "    {{\"workers\": {workers}, \"routed_ms_per_tick\": {:.6},              \"heavy_ms_per_tick\": {:.6}}}",
+            routed.ms_per_tick, heavy.ms_per_tick,
+        ));
+    }
+    print_table(
+        "ENG: ms per tick under network distance (8x8 road graph)",
+        &["workers", "routed (IgernMono)", "heavy (TplRepeat)"],
+        &net_rows,
+    );
+
     // Observability acceptance check: the same workload with the metrics
     // registry attached must stay within a few percent of the bare run.
     // Best-of-N per side damps scheduler noise; the heavy series is used
@@ -563,6 +633,7 @@ fn main() {
             args.seed,
             &ov_stream,
             false,
+            DistanceMode::Euclidean,
         );
         let on = measure(
             ov_workers,
@@ -571,6 +642,7 @@ fn main() {
             args.seed,
             &ov_stream,
             true,
+            DistanceMode::Euclidean,
         );
         assert_eq!(
             off.answer_fingerprint, on.answer_fingerprint,
@@ -607,6 +679,8 @@ fn main() {
          \"grid_n\": {B_GRID_N}, \"engine\": \"serial\", \"routing\": false, \
          \"ticks\": {}, \"per_query_ms_per_tick\": {:.6}, \
          \"batched_ms_per_tick\": {:.6}, \"speedup\": {:.3}}},\n  \
+         \"network\": {{\"graph\": \"synthetic-8x8\", \"ticks\": {net_ticks}, \
+         \"series\": [\n{}\n  ]}},\n  \
          \"metrics_registry\": {}\n}}\n",
         N_QUERIES + N_FILLER + N_MOVERS,
         args.seed,
@@ -622,6 +696,7 @@ fn main() {
         batch.per_query_ms_per_tick,
         batch.batched_ms_per_tick,
         batch.speedup,
+        net_entries.join(",\n"),
         registry_json.trim_end()
     );
     let path = "BENCH_engine.json";

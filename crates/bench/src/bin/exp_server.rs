@@ -401,6 +401,7 @@ fn sweep_point(io: IoBackend, n: usize, ticks: u64, args: &SrvArgs) -> SweepPoin
                 token: 1,
                 anchor: 1 + (i as u32 % SWEEP_OBJECTS),
                 algo: Algorithm::Knn(4),
+                mode: igern_core::DistanceMode::Euclidean,
             }
             .encode(),
         )

@@ -88,6 +88,8 @@ pub mod metrics;
 pub mod monitor;
 pub mod mono;
 pub mod naive;
+pub mod net_monitor;
+pub mod netspace;
 pub mod obs;
 pub mod processor;
 pub mod prune;
@@ -105,7 +107,9 @@ pub use hooks::{SharedSimHooks, SimHooks};
 pub use knn_monitor::KnnMonitor;
 pub use monitor::ContinuousMonitor;
 pub use mono::{MonoIgern, MonoIgernK};
+pub use net_monitor::{NetKnnMonitor, NetRknnMonitor};
+pub use netspace::{net_lb, NetPos, NetScratch, NetView, NetworkSpace};
 pub use range_monitor::RangeMonitor;
 pub use scratch::EvalScratch;
 pub use store::SpatialStore;
-pub use types::ObjectKind;
+pub use types::{DistanceMode, ObjectKind};

@@ -47,10 +47,12 @@ use crate::batch::{BatchClass, Feeds};
 use crate::bi::{BiIgern, BiIgernK};
 use crate::knn_monitor::KnnMonitor;
 use crate::mono::{MonoIgern, MonoIgernK};
+use crate::net_monitor::{NetKnnMonitor, NetRknnMonitor};
 use crate::processor::Algorithm;
 use crate::prune::PruneGranularity;
 use crate::scratch::EvalScratch;
 use crate::store::SpatialStore;
+use crate::types::DistanceMode;
 
 /// A continuous query evaluation strategy with a routable watch set.
 ///
@@ -146,6 +148,36 @@ impl Algorithm {
             Algorithm::IgernMonoK(k) => Box::new(MonoIgernKMonitor::new(q_id, k)),
             Algorithm::IgernBiK(k) => Box::new(BiIgernKMonitor::new(q_id, k)),
             Algorithm::Knn(k) => Box::new(KnnQueryMonitor::new(q_id, k)),
+        }
+    }
+
+    /// [`Algorithm::make_monitor`] with a distance-mode axis. Euclidean
+    /// mode dispatches to the per-algorithm monitors above; network mode
+    /// maps each algorithm family onto its graph-distance evaluator (the
+    /// mono family — including the snapshot baselines, which are
+    /// Euclidean-specific formulations — onto [`NetRknnMonitor::mono`],
+    /// the bi family onto [`NetRknnMonitor::bi`], kNN onto
+    /// [`NetKnnMonitor`]), preserving each algorithm's k and
+    /// chromaticity so the answer *semantics* of a query survive a mode
+    /// switch unchanged.
+    pub fn make_monitor_in(
+        self,
+        mode: DistanceMode,
+        q_id: Option<ObjectId>,
+    ) -> Box<dyn ContinuousMonitor> {
+        match mode {
+            DistanceMode::Euclidean => self.make_monitor(q_id),
+            DistanceMode::Network => match self {
+                Algorithm::IgernMono | Algorithm::Crnn | Algorithm::TplRepeat => {
+                    Box::new(NetRknnMonitor::mono(q_id, 1))
+                }
+                Algorithm::IgernMonoK(k) => Box::new(NetRknnMonitor::mono(q_id, k)),
+                Algorithm::IgernBi | Algorithm::VoronoiRepeat => {
+                    Box::new(NetRknnMonitor::bi(q_id, 1))
+                }
+                Algorithm::IgernBiK(k) => Box::new(NetRknnMonitor::bi(q_id, k)),
+                Algorithm::Knn(k) => Box::new(NetKnnMonitor::new(q_id, k)),
+            },
         }
     }
 }

@@ -1,0 +1,377 @@
+//! Network-distance continuous monitors.
+//!
+//! These run the mono/bi RkNN families and kNN under the road-network
+//! metric (see [`crate::netspace`]). Each evaluation recomputes from the
+//! current snapped view — like the snapshot baselines they publish no
+//! watch set ([`ContinuousMonitor::monitored_cells`] returns `None`), so
+//! skip routing only elides them on fully quiet ticks, which is sound
+//! because identical input yields an identical recomputation. They stay
+//! on the per-query path under batch evaluation (`batch_class` is
+//! `None`); cross-query sharing happens through the lane's memoized
+//! Dijkstra expansions instead, which cache per anchor *node* and so are
+//! shared by every query and candidate touching that node.
+//!
+//! # Pruning
+//!
+//! Candidate generation pays one pair of memoized expansions for the
+//! query's edge endpoints; every object's query distance is then O(1).
+//! The per-candidate blocking test sweeps only the Euclidean disk
+//! `disk(o, d_net(q, o))` of the *snapped* grid: any blocker `o'` has
+//! `d_net(o, o') < d_net(q, o)`, and since network distance dominates
+//! straight-line distance between snapped points, `o'` must lie inside
+//! that disk. [`net_lb`] keeps the bound sound under floating-point
+//! rounding. Distances are always computed with a fixed argument
+//! orientation (query first for query distances, candidate first for
+//! blocking distances) so monitors and the `naive` network oracles
+//! compare bit-identical floats.
+
+use igern_geom::Point;
+use igern_grid::{CellSet, Grid, ObjectId, OpCounters};
+
+use crate::monitor::ContinuousMonitor;
+use crate::netspace::{net_lb, NetPos, NetView, NetworkSpace};
+use crate::scratch::EvalScratch;
+use crate::store::SpatialStore;
+use crate::types::ObjectKind;
+
+/// Fetch the store's network view or panic with an actionable message —
+/// registration paths validate this, so hitting it means a driver wired
+/// a network-mode query into a store without a network.
+fn net_view(store: &SpatialStore) -> &NetView {
+    store
+        .net_view()
+        .expect("network-mode query on a store without an attached road network")
+}
+
+/// Count the objects `o'` with `d_net(o, o') < bound`, stopping at `k`.
+/// `blockers_a` restricts the sweep to kind-A objects (bichromatic
+/// blocking); the candidate itself and the query object never count.
+#[allow(clippy::too_many_arguments)]
+fn blocked(
+    store: &SpatialStore,
+    nv: &NetView,
+    ns: &NetworkSpace,
+    o_id: ObjectId,
+    o_pos: &NetPos,
+    bound: f64,
+    q_id: Option<ObjectId>,
+    blockers_a: bool,
+    k: usize,
+    ops: &mut OpCounters,
+    scratch: &mut EvalScratch,
+) -> bool {
+    ops.verifications += 1;
+    let grid = nv.grid();
+    let mut closer = 0usize;
+    let mut check =
+        |pid: ObjectId, ppos: Point, ops: &mut OpCounters, scratch: &mut EvalScratch| -> bool {
+            if pid == o_id || Some(pid) == q_id {
+                return false;
+            }
+            if blockers_a && store.kind(pid) != ObjectKind::A {
+                return false;
+            }
+            if net_lb(o_pos.point.dist(ppos)) >= bound {
+                return false;
+            }
+            let Some(pnp) = nv.net_pos(pid) else {
+                ops.desyncs += 1;
+                return false;
+            };
+            ops.objects_visited += 1;
+            if ns.dist(&mut scratch.net, o_pos, &pnp) < bound {
+                closer += 1;
+                closer >= k
+            } else {
+                false
+            }
+        };
+    if !bound.is_finite() {
+        // Unreachable query: every reachable neighbor blocks; sweep all.
+        for (pid, ppos) in grid.iter() {
+            if check(pid, ppos, ops, scratch) {
+                return true;
+            }
+        }
+        return closer >= k;
+    }
+    let c0 = grid.cell_of_point(Point::new(o_pos.point.x - bound, o_pos.point.y - bound));
+    let c1 = grid.cell_of_point(Point::new(o_pos.point.x + bound, o_pos.point.y + bound));
+    let (x0, y0) = grid.cell_coords(c0);
+    let (x1, y1) = grid.cell_coords(c1);
+    for cy in y0..=y1 {
+        for cx in x0..=x1 {
+            let c = grid.cell_at(cx, cy);
+            if net_lb(grid.cell_bounds(c).mindist(o_pos.point)) >= bound {
+                continue;
+            }
+            ops.cells_visited += 1;
+            for &pid in grid.objects_in(c) {
+                let Some(ppos) = grid.position(pid) else {
+                    ops.desyncs += 1;
+                    continue;
+                };
+                if check(pid, ppos, ops, scratch) {
+                    return true;
+                }
+            }
+        }
+    }
+    closer >= k
+}
+
+/// Reverse-k-nearest-neighbors under network distance, monochromatic
+/// (`bi = false`, candidates and blockers are all objects) or
+/// bichromatic (`bi = true`, candidates are B objects, blockers are A
+/// objects).
+pub struct NetRknnMonitor {
+    q_id: Option<ObjectId>,
+    k: usize,
+    bi: bool,
+    answer: Vec<ObjectId>,
+    candidates: usize,
+}
+
+impl NetRknnMonitor {
+    /// Monochromatic network RkNN anchored at `q_id`.
+    pub fn mono(q_id: Option<ObjectId>, k: usize) -> Self {
+        NetRknnMonitor {
+            q_id,
+            k,
+            bi: false,
+            answer: Vec::new(),
+            candidates: 0,
+        }
+    }
+
+    /// Bichromatic network RkNN anchored at `q_id`.
+    pub fn bi(q_id: Option<ObjectId>, k: usize) -> Self {
+        NetRknnMonitor {
+            q_id,
+            k,
+            bi: true,
+            answer: Vec::new(),
+            candidates: 0,
+        }
+    }
+
+    fn evaluate(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        let nv = net_view(store);
+        let ns = nv.space().as_ref();
+        let sq = ns.snap(q);
+        ops.nn += 1;
+        self.answer.clear();
+        self.candidates = 0;
+        for (oid, _) in nv.grid().iter() {
+            if Some(oid) == self.q_id {
+                continue;
+            }
+            if self.bi && store.kind(oid) != ObjectKind::B {
+                continue;
+            }
+            let Some(so) = nv.net_pos(oid) else {
+                ops.desyncs += 1;
+                continue;
+            };
+            self.candidates += 1;
+            ops.objects_visited += 1;
+            let d_oq = ns.dist(&mut scratch.net, &sq, &so);
+            if !blocked(
+                store, nv, ns, oid, &so, d_oq, self.q_id, self.bi, self.k, ops, scratch,
+            ) {
+                self.answer.push(oid);
+            }
+        }
+        self.answer.sort_unstable();
+    }
+}
+
+impl ContinuousMonitor for NetRknnMonitor {
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.evaluate(store, q, ops, scratch);
+    }
+
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.evaluate(store, q, ops, scratch);
+    }
+
+    fn answer_into(&self, out: &mut Vec<ObjectId>) {
+        out.clear();
+        out.extend_from_slice(&self.answer);
+    }
+
+    fn monitored_cells(&self) -> Option<&CellSet> {
+        None
+    }
+
+    fn num_monitored(&self) -> usize {
+        self.candidates
+    }
+
+    fn region_area(&self, _store: &SpatialStore) -> f64 {
+        0.0
+    }
+}
+
+/// k-nearest-neighbors under network distance: expanding Chebyshev-ring
+/// scan of the snapped grid, pruned by the Euclidean lower bound against
+/// the current k-th best network distance. Ties broken by object id,
+/// matching `naive::knn_net`.
+pub struct NetKnnMonitor {
+    q_id: Option<ObjectId>,
+    k: usize,
+    answer: Vec<ObjectId>,
+}
+
+impl NetKnnMonitor {
+    /// Network kNN anchored at `q_id`.
+    pub fn new(q_id: Option<ObjectId>, k: usize) -> Self {
+        NetKnnMonitor {
+            q_id,
+            k,
+            answer: Vec::new(),
+        }
+    }
+
+    fn evaluate(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        let nv = net_view(store);
+        let ns = nv.space().as_ref();
+        let grid: &Grid = nv.grid();
+        let sq = ns.snap(q);
+        ops.nn += 1;
+        // (distance, id)-ordered top-k staging, taken out of the scratch
+        // so the network scratch can still feed `ns.dist` while we hold it.
+        let mut top = std::mem::take(&mut scratch.net.knn);
+        top.clear();
+        let (bx, by) = grid.cell_coords(grid.cell_of_point(sq.point));
+        let side = grid.cells_per_side() as isize;
+        let min_ext = grid.min_cell_extent();
+        let (bxi, byi) = (bx as isize, by as isize);
+        let max_r = bxi.max(side - 1 - bxi).max(byi.max(side - 1 - byi)).max(0) as usize;
+        for r in 0..=max_r {
+            if top.len() == self.k {
+                let bound = top[self.k - 1].0;
+                if net_lb((r as f64 - 1.0).max(0.0) * min_ext) > bound {
+                    break;
+                }
+            }
+            let ri = r as isize;
+            let mut visit = |cx: isize, cy: isize, ops: &mut OpCounters, sc: &mut EvalScratch| {
+                if cx < 0 || cy < 0 || cx >= side || cy >= side {
+                    return;
+                }
+                let c = grid.cell_at(cx as usize, cy as usize);
+                if top.len() == self.k
+                    && net_lb(grid.cell_bounds(c).mindist(sq.point)) > top[self.k - 1].0
+                {
+                    return;
+                }
+                ops.cells_visited += 1;
+                for &oid in grid.objects_in(c) {
+                    if Some(oid) == self.q_id {
+                        continue;
+                    }
+                    let Some(p) = grid.position(oid) else {
+                        ops.desyncs += 1;
+                        continue;
+                    };
+                    if top.len() == self.k && net_lb(sq.point.dist(p)) > top[self.k - 1].0 {
+                        continue;
+                    }
+                    let Some(so) = nv.net_pos(oid) else {
+                        ops.desyncs += 1;
+                        continue;
+                    };
+                    ops.objects_visited += 1;
+                    let d = ns.dist(&mut sc.net, &sq, &so);
+                    let entry = (d, oid);
+                    let at = top
+                        .partition_point(|&(bd, bid)| bd.total_cmp(&d).then(bid.cmp(&oid)).is_lt());
+                    if at < self.k {
+                        top.insert(at, entry);
+                        top.truncate(self.k);
+                    }
+                }
+            };
+            if r == 0 {
+                visit(bxi, byi, ops, scratch);
+            } else {
+                for cx in (bxi - ri)..=(bxi + ri) {
+                    visit(cx, byi - ri, ops, scratch);
+                    visit(cx, byi + ri, ops, scratch);
+                }
+                for cy in (byi - ri + 1)..=(byi + ri - 1) {
+                    visit(bxi - ri, cy, ops, scratch);
+                    visit(bxi + ri, cy, ops, scratch);
+                }
+            }
+        }
+        self.answer.clear();
+        self.answer.extend(top.iter().map(|&(_, id)| id));
+        self.answer.sort_unstable();
+        scratch.net.knn = top;
+    }
+}
+
+impl ContinuousMonitor for NetKnnMonitor {
+    fn initial(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.evaluate(store, q, ops, scratch);
+    }
+
+    fn incremental(
+        &mut self,
+        store: &SpatialStore,
+        q: Point,
+        ops: &mut OpCounters,
+        scratch: &mut EvalScratch,
+    ) {
+        self.evaluate(store, q, ops, scratch);
+    }
+
+    fn answer_into(&self, out: &mut Vec<ObjectId>) {
+        out.clear();
+        out.extend_from_slice(&self.answer);
+    }
+
+    fn monitored_cells(&self) -> Option<&CellSet> {
+        None
+    }
+
+    fn num_monitored(&self) -> usize {
+        self.k
+    }
+
+    fn region_area(&self, _store: &SpatialStore) -> f64 {
+        0.0
+    }
+}

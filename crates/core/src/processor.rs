@@ -221,6 +221,22 @@ impl Processor {
     /// Panics when `obj` is not in the store, or when a bichromatic
     /// algorithm is requested for a non-A object.
     pub fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> usize {
+        self.add_query_in(obj, algo, crate::types::DistanceMode::Euclidean)
+    }
+
+    /// [`Processor::add_query`] with an explicit distance mode; returns
+    /// the query's index.
+    ///
+    /// # Panics
+    /// Panics under the [`Processor::add_query`] conditions, and
+    /// additionally when network mode is requested but the store has no
+    /// attached road network (see `SpatialStore::set_network`).
+    pub fn add_query_in(
+        &mut self,
+        obj: ObjectId,
+        algo: Algorithm,
+        mode: crate::types::DistanceMode,
+    ) -> usize {
         if algo.is_bichromatic() {
             assert_eq!(
                 self.store.kind(obj),
@@ -231,7 +247,13 @@ impl Processor {
         if let Algorithm::IgernMonoK(k) | Algorithm::IgernBiK(k) | Algorithm::Knn(k) = algo {
             assert!(k >= 1, "k must be positive");
         }
-        self.add_query_with(obj, algo.make_monitor(Some(obj)))
+        if mode == crate::types::DistanceMode::Network {
+            assert!(
+                self.store.network().is_some(),
+                "network-mode query requires a store with an attached road network"
+            );
+        }
+        self.add_query_with(obj, algo.make_monitor_in(mode, Some(obj)))
     }
 
     /// Register a continuous query evaluated by a caller-supplied

@@ -14,6 +14,7 @@
 use igern_geom::Point;
 use igern_grid::{CellOrderScratch, CellSet, Neighbor, ObjectId};
 
+use crate::netspace::NetScratch;
 use crate::prune::PruneScratch;
 
 /// Per-lane scratch buffers for monitor evaluation.
@@ -41,6 +42,12 @@ pub struct EvalScratch {
     pub neighbors: Vec<Neighbor>,
     /// Alive-region staging for snapshot baselines (TPL).
     pub alive: CellSet,
+    /// Network-distance state: memoized Dijkstra expansions and the
+    /// expansion heap. Unlike the buffers above, the memo *does* carry
+    /// meaning across calls — the graph is static, so cached expansions
+    /// stay valid for the lane's lifetime (and results never depend on
+    /// which entries happen to be warm).
+    pub net: NetScratch,
 }
 
 impl EvalScratch {

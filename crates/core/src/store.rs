@@ -6,9 +6,12 @@
 //! boundaries", §4 — we keep twin grids with identical cell geometry so a
 //! cell id means the same region in both).
 
+use std::sync::Arc;
+
 use igern_geom::{Aabb, Point};
 use igern_grid::{CellSet, Grid, ObjectId};
 
+use crate::netspace::{NetView, NetworkSpace};
 use crate::types::ObjectKind;
 
 /// Grid indexes over the moving-object population.
@@ -30,6 +33,9 @@ pub struct SpatialStore {
     /// Objects touched since the last drain (may repeat an id that was
     /// updated twice in a tick).
     moved: Vec<ObjectId>,
+    /// Snapped-position companion for network-distance queries; present
+    /// iff a road network is attached (see [`SpatialStore::set_network`]).
+    net: Option<NetView>,
 }
 
 impl SpatialStore {
@@ -42,7 +48,31 @@ impl SpatialStore {
             b: Grid::new(space, n),
             kinds,
             moved: Vec::new(),
+            net: None,
         }
+    }
+
+    /// Attach a road network, enabling [`crate::types::DistanceMode::Network`]
+    /// queries: every current and future object position is mirrored into
+    /// a snapped-position [`NetView`] maintained alongside the raw grids.
+    pub fn set_network(&mut self, space: Arc<NetworkSpace>) {
+        let mut view = NetView::new(space, *self.all.space(), self.all.cells_per_side());
+        for (id, p) in self.all.iter() {
+            view.insert(id, p);
+        }
+        self.net = Some(view);
+    }
+
+    /// The attached road network, if any.
+    #[inline]
+    pub fn network(&self) -> Option<&Arc<NetworkSpace>> {
+        self.net.as_ref().map(NetView::space)
+    }
+
+    /// The snapped-position companion view, if a network is attached.
+    #[inline]
+    pub fn net_view(&self) -> Option<&NetView> {
+        self.net.as_ref()
     }
 
     /// Bulk-load initial positions; `positions[i]` is object `i`.
@@ -62,6 +92,9 @@ impl SpatialStore {
                 ObjectKind::A => self.a.insert(id, p),
                 ObjectKind::B => self.b.insert(id, p),
             }
+            if let Some(v) = &mut self.net {
+                v.insert(id, p);
+            }
         }
     }
 
@@ -80,6 +113,9 @@ impl SpatialStore {
             ObjectKind::A => self.a.insert(id, pos),
             ObjectKind::B => self.b.insert(id, pos),
         }
+        if let Some(v) = &mut self.net {
+            v.insert(id, pos);
+        }
         self.moved.push(id);
     }
 
@@ -90,6 +126,9 @@ impl SpatialStore {
             ObjectKind::A => self.a.remove(id),
             ObjectKind::B => self.b.remove(id),
         };
+        if let Some(v) = &mut self.net {
+            v.remove(id);
+        }
         self.moved.push(id);
         Some(pos)
     }
@@ -101,6 +140,9 @@ impl SpatialStore {
             ObjectKind::A => self.a.update(id, pos),
             ObjectKind::B => self.b.update(id, pos),
         };
+        if let Some(v) = &mut self.net {
+            v.apply(id, pos);
+        }
         self.moved.push(id);
     }
 
@@ -117,6 +159,9 @@ impl SpatialStore {
                 ObjectKind::A => self.a.update(id, pos),
                 ObjectKind::B => self.b.update(id, pos),
             };
+            if let Some(v) = &mut self.net {
+                v.apply(id, pos);
+            }
             self.moved.push(id);
         }
     }
@@ -227,6 +272,9 @@ impl SpatialStore {
         let hit = self.all.debug_force_desync(id);
         self.a.debug_force_desync(id);
         self.b.debug_force_desync(id);
+        if let Some(v) = &mut self.net {
+            v.debug_force_desync(id);
+        }
         hit
     }
 }

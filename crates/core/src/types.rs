@@ -21,9 +21,29 @@ impl ObjectKind {
     }
 }
 
+/// The distance metric a continuous query evaluates under.
+///
+/// `Euclidean` is the paper's original setting. `Network` measures
+/// shortest-path distance over the road network attached to the store
+/// (see `crate::netspace`); queries in this mode require
+/// `SpatialStore::set_network` to have been called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DistanceMode {
+    /// Straight-line distance in the plane (the default).
+    #[default]
+    Euclidean,
+    /// Shortest-path distance over the attached road network.
+    Network,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn distance_mode_defaults_to_euclidean() {
+        assert_eq!(DistanceMode::default(), DistanceMode::Euclidean);
+    }
 
     #[test]
     fn other_is_an_involution() {

@@ -1,0 +1,290 @@
+//! Network-distance correctness gate: every network-mode monitor must
+//! answer bit-identically to the brute-force Dijkstra oracles in
+//! `igern_core::naive`, across the whole algorithm family, k ∈ {1, 2, 4},
+//! batch on/off, routed and forced evaluation, and mid-stream population
+//! churn — plus direct admissibility fuzz for the Euclidean lower bound
+//! the monitors prune with.
+
+use std::sync::Arc;
+
+use igern_core::naive;
+use igern_core::processor::{Algorithm, Processor};
+use igern_core::{net_lb, DistanceMode, NetScratch, NetworkSpace, ObjectKind, SpatialStore};
+use igern_geom::{Aabb, Point};
+use igern_grid::ObjectId;
+use igern_mobgen::workload::Mover;
+use igern_mobgen::{build_synthetic_network, NetworkMover, SyntheticNetworkConfig};
+
+const SPACE: Aabb = Aabb {
+    min: Point::new(0.0, 0.0),
+    max: Point::new(1000.0, 1000.0),
+};
+
+fn network(seed: u64) -> igern_mobgen::RoadNetwork {
+    build_synthetic_network(&SyntheticNetworkConfig {
+        k: 5,
+        space: SPACE,
+        jitter: 0.2,
+        highway_stride: 2,
+        prune_fraction: 0.1,
+        seed,
+    })
+}
+
+/// The fuzz matrix: every algorithm family at k ∈ {1, 2, 4}.
+fn all_queries() -> Vec<Algorithm> {
+    let mut v = vec![
+        Algorithm::IgernMono,
+        Algorithm::Crnn,
+        Algorithm::TplRepeat,
+        Algorithm::IgernBi,
+        Algorithm::VoronoiRepeat,
+    ];
+    for k in [1usize, 2, 4] {
+        v.push(Algorithm::IgernMonoK(k));
+        v.push(Algorithm::IgernBiK(k));
+        v.push(Algorithm::Knn(k));
+    }
+    v
+}
+
+/// The network-mode expected answer for `algo`, straight from the
+/// brute-force oracles.
+fn expected(
+    ns: &NetworkSpace,
+    scratch: &mut NetScratch,
+    store: &SpatialStore,
+    q_obj: ObjectId,
+    algo: Algorithm,
+) -> Vec<ObjectId> {
+    let q = store.position(q_obj).expect("anchor alive");
+    let mut all: Vec<(ObjectId, Point)> = store.all().iter().collect();
+    all.sort_unstable_by_key(|&(id, _)| id);
+    let a: Vec<_> = all
+        .iter()
+        .copied()
+        .filter(|&(id, _)| store.kind(id) == ObjectKind::A)
+        .collect();
+    let b: Vec<_> = all
+        .iter()
+        .copied()
+        .filter(|&(id, _)| store.kind(id) == ObjectKind::B)
+        .collect();
+    let qi = Some(q_obj);
+    match algo {
+        Algorithm::IgernMono | Algorithm::Crnn | Algorithm::TplRepeat => {
+            naive::mono_rnn_net(ns, scratch, &all, q, qi)
+        }
+        Algorithm::IgernMonoK(k) => naive::mono_rknn_net(ns, scratch, &all, q, qi, k),
+        Algorithm::IgernBi | Algorithm::VoronoiRepeat => {
+            naive::bi_rnn_net(ns, scratch, &a, &b, q, qi)
+        }
+        Algorithm::IgernBiK(k) => naive::bi_rknn_net(ns, scratch, &a, &b, q, qi, k),
+        Algorithm::Knn(k) => naive::knn_net(ns, scratch, &all, q, qi, k),
+    }
+}
+
+/// Build a store over the mover's current population: even ids are kind
+/// A (query side), odd ids kind B.
+fn store_for(mover: &NetworkMover, ns: &Arc<NetworkSpace>, grid: usize) -> SpatialStore {
+    let n = mover.len();
+    let kinds: Vec<ObjectKind> = (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                ObjectKind::A
+            } else {
+                ObjectKind::B
+            }
+        })
+        .collect();
+    let positions: Vec<Point> = (0..n as u32).map(|i| mover.position(i)).collect();
+    let mut store = SpatialStore::new(SPACE, grid, kinds);
+    store.load(&positions);
+    store.set_network(Arc::clone(ns));
+    store
+}
+
+/// The tentpole gate: all algorithms × k × churn, routed, against the
+/// oracles every tick, with batch evaluation required bit-identical.
+#[test]
+fn network_monitors_match_oracles_under_churn() {
+    for seed in [3u64, 17] {
+        let net = network(seed);
+        let ns = Arc::new(NetworkSpace::from_network(&net));
+        let mut mover = NetworkMover::new(net, 24, seed);
+        let mut p = Processor::new(store_for(&mover, &ns, 16));
+        let mut p_batch = Processor::new(store_for(&mover, &ns, 16));
+        p_batch.set_batch(true);
+        let mut oracle_scratch = NetScratch::default();
+
+        let algos = all_queries();
+        let mut handles = Vec::new();
+        for (i, &algo) in algos.iter().enumerate() {
+            // Anchors cycle through kind-A objects (even ids).
+            let anchor = ObjectId(((i * 2) % mover.len()) as u32);
+            handles.push((
+                p.add_query_in(anchor, algo, DistanceMode::Network),
+                p_batch.add_query_in(anchor, algo, DistanceMode::Network),
+                anchor,
+                algo,
+            ));
+        }
+        p.evaluate_all();
+        p_batch.evaluate_all();
+
+        for tick in 0..24u64 {
+            // Mid-stream churn: a static B joins at tick 8, an A at tick
+            // 12; the B leaves at tick 16.
+            if tick == 8 {
+                for r in [&mut p, &mut p_batch] {
+                    r.insert_object(ObjectId(200), ObjectKind::B, Point::new(480.0, 520.0));
+                }
+            }
+            if tick == 12 {
+                for r in [&mut p, &mut p_batch] {
+                    r.insert_object(ObjectId(201), ObjectKind::A, Point::new(30.0, 950.0));
+                }
+            }
+            if tick == 16 {
+                for r in [&mut p, &mut p_batch] {
+                    r.remove_object(ObjectId(200));
+                }
+            }
+            let updates: Vec<(ObjectId, Point)> = mover
+                .advance()
+                .iter()
+                .map(|u| (ObjectId(u.id), u.pos))
+                .collect();
+            p.step(&updates);
+            p_batch.step(&updates);
+            for &(h, hb, anchor, algo) in &handles {
+                let want = expected(&ns, &mut oracle_scratch, p.store(), anchor, algo);
+                assert_eq!(
+                    p.answer(h),
+                    want.as_slice(),
+                    "seed {seed} tick {tick} algo {algo:?} anchor {anchor}"
+                );
+                assert_eq!(
+                    p_batch.answer(hb),
+                    want.as_slice(),
+                    "batch mismatch: seed {seed} tick {tick} algo {algo:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Skip routing must be answer-invisible for network monitors: they
+/// publish no watch set, so they may only be skipped on fully quiet
+/// ticks — force a quiet tick and a dirty tick and compare to a
+/// never-skipping twin.
+#[test]
+fn network_skip_routing_is_answer_invisible() {
+    let net = network(9);
+    let ns = Arc::new(NetworkSpace::from_network(&net));
+    let mut mover = NetworkMover::new(net, 16, 9);
+    let mut routed = Processor::new(store_for(&mover, &ns, 16));
+    let mut forced = Processor::new(store_for(&mover, &ns, 16));
+    forced.set_skip_routing(false);
+    let q_r = routed.add_query_in(ObjectId(0), Algorithm::IgernMonoK(2), DistanceMode::Network);
+    let q_f = forced.add_query_in(ObjectId(0), Algorithm::IgernMonoK(2), DistanceMode::Network);
+    routed.evaluate_all();
+    forced.evaluate_all();
+    for round in 0..10 {
+        // Alternate quiet ticks (skip fires) with real movement.
+        let updates: Vec<(ObjectId, Point)> = if round % 2 == 0 {
+            Vec::new()
+        } else {
+            mover
+                .advance()
+                .iter()
+                .map(|u| (ObjectId(u.id), u.pos))
+                .collect()
+        };
+        routed.step(&updates);
+        forced.step(&updates);
+        assert_eq!(routed.answer(q_r), forced.answer(q_f), "round {round}");
+    }
+}
+
+/// Admissibility fuzz: for arbitrary raw positions (on- and off-network
+/// alike), the deflated Euclidean distance between snapped points never
+/// exceeds the network distance — and therefore the disk
+/// `disk(o, d_net(q, o))` the monitors sweep always contains every true
+/// blocker. A violation here is exactly "pruning discarded a true
+/// network neighbor".
+#[test]
+fn euclidean_lower_bound_never_discards_a_network_neighbor() {
+    let net = network(5);
+    let ns = NetworkSpace::from_network(&net);
+    let mut scratch = NetScratch::default();
+    let mut state = 0xabcdu64;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for _ in 0..200 {
+        let q = ns.snap(Point::new(rnd() * 1000.0, rnd() * 1000.0));
+        let o = ns.snap(Point::new(rnd() * 1000.0, rnd() * 1000.0));
+        let d_net = ns.dist(&mut scratch, &q, &o);
+        assert!(
+            net_lb(q.point.dist(o.point)) <= d_net,
+            "lower bound exceeded network distance"
+        );
+        // Every point network-closer to o than q must fall inside the
+        // Euclidean pruning disk around o.
+        for _ in 0..20 {
+            let other = ns.snap(Point::new(rnd() * 1000.0, rnd() * 1000.0));
+            let d_oo = ns.dist(&mut scratch, &o, &other);
+            if d_oo < d_net {
+                assert!(
+                    net_lb(o.point.dist(other.point)) < d_net,
+                    "true network neighbor outside the pruning disk: \
+                     d_net(o,o')={d_oo} bound={d_net}"
+                );
+            }
+        }
+    }
+}
+
+/// Network answers must be independent of scratch warmth and of which
+/// lane evaluates them: two processors with different evaluation
+/// histories agree bit-for-bit.
+#[test]
+fn answers_are_independent_of_memo_warmth() {
+    let net = network(21);
+    let ns = Arc::new(NetworkSpace::from_network(&net));
+    let mut mover = NetworkMover::new(net, 12, 21);
+    // `warm` runs extra queries first so its Dijkstra memos differ.
+    let mut warm = Processor::new(store_for(&mover, &ns, 8));
+    let mut cold = Processor::new(store_for(&mover, &ns, 8));
+    for i in 0..6 {
+        warm.add_query_in(ObjectId(i * 2), Algorithm::Knn(3), DistanceMode::Network);
+    }
+    warm.evaluate_all();
+    let qw = warm.add_query_in(ObjectId(2), Algorithm::IgernMonoK(2), DistanceMode::Network);
+    let qc = cold.add_query_in(ObjectId(2), Algorithm::IgernMonoK(2), DistanceMode::Network);
+    for _ in 0..8 {
+        let updates: Vec<(ObjectId, Point)> = mover
+            .advance()
+            .iter()
+            .map(|u| (ObjectId(u.id), u.pos))
+            .collect();
+        warm.step(&updates);
+        cold.step(&updates);
+        assert_eq!(warm.answer(qw), cold.answer(qc));
+    }
+}
+
+/// Registration guard: network mode without an attached network must be
+/// rejected up front, not fail deep inside evaluation.
+#[test]
+#[should_panic(expected = "attached road network")]
+fn network_mode_requires_a_network() {
+    let mut store = SpatialStore::new(SPACE, 8, vec![ObjectKind::A]);
+    store.load(&[Point::new(1.0, 1.0)]);
+    let mut p = Processor::new(store);
+    p.add_query_in(ObjectId(0), Algorithm::IgernMono, DistanceMode::Network);
+}

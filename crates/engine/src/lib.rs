@@ -51,7 +51,7 @@ use igern_core::obs::{
     Counter, Gauge, Histogram, MetricsRegistry, PipelineMetrics, LATENCY_BUCKETS_S,
 };
 use igern_core::processor::Algorithm;
-use igern_core::{ContinuousMonitor, ObjectKind, SpatialStore};
+use igern_core::{ContinuousMonitor, DistanceMode, ObjectKind, SpatialStore};
 use igern_geom::Point;
 use igern_grid::ObjectId;
 
@@ -85,6 +85,9 @@ pub enum EngineError {
     NotKindA(ObjectId),
     /// A k-variant algorithm was requested with `k == 0`.
     ZeroK,
+    /// A network-distance query was requested on a store with no
+    /// attached road network.
+    NoNetwork,
 }
 
 impl fmt::Display for EngineError {
@@ -97,6 +100,12 @@ impl fmt::Display for EngineError {
                 write!(f, "bichromatic query object {id} must be of kind A")
             }
             EngineError::ZeroK => write!(f, "k must be positive"),
+            EngineError::NoNetwork => {
+                write!(
+                    f,
+                    "network-distance query requires an attached road network"
+                )
+            }
         }
     }
 }
@@ -359,6 +368,21 @@ impl ShardedEngine {
     /// requested for a non-A object; [`EngineError::ZeroK`] when a
     /// k-variant algorithm is given `k == 0`.
     pub fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> Result<usize, EngineError> {
+        self.add_query_in(obj, algo, DistanceMode::Euclidean)
+    }
+
+    /// [`ShardedEngine::add_query`] with an explicit distance mode.
+    ///
+    /// # Errors
+    /// As [`ShardedEngine::add_query`], plus [`EngineError::NoNetwork`]
+    /// when [`DistanceMode::Network`] is requested on a store without an
+    /// attached road network.
+    pub fn add_query_in(
+        &mut self,
+        obj: ObjectId,
+        algo: Algorithm,
+        mode: DistanceMode,
+    ) -> Result<usize, EngineError> {
         if self.store.position(obj).is_none() {
             return Err(EngineError::UnknownObject(obj));
         }
@@ -368,7 +392,10 @@ impl ShardedEngine {
         if let Algorithm::IgernMonoK(0) | Algorithm::IgernBiK(0) | Algorithm::Knn(0) = algo {
             return Err(EngineError::ZeroK);
         }
-        self.add_query_with(obj, algo.make_monitor(Some(obj)))
+        if mode == DistanceMode::Network && self.store.network().is_none() {
+            return Err(EngineError::NoNetwork);
+        }
+        self.add_query_with(obj, algo.make_monitor_in(mode, Some(obj)))
     }
 
     /// Register a query evaluated by a caller-supplied monitor; returns

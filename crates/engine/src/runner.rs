@@ -15,7 +15,7 @@ use igern_core::history::History;
 use igern_core::hooks::SharedSimHooks;
 use igern_core::obs::{MetricsRegistry, PipelineMetrics};
 use igern_core::processor::{Algorithm, Processor};
-use igern_core::{ObjectKind, SpatialStore};
+use igern_core::{DistanceMode, ObjectKind, SpatialStore};
 use igern_geom::Point;
 use igern_grid::ObjectId;
 
@@ -134,6 +134,21 @@ impl TickRunner {
     /// [`EngineError::ZeroK`] — on both backends (the serial variant
     /// pre-validates instead of asserting).
     pub fn add_query(&mut self, obj: ObjectId, algo: Algorithm) -> Result<usize, EngineError> {
+        self.add_query_in(obj, algo, DistanceMode::Euclidean)
+    }
+
+    /// [`TickRunner::add_query`] with an explicit distance mode.
+    ///
+    /// # Errors
+    /// As [`TickRunner::add_query`], plus [`EngineError::NoNetwork`]
+    /// when [`DistanceMode::Network`] is requested on a store without an
+    /// attached road network — on both backends.
+    pub fn add_query_in(
+        &mut self,
+        obj: ObjectId,
+        algo: Algorithm,
+        mode: DistanceMode,
+    ) -> Result<usize, EngineError> {
         match self {
             TickRunner::Serial(p) => {
                 if p.store().position(obj).is_none() {
@@ -146,9 +161,12 @@ impl TickRunner {
                 {
                     return Err(EngineError::ZeroK);
                 }
-                Ok(p.add_query(obj, algo))
+                if mode == DistanceMode::Network && p.store().network().is_none() {
+                    return Err(EngineError::NoNetwork);
+                }
+                Ok(p.add_query_in(obj, algo, mode))
             }
-            TickRunner::Sharded(e) => e.add_query(obj, algo),
+            TickRunner::Sharded(e) => e.add_query_in(obj, algo, mode),
         }
     }
 

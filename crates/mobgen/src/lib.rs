@@ -16,6 +16,8 @@
 //! * [`workload`] — object/type/query assembly for the experiments;
 //! * [`schedule`] — pre-materialized, replayable motion schedules with
 //!   population churn for the `igern-sim` fault-injection harness;
+//! * [`scenario`] — named city-scale presets (taxi dispatch, geofenced
+//!   influence, hotspot commuter churn) composing the above;
 //! * [`trace`] — record/replay of update streams so that competing
 //!   algorithms consume byte-identical inputs.
 //!
@@ -37,6 +39,7 @@ pub mod hotspot;
 pub mod network;
 pub mod rng;
 pub mod route;
+pub mod scenario;
 pub mod schedule;
 pub mod synthetic;
 pub mod trace;
@@ -45,8 +48,9 @@ pub mod workload;
 
 pub use brinkhoff::NetworkMover;
 pub use hotspot::{HotspotConfig, HotspotMover};
-pub use network::{EdgeId, NodeId, RoadClass, RoadNetwork};
+pub use network::{EdgeId, NetworkLoadError, NodeId, RoadClass, RoadNetwork};
 pub use route::RoutingTable;
+pub use scenario::{ChurnProfile, QueryPlan, Scenario};
 pub use schedule::{MotionEvent, MotionSchedule, ScheduleConfig};
 pub use synthetic::{build_synthetic_network, SyntheticNetworkConfig};
 pub use trace::RecordedTrace;

@@ -204,67 +204,179 @@ impl RoadNetwork {
     }
 
     /// Parse a network written by [`RoadNetwork::save`].
-    pub fn load<R: std::io::BufRead>(r: R) -> std::io::Result<Self> {
-        use std::io::{Error, ErrorKind};
-        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
-        let mut lines = r.lines();
-        let mut next = || -> std::io::Result<String> {
-            lines
-                .next()
-                .ok_or_else(|| bad("unexpected end of network"))?
-        };
-        let header = next()?;
-        let parts: Vec<&str> = header.split_whitespace().collect();
-        if parts.len() != 5 || parts[0] != "space" {
-            return Err(bad("missing space header"));
+    ///
+    /// Parsing is skip-and-count: each section's body is scanned to its
+    /// real extent before being compared with the declared header count,
+    /// so a truncated or padded file reports a precise
+    /// [`NetworkLoadError::CountMismatch`] instead of misparsing the next
+    /// section's header as body data. Never panics on malformed input.
+    pub fn load<R: std::io::BufRead>(r: R) -> Result<Self, NetworkLoadError> {
+        use NetworkLoadError as E;
+        let lines: Vec<String> = r
+            .lines()
+            .collect::<std::io::Result<_>>()
+            .map_err(|e| E::Io(e.kind()))?;
+        // Trailing blank lines are save artifacts, not body rows.
+        let mut end = lines.len();
+        while end > 0 && lines[end - 1].trim().is_empty() {
+            end -= 1;
         }
-        let coord = |s: &str| s.parse::<f64>().map_err(|_| bad("bad coordinate"));
+        let lines = &lines[..end];
+        let parts: Vec<&str> = lines
+            .first()
+            .map_or_else(Vec::new, |l| l.split_whitespace().collect());
+        if parts.len() != 5 || parts[0] != "space" {
+            return Err(E::MissingHeader("space"));
+        }
+        let coord = |s: &str, line: usize| {
+            s.parse::<f64>().map_err(|_| E::BadField {
+                line,
+                what: "coordinate",
+            })
+        };
         let space = Aabb::from_coords(
-            coord(parts[1])?,
-            coord(parts[2])?,
-            coord(parts[3])?,
-            coord(parts[4])?,
+            coord(parts[1], 1)?,
+            coord(parts[2], 1)?,
+            coord(parts[3], 1)?,
+            coord(parts[4], 1)?,
         );
-        let n: usize = next()?
-            .strip_prefix("nodes ")
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(|| bad("missing nodes header"))?;
+        let count_header = |idx: usize, name: &'static str| -> Result<usize, E> {
+            lines
+                .get(idx)
+                .and_then(|l| l.strip_prefix(name))
+                .and_then(|l| l.strip_prefix(' '))
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or(E::MissingHeader(name))
+        };
+        let n = count_header(1, "nodes")?;
+        if n == 0 {
+            return Err(E::EmptyNetwork);
+        }
+        // Skip-and-count: the node body runs until the `edges` header.
+        let edges_at = lines
+            .iter()
+            .position(|l| l.starts_with("edges ") || l.trim() == "edges");
+        let found_nodes = edges_at.unwrap_or(lines.len()).saturating_sub(2);
+        if found_nodes != n {
+            return Err(E::CountMismatch {
+                section: "nodes",
+                declared: n,
+                found: found_nodes,
+            });
+        }
         let mut nodes = Vec::with_capacity(n);
-        for _ in 0..n {
-            let line = next()?;
+        for (i, line) in lines[2..2 + n].iter().enumerate() {
+            let lineno = 3 + i;
             let mut it = line.split_whitespace();
-            let x = coord(it.next().ok_or_else(|| bad("short node line"))?)?;
-            let y = coord(it.next().ok_or_else(|| bad("short node line"))?)?;
+            let mut field = || {
+                it.next().ok_or(E::BadField {
+                    line: lineno,
+                    what: "coordinate",
+                })
+            };
+            let x = coord(field()?, lineno)?;
+            let y = coord(field()?, lineno)?;
             nodes.push(Point::new(x, y));
         }
-        let m: usize = next()?
-            .strip_prefix("edges ")
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(|| bad("missing edges header"))?;
+        let m = count_header(2 + n, "edges")?;
+        let found_edges = lines.len() - (3 + n);
+        if found_edges != m {
+            return Err(E::CountMismatch {
+                section: "edges",
+                declared: m,
+                found: found_edges,
+            });
+        }
         let mut segments = Vec::with_capacity(m);
-        for _ in 0..m {
-            let line = next()?;
+        for (i, line) in lines[3 + n..].iter().enumerate() {
+            let lineno = 4 + n + i;
             let mut it = line.split_whitespace();
-            let a: usize = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| bad("bad edge endpoint"))?;
-            let b: usize = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| bad("bad edge endpoint"))?;
+            let mut endpoint = || -> Result<usize, E> {
+                it.next().and_then(|v| v.parse().ok()).ok_or(E::BadField {
+                    line: lineno,
+                    what: "edge endpoint",
+                })
+            };
+            let a = endpoint()?;
+            let b = endpoint()?;
             let class = match it.next() {
                 Some("H") => RoadClass::Highway,
                 Some("M") => RoadClass::Main,
                 Some("S") => RoadClass::Side,
-                _ => return Err(bad("bad road class")),
+                _ => {
+                    return Err(E::BadField {
+                        line: lineno,
+                        what: "road class",
+                    })
+                }
             };
             if a >= n || b >= n || a == b {
-                return Err(bad("edge endpoint out of range"));
+                return Err(E::BadEdge { line: lineno });
             }
             segments.push((a, b, class));
         }
         Ok(RoadNetwork::new(nodes, &segments, space))
+    }
+}
+
+/// Why parsing a saved road network failed.
+///
+/// Mirrors the WAL's counted-damage discipline: every malformed input maps
+/// to a specific, comparable variant rather than a panic or a stringly
+/// `io::Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkLoadError {
+    /// Reading the underlying stream failed.
+    Io(std::io::ErrorKind),
+    /// A required section header (`space`, `nodes`, `edges`) is missing
+    /// or malformed.
+    MissingHeader(&'static str),
+    /// A field on the given 1-based line failed to parse.
+    BadField { line: usize, what: &'static str },
+    /// A section header declared one row count but the body held another
+    /// (truncated or padded file).
+    CountMismatch {
+        section: &'static str,
+        declared: usize,
+        found: usize,
+    },
+    /// An edge row referenced a node out of range or was a self-loop.
+    BadEdge { line: usize },
+    /// The file declared zero nodes; a network must be non-empty.
+    EmptyNetwork,
+}
+
+impl std::fmt::Display for NetworkLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkLoadError::Io(kind) => write!(f, "io error reading network: {kind:?}"),
+            NetworkLoadError::MissingHeader(name) => {
+                write!(f, "missing or malformed `{name}` header")
+            }
+            NetworkLoadError::BadField { line, what } => {
+                write!(f, "bad {what} on line {line}")
+            }
+            NetworkLoadError::CountMismatch {
+                section,
+                declared,
+                found,
+            } => write!(
+                f,
+                "{section} header declares {declared} rows but body has {found}"
+            ),
+            NetworkLoadError::BadEdge { line } => {
+                write!(f, "edge on line {line} is out of range or a self-loop")
+            }
+            NetworkLoadError::EmptyNetwork => write!(f, "network declares zero nodes"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkLoadError {}
+
+impl From<NetworkLoadError> for std::io::Error {
+    fn from(e: NetworkLoadError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
     }
 }
 

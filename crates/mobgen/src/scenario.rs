@@ -1,0 +1,282 @@
+//! City-scale scenario presets.
+//!
+//! A [`Scenario`] bundles everything one experiment needs — a movement
+//! model, an object-kind split, a query plan, and a churn profile — under
+//! a named preset, while staying *composable*: every preset returns a
+//! plain value whose knobs can be overridden with `with_*` builders
+//! before instantiation. The presets model the three workload families
+//! the road-network mode is aimed at:
+//!
+//! * [`Scenario::taxi_dispatch`] — bichromatic dispatch: a small fleet of
+//!   taxis (kind A) serving a large passenger population (kind B) on a
+//!   dense downtown grid; the dispatcher watches bichromatic RkNN
+//!   ("which taxis count this passenger among their k nearest riders").
+//! * [`Scenario::geofenced_influence`] — monochromatic influence zones on
+//!   a sparse suburban network: each store/beacon monitors the reverse
+//!   nearest neighbors that would be pulled to it; no churn.
+//! * [`Scenario::hotspot_churn`] — commuter churn around Gaussian
+//!   hotspots: objects pour in and out every tick (rush-hour arrivals and
+//!   departures), stressing insert/remove paths and density adaptivity.
+
+use crate::hotspot::HotspotConfig;
+use crate::synthetic::SyntheticNetworkConfig;
+use crate::workload::{Movement, ObjKind, Workload, WorkloadConfig};
+use igern_geom::Aabb;
+
+/// How many standing queries a scenario registers and with what k.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Number of standing queries.
+    pub count: usize,
+    /// RkNN k (1 = classic RNN).
+    pub k: usize,
+    /// Bichromatic (query kind A against data kind B) or monochromatic.
+    pub bichromatic: bool,
+}
+
+/// Per-tick population churn: each tick, `round(insert_per_mille/1000 · n)`
+/// fresh objects enter and the same fraction of existing ones leave.
+/// Integer per-mille keeps the profile exactly representable and
+/// hash-stable across platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnProfile {
+    pub insert_per_mille: u32,
+    pub remove_per_mille: u32,
+}
+
+impl ChurnProfile {
+    /// No objects enter or leave.
+    pub const NONE: ChurnProfile = ChurnProfile {
+        insert_per_mille: 0,
+        remove_per_mille: 0,
+    };
+
+    /// Whether the profile actually churns.
+    pub fn is_active(&self) -> bool {
+        self.insert_per_mille > 0 || self.remove_per_mille > 0
+    }
+}
+
+/// A named, fully-specified experiment setup.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub name: &'static str,
+    pub workload: WorkloadConfig,
+    pub queries: QueryPlan,
+    pub churn: ChurnProfile,
+}
+
+impl Scenario {
+    /// Bichromatic taxi dispatch on a dense downtown grid.
+    pub fn taxi_dispatch(num_objects: usize, seed: u64) -> Self {
+        Scenario {
+            name: "taxi-dispatch",
+            workload: WorkloadConfig {
+                num_objects,
+                seed,
+                movement: Movement::Network(SyntheticNetworkConfig {
+                    k: 24,
+                    jitter: 0.25,
+                    highway_stride: 8,
+                    prune_fraction: 0.05, // downtown: almost no dead ends
+                    seed,
+                    ..Default::default()
+                }),
+                // Fleets are small relative to demand.
+                kind_a_fraction: Some(0.2),
+            },
+            queries: QueryPlan {
+                count: 16,
+                k: 2,
+                bichromatic: true,
+            },
+            churn: ChurnProfile {
+                insert_per_mille: 20, // passengers hail and are dropped off
+                remove_per_mille: 20,
+            },
+        }
+    }
+
+    /// Monochromatic geofenced influence zones on a sparse suburban net.
+    pub fn geofenced_influence(num_objects: usize, seed: u64) -> Self {
+        Scenario {
+            name: "geofenced-influence",
+            workload: WorkloadConfig {
+                num_objects,
+                seed,
+                movement: Movement::Network(SyntheticNetworkConfig {
+                    k: 16,
+                    jitter: 0.4,
+                    highway_stride: 4,
+                    prune_fraction: 0.3, // suburbs: sparse, irregular
+                    space: Aabb::from_coords(0.0, 0.0, 2000.0, 2000.0),
+                    seed,
+                }),
+                kind_a_fraction: None,
+            },
+            queries: QueryPlan {
+                count: 8,
+                k: 1,
+                bichromatic: false,
+            },
+            churn: ChurnProfile::NONE,
+        }
+    }
+
+    /// Commuter churn around Gaussian hotspots (open-space movement).
+    pub fn hotspot_churn(num_objects: usize, seed: u64) -> Self {
+        Scenario {
+            name: "hotspot-churn",
+            workload: WorkloadConfig {
+                num_objects,
+                seed,
+                movement: Movement::Hotspot(HotspotConfig {
+                    num_hotspots: 8,
+                    sigma: 45.0,
+                    migration_prob: 0.01,
+                    ..Default::default()
+                }),
+                kind_a_fraction: None,
+            },
+            queries: QueryPlan {
+                count: 12,
+                k: 4,
+                bichromatic: false,
+            },
+            churn: ChurnProfile {
+                insert_per_mille: 50, // rush hour: heavy arrivals/departures
+                remove_per_mille: 50,
+            },
+        }
+    }
+
+    /// Look a preset up by its CLI name.
+    pub fn by_name(name: &str, num_objects: usize, seed: u64) -> Option<Self> {
+        match name {
+            "taxi-dispatch" => Some(Self::taxi_dispatch(num_objects, seed)),
+            "geofenced-influence" => Some(Self::geofenced_influence(num_objects, seed)),
+            "hotspot-churn" => Some(Self::hotspot_churn(num_objects, seed)),
+            _ => None,
+        }
+    }
+
+    /// The preset names `by_name` accepts.
+    pub const NAMES: [&'static str; 3] = ["taxi-dispatch", "geofenced-influence", "hotspot-churn"];
+
+    // ---- composable overrides -------------------------------------------
+
+    /// Override the object count.
+    pub fn with_objects(mut self, n: usize) -> Self {
+        self.workload.num_objects = n;
+        self
+    }
+
+    /// Override the seed (movement networks keep their own seed knob in
+    /// `workload.movement`; this reseeds both).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.workload.seed = seed;
+        if let Movement::Network(cfg) = &mut self.workload.movement {
+            cfg.seed = seed;
+        }
+        self
+    }
+
+    /// Override the query plan.
+    pub fn with_queries(mut self, plan: QueryPlan) -> Self {
+        self.queries = plan;
+        self
+    }
+
+    /// Override the churn profile.
+    pub fn with_churn(mut self, churn: ChurnProfile) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Instantiate the workload and pick the query anchors the plan
+    /// calls for (kind A, spread evenly over the id range).
+    pub fn build(&self) -> (Workload, Vec<u32>) {
+        let w = Workload::from_config(&self.workload);
+        let anchors = w.pick_queries(ObjKind::A, self.queries.count);
+        (w, anchors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_instantiate_and_move() {
+        for name in Scenario::NAMES {
+            let sc = Scenario::by_name(name, 200, 7).unwrap();
+            assert_eq!(sc.name, name);
+            let (mut w, anchors) = sc.build();
+            assert_eq!(w.len(), 200);
+            assert_eq!(anchors.len(), sc.queries.count);
+            let space = w.mover().space();
+            for u in w.advance().to_vec() {
+                assert!(space.contains(u.pos), "{name}: object escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_preset_is_none() {
+        assert!(Scenario::by_name("nope", 10, 0).is_none());
+    }
+
+    #[test]
+    fn taxi_dispatch_is_bichromatic_with_small_fleet() {
+        let sc = Scenario::taxi_dispatch(500, 3);
+        assert!(sc.queries.bichromatic);
+        let (w, anchors) = sc.build();
+        let n_a = w.kinds().iter().filter(|&&k| k == ObjKind::A).count();
+        assert_eq!(n_a, 100); // 20% fleet
+        assert!(anchors.iter().all(|&a| w.kind(a) == ObjKind::A));
+        assert!(sc.churn.is_active());
+    }
+
+    #[test]
+    fn geofenced_influence_is_quiet_mono() {
+        let sc = Scenario::geofenced_influence(300, 3);
+        assert!(!sc.queries.bichromatic);
+        assert!(!sc.churn.is_active());
+        let (w, _) = sc.build();
+        assert!(w.kinds().iter().all(|&k| k == ObjKind::A));
+    }
+
+    #[test]
+    fn overrides_compose() {
+        let sc = Scenario::taxi_dispatch(100, 1)
+            .with_objects(40)
+            .with_seed(9)
+            .with_queries(QueryPlan {
+                count: 3,
+                k: 4,
+                bichromatic: true,
+            })
+            .with_churn(ChurnProfile::NONE);
+        assert_eq!(sc.workload.num_objects, 40);
+        assert_eq!(sc.workload.seed, 9);
+        if let Movement::Network(cfg) = &sc.workload.movement {
+            assert_eq!(cfg.seed, 9, "reseed must reach the network too");
+        } else {
+            panic!("taxi-dispatch should be network movement");
+        }
+        let (w, anchors) = sc.build();
+        assert_eq!(w.len(), 40);
+        assert_eq!(anchors.len(), 3);
+        assert!(!sc.churn.is_active());
+    }
+
+    #[test]
+    fn same_seed_same_build() {
+        let a = Scenario::hotspot_churn(60, 5).build();
+        let b = Scenario::hotspot_churn(60, 5).build();
+        assert_eq!(a.1, b.1);
+        for i in 0..60u32 {
+            assert_eq!(a.0.mover().position(i), b.0.mover().position(i));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! `RoadNetwork` property suite (ISSUE 10 satellite): structural
+//! invariants that every network — synthetic, hand-built, or loaded from
+//! disk — must satisfy, checked over seeded families rather than single
+//! fixtures.
+//!
+//! * save → load → save is **byte-identical** (the text format is a true
+//!   round trip, not merely value-equal);
+//! * `is_connected` (BFS) agrees with an independent union-find mirror;
+//! * `edge_between` is symmetric and consistent with the adjacency lists;
+//! * degenerate graphs (single node, zero-length edge, disconnected
+//!   components) are handled or flagged, never a panic in queries;
+//! * routed objects always sit on their current edge's segment.
+
+use igern_geom::{Aabb, Point};
+use igern_mobgen::rng::Rng64;
+use igern_mobgen::{
+    build_synthetic_network, Mover, NetworkMover, RoadClass, RoadNetwork, SyntheticNetworkConfig,
+};
+
+fn synth(seed: u64, k: usize, prune: f64) -> RoadNetwork {
+    build_synthetic_network(&SyntheticNetworkConfig {
+        k,
+        prune_fraction: prune,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn save_bytes(net: &RoadNetwork) -> Vec<u8> {
+    let mut buf = Vec::new();
+    net.save(&mut buf).unwrap();
+    buf
+}
+
+/// Independent connectivity oracle: union-find with path halving, built
+/// from nothing but the public edge list.
+fn union_find_connected(net: &RoadNetwork) -> bool {
+    let n = net.num_nodes();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut components = n;
+    for e in 0..net.num_edges() {
+        let edge = net.edge(e);
+        let (ra, rb) = (find(&mut parent, edge.a), find(&mut parent, edge.b));
+        if ra != rb {
+            parent[ra] = rb;
+            components -= 1;
+        }
+    }
+    components == 1
+}
+
+#[test]
+fn save_load_is_byte_identical() {
+    for seed in [0u64, 1, 7, 42, 0xDEAD] {
+        let net = synth(seed, 10, 0.15);
+        let bytes = save_bytes(&net);
+        let loaded = RoadNetwork::load(std::io::BufReader::new(bytes.as_slice())).unwrap();
+        let again = save_bytes(&loaded);
+        assert_eq!(bytes, again, "seed {seed}: save/load/save not byte-stable");
+        // And the loaded network answers structural queries identically.
+        assert_eq!(loaded.num_nodes(), net.num_nodes());
+        assert_eq!(loaded.num_edges(), net.num_edges());
+        assert_eq!(loaded.is_connected(), net.is_connected());
+        assert_eq!(loaded.total_length(), net.total_length());
+    }
+}
+
+#[test]
+fn is_connected_matches_union_find_mirror() {
+    // Connected synthetic families at several densities.
+    for seed in 0..8u64 {
+        let net = synth(seed, 8, 0.25);
+        assert_eq!(
+            net.is_connected(),
+            union_find_connected(&net),
+            "seed {seed}"
+        );
+    }
+    // Random sparse graphs, many of them disconnected: the two
+    // implementations must agree either way.
+    let mut rng = Rng64::seed_from_u64(0xBEEF);
+    for trial in 0..40 {
+        let n = 2 + rng.gen_range(0..12);
+        let m = rng.gen_range(0..(2 * n));
+        let nodes: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.f64() * 100.0, rng.f64() * 100.0))
+            .collect();
+        let mut segments = Vec::new();
+        for _ in 0..m {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                segments.push((a, b, RoadClass::Main));
+            }
+        }
+        let net = RoadNetwork::new(nodes, &segments, Aabb::from_coords(0.0, 0.0, 100.0, 100.0));
+        assert_eq!(
+            net.is_connected(),
+            union_find_connected(&net),
+            "trial {trial}: BFS and union-find disagree"
+        );
+    }
+}
+
+#[test]
+fn edge_between_is_symmetric_and_matches_adjacency() {
+    let net = synth(3, 9, 0.2);
+    for a in 0..net.num_nodes() {
+        for b in 0..net.num_nodes() {
+            let ab = net.edge_between(a, b).copied();
+            let ba = net.edge_between(b, a).copied();
+            assert_eq!(ab, ba, "edge_between({a},{b}) asymmetric");
+            // Consistent with adjacency: a hit iff some incident edge of
+            // `a` has `b` on the other end.
+            let adjacent = net.incident(a).iter().any(|&e| net.edge(e).other(a) == b);
+            assert_eq!(ab.is_some(), adjacent && a != b || ab.is_some() && a == b);
+            if let Some(e) = ab {
+                assert!((e.a == a && e.b == b) || (e.a == b && e.b == a));
+            }
+        }
+    }
+}
+
+#[test]
+fn single_node_network_is_degenerate_but_well_behaved() {
+    let net = RoadNetwork::new(vec![Point::new(5.0, 5.0)], &[], Aabb::unit());
+    assert!(net.is_connected());
+    assert_eq!(net.num_edges(), 0);
+    assert_eq!(net.total_length(), 0.0);
+    assert!(net.edge_between(0, 0).is_none());
+    // Round-trips through the text format.
+    let bytes = save_bytes(&net);
+    let loaded = RoadNetwork::load(std::io::BufReader::new(bytes.as_slice())).unwrap();
+    assert_eq!(loaded.num_nodes(), 1);
+    assert_eq!(save_bytes(&loaded), bytes);
+    // A mover on it parks rather than panicking.
+    let mut m = NetworkMover::new(net, 3, 1);
+    let before = m.position(0);
+    m.advance();
+    assert_eq!(m.position(0), before);
+}
+
+#[test]
+fn zero_length_edge_is_representable_and_costless() {
+    // Two coincident nodes joined by a zero-length edge: legal (it is not
+    // a self-loop), contributes nothing to length or travel time.
+    let nodes = vec![
+        Point::new(1.0, 1.0),
+        Point::new(1.0, 1.0),
+        Point::new(2.0, 1.0),
+    ];
+    let segs = [(0usize, 1usize, RoadClass::Main), (1, 2, RoadClass::Main)];
+    let net = RoadNetwork::new(nodes, &segs, Aabb::from_coords(0.0, 0.0, 4.0, 4.0));
+    assert_eq!(net.edge(0).len, 0.0);
+    assert_eq!(net.edge(0).travel_time(), 0.0);
+    assert!(net.is_connected());
+    assert!(union_find_connected(&net));
+    let bytes = save_bytes(&net);
+    let loaded = RoadNetwork::load(std::io::BufReader::new(bytes.as_slice())).unwrap();
+    assert_eq!(save_bytes(&loaded), bytes);
+}
+
+#[test]
+fn disconnected_components_are_flagged() {
+    let nodes = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(8.0, 8.0),
+        Point::new(9.0, 8.0),
+    ];
+    let segs = [(0usize, 1usize, RoadClass::Main), (2, 3, RoadClass::Side)];
+    let net = RoadNetwork::new(nodes, &segs, Aabb::from_coords(0.0, 0.0, 10.0, 10.0));
+    assert!(!net.is_connected());
+    assert!(!union_find_connected(&net));
+}
+
+#[test]
+#[should_panic(expected = "requires connectivity")]
+fn movers_reject_disconnected_networks() {
+    let nodes = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(9.0, 9.0),
+    ];
+    let net = RoadNetwork::new(
+        nodes,
+        &[(0, 1, RoadClass::Main)],
+        Aabb::from_coords(0.0, 0.0, 10.0, 10.0),
+    );
+    NetworkMover::new(net, 4, 0);
+}
+
+/// Distance from `p` to the nearest point of any edge segment.
+fn dist_to_network(net: &RoadNetwork, p: Point) -> f64 {
+    (0..net.num_edges())
+        .map(|e| {
+            let edge = net.edge(e);
+            let a = net.node(edge.a);
+            let b = net.node(edge.b);
+            let ab = b - a;
+            let t = if ab.norm_sq() == 0.0 {
+                0.0
+            } else {
+                ((p - a).dot(ab) / ab.norm_sq()).clamp(0.0, 1.0)
+            };
+            a.lerp(b, t).dist(p)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn routed_objects_stay_on_their_edge_segment() {
+    for seed in [2u64, 13] {
+        let net = synth(seed, 7, 0.1);
+        let mut m = NetworkMover::new(net, 30, seed);
+        for tick in 0..50 {
+            m.advance();
+            for i in 0..30u32 {
+                let off = dist_to_network(m.network(), m.position(i));
+                assert!(
+                    off < 1e-6,
+                    "seed {seed} tick {tick}: object {i} is {off} off-network"
+                );
+            }
+        }
+    }
+}

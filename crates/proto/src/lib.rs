@@ -19,10 +19,22 @@
 use std::io::{self, Read};
 
 use igern_core::processor::Algorithm;
-use igern_core::types::ObjectKind;
+use igern_core::types::{DistanceMode, ObjectKind};
 
-/// Protocol version spoken by this build; `HELLO` must match exactly.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol version spoken by this build. Version 2 added the optional
+/// distance-mode byte on `SUBSCRIBE_QUERY`; servers accept any version
+/// in [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] (see
+/// [`version_accepted`]) because a v1 client's frames are a strict
+/// subset of v2.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest client protocol version still accepted in `HELLO`.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
+
+/// Whether a client `HELLO` version is one this build speaks.
+pub fn version_accepted(v: u16) -> bool {
+    (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&v)
+}
 
 /// Upper bound on `len` (type byte + body). Frames claiming more are
 /// rejected before any allocation.
@@ -85,6 +97,8 @@ pub enum ErrorCode {
     KindMismatch = 9,
     /// `UPSERT_OBJECT` position outside the server's data space.
     OutOfBounds = 10,
+    /// A network-distance subscription on a server with no road network.
+    NoNetwork = 11,
 }
 
 impl ErrorCode {
@@ -100,6 +114,7 @@ impl ErrorCode {
             8 => ErrorCode::AnchorInUse,
             9 => ErrorCode::KindMismatch,
             10 => ErrorCode::OutOfBounds,
+            11 => ErrorCode::NoNetwork,
             other => return Err(ProtoError::BadEnum("error code", other)),
         })
     }
@@ -120,11 +135,15 @@ pub enum Frame {
     /// Remove an object from the store.
     RemoveObject { id: u32 },
     /// Register a continuous query anchored at `anchor`. `token` is a
-    /// client-chosen correlation id echoed in `SUBSCRIBED`.
+    /// client-chosen correlation id echoed in `SUBSCRIBED`. The
+    /// distance-mode byte is a v2 extension: it is encoded only when
+    /// `mode` is [`DistanceMode::Network`], so Euclidean subscriptions
+    /// stay byte-identical to protocol v1 and v1 decoders keep working.
     Subscribe {
         token: u32,
         anchor: u32,
         algo: Algorithm,
+        mode: DistanceMode,
     },
     /// Drop subscription `sid`.
     Unsubscribe { sid: u32 },
@@ -191,6 +210,24 @@ pub fn algo_to_wire(algo: Algorithm) -> (u8, u16) {
         Algorithm::IgernBiK(k) => (6, k as u16),
         Algorithm::Knn(k) => (7, k as u16),
     }
+}
+
+/// Wire encoding of a [`DistanceMode`]. Public because the WAL snapshot
+/// codec stores standing queries in the same encoding.
+pub fn mode_to_wire(mode: DistanceMode) -> u8 {
+    match mode {
+        DistanceMode::Euclidean => 0,
+        DistanceMode::Network => 1,
+    }
+}
+
+/// Inverse of [`mode_to_wire`].
+pub fn mode_from_wire(v: u8) -> Result<DistanceMode, ProtoError> {
+    Ok(match v {
+        0 => DistanceMode::Euclidean,
+        1 => DistanceMode::Network,
+        other => return Err(ProtoError::BadEnum("distance mode", other)),
+    })
 }
 
 /// Inverse of [`algo_to_wire`].
@@ -308,12 +345,18 @@ impl Frame {
                 token,
                 anchor,
                 algo,
+                mode,
             } => {
                 let (code, k) = algo_to_wire(*algo);
                 body.extend_from_slice(&token.to_le_bytes());
                 body.extend_from_slice(&anchor.to_le_bytes());
                 body.push(code);
                 body.extend_from_slice(&k.to_le_bytes());
+                // v2 extension byte, omitted for Euclidean so the frame
+                // stays byte-identical to protocol v1.
+                if *mode != DistanceMode::Euclidean {
+                    body.push(mode_to_wire(*mode));
+                }
             }
             Frame::Unsubscribe { sid } | Frame::Unsubscribed { sid } => {
                 body.extend_from_slice(&sid.to_le_bytes());
@@ -390,10 +433,17 @@ impl Frame {
                 let anchor = c.u32()?;
                 let code = c.u8()?;
                 let k = c.u16()?;
+                // Optional v2 trailing byte; absent means Euclidean.
+                let mode = if c.pos < payload.len() {
+                    mode_from_wire(c.u8()?)?
+                } else {
+                    DistanceMode::Euclidean
+                };
                 Frame::Subscribe {
                     token,
                     anchor,
                     algo: algo_from_wire(code, k)?,
+                    mode,
                 }
             }
             T_UNSUBSCRIBE => Frame::Unsubscribe { sid: c.u32()? },
@@ -659,6 +709,11 @@ mod tests {
                     6 => Algorithm::IgernBiK(rng.gen_range(1..100)),
                     _ => Algorithm::Knn(rng.gen_range(1..100)),
                 },
+                mode: if rng.gen_bool(0.5) {
+                    DistanceMode::Euclidean
+                } else {
+                    DistanceMode::Network
+                },
             },
             4 => Frame::Unsubscribe {
                 sid: rng.next_u64() as u32,
@@ -694,7 +749,7 @@ mod tests {
                 nonce: rng.next_u64(),
             },
             _ => Frame::Error {
-                code: ErrorCode::from_wire(rng.gen_range(1..11) as u8).unwrap(),
+                code: ErrorCode::from_wire(rng.gen_range(1..12) as u8).unwrap(),
                 message: "x".repeat(rng.gen_range(0..64)),
             },
         }
@@ -734,20 +789,87 @@ mod tests {
             let wire = f.encode();
             let payload = &wire[4..];
             let cut = rng.gen_range(0..payload.len());
-            // Any strict prefix must fail to decode (never panic).
-            assert!(
-                Frame::decode(&payload[..cut]).is_err(),
-                "truncated {f:?} at {cut} decoded"
-            );
-            // Appended garbage is trailing-bytes.
+            // Any strict prefix must fail to decode (never panic). One
+            // deliberate exception: a network-mode SUBSCRIBE minus its
+            // trailing mode byte IS a valid v1 Euclidean SUBSCRIBE —
+            // that is the v1 compatibility contract, not a bug.
+            match Frame::decode(&payload[..cut]) {
+                Err(_) => {}
+                Ok(decoded) => {
+                    let Frame::Subscribe {
+                        token,
+                        anchor,
+                        algo,
+                        mode: DistanceMode::Network,
+                    } = &f
+                    else {
+                        panic!("truncated {f:?} at {cut} decoded");
+                    };
+                    assert_eq!(cut, payload.len() - 1);
+                    assert_eq!(
+                        decoded,
+                        Frame::Subscribe {
+                            token: *token,
+                            anchor: *anchor,
+                            algo: *algo,
+                            mode: DistanceMode::Euclidean,
+                        }
+                    );
+                }
+            }
+            // Appended garbage is rejected. For SUBSCRIBE the garbage
+            // byte lands where the optional v2 mode byte goes, so it
+            // surfaces as a bad discriminant instead of trailing bytes.
             let mut extended = payload.to_vec();
             extended.push(0x7f);
-            assert_eq!(
-                Frame::decode(&extended),
-                Err(ProtoError::TrailingBytes(1)),
-                "{f:?}"
-            );
+            let expect = if matches!(
+                f,
+                Frame::Subscribe {
+                    mode: DistanceMode::Euclidean,
+                    ..
+                }
+            ) {
+                ProtoError::BadEnum("distance mode", 0x7f)
+            } else {
+                ProtoError::TrailingBytes(1)
+            };
+            assert_eq!(Frame::decode(&extended), Err(expect), "{f:?}");
         }
+    }
+
+    #[test]
+    fn euclidean_subscribe_is_byte_identical_to_protocol_v1() {
+        // v1 layout: [len][type][token u32][anchor u32][code u8][k u16]
+        let f = Frame::Subscribe {
+            token: 7,
+            anchor: 42,
+            algo: Algorithm::IgernMonoK(3),
+            mode: DistanceMode::Euclidean,
+        };
+        let wire = f.encode();
+        assert_eq!(wire.len(), 4 + 1 + 4 + 4 + 1 + 2, "no v2 mode byte");
+        // A v1 decoder (no mode byte expected) reads the same frame.
+        assert_eq!(Frame::decode(&wire[4..]).unwrap(), f);
+        // Network mode appends exactly one byte and round-trips.
+        let n = Frame::Subscribe {
+            token: 7,
+            anchor: 42,
+            algo: Algorithm::IgernMonoK(3),
+            mode: DistanceMode::Network,
+        };
+        let nwire = n.encode();
+        assert_eq!(nwire.len(), wire.len() + 1);
+        assert_eq!(Frame::decode(&nwire[4..]).unwrap(), n);
+        // A bad mode discriminant is rejected, not defaulted.
+        let mut bad = nwire[4..].to_vec();
+        *bad.last_mut().unwrap() = 9;
+        assert_eq!(
+            Frame::decode(&bad),
+            Err(ProtoError::BadEnum("distance mode", 9))
+        );
+        // Both in-window versions are accepted, others rejected.
+        assert!(version_accepted(1) && version_accepted(2));
+        assert!(!version_accepted(0) && !version_accepted(3));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use igern_core::processor::Algorithm;
-use igern_core::types::ObjectKind;
+use igern_core::types::{DistanceMode, ObjectKind};
 
 use crate::proto::{
     ErrorCode, Frame, FrameError, FrameReader, ProtoError, ReadOutcome, PROTOCOL_VERSION,
@@ -165,12 +165,27 @@ impl Client {
     /// while the ack is awaited (e.g. the connection is being rejected),
     /// instead of spinning until a generic [`ClientError::TimedOut`].
     pub fn subscribe(&mut self, anchor: u32, algo: Algorithm) -> Result<u32, ClientError> {
+        self.subscribe_in(anchor, algo, DistanceMode::Euclidean)
+    }
+
+    /// [`Client::subscribe`] with an explicit distance mode (protocol
+    /// v2; Euclidean encodes identically to v1).
+    ///
+    /// # Errors
+    /// As [`Client::subscribe`].
+    pub fn subscribe_in(
+        &mut self,
+        anchor: u32,
+        algo: Algorithm,
+        mode: DistanceMode,
+    ) -> Result<u32, ClientError> {
         let token = self.next_token;
         self.next_token += 1;
         self.send(&Frame::Subscribe {
             token,
             anchor,
             algo,
+            mode,
         })?;
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {

@@ -275,12 +275,13 @@ pub(crate) fn reader_loop(
                 metrics.frame_in(frame.type_name());
                 if !greeted {
                     match frame {
-                        Frame::Hello { version } if version == PROTOCOL_VERSION => {
+                        Frame::Hello { version } if crate::proto::version_accepted(version) => {
                             greeted = true;
+                            // Echo the client's (accepted) version: the
+                            // conversation proceeds at the older side's
+                            // level.
                             conn.push_control(
-                                Frame::HelloAck {
-                                    version: PROTOCOL_VERSION,
-                                },
+                                Frame::HelloAck { version },
                                 cfg.outbound_queue_frames,
                                 metrics,
                             );
@@ -291,8 +292,9 @@ pub(crate) fn reader_loop(
                                 err_frame(
                                     ErrorCode::VersionMismatch,
                                     &format!(
-                                        "server speaks version {PROTOCOL_VERSION}, \
-                                         client sent {version}"
+                                        "server speaks versions {}..={PROTOCOL_VERSION}, \
+                                         client sent {version}",
+                                        crate::proto::MIN_PROTOCOL_VERSION
                                     ),
                                 ),
                                 cfg.outbound_queue_frames,
@@ -337,6 +339,7 @@ pub(crate) fn reader_loop(
                         token,
                         anchor,
                         algo,
+                        mode,
                     } => {
                         // The sid is allocated here but the SUBSCRIBED
                         // ack is emitted by the tick thread at dequeue,
@@ -350,6 +353,7 @@ pub(crate) fn reader_loop(
                             token,
                             anchor,
                             algo,
+                            mode,
                         }
                     }
                     Frame::Unsubscribe { sid } => Ingest::Unsubscribe { conn: conn.id, sid },

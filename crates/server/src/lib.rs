@@ -425,13 +425,22 @@ impl Server {
         // With durability on, recovered state replaces the passed
         // store unless the directory is fresh (no snapshot, no
         // records) — a fresh directory starts from `store` as usual.
+        // The store's road network (if any) travels into recovery so
+        // restored network-mode subscriptions keep evaluating.
+        let network = store.network().cloned();
         let mut runner = TickRunner::new(store, cfg.workers, cfg.placement);
         let mut recovery = None;
         let mut durable = None;
         let mut first_sid = 1u32;
         if let Some(opts) = &cfg.wal {
-            let rec =
-                igern_wal::recover(&opts.dir, cfg.workers, cfg.placement, cfg.space, cfg.grid)?;
+            let rec = igern_wal::recover(
+                &opts.dir,
+                cfg.workers,
+                cfg.placement,
+                cfg.space,
+                cfg.grid,
+                network,
+            )?;
             let fresh = rec.report.snapshot.is_none() && rec.next_seq == 0;
             let tick_base = rec.tick - rec.runner.tick();
             if !fresh {

@@ -855,12 +855,12 @@ impl IoLoop {
         let conn = Arc::clone(&entry.conn);
         if !entry.greeted {
             match frame {
-                Frame::Hello { version } if version == PROTOCOL_VERSION => {
+                Frame::Hello { version } if crate::proto::version_accepted(version) => {
                     entry.greeted = true;
+                    // Echo the client's (accepted) version: the
+                    // conversation proceeds at the older side's level.
                     conn.push_control(
-                        Frame::HelloAck {
-                            version: PROTOCOL_VERSION,
-                        },
+                        Frame::HelloAck { version },
                         self.cfg.outbound_queue_frames,
                         &self.metrics,
                     );
@@ -871,7 +871,10 @@ impl IoLoop {
                     self.push_error(
                         &conn,
                         ErrorCode::VersionMismatch,
-                        &format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
+                        &format!(
+                            "server speaks versions {}..={PROTOCOL_VERSION}, client sent {version}",
+                            crate::proto::MIN_PROTOCOL_VERSION
+                        ),
                     );
                 }
                 _ => {
@@ -904,6 +907,7 @@ impl IoLoop {
                 token,
                 anchor,
                 algo,
+                mode,
             } => {
                 // The sid is allocated here, but the SUBSCRIBED ack is
                 // emitted by the tick thread at dequeue: a client that
@@ -917,6 +921,7 @@ impl IoLoop {
                     token,
                     anchor,
                     algo,
+                    mode,
                 }
             }
             Frame::Unsubscribe { sid } => Ingest::Unsubscribe { conn: conn.id, sid },

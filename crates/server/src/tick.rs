@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use igern_core::processor::Algorithm;
-use igern_core::types::ObjectKind;
+use igern_core::types::{DistanceMode, ObjectKind};
 use igern_engine::{EngineError, TickRunner};
 use igern_geom::Point;
 use igern_grid::ObjectId;
@@ -63,6 +63,7 @@ pub(crate) enum Ingest {
         token: u32,
         anchor: u32,
         algo: Algorithm,
+        mode: DistanceMode,
     },
     /// `UNSUBSCRIBE`.
     Unsubscribe { conn: u64, sid: u32 },
@@ -86,6 +87,8 @@ struct Sub {
     anchor: ObjectId,
     /// Query algorithm (orphan-claim matching and WAL snapshots).
     algo: Algorithm,
+    /// Distance mode (part of the query identity alongside `algo`).
+    mode: DistanceMode,
     /// Answer pushed at the previous tick (sorted by id).
     prev: Vec<ObjectId>,
     /// Next push must be a full snapshot (fresh subscription, or the
@@ -160,6 +163,7 @@ impl TickThread {
                             qid: r.qid,
                             anchor: r.anchor,
                             algo: r.algo,
+                            mode: r.mode,
                             prev: Vec::new(),
                             needs_snapshot: true,
                         },
@@ -337,6 +341,7 @@ impl TickThread {
                     sid,
                     anchor: s.anchor.0,
                     algo: s.algo,
+                    mode: s.mode,
                     answer_digest: answer_digest(self.runner.answer(s.qid)),
                 })
                 .collect(),
@@ -423,6 +428,7 @@ impl TickThread {
                 token,
                 anchor,
                 algo,
+                mode,
             } => {
                 // Ack first: the subscription is now owned by this
                 // thread, so SUBSCRIBED lands before any ERROR below
@@ -442,7 +448,10 @@ impl TickThread {
                     .subs
                     .iter()
                     .find(|(_, s)| {
-                        s.conn == ORPHAN_CONN && s.anchor == ObjectId(anchor) && s.algo == algo
+                        s.conn == ORPHAN_CONN
+                            && s.anchor == ObjectId(anchor)
+                            && s.algo == algo
+                            && s.mode == mode
                     })
                     .map(|(&old_sid, _)| old_sid);
                 if let Some(old_sid) = claim {
@@ -459,6 +468,7 @@ impl TickThread {
                             token: sid,
                             anchor,
                             algo,
+                            mode,
                         });
                         self.metrics
                             .subscriptions_active
@@ -470,7 +480,7 @@ impl TickThread {
                     // registration instead of panicking.
                     self.metrics.sub_desync_total.inc();
                 }
-                match self.runner.add_query(ObjectId(anchor), algo) {
+                match self.runner.add_query_in(ObjectId(anchor), algo, mode) {
                     Ok(qid) => {
                         self.subs.insert(
                             sid,
@@ -479,6 +489,7 @@ impl TickThread {
                                 qid,
                                 anchor: ObjectId(anchor),
                                 algo,
+                                mode,
                                 prev: Vec::new(),
                                 needs_snapshot: true,
                             },
@@ -492,6 +503,7 @@ impl TickThread {
                             token: sid,
                             anchor,
                             algo,
+                            mode,
                         });
                         self.metrics
                             .subscriptions_active
@@ -502,6 +514,7 @@ impl TickThread {
                             EngineError::UnknownObject(_) => ErrorCode::UnknownObject,
                             EngineError::NotKindA(_) => ErrorCode::NotKindA,
                             EngineError::ZeroK => ErrorCode::ZeroK,
+                            EngineError::NoNetwork => ErrorCode::NoNetwork,
                         };
                         self.reject(conn, code, &format!("subscription {sid} rejected: {e}"));
                     }

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use igern_core::obs::MetricsRegistry;
 use igern_core::processor::Algorithm;
-use igern_core::types::ObjectKind;
+use igern_core::types::{DistanceMode, ObjectKind};
 use igern_core::SpatialStore;
 use igern_geom::Aabb;
 use igern_mobgen::rng::Rng64;
@@ -92,11 +92,13 @@ fn crash_recovers_to_pre_kill_digest_and_reattaches_subs() {
             sid: sid1,
             anchor: 5,
             algo: Algorithm::IgernMono,
+            mode: DistanceMode::Euclidean,
         },
         SubSpec {
             sid: sid2,
             anchor: 12,
             algo: Algorithm::Knn(3),
+            mode: DistanceMode::Euclidean,
         },
     ];
     let answers: Vec<Vec<igern_grid::ObjectId>> = [&a1, &a2]

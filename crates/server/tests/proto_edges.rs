@@ -7,7 +7,7 @@
 use std::io::{self, Read};
 
 use igern_core::processor::Algorithm;
-use igern_core::types::ObjectKind;
+use igern_core::types::{DistanceMode, ObjectKind};
 use igern_mobgen::rng::Rng64;
 use igern_server::proto::{Frame, FrameError, FrameReader, ProtoError, ReadOutcome, MAX_FRAME_LEN};
 
@@ -28,6 +28,7 @@ fn frame_table() -> Vec<Frame> {
             token: 9,
             anchor: 3,
             algo: Algorithm::IgernBiK(5),
+            mode: DistanceMode::Euclidean,
         },
         Frame::Unsubscribe { sid: 2 },
         Frame::Ping { nonce: u64::MAX },

@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 
 use igern_core::obs::MetricsRegistry;
 use igern_core::processor::Algorithm;
+use igern_core::types::DistanceMode;
 use igern_core::types::ObjectKind;
 use igern_core::SpatialStore;
 use igern_geom::Aabb;
@@ -120,6 +121,7 @@ fn trickled_tcp_bytes_reassemble_without_desync() {
                 token: 7,
                 anchor: 3,
                 algo: Algorithm::IgernMono,
+                mode: DistanceMode::Euclidean,
             }
             .encode(),
         );
@@ -309,6 +311,7 @@ fn scripted_stream(io: IoBackend) -> Vec<u8> {
                 token,
                 anchor,
                 algo,
+                mode: DistanceMode::Euclidean,
             },
         );
         got.push(next_frame(&mut r, wait));
@@ -473,6 +476,7 @@ fn shutdown_drain_deadline_cuts_slow_consumers() {
             token: 1,
             anchor: 1,
             algo: Algorithm::Knn(64),
+            mode: DistanceMode::Euclidean,
         }
         .encode(),
     )

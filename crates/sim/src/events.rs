@@ -133,6 +133,12 @@ pub struct Plan {
     /// Whether every backend evaluates through the shared-scan batch
     /// path (`igern_core::batch`) — must be answer-invisible.
     pub batch: bool,
+    /// Whether every query runs under network (shortest-path) distance.
+    /// The road graph is rebuilt deterministically from `seed` and
+    /// `space` (see [`sim_network`]); plan generation snaps every
+    /// position onto it, and the mirror checks answers against the
+    /// Dijkstra oracles instead of the Euclidean ones.
+    pub network: bool,
     /// Anchor of the fault-victim client's own subscription. The
     /// executor's mirror pins this object: it is never removed, so the
     /// victim's standing query stays semantically valid on the server
@@ -187,6 +193,22 @@ pub struct GenConfig {
     pub server: bool,
     pub durable: bool,
     pub batch: bool,
+    pub network: bool,
+}
+
+/// The road network a network-distance plan runs on: a deterministic
+/// function of the plan's seed and space, so executors (and replayed
+/// `.simreplay` files, which carry both) rebuild the exact same graph
+/// without serializing it.
+pub fn sim_network(seed: u64, space: Aabb) -> igern_mobgen::RoadNetwork {
+    igern_mobgen::build_synthetic_network(&igern_mobgen::SyntheticNetworkConfig {
+        k: 8,
+        space,
+        jitter: 0.2,
+        highway_stride: 3,
+        prune_fraction: 0.1,
+        seed,
+    })
 }
 
 /// The algorithm rotation new queries cycle through — all eight
@@ -208,6 +230,21 @@ pub const ALGO_CYCLE: [Algorithm; 8] = [
 /// re-insert storm, and a teleport storm.
 pub fn generate(cfg: &GenConfig) -> Plan {
     let n = cfg.objects.max(4);
+    // Network plans snap every generated position onto the road graph:
+    // objects live on edges, as road traffic does, and the snapped
+    // stream is what makes the Euclidean lower bound tight in practice.
+    let net_space = cfg
+        .network
+        .then(|| igern_core::NetworkSpace::from_network(&sim_network(cfg.seed, cfg.space)));
+    let snap = |x: f64, y: f64| -> (f64, f64) {
+        match &net_space {
+            Some(ns) => {
+                let p = ns.snap(igern_geom::Point::new(x, y)).point;
+                (p.x, p.y)
+            }
+            None => (x, y),
+        }
+    };
     let n_a = n.div_ceil(2); // ids 0..n_a are kind A
     let queries = cfg.queries.clamp(1, n_a);
     // Initial query anchors are ids 0..queries (all kind A, so the full
@@ -236,7 +273,10 @@ pub fn generate(cfg: &GenConfig) -> Plan {
         .initial_positions()
         .iter()
         .enumerate()
-        .map(|(i, p)| (i as u32, kind_of(i as u32), p.x, p.y))
+        .map(|(i, p)| {
+            let (x, y) = snap(p.x, p.y);
+            (i as u32, kind_of(i as u32), x, y)
+        })
         .collect();
 
     // Generation-side bookkeeping so fault targets are picked among
@@ -287,14 +327,8 @@ pub fn generate(cfg: &GenConfig) -> Plan {
             match *e {
                 MotionEvent::Move { id, pos } => {
                     if live[id as usize] && !desynced[id as usize] {
-                        push(
-                            t,
-                            SimEvent::Move {
-                                id,
-                                x: pos.x,
-                                y: pos.y,
-                            },
-                        );
+                        let (x, y) = snap(pos.x, pos.y);
+                        push(t, SimEvent::Move { id, x, y });
                     }
                 }
                 MotionEvent::Remove { id } => {
@@ -309,13 +343,14 @@ pub fn generate(cfg: &GenConfig) -> Plan {
                 MotionEvent::Insert { id, pos, .. } => {
                     if !live[id as usize] && !desynced[id as usize] {
                         live[id as usize] = true;
+                        let (x, y) = snap(pos.x, pos.y);
                         push(
                             t,
                             SimEvent::Insert {
                                 id,
                                 kind: kind_of(id),
-                                x: pos.x,
-                                y: pos.y,
+                                x,
+                                y,
                             },
                         );
                     }
@@ -415,13 +450,17 @@ pub fn generate(cfg: &GenConfig) -> Plan {
                 .collect();
             for &id in &dead {
                 live[id as usize] = true;
+                let (x, y) = snap(
+                    rng.gen_range(cfg.space.min.x..cfg.space.max.x),
+                    rng.gen_range(cfg.space.min.y..cfg.space.max.y),
+                );
                 push(
                     t,
                     SimEvent::Insert {
                         id,
                         kind: kind_of(id),
-                        x: rng.gen_range(cfg.space.min.x..cfg.space.max.x),
-                        y: rng.gen_range(cfg.space.min.y..cfg.space.max.y),
+                        x,
+                        y,
                     },
                 );
             }
@@ -431,14 +470,11 @@ pub fn generate(cfg: &GenConfig) -> Plan {
                 .filter(|&id| live[id as usize] && !desynced[id as usize])
                 .collect();
             for &id in movers.iter().take(movers.len() / 4) {
-                push(
-                    t,
-                    SimEvent::Move {
-                        id,
-                        x: rng.gen_range(cfg.space.min.x..cfg.space.max.x),
-                        y: rng.gen_range(cfg.space.min.y..cfg.space.max.y),
-                    },
+                let (x, y) = snap(
+                    rng.gen_range(cfg.space.min.x..cfg.space.max.x),
+                    rng.gen_range(cfg.space.min.y..cfg.space.max.y),
                 );
+                push(t, SimEvent::Move { id, x, y });
             }
         }
     }
@@ -452,6 +488,7 @@ pub fn generate(cfg: &GenConfig) -> Plan {
         server: cfg.server,
         durable,
         batch: cfg.batch,
+        network: cfg.network,
         victim_anchor: (cfg.server && cfg.faults).then_some(victim_anchor),
         initial,
         events,
@@ -482,6 +519,7 @@ mod tests {
             server: true,
             durable: false,
             batch: false,
+            network: false,
         }
     }
 

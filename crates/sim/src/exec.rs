@@ -34,7 +34,8 @@ use std::time::Duration;
 use igern_core::hooks::SimHooks;
 use igern_core::obs::MetricsRegistry;
 use igern_core::processor::Algorithm;
-use igern_core::SpatialStore;
+use igern_core::types::DistanceMode;
+use igern_core::{NetworkSpace, SpatialStore};
 use igern_engine::{Placement, TickRunner};
 use igern_geom::Point;
 use igern_grid::ObjectId;
@@ -150,7 +151,7 @@ impl SimHooks for ScriptedFaults {
     }
 }
 
-fn build_store(plan: &Plan) -> SpatialStore {
+fn build_store(plan: &Plan, net: Option<&Arc<NetworkSpace>>) -> SpatialStore {
     let n = plan.initial.len();
     let mut kinds = vec![igern_core::ObjectKind::A; n];
     let mut positions = vec![Point::ORIGIN; n];
@@ -159,14 +160,27 @@ fn build_store(plan: &Plan) -> SpatialStore {
         positions[id as usize] = Point::new(x, y);
     }
     let mut store = SpatialStore::new(plan.space, plan.grid, kinds);
+    if let Some(ns) = net {
+        store.set_network(Arc::clone(ns));
+    }
     store.load(&positions);
     store
+}
+
+/// The distance mode every checked query of `plan` runs under.
+fn plan_mode(plan: &Plan) -> DistanceMode {
+    if plan.network {
+        DistanceMode::Network
+    } else {
+        DistanceMode::Euclidean
+    }
 }
 
 /// An offline tick backend (serial or sharded) plus its query-id map.
 struct Offline {
     name: &'static str,
     runner: TickRunner,
+    mode: DistanceMode,
     qmap: HashMap<u32, usize>,
 }
 
@@ -186,7 +200,7 @@ impl Offline {
             SimEvent::AddQuery { q, anchor, algo } => {
                 let qid = self
                     .runner
-                    .add_query(ObjectId(anchor), algo)
+                    .add_query_in(ObjectId(anchor), algo, self.mode)
                     .expect("mirror admitted the query");
                 self.qmap.insert(q, qid);
             }
@@ -255,6 +269,9 @@ struct Served {
     /// Registered kind per id — the upsert frame re-states the kind on
     /// every move, and a mismatch is a semantic error.
     kind_of: HashMap<u32, igern_core::ObjectKind>,
+    /// Road graph of a network-distance plan; restart stores re-attach
+    /// it so WAL recovery can re-register network subscriptions.
+    net: Option<Arc<NetworkSpace>>,
     tap_script: Arc<Mutex<VecDeque<FrameFault>>>,
 }
 
@@ -377,12 +394,13 @@ impl Served {
         plan: &Plan,
         hooks: Arc<ScriptedFaults>,
         wal_dir: Option<&Path>,
+        net: Option<&Arc<NetworkSpace>>,
     ) -> Result<Served, SimFailure> {
         let (listener, connector) = memory_listener();
         let cfg = server_cfg(plan, Arc::clone(&hooks), wal_dir);
         let server = Server::start_on(
             Listener::Mem(listener),
-            build_store(plan),
+            build_store(plan, net),
             cfg,
             MetricsRegistry::new(),
         )
@@ -403,6 +421,7 @@ impl Served {
             sid_of: HashMap::new(),
             query_of: HashMap::new(),
             kind_of: plan.initial.iter().map(|&(id, k, _, _)| (id, k)).collect(),
+            net: net.map(Arc::clone),
             tap_script,
         })
     }
@@ -423,7 +442,12 @@ impl Served {
 
         let (listener, connector) = memory_listener();
         let cfg = server_cfg(plan, Arc::clone(&self.hooks), Some(&dir));
-        let store = SpatialStore::new(plan.space, plan.grid, Vec::new());
+        let mut store = SpatialStore::new(plan.space, plan.grid, Vec::new());
+        if let Some(ns) = &self.net {
+            // Recovery re-registers network subscriptions; the fresh
+            // store must carry the road graph before the server boots.
+            store.set_network(Arc::clone(ns));
+        }
         let server = Server::start_on(Listener::Mem(listener), store, cfg, MetricsRegistry::new())
             .map_err(|e| fail(&e))?;
         let recovered = server.recovery().ok_or_else(|| SimFailure {
@@ -450,8 +474,9 @@ impl Served {
         let mut queries: Vec<(u32, (u32, Algorithm))> =
             self.query_of.iter().map(|(&q, &v)| (q, v)).collect();
         queries.sort_unstable_by_key(|&(q, _)| q);
+        let mode = plan_mode(plan);
         for (q, (anchor, algo)) in queries {
-            let sid = w.subscribe(anchor, algo).map_err(|e| fail(&e))?;
+            let sid = w.subscribe_in(anchor, algo, mode).map_err(|e| fail(&e))?;
             sid_of.insert(q, sid);
         }
         // The victim reconnects (through a fresh tap over the same
@@ -489,9 +514,14 @@ impl Served {
             }
             SimEvent::Remove { id } => self.w.remove_object(id),
             SimEvent::AddQuery { q, anchor, algo } => {
+                let mode = if self.net.is_some() {
+                    DistanceMode::Network
+                } else {
+                    DistanceMode::Euclidean
+                };
                 return self
                     .w
-                    .subscribe(anchor, algo)
+                    .subscribe_in(anchor, algo, mode)
                     .map(|sid| {
                         self.sid_of.insert(q, sid);
                         self.query_of.insert(q, (anchor, algo));
@@ -595,10 +625,16 @@ impl Fnv {
 /// module docs for the lockstep layout.
 pub fn execute(plan: &Plan, corruption: Option<&Corruption>) -> Result<SimReport, SimFailure> {
     let hooks = Arc::new(ScriptedFaults::default());
+    let mirror = Mirror::new(plan);
+    // One road graph, shared by every backend and the mirror: all of
+    // them must route over the same edges for answers to agree.
+    let net = mirror.network().cloned();
+    let mode = plan_mode(plan);
 
     let mut serial = Offline {
         name: "serial",
-        runner: TickRunner::new(build_store(plan), 1, Placement::RoundRobin),
+        runner: TickRunner::new(build_store(plan, net.as_ref()), 1, Placement::RoundRobin),
+        mode,
         qmap: HashMap::new(),
     };
     serial
@@ -608,10 +644,11 @@ pub fn execute(plan: &Plan, corruption: Option<&Corruption>) -> Result<SimReport
     let mut sharded = Offline {
         name: "sharded",
         runner: TickRunner::new(
-            build_store(plan),
+            build_store(plan, net.as_ref()),
             plan.workers.max(2),
             Placement::RoundRobin,
         ),
+        mode,
         qmap: HashMap::new(),
     };
     sharded
@@ -630,12 +667,13 @@ pub fn execute(plan: &Plan, corruption: Option<&Corruption>) -> Result<SimReport
             plan,
             Arc::clone(&hooks),
             wal_dir.as_ref().map(|d| d.0.as_path()),
+            net.as_ref(),
         )?)
     } else {
         None
     };
 
-    let mut mirror = Mirror::new(plan);
+    let mut mirror = mirror;
     let mut counters = SimCounters::default();
     let mut digest = Fnv::new();
 

@@ -90,6 +90,11 @@ pub struct SimConfig {
     /// `igern_core::batch`). Off by default so the harness's baseline
     /// stays the per-query path; turning it on must be answer-invisible.
     pub batch: bool,
+    /// Evaluate every query under network (shortest-path) distance over
+    /// a road graph derived deterministically from `seed` and `space`
+    /// (see [`events::sim_network`]). Plan generation snaps all motion
+    /// onto the graph and the mirror switches to the Dijkstra oracles.
+    pub network: bool,
 }
 
 impl Default for SimConfig {
@@ -106,6 +111,7 @@ impl Default for SimConfig {
             server: true,
             durable: false,
             batch: false,
+            network: false,
         }
     }
 }
@@ -124,6 +130,7 @@ impl SimConfig {
             server: self.server,
             durable: self.durable,
             batch: self.batch,
+            network: self.network,
         }
     }
 

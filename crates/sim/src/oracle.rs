@@ -7,14 +7,16 @@
 //! query per tick via the `igern_core::naive` oracles.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use igern_core::naive;
 use igern_core::processor::Algorithm;
 use igern_core::types::ObjectKind;
+use igern_core::{NetScratch, NetworkSpace};
 use igern_geom::{Aabb, Point};
 use igern_grid::ObjectId;
 
-use crate::events::{Plan, SimEvent};
+use crate::events::{sim_network, Plan, SimEvent};
 
 /// Ground truth for one run. All state transitions are pure and
 /// deterministic; backends only ever see events the mirror admitted.
@@ -37,6 +39,10 @@ pub struct Mirror {
     /// Whether [`SimEvent::KillRestart`] is admissible: the plan runs a
     /// served backend AND that backend keeps a write-ahead log.
     durable_server: bool,
+    /// Network-distance plans carry the road graph and a Dijkstra
+    /// scratch; answers come from the `naive::*_net` oracles instead of
+    /// the Euclidean ones.
+    net: Option<(Arc<NetworkSpace>, NetScratch)>,
 }
 
 impl Mirror {
@@ -53,7 +59,17 @@ impl Mirror {
             queries: BTreeMap::new(),
             pinned: plan.pinned_anchor(),
             durable_server: plan.server && plan.durable,
+            net: plan.network.then(|| {
+                let ns = NetworkSpace::from_network(&sim_network(plan.seed, plan.space));
+                (Arc::new(ns), NetScratch::default())
+            }),
         }
+    }
+
+    /// The road graph of a network-distance plan (shared with the
+    /// backends so everyone routes over the same edges).
+    pub fn network(&self) -> Option<&Arc<NetworkSpace>> {
+        self.net.as_ref().map(|(ns, _)| ns)
     }
 
     /// Whether `event` is valid in the current state. Invalid events
@@ -148,7 +164,7 @@ impl Mirror {
     /// sorted by object id — computed by the brute-force definitions in
     /// [`igern_core::naive`] (and a direct k-NN scan for
     /// [`Algorithm::Knn`]).
-    pub fn expected_answer(&self, q: u32) -> Vec<u32> {
+    pub fn expected_answer(&mut self, q: u32) -> Vec<u32> {
         let &(anchor, algo) = self.queries.get(&q).expect("live query");
         let qpos = self.live.get(&anchor).expect("anchor live").1;
         let qid = Some(ObjectId(anchor));
@@ -164,22 +180,48 @@ impl Mirror {
                 .map(|(&id, &(_, p))| (ObjectId(id), p))
                 .collect()
         };
-        let ids = match algo {
-            Algorithm::IgernMono | Algorithm::Crnn | Algorithm::TplRepeat => {
-                naive::mono_rnn(&all, qpos, qid)
-            }
-            Algorithm::IgernBi | Algorithm::VoronoiRepeat => {
-                naive::bi_rnn(&of_kind(ObjectKind::A), &of_kind(ObjectKind::B), qpos, qid)
-            }
-            Algorithm::IgernMonoK(k) => naive::mono_rknn(&all, qpos, qid, k),
-            Algorithm::IgernBiK(k) => naive::bi_rknn(
-                &of_kind(ObjectKind::A),
-                &of_kind(ObjectKind::B),
-                qpos,
-                qid,
-                k,
-            ),
-            Algorithm::Knn(k) => knn_oracle(&all, qpos, ObjectId(anchor), k),
+        let ids = match &mut self.net {
+            Some((ns, scratch)) => match algo {
+                Algorithm::IgernMono | Algorithm::Crnn | Algorithm::TplRepeat => {
+                    naive::mono_rnn_net(ns, scratch, &all, qpos, qid)
+                }
+                Algorithm::IgernBi | Algorithm::VoronoiRepeat => naive::bi_rnn_net(
+                    ns,
+                    scratch,
+                    &of_kind(ObjectKind::A),
+                    &of_kind(ObjectKind::B),
+                    qpos,
+                    qid,
+                ),
+                Algorithm::IgernMonoK(k) => naive::mono_rknn_net(ns, scratch, &all, qpos, qid, k),
+                Algorithm::IgernBiK(k) => naive::bi_rknn_net(
+                    ns,
+                    scratch,
+                    &of_kind(ObjectKind::A),
+                    &of_kind(ObjectKind::B),
+                    qpos,
+                    qid,
+                    k,
+                ),
+                Algorithm::Knn(k) => naive::knn_net(ns, scratch, &all, qpos, qid, k),
+            },
+            None => match algo {
+                Algorithm::IgernMono | Algorithm::Crnn | Algorithm::TplRepeat => {
+                    naive::mono_rnn(&all, qpos, qid)
+                }
+                Algorithm::IgernBi | Algorithm::VoronoiRepeat => {
+                    naive::bi_rnn(&of_kind(ObjectKind::A), &of_kind(ObjectKind::B), qpos, qid)
+                }
+                Algorithm::IgernMonoK(k) => naive::mono_rknn(&all, qpos, qid, k),
+                Algorithm::IgernBiK(k) => naive::bi_rknn(
+                    &of_kind(ObjectKind::A),
+                    &of_kind(ObjectKind::B),
+                    qpos,
+                    qid,
+                    k,
+                ),
+                Algorithm::Knn(k) => knn_oracle(&all, qpos, ObjectId(anchor), k),
+            },
         };
         ids.into_iter().map(|o| o.0).collect()
     }
@@ -216,6 +258,7 @@ mod tests {
             server: false,
             batch: false,
             durable: false,
+            network: false,
             victim_anchor: Some(3),
             initial: vec![
                 (0, ObjectKind::A, 1.0, 1.0),

@@ -90,6 +90,7 @@ pub fn write_replay(plan: &Plan) -> String {
     let _ = writeln!(s, "  \"server\": {},", plan.server);
     let _ = writeln!(s, "  \"durable\": {},", plan.durable);
     let _ = writeln!(s, "  \"batch\": {},", plan.batch);
+    let _ = writeln!(s, "  \"network\": {},", plan.network);
     match plan.victim_anchor {
         Some(a) => {
             let _ = writeln!(s, "  \"victim_anchor\": {a},");
@@ -289,6 +290,8 @@ pub fn load_replay(text: &str) -> Result<Plan, ReplayError> {
         durable: matches!(root.get("durable"), Some(Value::Bool(true))),
         // Absent in files written before batch evaluation existed: off.
         batch: matches!(root.get("batch"), Some(Value::Bool(true))),
+        // Absent in files written before network distance existed: off.
+        network: matches!(root.get("network"), Some(Value::Bool(true))),
         victim_anchor,
         initial,
         events,
@@ -313,6 +316,7 @@ mod tests {
             server: true,
             durable: false,
             batch: false,
+            network: false,
         })
     }
 
@@ -337,6 +341,7 @@ mod tests {
             server: true,
             durable: true,
             batch: false,
+            network: false,
         });
         assert!(p.events.iter().any(|e| e.event == SimEvent::KillRestart));
         let text = write_replay(&p);
@@ -348,6 +353,33 @@ mod tests {
             !load_replay(&text.replacen("  \"durable\": true,\n", "", 1))
                 .unwrap()
                 .durable
+        );
+    }
+
+    #[test]
+    fn network_round_trip_keeps_the_flag() {
+        let p = generate(&GenConfig {
+            seed: 11,
+            ticks: 30,
+            objects: 16,
+            grid: 8,
+            queries: 8,
+            workers: 4,
+            space: Aabb::from_coords(0.0, 0.0, 64.0, 64.0),
+            faults: true,
+            server: true,
+            durable: false,
+            batch: false,
+            network: true,
+        });
+        let text = write_replay(&p);
+        assert!(text.contains("\"network\": true"));
+        assert_eq!(load_replay(&text).unwrap(), p);
+        // Files that predate the field load as Euclidean.
+        assert!(
+            !load_replay(&text.replacen("  \"network\": true,\n", "", 1))
+                .unwrap()
+                .network
         );
     }
 

@@ -138,6 +138,7 @@ mod tests {
             server: false,
             durable: false,
             batch: false,
+            network: false,
             victim_anchor: None,
             initial: Vec::new(),
             events: (0..n_events)

@@ -20,6 +20,7 @@
 //! and missing snapshots by skipping-and-counting, never panicking.
 
 use igern_core::processor::Algorithm;
+use igern_core::types::DistanceMode;
 use igern_grid::ObjectId;
 
 pub mod crc;
@@ -136,6 +137,8 @@ pub struct SubSpec {
     pub anchor: u32,
     /// The query algorithm.
     pub algo: Algorithm,
+    /// Distance mode the query evaluates under.
+    pub mode: DistanceMode,
 }
 
 /// Whole-server answer digest: FNV-1a over the logical tick then, per
@@ -157,6 +160,7 @@ pub fn state_digest<'a>(
         h = fnv1a(h, &s.anchor.to_le_bytes());
         h = fnv1a(h, &[code]);
         h = fnv1a(h, &k.to_le_bytes());
+        h = fnv1a(h, &[igern_proto::mode_to_wire(s.mode)]);
         let ids = answer_of(s);
         h = fnv1a(h, &(ids.len() as u64).to_le_bytes());
         for id in ids {
@@ -176,11 +180,13 @@ mod tests {
             sid: 1,
             anchor: 10,
             algo: Algorithm::IgernMono,
+            mode: DistanceMode::Euclidean,
         };
         let b = SubSpec {
             sid: 2,
             anchor: 11,
             algo: Algorithm::Knn(3),
+            mode: DistanceMode::Euclidean,
         };
         let ans_a = [ObjectId(3), ObjectId(7)];
         let ans_b = [ObjectId(1)];
@@ -201,6 +207,11 @@ mod tests {
             ..b
         };
         assert_ne!(d1, state_digest(5, &[a, b2], of));
+        let b3 = SubSpec {
+            mode: DistanceMode::Network,
+            ..b
+        };
+        assert_ne!(d1, state_digest(5, &[a, b3], of));
     }
 
     #[test]

@@ -16,8 +16,10 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use igern_core::SpatialStore;
+use igern_core::types::DistanceMode;
+use igern_core::{NetworkSpace, SpatialStore};
 use igern_engine::{Placement, TickRunner};
 use igern_geom::{Aabb, Point};
 use igern_grid::ObjectId;
@@ -36,6 +38,8 @@ pub struct RecoveredSub {
     pub anchor: ObjectId,
     /// Query algorithm.
     pub algo: igern_core::processor::Algorithm,
+    /// Distance mode the query evaluates under.
+    pub mode: DistanceMode,
     /// Query index in the rebuilt runner.
     pub qid: usize,
 }
@@ -99,13 +103,17 @@ pub struct Recovered {
 /// Rebuild state from `dir`. With no snapshot and no segments this
 /// returns a fresh empty runner over `fallback_space`/`fallback_grid`
 /// (the server's configured geometry); a snapshot's stored geometry
-/// wins otherwise.
+/// wins otherwise. `network` is the road network the serving store had
+/// attached (if any): it is re-attached to the rebuilt store *before*
+/// queries re-register, so recovered network-mode subscriptions keep
+/// evaluating (without it they are counted as lenient skips).
 pub fn recover(
     dir: &Path,
     workers: usize,
     placement: Placement,
     fallback_space: Aabb,
     fallback_grid: usize,
+    network: Option<Arc<NetworkSpace>>,
 ) -> io::Result<Recovered> {
     let mut report = RecoveryReport::default();
 
@@ -120,6 +128,9 @@ pub fn recover(
         None => (fallback_space, fallback_grid, None),
     };
     let mut store = SpatialStore::new(space, grid, Vec::new());
+    if let Some(ns) = network {
+        store.set_network(ns);
+    }
     if let Some(data) = snap {
         for &(id, kind, x, y) in &data.objects {
             store.insert(ObjectId(id), kind, Point::new(x, y));
@@ -139,12 +150,13 @@ pub fn recover(
         // of the order the snapshot listed them in.
         entries.sort_by_key(|s| s.sid);
         for entry in entries {
-            match runner.add_query(ObjectId(entry.anchor), entry.algo) {
+            match runner.add_query_in(ObjectId(entry.anchor), entry.algo, entry.mode) {
                 Ok(qid) => {
                     subs.push(RecoveredSub {
                         sid: entry.sid,
                         anchor: ObjectId(entry.anchor),
                         algo: entry.algo,
+                        mode: entry.mode,
                         qid,
                     });
                     next_sid = next_sid.max(entry.sid + 1);
@@ -203,6 +215,7 @@ pub fn recover(
             sid: s.sid,
             anchor: s.anchor.0,
             algo: s.algo,
+            mode: s.mode,
         })
         .collect();
     let digest = state_digest(tick, &specs, |spec| {
@@ -264,6 +277,7 @@ fn apply_record(
             token,
             anchor,
             algo,
+            mode,
         } => {
             // The tick thread logs the assigned sid in the token field.
             let sid = *token;
@@ -271,12 +285,13 @@ fn apply_record(
                 report.lenient_skips += 1;
                 return;
             }
-            match runner.add_query(ObjectId(*anchor), *algo) {
+            match runner.add_query_in(ObjectId(*anchor), *algo, *mode) {
                 Ok(qid) => {
                     subs.push(RecoveredSub {
                         sid,
                         anchor: ObjectId(*anchor),
                         algo: *algo,
+                        mode: *mode,
                         qid,
                     });
                     *next_sid = (*next_sid).max(sid + 1);
@@ -336,7 +351,7 @@ mod tests {
     #[test]
     fn empty_dir_recovers_fresh() {
         let dir = tmp_dir("fresh");
-        let r = recover(&dir, 1, Placement::RoundRobin, space(), 8).unwrap();
+        let r = recover(&dir, 1, Placement::RoundRobin, space(), 8, None).unwrap();
         assert_eq!(r.tick, 0);
         assert_eq!(r.next_sid, 1);
         assert_eq!(r.next_seq, 0);
@@ -372,6 +387,7 @@ mod tests {
             token: 1,
             anchor: 1,
             algo: Algorithm::IgernMono,
+            mode: DistanceMode::Euclidean,
         })
         .unwrap();
         let q1 = live.add_query(ObjectId(2), Algorithm::Knn(3)).unwrap();
@@ -379,6 +395,7 @@ mod tests {
             token: 2,
             anchor: 2,
             algo: Algorithm::Knn(3),
+            mode: DistanceMode::Euclidean,
         })
         .unwrap();
         for t in 1..=5u64 {
@@ -396,7 +413,7 @@ mod tests {
             w.tick_boundary(t, 0).unwrap();
         }
         drop(w);
-        let r = recover(&dir, 1, Placement::RoundRobin, space(), 8).unwrap();
+        let r = recover(&dir, 1, Placement::RoundRobin, space(), 8, None).unwrap();
         assert!(r.report.clean(), "{:?}", r.report);
         assert_eq!(r.tick, 5);
         assert_eq!(r.subs.len(), 2);
@@ -432,6 +449,7 @@ mod tests {
                 token: 1,
                 anchor: 3,
                 algo: Algorithm::IgernMono,
+                mode: DistanceMode::Euclidean,
             },
         );
         for t in 1..=3u64 {
@@ -444,7 +462,7 @@ mod tests {
             ws.tick_boundary(t, 0).unwrap();
         }
         // Snapshot the snapped dir at tick 3 from a recovery of it.
-        let mid = recover(&dir_snap, 1, Placement::RoundRobin, space(), 8).unwrap();
+        let mid = recover(&dir_snap, 1, Placement::RoundRobin, space(), 8, None).unwrap();
         let data = SnapshotData {
             tick: mid.tick,
             covered_seq: ws.next_seq(),
@@ -465,6 +483,7 @@ mod tests {
                     sid: s.sid,
                     anchor: s.anchor.0,
                     algo: s.algo,
+                    mode: s.mode,
                     answer_digest: answer_digest(mid.runner.answer(s.qid)),
                 })
                 .collect(),
@@ -483,8 +502,8 @@ mod tests {
         }
         drop(wf);
         drop(ws);
-        let full = recover(&dir_full, 1, Placement::RoundRobin, space(), 8).unwrap();
-        let snapped = recover(&dir_snap, 1, Placement::RoundRobin, space(), 8).unwrap();
+        let full = recover(&dir_full, 1, Placement::RoundRobin, space(), 8, None).unwrap();
+        let snapped = recover(&dir_snap, 1, Placement::RoundRobin, space(), 8, None).unwrap();
         assert!(full.report.clean(), "{:?}", full.report);
         assert!(snapped.report.clean(), "{:?}", snapped.report);
         assert_eq!(full.digest, snapped.digest);
@@ -509,18 +528,20 @@ mod tests {
             token: 1,
             anchor: 0,
             algo: Algorithm::IgernMono,
+            mode: DistanceMode::Euclidean,
         })
         .unwrap();
         w.append(&Frame::Subscribe {
             token: 2,
             anchor: 5,
             algo: Algorithm::Knn(2),
+            mode: DistanceMode::Euclidean,
         })
         .unwrap();
         w.tick_boundary(1, 0).unwrap();
         drop(w);
-        let serial = recover(&dir, 1, Placement::RoundRobin, space(), 8).unwrap();
-        let sharded = recover(&dir, 4, Placement::AnchorCell, space(), 8).unwrap();
+        let serial = recover(&dir, 1, Placement::RoundRobin, space(), 8, None).unwrap();
+        let sharded = recover(&dir, 4, Placement::AnchorCell, space(), 8, None).unwrap();
         assert_eq!(serial.digest, sharded.digest);
         std::fs::remove_dir_all(&dir).unwrap();
     }

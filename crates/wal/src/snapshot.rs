@@ -12,7 +12,7 @@
 //! u32 grid            cells per side
 //! u32 object count    then per object: u32 id, u8 kind, f64 x, f64 y
 //! u32 sub count       then per sub: u32 sid, u32 anchor, u8 algo
-//!                     code, u16 k, u64 answer digest
+//!                     code, u16 k, u8 distance mode, u64 answer digest
 //! ```
 //!
 //! The per-sub digests ([`crate::answer_digest`]) are verification
@@ -24,14 +24,15 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 use igern_core::processor::Algorithm;
-use igern_core::types::ObjectKind;
+use igern_core::types::{DistanceMode, ObjectKind};
 use igern_geom::Aabb;
-use igern_proto::{algo_from_wire, algo_to_wire};
+use igern_proto::{algo_from_wire, algo_to_wire, mode_from_wire, mode_to_wire};
 
 use crate::crc::crc32;
 
-/// Snapshot header magic.
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"IGSNAP01";
+/// Snapshot header magic. `02` added the per-sub distance-mode byte;
+/// older `01` snapshots are rejected and recovery falls back to the log.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"IGSNAP02";
 
 /// One standing query in a snapshot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +43,8 @@ pub struct SubEntry {
     pub anchor: u32,
     /// Query algorithm.
     pub algo: Algorithm,
+    /// Distance mode the query evaluates under.
+    pub mode: DistanceMode,
     /// [`crate::answer_digest`] of the answer at snapshot time.
     pub answer_digest: u64,
 }
@@ -67,7 +70,7 @@ pub struct SnapshotData {
 
 impl SnapshotData {
     fn encode_body(&self) -> Vec<u8> {
-        let mut b = Vec::with_capacity(64 + self.objects.len() * 21 + self.subs.len() * 19);
+        let mut b = Vec::with_capacity(64 + self.objects.len() * 21 + self.subs.len() * 20);
         b.extend_from_slice(&self.tick.to_le_bytes());
         b.extend_from_slice(&self.covered_seq.to_le_bytes());
         b.extend_from_slice(&self.next_sid.to_le_bytes());
@@ -97,6 +100,7 @@ impl SnapshotData {
             b.extend_from_slice(&s.anchor.to_le_bytes());
             b.push(code);
             b.extend_from_slice(&k.to_le_bytes());
+            b.push(mode_to_wire(s.mode));
             b.extend_from_slice(&s.answer_digest.to_le_bytes());
         }
         b
@@ -160,7 +164,7 @@ impl SnapshotData {
             objects.push((id, kind, c.f64()?, c.f64()?));
         }
         let n_sub = c.u32()? as usize;
-        if body.len() - c.1 < n_sub * 19 {
+        if body.len() - c.1 < n_sub * 20 {
             return None;
         }
         let mut subs = Vec::with_capacity(n_sub);
@@ -168,10 +172,12 @@ impl SnapshotData {
             let sid = c.u32()?;
             let anchor = c.u32()?;
             let algo = algo_from_wire(c.u8()?, c.u16()?).ok()?;
+            let mode = mode_from_wire(c.u8()?).ok()?;
             subs.push(SubEntry {
                 sid,
                 anchor,
                 algo,
+                mode,
                 answer_digest: c.u64()?,
             });
         }
@@ -322,12 +328,14 @@ mod tests {
                     sid: 1,
                     anchor: 1,
                     algo: Algorithm::IgernMono,
+                    mode: DistanceMode::Euclidean,
                     answer_digest: 0xdead_beef,
                 },
                 SubEntry {
                     sid: 3,
                     anchor: 9,
                     algo: Algorithm::Knn(4),
+                    mode: DistanceMode::Network,
                     answer_digest: 77,
                 },
             ],

@@ -13,7 +13,7 @@
 use std::path::{Path, PathBuf};
 
 use igern_core::processor::Algorithm;
-use igern_core::types::ObjectKind;
+use igern_core::types::{DistanceMode, ObjectKind};
 use igern_engine::Placement;
 use igern_geom::Aabb;
 use igern_grid::ObjectId;
@@ -36,7 +36,7 @@ fn space() -> Aabb {
 }
 
 fn rec(dir: &Path) -> Recovered {
-    recover(dir, 1, Placement::RoundRobin, space(), 8).unwrap()
+    recover(dir, 1, Placement::RoundRobin, space(), 8, None).unwrap()
 }
 
 /// Write a realistic durability directory: 20 objects, two standing
@@ -69,6 +69,7 @@ fn build_dir(tag: &str, ticks: u64, snapshots: bool) -> PathBuf {
             token,
             anchor,
             algo,
+            mode: DistanceMode::Euclidean,
         })
         .unwrap();
     }
@@ -112,6 +113,7 @@ fn build_dir(tag: &str, ticks: u64, snapshots: bool) -> PathBuf {
                         sid: s.sid,
                         anchor: s.anchor.0,
                         algo: s.algo,
+                        mode: s.mode,
                         answer_digest: answer_digest(mid.runner.answer(s.qid)),
                     })
                     .collect(),
@@ -285,7 +287,7 @@ fn fuzz_mangled_directories_always_recover_counted() {
         }
         std::fs::write(&victim, &bytes).unwrap();
 
-        let r = recover(&work, 1, Placement::RoundRobin, space(), 8)
+        let r = recover(&work, 1, Placement::RoundRobin, space(), 8, None)
             .unwrap_or_else(|e| panic!("round {round}: recovery errored on damage: {e}"));
         if r.report.clean() {
             assert!(

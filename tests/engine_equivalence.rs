@@ -9,17 +9,21 @@
 //! matrix uses this to force a 4-worker leg). Set `IGERN_TEST_BATCH=on`
 //! to run the whole sweep with shared-scan batch evaluation enabled on
 //! both backends — batching must be answer-invisible, so every assertion
-//! below holds unchanged (the CI batch leg uses this).
+//! below holds unchanged (the CI batch leg uses this). Set
+//! `IGERN_TEST_DISTANCE=network` to run the whole sweep under road-network
+//! distance: both stores carry the same synthetic road graph and every
+//! query registers in `DistanceMode::Network` (the CI network leg).
 
 mod common;
 
 use common::Lcg;
 use igern::core::processor::{Algorithm, Processor};
-use igern::core::types::ObjectKind;
-use igern::core::SpatialStore;
+use igern::core::types::{DistanceMode, ObjectKind};
+use igern::core::{NetworkSpace, SpatialStore};
 use igern::engine::{Placement, ShardedEngine};
 use igern::geom::{Aabb, Point};
 use igern::grid::ObjectId;
+use igern::mobgen::{build_synthetic_network, SyntheticNetworkConfig};
 
 const SIDE: f64 = 100.0;
 const N_A: usize = 36;
@@ -27,10 +31,21 @@ const N_B: usize = 36;
 const TICKS: usize = 120;
 
 /// A store with `N_A` kind-A objects followed by `N_B` kind-B objects.
+/// Under the network leg both backends get the same seeded road graph.
 fn loaded_store(seed: u64) -> SpatialStore {
     let mut kinds = vec![ObjectKind::A; N_A];
     kinds.extend(vec![ObjectKind::B; N_B]);
     let mut store = SpatialStore::new(Aabb::from_coords(0.0, 0.0, SIDE, SIDE), 16, kinds);
+    if distance_mode() == DistanceMode::Network {
+        store.set_network(std::sync::Arc::new(NetworkSpace::from_network(
+            &build_synthetic_network(&SyntheticNetworkConfig {
+                k: 8,
+                space: Aabb::from_coords(0.0, 0.0, SIDE, SIDE),
+                seed,
+                ..Default::default()
+            }),
+        )));
+    }
     let pts = Lcg::new(seed).points(N_A + N_B, SIDE);
     store.load(&pts);
     store
@@ -66,6 +81,19 @@ fn worker_counts() -> Vec<usize> {
     counts
 }
 
+/// `IGERN_TEST_DISTANCE=network` runs the sweep under road-network
+/// distance on both backends (which must still agree bit-exactly).
+fn distance_mode() -> DistanceMode {
+    match std::env::var("IGERN_TEST_DISTANCE")
+        .as_deref()
+        .map(str::trim)
+    {
+        Ok("network") => DistanceMode::Network,
+        Ok("") | Ok("euclidean") | Err(_) => DistanceMode::Euclidean,
+        Ok(other) => panic!("IGERN_TEST_DISTANCE must be euclidean|network, got {other:?}"),
+    }
+}
+
 /// `IGERN_TEST_BATCH=on` switches both backends to the batched
 /// shared-scan path (which must be bit-identical to per-query).
 fn batch_on() -> bool {
@@ -79,6 +107,7 @@ fn batch_on() -> bool {
 /// randomized stream — movement, skip routing on, and mid-stream
 /// add/remove of standing queries — asserting lock-step equality.
 fn run_stream(workers: usize, placement: Placement, seed: u64) {
+    let mode = distance_mode();
     let mut serial = Processor::new(loaded_store(seed));
     let mut engine = ShardedEngine::new(loaded_store(seed), workers, placement);
     if batch_on() {
@@ -92,8 +121,8 @@ fn run_stream(workers: usize, placement: Placement, seed: u64) {
         .enumerate()
         .map(|(i, &algo)| {
             let obj = ObjectId(i as u32 * 3);
-            let qs = serial.add_query(obj, algo);
-            let qe = engine.add_query(obj, algo).expect("valid query");
+            let qs = serial.add_query_in(obj, algo, mode);
+            let qe = engine.add_query_in(obj, algo, mode).expect("valid query");
             assert_eq!(qs, qe, "index assignment diverged on add");
             qs
         })
@@ -104,16 +133,21 @@ fn run_stream(workers: usize, placement: Placement, seed: u64) {
     let mut rng = Lcg::new(seed ^ 0x9e37_79b9_7f4a_7c15);
     for tick in 0..TICKS {
         // Movement: mostly a localized clique so skip routing matters.
+        // Roughly one tick in ten is fully quiet — that is the only
+        // skip opportunity the watch-set-free network monitors have,
+        // and a cheap extra case for the Euclidean ones.
         let mut ups: Vec<(ObjectId, Point)> = Vec::new();
-        let global = rng.bool(0.3);
-        for _ in 0..1 + rng.usize(8) {
-            let id = ObjectId(rng.usize(N_A + N_B) as u32);
-            let p = if global {
-                rng.point(SIDE)
-            } else {
-                Point::new(rng.range_f64(85.0, 100.0), rng.range_f64(85.0, 100.0))
-            };
-            ups.push((id, p));
+        if !rng.bool(0.1) {
+            let global = rng.bool(0.3);
+            for _ in 0..1 + rng.usize(8) {
+                let id = ObjectId(rng.usize(N_A + N_B) as u32);
+                let p = if global {
+                    rng.point(SIDE)
+                } else {
+                    Point::new(rng.range_f64(85.0, 100.0), rng.range_f64(85.0, 100.0))
+                };
+                ups.push((id, p));
+            }
         }
         // Mid-stream churn: sometimes remove a standing query, sometimes
         // register a new one (reusing the tombstoned slot on both sides).
@@ -126,8 +160,8 @@ fn run_stream(workers: usize, placement: Placement, seed: u64) {
         if rng.bool(0.08) {
             let algo = ALGOS[rng.usize(ALGOS.len())];
             let obj = ObjectId((rng.usize(N_A / 2) * 2) as u32);
-            let qs = serial.add_query(obj, algo);
-            let qe = engine.add_query(obj, algo).expect("valid query");
+            let qs = serial.add_query_in(obj, algo, mode);
+            let qe = engine.add_query_in(obj, algo, mode).expect("valid query");
             assert_eq!(qs, qe, "index assignment diverged at tick {tick}");
             live.push(qs);
         }

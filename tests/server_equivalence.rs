@@ -7,6 +7,11 @@
 //! eight algorithms, at one worker and at four, across mid-stream
 //! subscribe/unsubscribe, object insertion/removal, and a slow-consumer
 //! coalesce event. Malformed input must never take the server down.
+//!
+//! Set `IGERN_TEST_DISTANCE=network` to run the lockstep drives under
+//! road-network distance: both stores carry the same synthetic road
+//! graph and every subscription opens in `DistanceMode::Network` over
+//! the protocol's v2 mode byte (the CI network leg).
 
 mod common;
 
@@ -14,11 +19,12 @@ use std::time::Duration;
 
 use common::Lcg;
 use igern::core::processor::Algorithm;
-use igern::core::types::ObjectKind;
-use igern::core::SpatialStore;
+use igern::core::types::{DistanceMode, ObjectKind};
+use igern::core::{NetworkSpace, SpatialStore};
 use igern::engine::{Placement, TickRunner};
 use igern::geom::Aabb;
 use igern::grid::ObjectId;
+use igern::mobgen::{build_synthetic_network, SyntheticNetworkConfig};
 use igern::server::client::Event;
 use igern::server::{Client, ErrorCode, Server, ServerConfig, SlowConsumerPolicy, TickMode};
 
@@ -44,10 +50,33 @@ fn kinds() -> Vec<ObjectKind> {
         .collect()
 }
 
+/// `IGERN_TEST_DISTANCE=network` switches the lockstep drives to
+/// road-network distance (which must stay transparent over the wire).
+fn distance_mode() -> DistanceMode {
+    match std::env::var("IGERN_TEST_DISTANCE")
+        .as_deref()
+        .map(str::trim)
+    {
+        Ok("network") => DistanceMode::Network,
+        Ok("") | Ok("euclidean") | Err(_) => DistanceMode::Euclidean,
+        Ok(other) => panic!("IGERN_TEST_DISTANCE must be euclidean|network, got {other:?}"),
+    }
+}
+
 fn seeded_store(seed: u64) -> SpatialStore {
     let mut rng = Lcg::new(seed);
     let pts = rng.points(N, SIDE);
     let mut store = SpatialStore::new(space(), 8, kinds());
+    if distance_mode() == DistanceMode::Network {
+        store.set_network(std::sync::Arc::new(NetworkSpace::from_network(
+            &build_synthetic_network(&SyntheticNetworkConfig {
+                k: 8,
+                space: space(),
+                seed,
+                ..Default::default()
+            }),
+        )));
+    }
     store.load(&pts);
     store
 }
@@ -84,6 +113,7 @@ fn all_algorithms() -> [Algorithm; 8] {
 /// in lockstep, comparing every live subscription's answer every tick.
 fn drive_equivalence(workers: usize) {
     let seed = 0xC0FF_EE00 ^ workers as u64;
+    let mode = distance_mode();
     let mut reference = TickRunner::new(seeded_store(seed), workers, Placement::RoundRobin);
     let mut server = Server::start(("127.0.0.1", 0), seeded_store(seed), manual_config(workers))
         .expect("bind server");
@@ -94,9 +124,11 @@ fn drive_equivalence(workers: usize) {
     // A); the last two join mid-stream at tick 80.
     let mut live: Vec<(u32, usize)> = Vec::new();
     for (i, &algo) in algos.iter().take(6).enumerate() {
-        let sid = client.subscribe(i as u32, algo).expect("subscribe");
+        let sid = client
+            .subscribe_in(i as u32, algo, mode)
+            .expect("subscribe");
         let qid = reference
-            .add_query(ObjectId(i as u32), algo)
+            .add_query_in(ObjectId(i as u32), algo, mode)
             .expect("ref query");
         live.push((sid, qid));
     }
@@ -130,8 +162,12 @@ fn drive_equivalence(workers: usize) {
             }
             80 => {
                 for (i, &algo) in algos.iter().enumerate().skip(6) {
-                    let sid = client.subscribe(i as u32, algo).expect("late subscribe");
-                    let qid = reference.add_query(ObjectId(i as u32), algo).expect("ref");
+                    let sid = client
+                        .subscribe_in(i as u32, algo, mode)
+                        .expect("late subscribe");
+                    let qid = reference
+                        .add_query_in(ObjectId(i as u32), algo, mode)
+                        .expect("ref");
                     live.push((sid, qid));
                 }
             }
@@ -151,9 +187,11 @@ fn drive_equivalence(workers: usize) {
             160 => {
                 // A new subscription after the unsubscribe reuses the
                 // tombstoned slot identically on both sides.
-                let sid = client.subscribe(8, Algorithm::IgernMono).expect("resub");
+                let sid = client
+                    .subscribe_in(8, Algorithm::IgernMono, mode)
+                    .expect("resub");
                 let qid = reference
-                    .add_query(ObjectId(8), Algorithm::IgernMono)
+                    .add_query_in(ObjectId(8), Algorithm::IgernMono, mode)
                     .expect("ref resub");
                 live.push((sid, qid));
             }
@@ -196,6 +234,7 @@ fn sharded_server_matches_offline_runner_for_all_algorithms() {
 #[test]
 fn coalesce_recovers_exact_answers_after_overflow() {
     let seed = 0xFEED_F00D;
+    let mode = distance_mode();
     let mut reference = TickRunner::new(seeded_store(seed), 1, Placement::RoundRobin);
     // A 2-frame cap is smaller than one tick's batch (two deltas plus
     // TICK_END), so the overflow → shed → forced-snapshot path fires
@@ -208,13 +247,17 @@ fn coalesce_recovers_exact_answers_after_overflow() {
     let mut server = Server::start(("127.0.0.1", 0), seeded_store(seed), cfg).expect("bind server");
     let mut client = Client::connect(server.local_addr()).expect("connect");
 
-    let sid_mono = client.subscribe(0, Algorithm::IgernMono).expect("sub");
-    let sid_knn = client.subscribe(1, Algorithm::Knn(3)).expect("sub");
+    let sid_mono = client
+        .subscribe_in(0, Algorithm::IgernMono, mode)
+        .expect("sub");
+    let sid_knn = client
+        .subscribe_in(1, Algorithm::Knn(3), mode)
+        .expect("sub");
     let q_mono = reference
-        .add_query(ObjectId(0), Algorithm::IgernMono)
+        .add_query_in(ObjectId(0), Algorithm::IgernMono, mode)
         .expect("ref");
     let q_knn = reference
-        .add_query(ObjectId(1), Algorithm::Knn(3))
+        .add_query_in(ObjectId(1), Algorithm::Knn(3), mode)
         .expect("ref");
 
     // 30 ticks of churn without reading a single push: with a 4-frame
